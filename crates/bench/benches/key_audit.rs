@@ -1,0 +1,74 @@
+//! Criterion benches for the key-in-time / audit figures (Fig 8–11).
+
+use bitempo_bench::runner::{BenchConfig, Instance};
+use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::SystemKind;
+use bitempo_workloads::{key, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        h: 0.001,
+        m: 0.001,
+        repetitions: 1,
+        discard: 0,
+        batch_size: 1,
+    }
+}
+
+fn bench_key_audit(c: &mut Criterion) {
+    let mut inst = Instance::build(&config(), &TuningConfig::none()).expect("build instance");
+    let p = inst.params.clone();
+
+    for (tuning, label) in [
+        (TuningConfig::none(), "no index"),
+        (TuningConfig::key_time(), "key+time"),
+    ] {
+        inst.retune(&tuning).unwrap();
+        let mut group = c.benchmark_group(format!("key_audit/{label}"));
+        group.sample_size(20);
+        for kind in SystemKind::ALL {
+            let ctx = Ctx::new(inst.engine(kind)).unwrap();
+            group.bench_function(format!("{kind}/K1 curr sys"), |b| {
+                b.iter(|| key::k1(&ctx, &p.hot_customer, SysSpec::Current, AppSpec::All).unwrap())
+            });
+            group.bench_function(format!("{kind}/K1 past sys"), |b| {
+                b.iter(|| {
+                    key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
+                        .unwrap()
+                })
+            });
+            group.bench_function(format!("{kind}/K1 both times"), |b| {
+                b.iter(|| key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All).unwrap())
+            });
+            group.bench_function(format!("{kind}/K4 top-5"), |b| {
+                b.iter(|| key::k4(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All, 5).unwrap())
+            });
+            let (lo, hi) = p.acctbal_band;
+            group.bench_function(format!("{kind}/K6 value band"), |b| {
+                b.iter(|| key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All).unwrap())
+            });
+        }
+        group.finish();
+    }
+
+    // Fig 11: the value index on c_acctbal.
+    inst.retune(&TuningConfig {
+        value_index: vec![("customer".into(), "c_acctbal".into())],
+        ..Default::default()
+    })
+    .unwrap();
+    let mut group = c.benchmark_group("key_audit/value index");
+    group.sample_size(20);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        let (lo, hi) = p.acctbal_band;
+        group.bench_function(format!("{kind}/K6 value band"), |b| {
+            b.iter(|| key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_audit);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for history loading (Fig 16, §5.8): transactional
+//! replay per engine versus System D's pre-stamped bulk load.
+
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::{build_engine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_loading(c: &mut Criterion) {
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.001));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.0005));
+
+    let mut group = c.benchmark_group("loading");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        group.bench_function(format!("{kind}/initial + replay m=0.0005"), |b| {
+            b.iter(|| {
+                let mut engine = build_engine(kind);
+                let ids = loader::load_initial(engine.as_mut(), &data).unwrap();
+                loader::replay(engine.as_mut(), &ids, &history.archive, 1).unwrap();
+                engine
+            })
+        });
+    }
+    group.bench_function("System D/bulk load", |b| {
+        b.iter(|| {
+            let mut engine = build_engine(SystemKind::D);
+            loader::bulk_load(engine.as_mut(), &history.db).unwrap();
+            engine
+        })
+    });
+    // Batched replay (Fig 13's loader knob).
+    for batch in [8usize, 64] {
+        group.bench_function(format!("System A/initial + replay batch={batch}"), |b| {
+            b.iter(|| {
+                let mut engine = build_engine(SystemKind::A);
+                let ids = loader::load_initial(engine.as_mut(), &data).unwrap();
+                loader::replay(engine.as_mut(), &ids, &history.archive, batch).unwrap();
+                engine
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

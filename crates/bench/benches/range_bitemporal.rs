@@ -1,0 +1,68 @@
+//! Criterion benches for range-timeslice and bitemporal figures
+//! (Fig 14/15), including the temporal-aggregation ablation: naive
+//! SQL:2011 boundary join versus event sweep.
+
+use bitempo_bench::runner::{BenchConfig, Instance};
+use bitempo_engine::api::{SysSpec, TuningConfig};
+use bitempo_engine::SystemKind;
+use bitempo_workloads::{bitemporal, range, tt, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        h: 0.0005,
+        m: 0.0005,
+        repetitions: 1,
+        discard: 0,
+        batch_size: 1,
+    }
+}
+
+fn bench_range(c: &mut Criterion) {
+    let inst = Instance::build(&config(), &TuningConfig::none()).expect("build instance");
+    let p = inst.params.clone();
+    let mut group = c.benchmark_group("range_timeslice");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        group.bench_function(format!("{kind}/ALL yardstick"), |b| {
+            b.iter(|| tt::t5_all(&ctx).unwrap())
+        });
+        group.bench_function(format!("{kind}/R1 state changes"), |b| {
+            b.iter(|| range::r1(&ctx).unwrap())
+        });
+        group.bench_function(format!("{kind}/R3a naive"), |b| {
+            b.iter(|| range::r3a_naive(&ctx, SysSpec::Current).unwrap())
+        });
+        group.bench_function(format!("{kind}/R3a sweep"), |b| {
+            b.iter(|| range::r3a_sweep(&ctx, SysSpec::Current).unwrap())
+        });
+        group.bench_function(format!("{kind}/R4 stock spread"), |b| {
+            b.iter(|| range::r4(&ctx).unwrap())
+        });
+        group.bench_function(format!("{kind}/R5 temporal join"), |b| {
+            b.iter(|| range::r5(&ctx, 5_000.0, 100_000.0).unwrap())
+        });
+        group.bench_function(format!("{kind}/R7 price raises"), |b| {
+            b.iter(|| range::r7(&ctx).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bitemporal_dimensions");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        for variant in [1u8, 5, 6, 11] {
+            group.bench_function(format!("{kind}/B3.{variant}"), |b| {
+                b.iter(|| {
+                    bitemporal::b3_variant(&ctx, variant, 55, p.app_mid, p.sys_initial).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the time-travel figures (Fig 2/3/5/6).
+
+use bitempo_bench::runner::{BenchConfig, Instance};
+use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::SystemKind;
+use bitempo_workloads::{tt, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        h: 0.001,
+        m: 0.001,
+        repetitions: 1,
+        discard: 0,
+        batch_size: 1,
+    }
+}
+
+fn bench_time_travel(c: &mut Criterion) {
+    let inst = Instance::build(&config(), &TuningConfig::none()).expect("build instance");
+    let p = inst.params.clone();
+    let mut group = c.benchmark_group("time_travel");
+    group.sample_size(20);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        group.bench_function(format!("{kind}/T1 point-point app"), |b| {
+            b.iter(|| tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)).unwrap())
+        });
+        group.bench_function(format!("{kind}/T1 point-point sys"), |b| {
+            b.iter(|| tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late)).unwrap())
+        });
+        group.bench_function(format!("{kind}/T2 point-point sys"), |b| {
+            b.iter(|| tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late)).unwrap())
+        });
+        group.bench_function(format!("{kind}/T5 all versions"), |b| {
+            b.iter(|| tt::t5_all(&ctx).unwrap())
+        });
+        group.bench_function(format!("{kind}/T6 sys slice"), |b| {
+            b.iter(|| tt::t6(&ctx, None, p.sys_mid).unwrap())
+        });
+        group.bench_function(format!("{kind}/T7 implicit"), |b| {
+            b.iter(|| tt::t7_implicit(&ctx).unwrap())
+        });
+        group.bench_function(format!("{kind}/T7 explicit"), |b| {
+            b.iter(|| tt::t7_explicit(&ctx).unwrap())
+        });
+    }
+    group.finish();
+
+    // Fig 3: the same probes with time indexes in place.
+    let mut inst = inst;
+    inst.retune(&TuningConfig::time()).unwrap();
+    let mut group = c.benchmark_group("time_travel_indexed");
+    group.sample_size(20);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        group.bench_function(format!("{kind}/T1 point-point sys (B-Tree)"), |b| {
+            b.iter(|| tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_travel);
+criterion_main!(benches);

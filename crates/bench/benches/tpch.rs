@@ -1,0 +1,55 @@
+//! Criterion benches for the TPC-H time-travel workload (Fig 7a/7b).
+
+use bitempo_bench::runner::{build_nontemporal_baseline, BenchConfig, Instance};
+use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::SystemKind;
+use bitempo_workloads::{tpch, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        h: 0.001,
+        m: 0.001,
+        repetitions: 1,
+        discard: 0,
+        batch_size: 1,
+    }
+}
+
+/// A representative cross-section of the 22 queries: scan-heavy (Q1, Q6),
+/// join-heavy (Q3, Q5), aggregation-heavy (Q13, Q18).
+const SAMPLED: [u8; 6] = [1, 3, 5, 6, 13, 18];
+
+fn bench_tpch(c: &mut Criterion) {
+    let inst = Instance::build(&config(), &TuningConfig::none()).expect("build instance");
+    let p = inst.params.clone();
+    let baselines =
+        build_nontemporal_baseline(&inst, &SysSpec::Current, &AppSpec::AsOf(p.app_mid))
+            .expect("baseline");
+
+    let mut group = c.benchmark_group("tpch");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind)).unwrap();
+        let base = baselines
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, e)| Ctx::new(e.as_ref()).unwrap())
+            .unwrap();
+        for q in SAMPLED {
+            group.bench_function(format!("{kind}/Q{q} app time travel"), |b| {
+                b.iter(|| tpch::run_query(&ctx, q, &tpch::Tt::app(p.app_mid)).unwrap())
+            });
+            group.bench_function(format!("{kind}/Q{q} sys time travel"), |b| {
+                b.iter(|| tpch::run_query(&ctx, q, &tpch::Tt::sys(p.sys_initial)).unwrap())
+            });
+            group.bench_function(format!("{kind}/Q{q} non-temporal baseline"), |b| {
+                b.iter(|| tpch::run_query(&base, q, &tpch::Tt::none()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

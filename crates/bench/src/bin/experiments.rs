@@ -1,0 +1,92 @@
+//! The experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>                 run one experiment (fig2 .. fig16, table1, table2, arch)
+//! experiments run-all              run everything, write results/measured.md
+//! experiments list                 list experiment ids
+//! options:
+//!   --h <f>        TPC-H scale factor (default 0.002)
+//!   --m <f>        history scale (default 0.002)
+//!   --out <path>   write markdown to a file instead of stdout
+//! ```
+
+use bitempo_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use bitempo_bench::BenchConfig;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id|run-all|list> [--h <f>] [--m <f>] [--out <path>]");
+        std::process::exit(2);
+    }
+    let mut cfg = BenchConfig::default_scale();
+    let mut out_path: Option<String> = None;
+    let mut command = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--h" => {
+                cfg.h = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(cfg.h);
+                i += 2;
+            }
+            "--m" => {
+                cfg.m = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(cfg.m);
+                i += 2;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                command = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    if command == "list" {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        println!("fig15\nfig16");
+        return;
+    }
+
+    let ids: Vec<&str> = if command == "run-all" {
+        let mut ids: Vec<&str> = ALL_EXPERIMENTS.to_vec();
+        ids.push("fig15");
+        ids.push("fig16");
+        ids
+    } else {
+        vec![command.as_str()]
+    };
+
+    let mut output = String::new();
+    output.push_str(&format!(
+        "# TPC-BiH measured results (h = {}, m = {})\n\n",
+        cfg.h, cfg.m
+    ));
+    for id in ids {
+        eprintln!("running {id} ...");
+        match run_experiment(id, &cfg) {
+            Ok(report) => output.push_str(&report.to_markdown()),
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    match out_path {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                std::fs::create_dir_all(parent).expect("create output directory");
+            }
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(output.as_bytes()).expect("write output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{output}"),
+    }
+}

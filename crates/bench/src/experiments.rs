@@ -1,0 +1,697 @@
+//! One function per paper artifact. Each returns a [`FigureReport`] whose
+//! series mirror the figure's legend; DESIGN.md §4 maps ids to the paper.
+
+use crate::report::{FigureReport, Series};
+use crate::runner::{
+    build_nontemporal_baseline, geometric_mean, measure, BenchConfig, Instance,
+};
+use bitempo_core::{Period, Result, SysTime};
+use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::SystemKind;
+use bitempo_histgen::ScenarioKind;
+use bitempo_workloads::{bitemporal, key, range, tpch, tt, Ctx};
+
+fn gist_tuning() -> TuningConfig {
+    TuningConfig {
+        time_index: true,
+        key_time_index: true,
+        gist: true,
+        ..Default::default()
+    }
+}
+
+/// Fig 2: basic point-point time travel, out-of-the-box settings.
+pub fn fig2(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig2", "Basic Time Travel (no index)", "µs");
+    let p = &inst.params;
+    for kind in SystemKind::ALL {
+        let engine = inst.engine(kind);
+        let ctx = Ctx::new(engine)?;
+        let mut s = Series::new(format!("{kind} - no index"));
+        let m = measure(cfg, || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
+        s.push("T1 vary app/curr sys", m.micros());
+        let m = measure(cfg, || {
+            tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
+        })?;
+        s.push("T1 vary sys/curr app", m.micros());
+        let m = measure(cfg, || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
+        s.push("T2 vary app/curr sys", m.micros());
+        let m = measure(cfg, || {
+            tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
+        })?;
+        s.push("T2 vary sys/curr app", m.micros());
+        let m = measure(cfg, || tt::t5_all(&ctx))?;
+        s.push("T5 All Versions", m.micros());
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.3.1): current-only app travel cheapest; system-time travel \
+         adds the history partition; System B pays the vertical-partition reconstruction; \
+         ALL is the upper bound.",
+    );
+    Ok(report)
+}
+
+/// Fig 3: the same queries under the Time Index setting (System D also
+/// with GiST).
+pub fn fig3(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig3", "Index Impact for Basic Time Travel", "µs");
+    let p = inst.params.clone();
+
+    let run_setting = |inst: &Instance, label_suffix: &str, report: &mut FigureReport,
+                       systems: &[SystemKind], cfg: &BenchConfig|
+     -> Result<()> {
+        for &kind in systems {
+            let engine = inst.engine(kind);
+            let ctx = Ctx::new(engine)?;
+            let mut s = Series::new(format!("{kind} - {label_suffix}"));
+            let m = measure(cfg, || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
+            s.push("T1 vary app/curr sys", m.micros());
+            let m = measure(cfg, || {
+                tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
+            })?;
+            s.push("T1 vary sys/curr app", m.micros());
+            let m = measure(cfg, || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
+            s.push("T2 vary app/curr sys", m.micros());
+            let m = measure(cfg, || {
+                tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
+            })?;
+            s.push("T2 vary sys/curr app", m.micros());
+            let m = measure(cfg, || tt::t5_all(&ctx))?;
+            s.push("T5 All Versions", m.micros());
+            report.add(s);
+        }
+        Ok(())
+    };
+
+    run_setting(&inst, "no index", &mut report, &SystemKind::ALL, cfg)?;
+    inst.retune(&TuningConfig::time())?;
+    run_setting(&inst, "B-Tree", &mut report, &SystemKind::ALL, cfg)?;
+    inst.retune(&gist_tuning())?;
+    run_setting(&inst, "GiST", &mut report, &[SystemKind::D], cfg)?;
+    report.note(
+        "Expected shape (paper §5.3.2): limited index benefit overall; System C ignores \
+         indexes entirely; GiST never beats the B-Tree.",
+    );
+    Ok(report)
+}
+
+/// Fig 4: T1 with fixed parameters over growing history sizes — constant
+/// with a usable index, linear without.
+pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut report = FigureReport::new("fig4", "T1 for Variable History Size", "µs");
+    let steps = 4;
+    let mut series: Vec<Series> = Vec::new();
+    for kind in SystemKind::ALL {
+        series.push(Series::new(format!("{kind} - no index")));
+        series.push(Series::new(format!("{kind} - B-Tree")));
+    }
+    for step in 1..=steps {
+        // Geometric sweep up to 4× the configured history scale, on half
+        // the data scale — the paper ran this experiment on 0.1/0.1..1.0
+        // for the same reason (it reloads a full history per step).
+        let m_scale = cfg.m * 4.0 * step as f64 / steps as f64;
+        let step_cfg = cfg.with_scale(cfg.h / 2.0, m_scale);
+        let mut inst = Instance::build(&step_cfg, &TuningConfig::none())?;
+        // Fixed parameters: just after the initial version, maximum app time
+        // — the result is independent of the history length (paper §5.3.3).
+        let sys_point = SysSpec::AsOf(SysTime(2));
+        let app_point = AppSpec::AsOf(inst.params.app_max);
+        let x = format!("{} versions", inst.history.archive.transactions.len());
+        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let m = measure(&step_cfg, || tt::t1(&ctx, sys_point, app_point))?;
+            series[2 * i].push(x.clone(), m.micros());
+        }
+        inst.retune(&TuningConfig::time())?;
+        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let m = measure(&step_cfg, || tt::t1(&ctx, sys_point, app_point))?;
+            series[2 * i + 1].push(x.clone(), m.micros());
+        }
+    }
+    for s in series {
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.3.3): without indexes the RDBMSs scale linearly with \
+         history size; with time indexes cost is mostly constant; System C is constant \
+         even without an index (current/history split + scans).",
+    );
+    Ok(report)
+}
+
+/// Fig 5: temporal slicing (T6 variants) against ALL.
+pub fn fig5(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig5", "Temporal Slicing", "µs");
+    let p = &inst.params;
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(format!("{kind} - no index"));
+        let m = measure(cfg, || tt::t6(&ctx, Some(p.app_mid), p.sys_now))?;
+        s.push("T6 app time slice over sys", m.micros());
+        let m = measure(cfg, || tt::t9(&ctx, SysSpec::All, p.app_mid, p.app_late))?;
+        s.push("T6 app slice (simulated app time)", m.micros());
+        let m = measure(cfg, || tt::t6(&ctx, None, p.sys_mid))?;
+        s.push("T6 system time slice over app", m.micros());
+        let m = measure(cfg, || tt::t5_all(&ctx))?;
+        s.push("T5 All Versions", m.micros());
+        report.add(s);
+    }
+    report.note("Expected shape (paper §5.3.4): slicing can be cheaper than point travel due to lower query complexity; indexes are of little use at these result sizes.");
+    Ok(report)
+}
+
+/// Fig 6: implicit vs explicit current-time travel (Systems A, B, C).
+/// Run on a history-dominated instance (16× the configured m, half the
+/// data): the effect *is* the superfluous history-partition walk, so the
+/// history must dwarf the current partition for wall time to show it
+/// clearly above measurement noise.
+pub fn fig6(cfg: &BenchConfig) -> Result<FigureReport> {
+    let cfg = &cfg.with_scale(cfg.h / 2.0, cfg.m * 16.0);
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig6", "Current TT Implicit vs Explicit", "µs");
+    for kind in [SystemKind::A, SystemKind::B, SystemKind::C] {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(kind.name());
+        let m = measure(cfg, || tt::t7_implicit(&ctx))?;
+        s.push("Implicit", m.micros());
+        let m = measure(cfg, || tt::t7_explicit(&ctx))?;
+        s.push("Explicit", m.micros());
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.3.5): all three systems access the history partition \
+         when the current time is requested explicitly — none recognizes the optimization. \
+         In-memory, the penalty is the extra history visit (A, C show it directly); on \
+         System B the implicit query already pays the current-table reconstruction, which \
+         masks the history walk — the plan-shape test asserts the partition access instead.",
+    );
+    Ok(report)
+}
+
+/// Fig 7a/7b: the 22 TPC-H queries under time travel, reported as the
+/// slowdown ratio versus the non-temporal baseline.
+pub fn fig7(cfg: &BenchConfig, system_time: bool) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let p = &inst.params;
+    let (id, title, tt_spec, base_sys, base_app) = if system_time {
+        (
+            "fig7b",
+            "TPC-H with system time travel (ratio temporal/non-temporal)",
+            tpch::Tt::sys(p.sys_initial),
+            SysSpec::AsOf(p.sys_initial),
+            AppSpec::All,
+        )
+    } else {
+        (
+            "fig7a",
+            "TPC-H with application time travel (ratio temporal/non-temporal)",
+            tpch::Tt::app(p.app_mid),
+            SysSpec::Current,
+            AppSpec::AsOf(p.app_mid),
+        )
+    };
+    let baselines = build_nontemporal_baseline(&inst, &base_sys, &base_app)?;
+    let mut report = FigureReport::new(id, title, "ratio");
+    for kind in SystemKind::ALL {
+        let temporal_engine = inst.engine(kind);
+        let baseline_engine = baselines
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, e)| e.as_ref())
+            .expect("baseline built");
+        let t_ctx = Ctx::new(temporal_engine)?;
+        let b_ctx = Ctx::new(baseline_engine)?;
+        let mut s = Series::new(format!("{kind} - no index"));
+        let mut ratios = Vec::new();
+        for q in 1..=22u8 {
+            let mt = measure(cfg, || tpch::run_query(&t_ctx, q, &tt_spec))?;
+            let mb = measure(cfg, || tpch::run_query(&b_ctx, q, &tpch::Tt::none()))?;
+            let ratio = mt.median_nanos as f64 / mb.median_nanos.max(1) as f64;
+            ratios.push(ratio);
+            s.push(format!("Q{q}"), ratio);
+        }
+        s.push("GeoMean", geometric_mean(&ratios));
+        report.add(s);
+    }
+    report.note(if system_time {
+        "Paper §5.4.2 reports far higher overheads than 7a, driven by optimizer plan \
+         degradation (unions/anti-joins reassembling history). Our executor issues the \
+         same physical plan in both settings by design, so this figure isolates the \
+         storage-level component: (current + history) volume over the snapshot volume, \
+         a modest factor that grows with m. Orderings still hold: B pays reconstruction, \
+         D has no partition split."
+    } else {
+        "Expected shape (paper §5.4.1): slowdowns vary per query; System C's scan-based \
+         execution shows the smallest geometric mean."
+    });
+    Ok(report)
+}
+
+fn key_dimension_points(
+    p: &bitempo_workloads::QueryParams,
+) -> Vec<(&'static str, SysSpec, AppSpec)> {
+    vec![
+        ("app time, curr sys", SysSpec::Current, AppSpec::All),
+        ("app time, past sys", SysSpec::AsOf(p.sys_initial), AppSpec::All),
+        ("both times", SysSpec::All, AppSpec::All),
+        ("sys time, curr app", SysSpec::All, AppSpec::AsOf(p.app_late)),
+    ]
+}
+
+/// Fig 8: key-in-time over the full temporal range (K1) without and with
+/// the Key+Time index.
+pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig8", "Key in Time - Full Range (K1)", "µs");
+    let p = inst.params.clone();
+    for (tuning, label) in [
+        (TuningConfig::none(), "no index"),
+        (TuningConfig::key_time(), "Key+Time"),
+    ] {
+        inst.retune(&tuning)?;
+        for kind in SystemKind::ALL {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let mut s = Series::new(format!("{kind} - {label}"));
+            for (x, sys, app) in key_dimension_points(&p) {
+                let m = measure(cfg, || key::k1(&ctx, &p.hot_customer, sys, app))?;
+                s.push(format!("K1 {x}"), m.micros());
+            }
+            report.add(s);
+        }
+    }
+    report.note(
+        "Expected shape (paper §5.5.1): A and B benefit from the system PK index at \
+         current system time; past-system-time access triggers history scans unless the \
+         Key+Time index exists; B still pays reconstruction; C scans regardless.",
+    );
+    Ok(report)
+}
+
+/// Fig 9: key-in-time with constrained time ranges (K2/K3).
+pub fn fig9(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut inst = Instance::build(cfg, &TuningConfig::key_time())?;
+    let mut report = FigureReport::new("fig9", "Key in Time - Time Restriction (K2/K3)", "µs");
+    let p = inst.params.clone();
+    let sys_range = SysSpec::Range(Period::new(p.sys_initial, p.sys_mid));
+    inst.retune(&TuningConfig::key_time())?;
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(format!("{kind} - Key+Time"));
+        let m = measure(cfg, || key::k2(&ctx, &p.hot_customer, sys_range, AppSpec::All))?;
+        s.push("K2 (sys range)", m.micros());
+        let m = measure(cfg, || {
+            key::k2(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
+        })?;
+        s.push("K2 (app - system past)", m.micros());
+        let m = measure(cfg, || key::k3(&ctx, &p.hot_customer, sys_range, AppSpec::All))?;
+        s.push("K3 (sys range, 1 column)", m.micros());
+        let m = measure(cfg, || key::k3(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All))?;
+        s.push("K3 (both)", m.micros());
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.5.2): time-range restrictions and column restrictions \
+         have little impact compared to K1 — the version-fetch dominates.",
+    );
+    Ok(report)
+}
+
+/// Fig 10: version-count restrictions (K4 Top-N, K5 predecessor).
+pub fn fig10(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::key_time())?;
+    let mut report = FigureReport::new("fig10", "Key in Time - Version Restriction (K4/K5)", "µs");
+    let p = &inst.params;
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(format!("{kind} - Key+Time"));
+        let m = measure(cfg, || {
+            key::k4(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All, 5)
+        })?;
+        s.push("K4 (Top-5 versions)", m.micros());
+        let m = measure(cfg, || {
+            key::k4(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_mid), AppSpec::All, 5)
+        })?;
+        s.push("K4 (Top-5, past sys)", m.micros());
+        let m = measure(cfg, || key::k5(&ctx, &p.hot_customer, p.sys_now))?;
+        s.push("K5 (predecessor)", m.micros());
+        let m = measure(cfg, || key::k5(&ctx, &p.hot_customer, p.sys_mid))?;
+        s.push("K5 (predecessor, past)", m.micros());
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.5.2): Top-N helps in some cases; the K5 correlation \
+         formulation is never cheaper than K4.",
+    );
+    Ok(report)
+}
+
+/// Fig 11: value-in-time (K6) without and with a value index.
+pub fn fig11(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig11", "Value in Time (K6)", "µs");
+    let p = inst.params.clone();
+    let value_tuning = TuningConfig {
+        value_index: vec![("customer".into(), "c_acctbal".into())],
+        ..Default::default()
+    };
+    for (tuning, label) in [(TuningConfig::none(), "no index"), (value_tuning, "Value index")] {
+        inst.retune(&tuning)?;
+        for kind in SystemKind::ALL {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let mut s = Series::new(format!("{kind} - {label}"));
+            let (lo, hi) = p.acctbal_band;
+            let m = measure(cfg, || key::k6(&ctx, lo, hi, SysSpec::Current, AppSpec::All))?;
+            s.push("K6 value, curr sys", m.micros());
+            let m = measure(cfg, || {
+                key::k6(&ctx, lo, hi, SysSpec::AsOf(p.sys_initial), AppSpec::All)
+            })?;
+            s.push("K6 value, past sys", m.micros());
+            let m = measure(cfg, || key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All))?;
+            s.push("K6 value, all sys", m.micros());
+            report.add(s);
+        }
+    }
+    report.note(
+        "Expected shape (paper §5.5.3): without an index everything is a table scan; the \
+         value index speeds up the selective filter significantly (except on System C).",
+    );
+    Ok(report)
+}
+
+/// Fig 12: key-range query versus history size (with Key+Time indexes).
+pub fn fig12(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut report = FigureReport::new("fig12", "Key-Range for Variable History Size", "µs");
+    let steps = 4;
+    let mut series: Vec<Series> = SystemKind::ALL
+        .into_iter()
+        .map(|k| Series::new(format!("{k} - B-Tree")))
+        .collect();
+    for step in 1..=steps {
+        let m_scale = cfg.m * step as f64 / steps as f64;
+        let step_cfg = cfg.with_scale(cfg.h / 2.0, m_scale);
+        let inst = Instance::build(&step_cfg, &TuningConfig::key_time())?;
+        let p = &inst.params;
+        let x = format!("{} versions", inst.history.archive.transactions.len());
+        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let m = measure(&step_cfg, || {
+                key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(SysTime(2)), AppSpec::All)
+            })?;
+            series[i].push(x.clone(), m.micros());
+        }
+    }
+    for s in series {
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.5.4): indexed key access stays near-constant for A, C \
+         and D; System B grows with the current table because of the vertical-partition \
+         reconstruction.",
+    );
+    Ok(report)
+}
+
+/// Fig 13: load-batch size impact on a key-range query.
+pub fn fig13(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut report = FigureReport::new("fig13", "Key-Range for Variable Batch Size", "µs");
+    let mut series: Vec<Series> = SystemKind::ALL
+        .into_iter()
+        .map(|k| Series::new(format!("{k} - B-Tree")))
+        .collect();
+    for batch in [1usize, 4, 16, 64] {
+        let mut step_cfg = *cfg;
+        step_cfg.batch_size = batch;
+        let inst = Instance::build(&step_cfg, &TuningConfig::key_time())?;
+        let p = &inst.params;
+        let x = format!("batch {batch}");
+        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let m = measure(&step_cfg, || {
+                key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
+            })?;
+            series[i].push(x.clone(), m.micros());
+        }
+    }
+    for s in series {
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.5.4): batching reduces the number of transactions and \
+         distinct versions; System B is affected the most.",
+    );
+    Ok(report)
+}
+
+/// Fig 14: range-timeslice queries R1–R7 (smaller scale, as in the paper).
+pub fn fig14(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig14", "Range Timeslice (R1–R7)", "µs");
+    let p = &inst.params;
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(kind.name());
+        let m = measure(cfg, || tt::t5_all(&ctx))?;
+        s.push("ALL (yardstick)", m.micros());
+        let m = measure(cfg, || range::r1(&ctx))?;
+        s.push("R1", m.micros());
+        let m = measure(cfg, || range::r2(&ctx, p.sys_now))?;
+        s.push("R2", m.micros());
+        let m = measure(cfg, || range::r3a_naive(&ctx, SysSpec::Current))?;
+        s.push("R3a (naive temporal agg)", m.micros());
+        let m = measure(cfg, || range::r3b_naive(&ctx, SysSpec::Current))?;
+        s.push("R3b (naive temporal agg)", m.micros());
+        let m = measure(cfg, || range::r3a_sweep(&ctx, SysSpec::Current))?;
+        s.push("R3a (event sweep)", m.micros());
+        let m = measure(cfg, || range::r4(&ctx))?;
+        s.push("R4", m.micros());
+        let m = measure(cfg, || range::r5(&ctx, 5_000.0, 100_000.0))?;
+        s.push("R5 (temporal join)", m.micros());
+        let m = measure(cfg, || range::r6(&ctx, SysSpec::Current))?;
+        s.push("R6 (join + temporal agg)", m.micros());
+        let m = measure(cfg, || range::r7(&ctx))?;
+        s.push("R7", m.micros());
+        report.add(s);
+    }
+    report.note(
+        "Expected shape (paper §5.6): the naive SQL:2011 temporal aggregation (R3) costs \
+         orders of magnitude more than ALL; the event-sweep variant shows what a native \
+         operator would achieve.",
+    );
+    Ok(report)
+}
+
+/// Fig 15: the bitemporal dimension matrix B3.1–B3.11.
+pub fn fig15(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig15", "Bitemporal Dimensions (B3.1–B3.11)", "µs");
+    let p = inst.params.clone();
+    for (tuning, label) in [
+        (TuningConfig::none(), "no index"),
+        (TuningConfig::key_time(), "Indexed"),
+    ] {
+        inst.retune(&tuning)?;
+        for kind in SystemKind::ALL {
+            let ctx = Ctx::new(inst.engine(kind))?;
+            let mut s = Series::new(format!("{kind} - {label}"));
+            for variant in 1..=11u8 {
+                let m = measure(cfg, || {
+                    bitemporal::b3_variant(&ctx, variant, 55, p.app_mid, p.sys_initial)
+                })?;
+                s.push(format!("B3.{variant}"), m.micros());
+            }
+            report.add(s);
+        }
+    }
+    report.note(
+        "Expected shape (paper §5.7): without temporal join operators, correlation \
+         variants degrade into scans and overlap joins; indexes help only the selective \
+         point variants.",
+    );
+    Ok(report)
+}
+
+/// Fig 16 + §5.8: loading and update costs.
+pub fn fig16(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("fig16", "Loading Time per Scenario", "µs");
+    for (kind, load) in &inst.load_reports {
+        let mut median = Series::new(format!("{kind} Median"));
+        let mut p97 = Series::new(format!("{kind} 97th"));
+        for (scenario, _) in ScenarioKind::WEIGHTED {
+            if let Some(v) = load.median_nanos(Some(scenario)) {
+                median.push(scenario.name(), v as f64 / 1_000.0);
+            }
+            if let Some(v) = load.p97_nanos(Some(scenario)) {
+                p97.push(scenario.name(), v as f64 / 1_000.0);
+            }
+        }
+        report.add(median);
+        report.add(p97);
+    }
+    let mut totals = Series::new("Total load (ms)");
+    for ((kind, load), (_, initial)) in inst.load_reports.iter().zip(&inst.initial_load_nanos) {
+        totals.push(
+            kind.name(),
+            (initial + load.total_nanos) as f64 / 1_000_000.0,
+        );
+    }
+    // System D additionally supports a pre-stamped bulk load (§5.8).
+    let t0 = std::time::Instant::now();
+    let mut bulk = bitempo_engine::build_engine(SystemKind::D);
+    bitempo_histgen::loader::bulk_load(bulk.as_mut(), &inst.history.db)?;
+    totals.push("System D (bulk load)", t0.elapsed().as_nanos() as f64 / 1_000_000.0);
+    report.add(totals);
+    report.note(
+        "Expected shape (paper §5.8): System B's 97th percentile is far above its median \
+         (undo-log drains); System D's bulk load beats every transactional replay.",
+    );
+    Ok(report)
+}
+
+/// Table 1: observed scenario frequencies against the specification.
+pub fn table1(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let stats = &inst.history.stats;
+    let total: u64 = stats.scenario_counts.iter().sum();
+    let mut report = FigureReport::new("table1", "Update Scenario Frequencies", "probability");
+    let mut spec = Series::new("Specified");
+    let mut observed = Series::new("Observed");
+    for (kind, p) in ScenarioKind::WEIGHTED {
+        spec.push(kind.name(), p);
+        observed.push(
+            kind.name(),
+            stats.scenario_counts[kind.tag() as usize] as f64 / total.max(1) as f64,
+        );
+    }
+    report.add(spec);
+    report.add(observed);
+    report.note("Fallbacks shift a little mass toward New Order when preconditions fail.");
+    Ok(report)
+}
+
+/// Table 2: average operations per table.
+pub fn table2(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let stats = &inst.history.stats;
+    let mut report = FigureReport::new("table2", "Operations per Table", "count");
+    type ColumnGetter<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
+    let columns: [(&str, ColumnGetter<'_>); 7] = [
+        ("App.Time Insert", Box::new(|i| stats.ops[i].app_insert as f64)),
+        ("App.Time Update", Box::new(|i| stats.ops[i].app_update as f64)),
+        ("Non-temp. Insert", Box::new(|i| stats.ops[i].nontemp_insert as f64)),
+        ("Non-temp. Update", Box::new(|i| stats.ops[i].nontemp_update as f64)),
+        ("Delete", Box::new(|i| stats.ops[i].delete as f64)),
+        ("History growth ratio", Box::new(|i| stats.growth_ratio(i))),
+        (
+            "Overwrite App.Time",
+            Box::new(|i| if stats.overwrites_app_time(i) { 1.0 } else { 0.0 }),
+        ),
+    ];
+    for (label, get) in &columns {
+        let mut s = Series::new(*label);
+        for (i, name) in stats.tables.iter().enumerate() {
+            s.push(name.to_uppercase(), get(i));
+        }
+        report.add(s);
+    }
+    report.note(format!("{stats}"));
+    Ok(report)
+}
+
+/// §5.2: the architecture analysis.
+pub fn architecture(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut report = FigureReport::new("arch", "Architecture Analysis (§5.2)", "rows");
+    for kind in SystemKind::ALL {
+        let engine = inst.engine(kind);
+        let mut s = Series::new(kind.name());
+        for name in bitempo_dbgen::TPCH_TABLES {
+            let id = engine.resolve(name)?;
+            let st = engine.stats(id);
+            s.push(format!("{name} current"), st.current_rows as f64);
+            s.push(format!("{name} history"), st.history_rows as f64);
+        }
+        report.add(s);
+        report.note(format!("{}: {}", kind.name(), engine.architecture()));
+    }
+    Ok(report)
+}
+
+/// All experiment ids in run order.
+pub const ALL_EXPERIMENTS: [&str; 17] = [
+    "table1", "table2", "arch", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];
+
+/// Runs one experiment by id (fig15/fig16 run at small scale
+/// automatically; they are included by `run_all`).
+pub fn run_experiment(id: &str, cfg: &BenchConfig) -> Result<FigureReport> {
+    match id {
+        "table1" => table1(cfg),
+        "table2" => table2(cfg),
+        "arch" => architecture(cfg),
+        "fig2" => fig2(cfg),
+        "fig3" => fig3(cfg),
+        "fig4" => fig4(cfg),
+        "fig5" => fig5(cfg),
+        "fig6" => fig6(cfg),
+        "fig7a" => fig7(cfg, false),
+        "fig7b" => fig7(cfg, true),
+        "fig8" => fig8(cfg),
+        "fig9" => fig9(cfg),
+        "fig10" => fig10(cfg),
+        "fig11" => fig11(cfg),
+        "fig12" => fig12(cfg),
+        "fig13" => fig13(cfg),
+        "fig14" => fig14(&BenchConfig::small_scale()),
+        "fig15" => fig15(&BenchConfig::small_scale()),
+        "fig16" => fig16(cfg),
+        other => Err(bitempo_core::Error::Invalid(format!(
+            "unknown experiment {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_cfg() -> BenchConfig {
+        BenchConfig {
+            h: 0.001,
+            m: 0.0003,
+            repetitions: 1,
+            discard: 0,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn table_experiments_run() {
+        let r = table1(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 2);
+        let r = table2(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 7);
+        let r = architecture(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 4);
+    }
+
+    #[test]
+    fn fig2_and_fig6_shapes() {
+        let r = fig2(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 4, "one series per system");
+        assert_eq!(r.series[0].points.len(), 5);
+        let r = fig6(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 3, "A, B, C only");
+    }
+
+    #[test]
+    fn unknown_experiment_rejected() {
+        assert!(run_experiment("fig99", &micro_cfg()).is_err());
+    }
+}

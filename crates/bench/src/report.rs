@@ -1,0 +1,163 @@
+//! Figure/table data structures and markdown rendering.
+
+use std::fmt;
+
+/// One measured series (one line/bar group in a paper figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label, e.g. `"System A - no index"`.
+    pub label: String,
+    /// `(x label, value)` points. Values are latencies in microseconds
+    /// unless the report's `unit` says otherwise.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, value: f64) {
+        self.points.push((x.into(), value));
+    }
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Experiment id (e.g. `fig2`, `table2`).
+    pub id: String,
+    /// Paper caption.
+    pub title: String,
+    /// Measurement unit of the values.
+    pub unit: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form observations appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, unit: impl Into<String>) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            unit: unit.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// All x labels, in first-seen order across series.
+    fn x_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !labels.contains(x) {
+                    labels.push(x.clone());
+                }
+            }
+        }
+        labels
+    }
+
+    /// Renders a markdown table: one row per x label, one column per series.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("Values in {}.\n\n", self.unit));
+        let labels = self.x_labels();
+        out.push('|');
+        out.push_str(" |");
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push('|');
+        out.push_str("---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for x in &labels {
+            out.push_str(&format!("| {x} |"));
+            for s in &self.series {
+                match s.points.iter().find(|(px, _)| px == x) {
+                    Some((_, v)) if v.is_finite() => {
+                        if v.abs() < 10.0 {
+                            out.push_str(&format!(" {v:.3} |"));
+                        } else {
+                            out.push_str(&format!(" {v:.1} |"));
+                        }
+                    }
+                    _ => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = FigureReport::new("fig2", "Basic Time Travel", "µs");
+        let mut a = Series::new("System A");
+        a.push("T1 app", 10.0);
+        a.push("T1 sys", 20.5);
+        let mut b = Series::new("System B");
+        b.push("T1 app", 30.0);
+        r.add(a);
+        r.add(b);
+        r.note("B pays for reconstruction.");
+        let md = r.to_markdown();
+        assert!(md.contains("### fig2 — Basic Time Travel"));
+        assert!(md.contains("| T1 app | 10.0 | 30.0 |"));
+        assert!(md.contains("| T1 sys | 20.5 | — |"), "missing point renders as dash:\n{md}");
+        assert!(md.contains("> B pays for reconstruction."));
+    }
+
+    #[test]
+    fn x_labels_preserve_order() {
+        let mut r = FigureReport::new("x", "y", "µs");
+        let mut s1 = Series::new("s1");
+        s1.push("b", 1.0);
+        s1.push("a", 2.0);
+        let mut s2 = Series::new("s2");
+        s2.push("c", 3.0);
+        s2.push("a", 4.0);
+        r.add(s1);
+        r.add(s2);
+        assert_eq!(r.x_labels(), vec!["b", "a", "c"]);
+    }
+}

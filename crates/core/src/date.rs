@@ -1,0 +1,138 @@
+//! Proleptic-Gregorian civil date arithmetic.
+//!
+//! Application time in TPC-BiH is date-granular (the TPC-H date columns it is
+//! derived from are `DATE`s). We represent dates as a day count since the
+//! Unix epoch (1970-01-01 = day 0), which makes period arithmetic integral
+//! and branch-free. The conversions below are the classic Howard Hinnant
+//! `days_from_civil` / `civil_from_days` algorithms, valid far beyond the
+//! TPC-H range (1992-01-01 .. 1998-12-31).
+
+/// Days since 1970-01-01 for the given civil date.
+///
+/// Months are 1-based, days are 1-based. Dates before the epoch yield
+/// negative numbers.
+pub const fn days_from_civil(year: i32, month: u32, day: u32) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date `(year, month, day)` for the given day count since 1970-01-01.
+pub const fn civil_from_days(days: i64) -> (i32, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m, d)
+}
+
+/// True if `year` is a Gregorian leap year.
+pub const fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month of the given year.
+pub const fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month out of range"),
+    }
+}
+
+/// Parses `YYYY-MM-DD` into a day count. Returns `None` on malformed input.
+pub fn parse_iso_date(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s.get(0..4)?.parse().ok()?;
+    let month: u32 = s.get(5..7)?.parse().ok()?;
+    let day: u32 = s.get(8..10)?.parse().ok()?;
+    if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+        return None;
+    }
+    Some(days_from_civil(year, month, day))
+}
+
+/// Formats a day count as `YYYY-MM-DD`.
+pub fn format_iso_date(days: i64) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn tpch_date_range() {
+        // TPC-H orderdate domain: 1992-01-01 .. 1998-08-02.
+        let start = days_from_civil(1992, 1, 1);
+        let end = days_from_civil(1998, 8, 2);
+        assert_eq!(start, 8035);
+        assert_eq!(end - start, 2405);
+    }
+
+    #[test]
+    fn round_trip_across_decades() {
+        for days in (-200_000..200_000).step_by(97) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "day {days} ({y}-{m}-{d})");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1997));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(1997, 12), 31);
+    }
+
+    #[test]
+    fn iso_parse_and_format() {
+        assert_eq!(parse_iso_date("1992-01-01"), Some(8035));
+        assert_eq!(format_iso_date(8035), "1992-01-01");
+        assert_eq!(parse_iso_date("1992-13-01"), None);
+        assert_eq!(parse_iso_date("1992-02-30"), None);
+        assert_eq!(parse_iso_date("garbage"), None);
+        assert_eq!(parse_iso_date("1992/01/01"), None);
+    }
+
+    #[test]
+    fn consecutive_days_are_consecutive() {
+        let mut prev = days_from_civil(1991, 12, 31);
+        for &(y, m, d) in &[(1992, 1, 1), (1992, 1, 2), (1992, 1, 3)] {
+            let cur = days_from_civil(y, m, d);
+            assert_eq!(cur, prev + 1);
+            prev = cur;
+        }
+    }
+}

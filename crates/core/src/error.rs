@@ -1,0 +1,97 @@
+//! Shared error type for the whole workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the bitemporal engines, generators and query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A named table does not exist.
+    UnknownTable(String),
+    /// A named column does not exist in the referenced schema.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Primary-key (possibly temporal) uniqueness violation.
+    DuplicateKey(String),
+    /// A DML statement referenced a key that has no visible version.
+    KeyNotFound(String),
+    /// An operation received a value of the wrong [`crate::DataType`].
+    TypeMismatch {
+        /// What the schema or operator required.
+        expected: String,
+        /// What was actually supplied.
+        found: String,
+    },
+    /// A period with `start >= end` (empty or inverted) where a non-empty
+    /// period is required.
+    EmptyPeriod(String),
+    /// The requested point in system time precedes the retention window
+    /// (models Oracle's Flashback retention limit, paper §2.4).
+    BeyondRetention(String),
+    /// A temporal feature is not supported by the engine under test
+    /// (e.g. native application time on System C, paper §2.6).
+    Unsupported(String),
+    /// Attempt to modify data inside a transaction that was already closed.
+    TransactionClosed,
+    /// Archive (de)serialization failure.
+    Archive(String),
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::TableExists(t) => write!(f, "table already exists: {t}"),
+            Error::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            Error::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::EmptyPeriod(p) => write!(f, "empty or inverted period: {p}"),
+            Error::BeyondRetention(t) => write!(f, "system time beyond retention: {t}"),
+            Error::Unsupported(m) => write!(f, "unsupported temporal feature: {m}"),
+            Error::TransactionClosed => write!(f, "transaction already closed"),
+            Error::Archive(m) => write!(f, "archive error: {m}"),
+            Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Archive(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = Error::TypeMismatch {
+            expected: "Int".into(),
+            found: "Str".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected Int, found Str");
+        assert_eq!(
+            Error::UnknownTable("orders".into()).to_string(),
+            "unknown table: orders"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Archive(_)));
+    }
+}

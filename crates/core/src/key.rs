@@ -1,0 +1,120 @@
+//! Composite primary keys.
+
+use crate::{Row, Value};
+use std::fmt;
+
+/// A (possibly composite) primary-key value extracted from a row.
+///
+/// TPC-BiH keys are at most two integers (`PARTSUPP(partkey, suppkey)`,
+/// `LINEITEM(orderkey, linenumber)`); the inline representation avoids a
+/// heap allocation per key for those and falls back to a vector for wider
+/// keys created by tests.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Key {
+    /// Single-column integer key (the common case).
+    Int(i64),
+    /// Two-column integer key.
+    Int2(i64, i64),
+    /// Anything else.
+    General(Vec<Value>),
+}
+
+impl Key {
+    /// Extracts the key for `key_columns` from `row`.
+    pub fn from_row(row: &Row, key_columns: &[usize]) -> Key {
+        match key_columns {
+            [a] => {
+                if let Value::Int(i) = row.get(*a) {
+                    return Key::Int(*i);
+                }
+                Key::General(vec![row.get(*a).clone()])
+            }
+            [a, b] => {
+                if let (Value::Int(x), Value::Int(y)) = (row.get(*a), row.get(*b)) {
+                    return Key::Int2(*x, *y);
+                }
+                Key::General(vec![row.get(*a).clone(), row.get(*b).clone()])
+            }
+            cols => Key::General(cols.iter().map(|&i| row.get(i).clone()).collect()),
+        }
+    }
+
+    /// The key as a vector of values (for index probes).
+    pub fn to_values(&self) -> Vec<Value> {
+        match self {
+            Key::Int(a) => vec![Value::Int(*a)],
+            Key::Int2(a, b) => vec![Value::Int(*a), Value::Int(*b)],
+            Key::General(v) => v.clone(),
+        }
+    }
+
+    /// Convenience constructor for single-integer keys.
+    pub fn int(v: i64) -> Key {
+        Key::Int(v)
+    }
+
+    /// Convenience constructor for two-integer keys.
+    pub fn int2(a: i64, b: i64) -> Key {
+        Key::Int2(a, b)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Int(a) => write!(f, "{a}"),
+            Key::Int2(a, b) => write!(f, "({a}, {b})"),
+            Key::General(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_specializes_int_keys() {
+        let row = Row::new(vec![Value::Int(7), Value::str("x"), Value::Int(9)]);
+        assert_eq!(Key::from_row(&row, &[0]), Key::Int(7));
+        assert_eq!(Key::from_row(&row, &[0, 2]), Key::Int2(7, 9));
+        assert_eq!(
+            Key::from_row(&row, &[1]),
+            Key::General(vec![Value::str("x")])
+        );
+    }
+
+    #[test]
+    fn round_trip_to_values() {
+        assert_eq!(Key::int(3).to_values(), vec![Value::Int(3)]);
+        assert_eq!(
+            Key::int2(3, 4).to_values(),
+            vec![Value::Int(3), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Key::int(3).to_string(), "3");
+        assert_eq!(Key::int2(3, 4).to_string(), "(3, 4)");
+    }
+
+    #[test]
+    fn keys_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Key::int(1));
+        set.insert(Key::int2(1, 2));
+        assert!(set.contains(&Key::int(1)));
+        assert!(!set.contains(&Key::int(2)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Table schemas with temporal annotations.
+//!
+//! A [`TableDef`] describes the *logical* bitemporal table: its value
+//! columns, primary key, and temporal class. The physical layout (current /
+//! history partitioning, vertical splits, columnar storage) is entirely the
+//! engine's business — that separation is the point of the benchmark.
+
+use crate::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Data types storable in a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Double,
+    /// Variable-length string.
+    Str,
+    /// Application-time date.
+    Date,
+    /// System-time timestamp (only appears in scan outputs and generated
+    /// metadata columns, never in user value columns).
+    SysTime,
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower case by convention, e.g. `o_orderkey`).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns with name lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Creates a schema from column definitions.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema {
+            columns: columns.into(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Index of the column named `name`.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// A new schema that is `self` followed by `other`.
+    #[must_use]
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.to_vec();
+        cols.extend_from_slice(&other.columns);
+        Schema::new(cols)
+    }
+
+    /// A new schema with only the listed columns.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+}
+
+/// How a table participates in the two time dimensions (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalClass {
+    /// No versioning at all (REGION, NATION).
+    NonTemporal,
+    /// System time only; the system time *also serves as* application time —
+    /// the paper's "degenerated" table (SUPPLIER).
+    Degenerate,
+    /// Full bitemporal: system time plus one native application time
+    /// (CUSTOMER, PART, PARTSUPP, LINEITEM). ORDERS additionally carries a
+    /// second application time as plain date columns (`receivable_time_*`),
+    /// exactly as the paper prescribes for systems with single-app-time
+    /// support.
+    Bitemporal,
+}
+
+/// Opaque handle to a created table inside an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The logical definition of a (possibly bitemporal) table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Value columns (excluding period boundary columns; those are implicit).
+    pub schema: Schema,
+    /// Indices (into `schema`) of the primary-key columns.
+    pub key: Vec<usize>,
+    /// Temporal class.
+    pub temporal: TemporalClass,
+    /// Human-readable name of the native application-time dimension, if the
+    /// class has one (e.g. `active_time` for ORDERS, `visible_time` for
+    /// CUSTOMER). Purely descriptive; queries address periods positionally.
+    pub app_time_name: Option<String>,
+}
+
+impl TableDef {
+    /// Creates a table definition. Validates that key columns exist.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        key: Vec<usize>,
+        temporal: TemporalClass,
+        app_time_name: Option<&str>,
+    ) -> Result<TableDef> {
+        let name = name.into();
+        for &k in &key {
+            if k >= schema.arity() {
+                return Err(Error::Invalid(format!(
+                    "key column {k} out of range for table {name}"
+                )));
+            }
+        }
+        if temporal == TemporalClass::Bitemporal && app_time_name.is_none() {
+            return Err(Error::Invalid(format!(
+                "bitemporal table {name} needs an application-time name"
+            )));
+        }
+        Ok(TableDef {
+            name,
+            schema,
+            key,
+            temporal,
+            app_time_name: app_time_name.map(str::to_string),
+        })
+    }
+
+    /// True if the table versions rows along system time at all.
+    pub fn has_system_time(&self) -> bool {
+        self.temporal != TemporalClass::NonTemporal
+    }
+
+    /// True if the table has a native application-time dimension.
+    pub fn has_app_time(&self) -> bool {
+        self.temporal == TemporalClass::Bitemporal
+    }
+
+    /// The schema of scan outputs: value columns, then (if applicable)
+    /// `app_start`/`app_end`, then `sys_start`/`sys_end`.
+    pub fn scan_schema(&self) -> Schema {
+        let mut cols = self.schema.columns().to_vec();
+        if self.has_app_time() {
+            cols.push(Column::new("app_start", DataType::Date));
+            cols.push(Column::new("app_end", DataType::Date));
+        }
+        if self.has_system_time() {
+            cols.push(Column::new("sys_start", DataType::SysTime));
+            cols.push(Column::new("sys_end", DataType::SysTime));
+        }
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("price", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.col("name").unwrap(), 1);
+        assert!(matches!(s.col("missing"), Err(Error::UnknownColumn(_))));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column(2).dtype, DataType::Double);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = schema();
+        let c = s.concat(&s);
+        assert_eq!(c.arity(), 6);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.column(0).name, "price");
+        assert_eq!(p.column(1).name, "id");
+    }
+
+    #[test]
+    fn table_def_validation() {
+        let ok = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"));
+        assert!(ok.is_ok());
+        let bad_key = TableDef::new("t", schema(), vec![9], TemporalClass::NonTemporal, None);
+        assert!(bad_key.is_err());
+        let missing_app = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, None);
+        assert!(missing_app.is_err());
+    }
+
+    #[test]
+    fn scan_schema_appends_periods() {
+        let bt = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"))
+            .unwrap();
+        let names: Vec<_> = bt
+            .scan_schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["id", "name", "price", "app_start", "app_end", "sys_start", "sys_end"]
+        );
+
+        let nt = TableDef::new("t", schema(), vec![0], TemporalClass::NonTemporal, None).unwrap();
+        assert_eq!(nt.scan_schema().arity(), 3);
+
+        let deg = TableDef::new("t", schema(), vec![0], TemporalClass::Degenerate, None).unwrap();
+        let names: Vec<_> = deg
+            .scan_schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(names, vec!["id", "name", "price", "sys_start", "sys_end"]);
+    }
+
+    #[test]
+    fn temporal_class_predicates() {
+        let bt = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"))
+            .unwrap();
+        assert!(bt.has_app_time() && bt.has_system_time());
+        let deg = TableDef::new("t", schema(), vec![0], TemporalClass::Degenerate, None).unwrap();
+        assert!(!deg.has_app_time() && deg.has_system_time());
+        let nt = TableDef::new("t", schema(), vec![0], TemporalClass::NonTemporal, None).unwrap();
+        assert!(!nt.has_app_time() && !nt.has_system_time());
+    }
+}

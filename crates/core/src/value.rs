@@ -1,0 +1,291 @@
+//! The dynamically-typed cell value used by rows, keys and expressions.
+
+use crate::time::{AppDate, SysTime};
+use crate::{DataType, Error};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single cell value.
+///
+/// Strings are reference-counted so that copying rows between the current
+/// and history partitions of an engine does not reallocate the payload —
+/// the same trick every system in the paper plays with its own buffers.
+/// Floats order and hash by [`f64::total_cmp`] semantics, which gives the
+/// deterministic sort orders the cross-engine equivalence oracle needs.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// SQL NULL.
+    #[default]
+    Null,
+    /// 64-bit integer (covers all TPC-H key and quantity columns).
+    Int(i64),
+    /// 64-bit float (prices, discounts; TPC-H decimals are exact in f64
+    /// at the scales generated, and all engines use the same representation).
+    Double(f64),
+    /// Variable-length string.
+    Str(Arc<str>),
+    /// An application-time date.
+    Date(AppDate),
+    /// A system-time timestamp (exposed to queries e.g. by K1's
+    /// `sys_time_start` output column).
+    SysTime(SysTime),
+}
+
+impl Value {
+    /// Constructs a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The [`DataType`] of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+            Value::SysTime(_) => Some(DataType::SysTime),
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, or a type error.
+    pub fn as_int(&self) -> crate::Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(type_err("Int", other)),
+        }
+    }
+
+    /// The float payload (ints widen), or a type error.
+    pub fn as_double(&self) -> crate::Result<f64> {
+        match self {
+            Value::Double(d) => Ok(*d),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(type_err("Double", other)),
+        }
+    }
+
+    /// The string payload, or a type error.
+    pub fn as_str(&self) -> crate::Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(type_err("Str", other)),
+        }
+    }
+
+    /// The date payload, or a type error.
+    pub fn as_date(&self) -> crate::Result<AppDate> {
+        match self {
+            Value::Date(d) => Ok(*d),
+            other => Err(type_err("Date", other)),
+        }
+    }
+
+    /// The system-time payload, or a type error.
+    pub fn as_sys_time(&self) -> crate::Result<SysTime> {
+        match self {
+            Value::SysTime(t) => Ok(*t),
+            other => Err(type_err("SysTime", other)),
+        }
+    }
+
+    /// Rank used to order values of different types (NULLs first, then by
+    /// type tag). Only meaningful for canonical result ordering.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 2,
+            Value::Str(_) => 3,
+            Value::Date(_) => 4,
+            Value::SysTime(_) => 5,
+        }
+    }
+}
+
+fn type_err(expected: &str, found: &Value) -> Error {
+    Error::TypeMismatch {
+        expected: expected.to_string(),
+        found: found
+            .data_type()
+            .map_or_else(|| "Null".to_string(), |t| format!("{t:?}")),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            // Mixed numerics compare numerically so that expression results
+            // (Int) and stored values (Double) group together.
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (SysTime(a), SysTime(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                // Hash ints as doubles when they are integral-valued so that
+                // Int(2) and Double(2.0) (which compare equal) hash equally.
+                state.write_u8(1);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                state.write_u8(1);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(4);
+                d.0.hash(state);
+            }
+            Value::SysTime(t) => {
+                state.write_u8(5);
+                t.0.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d:.2}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::SysTime(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+impl From<AppDate> for Value {
+    fn from(v: AppDate) -> Self {
+        Value::Date(v)
+    }
+}
+impl From<SysTime> for Value {
+    fn from(v: SysTime) -> Self {
+        Value::SysTime(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Date(AppDate(1)) < Value::Date(AppDate(2)));
+        assert!(Value::Double(1.5) < Value::Double(2.5));
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash() {
+        assert_eq!(Value::Int(2), Value::Double(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Double(2.0)));
+        assert!(Value::Int(2) < Value::Double(2.5));
+        assert!(Value::Double(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn nulls_order_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert_eq!(Value::Int(7).as_double().unwrap(), 7.0);
+        assert!(Value::str("x").as_int().is_err());
+        assert!(Value::Null.as_date().is_err());
+        assert_eq!(
+            Value::SysTime(SysTime(3)).as_sys_time().unwrap(),
+            SysTime(3)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Double(1.5).to_string(), "1.50");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(
+            Value::Date(AppDate::from_ymd(1995, 1, 2)).to_string(),
+            "1995-01-02"
+        );
+    }
+
+    #[test]
+    fn nan_totally_ordered() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(f64::INFINITY) < nan);
+    }
+}

@@ -1,0 +1,121 @@
+//! # bitempo-dbgen
+//!
+//! A deterministic reimplementation of the TPC-H `dbgen` initial population,
+//! extended with the TPC-BiH temporal columns (paper §3.1, Figure 1).
+//!
+//! The output of this crate is *version 0* of the benchmark database: the
+//! state loaded before the history generator (`bitempo-histgen`) starts
+//! executing update scenarios. Application-time periods are derived from the
+//! time attributes already present in the data — `shipdate`, `receiptdate`,
+//! `orderdate` — exactly as the paper prescribes ("All time information is
+//! derived from existing values present in the data").
+//!
+//! Scaling follows TPC-H: `h = 1.0` corresponds to the standard 1 GB
+//! population (150 k customers, 1.5 M orders, ~6 M lineitems). The benchmark
+//! runs here use laptop-scale fractions; every cardinality is linear in `h`.
+//!
+//! Determinism: every row draws from its own PCG substream keyed by
+//! `(table, primary key)`, so the same `(seed, h)` produces bit-identical
+//! data regardless of generation order.
+
+pub mod schema;
+pub mod tables;
+pub mod text;
+
+pub use schema::{col, table_defs, TPCH_TABLES};
+pub use tables::{GeneratedTable, TpchData};
+
+use bitempo_core::AppDate;
+
+/// Default master seed (spells "TPCBIH" if you squint).
+pub const DEFAULT_SEED: u64 = 0x7BC_B14;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// TPC-H scale factor (`h`); 1.0 ≈ the 1 GB population.
+    pub h: f64,
+    /// Master seed for all substreams.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// A laptop-scale default (h = 0.001: 150 customers, ~6 k lineitems).
+    pub fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            h: 0.001,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// A configuration with the given scale factor and the default seed.
+    pub fn with_h(h: f64) -> ScaleConfig {
+        ScaleConfig {
+            h,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Cardinality of a base table whose TPC-H size is `per_unit` rows at
+    /// scale 1.0 (minimum 1).
+    pub fn rows(&self, per_unit: u64) -> u64 {
+        ((per_unit as f64 * self.h).round() as u64).max(1)
+    }
+
+    /// Number of suppliers.
+    pub fn suppliers(&self) -> u64 {
+        self.rows(10_000)
+    }
+    /// Number of customers.
+    pub fn customers(&self) -> u64 {
+        self.rows(150_000)
+    }
+    /// Number of parts.
+    pub fn parts(&self) -> u64 {
+        self.rows(200_000)
+    }
+    /// Number of orders (10 per customer, as in TPC-H).
+    pub fn orders(&self) -> u64 {
+        self.customers() * 10
+    }
+}
+
+/// First day of the TPC-H universe (1992-01-01).
+pub const START_DATE: AppDate = AppDate::from_ymd(1992, 1, 1);
+/// Last order date (1998-08-02).
+pub const LAST_ORDER_DATE: AppDate = AppDate::from_ymd(1998, 8, 2);
+/// Last day of the TPC-H universe (1998-12-31).
+pub const END_DATE: AppDate = AppDate::from_ymd(1998, 12, 31);
+
+/// Generates the full version-0 population.
+pub fn generate(config: &ScaleConfig) -> TpchData {
+    tables::generate(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_cardinalities() {
+        let c = ScaleConfig::with_h(1.0);
+        assert_eq!(c.suppliers(), 10_000);
+        assert_eq!(c.customers(), 150_000);
+        assert_eq!(c.parts(), 200_000);
+        assert_eq!(c.orders(), 1_500_000);
+        let tiny = ScaleConfig::tiny();
+        assert_eq!(tiny.suppliers(), 10);
+        assert_eq!(tiny.customers(), 150);
+        assert_eq!(tiny.orders(), 1_500);
+        // Cardinalities never drop to zero.
+        let nano = ScaleConfig::with_h(0.000001);
+        assert_eq!(nano.suppliers(), 1);
+    }
+
+    #[test]
+    fn date_constants() {
+        assert_eq!(START_DATE.to_string(), "1992-01-01");
+        assert_eq!(LAST_ORDER_DATE.to_string(), "1998-08-02");
+        assert!(START_DATE < LAST_ORDER_DATE && LAST_ORDER_DATE < END_DATE);
+    }
+}

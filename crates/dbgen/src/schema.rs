@@ -1,0 +1,286 @@
+//! The TPC-BiH logical schema (paper Figure 1): TPC-H plus temporal columns.
+//!
+//! Temporal properties per table:
+//!
+//! | Table | Class | Application time |
+//! |---|---|---|
+//! | REGION, NATION | non-temporal | — |
+//! | SUPPLIER | degenerate (system time doubles as app time) | — |
+//! | PART | bitemporal | `availability_time` |
+//! | PARTSUPP | bitemporal | `validity_time` |
+//! | CUSTOMER | bitemporal | `visible_time` |
+//! | ORDERS | bitemporal, **two** app times | `active_time` native; `receivable_time` as plain date columns |
+//! | LINEITEM | bitemporal | `active_time` |
+//!
+//! ORDERS' second application time is stored in plain `o_receivable_start` /
+//! `o_receivable_end` columns, the paper's prescription for engines limited
+//! to one native application time per table.
+
+use bitempo_core::{Column, DataType, Schema, TableDef, TemporalClass};
+
+/// The eight table names in load order (respecting foreign keys).
+pub const TPCH_TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// Column index constants, one module per table, so workload code reads
+/// `col::orders::TOTALPRICE` instead of magic numbers.
+pub mod col {
+    #![allow(missing_docs)]
+
+    pub mod region {
+        pub const REGIONKEY: usize = 0;
+        pub const NAME: usize = 1;
+    }
+    pub mod nation {
+        pub const NATIONKEY: usize = 0;
+        pub const NAME: usize = 1;
+        pub const REGIONKEY: usize = 2;
+    }
+    pub mod supplier {
+        pub const SUPPKEY: usize = 0;
+        pub const NAME: usize = 1;
+        pub const ADDRESS: usize = 2;
+        pub const NATIONKEY: usize = 3;
+        pub const PHONE: usize = 4;
+        pub const ACCTBAL: usize = 5;
+        pub const COMMENT: usize = 6;
+    }
+    pub mod customer {
+        pub const CUSTKEY: usize = 0;
+        pub const NAME: usize = 1;
+        pub const ADDRESS: usize = 2;
+        pub const NATIONKEY: usize = 3;
+        pub const PHONE: usize = 4;
+        pub const ACCTBAL: usize = 5;
+        pub const MKTSEGMENT: usize = 6;
+    }
+    pub mod part {
+        pub const PARTKEY: usize = 0;
+        pub const NAME: usize = 1;
+        pub const MFGR: usize = 2;
+        pub const BRAND: usize = 3;
+        pub const TYPE: usize = 4;
+        pub const SIZE: usize = 5;
+        pub const CONTAINER: usize = 6;
+        pub const RETAILPRICE: usize = 7;
+    }
+    pub mod partsupp {
+        pub const PARTKEY: usize = 0;
+        pub const SUPPKEY: usize = 1;
+        pub const AVAILQTY: usize = 2;
+        pub const SUPPLYCOST: usize = 3;
+    }
+    pub mod orders {
+        pub const ORDERKEY: usize = 0;
+        pub const CUSTKEY: usize = 1;
+        pub const ORDERSTATUS: usize = 2;
+        pub const TOTALPRICE: usize = 3;
+        pub const ORDERDATE: usize = 4;
+        pub const ORDERPRIORITY: usize = 5;
+        pub const CLERK: usize = 6;
+        pub const SHIPPRIORITY: usize = 7;
+        pub const COMMENT: usize = 8;
+        pub const RECEIVABLE_START: usize = 9;
+        pub const RECEIVABLE_END: usize = 10;
+    }
+    pub mod lineitem {
+        pub const ORDERKEY: usize = 0;
+        pub const PARTKEY: usize = 1;
+        pub const SUPPKEY: usize = 2;
+        pub const LINENUMBER: usize = 3;
+        pub const QUANTITY: usize = 4;
+        pub const EXTENDEDPRICE: usize = 5;
+        pub const DISCOUNT: usize = 6;
+        pub const TAX: usize = 7;
+        pub const RETURNFLAG: usize = 8;
+        pub const LINESTATUS: usize = 9;
+        pub const SHIPDATE: usize = 10;
+        pub const COMMITDATE: usize = 11;
+        pub const RECEIPTDATE: usize = 12;
+        pub const SHIPINSTRUCT: usize = 13;
+        pub const SHIPMODE: usize = 14;
+    }
+}
+
+fn c(name: &str, dtype: DataType) -> Column {
+    Column::new(name, dtype)
+}
+
+/// Builds the eight [`TableDef`]s in load order.
+pub fn table_defs() -> Vec<TableDef> {
+    use DataType::*;
+    let region = TableDef::new(
+        "region",
+        Schema::new(vec![c("r_regionkey", Int), c("r_name", Str)]),
+        vec![0],
+        TemporalClass::NonTemporal,
+        None,
+    );
+    let nation = TableDef::new(
+        "nation",
+        Schema::new(vec![
+            c("n_nationkey", Int),
+            c("n_name", Str),
+            c("n_regionkey", Int),
+        ]),
+        vec![0],
+        TemporalClass::NonTemporal,
+        None,
+    );
+    let supplier = TableDef::new(
+        "supplier",
+        Schema::new(vec![
+            c("s_suppkey", Int),
+            c("s_name", Str),
+            c("s_address", Str),
+            c("s_nationkey", Int),
+            c("s_phone", Str),
+            c("s_acctbal", Double),
+            c("s_comment", Str),
+        ]),
+        vec![0],
+        TemporalClass::Degenerate,
+        None,
+    );
+    let customer = TableDef::new(
+        "customer",
+        Schema::new(vec![
+            c("c_custkey", Int),
+            c("c_name", Str),
+            c("c_address", Str),
+            c("c_nationkey", Int),
+            c("c_phone", Str),
+            c("c_acctbal", Double),
+            c("c_mktsegment", Str),
+        ]),
+        vec![0],
+        TemporalClass::Bitemporal,
+        Some("visible_time"),
+    );
+    let part = TableDef::new(
+        "part",
+        Schema::new(vec![
+            c("p_partkey", Int),
+            c("p_name", Str),
+            c("p_mfgr", Str),
+            c("p_brand", Str),
+            c("p_type", Str),
+            c("p_size", Int),
+            c("p_container", Str),
+            c("p_retailprice", Double),
+        ]),
+        vec![0],
+        TemporalClass::Bitemporal,
+        Some("availability_time"),
+    );
+    let partsupp = TableDef::new(
+        "partsupp",
+        Schema::new(vec![
+            c("ps_partkey", Int),
+            c("ps_suppkey", Int),
+            c("ps_availqty", Int),
+            c("ps_supplycost", Double),
+        ]),
+        vec![0, 1],
+        TemporalClass::Bitemporal,
+        Some("validity_time"),
+    );
+    let orders = TableDef::new(
+        "orders",
+        Schema::new(vec![
+            c("o_orderkey", Int),
+            c("o_custkey", Int),
+            c("o_orderstatus", Str),
+            c("o_totalprice", Double),
+            c("o_orderdate", Date),
+            c("o_orderpriority", Str),
+            c("o_clerk", Str),
+            c("o_shippriority", Int),
+            c("o_comment", Str),
+            c("o_receivable_start", Date),
+            c("o_receivable_end", Date),
+        ]),
+        vec![0],
+        TemporalClass::Bitemporal,
+        Some("active_time"),
+    );
+    let lineitem = TableDef::new(
+        "lineitem",
+        Schema::new(vec![
+            c("l_orderkey", Int),
+            c("l_partkey", Int),
+            c("l_suppkey", Int),
+            c("l_linenumber", Int),
+            c("l_quantity", Double),
+            c("l_extendedprice", Double),
+            c("l_discount", Double),
+            c("l_tax", Double),
+            c("l_returnflag", Str),
+            c("l_linestatus", Str),
+            c("l_shipdate", Date),
+            c("l_commitdate", Date),
+            c("l_receiptdate", Date),
+            c("l_shipinstruct", Str),
+            c("l_shipmode", Str),
+        ]),
+        vec![0, 3],
+        TemporalClass::Bitemporal,
+        Some("active_time"),
+    );
+    vec![
+        region, nation, supplier, customer, part, partsupp, orders, lineitem,
+    ]
+    .into_iter()
+    .map(|d| d.expect("static schema is valid"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables_in_fk_order() {
+        let defs = table_defs();
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, TPCH_TABLES);
+    }
+
+    #[test]
+    fn temporal_classes_match_paper() {
+        let defs = table_defs();
+        let class = |n: &str| defs.iter().find(|d| d.name == n).unwrap().temporal;
+        assert_eq!(class("region"), TemporalClass::NonTemporal);
+        assert_eq!(class("nation"), TemporalClass::NonTemporal);
+        assert_eq!(class("supplier"), TemporalClass::Degenerate);
+        for t in ["customer", "part", "partsupp", "orders", "lineitem"] {
+            assert_eq!(class(t), TemporalClass::Bitemporal, "{t}");
+        }
+    }
+
+    #[test]
+    fn column_constants_match_schema() {
+        let defs = table_defs();
+        let orders = defs.iter().find(|d| d.name == "orders").unwrap();
+        assert_eq!(orders.schema.col("o_totalprice").unwrap(), col::orders::TOTALPRICE);
+        assert_eq!(
+            orders.schema.col("o_receivable_end").unwrap(),
+            col::orders::RECEIVABLE_END
+        );
+        let li = defs.iter().find(|d| d.name == "lineitem").unwrap();
+        assert_eq!(li.schema.col("l_receiptdate").unwrap(), col::lineitem::RECEIPTDATE);
+        assert_eq!(li.key, vec![col::lineitem::ORDERKEY, col::lineitem::LINENUMBER]);
+        let ps = defs.iter().find(|d| d.name == "partsupp").unwrap();
+        assert_eq!(ps.key, vec![0, 1]);
+    }
+
+    #[test]
+    fn orders_second_app_time_is_plain_columns() {
+        let defs = table_defs();
+        let orders = defs.iter().find(|d| d.name == "orders").unwrap();
+        assert_eq!(orders.app_time_name.as_deref(), Some("active_time"));
+        // receivable_time lives in the value schema, queryable by any engine.
+        assert!(orders.schema.col("o_receivable_start").is_ok());
+    }
+}

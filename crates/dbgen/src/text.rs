@@ -1,0 +1,224 @@
+//! Word lists and string synthesis, following the TPC-H specification's
+//! vocabulary (abbreviated where the benchmark queries do not depend on it).
+
+use bitempo_core::Pcg32;
+
+/// TPC-H P_NAME color vocabulary (a representative subset of the 92 words;
+/// includes every color referenced by the TPC-H query parameters we use,
+/// e.g. Q9's "green" and Q20's "forest").
+pub const COLORS: [&str; 32] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "forest",
+    "frosted", "green", "honeydew", "hot", "indian",
+];
+
+/// P_TYPE syllables.
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// P_TYPE syllables (second position).
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// P_TYPE syllables (third position).
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// P_CONTAINER syllables.
+pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// P_CONTAINER syllables (second position).
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// O_ORDERPRIORITY values.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// C_MKTSEGMENT values.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// L_SHIPINSTRUCT values.
+pub const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// L_SHIPMODE values.
+pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// The 25 TPC-H nations with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Filler nouns for comment synthesis.
+const NOUNS: [&str; 12] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
+    "instructions", "dependencies", "excuses", "platelets",
+];
+const VERBS: [&str; 10] = [
+    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "engage", "wake",
+];
+const ADJECTIVES: [&str; 10] = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet", "ruthless", "final",
+];
+
+/// A part name: five distinct-ish colors joined by spaces (TPC-H 4.2.3).
+pub fn part_name(rng: &mut Pcg32) -> String {
+    let mut words = Vec::with_capacity(5);
+    for _ in 0..5 {
+        words.push(*rng.pick(&COLORS));
+    }
+    words.join(" ")
+}
+
+/// A pseudo-random address string (TPC-H uses a v-string; queries never
+/// inspect addresses, so a compact alphanumeric form suffices).
+pub fn address(rng: &mut Pcg32) -> String {
+    let len = rng.int_range(10, 25) as usize;
+    let mut s = String::with_capacity(len);
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+    for _ in 0..len {
+        let i = rng.int_range(0, ALPHABET.len() as i64 - 1) as usize;
+        s.push(ALPHABET[i] as char);
+    }
+    s
+}
+
+/// A TPC-H phone number: `CC-LLL-LLL-LLLL` with country code derived from
+/// the nation key (TPC-H 4.2.2.9), which Q22 depends on.
+pub fn phone(rng: &mut Pcg32, nationkey: i64) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        nationkey + 10,
+        rng.int_range(100, 999),
+        rng.int_range(100, 999),
+        rng.int_range(1000, 9999)
+    )
+}
+
+/// A filler comment of 2–4 clauses.
+// `*rng.pick(..)` converts `&&str` to `&str` for the argument position;
+// clippy's auto-deref suggestion does not apply to arguments.
+#[allow(clippy::explicit_auto_deref)]
+pub fn comment(rng: &mut Pcg32) -> String {
+    let clauses = rng.int_range(2, 4);
+    let mut s = String::new();
+    for i in 0..clauses {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(*rng.pick(&ADJECTIVES));
+        s.push(' ');
+        s.push_str(*rng.pick(&NOUNS));
+        s.push(' ');
+        s.push_str(*rng.pick(&VERBS));
+        s.push('.');
+    }
+    s
+}
+
+/// An ORDERS comment; a small fraction contains the "special requests"
+/// marker that Q13 filters on.
+pub fn order_comment(rng: &mut Pcg32) -> String {
+    let base = comment(rng);
+    if rng.chance(0.05) {
+        format!("{base} special deposits requests.")
+    } else {
+        base
+    }
+}
+
+/// A SUPPLIER comment; a small fraction contains the "Customer Complaints"
+/// marker that Q16 filters on.
+pub fn supplier_comment(rng: &mut Pcg32) -> String {
+    let base = comment(rng);
+    if rng.chance(0.02) {
+        format!("{base} Customer insults Complaints.")
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_name_has_five_words() {
+        let mut rng = Pcg32::new(1, 1);
+        let name = part_name(&mut rng);
+        assert_eq!(name.split(' ').count(), 5);
+        for w in name.split(' ') {
+            assert!(COLORS.contains(&w));
+        }
+    }
+
+    #[test]
+    fn phone_embeds_nation_code() {
+        let mut rng = Pcg32::new(2, 2);
+        let p = phone(&mut rng, 7);
+        assert!(p.starts_with("17-"), "{p}");
+        assert_eq!(p.split('-').count(), 4);
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        assert_eq!(NATIONS.len(), 25);
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+        assert_eq!(REGIONS.len(), 5);
+    }
+
+    #[test]
+    fn comment_markers_appear_with_configured_rates() {
+        let mut rng = Pcg32::new(3, 3);
+        let special = (0..2000)
+            .filter(|_| order_comment(&mut rng).contains("special"))
+            .count();
+        assert!((40..200).contains(&special), "special rate: {special}/2000");
+        let complaints = (0..2000)
+            .filter(|_| supplier_comment(&mut rng).contains("Complaints"))
+            .count();
+        assert!((10..100).contains(&complaints), "complaints rate: {complaints}/2000");
+    }
+
+    #[test]
+    fn q9_and_q20_colors_present() {
+        assert!(COLORS.contains(&"green"));
+        assert!(COLORS.contains(&"forest"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut a = Pcg32::new(9, 9);
+        let mut b = Pcg32::new(9, 9);
+        assert_eq!(part_name(&mut a), part_name(&mut b));
+        assert_eq!(address(&mut a), address(&mut b));
+        assert_eq!(comment(&mut a), comment(&mut b));
+    }
+}

@@ -1,0 +1,389 @@
+//! The engine-facing API: temporal scan specifications, DML, tuning.
+
+use bitempo_core::{
+    AppDate, AppPeriod, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, Value,
+};
+use std::ops::Bound;
+
+/// System-time dimension of a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysSpec {
+    /// *Implicit* current time: no `AS OF` in the query at all. Engines with
+    /// a current/history split touch only the current partition (paper
+    /// §5.3.4).
+    Current,
+    /// *Explicit* `AS OF t` — even for `t == now` the optimizers of all
+    /// three native systems failed to prune the history partition (Fig 6),
+    /// and so do we: `AsOf` always visits both partitions.
+    AsOf(SysTime),
+    /// `FROM .. TO ..`: all versions whose system period overlaps the range.
+    Range(SysPeriod),
+    /// Every version ever recorded.
+    All,
+}
+
+/// Application-time dimension of a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSpec {
+    /// `AS OF DATE d`.
+    AsOf(AppDate),
+    /// All versions whose application period overlaps the range.
+    Range(AppPeriod),
+    /// No application-time constraint.
+    All,
+}
+
+impl SysSpec {
+    /// True if a version with system period `sys` qualifies.
+    pub fn matches(&self, sys: &SysPeriod) -> bool {
+        match self {
+            SysSpec::Current => sys.is_current(),
+            SysSpec::AsOf(t) => sys.contains_point(*t),
+            SysSpec::Range(p) => sys.overlaps(p),
+            SysSpec::All => true,
+        }
+    }
+
+    /// True if this spec can be answered from the current partition alone.
+    /// Only the *implicit* form qualifies — reproducing Fig 6.
+    pub fn current_only(&self) -> bool {
+        matches!(self, SysSpec::Current)
+    }
+}
+
+impl AppSpec {
+    /// True if a version with application period `app` qualifies.
+    pub fn matches(&self, app: &AppPeriod) -> bool {
+        match self {
+            AppSpec::AsOf(d) => app.contains_point(*d),
+            AppSpec::Range(p) => app.overlaps(p),
+            AppSpec::All => true,
+        }
+    }
+}
+
+/// A pushable range predicate on a value column: `lo <= col <= hi` with the
+/// usual bound semantics. The engines may satisfy these from an index; they
+/// always apply them, so callers need no residual filtering for them.
+#[derive(Debug, Clone)]
+pub struct ColRange {
+    /// Column index into the table's *value* schema.
+    pub col: usize,
+    /// Lower bound.
+    pub lo: Bound<Value>,
+    /// Upper bound.
+    pub hi: Bound<Value>,
+}
+
+impl ColRange {
+    /// An equality predicate `col = v`.
+    pub fn eq(col: usize, v: Value) -> ColRange {
+        ColRange {
+            col,
+            lo: Bound::Included(v.clone()),
+            hi: Bound::Included(v),
+        }
+    }
+
+    /// A range predicate with both bounds optional-inclusive.
+    pub fn between(col: usize, lo: Bound<Value>, hi: Bound<Value>) -> ColRange {
+        ColRange { col, lo, hi }
+    }
+
+    /// True if `v` satisfies the range.
+    pub fn matches(&self, v: &Value) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Included(b) => v >= b,
+            Bound::Excluded(b) => v > b,
+            Bound::Unbounded => true,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Included(b) => v <= b,
+            Bound::Excluded(b) => v < b,
+            Bound::Unbounded => true,
+        };
+        lo_ok && hi_ok
+    }
+}
+
+/// Which access path a scan took — surfaced so tests and the tuning study
+/// can verify *why* a plan was fast or slow, the way the paper reads
+/// EXPLAIN output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Sequential scan; `partitions` is how many physical partitions were
+    /// walked (current, history, staging logs...).
+    FullScan {
+        /// Number of partitions visited.
+        partitions: u8,
+    },
+    /// B-Tree index scan (named index).
+    IndexScan(String),
+    /// GiST / R-Tree index scan (System D only).
+    GistScan(String),
+    /// Primary-key point access through an index.
+    KeyLookup(String),
+}
+
+/// Index families available to the tuning study (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Ordered index (the only kind every system supports).
+    BTree,
+    /// Generalized search tree over period rectangles (System D only).
+    Gist,
+}
+
+/// Tuning configuration applied uniformly across engines (paper §5.1):
+/// *A) Time Index*, *B) Key+Time Index*, *C) Value Index*. GiST selects the
+/// index implementation on System D.
+#[derive(Debug, Clone, Default)]
+pub struct TuningConfig {
+    /// A) app-time index on the current partition, app+sys time indexes on
+    /// the history partition.
+    pub time_index: bool,
+    /// B) key-based access paths on the history partition.
+    pub key_time_index: bool,
+    /// C) value indexes: `(table name, column name)` pairs.
+    pub value_index: Vec<(String, String)>,
+    /// Use GiST instead of B-Tree where the engine supports it (System D).
+    pub gist: bool,
+}
+
+impl TuningConfig {
+    /// The out-of-the-box configuration: no extra indexes.
+    pub fn none() -> TuningConfig {
+        TuningConfig::default()
+    }
+
+    /// The paper's "Time Index" setting.
+    pub fn time() -> TuningConfig {
+        TuningConfig {
+            time_index: true,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "Key+Time Index" setting (includes the time indexes).
+    pub fn key_time() -> TuningConfig {
+        TuningConfig {
+            time_index: true,
+            key_time_index: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Row counts per physical partition, used by the planner heuristics and
+/// reported by the architecture-analysis experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Versions visible at the current system time.
+    pub current_rows: usize,
+    /// Superseded versions (in history partitions / staging areas).
+    pub history_rows: usize,
+}
+
+impl TableStats {
+    /// Total stored versions.
+    pub fn total(&self) -> usize {
+        self.current_rows + self.history_rows
+    }
+}
+
+/// The result of a scan: materialized rows plus the access paths taken.
+#[derive(Debug, Clone)]
+pub struct ScanOutput {
+    /// Rows in the table's [`TableDef::scan_schema`] layout.
+    pub rows: Vec<Row>,
+    /// Summary access path (the most specific one across partitions).
+    pub access: AccessPath,
+    /// Per-physical-partition access paths, in scan order (current first) —
+    /// the EXPLAIN output of this benchmark, used by the tuning study and
+    /// the plan-shape tests.
+    pub partition_paths: Vec<AccessPath>,
+}
+
+/// The common interface of all four engines.
+///
+/// DML executes in the context of an open transaction; [`Self::commit`]
+/// assigns the system time. The history loader replays the generator archive
+/// through exactly this interface (paper §4.2), except on engines that
+/// support manually-set system time (System D), where
+/// [`Self::bulk_load`] is permitted.
+pub trait BitemporalEngine: Send {
+    /// Engine display name ("System A" .. "System D").
+    fn name(&self) -> &'static str;
+
+    /// One-line physical-architecture description (for the architecture
+    /// analysis experiment, paper §5.2).
+    fn architecture(&self) -> &'static str;
+
+    /// Creates a table.
+    fn create_table(&mut self, def: TableDef) -> Result<TableId>;
+
+    /// Resolves a table by name.
+    fn resolve(&self, name: &str) -> Result<TableId>;
+
+    /// All table names, in creation order (catalog listing).
+    fn table_names(&self) -> Vec<String>;
+
+    /// The logical definition of a table.
+    fn table_def(&self, table: TableId) -> &TableDef;
+
+    /// Applies a tuning configuration, building any configured indexes over
+    /// existing data. Engines are free to *accept and ignore* indexes their
+    /// archetype would not exploit (System C builds but never uses them).
+    fn apply_tuning(&mut self, tuning: &TuningConfig) -> Result<()>;
+
+    /// Inserts a row valid for `app` (ignored / must be `None` on
+    /// non-bitemporal tables; defaults to the full axis if `None` on
+    /// bitemporal ones).
+    fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()>;
+
+    /// Sequenced update: for every version of `key` visible now whose
+    /// application period overlaps `portion`, applies `updates` to the
+    /// overlap and preserves the residues (paper §2.3). `None` portion means
+    /// the full application axis. Returns the number of affected versions.
+    fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<usize>;
+
+    /// Sequenced delete, analogous to [`Self::update`].
+    fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<usize>;
+
+    /// Replaces the application period of `key`'s visible versions with
+    /// `period` (the benchmark's "overwrite application time" operation,
+    /// paper §3.2/Table 2). Returns the number of affected versions.
+    fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<usize>;
+
+    /// Commits the open transaction and returns its system time.
+    fn commit(&mut self) -> SysTime;
+
+    /// The system time of the last committed transaction.
+    fn now(&self) -> SysTime;
+
+    /// Scans `table` under the given temporal specification, applying (and
+    /// possibly index-accelerating) the pushed `preds`.
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput>;
+
+    /// Fetches all versions of one key under the temporal specification —
+    /// the audit access pattern (K queries). Uses a key index if one exists.
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput>;
+
+    /// Partition row counts.
+    fn stats(&self, table: TableId) -> TableStats;
+
+    /// True if the engine lets the loader set system time explicitly and
+    /// therefore supports bulk-loading a pre-stamped history (System D;
+    /// paper §5.8).
+    fn supports_manual_system_time(&self) -> bool {
+        false
+    }
+
+    /// Bulk-loads fully-stamped versions. Only engines with manual system
+    /// time support this; others return [`bitempo_core::Error::Unsupported`].
+    fn bulk_load(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<(Row, AppPeriod, SysPeriod)>,
+    ) -> Result<()> {
+        Err(bitempo_core::Error::Unsupported(
+            "bulk load with manual system time".into(),
+        ))
+    }
+
+    /// Forces any staged/deferred physical reorganization (System B drains
+    /// its undo log, System C merges delta into main). A no-op elsewhere.
+    /// The benchmark calls this between loading and measuring, like the
+    /// paper's warm-up runs.
+    fn checkpoint(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::Period;
+
+    #[test]
+    fn sys_spec_matching() {
+        let closed = SysPeriod::new(SysTime(5), SysTime(10));
+        let open = SysPeriod::since(SysTime(7));
+        assert!(!SysSpec::Current.matches(&closed));
+        assert!(SysSpec::Current.matches(&open));
+        assert!(SysSpec::AsOf(SysTime(5)).matches(&closed));
+        assert!(!SysSpec::AsOf(SysTime(10)).matches(&closed));
+        assert!(SysSpec::AsOf(SysTime(100)).matches(&open));
+        assert!(SysSpec::Range(Period::new(SysTime(9), SysTime(20))).matches(&closed));
+        assert!(!SysSpec::Range(Period::new(SysTime(10), SysTime(20))).matches(&closed));
+        assert!(SysSpec::All.matches(&closed));
+        assert!(SysSpec::Current.current_only());
+        assert!(!SysSpec::AsOf(SysTime(0)).current_only());
+    }
+
+    #[test]
+    fn app_spec_matching() {
+        let p = AppPeriod::new(AppDate(10), AppDate(20));
+        assert!(AppSpec::AsOf(AppDate(10)).matches(&p));
+        assert!(!AppSpec::AsOf(AppDate(20)).matches(&p));
+        assert!(AppSpec::Range(AppPeriod::new(AppDate(19), AppDate(30))).matches(&p));
+        assert!(!AppSpec::Range(AppPeriod::new(AppDate(20), AppDate(30))).matches(&p));
+        assert!(AppSpec::All.matches(&p));
+    }
+
+    #[test]
+    fn col_range_bounds() {
+        let r = ColRange::eq(0, Value::Int(5));
+        assert!(r.matches(&Value::Int(5)));
+        assert!(!r.matches(&Value::Int(6)));
+        let r = ColRange::between(
+            1,
+            Bound::Excluded(Value::Int(10)),
+            Bound::Included(Value::Int(20)),
+        );
+        assert!(!r.matches(&Value::Int(10)));
+        assert!(r.matches(&Value::Int(11)));
+        assert!(r.matches(&Value::Int(20)));
+        assert!(!r.matches(&Value::Int(21)));
+        let open = ColRange::between(0, Bound::Unbounded, Bound::Unbounded);
+        assert!(open.matches(&Value::str("anything")));
+    }
+
+    #[test]
+    fn tuning_presets() {
+        assert!(!TuningConfig::none().time_index);
+        assert!(TuningConfig::time().time_index);
+        let kt = TuningConfig::key_time();
+        assert!(kt.time_index && kt.key_time_index);
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = TableStats {
+            current_rows: 3,
+            history_rows: 4,
+        };
+        assert_eq!(s.total(), 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! Table catalog shared by all engines.
+
+use bitempo_core::{Error, Result, TableDef, TableId};
+use std::collections::HashMap;
+
+/// Maps table names to ids and holds the logical definitions.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    defs: Vec<TableDef>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table definition, assigning the next id.
+    pub fn create(&mut self, def: TableDef) -> Result<TableId> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(Error::TableExists(def.name.clone()));
+        }
+        let id = TableId(self.defs.len() as u32);
+        self.by_name.insert(def.name.clone(), id);
+        self.defs.push(def);
+        Ok(id)
+    }
+
+    /// Resolves a table name.
+    pub fn resolve(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// The definition for `id`. Panics on a foreign id — ids are only ever
+    /// minted by this catalog.
+    pub fn def(&self, id: TableId) -> &TableDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no tables have been created.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates `(id, def)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (TableId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::{Column, DataType, Schema, TemporalClass};
+
+    fn def(name: &str) -> TableDef {
+        TableDef::new(
+            name,
+            Schema::new(vec![Column::new("id", DataType::Int)]),
+            vec![0],
+            TemporalClass::NonTemporal,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_resolve_roundtrip() {
+        let mut c = Catalog::new();
+        let a = c.create(def("alpha")).unwrap();
+        let b = c.create(def("beta")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.resolve("alpha").unwrap(), a);
+        assert_eq!(c.def(b).name, "beta");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.create(def("t")).unwrap();
+        assert!(matches!(c.create(def("t")), Err(Error::TableExists(_))));
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let c = Catalog::new();
+        assert!(matches!(c.resolve("nope"), Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn iteration_order_is_creation_order() {
+        let mut c = Catalog::new();
+        c.create(def("one")).unwrap();
+        c.create(def("two")).unwrap();
+        let names: Vec<_> = c.iter().map(|(_, d)| d.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two"]);
+    }
+}

@@ -1,0 +1,423 @@
+//! Index wrappers: B-Tree (ordered) and GiST (R-Tree) indexes over version
+//! stores, plus the selectivity estimation the engines' scan "optimizers"
+//! use to decide index-vs-scan.
+//!
+//! The estimation is deliberately crude — a uniform interpolation between
+//! the column's min and max — because that is the level of sophistication
+//! the paper observed: *"for many workloads these indexes go unused, since
+//! they only work on very selective workloads"* (§5.9), and plans flip from
+//! index lookups to table scans on small changes in predicate selectivity
+//! (§5.4.1).
+
+use crate::api::IndexKind;
+use crate::version::Version;
+use bitempo_core::{SysTime, Value};
+use bitempo_storage::{BPlusTree, RTree, Rect};
+use std::ops::Bound;
+
+/// What a single index column is built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexedCol {
+    /// A value column of the table (by schema position).
+    Value(usize),
+    /// The application-period start.
+    AppStart,
+    /// The system-period start.
+    SysStart,
+    /// The system-period end (useful for "visible at t" probes).
+    SysEnd,
+}
+
+/// Definition of one ordered index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, surfaced in [`crate::AccessPath`].
+    pub name: String,
+    /// Indexed columns, major first.
+    pub cols: Vec<IndexedCol>,
+    /// Physical kind.
+    pub kind: IndexKind,
+}
+
+/// Extracts the index key of `version` for the given column spec.
+fn extract_col(version: &Version, col: IndexedCol) -> Value {
+    match col {
+        IndexedCol::Value(i) => version.row.get(i).clone(),
+        IndexedCol::AppStart => Value::Date(version.app.start),
+        IndexedCol::SysStart => Value::SysTime(version.sys.start),
+        IndexedCol::SysEnd => Value::SysTime(version.sys.end),
+    }
+}
+
+/// Maps a value onto the real line for interpolation-based selectivity.
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        Value::Date(d) => Some(d.0 as f64),
+        Value::SysTime(t) if *t == SysTime::MAX => Some(f64::INFINITY),
+        Value::SysTime(t) => Some(t.0 as f64),
+        _ => None,
+    }
+}
+
+/// A B-Tree index over versions stored in some slot-addressed container.
+#[derive(Debug, Clone)]
+pub struct OrderedIndex {
+    /// Definition.
+    pub def: IndexDef,
+    tree: BPlusTree<Vec<Value>, u64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl OrderedIndex {
+    /// Creates an empty index.
+    pub fn new(def: IndexDef) -> OrderedIndex {
+        OrderedIndex {
+            def,
+            tree: BPlusTree::new(),
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The key this index extracts from a version.
+    pub fn key_of(&self, version: &Version) -> Vec<Value> {
+        self.def
+            .cols
+            .iter()
+            .map(|&c| extract_col(version, c))
+            .collect()
+    }
+
+    /// Indexes `version` under `slot`.
+    pub fn insert(&mut self, version: &Version, slot: u64) {
+        let key = self.key_of(version);
+        if let Some(x) = numeric(&key[0]) {
+            if x.is_finite() {
+                self.lo = self.lo.min(x);
+                self.hi = self.hi.max(x);
+            }
+        }
+        self.tree.insert(key, slot);
+    }
+
+    /// Removes `version`'s entry for `slot` (returns whether it existed).
+    pub fn remove(&mut self, version: &Version, slot: u64) -> bool {
+        let key = self.key_of(version);
+        self.tree.remove(&key, &slot)
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Slots whose *first* index column lies in `(lo, hi)`. Composite
+    /// suffix columns are not constrained (callers re-filter).
+    pub fn probe_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u64> {
+        // Translate single-column bounds to composite-key bounds. For the
+        // upper bound we must admit any suffix, so an Included(v) bound
+        // becomes "keys < [v, +inf...]" which for our comparator is
+        // approximated by scanning until first column exceeds v.
+        let lo_key: Bound<Vec<Value>> = match lo {
+            Bound::Included(v) => Bound::Included(vec![v.clone()]),
+            Bound::Excluded(v) => {
+                // Excluded on first column: skip all keys whose first col
+                // equals v. Vec compare makes [v] <= [v, ...], so use an
+                // included bound and filter below.
+                Bound::Included(vec![v.clone()])
+            }
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let lo_ref = match &lo_key {
+            Bound::Included(k) => Bound::Included(k),
+            Bound::Excluded(k) => Bound::Excluded(k),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (key, slot) in self.tree.range((lo_ref, Bound::Unbounded)) {
+            let first = &key[0];
+            // Stop once past the upper bound.
+            let past = match hi {
+                Bound::Included(v) => first > v,
+                Bound::Excluded(v) => first >= v,
+                Bound::Unbounded => false,
+            };
+            if past {
+                break;
+            }
+            // Honour an excluded lower bound on the first column.
+            if let Bound::Excluded(v) = lo {
+                if first == v {
+                    continue;
+                }
+            }
+            out.push(*slot);
+        }
+        out
+    }
+
+    /// Slots matching an exact composite prefix `key`.
+    pub fn probe_prefix(&self, key: &[Value]) -> Vec<u64> {
+        let lo: Vec<Value> = key.to_vec();
+        let mut out = Vec::new();
+        for (k, slot) in self
+            .tree
+            .range((Bound::Included(&lo), Bound::Unbounded))
+        {
+            if k.len() < key.len() || k[..key.len()] != *key {
+                break;
+            }
+            out.push(*slot);
+        }
+        out
+    }
+
+    /// Estimated fraction of entries whose first column lies in the range,
+    /// by uniform interpolation. `None` if the column is not numeric or the
+    /// index is empty (caller should then only use the index for equality).
+    pub fn estimate_selectivity(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<f64> {
+        if self.tree.is_empty() || self.lo > self.hi {
+            return None;
+        }
+        let span = (self.hi - self.lo).max(1.0);
+        let lo_x = match lo {
+            Bound::Included(v) | Bound::Excluded(v) => numeric(v)?,
+            Bound::Unbounded => self.lo,
+        };
+        let hi_x = match hi {
+            Bound::Included(v) | Bound::Excluded(v) => numeric(v)?,
+            Bound::Unbounded => self.hi,
+        };
+        let clipped_lo = lo_x.max(self.lo);
+        let clipped_hi = hi_x.min(self.hi);
+        Some(((clipped_hi - clipped_lo) / span).clamp(0.0, 1.0))
+    }
+}
+
+/// A GiST (R-Tree) index over the (application × system) period rectangles
+/// of versions — System D's alternative index implementation (paper §2.5).
+#[derive(Debug, Clone)]
+pub struct GistIndex {
+    /// Index name.
+    pub name: String,
+    tree: RTree<u64>,
+}
+
+/// Clamps a period endpoint onto the R-Tree's i64 coordinate space.
+fn sys_coord(t: SysTime) -> i64 {
+    if t == SysTime::MAX {
+        i64::MAX - 1
+    } else {
+        t.0.min((i64::MAX - 1) as u64) as i64
+    }
+}
+
+/// The rectangle of a version: x = application days, y = system time.
+/// Half-open periods become inclusive coordinates by subtracting one from
+/// the ends (saturating at the sentinels).
+pub fn version_rect(version: &Version) -> Rect {
+    let x_min = version.app.start.0.max(i64::MIN + 1);
+    let x_max = if version.app.end.0 == i64::MAX {
+        i64::MAX - 1
+    } else {
+        version.app.end.0 - 1
+    };
+    let y_min = sys_coord(version.sys.start);
+    let y_max = if version.sys.end == SysTime::MAX {
+        i64::MAX - 1
+    } else {
+        sys_coord(version.sys.end) - 1
+    };
+    Rect::new(x_min, x_max.max(x_min), y_min, y_max.max(y_min))
+}
+
+impl GistIndex {
+    /// Creates an empty GiST index.
+    pub fn new(name: impl Into<String>) -> GistIndex {
+        GistIndex {
+            name: name.into(),
+            tree: RTree::new(),
+        }
+    }
+
+    /// Indexes `version` under `slot`.
+    pub fn insert(&mut self, version: &Version, slot: u64) {
+        self.tree.insert(version_rect(version), slot);
+    }
+
+    /// Slots whose rectangle intersects the query window.
+    pub fn probe(&self, query: &Rect) -> Vec<u64> {
+        self.tree.search(query)
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::{AppDate, AppPeriod, Row, SysPeriod};
+
+    fn version(id: i64, app: (i64, i64), sys: (u64, Option<u64>)) -> Version {
+        Version {
+            row: Row::new(vec![Value::Int(id), Value::str("payload")]),
+            app: AppPeriod::new(AppDate(app.0), AppDate(app.1)),
+            sys: SysPeriod::new(
+                SysTime(sys.0),
+                sys.1.map_or(SysTime::MAX, SysTime),
+            ),
+        }
+    }
+
+    #[test]
+    fn ordered_index_insert_probe_remove() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix_id".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for i in 0..100 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        assert_eq!(idx.len(), 100);
+        let hits = idx.probe_range(
+            Bound::Included(&Value::Int(10)),
+            Bound::Excluded(&Value::Int(13)),
+        );
+        assert_eq!(hits, vec![10, 11, 12]);
+        assert!(idx.remove(&version(10, (0, 10), (0, None)), 10));
+        assert!(!idx.remove(&version(10, (0, 10), (0, None)), 10));
+        let hits = idx.probe_range(
+            Bound::Included(&Value::Int(10)),
+            Bound::Included(&Value::Int(12)),
+        );
+        assert_eq!(hits, vec![11, 12]);
+    }
+
+    #[test]
+    fn excluded_lower_bound() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for i in 0..5 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        let hits = idx.probe_range(
+            Bound::Excluded(&Value::Int(2)),
+            Bound::Unbounded,
+        );
+        assert_eq!(hits, vec![3, 4]);
+    }
+
+    #[test]
+    fn composite_prefix_probe() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix_key_time".into(),
+            cols: vec![IndexedCol::Value(0), IndexedCol::SysStart],
+            kind: IndexKind::BTree,
+        });
+        idx.insert(&version(7, (0, 10), (1, Some(5))), 100);
+        idx.insert(&version(7, (0, 10), (5, None)), 101);
+        idx.insert(&version(8, (0, 10), (2, None)), 200);
+        let hits = idx.probe_prefix(&[Value::Int(7)]);
+        assert_eq!(hits, vec![100, 101]);
+        let hits = idx.probe_prefix(&[Value::Int(9)]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn time_index_probe() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix_sys_start".into(),
+            cols: vec![IndexedCol::SysStart],
+            kind: IndexKind::BTree,
+        });
+        for t in 0..50u64 {
+            idx.insert(&version(t as i64, (0, 10), (t, None)), t);
+        }
+        // sys_start <= 3 → the first four versions.
+        let hits = idx.probe_range(
+            Bound::Unbounded,
+            Bound::Included(&Value::SysTime(SysTime(3))),
+        );
+        assert_eq!(hits, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn selectivity_interpolation() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for i in 0..=100 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        let sel = idx
+            .estimate_selectivity(
+                Bound::Included(&Value::Int(0)),
+                Bound::Included(&Value::Int(10)),
+            )
+            .unwrap();
+        assert!((sel - 0.1).abs() < 0.02, "sel = {sel}");
+        let sel = idx
+            .estimate_selectivity(Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert!(sel > 0.99);
+        // Out-of-domain ranges clamp to zero.
+        let sel = idx
+            .estimate_selectivity(
+                Bound::Included(&Value::Int(500)),
+                Bound::Included(&Value::Int(600)),
+            )
+            .unwrap();
+        assert_eq!(sel, 0.0);
+        // Non-numeric bound: no estimate.
+        assert!(idx
+            .estimate_selectivity(Bound::Included(&Value::str("x")), Bound::Unbounded)
+            .is_none());
+    }
+
+    #[test]
+    fn gist_index_rectangles() {
+        let mut g = GistIndex::new("gist_periods");
+        // Closed app period, closed sys period.
+        g.insert(&version(1, (10, 20), (2, Some(5))), 1);
+        // Open-ended both.
+        g.insert(&version(2, (15, i64::MAX), (4, None)), 2);
+        // Query: app day 12 at sys time 3.
+        let q = Rect::point(12, 3);
+        assert_eq!(g.probe(&q), vec![1]);
+        // Query: app day 100 at sys time 100 — only the open version.
+        let q = Rect::point(100, 100);
+        assert_eq!(g.probe(&q), vec![2]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn version_rect_handles_sentinels() {
+        let v = version(1, (0, i64::MAX), (0, None));
+        let r = version_rect(&v);
+        assert!(r.x_max >= 1_000_000);
+        assert!(r.y_max >= 1_000_000);
+        assert!(r.intersects(&Rect::point(5_000, 42)));
+    }
+}

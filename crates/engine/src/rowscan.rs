@@ -1,0 +1,513 @@
+//! Partition scanning with index selection — the per-engine "optimizer".
+//!
+//! Every row-store engine answers a scan per physical partition by choosing
+//! among: primary-key lookup, B-Tree index scan, GiST scan, or a full scan.
+//! The choice uses the crude uniform-interpolation selectivity estimate from
+//! [`crate::index`], with a fixed threshold. This mirrors the behaviour the
+//! paper measured: indexes only pay off for very selective predicates, and
+//! optimizers flip to table scans otherwise (§5.3.2, §5.4.1, §5.9).
+
+use crate::api::{AccessPath, AppSpec, ColRange, SysSpec};
+use crate::index::{GistIndex, IndexedCol, OrderedIndex};
+use crate::version::Version;
+use bitempo_core::{Row, SysTime, TableDef, Value};
+use bitempo_storage::{Heap, Rect};
+use std::ops::Bound;
+
+/// Index scans must be estimated below this fraction of the partition to be
+/// chosen over a sequential scan.
+pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.15;
+
+/// A slot-addressable collection of versions (one physical partition).
+pub trait VersionSource {
+    /// The version stored at `slot`, if live.
+    fn version(&self, slot: u64) -> Option<&Version>;
+    /// All live `(slot, version)` pairs.
+    fn for_each(&self, f: &mut dyn FnMut(u64, &Version));
+    /// Number of live versions.
+    fn len(&self) -> usize;
+    /// True when the partition holds no live versions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl VersionSource for Heap<Version> {
+    fn version(&self, slot: u64) -> Option<&Version> {
+        self.get(bitempo_storage::SlotId(slot as u32))
+    }
+    fn for_each(&self, f: &mut dyn FnMut(u64, &Version)) {
+        for (slot, v) in self.iter() {
+            f(u64::from(slot.0), v);
+        }
+    }
+    fn len(&self) -> usize {
+        Heap::len(self)
+    }
+}
+
+/// A materialized partition (System B's reconstructed current partition),
+/// sorted by slot for binary-search resolution of index probes.
+pub struct Reconstructed(pub Vec<(u64, Version)>);
+
+impl VersionSource for Reconstructed {
+    fn version(&self, slot: u64) -> Option<&Version> {
+        self.0
+            .binary_search_by_key(&slot, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+    fn for_each(&self, f: &mut dyn FnMut(u64, &Version)) {
+        for (slot, v) in &self.0 {
+            f(*slot, v);
+        }
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// One partition's access structures, borrowed for the duration of a scan.
+pub struct PartitionView<'a> {
+    /// The versions.
+    pub source: &'a dyn VersionSource,
+    /// Primary-key index (leading columns = key columns), if any.
+    pub pk: Option<&'a OrderedIndex>,
+    /// Secondary ordered indexes.
+    pub indexes: &'a [OrderedIndex],
+    /// GiST index, if any (System D).
+    pub gist: Option<&'a GistIndex>,
+}
+
+/// The range on an index's leading column implied by the temporal specs or
+/// pushed predicates, with an owned-bounds representation.
+struct ProbeRange {
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+}
+
+fn probe_range_for(index: &OrderedIndex, sys: &SysSpec, app: &AppSpec, preds: &[ColRange]) -> Option<ProbeRange> {
+    match index.def.cols.first()? {
+        IndexedCol::Value(c) => {
+            let p = preds.iter().find(|p| p.col == *c)?;
+            Some(ProbeRange {
+                lo: p.lo.clone(),
+                hi: p.hi.clone(),
+            })
+        }
+        IndexedCol::AppStart => match app {
+            // app_start <= point < app_end: the index bounds only the start.
+            AppSpec::AsOf(d) => Some(ProbeRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Included(Value::Date(*d)),
+            }),
+            AppSpec::Range(p) => Some(ProbeRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Excluded(Value::Date(p.end)),
+            }),
+            AppSpec::All => None,
+        },
+        IndexedCol::SysStart => match sys {
+            SysSpec::AsOf(t) => Some(ProbeRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Included(Value::SysTime(*t)),
+            }),
+            SysSpec::Range(p) => Some(ProbeRange {
+                lo: Bound::Unbounded,
+                hi: Bound::Excluded(Value::SysTime(p.end)),
+            }),
+            SysSpec::Current | SysSpec::All => None,
+        },
+        IndexedCol::SysEnd => match sys {
+            // sys_end > point (or > range.start).
+            SysSpec::AsOf(t) => Some(ProbeRange {
+                lo: Bound::Excluded(Value::SysTime(*t)),
+                hi: Bound::Unbounded,
+            }),
+            SysSpec::Range(p) => Some(ProbeRange {
+                lo: Bound::Excluded(Value::SysTime(p.start)),
+                hi: Bound::Unbounded,
+            }),
+            SysSpec::Current | SysSpec::All => None,
+        },
+    }
+}
+
+/// The GiST query rectangle implied by the temporal specs, or `None` when
+/// neither dimension constrains the scan (a GiST probe would be a full walk).
+pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rect> {
+    let (x_min, x_max) = match app {
+        AppSpec::AsOf(d) => (d.0, d.0),
+        AppSpec::Range(p) => (p.start.0, p.end.0.saturating_sub(1)),
+        AppSpec::All => (i64::MIN + 1, i64::MAX - 1),
+    };
+    let sys_pt = |t: SysTime| t.0.min((i64::MAX - 1) as u64) as i64;
+    let (y_min, y_max) = match sys {
+        SysSpec::Current => (sys_pt(now), sys_pt(now)),
+        SysSpec::AsOf(t) => (sys_pt(*t), sys_pt(*t)),
+        SysSpec::Range(p) => (sys_pt(p.start), sys_pt(p.end).saturating_sub(1)),
+        SysSpec::All => (0, i64::MAX - 1),
+    };
+    if matches!(app, AppSpec::All) && matches!(sys, SysSpec::All) {
+        return None;
+    }
+    Some(Rect::new(x_min, x_max, y_min, y_max))
+}
+
+/// Scans one partition: picks an access path, applies residual filters, and
+/// appends qualifying output rows (in `def.scan_schema()` layout) to `out`.
+/// Returns the access path taken.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_partition(
+    part: &PartitionView<'_>,
+    def: &TableDef,
+    sys: &SysSpec,
+    app: &AppSpec,
+    preds: &[ColRange],
+    now: SysTime,
+    prefer_gist: bool,
+    out: &mut Vec<Row>,
+) -> AccessPath {
+    let emit = |v: &Version, out: &mut Vec<Row>| {
+        if v.matches(sys, app) && v.matches_preds(preds) {
+            out.push(v.output_row(def));
+        }
+    };
+
+    // 1. Primary-key lookup if the predicates pin every key column.
+    if let Some(pk) = part.pk {
+        if let Some(key_vals) = full_key_equality(def, preds) {
+            for slot in pk.probe_prefix(&key_vals) {
+                if let Some(v) = part.source.version(slot) {
+                    emit(v, out);
+                }
+            }
+            return AccessPath::KeyLookup(pk.def.name.clone());
+        }
+    }
+
+    // 2. GiST, when configured and the query has a temporal window.
+    if prefer_gist {
+        if let (Some(gist), Some(rect)) = (part.gist, gist_query_rect(sys, app, now)) {
+            for slot in gist.probe(&rect) {
+                if let Some(v) = part.source.version(slot) {
+                    emit(v, out);
+                }
+            }
+            return AccessPath::GistScan(gist.name.clone());
+        }
+    }
+
+    // 3. Cheapest sufficiently-selective B-Tree index.
+    let mut best: Option<(f64, &OrderedIndex, ProbeRange)> = None;
+    for index in part.indexes.iter().chain(part.pk) {
+        if let Some(range) = probe_range_for(index, sys, app, preds) {
+            let lo_ref = bound_ref(&range.lo);
+            let hi_ref = bound_ref(&range.hi);
+            let sel = match index.estimate_selectivity(lo_ref, hi_ref) {
+                Some(s) => s,
+                // Non-estimable (string column): only trust equality probes.
+                None => match (&range.lo, &range.hi) {
+                    (Bound::Included(a), Bound::Included(b)) if a == b => 0.01,
+                    _ => continue,
+                },
+            };
+            if sel < INDEX_SELECTIVITY_THRESHOLD
+                && best.as_ref().is_none_or(|(b, _, _)| sel < *b)
+            {
+                best = Some((sel, index, range));
+            }
+        }
+    }
+    if let Some((_, index, range)) = best {
+        for slot in index.probe_range(bound_ref(&range.lo), bound_ref(&range.hi)) {
+            if let Some(v) = part.source.version(slot) {
+                emit(v, out);
+            }
+        }
+        return AccessPath::IndexScan(index.def.name.clone());
+    }
+
+    // 4. Sequential scan.
+    part.source.for_each(&mut |_, v| emit(v, out));
+    AccessPath::FullScan { partitions: 1 }
+}
+
+fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// If `preds` contain equality constraints on *all* key columns of `def`,
+/// returns the key values in key order.
+pub fn full_key_equality(def: &TableDef, preds: &[ColRange]) -> Option<Vec<Value>> {
+    let mut vals = Vec::with_capacity(def.key.len());
+    for &k in &def.key {
+        let p = preds.iter().find(|p| p.col == k)?;
+        match (&p.lo, &p.hi) {
+            (Bound::Included(a), Bound::Included(b)) if a == b => vals.push(a.clone()),
+            _ => return None,
+        }
+    }
+    Some(vals)
+}
+
+/// Merges per-partition access paths into the single path reported for the
+/// whole scan: the most specific access wins; pure sequential access reports
+/// the partition count.
+pub fn merge_access(paths: Vec<AccessPath>) -> AccessPath {
+    let mut partitions = 0u8;
+    let mut best: Option<AccessPath> = None;
+    for p in paths {
+        match p {
+            AccessPath::FullScan { partitions: n } => partitions += n,
+            other => {
+                let rank = |a: &AccessPath| match a {
+                    AccessPath::KeyLookup(_) => 3,
+                    AccessPath::IndexScan(_) => 2,
+                    AccessPath::GistScan(_) => 1,
+                    AccessPath::FullScan { .. } => 0,
+                };
+                if best.as_ref().is_none_or(|b| rank(&other) > rank(b)) {
+                    best = Some(other);
+                }
+            }
+        }
+    }
+    match best {
+        Some(b) if partitions == 0 => b,
+        Some(b) => b, // indexed partitions dominate the report
+        None => AccessPath::FullScan { partitions },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::IndexKind;
+    use crate::index::IndexDef;
+    use bitempo_core::{
+        AppDate, AppPeriod, Column, DataType, Schema, SysPeriod, TableDef, TemporalClass,
+    };
+
+    fn def() -> TableDef {
+        TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("val", DataType::Int),
+            ]),
+            vec![0],
+            TemporalClass::Bitemporal,
+            Some("vt"),
+        )
+        .unwrap()
+    }
+
+    fn mk_version(id: i64, val: i64, sys_start: u64, sys_end: Option<u64>) -> Version {
+        Version {
+            row: Row::new(vec![Value::Int(id), Value::Int(val)]),
+            app: AppPeriod::new(AppDate(0), AppDate::MAX),
+            sys: SysPeriod::new(SysTime(sys_start), sys_end.map_or(SysTime::MAX, SysTime)),
+        }
+    }
+
+    fn heap_with(n: i64) -> Heap<Version> {
+        let mut h = Heap::new();
+        for i in 0..n {
+            h.insert(mk_version(i, i * 10, i as u64, None));
+        }
+        h
+    }
+
+    #[test]
+    fn full_scan_when_no_indexes() {
+        let heap = heap_with(50);
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+        };
+        let mut out = Vec::new();
+        let path = scan_partition(
+            &part,
+            &def(),
+            &SysSpec::All,
+            &AppSpec::All,
+            &[],
+            SysTime(100),
+            false,
+            &mut out,
+        );
+        assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn key_lookup_via_pk() {
+        let heap = heap_with(50);
+        let mut pk = OrderedIndex::new(IndexDef {
+            name: "pk_t".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for (slot, v) in heap.iter() {
+            pk.insert(v, u64::from(slot.0));
+        }
+        let part = PartitionView {
+            source: &heap,
+            pk: Some(&pk),
+            indexes: &[],
+            gist: None,
+        };
+        let mut out = Vec::new();
+        let path = scan_partition(
+            &part,
+            &def(),
+            &SysSpec::Current,
+            &AppSpec::All,
+            &[ColRange::eq(0, Value::Int(7))],
+            SysTime(100),
+            false,
+            &mut out,
+        );
+        assert_eq!(path, AccessPath::KeyLookup("pk_t".into()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(1), &Value::Int(70));
+    }
+
+    #[test]
+    fn selective_time_index_chosen_nonselective_scanned() {
+        let heap = heap_with(1000);
+        let mut ix = OrderedIndex::new(IndexDef {
+            name: "ix_sys_start".into(),
+            cols: vec![IndexedCol::SysStart],
+            kind: IndexKind::BTree,
+        });
+        for (slot, v) in heap.iter() {
+            ix.insert(v, u64::from(slot.0));
+        }
+        let indexes = vec![ix];
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &indexes,
+            gist: None,
+        };
+        // Selective: sys_start <= 5 of 0..1000 → ~0.5 %.
+        let mut out = Vec::new();
+        let path = scan_partition(
+            &part,
+            &def(),
+            &SysSpec::AsOf(SysTime(5)),
+            &AppSpec::All,
+            &[],
+            SysTime(2000),
+            false,
+            &mut out,
+        );
+        assert_eq!(path, AccessPath::IndexScan("ix_sys_start".into()));
+        assert_eq!(out.len(), 6, "versions 0..=5 visible at t5");
+
+        // Non-selective: AS OF t900 → 90 % → sequential scan.
+        let mut out = Vec::new();
+        let path = scan_partition(
+            &part,
+            &def(),
+            &SysSpec::AsOf(SysTime(900)),
+            &AppSpec::All,
+            &[],
+            SysTime(2000),
+            false,
+            &mut out,
+        );
+        assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out.len(), 901);
+    }
+
+    #[test]
+    fn gist_preferred_when_configured() {
+        let heap = heap_with(100);
+        let mut gist = GistIndex::new("gist_t");
+        for (slot, v) in heap.iter() {
+            gist.insert(v, u64::from(slot.0));
+        }
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: Some(&gist),
+        };
+        let mut out = Vec::new();
+        let path = scan_partition(
+            &part,
+            &def(),
+            &SysSpec::AsOf(SysTime(10)),
+            &AppSpec::AsOf(AppDate(5)),
+            &[],
+            SysTime(200),
+            true,
+            &mut out,
+        );
+        assert_eq!(path, AccessPath::GistScan("gist_t".into()));
+        assert_eq!(out.len(), 11, "versions with sys_start <= 10");
+    }
+
+    #[test]
+    fn reconstructed_source_binary_search() {
+        let recon = Reconstructed(vec![
+            (2, mk_version(2, 20, 0, None)),
+            (5, mk_version(5, 50, 0, None)),
+            (9, mk_version(9, 90, 0, None)),
+        ]);
+        assert!(recon.version(5).is_some());
+        assert!(recon.version(3).is_none());
+        assert_eq!(recon.len(), 3);
+        let mut n = 0;
+        recon.for_each(&mut |_, _| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn full_key_equality_detection() {
+        let d = def();
+        assert_eq!(
+            full_key_equality(&d, &[ColRange::eq(0, Value::Int(3))]),
+            Some(vec![Value::Int(3)])
+        );
+        assert_eq!(full_key_equality(&d, &[ColRange::eq(1, Value::Int(3))]), None);
+        let range_pred = ColRange::between(
+            0,
+            Bound::Included(Value::Int(1)),
+            Bound::Included(Value::Int(5)),
+        );
+        assert_eq!(full_key_equality(&d, &[range_pred]), None);
+    }
+
+    #[test]
+    fn merge_access_prefers_specific() {
+        let merged = merge_access(vec![
+            AccessPath::FullScan { partitions: 1 },
+            AccessPath::IndexScan("ix".into()),
+        ]);
+        assert_eq!(merged, AccessPath::IndexScan("ix".into()));
+        let merged = merge_access(vec![
+            AccessPath::FullScan { partitions: 1 },
+            AccessPath::FullScan { partitions: 2 },
+        ]);
+        assert_eq!(merged, AccessPath::FullScan { partitions: 3 });
+    }
+
+    #[test]
+    fn gist_rect_construction() {
+        let r = gist_query_rect(&SysSpec::Current, &AppSpec::AsOf(AppDate(10)), SysTime(42))
+            .unwrap();
+        assert_eq!((r.x_min, r.x_max), (10, 10));
+        assert_eq!((r.y_min, r.y_max), (42, 42));
+        assert!(gist_query_rect(&SysSpec::All, &AppSpec::All, SysTime(0)).is_none());
+    }
+}

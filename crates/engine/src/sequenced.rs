@@ -1,0 +1,83 @@
+//! Sequenced application-time DML semantics (Snodgrass; paper §2.3).
+//!
+//! SQL:2011's `FOR PORTION OF BUSINESS_TIME FROM x TO y` changes a row only
+//! for the overlap of its application period with `[x, y)`. Where the row's
+//! period overhangs the portion, unchanged *residue* rows must be created —
+//! "deletes or updates may introduce additional rows when the time interval
+//! of the update does not exactly correspond to the intervals of the
+//! affected rows". This module computes those splits as pure data so every
+//! engine applies identical logic to its own physical structures.
+
+use bitempo_core::AppPeriod;
+
+/// The application-time pieces resulting from applying a portion to one
+/// existing version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortionSplit {
+    /// The overlap that receives the update (absent for disjoint versions).
+    pub affected: AppPeriod,
+    /// Up to two unchanged residue periods that must be re-inserted.
+    pub residues: Vec<AppPeriod>,
+}
+
+/// Computes the split of an existing version's `app` period by `portion`.
+/// Returns `None` when the version is untouched (no overlap).
+pub fn split_for_portion(app: AppPeriod, portion: AppPeriod) -> Option<PortionSplit> {
+    let affected = app.intersect(&portion)?;
+    let (left, right) = app.difference(&portion);
+    let residues = [left, right].into_iter().flatten().collect();
+    Some(PortionSplit { affected, residues })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::{AppDate, Period};
+
+    fn p(a: i64, b: i64) -> AppPeriod {
+        Period::new(AppDate(a), AppDate(b))
+    }
+
+    #[test]
+    fn portion_inside_splits_into_three() {
+        let s = split_for_portion(p(0, 100), p(20, 40)).unwrap();
+        assert_eq!(s.affected, p(20, 40));
+        assert_eq!(s.residues, vec![p(0, 20), p(40, 100)]);
+    }
+
+    #[test]
+    fn portion_covering_start() {
+        let s = split_for_portion(p(10, 100), p(0, 50)).unwrap();
+        assert_eq!(s.affected, p(10, 50));
+        assert_eq!(s.residues, vec![p(50, 100)]);
+    }
+
+    #[test]
+    fn portion_covering_all() {
+        let s = split_for_portion(p(10, 20), p(0, 100)).unwrap();
+        assert_eq!(s.affected, p(10, 20));
+        assert!(s.residues.is_empty());
+    }
+
+    #[test]
+    fn disjoint_portion_leaves_version_alone() {
+        assert_eq!(split_for_portion(p(0, 10), p(10, 20)), None);
+        assert_eq!(split_for_portion(p(30, 40), p(10, 20)), None);
+    }
+
+    #[test]
+    fn residues_and_affected_partition_the_original() {
+        // The pieces must tile the original period exactly (no gap/overlap).
+        for (a, b, x, y) in [(0, 50, 10, 20), (0, 50, 0, 50), (5, 30, 0, 10), (5, 30, 25, 60)] {
+            let s = split_for_portion(p(a, b), p(x, y)).unwrap();
+            let mut pieces = s.residues.clone();
+            pieces.push(s.affected);
+            pieces.sort_by_key(|q| q.start);
+            assert_eq!(pieces.first().unwrap().start, AppDate(a));
+            assert_eq!(pieces.last().unwrap().end, AppDate(b));
+            for w in pieces.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "pieces must tile contiguously");
+            }
+        }
+    }
+}

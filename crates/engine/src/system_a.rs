@@ -1,0 +1,728 @@
+//! System A: a disk-based row store with native bitemporal support.
+//!
+//! Archetype (paper §2, §5.2): horizontal partitioning into a *current
+//! table* and a *history table* with identical schemas; superseded versions
+//! move to the history table **synchronously** at update time ("System A
+//! saves data instantly to the history tables"); a system-defined
+//! primary-key index exists on the current table only; the history table has
+//! no indexes unless the tuning study adds them.
+
+use crate::api::{
+    AppSpec, BitemporalEngine, ColRange, IndexKind, ScanOutput, SysSpec, TableStats,
+    TuningConfig,
+};
+use crate::catalog::Catalog;
+use crate::index::{IndexDef, IndexedCol, OrderedIndex};
+use crate::rowscan::{merge_access, scan_partition, PartitionView};
+use crate::sequenced::split_for_portion;
+use crate::version::Version;
+use bitempo_core::{
+    AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
+    Value,
+};
+use bitempo_storage::{Heap, SlotId};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct TableA {
+    current: Heap<Version>,
+    history: Heap<Version>,
+    /// System-defined PK index over the current partition.
+    pk: Option<OrderedIndex>,
+    /// Tuning indexes over the current partition.
+    cur_indexes: Vec<OrderedIndex>,
+    /// Tuning indexes over the history partition. The first one whose
+    /// leading columns are the key doubles as the history "PK" access path.
+    hist_indexes: Vec<OrderedIndex>,
+    hist_key_index: Option<usize>,
+    /// Open versions per key, for DML resolution.
+    key_map: HashMap<Key, Vec<u64>>,
+}
+
+/// The System A engine. See module docs.
+#[derive(Debug, Default)]
+pub struct SystemA {
+    catalog: Catalog,
+    tables: Vec<TableA>,
+    now: SysTime,
+    tuning: TuningConfig,
+}
+
+impl SystemA {
+    /// Creates an empty engine.
+    pub fn new() -> SystemA {
+        SystemA::default()
+    }
+
+    fn pending(&self) -> SysTime {
+        self.now.next()
+    }
+
+    fn insert_version(&mut self, table: TableId, version: Version) {
+        let def_key = self.catalog.def(table).key.clone();
+        let t = &mut self.tables[table.0 as usize];
+        let slot = t.current.insert(version);
+        let slot64 = u64::from(slot.0);
+        let v = t.current.get(slot).expect("just inserted");
+        let key = Key::from_row(&v.row, &def_key);
+        if let Some(pk) = &mut t.pk {
+            pk.insert(t.current.get(slot).unwrap(), slot64);
+        }
+        let v_clone = t.current.get(slot).unwrap().clone();
+        for ix in &mut t.cur_indexes {
+            ix.insert(&v_clone, slot64);
+        }
+        t.key_map.entry(key).or_default().push(slot64);
+    }
+
+    /// Closes the open version in `slot` at `end`, moving it to history.
+    /// Versions whose system period would be empty (created and superseded
+    /// inside the same transaction) are discarded: they were never visible.
+    fn close_version(&mut self, table: TableId, slot64: u64, end: SysTime) -> Version {
+        let def_key = self.catalog.def(table).key.clone();
+        let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
+        let t = &mut self.tables[table.0 as usize];
+        let slot = SlotId(slot64 as u32);
+        let mut v = t.current.remove(slot).expect("closing a live version");
+        if let Some(pk) = &mut t.pk {
+            pk.remove(&v, slot64);
+        }
+        for ix in &mut t.cur_indexes {
+            ix.remove(&v, slot64);
+        }
+        let key = Key::from_row(&v.row, &def_key);
+        if let Some(slots) = t.key_map.get_mut(&key) {
+            slots.retain(|&s| s != slot64);
+        }
+        let closed = v.clone();
+        v.sys = SysPeriod::new(v.sys.start, end);
+        if !nontemporal && !v.sys.is_empty() {
+            let hslot = t.history.insert(v.clone());
+            let h64 = u64::from(hslot.0);
+            for ix in &mut t.hist_indexes {
+                ix.insert(&v, h64);
+            }
+        }
+        closed
+    }
+
+    fn open_slots_of_key(&self, table: TableId, key: &Key) -> Vec<u64> {
+        self.tables[table.0 as usize]
+            .key_map
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn table(&self, table: TableId) -> &TableA {
+        &self.tables[table.0 as usize]
+    }
+}
+
+/// Applies a sequenced update/delete/overwrite to one engine via its
+/// close/insert primitives. Shared verbatim by Systems A, B and D through a
+/// tiny adapter trait, so the logical semantics cannot drift apart.
+pub(crate) fn sequenced_dml<E: SequencedOps>(
+    engine: &mut E,
+    table: TableId,
+    key: &Key,
+    portion: Option<AppPeriod>,
+    new_values: Option<&[(usize, Value)]>, // None = delete
+) -> Result<usize> {
+    let def = engine.def(table).clone();
+    if def.temporal != TemporalClass::Bitemporal && portion.is_some() {
+        return Err(Error::Unsupported(format!(
+            "FOR PORTION OF on table {} without application time",
+            def.name
+        )));
+    }
+    let portion = portion.unwrap_or(AppPeriod::ALL);
+    let pending = engine.pending_time();
+    let slots = engine.open_slots(table, key);
+    if slots.is_empty() {
+        return Ok(0);
+    }
+    let mut affected = 0;
+    for slot in slots {
+        let Some(v) = engine.peek(table, slot) else {
+            continue;
+        };
+        let Some(split) = split_for_portion(v.app, portion) else {
+            continue;
+        };
+        affected += 1;
+        let old = engine.close(table, slot, pending);
+        if def.temporal == TemporalClass::NonTemporal {
+            // Non-versioned tables update in place (no history, no residue).
+            if let Some(updates) = new_values {
+                engine.insert_version_at(
+                    table,
+                    Version {
+                        row: old.row.with_all(updates),
+                        app: old.app,
+                        sys: old.sys,
+                    },
+                );
+            }
+            continue;
+        }
+        for residue in &split.residues {
+            engine.insert_version_at(
+                table,
+                Version {
+                    row: old.row.clone(),
+                    app: *residue,
+                    sys: SysPeriod::since(pending),
+                },
+            );
+        }
+        if let Some(updates) = new_values {
+            engine.insert_version_at(
+                table,
+                Version {
+                    row: old.row.with_all(updates),
+                    app: split.affected,
+                    sys: SysPeriod::since(pending),
+                },
+            );
+        }
+    }
+    Ok(affected)
+}
+
+/// Overwrite of the application period (paper Table 2, "Overwrite
+/// App.Time"): all open versions of the key are superseded by a single
+/// version, carrying the values of the latest (by application start)
+/// version, valid for `period`.
+pub(crate) fn overwrite_period<E: SequencedOps>(
+    engine: &mut E,
+    table: TableId,
+    key: &Key,
+    period: AppPeriod,
+) -> Result<usize> {
+    let def = engine.def(table).clone();
+    if def.temporal != TemporalClass::Bitemporal {
+        return Err(Error::Unsupported(format!(
+            "application-period overwrite on table {}",
+            def.name
+        )));
+    }
+    if period.is_empty() {
+        return Err(Error::EmptyPeriod(format!("{period}")));
+    }
+    let pending = engine.pending_time();
+    let slots = engine.open_slots(table, key);
+    if slots.is_empty() {
+        return Err(Error::KeyNotFound(format!("{key} in {}", def.name)));
+    }
+    let mut representative: Option<Version> = None;
+    let n = slots.len();
+    for slot in slots {
+        let closed = engine.close(table, slot, pending);
+        let better = representative
+            .as_ref()
+            .is_none_or(|r| closed.app.start >= r.app.start);
+        if better {
+            representative = Some(closed);
+        }
+    }
+    let rep = representative.expect("at least one version closed");
+    engine.insert_version_at(
+        table,
+        Version {
+            row: rep.row,
+            app: period,
+            sys: SysPeriod::since(pending),
+        },
+    );
+    Ok(n)
+}
+
+/// The close/insert primitives sequenced DML needs from an engine.
+pub(crate) trait SequencedOps {
+    fn def(&self, table: TableId) -> &TableDef;
+    fn pending_time(&self) -> SysTime;
+    fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64>;
+    fn peek(&self, table: TableId, slot: u64) -> Option<Version>;
+    /// Closes the open version at `slot` and returns it (pre-close periods).
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version;
+    fn insert_version_at(&mut self, table: TableId, version: Version);
+}
+
+impl SequencedOps for SystemA {
+    fn def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+    fn pending_time(&self) -> SysTime {
+        self.pending()
+    }
+    fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
+        self.open_slots_of_key(table, key)
+    }
+    fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
+        self.table(table).current.get(SlotId(slot as u32)).cloned()
+    }
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version {
+        self.close_version(table, slot, end)
+    }
+    fn insert_version_at(&mut self, table: TableId, version: Version) {
+        self.insert_version(table, version);
+    }
+}
+
+impl BitemporalEngine for SystemA {
+    fn name(&self) -> &'static str {
+        "System A"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "row store; current + history tables (same schema); synchronous history writes; \
+         system PK index on current table only"
+    }
+
+    fn create_table(&mut self, def: TableDef) -> Result<TableId> {
+        let pk = (!def.key.is_empty()).then(|| {
+            OrderedIndex::new(IndexDef {
+                name: format!("pk_{}", def.name),
+                cols: def.key.iter().map(|&c| IndexedCol::Value(c)).collect(),
+                kind: IndexKind::BTree,
+            })
+        });
+        let id = self.catalog.create(def)?;
+        self.tables.push(TableA {
+            pk,
+            ..TableA::default()
+        });
+        Ok(id)
+    }
+
+    fn resolve(&self, name: &str) -> Result<TableId> {
+        self.catalog.resolve(name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.catalog.iter().map(|(_, d)| d.name.clone()).collect()
+    }
+
+    fn table_def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+
+    fn apply_tuning(&mut self, tuning: &TuningConfig) -> Result<()> {
+        self.tuning = tuning.clone();
+        let defs: Vec<(TableId, TableDef)> =
+            self.catalog.iter().map(|(i, d)| (i, d.clone())).collect();
+        for (id, def) in defs {
+            let t = &mut self.tables[id.0 as usize];
+            t.cur_indexes.clear();
+            t.hist_indexes.clear();
+            t.hist_key_index = None;
+            let mut cur_defs = Vec::new();
+            let mut hist_defs = Vec::new();
+            build_tuning_defs(&def, tuning, &mut cur_defs, &mut hist_defs, &mut t.hist_key_index)?;
+            t.cur_indexes = cur_defs.into_iter().map(OrderedIndex::new).collect();
+            t.hist_indexes = hist_defs.into_iter().map(OrderedIndex::new).collect();
+            // Populate from existing data.
+            let entries: Vec<(u64, Version)> = t
+                .current
+                .iter()
+                .map(|(s, v)| (u64::from(s.0), v.clone()))
+                .collect();
+            for ix in &mut t.cur_indexes {
+                for (slot, v) in &entries {
+                    ix.insert(v, *slot);
+                }
+            }
+            let entries: Vec<(u64, Version)> = t
+                .history
+                .iter()
+                .map(|(s, v)| (u64::from(s.0), v.clone()))
+                .collect();
+            for ix in &mut t.hist_indexes {
+                for (slot, v) in &entries {
+                    ix.insert(v, *slot);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+        let def = self.catalog.def(table);
+        if row.arity() != def.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "arity {} vs schema {} for {}",
+                row.arity(),
+                def.schema.arity(),
+                def.name
+            )));
+        }
+        let app = match (def.temporal, app) {
+            (TemporalClass::Bitemporal, Some(p)) if p.is_empty() => {
+                return Err(Error::EmptyPeriod(format!("{p}")))
+            }
+            (TemporalClass::Bitemporal, Some(p)) => p,
+            (TemporalClass::Bitemporal, None) => AppPeriod::ALL,
+            (_, Some(_)) => {
+                return Err(Error::Unsupported(format!(
+                    "application period on table {}",
+                    def.name
+                )))
+            }
+            (_, None) => AppPeriod::ALL,
+        };
+        let sys = if def.temporal == TemporalClass::NonTemporal {
+            SysPeriod::ALL
+        } else {
+            SysPeriod::since(self.pending())
+        };
+        self.insert_version(table, Version { row, app, sys });
+        Ok(())
+    }
+
+    fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, Some(updates))
+    }
+
+    fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, None)
+    }
+
+    fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<usize> {
+        overwrite_period(self, table, key, period)
+    }
+
+    fn commit(&mut self) -> SysTime {
+        self.now = self.now.next();
+        self.now
+    }
+
+    fn now(&self) -> SysTime {
+        self.now
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let t = self.table(table);
+        let mut rows = Vec::new();
+        let mut paths = Vec::new();
+        let cur_view = PartitionView {
+            source: &t.current,
+            pk: t.pk.as_ref(),
+            indexes: &t.cur_indexes,
+            gist: None,
+        };
+        paths.push(scan_partition(
+            &cur_view, def, sys, app, preds, self.now, false, &mut rows,
+        ));
+        if !sys.current_only() && def.has_system_time() {
+            let hist_view = PartitionView {
+                source: &t.history,
+                pk: t.hist_key_index.map(|i| &t.hist_indexes[i]),
+                indexes: &t.hist_indexes,
+                gist: None,
+            };
+            paths.push(scan_partition(
+                &hist_view, def, sys, app, preds, self.now, false, &mut rows,
+            ));
+        }
+        Ok(ScanOutput {
+            access: merge_access(paths.clone()),
+            partition_paths: paths,
+            rows,
+        })
+    }
+
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let preds: Vec<ColRange> = def
+            .key
+            .iter()
+            .zip(key.to_values())
+            .map(|(&c, v)| ColRange::eq(c, v))
+            .collect();
+        self.scan(table, sys, app, &preds)
+    }
+
+    fn stats(&self, table: TableId) -> TableStats {
+        let t = self.table(table);
+        TableStats {
+            current_rows: t.current.len(),
+            history_rows: t.history.len(),
+        }
+    }
+}
+
+/// Builds the tuning index definitions for one table — shared by Systems A
+/// and B, which expose the same logical index surface (paper §5.1).
+pub(crate) fn build_tuning_defs(
+    def: &TableDef,
+    tuning: &TuningConfig,
+    cur: &mut Vec<IndexDef>,
+    hist: &mut Vec<IndexDef>,
+    hist_key_index: &mut Option<usize>,
+) -> Result<()> {
+    if tuning.time_index {
+        if def.has_app_time() {
+            cur.push(IndexDef {
+                name: format!("ix_cur_app_{}", def.name),
+                cols: vec![IndexedCol::AppStart],
+                kind: IndexKind::BTree,
+            });
+            hist.push(IndexDef {
+                name: format!("ix_hist_app_{}", def.name),
+                cols: vec![IndexedCol::AppStart],
+                kind: IndexKind::BTree,
+            });
+        }
+        if def.has_system_time() {
+            hist.push(IndexDef {
+                name: format!("ix_hist_sys_{}", def.name),
+                cols: vec![IndexedCol::SysStart],
+                kind: IndexKind::BTree,
+            });
+        }
+    }
+    if tuning.key_time_index && def.has_system_time() && !def.key.is_empty() {
+        let mut cols: Vec<IndexedCol> = def.key.iter().map(|&c| IndexedCol::Value(c)).collect();
+        cols.push(IndexedCol::SysStart);
+        *hist_key_index = Some(hist.len());
+        hist.push(IndexDef {
+            name: format!("ix_hist_key_{}", def.name),
+            cols,
+            kind: IndexKind::BTree,
+        });
+    }
+    for (tname, cname) in &tuning.value_index {
+        if *tname == def.name {
+            let col = def.schema.col(cname)?;
+            let d = IndexDef {
+                name: format!("ix_val_{}_{}", def.name, cname),
+                cols: vec![IndexedCol::Value(col)],
+                kind: IndexKind::BTree,
+            };
+            cur.push(d.clone());
+            if def.has_system_time() {
+                hist.push(d);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AccessPath;
+    use crate::testutil::{bitemp_table, insert_rows, simple_row};
+    use bitempo_core::{AppDate, Period};
+
+    #[test]
+    fn insert_commit_scan_current() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 100), (2, 200)]);
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(e.stats(t).history_rows, 0);
+    }
+
+    #[test]
+    fn update_moves_old_version_to_history() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 100)]);
+        let t1 = e.now();
+        let n = e.update(t, &Key::int(1), &[(1, Value::Int(999))], None).unwrap();
+        e.commit();
+        assert_eq!(n, 1);
+        let s = e.stats(t);
+        assert_eq!((s.current_rows, s.history_rows), (1, 1));
+        // Time travel to before the update sees the old value.
+        let out = e.scan(t, &SysSpec::AsOf(t1), &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(1), &Value::Int(100));
+        // Current sees the new value.
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(999));
+    }
+
+    #[test]
+    fn sequenced_update_splits_portion() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        e.insert(
+            t,
+            simple_row(1, 100),
+            Some(Period::new(AppDate(0), AppDate(100))),
+        )
+        .unwrap();
+        e.commit();
+        let portion = Period::new(AppDate(20), AppDate(40));
+        e.update(t, &Key::int(1), &[(1, Value::Int(777))], Some(portion))
+            .unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 3, "overlap + two residues");
+        // AS OF app day 30 → updated value; day 50 → original.
+        let out = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(30)), &[])
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(1), &Value::Int(777));
+        let out = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(50)), &[])
+            .unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(100));
+    }
+
+    #[test]
+    fn delete_leaves_history_only() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 100)]);
+        let before = e.now();
+        e.delete(t, &Key::int(1), None).unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert!(out.rows.is_empty());
+        let out = e.scan(t, &SysSpec::AsOf(before), &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_app_period_replaces_versions() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        e.insert(t, simple_row(1, 1), Some(Period::new(AppDate(0), AppDate(10))))
+            .unwrap();
+        e.insert(t, simple_row(1, 2), Some(Period::new(AppDate(10), AppDate(20))))
+            .unwrap();
+        e.commit();
+        let n = e
+            .overwrite_app_period(t, &Key::int(1), Period::new(AppDate(5), AppDate(50)))
+            .unwrap();
+        e.commit();
+        assert_eq!(n, 2);
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(1), &Value::Int(2), "latest version's values");
+        assert_eq!(out.rows[0].get(2), &Value::Date(AppDate(5)));
+    }
+
+    #[test]
+    fn explicit_as_of_now_still_visits_history() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 100)]);
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.commit();
+        let now = e.now();
+        let implicit = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        let explicit = e.scan(t, &SysSpec::AsOf(now), &AppSpec::All, &[]).unwrap();
+        assert_eq!(implicit.rows, explicit.rows, "same answer...");
+        assert_eq!(implicit.access, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(
+            explicit.access,
+            AccessPath::FullScan { partitions: 2 },
+            "...but the explicit form pays for both partitions (Fig 6)"
+        );
+    }
+
+    #[test]
+    fn key_lookup_uses_pk_on_current_scan_on_history() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 100), (2, 200)]);
+        e.update(t, &Key::int(1), &[(1, Value::Int(101))], None).unwrap();
+        e.commit();
+        let cur = e
+            .lookup_key(t, &Key::int(1), &SysSpec::Current, &AppSpec::All)
+            .unwrap();
+        assert!(matches!(cur.access, AccessPath::KeyLookup(_)));
+        assert_eq!(cur.rows.len(), 1);
+        let all = e
+            .lookup_key(t, &Key::int(1), &SysSpec::All, &AppSpec::All)
+            .unwrap();
+        assert_eq!(all.rows.len(), 2, "current + historical version");
+        // With Key+Time tuning the history side gains an index.
+        e.apply_tuning(&TuningConfig::key_time()).unwrap();
+        let all = e
+            .lookup_key(t, &Key::int(1), &SysSpec::All, &AppSpec::All)
+            .unwrap();
+        assert!(matches!(all.access, AccessPath::KeyLookup(_)));
+        assert_eq!(all.rows.len(), 2);
+    }
+
+    #[test]
+    fn same_transaction_supersede_discards_invisible_version() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        e.insert(t, simple_row(1, 1), None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.commit();
+        let s = e.stats(t);
+        assert_eq!(
+            (s.current_rows, s.history_rows),
+            (1, 0),
+            "the never-visible intermediate version must not reach history"
+        );
+    }
+
+    #[test]
+    fn nontemporal_table_updates_in_place() {
+        let mut e = SystemA::new();
+        let t = e
+            .create_table(crate::testutil::plain_table("region"))
+            .unwrap();
+        e.insert(t, simple_row(1, 5), None).unwrap();
+        e.commit();
+        e.update(t, &Key::int(1), &[(1, Value::Int(6))], None).unwrap();
+        e.commit();
+        let s = e.stats(t);
+        assert_eq!((s.current_rows, s.history_rows), (1, 0));
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(6));
+        assert_eq!(out.rows[0].arity(), 2, "no period columns on non-temporal");
+    }
+
+    #[test]
+    fn portion_on_nontemporal_is_rejected() {
+        let mut e = SystemA::new();
+        let t = e
+            .create_table(crate::testutil::plain_table("region"))
+            .unwrap();
+        e.insert(t, simple_row(1, 5), None).unwrap();
+        e.commit();
+        let err = e.update(
+            t,
+            &Key::int(1),
+            &[(1, Value::Int(6))],
+            Some(Period::new(AppDate(0), AppDate(1))),
+        );
+        assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+}

@@ -1,0 +1,587 @@
+//! System C: an in-memory column store with native system time only.
+//!
+//! Archetype (paper §2.6 — the SAP HANA "history table"): a columnar table
+//! with hidden `validfrom` / `validto` columns tracking system time; data is
+//! horizontally partitioned into a *current* partition and a *history*
+//! partition, and a **merge** operation moves superseded records from
+//! current to history. Time travel recomputes the snapshot by scanning both
+//! partitions. There is *no native application time* — the benchmark's
+//! application periods are plain date columns, filtered like any value
+//! predicate (paper §3.1: simulated application time).
+//!
+//! System C "relies much more on scans, and is thus not as sensitive to plan
+//! changes as the RDBMSs" (§5.4.1): accordingly, tuning requests are
+//! accepted (the paper's team built B-Trees on System C too, Fig 3) but the
+//! scan path never uses them — which is exactly what the paper measured.
+
+use crate::api::{
+    AccessPath, AppSpec, BitemporalEngine, ColRange, ScanOutput, SysSpec, TableStats, TuningConfig,
+};
+use crate::catalog::Catalog;
+use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
+use crate::version::Version;
+use bitempo_core::{
+    AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
+    TableDef, TableId, TemporalClass, Value,
+};
+use bitempo_storage::ColumnTable;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug)]
+struct TableC {
+    /// Current partition (delta + main inside [`ColumnTable`]).
+    current: ColumnTable,
+    /// History partition.
+    history: ColumnTable,
+    /// Open versions per key (row ids in `current`).
+    key_map: HashMap<Key, Vec<usize>>,
+    /// Rows in `current` that must never be surfaced (non-temporal deletes
+    /// and versions that died inside their creating transaction).
+    dead: HashSet<usize>,
+    /// Closed-but-unmerged row count (merge trigger bookkeeping).
+    closed_in_current: usize,
+    /// Indexes built on request and never consulted (see module docs).
+    ignored_indexes: Vec<String>,
+}
+
+/// Positions of the hidden temporal columns within the physical schema.
+#[derive(Debug, Clone, Copy)]
+struct HiddenCols {
+    app_start: Option<usize>,
+    sys_start: Option<usize>,
+}
+
+fn physical_schema(def: &TableDef) -> (Schema, HiddenCols) {
+    let mut cols = def.schema.columns().to_vec();
+    let mut hidden = HiddenCols {
+        app_start: None,
+        sys_start: None,
+    };
+    if def.has_app_time() {
+        hidden.app_start = Some(cols.len());
+        cols.push(Column::new("$app_start", DataType::Date));
+        cols.push(Column::new("$app_end", DataType::Date));
+    }
+    if def.has_system_time() {
+        hidden.sys_start = Some(cols.len());
+        cols.push(Column::new("$validfrom", DataType::SysTime));
+        cols.push(Column::new("$validto", DataType::SysTime));
+    }
+    (Schema::new(cols), hidden)
+}
+
+/// The System C engine. See module docs.
+#[derive(Debug, Default)]
+pub struct SystemC {
+    catalog: Catalog,
+    tables: Vec<TableC>,
+    hidden: Vec<HiddenCols>,
+    now: SysTime,
+}
+
+impl SystemC {
+    /// Creates an empty engine.
+    pub fn new() -> SystemC {
+        SystemC::default()
+    }
+
+    fn physical_row(&self, table: TableId, v: &Version) -> Row {
+        let def = self.catalog.def(table);
+        let mut values = v.row.values().to_vec();
+        if def.has_app_time() {
+            values.push(Value::Date(v.app.start));
+            values.push(Value::Date(v.app.end));
+        }
+        if def.has_system_time() {
+            values.push(Value::SysTime(v.sys.start));
+            values.push(Value::SysTime(v.sys.end));
+        }
+        Row::new(values)
+    }
+
+    fn version_from(&self, table: TableId, part: &ColumnTable, rowid: usize) -> Version {
+        let def = self.catalog.def(table);
+        let hidden = self.hidden[table.0 as usize];
+        let arity = def.schema.arity();
+        let row: Row = (0..arity).map(|c| part.get_value(c, rowid)).collect();
+        let app = match hidden.app_start {
+            Some(c) => AppPeriod::new(
+                part.get_value(c, rowid).as_date().expect("app start col"),
+                part.get_value(c + 1, rowid).as_date().expect("app end col"),
+            ),
+            None => AppPeriod::ALL,
+        };
+        let sys = match hidden.sys_start {
+            Some(c) => SysPeriod::new(
+                part.get_value(c, rowid).as_sys_time().expect("validfrom"),
+                part.get_value(c + 1, rowid).as_sys_time().expect("validto"),
+            ),
+            None => SysPeriod::ALL,
+        };
+        Version { row, app, sys }
+    }
+
+    /// The HANA-style delta merge: seals the column deltas *and* moves
+    /// superseded records from the current to the history partition.
+    fn merge_table(&mut self, table: TableId) {
+        let def = self.catalog.def(table).clone();
+        let (phys, _) = physical_schema(&def);
+        let hidden = self.hidden[table.0 as usize];
+        let t = &mut self.tables[table.0 as usize];
+        if t.closed_in_current == 0 && t.dead.is_empty() {
+            t.current.merge();
+            t.history.merge();
+            return;
+        }
+        let old = std::mem::replace(&mut t.current, ColumnTable::new(phys));
+        let mut new_map: HashMap<Key, Vec<usize>> = HashMap::new();
+        for rowid in 0..old.len() {
+            if t.dead.contains(&rowid) {
+                continue;
+            }
+            let row = old.get_row(rowid);
+            let open = match hidden.sys_start {
+                Some(c) => old
+                    .get_value(c + 1, rowid)
+                    .as_sys_time()
+                    .expect("validto")
+                    == SysTime::MAX,
+                None => true,
+            };
+            if open {
+                let new_id = t.current.append(&row).expect("schema preserved");
+                let key_vals: Vec<Value> =
+                    def.key.iter().map(|&c| old.get_value(c, rowid)).collect();
+                let key = match key_vals.as_slice() {
+                    [Value::Int(a)] => Key::Int(*a),
+                    [Value::Int(a), Value::Int(b)] => Key::Int2(*a, *b),
+                    other => Key::General(other.to_vec()),
+                };
+                new_map.entry(key).or_default().push(new_id);
+            } else {
+                t.history.append(&row).expect("schema preserved");
+            }
+        }
+        t.key_map = new_map;
+        t.dead.clear();
+        t.closed_in_current = 0;
+        t.current.merge();
+        t.history.merge();
+    }
+}
+
+impl SequencedOps for SystemC {
+    fn def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+    fn pending_time(&self) -> SysTime {
+        self.now.next()
+    }
+    fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
+        self.tables[table.0 as usize]
+            .key_map
+            .get(key)
+            .map(|v| v.iter().map(|&r| r as u64).collect())
+            .unwrap_or_default()
+    }
+    fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
+        let t = &self.tables[table.0 as usize];
+        let rowid = slot as usize;
+        if rowid >= t.current.len() || t.dead.contains(&rowid) {
+            return None;
+        }
+        Some(self.version_from(table, &t.current, rowid))
+    }
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version {
+        let rowid = slot as usize;
+        let before = self
+            .peek(table, slot)
+            .expect("closing a live version");
+        let def_key = self.catalog.def(table).key.clone();
+        let has_sys = self.catalog.def(table).has_system_time();
+        let hidden = self.hidden[table.0 as usize];
+        let t = &mut self.tables[table.0 as usize];
+        let key = Key::from_row(&before.row, &def_key);
+        if let Some(rows) = t.key_map.get_mut(&key) {
+            rows.retain(|&r| r != rowid);
+        }
+        let never_visible = before.sys.start >= end;
+        if !has_sys || never_visible {
+            t.dead.insert(rowid);
+        } else {
+            let c = hidden.sys_start.expect("system-versioned table");
+            t.current
+                .set_value(c + 1, rowid, &Value::SysTime(end))
+                .expect("validto update");
+            t.closed_in_current += 1;
+        }
+        before
+    }
+    fn insert_version_at(&mut self, table: TableId, version: Version) {
+        let def_key = self.catalog.def(table).key.clone();
+        let phys = self.physical_row(table, &version);
+        let t = &mut self.tables[table.0 as usize];
+        let rowid = t.current.append(&phys).expect("schema matches");
+        let key = Key::from_row(&version.row, &def_key);
+        t.key_map.entry(key).or_default().push(rowid);
+    }
+}
+
+impl BitemporalEngine for SystemC {
+    fn name(&self) -> &'static str {
+        "System C"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "in-memory column store; delta/main fragments; hidden validfrom/validto system-time \
+         columns; merge moves superseded records to a history partition; application time \
+         simulated with plain columns; scan-based execution, indexes unused"
+    }
+
+    fn create_table(&mut self, def: TableDef) -> Result<TableId> {
+        let (phys, hidden) = physical_schema(&def);
+        let id = self.catalog.create(def)?;
+        self.tables.push(TableC {
+            current: ColumnTable::new(phys.clone()),
+            history: ColumnTable::new(phys),
+            key_map: HashMap::new(),
+            dead: HashSet::new(),
+            closed_in_current: 0,
+            ignored_indexes: Vec::new(),
+        });
+        self.hidden.push(hidden);
+        Ok(id)
+    }
+
+    fn resolve(&self, name: &str) -> Result<TableId> {
+        self.catalog.resolve(name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.catalog.iter().map(|(_, d)| d.name.clone()).collect()
+    }
+
+    fn table_def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+
+    fn apply_tuning(&mut self, tuning: &TuningConfig) -> Result<()> {
+        // Build (label) the requested indexes so the tuning study can report
+        // them, but never consult them: the scan path is the plan (Fig 3).
+        for (id, def) in self.catalog.iter() {
+            let t = &mut self.tables[id.0 as usize];
+            t.ignored_indexes.clear();
+            if tuning.time_index && def.has_system_time() {
+                t.ignored_indexes.push(format!("ix_sys_{}", def.name));
+            }
+            if tuning.key_time_index && !def.key.is_empty() {
+                t.ignored_indexes.push(format!("ix_key_{}", def.name));
+            }
+            for (tname, cname) in &tuning.value_index {
+                if *tname == def.name {
+                    def.schema.col(cname)?;
+                    t.ignored_indexes
+                        .push(format!("ix_val_{}_{}", def.name, cname));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+        let def = self.catalog.def(table);
+        if row.arity() != def.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "arity {} vs schema {} for {}",
+                row.arity(),
+                def.schema.arity(),
+                def.name
+            )));
+        }
+        let app = match (def.temporal, app) {
+            (TemporalClass::Bitemporal, Some(p)) if p.is_empty() => {
+                return Err(Error::EmptyPeriod(format!("{p}")))
+            }
+            (TemporalClass::Bitemporal, Some(p)) => p,
+            (TemporalClass::Bitemporal, None) => AppPeriod::ALL,
+            (_, Some(_)) => {
+                return Err(Error::Unsupported(format!(
+                    "application period on table {}",
+                    def.name
+                )))
+            }
+            (_, None) => AppPeriod::ALL,
+        };
+        let sys = if def.temporal == TemporalClass::NonTemporal {
+            SysPeriod::ALL
+        } else {
+            SysPeriod::since(self.pending_time())
+        };
+        self.insert_version_at(table, Version { row, app, sys });
+        Ok(())
+    }
+
+    fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, Some(updates))
+    }
+
+    fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, None)
+    }
+
+    fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<usize> {
+        overwrite_period(self, table, key, period)
+    }
+
+    fn commit(&mut self) -> SysTime {
+        self.now = self.now.next();
+        self.now
+    }
+
+    fn now(&self) -> SysTime {
+        self.now
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let hidden = self.hidden[table.0 as usize];
+        let t = &self.tables[table.0 as usize];
+        let mut rows = Vec::new();
+        let mut partitions = 1u8;
+
+        // Column-store execution: evaluate the temporal filter and the
+        // pushed predicates on the *columns they touch*, and materialize a
+        // full row only for qualifying positions — the scan discipline that
+        // makes System C "not as sensitive to plan changes" (paper §5.4.1).
+        let mut scan_fragment = |part: &ColumnTable, dead: Option<&HashSet<usize>>| {
+            for rowid in 0..part.len() {
+                if dead.is_some_and(|d| d.contains(&rowid)) {
+                    continue;
+                }
+                let sys_ok = match hidden.sys_start {
+                    Some(c) => {
+                        let start = part.get_value(c, rowid).as_sys_time().expect("validfrom");
+                        let end = part.get_value(c + 1, rowid).as_sys_time().expect("validto");
+                        sys.matches(&SysPeriod::new(start, end))
+                    }
+                    None => true,
+                };
+                if !sys_ok {
+                    continue;
+                }
+                let app_ok = match hidden.app_start {
+                    Some(c) => {
+                        let start = part.get_value(c, rowid).as_date().expect("app start");
+                        let end = part.get_value(c + 1, rowid).as_date().expect("app end");
+                        app.matches(&AppPeriod::new(start, end))
+                    }
+                    None => true,
+                };
+                if !app_ok {
+                    continue;
+                }
+                if !preds
+                    .iter()
+                    .all(|p| p.matches(&part.get_value(p.col, rowid)))
+                {
+                    continue;
+                }
+                let v = self.version_from(table, part, rowid);
+                rows.push(v.output_row(def));
+            }
+        };
+        scan_fragment(&t.current, Some(&t.dead));
+        if !sys.current_only() && def.has_system_time() {
+            partitions += 1;
+            scan_fragment(&t.history, None);
+        }
+        Ok(ScanOutput {
+            rows,
+            access: AccessPath::FullScan { partitions },
+            partition_paths: (0..partitions)
+                .map(|_| AccessPath::FullScan { partitions: 1 })
+                .collect(),
+        })
+    }
+
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let preds: Vec<ColRange> = def
+            .key
+            .iter()
+            .zip(key.to_values())
+            .map(|(&c, v)| ColRange::eq(c, v))
+            .collect();
+        // Column stores answer even point lookups with scans.
+        self.scan(table, sys, app, &preds)
+    }
+
+    fn stats(&self, table: TableId) -> TableStats {
+        let t = &self.tables[table.0 as usize];
+        let open: usize = t.key_map.values().map(Vec::len).sum();
+        TableStats {
+            current_rows: open,
+            history_rows: t.history.len() + t.closed_in_current,
+        }
+    }
+
+    fn checkpoint(&mut self) {
+        for id in 0..self.tables.len() {
+            self.merge_table(TableId(id as u32));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{bitemp_table, insert_rows, simple_row};
+    use bitempo_core::{AppDate, Period};
+
+    #[test]
+    fn insert_update_time_travel() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 10), (2, 20)]);
+        let t1 = e.now();
+        e.update(t, &Key::int(1), &[(1, Value::Int(11))], None).unwrap();
+        e.commit();
+        let cur = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(cur.rows.len(), 2);
+        assert_eq!(cur.access, AccessPath::FullScan { partitions: 1 });
+        let past = e.scan(t, &SysSpec::AsOf(t1), &AppSpec::All, &[]).unwrap();
+        let mut vals: Vec<i64> = past.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![10, 20]);
+        assert_eq!(past.access, AccessPath::FullScan { partitions: 2 });
+    }
+
+    #[test]
+    fn merge_moves_closed_versions_to_history() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 10)]);
+        let t1 = e.now();
+        for i in 0..5 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None).unwrap();
+            e.commit();
+        }
+        assert_eq!(e.tables[0].history.len(), 0, "not merged yet");
+        let before: Vec<Row> = {
+            let mut r = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
+            r.sort();
+            r
+        };
+        e.checkpoint();
+        assert_eq!(e.tables[0].history.len(), 5);
+        assert_eq!(e.tables[0].current.len(), 1);
+        let after: Vec<Row> = {
+            let mut r = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
+            r.sort();
+            r
+        };
+        assert_eq!(before, after, "merge must not change query results");
+        // Time travel to before the updates still works post-merge.
+        let past = e.scan(t, &SysSpec::AsOf(t1), &AppSpec::All, &[]).unwrap();
+        assert_eq!(past.rows.len(), 1);
+        assert_eq!(past.rows[0].get(1), &Value::Int(10));
+        // DML after merge keeps working.
+        e.update(t, &Key::int(1), &[(1, Value::Int(99))], None).unwrap();
+        e.commit();
+        let cur = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(cur.rows[0].get(1), &Value::Int(99));
+    }
+
+    #[test]
+    fn key_lookup_is_a_scan() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 1), (2, 2)]);
+        let out = e
+            .lookup_key(t, &Key::int(1), &SysSpec::Current, &AppSpec::All)
+            .unwrap();
+        assert!(matches!(out.access, AccessPath::FullScan { .. }));
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn tuning_is_accepted_and_ignored() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 1)]);
+        e.apply_tuning(&TuningConfig::key_time()).unwrap();
+        assert!(!e.tables[0].ignored_indexes.is_empty());
+        let out = e
+            .lookup_key(t, &Key::int(1), &SysSpec::Current, &AppSpec::All)
+            .unwrap();
+        assert!(
+            matches!(out.access, AccessPath::FullScan { .. }),
+            "System C never uses indexes (Fig 3)"
+        );
+    }
+
+    #[test]
+    fn sequenced_split_in_column_store() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        e.insert(
+            t,
+            simple_row(1, 100),
+            Some(Period::new(AppDate(0), AppDate(100))),
+        )
+        .unwrap();
+        e.commit();
+        e.update(
+            t,
+            &Key::int(1),
+            &[(1, Value::Int(777))],
+            Some(Period::new(AppDate(20), AppDate(40))),
+        )
+        .unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let out = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(30)), &[])
+            .unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(777));
+    }
+
+    #[test]
+    fn same_txn_supersede_never_surfaces() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        e.insert(t, simple_row(1, 1), None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.commit();
+        let all = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap();
+        assert_eq!(all.rows.len(), 1);
+        assert_eq!(all.rows[0].get(1), &Value::Int(2));
+        e.checkpoint();
+        let all = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap();
+        assert_eq!(all.rows.len(), 1, "dead row dropped by merge");
+    }
+}

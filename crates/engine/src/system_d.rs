@@ -1,0 +1,515 @@
+//! System D: a conventional RDBMS with *simulated* temporal support.
+//!
+//! Archetype (paper §2.5 — PostgreSQL): no native temporal features at all.
+//! Both periods are ordinary columns in one single table — no current/history
+//! split — so the loader may set system timestamps itself and bulk-load the
+//! history (paper §5.8: "its cost is much lower since we can set the
+//! timestamps manually and perform a bulk load"). The price is paid at query
+//! time: even implicit-current queries must wade through all versions
+//! ("the missing current/history split of System D makes application time
+//! history at current system time more expensive", §5.5.1). B-Tree *and*
+//! GiST (R-Tree) indexes are available through tuning.
+
+use crate::api::{
+    AppSpec, BitemporalEngine, ColRange, IndexKind, ScanOutput, SysSpec, TableStats, TuningConfig,
+};
+use crate::catalog::Catalog;
+use crate::index::{GistIndex, IndexDef, IndexedCol, OrderedIndex};
+use crate::rowscan::{merge_access, scan_partition, PartitionView};
+use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
+use crate::version::Version;
+use bitempo_core::{
+    AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
+    Value,
+};
+use bitempo_storage::{Heap, SlotId};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct TableD {
+    /// The single physical table holding every version.
+    all: Heap<Version>,
+    /// Tuning indexes.
+    indexes: Vec<OrderedIndex>,
+    /// Index usable for key lookups (built by the Key+Time setting).
+    key_index: Option<usize>,
+    /// GiST index over the period rectangles.
+    gist: Option<GistIndex>,
+    /// Open versions per key — the bookkeeping any *application* simulating
+    /// temporal tables must carry (the paper's §2.4 note that DML semantics
+    /// fall to the application when support is not native).
+    key_map: HashMap<Key, Vec<u64>>,
+}
+
+/// The System D engine. See module docs.
+#[derive(Debug, Default)]
+pub struct SystemD {
+    catalog: Catalog,
+    tables: Vec<TableD>,
+    now: SysTime,
+    tuning: TuningConfig,
+}
+
+impl SystemD {
+    /// Creates an empty engine.
+    pub fn new() -> SystemD {
+        SystemD::default()
+    }
+
+    fn insert_version(&mut self, table: TableId, version: Version) {
+        let def_key = self.catalog.def(table).key.clone();
+        let t = &mut self.tables[table.0 as usize];
+        let slot = t.all.insert(version);
+        let slot64 = u64::from(slot.0);
+        let v = t.all.get(slot).expect("just inserted").clone();
+        for ix in &mut t.indexes {
+            ix.insert(&v, slot64);
+        }
+        if let Some(g) = &mut t.gist {
+            g.insert(&v, slot64);
+        }
+        if v.sys.is_current() {
+            let key = Key::from_row(&v.row, &def_key);
+            t.key_map.entry(key).or_default().push(slot64);
+        }
+    }
+}
+
+impl SequencedOps for SystemD {
+    fn def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+    fn pending_time(&self) -> SysTime {
+        self.now.next()
+    }
+    fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
+        self.tables[table.0 as usize]
+            .key_map
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+    fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
+        self.tables[table.0 as usize]
+            .all
+            .get(SlotId(slot as u32))
+            .cloned()
+    }
+    fn close(&mut self, table: TableId, slot64: u64, end: SysTime) -> Version {
+        let def_key = self.catalog.def(table).key.clone();
+        let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
+        let t = &mut self.tables[table.0 as usize];
+        let slot = SlotId(slot64 as u32);
+        let before = t.all.get(slot).expect("closing live version").clone();
+        let key = Key::from_row(&before.row, &def_key);
+        if let Some(slots) = t.key_map.get_mut(&key) {
+            slots.retain(|&s| s != slot64);
+        }
+        let never_visible = before.sys.start >= end;
+        if nontemporal || never_visible {
+            // Non-versioned tables (and never-visible versions) vanish.
+            t.all.remove(slot);
+            for ix in &mut t.indexes {
+                ix.remove(&before, slot64);
+            }
+            // GiST entries are left stale: the tombstoned slot resolves to
+            // nothing at probe time, which is sound (conservative rects).
+        } else {
+            // In-place close: the version stays put with an ended period.
+            // Period *starts* are the only indexed boundaries, so B-Tree
+            // entries remain valid; the GiST rect becomes conservative.
+            let v = t.all.get_mut(slot).expect("still live");
+            v.sys = SysPeriod::new(v.sys.start, end);
+        }
+        before
+    }
+    fn insert_version_at(&mut self, table: TableId, version: Version) {
+        self.insert_version(table, version);
+    }
+}
+
+impl BitemporalEngine for SystemD {
+    fn name(&self) -> &'static str {
+        "System D"
+    }
+
+    fn architecture(&self) -> &'static str {
+        "row store without temporal support; single table with explicit period columns; \
+         manual timestamps and bulk load; B-Tree and GiST indexes via tuning"
+    }
+
+    fn create_table(&mut self, def: TableDef) -> Result<TableId> {
+        let id = self.catalog.create(def)?;
+        self.tables.push(TableD::default());
+        Ok(id)
+    }
+
+    fn resolve(&self, name: &str) -> Result<TableId> {
+        self.catalog.resolve(name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.catalog.iter().map(|(_, d)| d.name.clone()).collect()
+    }
+
+    fn table_def(&self, table: TableId) -> &TableDef {
+        self.catalog.def(table)
+    }
+
+    fn apply_tuning(&mut self, tuning: &TuningConfig) -> Result<()> {
+        self.tuning = tuning.clone();
+        let defs: Vec<(TableId, TableDef)> =
+            self.catalog.iter().map(|(i, d)| (i, d.clone())).collect();
+        for (id, def) in defs {
+            let mut index_defs: Vec<IndexDef> = Vec::new();
+            let mut key_index = None;
+            if tuning.time_index {
+                if def.has_app_time() {
+                    index_defs.push(IndexDef {
+                        name: format!("ix_app_{}", def.name),
+                        cols: vec![IndexedCol::AppStart],
+                        kind: IndexKind::BTree,
+                    });
+                }
+                if def.has_system_time() {
+                    index_defs.push(IndexDef {
+                        name: format!("ix_sys_{}", def.name),
+                        cols: vec![IndexedCol::SysStart],
+                        kind: IndexKind::BTree,
+                    });
+                }
+            }
+            if tuning.key_time_index && !def.key.is_empty() {
+                let mut cols: Vec<IndexedCol> =
+                    def.key.iter().map(|&c| IndexedCol::Value(c)).collect();
+                cols.push(IndexedCol::SysStart);
+                key_index = Some(index_defs.len());
+                index_defs.push(IndexDef {
+                    name: format!("ix_key_{}", def.name),
+                    cols,
+                    kind: IndexKind::BTree,
+                });
+            }
+            for (tname, cname) in &tuning.value_index {
+                if *tname == def.name {
+                    let col = def.schema.col(cname)?;
+                    index_defs.push(IndexDef {
+                        name: format!("ix_val_{}_{}", def.name, cname),
+                        cols: vec![IndexedCol::Value(col)],
+                        kind: IndexKind::BTree,
+                    });
+                }
+            }
+            let t = &mut self.tables[id.0 as usize];
+            t.indexes = index_defs.into_iter().map(OrderedIndex::new).collect();
+            t.key_index = key_index;
+            t.gist = (tuning.gist && def.has_system_time())
+                .then(|| GistIndex::new(format!("gist_{}", def.name)));
+            let entries: Vec<(u64, Version)> = t
+                .all
+                .iter()
+                .map(|(s, v)| (u64::from(s.0), v.clone()))
+                .collect();
+            for ix in &mut t.indexes {
+                for (slot, v) in &entries {
+                    ix.insert(v, *slot);
+                }
+            }
+            if let Some(g) = &mut t.gist {
+                for (slot, v) in &entries {
+                    g.insert(v, *slot);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+        let def = self.catalog.def(table);
+        if row.arity() != def.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "arity {} vs schema {} for {}",
+                row.arity(),
+                def.schema.arity(),
+                def.name
+            )));
+        }
+        let app = match (def.temporal, app) {
+            (TemporalClass::Bitemporal, Some(p)) if p.is_empty() => {
+                return Err(Error::EmptyPeriod(format!("{p}")))
+            }
+            (TemporalClass::Bitemporal, Some(p)) => p,
+            (TemporalClass::Bitemporal, None) => AppPeriod::ALL,
+            (_, Some(_)) => {
+                return Err(Error::Unsupported(format!(
+                    "application period on table {}",
+                    def.name
+                )))
+            }
+            (_, None) => AppPeriod::ALL,
+        };
+        let sys = if def.temporal == TemporalClass::NonTemporal {
+            SysPeriod::ALL
+        } else {
+            SysPeriod::since(self.pending_time())
+        };
+        self.insert_version(table, Version { row, app, sys });
+        Ok(())
+    }
+
+    fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, Some(updates))
+    }
+
+    fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<usize> {
+        sequenced_dml(self, table, key, portion, None)
+    }
+
+    fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<usize> {
+        overwrite_period(self, table, key, period)
+    }
+
+    fn commit(&mut self) -> SysTime {
+        self.now = self.now.next();
+        self.now
+    }
+
+    fn now(&self) -> SysTime {
+        self.now
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let t = &self.tables[table.0 as usize];
+        let view = PartitionView {
+            source: &t.all,
+            pk: t.key_index.map(|i| &t.indexes[i]),
+            indexes: &t.indexes,
+            gist: t.gist.as_ref(),
+        };
+        let mut rows = Vec::new();
+        let path = scan_partition(
+            &view,
+            def,
+            sys,
+            app,
+            preds,
+            self.now,
+            self.tuning.gist,
+            &mut rows,
+        );
+        Ok(ScanOutput {
+            access: merge_access(vec![path.clone()]),
+            partition_paths: vec![path],
+            rows,
+        })
+    }
+
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput> {
+        let def = self.catalog.def(table);
+        let preds: Vec<ColRange> = def
+            .key
+            .iter()
+            .zip(key.to_values())
+            .map(|(&c, v)| ColRange::eq(c, v))
+            .collect();
+        self.scan(table, sys, app, &preds)
+    }
+
+    fn stats(&self, table: TableId) -> TableStats {
+        let t = &self.tables[table.0 as usize];
+        let current = t.key_map.values().map(Vec::len).sum();
+        TableStats {
+            current_rows: current,
+            history_rows: t.all.len() - current,
+        }
+    }
+
+    fn supports_manual_system_time(&self) -> bool {
+        true
+    }
+
+    fn bulk_load(
+        &mut self,
+        table: TableId,
+        versions: Vec<(Row, AppPeriod, SysPeriod)>,
+    ) -> Result<()> {
+        for (row, app, sys) in versions {
+            if sys.is_empty() {
+                return Err(Error::EmptyPeriod(format!("{sys}")));
+            }
+            self.insert_version(table, Version { row, app, sys });
+            if self.now < sys.start {
+                self.now = sys.start;
+            }
+            if sys.end != SysTime::MAX && self.now < sys.end {
+                self.now = sys.end;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AccessPath;
+    use crate::testutil::{bitemp_table, insert_rows, simple_row};
+    use bitempo_core::{AppDate, Period};
+
+    #[test]
+    fn single_partition_even_for_current_queries() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 1), (2, 2)]);
+        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None).unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        // The scan had to walk all three stored versions in one heap.
+        assert_eq!(out.access, AccessPath::FullScan { partitions: 1 });
+        let s = e.stats(t);
+        assert_eq!((s.current_rows, s.history_rows), (2, 1));
+    }
+
+    #[test]
+    fn bulk_load_with_manual_timestamps() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        assert!(e.supports_manual_system_time());
+        e.bulk_load(
+            t,
+            vec![
+                (
+                    simple_row(1, 10),
+                    AppPeriod::ALL,
+                    SysPeriod::new(SysTime(1), SysTime(5)),
+                ),
+                (
+                    simple_row(1, 11),
+                    AppPeriod::ALL,
+                    SysPeriod::since(SysTime(5)),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.now(), SysTime(5));
+        let out = e.scan(t, &SysSpec::AsOf(SysTime(2)), &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(10));
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(11));
+        // DML after bulk load continues the timeline.
+        e.update(t, &Key::int(1), &[(1, Value::Int(12))], None).unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
+        assert_eq!(out.rows[0].get(1), &Value::Int(12));
+    }
+
+    #[test]
+    fn bulk_load_rejected_on_other_engines() {
+        let mut e = crate::SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        assert!(!e.supports_manual_system_time());
+        let err = e.bulk_load(t, vec![]);
+        assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn gist_tuning_is_used_and_correct() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        for i in 0..50 {
+            e.insert(
+                t,
+                simple_row(i, i * 2),
+                Some(Period::new(AppDate(i), AppDate(i + 10))),
+            )
+            .unwrap();
+            e.commit();
+        }
+        let no_index = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(25)), &[])
+            .unwrap();
+        e.apply_tuning(&TuningConfig {
+            gist: true,
+            time_index: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let gist = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(25)), &[])
+            .unwrap();
+        assert!(matches!(gist.access, AccessPath::GistScan(_)));
+        let mut a = no_index.rows.clone();
+        let mut b = gist.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "GiST scan must return the same rows as the seq scan");
+    }
+
+    #[test]
+    fn gist_stays_correct_after_post_tuning_dml() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 1), (2, 2)]);
+        e.apply_tuning(&TuningConfig {
+            gist: true,
+            ..Default::default()
+        })
+        .unwrap();
+        // Close version 1 after the GiST was built (rect goes conservative)
+        // and insert a fresh key.
+        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None).unwrap();
+        e.commit();
+        e.insert(t, simple_row(3, 3), None).unwrap();
+        e.commit();
+        let out = e.scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[]).unwrap();
+        assert!(matches!(out.access, AccessPath::GistScan(_)));
+        let mut vals: Vec<i64> = out.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn key_time_index_serves_lookups() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        for i in 0..100 {
+            e.insert(t, simple_row(i, i), None).unwrap();
+            e.commit();
+        }
+        let before = e
+            .lookup_key(t, &Key::int(5), &SysSpec::All, &AppSpec::All)
+            .unwrap();
+        assert_eq!(before.access, AccessPath::FullScan { partitions: 1 });
+        e.apply_tuning(&TuningConfig::key_time()).unwrap();
+        let after = e
+            .lookup_key(t, &Key::int(5), &SysSpec::All, &AppSpec::All)
+            .unwrap();
+        assert!(matches!(after.access, AccessPath::KeyLookup(_)));
+        assert_eq!(after.rows, before.rows);
+    }
+}

@@ -1,0 +1,66 @@
+//! Small fixtures shared by the engine test suites (and the integration
+//! tests). Not part of the supported API surface.
+#![doc(hidden)]
+
+use crate::api::BitemporalEngine;
+use bitempo_core::{Column, DataType, Row, Schema, TableDef, TableId, TemporalClass, Value};
+
+/// A two-column bitemporal test table: `id Int` (key), `val Int`.
+pub fn bitemp_table(name: &str) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("val", DataType::Int),
+        ]),
+        vec![0],
+        TemporalClass::Bitemporal,
+        Some("vt"),
+    )
+    .expect("valid test table")
+}
+
+/// A non-temporal variant of [`bitemp_table`].
+pub fn plain_table(name: &str) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("val", DataType::Int),
+        ]),
+        vec![0],
+        TemporalClass::NonTemporal,
+        None,
+    )
+    .expect("valid test table")
+}
+
+/// A degenerate (system-time-only) variant of [`bitemp_table`].
+pub fn degenerate_table(name: &str) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("val", DataType::Int),
+        ]),
+        vec![0],
+        TemporalClass::Degenerate,
+        None,
+    )
+    .expect("valid test table")
+}
+
+/// An `(id, val)` row.
+pub fn simple_row(id: i64, val: i64) -> Row {
+    Row::new(vec![Value::Int(id), Value::Int(val)])
+}
+
+/// Inserts each `(id, val)` pair in its own transaction.
+pub fn insert_rows(engine: &mut dyn BitemporalEngine, table: TableId, rows: &[(i64, i64)]) {
+    for &(id, val) in rows {
+        engine
+            .insert(table, simple_row(id, val), None)
+            .expect("test insert");
+        engine.commit();
+    }
+}

@@ -1,0 +1,450 @@
+//! The generator archive: a system-independent, versioned binary encoding
+//! of the transaction stream (paper §4: "the result is serialized in a
+//! generator archive... the same input can be applied for the population of
+//! all database systems").
+//!
+//! The format is a flat length-prefixed encoding (little-endian), hand
+//! rolled so the wire layout is explicit and auditable; see DESIGN.md §2.
+
+use crate::ops::{Op, ScenarioKind, Transaction};
+use bitempo_core::{AppDate, AppPeriod, Error, Key, Period, Result, Row, Value};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"BIHA";
+const VERSION: u32 = 1;
+
+/// A serialized history: seeds plus the ordered transaction list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Archive {
+    /// Seed of the dbgen population this history was generated against.
+    pub dbgen_seed: u64,
+    /// Seed of the scenario stream.
+    pub hist_seed: u64,
+    /// Transactions in commit order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Archive {
+    /// Groups scenarios into batches of `batch_size` transactions each —
+    /// the loader knob behind Fig 13 ("combine a series of scenarios into
+    /// batches of variable sizes").
+    pub fn batched(&self, batch_size: usize) -> Vec<Transaction> {
+        let batch_size = batch_size.max(1);
+        self.transactions
+            .chunks(batch_size)
+            .map(|chunk| Transaction {
+                scenarios: chunk.iter().flat_map(|t| t.scenarios.clone()).collect(),
+                ops: chunk.iter().flat_map(|t| t.ops.clone()).collect(),
+            })
+            .collect()
+    }
+
+    /// Serializes into `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.dbgen_seed.to_le_bytes())?;
+        w.write_all(&self.hist_seed.to_le_bytes())?;
+        w.write_all(&(self.transactions.len() as u64).to_le_bytes())?;
+        for txn in &self.transactions {
+            w.write_all(&(txn.scenarios.len() as u16).to_le_bytes())?;
+            for s in &txn.scenarios {
+                w.write_all(&[s.tag()])?;
+            }
+            w.write_all(&(txn.ops.len() as u32).to_le_bytes())?;
+            for op in &txn.ops {
+                write_op(w, op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from `r`.
+    pub fn read_from(r: &mut impl Read) -> Result<Archive> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(Error::Archive("bad magic".into()));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(Error::Archive(format!("unsupported version {version}")));
+        }
+        let dbgen_seed = read_u64(r)?;
+        let hist_seed = read_u64(r)?;
+        let n = read_u64(r)? as usize;
+        let mut transactions = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            let n_scen = read_u16(r)? as usize;
+            let mut scenarios = Vec::with_capacity(n_scen);
+            for _ in 0..n_scen {
+                let tag = read_u8(r)?;
+                scenarios.push(
+                    ScenarioKind::from_tag(tag)
+                        .ok_or_else(|| Error::Archive(format!("bad scenario tag {tag}")))?,
+                );
+            }
+            let n_ops = read_u32(r)? as usize;
+            let mut ops = Vec::with_capacity(n_ops.min(1 << 20));
+            for _ in 0..n_ops {
+                ops.push(read_op(r)?);
+            }
+            transactions.push(Transaction { scenarios, ops });
+        }
+        Ok(Archive {
+            dbgen_seed,
+            hist_seed,
+            transactions,
+        })
+    }
+
+    /// Writes the archive to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.write_to(&mut w)?;
+        use std::io::Write as _;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads an archive from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Archive> {
+        let file = std::fs::File::open(path)?;
+        let mut r = std::io::BufReader::new(file);
+        Archive::read_from(&mut r)
+    }
+}
+
+fn write_op(w: &mut impl Write, op: &Op) -> Result<()> {
+    match op {
+        Op::Insert { table, row, app } => {
+            w.write_all(&[0, *table])?;
+            write_row(w, row)?;
+            write_opt_period(w, app)?;
+        }
+        Op::Update {
+            table,
+            key,
+            updates,
+            portion,
+        } => {
+            w.write_all(&[1, *table])?;
+            write_key(w, key)?;
+            w.write_all(&(updates.len() as u16).to_le_bytes())?;
+            for (c, v) in updates {
+                w.write_all(&c.to_le_bytes())?;
+                write_value(w, v)?;
+            }
+            write_opt_period(w, portion)?;
+        }
+        Op::Delete {
+            table,
+            key,
+            portion,
+        } => {
+            w.write_all(&[2, *table])?;
+            write_key(w, key)?;
+            write_opt_period(w, portion)?;
+        }
+        Op::OverwriteApp { table, key, period } => {
+            w.write_all(&[3, *table])?;
+            write_key(w, key)?;
+            write_period(w, period)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_op(r: &mut impl Read) -> Result<Op> {
+    let tag = read_u8(r)?;
+    let table = read_u8(r)?;
+    match tag {
+        0 => Ok(Op::Insert {
+            table,
+            row: read_row(r)?,
+            app: read_opt_period(r)?,
+        }),
+        1 => {
+            let key = read_key(r)?;
+            let n = read_u16(r)? as usize;
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let c = read_u16(r)?;
+                updates.push((c, read_value(r)?));
+            }
+            Ok(Op::Update {
+                table,
+                key,
+                updates,
+                portion: read_opt_period(r)?,
+            })
+        }
+        2 => Ok(Op::Delete {
+            table,
+            key: read_key(r)?,
+            portion: read_opt_period(r)?,
+        }),
+        3 => Ok(Op::OverwriteApp {
+            table,
+            key: read_key(r)?,
+            period: read_period(r)?,
+        }),
+        other => Err(Error::Archive(format!("bad op tag {other}"))),
+    }
+}
+
+fn write_value(w: &mut impl Write, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => w.write_all(&[0])?,
+        Value::Int(i) => {
+            w.write_all(&[1])?;
+            w.write_all(&i.to_le_bytes())?;
+        }
+        Value::Double(d) => {
+            w.write_all(&[2])?;
+            w.write_all(&d.to_bits().to_le_bytes())?;
+        }
+        Value::Str(s) => {
+            w.write_all(&[3])?;
+            w.write_all(&(s.len() as u32).to_le_bytes())?;
+            w.write_all(s.as_bytes())?;
+        }
+        Value::Date(d) => {
+            w.write_all(&[4])?;
+            w.write_all(&d.0.to_le_bytes())?;
+        }
+        Value::SysTime(t) => {
+            w.write_all(&[5])?;
+            w.write_all(&t.0.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_value(r: &mut impl Read) -> Result<Value> {
+    Ok(match read_u8(r)? {
+        0 => Value::Null,
+        1 => Value::Int(read_i64(r)?),
+        2 => Value::Double(f64::from_bits(read_u64(r)?)),
+        3 => {
+            let len = read_u32(r)? as usize;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            Value::Str(
+                String::from_utf8(buf)
+                    .map_err(|e| Error::Archive(format!("bad utf8: {e}")))?
+                    .into(),
+            )
+        }
+        4 => Value::Date(AppDate(read_i64(r)?)),
+        5 => Value::SysTime(bitempo_core::SysTime(read_u64(r)?)),
+        other => return Err(Error::Archive(format!("bad value tag {other}"))),
+    })
+}
+
+fn write_row(w: &mut impl Write, row: &Row) -> Result<()> {
+    w.write_all(&(row.arity() as u16).to_le_bytes())?;
+    for v in row.values() {
+        write_value(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_row(r: &mut impl Read) -> Result<Row> {
+    let n = read_u16(r)? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(read_value(r)?);
+    }
+    Ok(Row::new(values))
+}
+
+fn write_key(w: &mut impl Write, key: &Key) -> Result<()> {
+    let values = key.to_values();
+    w.write_all(&(values.len() as u16).to_le_bytes())?;
+    for v in &values {
+        write_value(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_key(r: &mut impl Read) -> Result<Key> {
+    let n = read_u16(r)? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(read_value(r)?);
+    }
+    Ok(match values.as_slice() {
+        [Value::Int(a)] => Key::Int(*a),
+        [Value::Int(a), Value::Int(b)] => Key::Int2(*a, *b),
+        _ => Key::General(values),
+    })
+}
+
+fn write_period(w: &mut impl Write, p: &AppPeriod) -> Result<()> {
+    w.write_all(&p.start.0.to_le_bytes())?;
+    w.write_all(&p.end.0.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_period(r: &mut impl Read) -> Result<AppPeriod> {
+    let start = AppDate(read_i64(r)?);
+    let end = AppDate(read_i64(r)?);
+    Ok(Period::new(start, end))
+}
+
+fn write_opt_period(w: &mut impl Write, p: &Option<AppPeriod>) -> Result<()> {
+    match p {
+        None => w.write_all(&[0])?,
+        Some(p) => {
+            w.write_all(&[1])?;
+            write_period(w, p)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_opt_period(r: &mut impl Read) -> Result<Option<AppPeriod>> {
+    Ok(match read_u8(r)? {
+        0 => None,
+        1 => Some(read_period(r)?),
+        other => return Err(Error::Archive(format!("bad option tag {other}"))),
+    })
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+fn read_u16(r: &mut impl Read) -> Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn read_i64(r: &mut impl Read) -> Result<i64> {
+    Ok(read_u64(r)? as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_archive() -> Archive {
+        Archive {
+            dbgen_seed: 11,
+            hist_seed: 22,
+            transactions: vec![
+                Transaction {
+                    scenarios: vec![ScenarioKind::NewOrderNewCustomer],
+                    ops: vec![
+                        Op::Insert {
+                            table: 3,
+                            row: Row::new(vec![
+                                Value::Int(1),
+                                Value::str("x"),
+                                Value::Double(1.5),
+                                Value::Date(AppDate(100)),
+                                Value::Null,
+                            ]),
+                            app: Some(Period::new(AppDate(1), AppDate::MAX)),
+                        },
+                        Op::Update {
+                            table: 6,
+                            key: Key::int(5),
+                            updates: vec![(2, Value::str("F"))],
+                            portion: None,
+                        },
+                    ],
+                },
+                Transaction {
+                    scenarios: vec![ScenarioKind::CancelOrder],
+                    ops: vec![
+                        Op::Delete {
+                            table: 7,
+                            key: Key::int2(5, 1),
+                            portion: Some(Period::new(AppDate(0), AppDate(10))),
+                        },
+                        Op::OverwriteApp {
+                            table: 4,
+                            key: Key::int(9),
+                            period: Period::new(AppDate(3), AppDate::MAX),
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        let b = Archive::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let a = sample_archive();
+        let dir = std::env::temp_dir().join("bitempo_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.biha");
+        a.save(&path).unwrap();
+        let b = Archive::load(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut bad = b"NOPE".to_vec();
+        bad.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            Archive::read_from(&mut bad.as_slice()),
+            Err(Error::Archive(_))
+        ));
+        // Truncated stream.
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Archive::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn batching_merges_transactions() {
+        let a = sample_archive();
+        let batched = a.batched(2);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0].scenarios.len(), 2);
+        assert_eq!(batched[0].ops.len(), 4);
+        // Batch size 1 is the identity.
+        assert_eq!(a.batched(1), a.transactions);
+        // Zero is clamped to 1.
+        assert_eq!(a.batched(0), a.transactions);
+    }
+
+    #[test]
+    fn generated_history_round_trips() {
+        let data = bitempo_dbgen::generate(&bitempo_dbgen::ScaleConfig::tiny());
+        let h = crate::generate_history(&data, &crate::HistoryConfig::tiny());
+        let mut buf = Vec::new();
+        h.archive.write_to(&mut buf).unwrap();
+        let b = Archive::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.archive, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-table operation statistics — the data behind Table 2.
+
+use crate::ops::Op;
+use std::fmt;
+
+/// Operation counters for one table (the columns of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableOps {
+    /// Inserts carrying an application period.
+    pub app_insert: u64,
+    /// Updates scoped to an application-time portion, plus period overwrites.
+    pub app_update: u64,
+    /// Inserts without application-time semantics.
+    pub nontemp_insert: u64,
+    /// Updates without a portion (only system time advances).
+    pub nontemp_update: u64,
+    /// Deletes.
+    pub delete: u64,
+    /// Application-period overwrites (subset of `app_update`).
+    pub overwrite_app: u64,
+}
+
+impl TableOps {
+    /// All operations that create a history entry (everything but inserts).
+    pub fn history_ops(&self) -> u64 {
+        self.app_update + self.nontemp_update + self.delete
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.app_insert + self.app_update + self.nontemp_insert + self.nontemp_update + self.delete
+    }
+}
+
+/// Statistics for a full history run.
+#[derive(Debug, Clone)]
+pub struct HistoryStats {
+    /// Table names in load order.
+    pub tables: Vec<String>,
+    /// Initial (version 0) tuple counts.
+    pub initial_rows: Vec<u64>,
+    /// Operation counters per table.
+    pub ops: Vec<TableOps>,
+    /// Scenario executions by kind tag.
+    pub scenario_counts: [u64; 10],
+}
+
+impl HistoryStats {
+    /// Creates zeroed statistics for the given tables.
+    pub fn new(tables: Vec<String>, initial_rows: Vec<u64>) -> HistoryStats {
+        let n = tables.len();
+        HistoryStats {
+            tables,
+            initial_rows,
+            ops: vec![TableOps::default(); n],
+            scenario_counts: [0; 10],
+        }
+    }
+
+    /// Records one operation. `has_app_time` tells whether the target table
+    /// is bitemporal (SUPPLIER inserts are non-temporal inserts, Table 2).
+    pub fn record(&mut self, op: &Op, has_app_time: bool) {
+        let c = &mut self.ops[op.table() as usize];
+        match op {
+            Op::Insert { .. } => {
+                if has_app_time {
+                    c.app_insert += 1;
+                } else {
+                    c.nontemp_insert += 1;
+                }
+            }
+            Op::Update { portion, .. } => {
+                if portion.is_some() {
+                    c.app_update += 1;
+                } else {
+                    c.nontemp_update += 1;
+                }
+            }
+            Op::Delete { .. } => c.delete += 1,
+            Op::OverwriteApp { .. } => {
+                c.app_update += 1;
+                c.overwrite_app += 1;
+            }
+        }
+    }
+
+    /// History growth ratio: history-creating operations per initial tuple
+    /// (Table 2's last-but-one column).
+    pub fn growth_ratio(&self, table: usize) -> f64 {
+        let initial = self.initial_rows[table].max(1) as f64;
+        self.ops[table].history_ops() as f64 / initial
+    }
+
+    /// Whether any operation overwrote application periods on this table.
+    pub fn overwrites_app_time(&self, table: usize) -> bool {
+        self.ops[table].overwrite_app > 0
+    }
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            "Table", "AppIns", "AppUpd", "NTIns", "NTUpd", "Del", "Growth", "Overwrite"
+        )?;
+        for (i, name) in self.tables.iter().enumerate() {
+            let o = &self.ops[i];
+            writeln!(
+                f,
+                "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8.2} {:>9}",
+                name,
+                o.app_insert,
+                o.app_update,
+                o.nontemp_insert,
+                o.nontemp_update,
+                o.delete,
+                self.growth_ratio(i),
+                if self.overwrites_app_time(i) { "yes" } else { "no" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::{Key, Row, Value};
+
+    fn stats() -> HistoryStats {
+        HistoryStats::new(vec!["a".into(), "b".into()], vec![100, 50])
+    }
+
+    #[test]
+    fn classification() {
+        let mut s = stats();
+        s.record(
+            &Op::Insert {
+                table: 0,
+                row: Row::new(vec![Value::Int(1)]),
+                app: None,
+            },
+            true,
+        );
+        s.record(
+            &Op::Update {
+                table: 0,
+                key: Key::int(1),
+                updates: vec![],
+                portion: Some(bitempo_core::AppPeriod::ALL),
+            },
+            true,
+        );
+        s.record(
+            &Op::Update {
+                table: 0,
+                key: Key::int(1),
+                updates: vec![],
+                portion: None,
+            },
+            true,
+        );
+        s.record(
+            &Op::OverwriteApp {
+                table: 0,
+                key: Key::int(1),
+                period: bitempo_core::AppPeriod::ALL,
+            },
+            true,
+        );
+        s.record(
+            &Op::Delete {
+                table: 1,
+                key: Key::int(1),
+                portion: None,
+            },
+            true,
+        );
+        assert_eq!(s.ops[0].app_insert, 1);
+        assert_eq!(s.ops[0].app_update, 2);
+        assert_eq!(s.ops[0].nontemp_update, 1);
+        assert_eq!(s.ops[0].overwrite_app, 1);
+        assert_eq!(s.ops[1].delete, 1);
+        assert!(s.overwrites_app_time(0));
+        assert!(!s.overwrites_app_time(1));
+    }
+
+    #[test]
+    fn growth_ratio() {
+        let mut s = stats();
+        for _ in 0..200 {
+            s.record(
+                &Op::Update {
+                    table: 0,
+                    key: Key::int(1),
+                    updates: vec![],
+                    portion: None,
+                },
+                true,
+            );
+        }
+        assert!((s.growth_ratio(0) - 2.0).abs() < 1e-9);
+        assert_eq!(s.growth_ratio(1), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_tables() {
+        let s = stats();
+        let text = s.to_string();
+        assert!(text.contains("Table"));
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

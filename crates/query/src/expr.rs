@@ -1,0 +1,341 @@
+//! Scalar expressions over rows.
+
+use bitempo_core::{AppDate, Error, Result, Row, Value};
+
+/// A scalar expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Arithmetic.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction (also date − days).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (always floating point).
+    Div(Box<Expr>, Box<Expr>),
+    /// Comparison: equal.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Comparison: not equal.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Comparison: less than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison: less or equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison: greater than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Comparison: greater or equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// SQL LIKE with `%` (any run) and `_` (any one character).
+    Like(Box<Expr>, String),
+    /// Membership in a literal list.
+    InList(Box<Expr>, Vec<Value>),
+    /// NULL test.
+    IsNull(Box<Expr>),
+    /// `CASE WHEN cond THEN a ELSE b END`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Column reference.
+pub fn col(i: usize) -> Expr {
+    Expr::Col(i)
+}
+
+/// Literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+macro_rules! binary_builders {
+    ($($method:ident => $variant:ident),* $(,)?) => {
+        // SQL-style builder names (`add`, `mul`, ...) are the point here;
+        // implementing the `std::ops` traits would force `Result`-free
+        // signatures that do not fit expression trees.
+        #[allow(clippy::should_implement_trait)]
+        impl Expr {
+            $(
+                /// Builder for the corresponding binary expression.
+                #[must_use]
+                pub fn $method(self, rhs: Expr) -> Expr {
+                    Expr::$variant(Box::new(self), Box::new(rhs))
+                }
+            )*
+        }
+    };
+}
+
+binary_builders!(
+    add => Add, sub => Sub, mul => Mul, div => Div,
+    eq => Eq, ne => Ne, lt => Lt, le => Le, gt => Gt, ge => Ge,
+    and => And, or => Or,
+);
+
+impl Expr {
+    /// Builder for NOT.
+    #[must_use]
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Builder for LIKE.
+    #[must_use]
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like(Box::new(self), pattern.into())
+    }
+
+    /// Builder for IN.
+    #[must_use]
+    pub fn in_list(self, values: Vec<Value>) -> Expr {
+        Expr::InList(Box::new(self), values)
+    }
+
+    /// Builder for BETWEEN (inclusive both ends, like SQL).
+    #[must_use]
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    /// Evaluates against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Col(i) => Ok(row.get(*i).clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Add(a, b) => numeric(a.eval(row)?, b.eval(row)?, f64_add, i64_add, date_add),
+            Expr::Sub(a, b) => numeric(a.eval(row)?, b.eval(row)?, f64_sub, i64_sub, date_sub),
+            Expr::Mul(a, b) => numeric(a.eval(row)?, b.eval(row)?, |x, y| x * y, |x, y| x.wrapping_mul(y), no_date),
+            Expr::Div(a, b) => {
+                let x = a.eval(row)?.as_double()?;
+                let y = b.eval(row)?.as_double()?;
+                Ok(Value::Double(x / y))
+            }
+            Expr::Eq(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_eq()),
+            Expr::Ne(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_ne()),
+            Expr::Lt(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_lt()),
+            Expr::Le(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_le()),
+            Expr::Gt(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_gt()),
+            Expr::Ge(a, b) => cmp(a.eval(row)?, b.eval(row)?, |o| o.is_ge()),
+            Expr::And(a, b) => Ok(Value::Int(
+                (truthy(&a.eval(row)?) && truthy(&b.eval(row)?)) as i64,
+            )),
+            Expr::Or(a, b) => Ok(Value::Int(
+                (truthy(&a.eval(row)?) || truthy(&b.eval(row)?)) as i64,
+            )),
+            Expr::Not(a) => Ok(Value::Int(!truthy(&a.eval(row)?) as i64)),
+            Expr::Like(a, pattern) => {
+                let v = a.eval(row)?;
+                let s = v.as_str()?;
+                Ok(Value::Int(like_match(s.as_bytes(), pattern.as_bytes()) as i64))
+            }
+            Expr::InList(a, values) => {
+                let v = a.eval(row)?;
+                Ok(Value::Int(values.contains(&v) as i64))
+            }
+            Expr::IsNull(a) => Ok(Value::Int(a.eval(row)?.is_null() as i64)),
+            Expr::If(c, t, e) => {
+                if truthy(&c.eval(row)?) {
+                    t.eval(row)
+                } else {
+                    e.eval(row)
+                }
+            }
+        }
+    }
+
+    /// Evaluates as a boolean predicate (NULL/unknown is false, as in SQL
+    /// WHERE semantics).
+    pub fn matches(&self, row: &Row) -> Result<bool> {
+        Ok(truthy(&self.eval(row)?))
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i != 0,
+        Value::Double(d) => *d != 0.0,
+        Value::Null => false,
+        _ => true,
+    }
+}
+
+fn cmp(a: Value, b: Value, f: impl Fn(std::cmp::Ordering) -> bool) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Int(0));
+    }
+    Ok(Value::Int(f(a.cmp(&b)) as i64))
+}
+
+fn f64_add(a: f64, b: f64) -> f64 {
+    a + b
+}
+fn f64_sub(a: f64, b: f64) -> f64 {
+    a - b
+}
+fn i64_add(a: i64, b: i64) -> i64 {
+    a.wrapping_add(b)
+}
+fn i64_sub(a: i64, b: i64) -> i64 {
+    a.wrapping_sub(b)
+}
+fn date_add(d: AppDate, days: i64) -> Option<AppDate> {
+    Some(d.plus_days(days))
+}
+fn date_sub(d: AppDate, days: i64) -> Option<AppDate> {
+    Some(d.plus_days(-days))
+}
+fn no_date(_: AppDate, _: i64) -> Option<AppDate> {
+    None
+}
+
+fn numeric(
+    a: Value,
+    b: Value,
+    f: impl Fn(f64, f64) -> f64,
+    g: impl Fn(i64, i64) -> i64,
+    d: impl Fn(AppDate, i64) -> Option<AppDate>,
+) -> Result<Value> {
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(g(*x, *y))),
+        (Value::Date(x), Value::Int(y)) => d(*x, *y)
+            .map(Value::Date)
+            .ok_or_else(|| Error::TypeMismatch {
+                expected: "numeric".into(),
+                found: "date in multiplicative op".into(),
+            }),
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        _ => Ok(Value::Double(f(a.as_double()?, b.as_double()?))),
+    }
+}
+
+/// Iterative SQL LIKE matcher (`%` = any run, `_` = any byte).
+fn like_match(s: &[u8], p: &[u8]) -> bool {
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_s += 1;
+            si = star_s;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(10),
+            Value::Double(2.5),
+            Value::str("forest green metal"),
+            Value::Date(AppDate(100)),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row();
+        assert_eq!(col(0).add(lit(5)).eval(&r).unwrap(), Value::Int(15));
+        assert_eq!(col(0).mul(col(1)).eval(&r).unwrap(), Value::Double(25.0));
+        assert_eq!(col(1).div(lit(0.5)).eval(&r).unwrap(), Value::Double(5.0));
+        assert_eq!(
+            col(3).add(lit(7)).eval(&r).unwrap(),
+            Value::Date(AppDate(107))
+        );
+        assert_eq!(
+            col(3).sub(lit(50)).eval(&r).unwrap(),
+            Value::Date(AppDate(50))
+        );
+        assert_eq!(lit(1.0).sub(col(1)).eval(&r).unwrap(), Value::Double(-1.5));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let r = row();
+        assert!(col(0).eq(lit(10)).matches(&r).unwrap());
+        assert!(col(0).lt(lit(11)).matches(&r).unwrap());
+        assert!(!col(0).gt(lit(11)).matches(&r).unwrap());
+        assert!(col(0)
+            .ge(lit(10))
+            .and(col(1).le(lit(3.0)))
+            .matches(&r)
+            .unwrap());
+        assert!(col(0).eq(lit(99)).or(col(0).eq(lit(10))).matches(&r).unwrap());
+        assert!(col(0).eq(lit(99)).negate().matches(&r).unwrap());
+        assert!(col(0).between(lit(5), lit(10)).matches(&r).unwrap());
+        assert!(!col(0).between(lit(11), lit(20)).matches(&r).unwrap());
+    }
+
+    #[test]
+    fn null_semantics() {
+        let r = row();
+        assert!(!col(4).eq(lit(0)).matches(&r).unwrap(), "NULL = x is unknown");
+        assert!(!col(4).ne(lit(0)).matches(&r).unwrap());
+        assert!(Expr::IsNull(Box::new(col(4))).matches(&r).unwrap());
+        assert!(!Expr::IsNull(Box::new(col(0))).matches(&r).unwrap());
+        assert_eq!(col(4).add(lit(1)).eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let r = row();
+        assert!(col(2).like("%green%").matches(&r).unwrap());
+        assert!(col(2).like("forest%").matches(&r).unwrap());
+        assert!(col(2).like("%metal").matches(&r).unwrap());
+        assert!(!col(2).like("%blue%").matches(&r).unwrap());
+        assert!(col(2).like("forest green metal").matches(&r).unwrap());
+        assert!(col(2).like("forest_green_metal").matches(&r).unwrap());
+        assert!(col(2).like("%").matches(&r).unwrap());
+        // Q13-style double wildcard.
+        assert!(col(2).like("%forest%metal%").matches(&r).unwrap());
+        assert!(!col(2).like("%metal%forest%").matches(&r).unwrap());
+    }
+
+    #[test]
+    fn in_list_and_if() {
+        let r = row();
+        assert!(col(0)
+            .in_list(vec![Value::Int(1), Value::Int(10)])
+            .matches(&r)
+            .unwrap());
+        assert!(!col(0).in_list(vec![Value::Int(1)]).matches(&r).unwrap());
+        let e = Expr::If(
+            Box::new(col(0).eq(lit(10))),
+            Box::new(lit(1.0)),
+            Box::new(lit(0.0)),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Double(1.0));
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match(b"", b""));
+        assert!(like_match(b"", b"%"));
+        assert!(!like_match(b"", b"_"));
+        assert!(like_match(b"abc", b"%%c"));
+        assert!(like_match(b"special requests here", b"%special%requests%"));
+    }
+}

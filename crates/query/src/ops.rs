@@ -1,0 +1,450 @@
+//! Physical relational operators over materialized row sets.
+
+use crate::expr::Expr;
+use bitempo_core::{Result, Row, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Join variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Matching pairs.
+    Inner,
+    /// All left rows; unmatched ones padded with NULLs.
+    Left,
+    /// Left rows with at least one match (no concatenation).
+    Semi,
+    /// Left rows with no match.
+    Anti,
+}
+
+/// Keeps rows satisfying `pred`.
+pub fn filter(rows: &[Row], pred: &Expr) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        if pred.matches(row)? {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates `exprs` per row.
+pub fn project(rows: &[Row], exprs: &[Expr]) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let values: Result<Vec<Value>> = exprs.iter().map(|e| e.eval(row)).collect();
+        out.push(Row::new(values?));
+    }
+    Ok(out)
+}
+
+fn key_of(row: &Row, cols: &[usize]) -> Vec<Value> {
+    cols.iter().map(|&c| row.get(c).clone()).collect()
+}
+
+/// Hash join on equality of the given key columns.
+pub fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
+    for row in right {
+        table.entry(key_of(row, right_keys)).or_default().push(row);
+    }
+    let right_arity = right.first().map_or(0, Row::arity);
+    let mut out = Vec::new();
+    for lrow in left {
+        let matches = table.get(&key_of(lrow, left_keys));
+        match kind {
+            JoinKind::Inner => {
+                if let Some(ms) = matches {
+                    for r in ms {
+                        out.push(lrow.concat(r));
+                    }
+                }
+            }
+            JoinKind::Left => match matches {
+                Some(ms) => {
+                    for r in ms {
+                        out.push(lrow.concat(r));
+                    }
+                }
+                None => {
+                    let nulls = Row::new(vec![Value::Null; right_arity]);
+                    out.push(lrow.concat(&nulls));
+                }
+            },
+            JoinKind::Semi => {
+                if matches.is_some() {
+                    out.push(lrow.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if matches.is_none() {
+                    out.push(lrow.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of a numeric expression.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Row count (input expression ignored).
+    Count,
+    /// Count of distinct input values.
+    CountDistinct,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// One aggregate column.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Its input.
+    pub input: Expr,
+}
+
+impl AggExpr {
+    /// `SUM(input)`.
+    pub fn sum(input: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Sum,
+            input,
+        }
+    }
+    /// `AVG(input)`.
+    pub fn avg(input: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Avg,
+            input,
+        }
+    }
+    /// `COUNT(*)`.
+    pub fn count() -> AggExpr {
+        AggExpr {
+            func: AggFunc::Count,
+            input: Expr::Lit(Value::Int(1)),
+        }
+    }
+    /// `COUNT(DISTINCT input)`.
+    pub fn count_distinct(input: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::CountDistinct,
+            input,
+        }
+    }
+    /// `MIN(input)`.
+    pub fn min(input: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Min,
+            input,
+        }
+    }
+    /// `MAX(input)`.
+    pub fn max(input: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Max,
+            input,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum AggState {
+    Sum(f64),
+    Avg(f64, u64),
+    Count(u64),
+    CountDistinct(HashSet<Value>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum(0.0),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Value) -> Result<()> {
+        match self {
+            AggState::Sum(s) => {
+                if !v.is_null() {
+                    *s += v.as_double()?;
+                }
+            }
+            AggState::Avg(s, n) => {
+                if !v.is_null() {
+                    *s += v.as_double()?;
+                    *n += 1;
+                }
+            }
+            AggState::Count(n) => *n += 1,
+            AggState::CountDistinct(set) => {
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+            AggState::Min(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < *cur) {
+                    *m = Some(v);
+                }
+            }
+            AggState::Max(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > *cur) {
+                    *m = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum(s) => Value::Double(s),
+            AggState::Avg(s, 0) => {
+                let _ = s;
+                Value::Null
+            }
+            AggState::Avg(s, n) => Value::Double(s / n as f64),
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::Min(m) | AggState::Max(m) => m.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation: output rows are `group_by` columns followed by one
+/// column per aggregate, in first-seen group order.
+pub fn aggregate(rows: &[Row], group_by: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for row in rows {
+        let key = key_of(row, group_by);
+        let states = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| AggState::new(a.func)).collect()
+        });
+        for (state, agg) in states.iter_mut().zip(aggs) {
+            state.update(agg.input.eval(row)?)?;
+        }
+    }
+    // Global aggregation over an empty input still yields one row, as SQL.
+    if rows.is_empty() && group_by.is_empty() {
+        let values: Vec<Value> = aggs
+            .iter()
+            .map(|a| AggState::new(a.func).finish())
+            .collect();
+        return Ok(vec![Row::new(values)]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded");
+        let mut values = key;
+        values.extend(states.into_iter().map(AggState::finish));
+        out.push(Row::new(values));
+    }
+    Ok(out)
+}
+
+/// A sort key: column and direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Column position.
+    pub col: usize,
+    /// Ascending?
+    pub asc: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(col: usize) -> SortKey {
+        SortKey { col, asc: true }
+    }
+    /// Descending key.
+    pub fn desc(col: usize) -> SortKey {
+        SortKey { col, asc: false }
+    }
+}
+
+/// Stable multi-key sort.
+pub fn sort_by(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a.get(k.col).cmp(b.get(k.col));
+            let ord = if k.asc { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Sort + LIMIT.
+pub fn top_n(rows: &[Row], keys: &[SortKey], n: usize) -> Vec<Row> {
+    let mut sorted = rows.to_vec();
+    sort_by(&mut sorted, keys);
+    sorted.truncate(n);
+    sorted
+}
+
+/// Duplicate elimination preserving first occurrence order.
+pub fn distinct(rows: &[Row]) -> Vec<Row> {
+    let mut seen = HashSet::with_capacity(rows.len());
+    let mut out = Vec::new();
+    for row in rows {
+        if seen.insert(row.clone()) {
+            out.push(row.clone());
+        }
+    }
+    out
+}
+
+/// Bag union.
+pub fn union(a: &[Row], b: &[Row]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Double(10.0)]),
+            Row::new(vec![Value::Int(2), Value::str("b"), Value::Double(20.0)]),
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Double(30.0)]),
+            Row::new(vec![Value::Int(3), Value::str("c"), Value::Double(40.0)]),
+        ]
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let r = rows();
+        let f = filter(&r, &col(0).eq(lit(1))).unwrap();
+        assert_eq!(f.len(), 2);
+        let p = project(&f, &[col(2).mul(lit(2.0)), col(1).clone()]).unwrap();
+        assert_eq!(p[0].get(0), &Value::Double(20.0));
+        assert_eq!(p[1].get(0), &Value::Double(60.0));
+    }
+
+    #[test]
+    fn joins() {
+        let left = rows();
+        let right = vec![
+            Row::new(vec![Value::Int(1), Value::str("x")]),
+            Row::new(vec![Value::Int(2), Value::str("y")]),
+            Row::new(vec![Value::Int(2), Value::str("z")]),
+        ];
+        let inner = hash_join(&left, &right, &[0], &[0], JoinKind::Inner);
+        assert_eq!(inner.len(), 2 + 2, "two key-1 rows, one key-2 with 2 matches");
+        assert_eq!(inner[0].arity(), 5);
+        let leftj = hash_join(&left, &right, &[0], &[0], JoinKind::Left);
+        assert_eq!(leftj.len(), 5, "key-3 row padded");
+        assert!(leftj.iter().any(|r| r.get(3).is_null()));
+        let semi = hash_join(&left, &right, &[0], &[0], JoinKind::Semi);
+        assert_eq!(semi.len(), 3);
+        assert_eq!(semi[0].arity(), 3, "semi join keeps the left layout");
+        let anti = hash_join(&left, &right, &[0], &[0], JoinKind::Anti);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti[0].get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn grouping() {
+        let r = rows();
+        let out = aggregate(
+            &r,
+            &[1],
+            &[
+                AggExpr::sum(col(2)),
+                AggExpr::count(),
+                AggExpr::min(col(2)),
+                AggExpr::max(col(2)),
+                AggExpr::avg(col(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        // First-seen order: group "a" first.
+        assert_eq!(out[0].get(0), &Value::str("a"));
+        assert_eq!(out[0].get(1), &Value::Double(40.0));
+        assert_eq!(out[0].get(2), &Value::Int(2));
+        assert_eq!(out[0].get(3), &Value::Double(10.0));
+        assert_eq!(out[0].get(4), &Value::Double(30.0));
+        assert_eq!(out[0].get(5), &Value::Double(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_and_empty_input() {
+        let r = rows();
+        let out = aggregate(&r, &[], &[AggExpr::count()]).unwrap();
+        assert_eq!(out, vec![Row::new(vec![Value::Int(4)])]);
+        let out = aggregate(&[], &[], &[AggExpr::count(), AggExpr::sum(col(0))]).unwrap();
+        assert_eq!(
+            out,
+            vec![Row::new(vec![Value::Int(0), Value::Double(0.0)])]
+        );
+        let out = aggregate(&[], &[0], &[AggExpr::count()]).unwrap();
+        assert!(out.is_empty(), "grouped aggregate over empty input is empty");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let r = rows();
+        let out = aggregate(&r, &[], &[AggExpr::count_distinct(col(0))]).unwrap();
+        assert_eq!(out[0].get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn sorting_and_top_n() {
+        let mut r = rows();
+        sort_by(&mut r, &[SortKey::desc(2)]);
+        assert_eq!(r[0].get(2), &Value::Double(40.0));
+        let top = top_n(&rows(), &[SortKey::asc(2)], 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].get(2), &Value::Double(10.0));
+        // Multi-key: group asc then value desc.
+        let mut r = rows();
+        sort_by(&mut r, &[SortKey::asc(0), SortKey::desc(2)]);
+        assert_eq!(r[0].get(2), &Value::Double(30.0));
+        assert_eq!(r[1].get(2), &Value::Double(10.0));
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let a = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(2)]),
+        ];
+        assert_eq!(distinct(&a).len(), 2);
+        let b = vec![Row::new(vec![Value::Int(3)])];
+        assert_eq!(union(&a, &b).len(), 4);
+    }
+}

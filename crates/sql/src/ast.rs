@@ -1,0 +1,202 @@
+//! Abstract syntax for the temporal SQL subset.
+
+use bitempo_core::Value;
+
+/// A temporal clause on one time dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeClause {
+    /// `AS OF <point>`.
+    AsOf(ScalarExpr),
+    /// `FROM <point> TO <point>`.
+    FromTo(ScalarExpr, ScalarExpr),
+    /// `ALL`.
+    All,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// `DATE 'YYYY-MM-DD'`.
+    DateLiteral(String),
+    /// `NOW` (current system time).
+    Now,
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A boolean predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Comparison between two scalars.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: ScalarExpr,
+        /// Right operand.
+        right: ScalarExpr,
+    },
+    /// `expr LIKE 'pattern'`.
+    Like(ScalarExpr, String),
+    /// `expr BETWEEN lo AND hi`.
+    Between(ScalarExpr, ScalarExpr, ScalarExpr),
+    /// `expr IN (v, ...)`.
+    InList(ScalarExpr, Vec<ScalarExpr>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One SELECT output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Wildcard,
+    /// A scalar expression (optionally aliased — aliases are cosmetic).
+    Expr(ScalarExpr, Option<String>),
+    /// `COUNT(*)`.
+    CountStar,
+    /// An aggregate over a scalar.
+    Aggregate(AggName, ScalarExpr),
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `COUNT(expr)`
+    Count,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Column name or 1-based output position.
+    pub target: OrderTarget,
+    /// Ascending?
+    pub asc: bool,
+}
+
+/// What an ORDER BY key refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    /// Output column by name.
+    Column(String),
+    /// Output column by 1-based position.
+    Position(usize),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Output columns.
+    pub projections: Vec<Projection>,
+    /// Source table.
+    pub table: String,
+    /// `FOR SYSTEM_TIME ...`, if present.
+    pub system_time: Option<TimeClause>,
+    /// `FOR BUSINESS_TIME ...`, if present.
+    pub business_time: Option<TimeClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Predicate>,
+    /// GROUP BY column names.
+    pub group_by: Vec<String>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query.
+    Select(Select),
+    /// `INSERT INTO t [BUSINESS_TIME FROM a TO b] VALUES (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The row values.
+        values: Vec<ScalarExpr>,
+        /// Optional application period.
+        business_time: Option<(ScalarExpr, ScalarExpr)>,
+    },
+    /// `UPDATE t [FOR PORTION OF BUSINESS_TIME FROM a TO b] SET c = v, ...
+    /// WHERE <key predicate>`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Portion of the application axis.
+        portion: Option<(ScalarExpr, ScalarExpr)>,
+        /// Assignments.
+        set: Vec<(String, ScalarExpr)>,
+        /// Key predicate (equality on the primary key columns).
+        where_clause: Predicate,
+    },
+    /// `DELETE FROM t [FOR PORTION OF BUSINESS_TIME ...] WHERE <key>`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Portion of the application axis.
+        portion: Option<(ScalarExpr, ScalarExpr)>,
+        /// Key predicate.
+        where_clause: Predicate,
+    },
+    /// `COMMIT`.
+    Commit,
+    /// `SHOW TABLES`.
+    ShowTables,
+    /// `DESCRIBE <table>`.
+    Describe(String),
+}

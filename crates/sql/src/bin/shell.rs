@@ -1,0 +1,116 @@
+//! `bitempo-shell` — an interactive temporal SQL shell over a generated
+//! TPC-BiH instance.
+//!
+//! ```text
+//! bitempo-shell [--system A|B|C|D] [--h <f>] [--m <f>] [--empty]
+//! ```
+//!
+//! With `--empty` the shell starts with no tables (create data through the
+//! library API); otherwise it generates and loads the benchmark database at
+//! the given scales. Then type SQL:
+//!
+//! ```text
+//! bitempo> SELECT COUNT(*) FROM orders FOR SYSTEM_TIME ALL;
+//! bitempo> SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus;
+//! bitempo> SELECT * FROM customer FOR SYSTEM_TIME AS OF 1 WHERE c_custkey = 7;
+//! ```
+
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kind = SystemKind::A;
+    let mut h = 0.001;
+    let mut m = 0.001;
+    let mut empty = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--system" => {
+                kind = match args.get(i + 1).map(String::as_str) {
+                    Some("A") | Some("a") => SystemKind::A,
+                    Some("B") | Some("b") => SystemKind::B,
+                    Some("C") | Some("c") => SystemKind::C,
+                    Some("D") | Some("d") => SystemKind::D,
+                    other => {
+                        eprintln!("unknown system {other:?} (use A|B|C|D)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--h" => {
+                h = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(h);
+                i += 2;
+            }
+            "--m" => {
+                m = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(m);
+                i += 2;
+            }
+            "--empty" => {
+                empty = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut engine: Box<dyn BitemporalEngine> = build_engine(kind);
+    if !empty {
+        eprintln!("generating TPC-BiH instance (h = {h}, m = {m}) on {} ...", kind.name());
+        let data = bitempo_dbgen::generate(&ScaleConfig::with_h(h));
+        let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(m));
+        let ids = loader::load_initial(engine.as_mut(), &data).expect("initial load");
+        loader::replay(engine.as_mut(), &ids, &history.archive, 1).expect("history replay");
+        engine.checkpoint();
+        eprintln!(
+            "loaded {} history transactions; system time now {}",
+            history.archive.transactions.len(),
+            engine.now()
+        );
+    }
+    eprintln!("type SQL statements (end with ';'), or 'quit'");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("bitempo> ");
+        } else {
+            eprint!("    ...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && matches!(trimmed, "quit" | "exit" | "\\q") {
+            break;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let started = std::time::Instant::now();
+        match bitempo_sql::run_sql(engine.as_mut(), &sql) {
+            Ok(output) => {
+                print!("{}", output.to_table_string());
+                eprintln!("({:.1} ms)", started.elapsed().as_secs_f64() * 1_000.0);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

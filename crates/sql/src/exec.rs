@@ -1,0 +1,801 @@
+//! Binding and execution of parsed statements against an engine.
+
+use crate::ast::*;
+use bitempo_core::date::parse_iso_date;
+use bitempo_core::{AppDate, AppPeriod, Error, Key, Period, Result, Row, SysTime, Value};
+use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_engine::BitemporalEngine;
+use bitempo_query::expr::Expr;
+use bitempo_query::{aggregate, filter, project, sort_by, AggExpr, AggFunc, SortKey};
+use std::ops::Bound;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// A result set.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// A DML result.
+    Affected(usize),
+    /// An informational message (COMMIT etc.).
+    Message(String),
+}
+
+impl QueryOutput {
+    /// The rows of a result set (empty for non-queries).
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryOutput::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Renders as an aligned text table.
+    pub fn to_table_string(&self) -> String {
+        match self {
+            QueryOutput::Message(m) => format!("{m}\n"),
+            QueryOutput::Affected(n) => format!("{n} row(s) affected\n"),
+            QueryOutput::Rows { columns, rows } => {
+                let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| r.values().iter().map(ToString::to_string).collect())
+                    .collect();
+                for row in &rendered {
+                    for (i, cell) in row.iter().enumerate() {
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(cell.len());
+                        }
+                    }
+                }
+                let mut out = String::new();
+                for (i, c) in columns.iter().enumerate() {
+                    out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+                }
+                out.push('\n');
+                for (i, _) in columns.iter().enumerate() {
+                    out.push_str(&"-".repeat(widths[i]));
+                    out.push_str("  ");
+                }
+                out.push('\n');
+                for row in &rendered {
+                    for (i, cell) in row.iter().enumerate() {
+                        out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&format!("({} row(s))\n", rows.len()));
+                out
+            }
+        }
+    }
+}
+
+/// Executes one statement.
+pub fn execute(engine: &mut dyn BitemporalEngine, statement: &Statement) -> Result<QueryOutput> {
+    match statement {
+        Statement::Select(select) => run_select(engine, select),
+        Statement::Insert {
+            table,
+            values,
+            business_time,
+        } => run_insert(engine, table, values, business_time.as_ref()),
+        Statement::Update {
+            table,
+            portion,
+            set,
+            where_clause,
+        } => run_update(engine, table, portion.as_ref(), set, where_clause),
+        Statement::Delete {
+            table,
+            portion,
+            where_clause,
+        } => run_delete(engine, table, portion.as_ref(), where_clause),
+        Statement::Commit => {
+            let t = engine.commit();
+            Ok(QueryOutput::Message(format!("committed at {t}")))
+        }
+        Statement::ShowTables => {
+            let rows = engine
+                .table_names()
+                .into_iter()
+                .map(|n| Row::new(vec![Value::str(n)]))
+                .collect();
+            Ok(QueryOutput::Rows {
+                columns: vec!["table".into()],
+                rows,
+            })
+        }
+        Statement::Describe(name) => {
+            let id = engine.resolve(name)?;
+            let def = engine.table_def(id);
+            let mut rows: Vec<Row> = def
+                .scan_schema()
+                .columns()
+                .iter()
+                .map(|c| {
+                    Row::new(vec![
+                        Value::str(c.name.clone()),
+                        Value::str(format!("{:?}", c.dtype)),
+                    ])
+                })
+                .collect();
+            rows.push(Row::new(vec![
+                Value::str("(temporal class)"),
+                Value::str(format!("{:?}", def.temporal)),
+            ]));
+            Ok(QueryOutput::Rows {
+                columns: vec!["column".into(), "type".into()],
+                rows,
+            })
+        }
+    }
+}
+
+/// Name → scan-output position binding for one table.
+struct Binding {
+    names: Vec<String>,
+}
+
+impl Binding {
+    fn new(engine: &dyn BitemporalEngine, table: bitempo_core::TableId) -> Binding {
+        let def = engine.table_def(table);
+        Binding {
+            names: def
+                .scan_schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        }
+    }
+
+    fn col(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+}
+
+/// Evaluates a scalar that must be constant (time points, DML values).
+fn const_value(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<Value> {
+    match expr {
+        ScalarExpr::Literal(v) => Ok(v.clone()),
+        ScalarExpr::DateLiteral(s) => parse_iso_date(s)
+            .map(|d| Value::Date(AppDate(d)))
+            .ok_or_else(|| Error::Invalid(format!("bad DATE literal '{s}'"))),
+        ScalarExpr::Now => Ok(Value::SysTime(engine.now())),
+        ScalarExpr::Column(c) => Err(Error::Invalid(format!(
+            "column {c} not allowed in a constant context"
+        ))),
+        ScalarExpr::Binary { .. } => {
+            // Fold via the expression evaluator with an empty row.
+            let e = bind_scalar_const(engine, expr)?;
+            e.eval(&Row::new(vec![]))
+        }
+    }
+}
+
+fn bind_scalar_const(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<Expr> {
+    match expr {
+        ScalarExpr::Column(c) => Err(Error::Invalid(format!("unexpected column {c}"))),
+        other => bind_scalar_inner(engine, other, None),
+    }
+}
+
+fn bind_scalar(
+    engine: &dyn BitemporalEngine,
+    binding: &Binding,
+    expr: &ScalarExpr,
+) -> Result<Expr> {
+    bind_scalar_inner(engine, expr, Some(binding))
+}
+
+fn bind_scalar_inner(
+    engine: &dyn BitemporalEngine,
+    expr: &ScalarExpr,
+    binding: Option<&Binding>,
+) -> Result<Expr> {
+    Ok(match expr {
+        ScalarExpr::Column(name) => {
+            let b = binding.ok_or_else(|| {
+                Error::Invalid(format!("column {name} not allowed here"))
+            })?;
+            Expr::Col(b.col(name)?)
+        }
+        ScalarExpr::Literal(v) => Expr::Lit(v.clone()),
+        ScalarExpr::DateLiteral(s) => Expr::Lit(
+            parse_iso_date(s)
+                .map(|d| Value::Date(AppDate(d)))
+                .ok_or_else(|| Error::Invalid(format!("bad DATE literal '{s}'")))?,
+        ),
+        ScalarExpr::Now => Expr::Lit(Value::SysTime(engine.now())),
+        ScalarExpr::Binary { op, left, right } => {
+            let l = bind_scalar_inner(engine, left, binding)?;
+            let r = bind_scalar_inner(engine, right, binding)?;
+            match op {
+                BinOp::Add => l.add(r),
+                BinOp::Sub => l.sub(r),
+                BinOp::Mul => l.mul(r),
+                BinOp::Div => l.div(r),
+            }
+        }
+    })
+}
+
+fn bind_predicate(
+    engine: &dyn BitemporalEngine,
+    binding: &Binding,
+    pred: &Predicate,
+) -> Result<Expr> {
+    Ok(match pred {
+        Predicate::Compare { op, left, right } => {
+            let l = bind_scalar(engine, binding, left)?;
+            let r = bind_scalar(engine, binding, right)?;
+            match op {
+                CmpOp::Eq => l.eq(r),
+                CmpOp::Ne => l.ne(r),
+                CmpOp::Lt => l.lt(r),
+                CmpOp::Le => l.le(r),
+                CmpOp::Gt => l.gt(r),
+                CmpOp::Ge => l.ge(r),
+            }
+        }
+        Predicate::Like(expr, pattern) => {
+            bind_scalar(engine, binding, expr)?.like(pattern.clone())
+        }
+        Predicate::Between(expr, lo, hi) => {
+            let e = bind_scalar(engine, binding, expr)?;
+            e.between(
+                bind_scalar(engine, binding, lo)?,
+                bind_scalar(engine, binding, hi)?,
+            )
+        }
+        Predicate::InList(expr, items) => {
+            let values: Result<Vec<Value>> =
+                items.iter().map(|i| const_value(engine, i)).collect();
+            bind_scalar(engine, binding, expr)?.in_list(values?)
+        }
+        Predicate::And(a, b) => bind_predicate(engine, binding, a)?
+            .and(bind_predicate(engine, binding, b)?),
+        Predicate::Or(a, b) => bind_predicate(engine, binding, a)?
+            .or(bind_predicate(engine, binding, b)?),
+        Predicate::Not(a) => bind_predicate(engine, binding, a)?.negate(),
+    })
+}
+
+/// Conjunctive equality/range predicates on plain value columns become
+/// pushable [`ColRange`]s (enabling the engines' key and value indexes).
+fn pushdown(
+    engine: &dyn BitemporalEngine,
+    binding: &Binding,
+    value_arity: usize,
+    pred: &Predicate,
+    out: &mut Vec<ColRange>,
+) {
+    match pred {
+        Predicate::And(a, b) => {
+            pushdown(engine, binding, value_arity, a, out);
+            pushdown(engine, binding, value_arity, b, out);
+        }
+        Predicate::Compare { op, left, right } => {
+            let (column, constant, op) = match (left, right) {
+                (ScalarExpr::Column(c), rhs) => match const_value(engine, rhs) {
+                    Ok(v) => (c, v, *op),
+                    Err(_) => return,
+                },
+                (lhs, ScalarExpr::Column(c)) => match const_value(engine, lhs) {
+                    Ok(v) => (c, v, flip(*op)),
+                    Err(_) => return,
+                },
+                _ => return,
+            };
+            let Ok(idx) = binding.col(column) else {
+                return;
+            };
+            if idx >= value_arity {
+                return; // period pseudo-columns are handled by the specs
+            }
+            let range = match op {
+                CmpOp::Eq => ColRange::eq(idx, constant),
+                CmpOp::Lt => ColRange::between(idx, Bound::Unbounded, Bound::Excluded(constant)),
+                CmpOp::Le => ColRange::between(idx, Bound::Unbounded, Bound::Included(constant)),
+                CmpOp::Gt => ColRange::between(idx, Bound::Excluded(constant), Bound::Unbounded),
+                CmpOp::Ge => ColRange::between(idx, Bound::Included(constant), Bound::Unbounded),
+                CmpOp::Ne => return,
+            };
+            out.push(range);
+        }
+        Predicate::Between(ScalarExpr::Column(c), lo, hi) => {
+            let (Ok(idx), Ok(lo), Ok(hi)) = (
+                binding.col(c),
+                const_value(engine, lo),
+                const_value(engine, hi),
+            ) else {
+                return;
+            };
+            if idx < value_arity {
+                out.push(ColRange::between(
+                    idx,
+                    Bound::Included(lo),
+                    Bound::Included(hi),
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn sys_point(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<SysTime> {
+    match const_value(engine, expr)? {
+        Value::SysTime(t) => Ok(t),
+        Value::Int(i) if i >= 0 => Ok(SysTime(i as u64)),
+        other => Err(Error::Invalid(format!("bad system time point: {other}"))),
+    }
+}
+
+fn app_point(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<AppDate> {
+    match const_value(engine, expr)? {
+        Value::Date(d) => Ok(d),
+        Value::Int(i) => Ok(AppDate(i)),
+        other => Err(Error::Invalid(format!("bad application time point: {other}"))),
+    }
+}
+
+fn sys_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Result<SysSpec> {
+    Ok(match clause {
+        None => SysSpec::Current,
+        Some(TimeClause::AsOf(e)) => SysSpec::AsOf(sys_point(engine, e)?),
+        Some(TimeClause::FromTo(a, b)) => SysSpec::Range(Period::new(
+            sys_point(engine, a)?,
+            sys_point(engine, b)?,
+        )),
+        Some(TimeClause::All) => SysSpec::All,
+    })
+}
+
+fn app_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Result<AppSpec> {
+    Ok(match clause {
+        None => AppSpec::All,
+        Some(TimeClause::AsOf(e)) => AppSpec::AsOf(app_point(engine, e)?),
+        Some(TimeClause::FromTo(a, b)) => AppSpec::Range(Period::new(
+            app_point(engine, a)?,
+            app_point(engine, b)?,
+        )),
+        Some(TimeClause::All) => AppSpec::All,
+    })
+}
+
+fn run_select(engine: &mut dyn BitemporalEngine, select: &Select) -> Result<QueryOutput> {
+    let table = engine.resolve(&select.table)?;
+    let def = engine.table_def(table).clone();
+    if select.business_time.is_some() && !def.has_app_time() {
+        return Err(Error::Unsupported(format!(
+            "BUSINESS_TIME on table {} (no application time)",
+            def.name
+        )));
+    }
+    if select.system_time.is_some() && !def.has_system_time() {
+        return Err(Error::Unsupported(format!(
+            "SYSTEM_TIME on non-versioned table {}",
+            def.name
+        )));
+    }
+    let binding = Binding::new(engine, table);
+    let sys = sys_spec(engine, &select.system_time)?;
+    let app = app_spec(engine, &select.business_time)?;
+    let mut pushed = Vec::new();
+    if let Some(w) = &select.where_clause {
+        pushdown(engine, &binding, def.schema.arity(), w, &mut pushed);
+    }
+    let mut rows = engine.scan(table, &sys, &app, &pushed)?.rows;
+    if let Some(w) = &select.where_clause {
+        let residual = bind_predicate(engine, &binding, w)?;
+        rows = filter(&rows, &residual)?;
+    }
+
+    let has_aggregates = select.projections.iter().any(|p| {
+        matches!(p, Projection::CountStar | Projection::Aggregate(_, _))
+    });
+
+    let (columns, mut out) = if has_aggregates || !select.group_by.is_empty() {
+        run_grouped(engine, &binding, select, &rows)?
+    } else {
+        run_plain(engine, &binding, select, &rows)?
+    };
+
+    // ORDER BY against the output columns.
+    let mut keys = Vec::new();
+    for k in &select.order_by {
+        let idx = match &k.target {
+            OrderTarget::Position(p) => {
+                if *p == 0 || *p > columns.len() {
+                    return Err(Error::Invalid(format!("ORDER BY position {p} out of range")));
+                }
+                p - 1
+            }
+            OrderTarget::Column(name) => columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| Error::UnknownColumn(name.clone()))?,
+        };
+        keys.push(SortKey {
+            col: idx,
+            asc: k.asc,
+        });
+    }
+    if !keys.is_empty() {
+        sort_by(&mut out, &keys);
+    }
+    if let Some(n) = select.limit {
+        out.truncate(n);
+    }
+    Ok(QueryOutput::Rows { columns, rows: out })
+}
+
+fn projection_name(p: &Projection, i: usize) -> String {
+    match p {
+        Projection::Wildcard => "*".into(),
+        Projection::Expr(ScalarExpr::Column(c), None) => c.clone(),
+        Projection::Expr(_, Some(alias)) => alias.clone(),
+        Projection::Expr(_, None) => format!("expr_{i}"),
+        Projection::CountStar => "count".into(),
+        Projection::Aggregate(AggName::Sum, _) => "sum".into(),
+        Projection::Aggregate(AggName::Avg, _) => "avg".into(),
+        Projection::Aggregate(AggName::Min, _) => "min".into(),
+        Projection::Aggregate(AggName::Max, _) => "max".into(),
+        Projection::Aggregate(AggName::Count, _) => "count".into(),
+    }
+}
+
+fn run_plain(
+    engine: &dyn BitemporalEngine,
+    binding: &Binding,
+    select: &Select,
+    rows: &[Row],
+) -> Result<(Vec<String>, Vec<Row>)> {
+    if select.projections == [Projection::Wildcard] {
+        return Ok((binding.names.clone(), rows.to_vec()));
+    }
+    let mut exprs = Vec::new();
+    let mut names = Vec::new();
+    for (i, p) in select.projections.iter().enumerate() {
+        match p {
+            Projection::Wildcard => {
+                return Err(Error::Invalid(
+                    "'*' cannot be mixed with other projections".into(),
+                ))
+            }
+            Projection::Expr(e, _) => {
+                exprs.push(bind_scalar(engine, binding, e)?);
+                names.push(projection_name(p, i));
+            }
+            _ => unreachable!("aggregates handled by run_grouped"),
+        }
+    }
+    Ok((names, project(rows, &exprs)?))
+}
+
+fn run_grouped(
+    engine: &dyn BitemporalEngine,
+    binding: &Binding,
+    select: &Select,
+    rows: &[Row],
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let group_cols: Result<Vec<usize>> =
+        select.group_by.iter().map(|g| binding.col(g)).collect();
+    let group_cols = group_cols?;
+    let mut aggs = Vec::new();
+    // Map each projection to a position in the aggregate output
+    // ([group cols..., agg results...]).
+    let mut output_slots = Vec::new();
+    let mut names = Vec::new();
+    for (i, p) in select.projections.iter().enumerate() {
+        names.push(projection_name(p, i));
+        match p {
+            Projection::Expr(ScalarExpr::Column(c), _) => {
+                let pos = select
+                    .group_by
+                    .iter()
+                    .position(|g| g == c)
+                    .ok_or_else(|| {
+                        Error::Invalid(format!("column {c} must appear in GROUP BY"))
+                    })?;
+                output_slots.push(pos);
+            }
+            Projection::Expr(_, _) | Projection::Wildcard => {
+                return Err(Error::Invalid(
+                    "only grouped columns and aggregates allowed with GROUP BY".into(),
+                ))
+            }
+            Projection::CountStar => {
+                output_slots.push(group_cols.len() + aggs.len());
+                aggs.push(AggExpr::count());
+            }
+            Projection::Aggregate(name, inner) => {
+                let input = bind_scalar(engine, binding, inner)?;
+                let func = match name {
+                    AggName::Sum => AggFunc::Sum,
+                    AggName::Avg => AggFunc::Avg,
+                    AggName::Min => AggFunc::Min,
+                    AggName::Max => AggFunc::Max,
+                    AggName::Count => AggFunc::Count,
+                };
+                output_slots.push(group_cols.len() + aggs.len());
+                aggs.push(AggExpr { func, input });
+            }
+        }
+    }
+    let grouped = aggregate(rows, &group_cols, &aggs)?;
+    let out = grouped
+        .iter()
+        .map(|r| r.project(&output_slots))
+        .collect();
+    Ok((names, out))
+}
+
+fn app_period(
+    engine: &dyn BitemporalEngine,
+    portion: Option<&(ScalarExpr, ScalarExpr)>,
+) -> Result<Option<AppPeriod>> {
+    portion
+        .map(|(a, b)| {
+            Ok(Period::new(
+                app_point(engine, a)?,
+                app_point(engine, b)?,
+            ))
+        })
+        .transpose()
+}
+
+fn run_insert(
+    engine: &mut dyn BitemporalEngine,
+    table: &str,
+    values: &[ScalarExpr],
+    business_time: Option<&(ScalarExpr, ScalarExpr)>,
+) -> Result<QueryOutput> {
+    let id = engine.resolve(table)?;
+    let row: Result<Vec<Value>> = values.iter().map(|v| const_value(engine, v)).collect();
+    let app = app_period(engine, business_time)?;
+    engine.insert(id, Row::new(row?), app)?;
+    Ok(QueryOutput::Affected(1))
+}
+
+/// Extracts the full-primary-key equality from a DML WHERE clause.
+fn key_from_where(
+    engine: &dyn BitemporalEngine,
+    table: bitempo_core::TableId,
+    pred: &Predicate,
+) -> Result<Key> {
+    fn collect<'a>(p: &'a Predicate, out: &mut Vec<(&'a str, &'a ScalarExpr)>) {
+        match p {
+            Predicate::And(a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+            Predicate::Compare {
+                op: CmpOp::Eq,
+                left: ScalarExpr::Column(c),
+                right,
+            } => out.push((c, right)),
+            Predicate::Compare {
+                op: CmpOp::Eq,
+                left,
+                right: ScalarExpr::Column(c),
+            } => out.push((c, left)),
+            _ => {}
+        }
+    }
+    let mut eqs = Vec::new();
+    collect(pred, &mut eqs);
+    let def = engine.table_def(table);
+    let mut key_values = Vec::new();
+    for &k in &def.key {
+        let name = &def.schema.column(k).name;
+        let (_, expr) = eqs
+            .iter()
+            .find(|(c, _)| c == name)
+            .ok_or_else(|| {
+                Error::Invalid(format!(
+                    "DML WHERE must pin the primary key; missing {name}"
+                ))
+            })?;
+        key_values.push(const_value(engine, expr)?);
+    }
+    Ok(match key_values.as_slice() {
+        [Value::Int(a)] => Key::Int(*a),
+        [Value::Int(a), Value::Int(b)] => Key::Int2(*a, *b),
+        _ => Key::General(key_values),
+    })
+}
+
+fn run_update(
+    engine: &mut dyn BitemporalEngine,
+    table: &str,
+    portion: Option<&(ScalarExpr, ScalarExpr)>,
+    set: &[(String, ScalarExpr)],
+    where_clause: &Predicate,
+) -> Result<QueryOutput> {
+    let id = engine.resolve(table)?;
+    let key = key_from_where(engine, id, where_clause)?;
+    let def = engine.table_def(id).clone();
+    let mut assignments = Vec::new();
+    for (col, expr) in set {
+        assignments.push((def.schema.col(col)?, const_value(engine, expr)?));
+    }
+    let app = app_period(engine, portion)?;
+    let n = engine.update(id, &key, &assignments, app)?;
+    Ok(QueryOutput::Affected(n))
+}
+
+fn run_delete(
+    engine: &mut dyn BitemporalEngine,
+    table: &str,
+    portion: Option<&(ScalarExpr, ScalarExpr)>,
+    where_clause: &Predicate,
+) -> Result<QueryOutput> {
+    let id = engine.resolve(table)?;
+    let key = key_from_where(engine, id, where_clause)?;
+    let app = app_period(engine, portion)?;
+    let n = engine.delete(id, &key, app)?;
+    Ok(QueryOutput::Affected(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sql;
+    use crate::testdb::items_db;
+
+    #[test]
+    fn wildcard_includes_period_columns() {
+        let mut db = items_db();
+        let out = run_sql(db.as_mut(), "SELECT * FROM items WHERE id = 2").unwrap();
+        let QueryOutput::Rows { columns, rows } = &out else {
+            panic!()
+        };
+        assert_eq!(
+            columns,
+            &["id", "name", "price", "app_start", "app_end", "sys_start", "sys_end"]
+        );
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn period_pseudo_columns_are_filterable() {
+        let mut db = items_db();
+        let out = run_sql(
+            db.as_mut(),
+            "SELECT id FROM items FOR SYSTEM_TIME ALL WHERE sys_end <= NOW ORDER BY id",
+        )
+        .unwrap();
+        // Only the superseded hammer version has a closed system period.
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let mut db = items_db();
+        let out = run_sql(
+            db.as_mut(),
+            "SELECT COUNT(*), SUM(price), MIN(name) FROM items",
+        )
+        .unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int(4), "current versions incl. split");
+        assert_eq!(rows[0].get(2), &Value::str("hammer"));
+    }
+
+    #[test]
+    fn group_by_column_ordering() {
+        let mut db = items_db();
+        let out = run_sql(
+            db.as_mut(),
+            "SELECT name, COUNT(*) FROM items FOR SYSTEM_TIME ALL \
+             GROUP BY name ORDER BY 2 DESC, name",
+        )
+        .unwrap();
+        let QueryOutput::Rows { columns, rows } = &out else {
+            panic!()
+        };
+        assert_eq!(columns, &["name", "count"]);
+        assert_eq!(rows[0].get(0), &Value::str("hammer"), "3 versions");
+        assert_eq!(rows[0].get(1), &Value::Int(3));
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let mut db = items_db();
+        run_sql(db.as_mut(), "INSERT INTO items VALUES (4, 'drill', 99.0)").unwrap();
+        run_sql(db.as_mut(), "COMMIT").unwrap();
+        let out = run_sql(db.as_mut(), "SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(out.rows()[0].get(0), &Value::Int(5));
+
+        let out = run_sql(
+            db.as_mut(),
+            "UPDATE items SET price = 42.0 WHERE id = 4",
+        )
+        .unwrap();
+        assert!(matches!(out, QueryOutput::Affected(1)));
+        run_sql(db.as_mut(), "COMMIT").unwrap();
+        let out = run_sql(db.as_mut(), "SELECT price FROM items WHERE id = 4").unwrap();
+        assert_eq!(out.rows()[0].get(0), &Value::Double(42.0));
+
+        let out = run_sql(db.as_mut(), "DELETE FROM items WHERE id = 4").unwrap();
+        assert!(matches!(out, QueryOutput::Affected(1)));
+        run_sql(db.as_mut(), "COMMIT").unwrap();
+        let out = run_sql(db.as_mut(), "SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(out.rows()[0].get(0), &Value::Int(4));
+    }
+
+    #[test]
+    fn portion_update_via_sql() {
+        let mut db = items_db();
+        run_sql(
+            db.as_mut(),
+            "UPDATE items FOR PORTION OF BUSINESS_TIME FROM 160 TO 180 \
+             SET price = 21.5 WHERE id = 2",
+        )
+        .unwrap();
+        run_sql(db.as_mut(), "COMMIT").unwrap();
+        let out = run_sql(
+            db.as_mut(),
+            "SELECT price FROM items FOR BUSINESS_TIME AS OF 170 WHERE id = 2",
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0].get(0), &Value::Double(21.5));
+        let out = run_sql(
+            db.as_mut(),
+            "SELECT price FROM items FOR BUSINESS_TIME AS OF 190 WHERE id = 2",
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0].get(0), &Value::Double(20.0));
+    }
+
+    #[test]
+    fn show_and_describe() {
+        let mut db = items_db();
+        let out = run_sql(db.as_mut(), "SHOW TABLES").unwrap();
+        assert_eq!(out.rows().len(), 1);
+        let out = run_sql(db.as_mut(), "DESCRIBE items").unwrap();
+        assert!(out.rows().len() >= 8);
+        let text = out.to_table_string();
+        assert!(text.contains("Bitemporal"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let mut db = items_db();
+        assert!(run_sql(db.as_mut(), "SELECT nope FROM items").is_err());
+        assert!(run_sql(db.as_mut(), "SELECT * FROM nope").is_err());
+        assert!(run_sql(db.as_mut(), "UPDATE items SET price = 1 WHERE name = 'saw'").is_err());
+        assert!(run_sql(db.as_mut(), "SELECT name, COUNT(*) FROM items GROUP BY price").is_err());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut db = items_db();
+        let out = run_sql(db.as_mut(), "SELECT id, name FROM items ORDER BY id").unwrap();
+        let text = out.to_table_string();
+        assert!(text.contains("id"));
+        assert!(text.contains("hammer"));
+        assert!(text.contains("row(s)"));
+    }
+}

@@ -1,0 +1,267 @@
+//! SQL tokenizer.
+
+use bitempo_core::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => return Err(Error::Invalid("unterminated string".into())),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|e| {
+                        Error::Invalid(format!("bad float {text}: {e}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| {
+                        Error::Invalid(format!("bad integer {text}: {e}"))
+                    })?));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::Invalid(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("SELECT a, b FROM t WHERE x >= 1.5 AND y <> 'it''s';").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert!(t[0].is_kw("select"));
+        assert_eq!(t[2], Token::Comma);
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Str("it's".into())));
+        assert_eq!(*t.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let t = lex("SELECT 1 -- trailing comment\n , 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("< <= > >= = <> != + - * /").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("SELECT @").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("4.25").unwrap(), vec![Token::Float(4.25)]);
+        // A trailing dot is a Dot token, not part of the number.
+        assert_eq!(lex("4.").unwrap(), vec![Token::Int(4), Token::Dot]);
+    }
+}

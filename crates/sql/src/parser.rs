@@ -1,0 +1,645 @@
+//! Recursive-descent parser for the temporal SQL subset.
+//!
+//! Grammar sketch (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := select | insert | update | delete | COMMIT
+//!              | SHOW TABLES | DESCRIBE ident
+//! select      := SELECT projs FROM ident time* [WHERE pred]
+//!                [GROUP BY idents] [ORDER BY keys] [LIMIT int]
+//! time        := FOR SYSTEM_TIME (AS OF scalar | FROM scalar TO scalar | ALL)
+//!              | FOR BUSINESS_TIME (AS OF scalar | FROM scalar TO scalar | ALL)
+//! projs       := '*' | proj (',' proj)*
+//! proj        := COUNT '(' '*' ')' | agg '(' scalar ')' | scalar [AS ident]
+//! pred        := or_pred
+//! or_pred     := and_pred (OR and_pred)*
+//! and_pred    := unary (AND unary)*
+//! unary       := NOT unary | '(' pred ')' | comparison
+//! comparison  := scalar (cmp scalar | LIKE str | BETWEEN scalar AND scalar
+//!              | IN '(' scalar,* ')')
+//! scalar      := term (('+'|'-') term)*
+//! term        := factor (('*'|'/') factor)*
+//! factor      := literal | DATE str | NOW | ident | '(' scalar ')'
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, Token};
+use bitempo_core::{Error, Result, Value};
+
+/// Parses one statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let statement = p.statement()?;
+    p.eat_semi();
+    if !p.at_end() {
+        return Err(Error::Invalid(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::Invalid(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.eat(&Token::Semi) {}
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.to_ascii_lowercase()),
+            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("select") {
+            return self.select().map(Statement::Select);
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("update") {
+            return self.update();
+        }
+        if self.eat_kw("delete") {
+            return self.delete();
+        }
+        if self.eat_kw("commit") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("show") {
+            self.expect_kw("tables")?;
+            return Ok(Statement::ShowTables);
+        }
+        if self.eat_kw("describe") || self.eat_kw("desc") {
+            return Ok(Statement::Describe(self.ident()?));
+        }
+        Err(Error::Invalid(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        let projections = self.projections()?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let mut system_time = None;
+        let mut business_time = None;
+        while self.eat_kw("for") {
+            if self.eat_kw("system_time") {
+                system_time = Some(self.time_clause()?);
+            } else if self.eat_kw("business_time") {
+                business_time = Some(self.time_clause()?);
+            } else {
+                return Err(Error::Invalid(
+                    "expected SYSTEM_TIME or BUSINESS_TIME after FOR".into(),
+                ));
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let target = match self.peek() {
+                    Some(Token::Int(n)) => {
+                        let n = *n;
+                        self.advance();
+                        OrderTarget::Position(n as usize)
+                    }
+                    _ => OrderTarget::Column(self.ident()?),
+                };
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderKey { target, asc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(Error::Invalid(format!("bad LIMIT: {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            projections,
+            table,
+            system_time,
+            business_time,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn projections(&mut self) -> Result<Vec<Projection>> {
+        if self.eat(&Token::Star) {
+            return Ok(vec![Projection::Wildcard]);
+        }
+        let mut out = Vec::new();
+        loop {
+            out.push(self.projection()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        for (kw, agg) in [
+            ("sum", AggName::Sum),
+            ("avg", AggName::Avg),
+            ("min", AggName::Min),
+            ("max", AggName::Max),
+        ] {
+            if self.peek().is_some_and(|t| t.is_kw(kw))
+                && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+            {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let inner = self.scalar()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Projection::Aggregate(agg, inner));
+            }
+        }
+        if self.peek().is_some_and(|t| t.is_kw("count"))
+            && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+        {
+            self.advance();
+            self.expect(&Token::LParen)?;
+            if self.eat(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Projection::CountStar);
+            }
+            let inner = self.scalar()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Projection::Aggregate(AggName::Count, inner));
+        }
+        let expr = self.scalar()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(Projection::Expr(expr, alias))
+    }
+
+    fn time_clause(&mut self) -> Result<TimeClause> {
+        if self.eat_kw("all") {
+            return Ok(TimeClause::All);
+        }
+        if self.eat_kw("as") {
+            self.expect_kw("of")?;
+            return Ok(TimeClause::AsOf(self.scalar()?));
+        }
+        if self.eat_kw("from") {
+            let from = self.scalar()?;
+            self.expect_kw("to")?;
+            let to = self.scalar()?;
+            return Ok(TimeClause::FromTo(from, to));
+        }
+        Err(Error::Invalid(
+            "expected AS OF, FROM .. TO or ALL in temporal clause".into(),
+        ))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.and_predicate()?;
+        while self.eat_kw("or") {
+            let right = self.and_predicate()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_predicate(&mut self) -> Result<Predicate> {
+        let mut left = self.unary_predicate()?;
+        while self.eat_kw("and") {
+            let right = self.unary_predicate()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_predicate(&mut self) -> Result<Predicate> {
+        if self.eat_kw("not") {
+            return Ok(Predicate::Not(Box::new(self.unary_predicate()?)));
+        }
+        // A parenthesis here could open a sub-predicate or a scalar; try the
+        // predicate first and backtrack on failure.
+        if self.peek() == Some(&Token::LParen) {
+            let checkpoint = self.pos;
+            self.advance();
+            if let Ok(inner) = self.predicate() {
+                if self.eat(&Token::RParen) {
+                    return Ok(inner);
+                }
+            }
+            self.pos = checkpoint;
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Predicate> {
+        let left = self.scalar()?;
+        if self.eat_kw("like") {
+            match self.advance() {
+                Some(Token::Str(p)) => return Ok(Predicate::Like(left, p)),
+                other => return Err(Error::Invalid(format!("bad LIKE pattern: {other:?}"))),
+            }
+        }
+        if self.eat_kw("between") {
+            let lo = self.scalar()?;
+            self.expect_kw("and")?;
+            let hi = self.scalar()?;
+            return Ok(Predicate::Between(left, lo, hi));
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.scalar()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Predicate::InList(left, items));
+        }
+        let op = match self.advance() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => return Err(Error::Invalid(format!("expected comparison, found {other:?}"))),
+        };
+        let right = self.scalar()?;
+        Ok(Predicate::Compare { op, left, right })
+    }
+
+    fn scalar(&mut self) -> Result<ScalarExpr> {
+        let mut left = self.term()?;
+        loop {
+            let op = if self.eat(&Token::Plus) {
+                BinOp::Add
+            } else if self.eat(&Token::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.term()?;
+            left = ScalarExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<ScalarExpr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = if self.eat(&Token::Star) {
+                BinOp::Mul
+            } else if self.eat(&Token::Slash) {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let right = self.factor()?;
+            left = ScalarExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<ScalarExpr> {
+        if self.eat(&Token::LParen) {
+            let inner = self.scalar()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        if self.eat(&Token::Minus) {
+            // Negative literal.
+            return match self.advance() {
+                Some(Token::Int(i)) => Ok(ScalarExpr::Literal(Value::Int(-i))),
+                Some(Token::Float(f)) => Ok(ScalarExpr::Literal(Value::Double(-f))),
+                other => Err(Error::Invalid(format!("bad negative literal: {other:?}"))),
+            };
+        }
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(ScalarExpr::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(ScalarExpr::Literal(Value::Double(f))),
+            Some(Token::Str(s)) => Ok(ScalarExpr::Literal(Value::str(s))),
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("date") => {
+                match self.advance() {
+                    Some(Token::Str(s)) => Ok(ScalarExpr::DateLiteral(s)),
+                    other => Err(Error::Invalid(format!("bad DATE literal: {other:?}"))),
+                }
+            }
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("now") => Ok(ScalarExpr::Now),
+            Some(Token::Ident(id)) => Ok(ScalarExpr::Column(id.to_ascii_lowercase())),
+            other => Err(Error::Invalid(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let business_time = if self.eat_kw("business_time") {
+            self.expect_kw("from")?;
+            let from = self.scalar()?;
+            self.expect_kw("to")?;
+            let to = self.scalar()?;
+            Some((from, to))
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        self.expect(&Token::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.scalar()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::Insert {
+            table,
+            values,
+            business_time,
+        })
+    }
+
+    fn portion(&mut self) -> Result<Option<(ScalarExpr, ScalarExpr)>> {
+        if self.eat_kw("for") {
+            self.expect_kw("portion")?;
+            self.expect_kw("of")?;
+            self.expect_kw("business_time")?;
+            self.expect_kw("from")?;
+            let from = self.scalar()?;
+            self.expect_kw("to")?;
+            let to = self.scalar()?;
+            Ok(Some((from, to)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        let portion = self.portion()?;
+        self.expect_kw("set")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            set.push((col, self.scalar()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("where")?;
+        let where_clause = self.predicate()?;
+        Ok(Statement::Update {
+            table,
+            portion,
+            set,
+            where_clause,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let portion = self.portion()?;
+        self.expect_kw("where")?;
+        let where_clause = self.predicate()?;
+        Ok(Statement::Delete {
+            table,
+            portion,
+            where_clause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse("SELECT a, b FROM t WHERE a = 1 ORDER BY b DESC LIMIT 5;").unwrap();
+        let Statement::Select(sel) = s else {
+            panic!("not a select")
+        };
+        assert_eq!(sel.table, "t");
+        assert_eq!(sel.projections.len(), 2);
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(!sel.order_by[0].asc);
+        assert_eq!(sel.limit, Some(5));
+    }
+
+    #[test]
+    fn temporal_clauses() {
+        let s = parse(
+            "SELECT * FROM orders FOR SYSTEM_TIME AS OF 7 \
+             FOR BUSINESS_TIME FROM DATE '1995-01-01' TO DATE '1996-01-01'",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert_eq!(
+            sel.system_time,
+            Some(TimeClause::AsOf(ScalarExpr::Literal(Value::Int(7))))
+        );
+        assert!(matches!(sel.business_time, Some(TimeClause::FromTo(_, _))));
+        let s = parse("SELECT * FROM orders FOR SYSTEM_TIME ALL").unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert_eq!(sel.system_time, Some(TimeClause::All));
+        // NOW as a system-time point.
+        let s = parse("SELECT * FROM orders FOR SYSTEM_TIME AS OF NOW").unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert_eq!(sel.system_time, Some(TimeClause::AsOf(ScalarExpr::Now)));
+    }
+
+    #[test]
+    fn aggregates_and_grouping() {
+        let s = parse(
+            "SELECT o_orderstatus, COUNT(*), SUM(o_totalprice), AVG(o_totalprice) \
+             FROM orders GROUP BY o_orderstatus",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert_eq!(sel.projections.len(), 4);
+        assert!(matches!(sel.projections[1], Projection::CountStar));
+        assert!(matches!(
+            sel.projections[2],
+            Projection::Aggregate(AggName::Sum, _)
+        ));
+        assert_eq!(sel.group_by, vec!["o_orderstatus"]);
+    }
+
+    #[test]
+    fn predicates() {
+        let s = parse(
+            "SELECT * FROM t WHERE (a = 1 OR b < 2) AND NOT c LIKE 'x%' \
+             AND d BETWEEN 1 AND 10 AND e IN (1, 2, 3)",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn dml_statements() {
+        let s = parse("INSERT INTO items VALUES (1, 'hammer', 9.99)").unwrap();
+        assert!(matches!(s, Statement::Insert { ref table, ref values, .. }
+            if table == "items" && values.len() == 3));
+        let s = parse(
+            "INSERT INTO items BUSINESS_TIME FROM 10 TO 20 VALUES (1, 'x', 1.0)",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::Insert { business_time: Some(_), .. }));
+        let s = parse(
+            "UPDATE items FOR PORTION OF BUSINESS_TIME FROM 10 TO 20 \
+             SET price = 11.0 WHERE id = 1",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::Update { portion: Some(_), .. }));
+        let s = parse("DELETE FROM items WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Delete { portion: None, .. }));
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(
+            parse("DESCRIBE orders").unwrap(),
+            Statement::Describe("orders".into())
+        );
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse("SELECT a + b * 2 FROM t").unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        let Projection::Expr(ScalarExpr::Binary { op, right, .. }, _) = &sel.projections[0] else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**right, ScalarExpr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("FROB THE KNOB").is_err());
+        assert!(parse("SELECT * FROM t extra garbage +").is_err());
+        assert!(parse("SELECT * FROM t FOR SYSTEM_TIME").is_err());
+    }
+}

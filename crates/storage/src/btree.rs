@@ -1,0 +1,424 @@
+//! In-memory B+Tree with duplicate keys and linked leaves.
+//!
+//! This is the index structure behind every "B-Tree" setting in the
+//! benchmark (paper §5.1: Time Index, Key+Time Index, Value Index). Keys are
+//! generic, duplicates are allowed (a time index maps many rows to the same
+//! date), and leaves are chained for cheap range scans — the access pattern
+//! of `FOR SYSTEM_TIME FROM .. TO ..` queries.
+//!
+//! Deletion tolerates underfull leaves (no rebalancing): the engines delete
+//! only when versions move from the current to the history partition, and a
+//! slightly sparse leaf chain changes constants, not complexity. Separator
+//! keys in internal nodes remain valid bounds after any delete.
+
+use std::ops::Bound;
+
+const MAX_KEYS: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (strictly less) from
+        /// `children[i + 1]` (greater or equal).
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<usize>,
+    },
+}
+
+/// A B+Tree multimap.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry. Duplicate keys are kept in insertion order.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some((sep, right)) = self.insert_into(self.root, key, value) {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `(separator, new_right_node)` on split.
+    fn insert_into(&mut self, node: usize, key: K, value: V) -> Option<(K, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                // Upper bound keeps duplicates in insertion order.
+                let pos = keys.partition_point(|k| *k <= key);
+                keys.insert(pos, key);
+                values.insert(pos, value);
+                if keys.len() > MAX_KEYS {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Node::Internal { keys, children } => {
+                let child_pos = keys.partition_point(|k| *k <= key);
+                let child = children[child_pos];
+                if let Some((sep, right)) = self.insert_into(child, key, value) {
+                    if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                        keys.insert(child_pos, sep);
+                        children.insert(child_pos + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            return Some(self.split_internal(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Leaf { keys, values, next } = &mut self.nodes[node] else {
+            unreachable!("split_leaf on internal node");
+        };
+        let mid = keys.len() / 2;
+        let right_keys: Vec<K> = keys.split_off(mid);
+        let right_values: Vec<V> = values.split_off(mid);
+        let sep = right_keys[0].clone();
+        let right = Node::Leaf {
+            keys: right_keys,
+            values: right_values,
+            next: next.take(),
+        };
+        *next = Some(new_idx);
+        self.nodes.push(right);
+        (sep, new_idx)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (K, usize) {
+        let new_idx = self.nodes.len();
+        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+            unreachable!("split_internal on leaf");
+        };
+        let mid = keys.len() / 2;
+        let sep = keys[mid].clone();
+        let right_keys: Vec<K> = keys.split_off(mid + 1);
+        keys.pop(); // the separator moves up
+        let right_children: Vec<usize> = children.split_off(mid + 1);
+        let right = Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        };
+        self.nodes.push(right);
+        (sep, new_idx)
+    }
+
+    /// The leaf that may contain `key`, and the index of the first entry
+    /// `>= key` within it (following bounds semantics of `lower`).
+    fn seek(&self, key: &K, lower: bool) -> (usize, usize) {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    // For lower-bound seeks descend left of equal separators
+                    // so duplicates spanning leaves are not skipped.
+                    let pos = if lower {
+                        keys.partition_point(|k| k < key)
+                    } else {
+                        keys.partition_point(|k| k <= key)
+                    };
+                    node = children[pos];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = if lower {
+                        keys.partition_point(|k| k < key)
+                    } else {
+                        keys.partition_point(|k| k <= key)
+                    };
+                    return (node, pos);
+                }
+            }
+        }
+    }
+
+    /// The leftmost leaf.
+    fn leftmost(&self) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    /// All values for `key`, in insertion order.
+    pub fn get(&self, key: &K) -> Vec<V> {
+        self.range((Bound::Included(key), Bound::Included(key)))
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    /// Iterates entries whose keys fall in `range`, in key order.
+    pub fn range(
+        &self,
+        range: (Bound<&K>, Bound<&K>),
+    ) -> impl Iterator<Item = (&K, &V)> + '_ {
+        let (leaf, pos) = match range.0 {
+            Bound::Included(k) => self.seek(k, true),
+            Bound::Excluded(k) => self.seek(k, false),
+            Bound::Unbounded => (self.leftmost(), 0),
+        };
+        let upper: Option<(K, bool)> = match range.1 {
+            Bound::Included(k) => Some((k.clone(), true)),
+            Bound::Excluded(k) => Some((k.clone(), false)),
+            Bound::Unbounded => None,
+        };
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+            upper,
+        }
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.range((Bound::Unbounded, Bound::Unbounded))
+    }
+
+    /// Removes the first entry equal to `(key, value)`. Returns true if an
+    /// entry was removed.
+    pub fn remove(&mut self, key: &K, value: &V) -> bool
+    where
+        V: PartialEq,
+    {
+        let (mut leaf, mut pos) = self.seek(key, true);
+        loop {
+            let Node::Leaf { keys, values, next } = &mut self.nodes[leaf] else {
+                unreachable!("seek returned internal node");
+            };
+            if pos >= keys.len() {
+                match *next {
+                    Some(n) => {
+                        leaf = n;
+                        pos = 0;
+                        continue;
+                    }
+                    None => return false,
+                }
+            }
+            if keys[pos] != *key {
+                return false;
+            }
+            if values[pos] == *value {
+                keys.remove(pos);
+                values.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+            pos += 1;
+        }
+    }
+}
+
+struct RangeIter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<usize>,
+    pos: usize,
+    upper: Option<(K, bool)>,
+}
+
+impl<'a, K: Ord + Clone, V: Clone> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { keys, values, next } = &self.tree.nodes[leaf] else {
+                unreachable!("leaf chain contains internal node");
+            };
+            if self.pos >= keys.len() {
+                self.leaf = *next;
+                self.pos = 0;
+                continue;
+            }
+            let k = &keys[self.pos];
+            if let Some((hi, inclusive)) = &self.upper {
+                let in_range = if *inclusive { k <= hi } else { k < hi };
+                if !in_range {
+                    self.leaf = None;
+                    return None;
+                }
+            }
+            let v = &values[self.pos];
+            self.pos += 1;
+            return Some((k, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_range(t: &BPlusTree<i64, u32>, lo: Bound<&i64>, hi: Bound<&i64>) -> Vec<(i64, u32)> {
+        t.range((lo, hi)).map(|(k, v)| (*k, *v)).collect()
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000i64 {
+            t.insert(i * 2, i as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(&10), vec![5]);
+        assert_eq!(t.get(&11), Vec::<u32>::new());
+        assert_eq!(t.get(&1998), vec![999]);
+    }
+
+    #[test]
+    fn duplicates_kept_in_insertion_order() {
+        let mut t = BPlusTree::new();
+        for v in 0..100u32 {
+            t.insert(7i64, v);
+        }
+        t.insert(6, 1000);
+        t.insert(8, 2000);
+        assert_eq!(t.get(&7), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::new();
+        for i in (0..200i64).rev() {
+            t.insert(i, i as u32);
+        }
+        let r = collect_range(&t, Bound::Included(&10), Bound::Excluded(&15));
+        assert_eq!(r, vec![(10, 10), (11, 11), (12, 12), (13, 13), (14, 14)]);
+        let r = collect_range(&t, Bound::Excluded(&195), Bound::Unbounded);
+        assert_eq!(r, vec![(196, 196), (197, 197), (198, 198), (199, 199)]);
+        let r = collect_range(&t, Bound::Unbounded, Bound::Included(&2));
+        assert_eq!(r, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(t.iter().count(), 200);
+    }
+
+    #[test]
+    fn range_with_duplicates_spanning_leaves() {
+        let mut t = BPlusTree::new();
+        // Force many splits with a single hot key surrounded by others.
+        for i in 0..50i64 {
+            t.insert(i, 0);
+        }
+        for v in 1..=200u32 {
+            t.insert(25, v);
+        }
+        let vals = t.get(&25);
+        assert_eq!(vals.len(), 201);
+        assert_eq!(vals[0], 0);
+        assert_eq!(*vals.last().unwrap(), 200);
+    }
+
+    #[test]
+    fn ordered_iteration_after_random_inserts() {
+        let mut t = BPlusTree::new();
+        let mut rng = bitempo_core::Pcg32::new(99, 1);
+        let mut expected = Vec::new();
+        for i in 0..5000u32 {
+            let k = rng.int_range(0, 999);
+            t.insert(k, i);
+            expected.push(k);
+        }
+        expected.sort_unstable();
+        let got: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn remove_specific_entries() {
+        let mut t = BPlusTree::new();
+        t.insert(1i64, 10u32);
+        t.insert(1, 11);
+        t.insert(1, 12);
+        t.insert(2, 20);
+        assert!(t.remove(&1, &11));
+        assert_eq!(t.get(&1), vec![10, 12]);
+        assert!(!t.remove(&1, &11), "already gone");
+        assert!(!t.remove(&3, &0), "missing key");
+        assert!(t.remove(&2, &20));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_across_leaf_boundaries() {
+        let mut t = BPlusTree::new();
+        for v in 0..500u32 {
+            t.insert(42i64, v);
+        }
+        assert!(t.remove(&42, &499), "last duplicate lives in last leaf");
+        assert_eq!(t.get(&42).len(), 499);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: BPlusTree<i64, u32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), Vec::<u32>::new());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn large_sequential_and_reverse_load() {
+        for reverse in [false, true] {
+            let mut t = BPlusTree::new();
+            let keys: Vec<i64> = if reverse {
+                (0..20_000).rev().collect()
+            } else {
+                (0..20_000).collect()
+            };
+            for &k in &keys {
+                t.insert(k, k as u32);
+            }
+            assert_eq!(t.len(), 20_000);
+            assert_eq!(t.get(&12_345), vec![12_345]);
+            let slice = collect_range(&t, Bound::Included(&100), Bound::Excluded(&110));
+            assert_eq!(slice.len(), 10);
+        }
+    }
+}

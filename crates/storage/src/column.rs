@@ -1,0 +1,450 @@
+//! Dictionary-encoded columnar storage with a delta/main split.
+//!
+//! This is the System C substrate (paper §2.6): a columnar table where new
+//! rows land in an appendable *delta* and a *merge* operation periodically
+//! seals them into the read-optimized *main*. Strings are dictionary
+//! encoded. Row ids are stable across merges (main rows keep their position;
+//! delta rows are renumbered onto the end of main in append order, which
+//! preserves ids because the delta always sits logically after main).
+
+use bitempo_core::{DataType, Error, Result, Row, Schema, Value};
+use bitempo_core::time::{AppDate, SysTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One column's typed payload. `u32::MAX` is the dictionary code for NULL;
+/// numeric columns carry a separate null mask only when NULLs appear.
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Int(Vec<i64>),
+    Double(Vec<f64>),
+    Str(Vec<u32>),
+    Date(Vec<i64>),
+    SysTime(Vec<u64>),
+}
+
+impl ColumnData {
+    fn new(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Double => ColumnData::Double(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+            DataType::SysTime => ColumnData::SysTime(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::SysTime(v) => v.len(),
+        }
+    }
+
+    fn append_from(&mut self, other: &ColumnData) {
+        match (self, other) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Double(a), ColumnData::Double(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
+            (ColumnData::Date(a), ColumnData::Date(b)) => a.extend_from_slice(b),
+            (ColumnData::SysTime(a), ColumnData::SysTime(b)) => a.extend_from_slice(b),
+            _ => unreachable!("merge between differently-typed columns"),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Double(v) => v.clear(),
+            ColumnData::Str(v) => v.clear(),
+            ColumnData::Date(v) => v.clear(),
+            ColumnData::SysTime(v) => v.clear(),
+        }
+    }
+}
+
+/// NULL sentinel for dictionary codes.
+const NULL_CODE: u32 = u32::MAX;
+
+/// A shared per-column string dictionary.
+#[derive(Debug, Clone, Default)]
+struct Dictionary {
+    strings: Vec<Arc<str>>,
+    codes: HashMap<Arc<str>, u32>,
+}
+
+impl Dictionary {
+    fn encode(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let c = self.strings.len() as u32;
+        self.strings.push(Arc::clone(s));
+        self.codes.insert(Arc::clone(s), c);
+        c
+    }
+
+    fn decode(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+}
+
+/// A columnar table: main fragment + delta fragment + per-column dictionary.
+#[derive(Debug, Clone)]
+pub struct ColumnTable {
+    schema: Schema,
+    main: Vec<ColumnData>,
+    delta: Vec<ColumnData>,
+    /// Null masks parallel to main/delta, one bit vec per column, lazily
+    /// allocated (TPC-BiH data is NOT NULL almost everywhere).
+    main_nulls: Vec<Option<Vec<bool>>>,
+    delta_nulls: Vec<Option<Vec<bool>>>,
+    dicts: Vec<Dictionary>,
+    main_len: usize,
+}
+
+impl ColumnTable {
+    /// Creates an empty table with the given value schema.
+    pub fn new(schema: Schema) -> ColumnTable {
+        let main = schema.columns().iter().map(|c| ColumnData::new(c.dtype)).collect();
+        let delta = schema.columns().iter().map(|c| ColumnData::new(c.dtype)).collect();
+        let n = schema.arity();
+        ColumnTable {
+            schema,
+            main,
+            delta,
+            main_nulls: vec![None; n],
+            delta_nulls: vec![None; n],
+            dicts: vec![Dictionary::default(); n],
+            main_len: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows (main + delta).
+    pub fn len(&self) -> usize {
+        self.main_len + self.delta_len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows currently sitting in the delta fragment.
+    pub fn delta_len(&self) -> usize {
+        self.delta.first().map_or(0, ColumnData::len)
+    }
+
+    /// Appends a row; returns its stable row id.
+    pub fn append(&mut self, row: &Row) -> Result<usize> {
+        if row.arity() != self.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "row arity {} vs schema arity {}",
+                row.arity(),
+                self.schema.arity()
+            )));
+        }
+        let delta_pos = self.delta_len();
+        for (col, value) in row.values().iter().enumerate() {
+            self.push_value(col, value, delta_pos)?;
+        }
+        Ok(self.main_len + delta_pos)
+    }
+
+    fn push_value(&mut self, col: usize, value: &Value, delta_pos: usize) -> Result<()> {
+        let is_null = value.is_null();
+        if is_null {
+            let mask = self.delta_nulls[col].get_or_insert_with(|| vec![false; delta_pos]);
+            mask.resize(delta_pos, false);
+            mask.push(true);
+        } else if let Some(mask) = self.delta_nulls[col].as_mut() {
+            mask.resize(delta_pos, false);
+            mask.push(false);
+        }
+        match (&mut self.delta[col], value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(*x),
+            (ColumnData::Int(v), Value::Null) => v.push(0),
+            (ColumnData::Double(v), Value::Double(x)) => v.push(*x),
+            (ColumnData::Double(v), Value::Int(x)) => v.push(*x as f64),
+            (ColumnData::Double(v), Value::Null) => v.push(0.0),
+            (ColumnData::Str(v), Value::Str(s)) => {
+                let code = self.dicts[col].encode(s);
+                v.push(code);
+            }
+            (ColumnData::Str(v), Value::Null) => v.push(NULL_CODE),
+            (ColumnData::Date(v), Value::Date(d)) => v.push(d.0),
+            (ColumnData::Date(v), Value::Null) => v.push(0),
+            (ColumnData::SysTime(v), Value::SysTime(t)) => v.push(t.0),
+            (ColumnData::SysTime(v), Value::Null) => v.push(0),
+            (col_data, v) => {
+                return Err(Error::TypeMismatch {
+                    expected: format!("{:?}", self.schema.column(col).dtype),
+                    found: format!("{v:?} for column storage {col_data:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one cell.
+    pub fn get_value(&self, col: usize, row: usize) -> Value {
+        let (data, nulls, pos) = if row < self.main_len {
+            (&self.main[col], &self.main_nulls[col], row)
+        } else {
+            (&self.delta[col], &self.delta_nulls[col], row - self.main_len)
+        };
+        if let Some(mask) = nulls {
+            if mask.get(pos).copied().unwrap_or(false) {
+                return Value::Null;
+            }
+        }
+        match data {
+            ColumnData::Int(v) => Value::Int(v[pos]),
+            ColumnData::Double(v) => Value::Double(v[pos]),
+            ColumnData::Str(v) => {
+                let code = v[pos];
+                if code == NULL_CODE {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(self.dicts[col].decode(code)))
+                }
+            }
+            ColumnData::Date(v) => Value::Date(AppDate(v[pos])),
+            ColumnData::SysTime(v) => Value::SysTime(SysTime(v[pos])),
+        }
+    }
+
+    /// Overwrites one cell in place (used by the engine to close the system
+    /// period of a superseded version — the only in-place write a column
+    /// store performs).
+    pub fn set_value(&mut self, col: usize, row: usize, value: &Value) -> Result<()> {
+        let main_len = self.main_len;
+        let (data, pos) = if row < main_len {
+            (&mut self.main[col], row)
+        } else {
+            (&mut self.delta[col], row - main_len)
+        };
+        match (data, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v[pos] = *x,
+            (ColumnData::Double(v), Value::Double(x)) => v[pos] = *x,
+            (ColumnData::Date(v), Value::Date(d)) => v[pos] = d.0,
+            (ColumnData::SysTime(v), Value::SysTime(t)) => v[pos] = t.0,
+            (ColumnData::Str(v), Value::Str(s)) => {
+                let code = self.dicts[col].encode(s);
+                v[pos] = code;
+            }
+            (_, v) => {
+                return Err(Error::TypeMismatch {
+                    expected: format!("{:?}", self.schema.column(col).dtype),
+                    found: format!("{v:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes a full row.
+    pub fn get_row(&self, row: usize) -> Row {
+        (0..self.schema.arity())
+            .map(|c| self.get_value(c, row))
+            .collect()
+    }
+
+    /// Merges the delta fragment into main. Row ids are unchanged.
+    pub fn merge(&mut self) {
+        let delta_rows = self.delta_len();
+        for col in 0..self.schema.arity() {
+            // Reconcile null masks before concatenating payloads.
+            match (&mut self.main_nulls[col], &self.delta_nulls[col]) {
+                (Some(m), Some(d)) => {
+                    m.resize(self.main_len, false);
+                    let mut d2 = d.clone();
+                    d2.resize(delta_rows, false);
+                    m.extend_from_slice(&d2);
+                }
+                (Some(m), None) => {
+                    m.resize(self.main_len + delta_rows, false);
+                }
+                (None, Some(d)) => {
+                    let mut m = vec![false; self.main_len];
+                    let mut d2 = d.clone();
+                    d2.resize(delta_rows, false);
+                    m.extend_from_slice(&d2);
+                    self.main_nulls[col] = Some(m);
+                }
+                (None, None) => {}
+            }
+            self.delta_nulls[col] = None;
+            let delta = std::mem::replace(
+                &mut self.delta[col],
+                ColumnData::new(self.schema.column(col).dtype),
+            );
+            self.main[col].append_from(&delta);
+            let mut recycled = delta;
+            recycled.clear();
+            self.delta[col] = recycled;
+        }
+        self.main_len += delta_rows;
+    }
+
+    /// Typed scan over an Int column (both fragments), for tight loops.
+    pub fn scan_int(&self, col: usize) -> impl Iterator<Item = i64> + '_ {
+        let main = match &self.main[col] {
+            ColumnData::Int(v) => v.as_slice(),
+            _ => &[],
+        };
+        let delta = match &self.delta[col] {
+            ColumnData::Int(v) => v.as_slice(),
+            _ => &[],
+        };
+        main.iter().chain(delta.iter()).copied()
+    }
+
+    /// Typed scan over a SysTime column (both fragments).
+    pub fn scan_sys_time(&self, col: usize) -> impl Iterator<Item = SysTime> + '_ {
+        let main = match &self.main[col] {
+            ColumnData::SysTime(v) => v.as_slice(),
+            _ => &[],
+        };
+        let delta = match &self.delta[col] {
+            ColumnData::SysTime(v) => v.as_slice(),
+            _ => &[],
+        };
+        main.iter().chain(delta.iter()).map(|&t| SysTime(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("price", DataType::Double),
+            Column::new("since", DataType::Date),
+            Column::new("sys_start", DataType::SysTime),
+        ])
+    }
+
+    fn row(id: i64, name: &str, price: f64) -> Row {
+        Row::new(vec![
+            Value::Int(id),
+            Value::str(name),
+            Value::Double(price),
+            Value::Date(AppDate(100 + id)),
+            Value::SysTime(SysTime(id as u64)),
+        ])
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut t = ColumnTable::new(schema());
+        for i in 0..10 {
+            let id = t.append(&row(i, "widget", i as f64 * 1.5)).unwrap();
+            assert_eq!(id, i as usize);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.get_row(3), row(3, "widget", 4.5));
+        assert_eq!(t.get_value(1, 7), Value::str("widget"));
+    }
+
+    #[test]
+    fn dictionary_deduplicates() {
+        let mut t = ColumnTable::new(schema());
+        for i in 0..100 {
+            t.append(&row(i, if i % 2 == 0 { "even" } else { "odd" }, 1.0))
+                .unwrap();
+        }
+        assert_eq!(t.dicts[1].strings.len(), 2);
+    }
+
+    #[test]
+    fn merge_preserves_row_ids_and_values() {
+        let mut t = ColumnTable::new(schema());
+        for i in 0..20 {
+            t.append(&row(i, "x", 0.0)).unwrap();
+        }
+        let before: Vec<Row> = (0..20).map(|i| t.get_row(i)).collect();
+        assert_eq!(t.delta_len(), 20);
+        t.merge();
+        assert_eq!(t.delta_len(), 0);
+        assert_eq!(t.len(), 20);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(&t.get_row(i), b);
+        }
+        // Appends after merge continue the id sequence.
+        let id = t.append(&row(99, "y", 9.9)).unwrap();
+        assert_eq!(id, 20);
+        t.merge();
+        assert_eq!(t.get_row(20), row(99, "y", 9.9));
+    }
+
+    #[test]
+    fn nulls_round_trip_across_merge() {
+        let mut t = ColumnTable::new(schema());
+        t.append(&row(1, "a", 1.0)).unwrap();
+        t.append(&Row::new(vec![
+            Value::Int(2),
+            Value::Null,
+            Value::Null,
+            Value::Date(AppDate(5)),
+            Value::SysTime(SysTime(0)),
+        ]))
+        .unwrap();
+        t.append(&row(3, "c", 3.0)).unwrap();
+        assert!(t.get_value(1, 1).is_null());
+        assert!(t.get_value(2, 1).is_null());
+        assert!(!t.get_value(1, 2).is_null());
+        t.merge();
+        assert!(t.get_value(1, 1).is_null());
+        assert!(t.get_value(2, 1).is_null());
+        assert_eq!(t.get_value(1, 2), Value::str("c"));
+    }
+
+    #[test]
+    fn set_value_closes_system_period() {
+        let mut t = ColumnTable::new(schema());
+        t.append(&row(1, "a", 1.0)).unwrap();
+        t.merge();
+        t.set_value(4, 0, &Value::SysTime(SysTime(42))).unwrap();
+        assert_eq!(t.get_value(4, 0), Value::SysTime(SysTime(42)));
+        // And in the delta fragment too.
+        t.append(&row(2, "b", 2.0)).unwrap();
+        t.set_value(0, 1, &Value::Int(7)).unwrap();
+        assert_eq!(t.get_value(0, 1), Value::Int(7));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = ColumnTable::new(schema());
+        let bad = Row::new(vec![Value::Int(1)]);
+        assert!(t.append(&bad).is_err());
+    }
+
+    #[test]
+    fn typed_scans() {
+        let mut t = ColumnTable::new(schema());
+        for i in 0..5 {
+            t.append(&row(i, "s", 0.0)).unwrap();
+        }
+        t.merge();
+        for i in 5..8 {
+            t.append(&row(i, "s", 0.0)).unwrap();
+        }
+        let ids: Vec<i64> = t.scan_int(0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let ts: Vec<u64> = t.scan_sys_time(4).map(|t| t.0).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+}

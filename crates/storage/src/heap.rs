@@ -1,0 +1,154 @@
+//! Append-only slotted row heap.
+//!
+//! The current and history partitions of the row-store engines are heaps of
+//! version records. Slots are stable (a record never moves), deletion leaves
+//! a tombstone, and full scans skip tombstones. This mirrors how the paper's
+//! row stores lay out their regular tables — there is nothing temporal here.
+
+/// Stable identifier of a record within one heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+/// An append-only arena of records with tombstone deletion.
+#[derive(Debug, Clone)]
+pub struct Heap<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for Heap<T> {
+    fn default() -> Self {
+        Heap {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> Heap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Heap<T> {
+        Heap::default()
+    }
+
+    /// Creates an empty heap with capacity for `cap` records.
+    pub fn with_capacity(cap: usize) -> Heap<T> {
+        Heap {
+            slots: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    /// Appends a record and returns its slot.
+    pub fn insert(&mut self, record: T) -> SlotId {
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(Some(record));
+        self.live += 1;
+        id
+    }
+
+    /// The record in `slot`, if it has not been deleted.
+    pub fn get(&self, slot: SlotId) -> Option<&T> {
+        self.slots.get(slot.0 as usize)?.as_ref()
+    }
+
+    /// Mutable access to the record in `slot`.
+    pub fn get_mut(&mut self, slot: SlotId) -> Option<&mut T> {
+        self.slots.get_mut(slot.0 as usize)?.as_mut()
+    }
+
+    /// Tombstones `slot` and returns the record, if it was live.
+    pub fn remove(&mut self, slot: SlotId) -> Option<T> {
+        let r = self.slots.get_mut(slot.0 as usize)?.take();
+        if r.is_some() {
+            self.live -= 1;
+        }
+        r
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live records remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + tombstoned). This is what a table
+    /// scan has to walk, which is why deletes do not make scans cheaper —
+    /// an effect the history tables in the paper exhibit too.
+    pub fn allocated(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over live records with their slots, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (SlotId(i as u32), r)))
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Heap<T> {
+    type Item = (SlotId, &'a T);
+    type IntoIter = Box<dyn Iterator<Item = (SlotId, &'a T)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.insert("alpha");
+        let b = h.insert("beta");
+        assert_eq!(h.get(a), Some(&"alpha"));
+        assert_eq!(h.get(b), Some(&"beta"));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn remove_tombstones() {
+        let mut h = Heap::new();
+        let a = h.insert(1);
+        let b = h.insert(2);
+        assert_eq!(h.remove(a), Some(1));
+        assert_eq!(h.remove(a), None, "double remove is a no-op");
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.allocated(), 2, "tombstones still occupy slots");
+        assert_eq!(h.get(b), Some(&2));
+    }
+
+    #[test]
+    fn iter_skips_tombstones_preserves_order() {
+        let mut h = Heap::new();
+        let ids: Vec<_> = (0..5).map(|i| h.insert(i * 10)).collect();
+        h.remove(ids[1]);
+        h.remove(ids[3]);
+        let seen: Vec<_> = h.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut h = Heap::new();
+        let a = h.insert(vec![1, 2]);
+        h.get_mut(a).unwrap().push(3);
+        assert_eq!(h.get(a), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn out_of_range_slot_is_none() {
+        let h: Heap<i32> = Heap::new();
+        assert_eq!(h.get(SlotId(99)), None);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Bitemporal-dimension queries B3.1–B3.11 (paper §3.3, Table 3).
+//!
+//! All variants derive from one non-temporal base query — a PARTSUPP
+//! self-join: *"What (other) parts are supplied by the suppliers who supply
+//! part `[P]`?"* — and vary how each time dimension is used:
+//! **point** (`AS OF`), **correlation** (periods of the two sides must
+//! overlap), or **agnostic** (no constraint), covering all nine cases of
+//! Snodgrass's classification plus the current/past system-point split the
+//! partitioned storage makes interesting (B3.1/B3.2, B3.6/B3.7).
+
+use crate::Ctx;
+use bitempo_core::{AppDate, Result, Row, SysTime, Value};
+use bitempo_dbgen::col;
+use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_query::{distinct, hash_join, sort_by, temporal_join, JoinKind, SortKey};
+
+/// How one time dimension participates in a B3 query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim<T> {
+    /// `AS OF` a point.
+    Point(T),
+    /// The two join sides' periods must overlap.
+    Correlation,
+    /// Dimension unconstrained.
+    Agnostic,
+}
+
+/// Executes the B3 self-join under the given dimension treatments and
+/// returns the distinct other part keys, sorted.
+pub fn b3(
+    ctx: &Ctx<'_>,
+    part: i64,
+    app: Dim<AppDate>,
+    sys: Dim<SysTime>,
+) -> Result<Vec<Row>> {
+    let app_spec = match app {
+        Dim::Point(d) => AppSpec::AsOf(d),
+        _ => AppSpec::All,
+    };
+    let sys_spec = match sys {
+        Dim::Point(t) => SysSpec::AsOf(t),
+        _ => SysSpec::All,
+    };
+    // Left side: versions supplying the probe part.
+    let probe = vec![ColRange::eq(col::partsupp::PARTKEY, Value::Int(part))];
+    let left = ctx.scan(ctx.t.partsupp, &sys_spec, &app_spec, &probe)?;
+    // Right side: all partsupp versions under the same specs.
+    let right = ctx.scan(ctx.t.partsupp, &sys_spec, &app_spec, &[])?;
+
+    let app_cols = ctx.app_cols(ctx.t.partsupp);
+    let sys_cols = ctx.sys_cols(ctx.t.partsupp);
+    let left_arity = left.first().map_or(0, Row::arity);
+
+    // Join on suppkey, honouring correlations.
+    let mut joined = match (app, sys) {
+        (Dim::Correlation, Dim::Correlation) => {
+            let app_joined = temporal_join(
+                &left,
+                &right,
+                &[col::partsupp::SUPPKEY],
+                &[col::partsupp::SUPPKEY],
+                app_cols,
+                app_cols,
+            );
+            // Additionally require system-period overlap.
+            app_joined
+                .into_iter()
+                .filter(|r| {
+                    let ls = r.get(sys_cols.0);
+                    let le = r.get(sys_cols.1);
+                    let rs = r.get(left_arity + sys_cols.0);
+                    let re = r.get(left_arity + sys_cols.1);
+                    ls < re && rs < le
+                })
+                .collect()
+        }
+        (Dim::Correlation, _) => temporal_join(
+            &left,
+            &right,
+            &[col::partsupp::SUPPKEY],
+            &[col::partsupp::SUPPKEY],
+            app_cols,
+            app_cols,
+        ),
+        (_, Dim::Correlation) => temporal_join(
+            &left,
+            &right,
+            &[col::partsupp::SUPPKEY],
+            &[col::partsupp::SUPPKEY],
+            sys_cols,
+            sys_cols,
+        ),
+        _ => hash_join(
+            &left,
+            &right,
+            &[col::partsupp::SUPPKEY],
+            &[col::partsupp::SUPPKEY],
+            JoinKind::Inner,
+        ),
+    };
+
+    // Project the *other* part key and deduplicate.
+    let other_part = left_arity + col::partsupp::PARTKEY;
+    joined.retain(|r| r.get(other_part) != &Value::Int(part));
+    let mut out = distinct(
+        &joined
+            .iter()
+            .map(|r| r.project(&[other_part]))
+            .collect::<Vec<_>>(),
+    );
+    sort_by(&mut out, &[SortKey::asc(0)]);
+    Ok(out)
+}
+
+/// The eleven Table-3 variants, addressed by index 1..=11.
+///
+/// | # | App time | System time |
+/// |---|---|---|
+/// | 1 | point | point (current) |
+/// | 2 | point | point (past) |
+/// | 3 | correlation | point (current) |
+/// | 4 | point | correlation |
+/// | 5 | correlation | correlation |
+/// | 6 | agnostic | point (current) |
+/// | 7 | agnostic | point (past) |
+/// | 8 | agnostic | correlation |
+/// | 9 | point | agnostic |
+/// | 10 | correlation | agnostic |
+/// | 11 | agnostic | agnostic |
+pub fn b3_variant(
+    ctx: &Ctx<'_>,
+    variant: u8,
+    part: i64,
+    app_point: AppDate,
+    sys_past: SysTime,
+) -> Result<Vec<Row>> {
+    let now = ctx.engine.now();
+    let (app, sys) = match variant {
+        1 => (Dim::Point(app_point), Dim::Point(now)),
+        2 => (Dim::Point(app_point), Dim::Point(sys_past)),
+        3 => (Dim::Correlation, Dim::Point(now)),
+        4 => (Dim::Point(app_point), Dim::Correlation),
+        5 => (Dim::Correlation, Dim::Correlation),
+        6 => (Dim::Agnostic, Dim::Point(now)),
+        7 => (Dim::Agnostic, Dim::Point(sys_past)),
+        8 => (Dim::Agnostic, Dim::Correlation),
+        9 => (Dim::Point(app_point), Dim::Agnostic),
+        10 => (Dim::Correlation, Dim::Agnostic),
+        11 => (Dim::Agnostic, Dim::Agnostic),
+        other => {
+            return Err(bitempo_core::Error::Invalid(format!(
+                "B3 variant {other} (valid: 1..=11)"
+            )))
+        }
+    };
+    b3(ctx, part, app, sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{assert_equivalent, fixture};
+
+    const PROBE_PART: i64 = 55;
+
+    #[test]
+    fn all_eleven_variants_run_and_agree() {
+        let p = fixture().params.clone();
+        for variant in 1..=11u8 {
+            let rows = assert_equivalent(|ctx| {
+                b3_variant(ctx, variant, PROBE_PART, p.app_mid, p.sys_initial)
+            });
+            // The probe part itself never appears.
+            for r in &rows {
+                assert_ne!(r.get(0), &Value::Int(PROBE_PART), "variant {variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn agnostic_dominates_points() {
+        let p = fixture().params.clone();
+        let agnostic = assert_equivalent(|ctx| {
+            b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial)
+        });
+        let current = assert_equivalent(|ctx| {
+            b3_variant(ctx, 6, PROBE_PART, p.app_mid, p.sys_initial)
+        });
+        let pointy = assert_equivalent(|ctx| {
+            b3_variant(ctx, 1, PROBE_PART, p.app_mid, p.sys_initial)
+        });
+        assert!(agnostic.len() >= current.len());
+        assert!(current.len() >= pointy.len());
+        assert!(!agnostic.is_empty(), "part 55's suppliers supply other parts");
+    }
+
+    #[test]
+    fn invalid_variant_rejected() {
+        let fx = fixture();
+        let ctx = Ctx::new(fx.engines[0].1.as_ref()).unwrap();
+        assert!(b3_variant(&ctx, 12, PROBE_PART, fx.params.app_mid, fx.params.sys_initial).is_err());
+        assert!(b3_variant(&ctx, 0, PROBE_PART, fx.params.app_mid, fx.params.sys_initial).is_err());
+    }
+
+    #[test]
+    fn correlation_is_a_subset_of_agnostic() {
+        let p = fixture().params.clone();
+        let corr = assert_equivalent(|ctx| {
+            b3_variant(ctx, 5, PROBE_PART, p.app_mid, p.sys_initial)
+        });
+        let agnostic = assert_equivalent(|ctx| {
+            b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial)
+        });
+        use std::collections::HashSet;
+        let a: HashSet<_> = agnostic.iter().collect();
+        for r in &corr {
+            assert!(a.contains(r), "correlated results must appear in agnostic");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Pure-key / audit queries (K group, paper §3.3 and §5.5).
+//!
+//! Representative SQL (K1, system-time range + application point):
+//!
+//! ```sql
+//! SELECT c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal,
+//!        sys_time_start
+//! FROM customer
+//!   FOR SYSTEM_TIME FROM [SYS_BEGIN] TO [SYS_END]
+//!   FOR BUSINESS_TIME AS OF [APP_TIME]
+//! WHERE c_custkey = [CUST_KEY]
+//! ORDER BY sys_time_start
+//! ```
+
+use crate::Ctx;
+use bitempo_core::{Key, Result, Row, SysTime, Value};
+use bitempo_dbgen::col;
+use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_query::{sort_by, top_n, SortKey};
+use std::ops::Bound;
+
+fn ordered_by_sys_start(ctx: &Ctx<'_>, mut rows: Vec<Row>) -> Vec<Row> {
+    let (sys_start, _) = ctx.sys_cols(ctx.t.customer);
+    sort_by(&mut rows, &[SortKey::asc(sys_start)]);
+    rows
+}
+
+/// K1: the full history of one customer (all columns, no temporal range
+/// restriction), under the given temporal dimensions, ordered by
+/// `sys_time_start`.
+pub fn k1(ctx: &Ctx<'_>, key: &Key, sys: SysSpec, app: AppSpec) -> Result<Vec<Row>> {
+    let rows = ctx.engine.lookup_key(ctx.t.customer, key, &sys, &app)?.rows;
+    Ok(ordered_by_sys_start(ctx, rows))
+}
+
+/// K2: K1 with a restricted temporal range (the caller passes `Range`
+/// specs) — testing whether engines can exploit time-range restrictions.
+pub fn k2(ctx: &Ctx<'_>, key: &Key, sys: SysSpec, app: AppSpec) -> Result<Vec<Row>> {
+    k1(ctx, key, sys, app)
+}
+
+/// K3: K2 restricted to a single output column (`c_acctbal` plus the
+/// ordering timestamp).
+pub fn k3(ctx: &Ctx<'_>, key: &Key, sys: SysSpec, app: AppSpec) -> Result<Vec<Row>> {
+    let (sys_start, _) = ctx.sys_cols(ctx.t.customer);
+    let rows = k1(ctx, key, sys, app)?;
+    Ok(rows
+        .iter()
+        .map(|r| r.project(&[col::customer::ACCTBAL, sys_start]))
+        .collect())
+}
+
+/// K4: the latest `n` versions of a key (Top-N along system time).
+pub fn k4(ctx: &Ctx<'_>, key: &Key, sys: SysSpec, app: AppSpec, n: usize) -> Result<Vec<Row>> {
+    let (sys_start, _) = ctx.sys_cols(ctx.t.customer);
+    let rows = ctx.engine.lookup_key(ctx.t.customer, key, &sys, &app)?.rows;
+    Ok(top_n(&rows, &[SortKey::desc(sys_start)], n))
+}
+
+/// K5: the immediate predecessor of the version visible at `at` — the
+/// timestamp-correlation alternative to K4 (`sys_end = <visible
+/// version>.sys_start`).
+pub fn k5(ctx: &Ctx<'_>, key: &Key, at: SysTime) -> Result<Vec<Row>> {
+    let (sys_start, sys_end) = ctx.sys_cols(ctx.t.customer);
+    let all = ctx
+        .engine
+        .lookup_key(ctx.t.customer, key, &SysSpec::All, &AppSpec::All)?
+        .rows;
+    let visible_start: Vec<Value> = all
+        .iter()
+        .filter(|r| {
+            let s = r.get(sys_start).as_sys_time().expect("sys start");
+            let e = r.get(sys_end).as_sys_time().expect("sys end");
+            s <= at && at < e
+        })
+        .map(|r| r.get(sys_start).clone())
+        .collect();
+    Ok(all
+        .into_iter()
+        .filter(|r| visible_start.contains(r.get(sys_end)))
+        .collect())
+}
+
+/// K6: selection by *value* instead of key — the evolution of customers
+/// whose balance lies in `[lo, hi]` (paper §5.5.3; a value index applies).
+pub fn k6(ctx: &Ctx<'_>, lo: f64, hi: f64, sys: SysSpec, app: AppSpec) -> Result<Vec<Row>> {
+    let preds = vec![ColRange::between(
+        col::customer::ACCTBAL,
+        Bound::Included(Value::Double(lo)),
+        Bound::Included(Value::Double(hi)),
+    )];
+    let rows = ctx.scan(ctx.t.customer, &sys, &app, &preds)?;
+    Ok(ordered_by_sys_start(ctx, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{assert_equivalent, fixture};
+    use bitempo_core::Period;
+
+    #[test]
+    fn k1_full_history_dimensions() {
+        let p = fixture().params.clone();
+        let key = p.hot_customer.clone();
+        // Current system time, all app versions.
+        let cur = assert_equivalent(|ctx| k1(ctx, &key, SysSpec::Current, AppSpec::All));
+        assert!(!cur.is_empty());
+        // Full bitemporal history must dominate every other slice.
+        let both = assert_equivalent(|ctx| k1(ctx, &key, SysSpec::All, AppSpec::All));
+        assert_eq!(both.len(), p.hot_customer_versions);
+        assert!(both.len() >= cur.len());
+        // Past system time.
+        let past =
+            assert_equivalent(|ctx| k1(ctx, &key, SysSpec::AsOf(p.sys_initial), AppSpec::All));
+        assert!(past.len() <= both.len());
+        // App point over system history.
+        let app = assert_equivalent(|ctx| k1(ctx, &key, SysSpec::All, AppSpec::AsOf(p.app_mid)));
+        assert!(app.len() <= both.len());
+    }
+
+    #[test]
+    fn k2_k3_time_restriction() {
+        let p = fixture().params.clone();
+        let key = p.hot_customer.clone();
+        let sys_range = SysSpec::Range(Period::new(p.sys_initial, p.sys_mid));
+        let restricted = assert_equivalent(|ctx| k2(ctx, &key, sys_range, AppSpec::All));
+        let full = assert_equivalent(|ctx| k1(ctx, &key, SysSpec::All, AppSpec::All));
+        assert!(restricted.len() <= full.len());
+        let narrow = assert_equivalent(|ctx| k3(ctx, &key, sys_range, AppSpec::All));
+        assert_eq!(narrow.len(), restricted.len());
+        if let Some(first) = narrow.first() {
+            assert_eq!(first.arity(), 2, "K3 returns one column + timestamp");
+        }
+    }
+
+    #[test]
+    fn k4_top_n_and_k5_predecessor() {
+        let p = fixture().params.clone();
+        let key = p.hot_customer.clone();
+        let top2 = assert_equivalent(|ctx| k4(ctx, &key, SysSpec::All, AppSpec::All, 2));
+        assert!(top2.len() <= 2 && !top2.is_empty());
+        let pred = assert_equivalent(|ctx| k5(ctx, &key, p.sys_now));
+        let full = assert_equivalent(|ctx| k1(ctx, &key, SysSpec::All, AppSpec::All));
+        if full.len() > 1 {
+            assert!(!pred.is_empty(), "a multi-version key has a predecessor");
+        }
+        assert!(pred.len() < full.len());
+    }
+
+    #[test]
+    fn k6_value_selection() {
+        let p = fixture().params.clone();
+        let (lo, hi) = p.acctbal_band;
+        let rows = assert_equivalent(|ctx| k6(ctx, lo, hi, SysSpec::Current, AppSpec::All));
+        // The band was derived from the hot customer's current balance.
+        assert!(!rows.is_empty());
+        for r in &rows {
+            let b = r.get(col::customer::ACCTBAL).as_double().unwrap();
+            assert!(b >= lo && b <= hi);
+        }
+        // A wide band over all of history returns more.
+        let wide =
+            assert_equivalent(|ctx| k6(ctx, -100_000.0, 100_000.0, SysSpec::All, AppSpec::All));
+        assert!(wide.len() > rows.len());
+    }
+}

@@ -1,0 +1,115 @@
+//! Benchmark parameter selection (paper §4: "particular temporal properties
+//! in the selection of parameters to queries, e.g. the system time interval
+//! for generator execution").
+
+use crate::{Ctx, TableIds};
+use bitempo_core::{AppDate, Key, Result, SysTime, Value};
+use bitempo_dbgen::col;
+use bitempo_engine::api::{AppSpec, SysSpec};
+use bitempo_engine::BitemporalEngine;
+use std::collections::HashMap;
+
+/// The temporal and key parameters shared by the workload queries.
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// System time of the initial load (version 0).
+    pub sys_initial: SysTime,
+    /// A system time in the middle of the history.
+    pub sys_mid: SysTime,
+    /// The current system time at derivation.
+    pub sys_now: SysTime,
+    /// An application date in the middle of the TPC-H epoch.
+    pub app_mid: AppDate,
+    /// An application date late in the history (after the epoch cut-over).
+    pub app_late: AppDate,
+    /// The latest application date that any order is active.
+    pub app_max: AppDate,
+    /// The customer with the most recorded versions (K queries: "we select
+    /// the customer with most updates").
+    pub hot_customer: Key,
+    /// Number of versions of [`Self::hot_customer`].
+    pub hot_customer_versions: usize,
+    /// An account-balance band selecting very few customers (K6's
+    /// "very selective filter").
+    pub acctbal_band: (f64, f64),
+}
+
+impl QueryParams {
+    /// Derives parameters by inspecting a loaded engine.
+    pub fn derive(engine: &dyn BitemporalEngine) -> Result<QueryParams> {
+        let t = TableIds::resolve(engine)?;
+        let ctx = Ctx { engine, t };
+        let now = engine.now();
+
+        // Hot customer: most versions across the full bitemporal history.
+        let customers = ctx.scan(t.customer, &SysSpec::All, &AppSpec::All, &[])?;
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for row in &customers {
+            *counts
+                .entry(row.get(col::customer::CUSTKEY).as_int()?)
+                .or_default() += 1;
+        }
+        let (&hot, &hot_n) = counts
+            .iter()
+            .max_by_key(|(k, n)| (**n, std::cmp::Reverse(**k)))
+            .expect("customer table is never empty");
+
+        // A tight balance band around the hot customer's current balance.
+        let current = ctx.scan(t.customer, &SysSpec::Current, &AppSpec::All, &[])?;
+        let bal = current
+            .iter()
+            .find(|r| r.get(col::customer::CUSTKEY) == &Value::Int(hot))
+            .map_or(0.0, |r| {
+                r.get(col::customer::ACCTBAL).as_double().unwrap_or(0.0)
+            });
+
+        Ok(QueryParams {
+            sys_initial: SysTime(1),
+            sys_mid: SysTime(1 + (now.0 - 1) / 2),
+            sys_now: now,
+            app_mid: AppDate::from_ymd(1995, 6, 17),
+            app_late: bitempo_dbgen::LAST_ORDER_DATE.plus_days(30),
+            app_max: bitempo_dbgen::END_DATE.plus_days(400),
+            hot_customer: Key::int(hot),
+            hot_customer_versions: hot_n,
+            acctbal_band: (bal - 0.5, bal + 0.5),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fixture;
+
+    #[test]
+    fn derivation_finds_sensible_points() {
+        let fx = fixture();
+        let p = &fx.params;
+        assert_eq!(p.sys_initial, SysTime(1));
+        assert!(p.sys_initial < p.sys_mid && p.sys_mid < p.sys_now);
+        assert!(p.app_mid < p.app_late && p.app_late < p.app_max);
+        assert!(
+            p.hot_customer_versions >= 1,
+            "hot customer must have history"
+        );
+    }
+
+    #[test]
+    fn hot_customer_really_is_hottest() {
+        let fx = fixture();
+        let (_, engine) = &fx.engines[0];
+        let ctx = Ctx::new(engine.as_ref()).unwrap();
+        let rows = ctx
+            .scan(ctx.t.customer, &SysSpec::All, &AppSpec::All, &[])
+            .unwrap();
+        let mut counts: HashMap<i64, usize> = HashMap::new();
+        for row in &rows {
+            *counts
+                .entry(row.get(col::customer::CUSTKEY).as_int().unwrap())
+                .or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert_eq!(fx.params.hot_customer_versions, max);
+    }
+}

@@ -1,0 +1,75 @@
+//! Analytical queries through time: TPC-H under time travel (the paper's H
+//! workload), comparing "what we know now" against "what we knew then" and
+//! "what was true then".
+//!
+//! ```text
+//! cargo run --release -p bitempo-examples --bin order_analytics
+//! ```
+
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::api::TuningConfig;
+use bitempo_engine::{build_engine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use bitempo_workloads::{tpch, Ctx, QueryParams};
+
+fn main() -> bitempo_core::Result<()> {
+    // System C: the in-memory column store archetype — the paper's pick
+    // for analytics.
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.002));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.002));
+    let mut engine = build_engine(SystemKind::C);
+    let ids = loader::load_initial(engine.as_mut(), &data)?;
+    loader::replay(engine.as_mut(), &ids, &history.archive, 1)?;
+    engine.checkpoint();
+    engine.apply_tuning(&TuningConfig::none())?;
+
+    let params = QueryParams::derive(engine.as_ref())?;
+    let ctx = Ctx::new(engine.as_ref())?;
+
+    // Q1 (pricing summary) now, and as of the initial load.
+    println!("Q1 pricing summary, current state:");
+    let now = tpch::q1(&ctx, &tpch::Tt::none())?;
+    for row in &now {
+        println!("  {row}");
+    }
+    println!("\nQ1 as recorded at the initial load (system time travel):");
+    let then = tpch::q1(&ctx, &tpch::Tt::sys(params.sys_initial))?;
+    for row in &then {
+        println!("  {row}");
+    }
+    let count = |rows: &[bitempo_core::Row]| -> i64 {
+        rows.iter().map(|r| r.get(9).as_int().unwrap_or(0)).sum()
+    };
+    println!(
+        "\nlineitems counted: {} now vs {} at version 0",
+        count(&now),
+        count(&then)
+    );
+
+    // Q6 (forecast revenue) under application time travel: evaluate the
+    // business rule against the world as it was valid mid-1995.
+    let q6_now = tpch::q6(&ctx, &tpch::Tt::none())?;
+    let q6_mid = tpch::q6(&ctx, &tpch::Tt::app(params.app_mid))?;
+    println!(
+        "\nQ6 revenue effect: {} (current) vs {} (valid {})",
+        q6_now[0].get(0),
+        q6_mid[0].get(0),
+        params.app_mid
+    );
+
+    // Q5 (local supplier volume) across the two time dimensions.
+    for (label, tt) in [
+        ("current", tpch::Tt::none()),
+        ("app time travel", tpch::Tt::app(params.app_mid)),
+        ("sys time travel", tpch::Tt::sys(params.sys_initial)),
+    ] {
+        let rows = tpch::q5(&ctx, &tt)?;
+        println!("\nQ5 local supplier volume ({label}): {} nations", rows.len());
+        for row in rows.iter().take(3) {
+            println!("  {row}");
+        }
+    }
+
+    println!("\norder_analytics OK");
+    Ok(())
+}

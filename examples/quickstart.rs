@@ -1,0 +1,108 @@
+//! Quickstart: create a bitemporal table, modify it over a few
+//! transactions, and time-travel through both dimensions.
+//!
+//! ```text
+//! cargo run -p bitempo-examples --bin quickstart
+//! ```
+
+use bitempo_core::{AppDate, AppPeriod, Column, DataType, Key, Row, Schema, TableDef, TemporalClass, Value};
+use bitempo_engine::api::{AppSpec, SysSpec};
+use bitempo_engine::{build_engine, SystemKind};
+
+fn main() -> bitempo_core::Result<()> {
+    // Pick any of the four engine archetypes — they share one API and one
+    // logical data model; only the physics differ.
+    let mut db = build_engine(SystemKind::A);
+
+    // A bitemporal price list: `valid_time` is the application time.
+    let def = TableDef::new(
+        "price_list",
+        Schema::new(vec![
+            Column::new("item", DataType::Int),
+            Column::new("price", DataType::Double),
+        ]),
+        vec![0],
+        TemporalClass::Bitemporal,
+        Some("valid_time"),
+    )?;
+    let prices = db.create_table(def)?;
+
+    // Transaction 1: item 1 costs 10.00, valid from January 2024 onward.
+    let jan = AppDate::from_ymd(2024, 1, 1);
+    db.insert(
+        prices,
+        Row::new(vec![Value::Int(1), Value::Double(10.00)]),
+        Some(AppPeriod::since(jan)),
+    )?;
+    let t1 = db.commit();
+    println!("committed initial price at system time {t1}");
+
+    // Transaction 2: a March price rise — but only FOR PORTION OF the
+    // application axis starting in March (sequenced update).
+    let march = AppDate::from_ymd(2024, 3, 1);
+    db.update(
+        prices,
+        &Key::int(1),
+        &[(1, Value::Double(12.50))],
+        Some(AppPeriod::since(march)),
+    )?;
+    let t2 = db.commit();
+    println!("committed March price rise at system time {t2}");
+
+    // Transaction 3: an audit correction rewrites the March rise to 11.00.
+    db.update(
+        prices,
+        &Key::int(1),
+        &[(1, Value::Double(11.00))],
+        Some(AppPeriod::since(march)),
+    )?;
+    let t3 = db.commit();
+    println!("committed audit correction at system time {t3}\n");
+
+    // What does the price list look like *now*, across application time?
+    println!("current state, all application time:");
+    for row in db.scan(prices, &SysSpec::Current, &AppSpec::All, &[])?.rows {
+        println!("  {row}");
+    }
+
+    // Time travel: what did we *believe* in February's system state?
+    println!("\nas recorded at system time {t2} (before the correction):");
+    for row in db
+        .scan(prices, &SysSpec::AsOf(t2), &AppSpec::AsOf(march), &[])?
+        .rows
+    {
+        println!("  {row}");
+    }
+
+    // Bitemporal point query: the price valid in February, as known now.
+    let feb = AppDate::from_ymd(2024, 2, 1);
+    let out = db.scan(prices, &SysSpec::Current, &AppSpec::AsOf(feb), &[])?;
+    println!("\nprice valid in February, known now: {}", out.rows[0].get(1));
+    assert_eq!(out.rows[0].get(1), &Value::Double(10.00));
+
+    // The full bitemporal history: every version ever recorded.
+    println!("\nfull bitemporal history (value, app period, sys period):");
+    let mut all = db.scan(prices, &SysSpec::All, &AppSpec::All, &[])?.rows;
+    all.sort();
+    for row in all {
+        println!("  {row}");
+    }
+
+    // And the audit view: versions superseded by the correction are still
+    // reconstructable at their original system time.
+    let believed_march = db
+        .scan(prices, &SysSpec::AsOf(t2), &AppSpec::AsOf(march), &[])?
+        .rows[0]
+        .get(1)
+        .clone();
+    let corrected_march = db
+        .scan(prices, &SysSpec::Current, &AppSpec::AsOf(march), &[])?
+        .rows[0]
+        .get(1)
+        .clone();
+    println!("\nMarch price as believed at {t2}: {believed_march}; after audit: {corrected_march}");
+    assert_eq!(believed_march, Value::Double(12.50));
+    assert_eq!(corrected_march, Value::Double(11.00));
+    println!("\nquickstart OK");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Integration-test crate for the TPC-BiH workspace; all tests live
+//! in the `tests/` directory.

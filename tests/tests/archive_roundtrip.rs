@@ -1,0 +1,58 @@
+//! End-to-end archive round trip: generate → serialize to disk → reload →
+//! replay, and confirm the reloaded archive drives an engine to the same
+//! state as the original.
+
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::api::{AppSpec, SysSpec};
+use bitempo_engine::{build_engine, SystemKind};
+use bitempo_histgen::{loader, Archive, HistoryConfig};
+
+#[test]
+fn archive_file_round_trip_drives_identical_state() {
+    let data = bitempo_dbgen::generate(&ScaleConfig::tiny());
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::tiny());
+
+    let dir = std::env::temp_dir().join("bitempo_it_archive");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("history.biha");
+    history.archive.save(&path).unwrap();
+    let reloaded = Archive::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(history.archive, reloaded);
+
+    let mut original = build_engine(SystemKind::A);
+    let ids1 = loader::load_initial(original.as_mut(), &data).unwrap();
+    loader::replay(original.as_mut(), &ids1, &history.archive, 1).unwrap();
+
+    let mut replayed = build_engine(SystemKind::A);
+    let ids2 = loader::load_initial(replayed.as_mut(), &data).unwrap();
+    loader::replay(replayed.as_mut(), &ids2, &reloaded, 1).unwrap();
+
+    for (&a, &b) in ids1.iter().zip(&ids2) {
+        let mut ra = original
+            .scan(a, &SysSpec::All, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        let mut rb = replayed
+            .scan(b, &SysSpec::All, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+}
+
+#[test]
+fn archive_size_scales_with_history() {
+    let data = bitempo_dbgen::generate(&ScaleConfig::tiny());
+    let small = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.0002));
+    let large = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.0008));
+    let bytes = |a: &Archive| {
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        buf.len()
+    };
+    let (s, l) = (bytes(&small.archive), bytes(&large.archive));
+    assert!(l > 2 * s, "archive must grow with m: {s} vs {l}");
+}

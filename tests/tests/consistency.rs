@@ -1,0 +1,218 @@
+//! Temporal consistency invariants (paper §3/§4: "The data set is
+//! consistent with the TPC-H data for each time in system time history").
+
+use bitempo_core::{AppPeriod, SysTime, Value};
+use bitempo_dbgen::{col, ScaleConfig};
+use bitempo_engine::api::{AppSpec, SysSpec};
+use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use std::collections::{HashMap, HashSet};
+
+fn build_engine_a() -> (Box<dyn BitemporalEngine>, SysTime) {
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.002));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.001));
+    let mut engine = build_engine(SystemKind::A);
+    let ids = loader::load_initial(engine.as_mut(), &data).unwrap();
+    loader::replay(engine.as_mut(), &ids, &history.archive, 1).unwrap();
+    let now = engine.now();
+    (engine, now)
+}
+
+/// At every sampled system time, every lineitem references an existing
+/// order and every order an existing customer — the generator only emits
+/// transactions that keep the TPC-H snapshot consistent.
+#[test]
+fn referential_integrity_at_every_sampled_system_time() {
+    let (engine, now) = build_engine_a();
+    let orders_id = engine.resolve("orders").unwrap();
+    let lineitem_id = engine.resolve("lineitem").unwrap();
+    let customer_id = engine.resolve("customer").unwrap();
+
+    let samples: Vec<SysTime> = (0..=10).map(|i| SysTime(1 + (now.0 - 1) * i / 10)).collect();
+    for t in samples {
+        let sys = SysSpec::AsOf(t);
+        let orders = engine.scan(orders_id, &sys, &AppSpec::All, &[]).unwrap().rows;
+        let order_keys: HashSet<i64> = orders
+            .iter()
+            .map(|r| r.get(col::orders::ORDERKEY).as_int().unwrap())
+            .collect();
+        let customers: HashSet<i64> = engine
+            .scan(customer_id, &sys, &AppSpec::All, &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.get(col::customer::CUSTKEY).as_int().unwrap())
+            .collect();
+        for o in &orders {
+            let ck = o.get(col::orders::CUSTKEY).as_int().unwrap();
+            assert!(customers.contains(&ck), "order without customer at {t}");
+        }
+        let lineitems = engine
+            .scan(lineitem_id, &sys, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        for li in &lineitems {
+            let ok = li.get(col::lineitem::ORDERKEY).as_int().unwrap();
+            assert!(order_keys.contains(&ok), "orphan lineitem at {t}");
+        }
+        assert!(!orders.is_empty(), "snapshot at {t} must not be empty");
+    }
+}
+
+/// Per key: system periods of versions sharing an application point never
+/// overlap, and the full bitemporal history contains no version whose
+/// system period is empty or inverted.
+#[test]
+fn version_chains_are_well_formed() {
+    let (engine, _) = build_engine_a();
+    let customer_id = engine.resolve("customer").unwrap();
+    let def = engine.table_def(customer_id);
+    let base = def.schema.arity();
+    let (app_s, app_e, sys_s, sys_e) = (base, base + 1, base + 2, base + 3);
+
+    let rows = engine
+        .scan(customer_id, &SysSpec::All, &AppSpec::All, &[])
+        .unwrap()
+        .rows;
+    let mut by_key: HashMap<i64, Vec<(u64, u64, i64, i64)>> = HashMap::new();
+    for r in &rows {
+        let key = r.get(col::customer::CUSTKEY).as_int().unwrap();
+        let ss = r.get(sys_s).as_sys_time().unwrap().0;
+        let se = r.get(sys_e).as_sys_time().unwrap().0;
+        let as_ = r.get(app_s).as_date().unwrap().0;
+        let ae = r.get(app_e).as_date().unwrap().0;
+        assert!(ss < se, "empty/inverted system period for key {key}");
+        assert!(as_ < ae, "empty/inverted application period for key {key}");
+        by_key.entry(key).or_default().push((ss, se, as_, ae));
+    }
+    for (key, versions) in by_key {
+        for (i, a) in versions.iter().enumerate() {
+            for b in versions.iter().skip(i + 1) {
+                let sys_overlap = a.0 < b.1 && b.0 < a.1;
+                let app_overlap = a.2 < b.3 && b.2 < a.3;
+                assert!(
+                    !(sys_overlap && app_overlap),
+                    "key {key}: two versions claim the same bitemporal point: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The current snapshot equals the AS-OF-now snapshot on every table
+/// (implicit vs explicit, Fig 6 — same answer, different cost).
+#[test]
+fn implicit_current_equals_explicit_now() {
+    let (engine, now) = build_engine_a();
+    for table in bitempo_dbgen::TPCH_TABLES {
+        let id = engine.resolve(table).unwrap();
+        let mut implicit = engine
+            .scan(id, &SysSpec::Current, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        let mut explicit = engine
+            .scan(id, &SysSpec::AsOf(now), &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        implicit.sort();
+        explicit.sort();
+        assert_eq!(implicit, explicit, "table {table}");
+    }
+}
+
+/// Non-temporal tables never accumulate history and ignore time travel.
+#[test]
+fn nontemporal_tables_are_frozen() {
+    let (engine, now) = build_engine_a();
+    for table in ["region", "nation"] {
+        let id = engine.resolve(table).unwrap();
+        let stats = engine.stats(id);
+        assert_eq!(stats.history_rows, 0, "{table} must have no history");
+        let current = engine
+            .scan(id, &SysSpec::Current, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        let past = engine
+            .scan(id, &SysSpec::AsOf(SysTime(1)), &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        let later = engine
+            .scan(id, &SysSpec::AsOf(now), &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        assert_eq!(current.len(), past.len());
+        assert_eq!(current.len(), later.len());
+    }
+}
+
+/// The degenerate SUPPLIER table: system-versioned, no application period
+/// columns in scan output, and updates grow its history.
+#[test]
+fn supplier_is_degenerate() {
+    let (mut engine, _) = build_engine_a();
+    let id = engine.resolve("supplier").unwrap();
+    let def = engine.table_def(id).clone();
+    assert!(!def.has_app_time());
+    assert!(def.has_system_time());
+    let rows = engine.scan(id, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
+    assert_eq!(rows[0].arity(), def.schema.arity() + 2);
+    // The Update-Supplier scenario (4 % of a 1 000-scenario history) must
+    // have produced history.
+    assert!(engine.stats(id).history_rows > 0);
+    // Application periods on a degenerate table are rejected.
+    let err = engine.insert(
+        id,
+        rows[0].project(&(0..def.schema.arity()).collect::<Vec<_>>()),
+        Some(AppPeriod::since(bitempo_core::AppDate(0))),
+    );
+    assert!(err.is_err());
+}
+
+/// Scenario effects are visible end to end: cancelled orders vanish from
+/// the current state but remain reachable by time travel.
+#[test]
+fn cancelled_orders_remain_in_history() {
+    let (engine, now) = build_engine_a();
+    let orders_id = engine.resolve("orders").unwrap();
+    let all_keys: HashSet<Value> = engine
+        .scan(orders_id, &SysSpec::All, &AppSpec::All, &[])
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(col::orders::ORDERKEY).clone())
+        .collect();
+    let current_keys: HashSet<Value> = engine
+        .scan(orders_id, &SysSpec::Current, &AppSpec::All, &[])
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.get(col::orders::ORDERKEY).clone())
+        .collect();
+    let vanished: Vec<&Value> = all_keys.difference(&current_keys).collect();
+    assert!(
+        !vanished.is_empty(),
+        "a 1 000-scenario history must cancel some orders"
+    );
+    // Each vanished key is visible at *some* earlier system time.
+    let key = vanished[0];
+    let mut seen = false;
+    for i in 1..=now.0 {
+        let rows = engine
+            .scan(
+                orders_id,
+                &SysSpec::AsOf(SysTime(i)),
+                &AppSpec::All,
+                &[bitempo_engine::ColRange::eq(
+                    col::orders::ORDERKEY,
+                    key.clone(),
+                )],
+            )
+            .unwrap()
+            .rows;
+        if !rows.is_empty() {
+            seen = true;
+            break;
+        }
+    }
+    assert!(seen, "cancelled order must be reachable via time travel");
+}

@@ -1,0 +1,213 @@
+//! Cross-engine, cross-tuning equivalence: the strongest correctness lever
+//! in the suite. All four engines and the generator oracle must agree on
+//! every query, under every tuning configuration — indexes may change plans,
+//! never answers.
+
+use bitempo_core::{Period, SysTime};
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use bitempo_workloads::{rows_approx_diff, sort_canonical, Ctx, QueryParams};
+
+struct Setup {
+    engines: Vec<(SystemKind, Box<dyn BitemporalEngine>)>,
+    history: bitempo_histgen::History,
+    params: QueryParams,
+}
+
+fn build() -> Setup {
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.002));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.001));
+    let mut engines = Vec::new();
+    for kind in SystemKind::ALL {
+        let mut engine = build_engine(kind);
+        let ids = loader::load_initial(engine.as_mut(), &data).unwrap();
+        loader::replay(engine.as_mut(), &ids, &history.archive, 1).unwrap();
+        engine.checkpoint();
+        engines.push((kind, engine));
+    }
+    let params = QueryParams::derive(engines[0].1.as_ref()).unwrap();
+    Setup {
+        engines,
+        history,
+        params,
+    }
+}
+
+#[test]
+fn scan_grid_matches_oracle_on_all_engines() {
+    let setup = build();
+    let p = &setup.params;
+    let sys_specs = [
+        SysSpec::Current,
+        SysSpec::AsOf(p.sys_initial),
+        SysSpec::AsOf(p.sys_mid),
+        SysSpec::AsOf(p.sys_now),
+        SysSpec::Range(Period::new(p.sys_initial, p.sys_mid)),
+        SysSpec::Range(Period::new(p.sys_mid, SysTime::MAX)),
+        SysSpec::All,
+    ];
+    let app_specs = [
+        AppSpec::All,
+        AppSpec::AsOf(p.app_mid),
+        AppSpec::AsOf(p.app_late),
+        AppSpec::Range(Period::new(p.app_mid, p.app_late)),
+    ];
+    for table in bitempo_dbgen::TPCH_TABLES {
+        let idx = setup.history.db.table_index(table).unwrap();
+        for sys in &sys_specs {
+            for app in &app_specs {
+                let mut want = setup.history.db.scan(idx, sys, app);
+                sort_canonical(&mut want);
+                for (kind, engine) in &setup.engines {
+                    let id = engine.resolve(table).unwrap();
+                    let mut got = engine.scan(id, sys, app, &[]).unwrap().rows;
+                    sort_canonical(&mut got);
+                    assert_eq!(
+                        got, want,
+                        "{kind} table {table} sys {sys:?} app {app:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tuning_never_changes_answers() {
+    let mut setup = build();
+    let p = setup.params.clone();
+    let tunings: Vec<(&str, TuningConfig)> = vec![
+        ("none", TuningConfig::none()),
+        ("time", TuningConfig::time()),
+        ("key_time", TuningConfig::key_time()),
+        (
+            "gist",
+            TuningConfig {
+                time_index: true,
+                key_time_index: true,
+                gist: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "value",
+            TuningConfig {
+                value_index: vec![
+                    ("customer".into(), "c_acctbal".into()),
+                    ("orders".into(), "o_totalprice".into()),
+                ],
+                ..Default::default()
+            },
+        ),
+    ];
+
+    // Reference answers under no tuning.
+    let mut reference: Vec<Vec<bitempo_core::Row>> = Vec::new();
+    {
+        let engine = setup.engines[0].1.as_ref();
+        let ctx = Ctx::new(engine).unwrap();
+        reference.push(sorted(bitempo_workloads::tt::t1(
+            &ctx,
+            SysSpec::AsOf(p.sys_mid),
+            AppSpec::AsOf(p.app_mid),
+        )));
+        reference.push(sorted(bitempo_workloads::key::k1(
+            &ctx,
+            &p.hot_customer,
+            SysSpec::All,
+            AppSpec::All,
+        )));
+        reference.push(sorted(bitempo_workloads::key::k6(
+            &ctx,
+            p.acctbal_band.0,
+            p.acctbal_band.1,
+            SysSpec::All,
+            AppSpec::All,
+        )));
+        reference.push(sorted(bitempo_workloads::tpch::run_query(
+            &ctx,
+            6,
+            &bitempo_workloads::tpch::Tt::app(p.app_mid),
+        )));
+        reference.push(sorted(bitempo_workloads::bitemporal::b3_variant(
+            &ctx,
+            5,
+            55,
+            p.app_mid,
+            p.sys_initial,
+        )));
+    }
+
+    for (label, tuning) in tunings {
+        for (_, engine) in &mut setup.engines {
+            engine.apply_tuning(&tuning).unwrap();
+        }
+        for (kind, engine) in &setup.engines {
+            let ctx = Ctx::new(engine.as_ref()).unwrap();
+            let got = [
+                sorted(bitempo_workloads::tt::t1(
+                    &ctx,
+                    SysSpec::AsOf(p.sys_mid),
+                    AppSpec::AsOf(p.app_mid),
+                )),
+                sorted(bitempo_workloads::key::k1(
+                    &ctx,
+                    &p.hot_customer,
+                    SysSpec::All,
+                    AppSpec::All,
+                )),
+                sorted(bitempo_workloads::key::k6(
+                    &ctx,
+                    p.acctbal_band.0,
+                    p.acctbal_band.1,
+                    SysSpec::All,
+                    AppSpec::All,
+                )),
+                sorted(bitempo_workloads::tpch::run_query(
+                    &ctx,
+                    6,
+                    &bitempo_workloads::tpch::Tt::app(p.app_mid),
+                )),
+                sorted(bitempo_workloads::bitemporal::b3_variant(
+                    &ctx,
+                    5,
+                    55,
+                    p.app_mid,
+                    p.sys_initial,
+                )),
+            ];
+            for (i, (g, w)) in got.iter().zip(&reference).enumerate() {
+                if let Some(diff) = rows_approx_diff(g, w, 1e-9) {
+                    panic!("{kind} under tuning '{label}', query {i}: {diff}");
+                }
+            }
+        }
+    }
+}
+
+fn sorted(rows: bitempo_core::Result<Vec<bitempo_core::Row>>) -> Vec<bitempo_core::Row> {
+    let mut rows = rows.unwrap();
+    sort_canonical(&mut rows);
+    rows
+}
+
+#[test]
+fn bulk_loaded_system_d_matches_replayed_engines() {
+    let setup = build();
+    let mut bulk = build_engine(SystemKind::D);
+    loader::bulk_load(bulk.as_mut(), &setup.history.db).unwrap();
+    let p = &setup.params;
+    for table in bitempo_dbgen::TPCH_TABLES {
+        let idx = setup.history.db.table_index(table).unwrap();
+        for sys in [SysSpec::Current, SysSpec::AsOf(p.sys_mid), SysSpec::All] {
+            let mut want = setup.history.db.scan(idx, &sys, &AppSpec::All);
+            sort_canonical(&mut want);
+            let id = bulk.resolve(table).unwrap();
+            let mut got = bulk.scan(id, &sys, &AppSpec::All, &[]).unwrap().rows;
+            sort_canonical(&mut got);
+            assert_eq!(got, want, "bulk D, table {table}, {sys:?}");
+        }
+    }
+}

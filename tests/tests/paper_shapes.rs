@@ -1,0 +1,212 @@
+//! Deterministic plan-shape assertions for the paper's architectural
+//! findings — the claims that do not need wall-clock timing (those live in
+//! the experiments harness; these run in CI).
+
+use bitempo_core::SysTime;
+use bitempo_dbgen::ScaleConfig;
+use bitempo_engine::api::{AccessPath, AppSpec, SysSpec, TuningConfig};
+use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
+use bitempo_histgen::{loader, HistoryConfig};
+use bitempo_workloads::QueryParams;
+
+fn build(kind: SystemKind) -> (Box<dyn BitemporalEngine>, QueryParams) {
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.002));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.001));
+    let mut engine = build_engine(kind);
+    let ids = loader::load_initial(engine.as_mut(), &data).unwrap();
+    loader::replay(engine.as_mut(), &ids, &history.archive, 1).unwrap();
+    engine.checkpoint();
+    let params = QueryParams::derive(engine.as_ref()).unwrap();
+    (engine, params)
+}
+
+fn is_seq(path: &AccessPath) -> bool {
+    matches!(path, AccessPath::FullScan { .. })
+}
+
+/// Fig 6 / §5.3.5: implicit current touches one partition; explicit
+/// `AS OF now` touches current *and* history on the partitioned systems.
+#[test]
+fn explicit_as_of_now_visits_history_partition() {
+    for kind in [SystemKind::A, SystemKind::B, SystemKind::C] {
+        let (engine, _) = build(kind);
+        let orders = engine.resolve("orders").unwrap();
+        let implicit = engine
+            .scan(orders, &SysSpec::Current, &AppSpec::All, &[])
+            .unwrap();
+        let explicit = engine
+            .scan(orders, &SysSpec::AsOf(engine.now()), &AppSpec::All, &[])
+            .unwrap();
+        assert!(
+            explicit.partition_paths.len() > implicit.partition_paths.len(),
+            "{kind}: explicit must visit more partitions \
+             ({:?} vs {:?})",
+            explicit.partition_paths,
+            implicit.partition_paths
+        );
+    }
+}
+
+/// Fig 8 / §5.5.1: on System A, a key lookup at current system time hits
+/// the system PK index; at past system time the *history* partition falls
+/// back to a sequential scan — until the Key+Time tuning adds its index.
+#[test]
+fn key_lookup_plans_follow_the_paper() {
+    let (mut engine, p) = build(SystemKind::A);
+    let customer = engine.resolve("customer").unwrap();
+
+    let current = engine
+        .lookup_key(customer, &p.hot_customer, &SysSpec::Current, &AppSpec::All)
+        .unwrap();
+    assert_eq!(current.partition_paths.len(), 1);
+    assert!(matches!(current.partition_paths[0], AccessPath::KeyLookup(_)));
+
+    let past = engine
+        .lookup_key(
+            customer,
+            &p.hot_customer,
+            &SysSpec::AsOf(p.sys_initial),
+            &AppSpec::All,
+        )
+        .unwrap();
+    assert_eq!(past.partition_paths.len(), 2, "current + history");
+    assert!(matches!(past.partition_paths[0], AccessPath::KeyLookup(_)));
+    assert!(
+        is_seq(&past.partition_paths[1]),
+        "history side scans without tuning: {:?}",
+        past.partition_paths
+    );
+
+    engine.apply_tuning(&TuningConfig::key_time()).unwrap();
+    let tuned = engine
+        .lookup_key(
+            customer,
+            &p.hot_customer,
+            &SysSpec::AsOf(p.sys_initial),
+            &AppSpec::All,
+        )
+        .unwrap();
+    assert!(
+        tuned
+            .partition_paths
+            .iter()
+            .all(|path| matches!(path, AccessPath::KeyLookup(_))),
+        "Key+Time serves both partitions: {:?}",
+        tuned.partition_paths
+    );
+}
+
+/// §2.6 / Fig 3: System C accepts tuning but every access stays a scan.
+#[test]
+fn system_c_never_uses_indexes() {
+    let (mut engine, p) = build(SystemKind::C);
+    engine.apply_tuning(&TuningConfig::key_time()).unwrap();
+    let customer = engine.resolve("customer").unwrap();
+    for sys in [SysSpec::Current, SysSpec::AsOf(p.sys_initial), SysSpec::All] {
+        let out = engine
+            .lookup_key(customer, &p.hot_customer, &sys, &AppSpec::All)
+            .unwrap();
+        assert!(
+            out.partition_paths.iter().all(is_seq),
+            "C must scan under {sys:?}: {:?}",
+            out.partition_paths
+        );
+    }
+}
+
+/// §5.5.1: System B uses the PK index for current-key lookups — but must
+/// *still* reconstruct the vertically partitioned current table, so the
+/// reported plan shows the index while the cost does not drop to A's level
+/// (the cost side is asserted by the fig8/fig12 experiments).
+#[test]
+fn system_b_key_lookup_uses_index_over_reconstruction() {
+    let (engine, p) = build(SystemKind::B);
+    let customer = engine.resolve("customer").unwrap();
+    let out = engine
+        .lookup_key(customer, &p.hot_customer, &SysSpec::Current, &AppSpec::All)
+        .unwrap();
+    assert!(matches!(out.partition_paths[0], AccessPath::KeyLookup(_)));
+}
+
+/// §5.3.3 / Fig 4: the time index turns a selective system-time probe on
+/// the history partition into an index scan.
+#[test]
+fn time_index_serves_selective_history_probes() {
+    let (mut engine, _) = build(SystemKind::A);
+    let orders = engine.resolve("orders").unwrap();
+    let probe = SysSpec::AsOf(SysTime(2));
+    let before = engine.scan(orders, &probe, &AppSpec::All, &[]).unwrap();
+    assert!(before.partition_paths.iter().all(is_seq));
+    engine.apply_tuning(&TuningConfig::time()).unwrap();
+    let after = engine.scan(orders, &probe, &AppSpec::All, &[]).unwrap();
+    assert!(
+        after
+            .partition_paths
+            .iter()
+            .any(|path| matches!(path, AccessPath::IndexScan(_))),
+        "history sys_start index must engage: {:?}",
+        after.partition_paths
+    );
+    // Same answer either way.
+    let mut a = before.rows.clone();
+    let mut b = after.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+/// §5.3.2: a *non-selective* probe ignores the index (plans flip back to
+/// scans — "they only work on very selective workloads").
+#[test]
+fn non_selective_probes_fall_back_to_scans() {
+    let (mut engine, p) = build(SystemKind::A);
+    engine.apply_tuning(&TuningConfig::time()).unwrap();
+    let orders = engine.resolve("orders").unwrap();
+    // AS OF a recent time: nearly every history row has sys_start below it.
+    let out = engine
+        .scan(orders, &SysSpec::AsOf(p.sys_now), &AppSpec::All, &[])
+        .unwrap();
+    assert!(
+        out.partition_paths.iter().all(is_seq),
+        "non-selective probe must scan: {:?}",
+        out.partition_paths
+    );
+}
+
+/// §2.5 / Fig 3: System D's GiST engages on temporal windows when tuned.
+#[test]
+fn system_d_gist_engages_when_tuned() {
+    let (mut engine, p) = build(SystemKind::D);
+    engine
+        .apply_tuning(&TuningConfig {
+            gist: true,
+            ..Default::default()
+        })
+        .unwrap();
+    let orders = engine.resolve("orders").unwrap();
+    let out = engine
+        .scan(orders, &SysSpec::Current, &AppSpec::AsOf(p.app_mid), &[])
+        .unwrap();
+    assert!(
+        matches!(out.partition_paths[0], AccessPath::GistScan(_)),
+        "{:?}",
+        out.partition_paths
+    );
+}
+
+/// §5.8: System D's bulk load produces strictly fewer commits than replay
+/// (timestamps pre-stamped, no transaction-by-transaction execution).
+#[test]
+fn bulk_load_skips_transactional_replay() {
+    let data = bitempo_dbgen::generate(&ScaleConfig::with_h(0.001));
+    let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(0.0005));
+    let mut replayed = build_engine(SystemKind::D);
+    let ids = loader::load_initial(replayed.as_mut(), &data).unwrap();
+    let report = loader::replay(replayed.as_mut(), &ids, &history.archive, 1).unwrap();
+    assert_eq!(report.timings.len(), history.archive.transactions.len());
+
+    let mut bulk = build_engine(SystemKind::D);
+    loader::bulk_load(bulk.as_mut(), &history.db).unwrap();
+    // Same final clock, no per-transaction work.
+    assert_eq!(bulk.now(), replayed.now());
+}

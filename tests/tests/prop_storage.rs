@@ -1,0 +1,133 @@
+//! Property-based tests for the storage substrate: the B+Tree against the
+//! standard-library ordered map, the R-Tree against a linear scan, and the
+//! columnar store against a row-store model.
+
+use bitempo_core::{AppDate, Row, SysTime, Value};
+use bitempo_core::{Column, DataType, Schema};
+use bitempo_storage::{BPlusTree, ColumnTable, RTree, Rect};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert/remove/range behaviour matches a `BTreeMap<key, Vec<val>>`
+    /// multimap model.
+    #[test]
+    fn bplustree_matches_btreemap_model(
+        ops in proptest::collection::vec((0i64..40, 0u32..8, prop::bool::ANY), 1..300),
+        range in (0i64..40, 0i64..40),
+    ) {
+        let mut tree: BPlusTree<i64, u32> = BPlusTree::new();
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (key, val, insert) in ops {
+            if insert {
+                tree.insert(key, val);
+                model.entry(key).or_default().push(val);
+            } else {
+                let removed = tree.remove(&key, &val);
+                let model_removed = match model.get_mut(&key) {
+                    Some(vals) => match vals.iter().position(|&v| v == val) {
+                        Some(i) => {
+                            vals.remove(i);
+                            if vals.is_empty() {
+                                model.remove(&key);
+                            }
+                            true
+                        }
+                        None => false,
+                    },
+                    None => false,
+                };
+                prop_assert_eq!(removed, model_removed);
+            }
+        }
+        let model_len: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(tree.len(), model_len);
+        // Point lookups (sorted; the tree keeps insertion order per key,
+        // the model does too, so exact order must match).
+        for key in 0..40 {
+            prop_assert_eq!(
+                tree.get(&key),
+                model.get(&key).cloned().unwrap_or_default()
+            );
+        }
+        // Range scan.
+        let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
+        let got: Vec<(i64, u32)> = tree
+            .range((Bound::Included(&lo), Bound::Excluded(&hi)))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let want: Vec<(i64, u32)> = model
+            .range(lo..hi)
+            .flat_map(|(k, vs)| vs.iter().map(move |&v| (*k, v)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// R-Tree intersection queries agree with a brute-force scan.
+    #[test]
+    fn rtree_matches_linear_scan(
+        rects in proptest::collection::vec((0i64..200, 0i64..40, 0i64..200, 0i64..40), 1..150),
+        query in (0i64..200, 0i64..80, 0i64..200, 0i64..80),
+    ) {
+        let mut tree = RTree::new();
+        let mut stored = Vec::new();
+        for (i, (x, w, y, h)) in rects.iter().enumerate() {
+            let r = Rect::new(*x, x + w, *y, y + h);
+            tree.insert(r, i as u32);
+            stored.push(r);
+        }
+        let q = Rect::new(query.0, query.0 + query.1, query.2, query.2 + query.3);
+        let mut got = tree.search(&q);
+        got.sort_unstable();
+        let mut want: Vec<u32> = stored
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&q))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The columnar store returns exactly the rows appended, before and
+    /// after any number of merges, with stable row ids.
+    #[test]
+    fn column_table_round_trips_rows(
+        rows in proptest::collection::vec(
+            (any::<i64>(), "[a-z]{0,6}", any::<bool>(), -50_000i64..50_000, 0u64..1000),
+            1..120,
+        ),
+        merge_points in proptest::collection::vec(0usize..120, 0..4),
+    ) {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Str),
+            Column::new("c", DataType::Date),
+            Column::new("d", DataType::SysTime),
+        ]);
+        let mut table = ColumnTable::new(schema);
+        let mut model: Vec<Row> = Vec::new();
+        for (i, (a, b, b_null, c, d)) in rows.iter().enumerate() {
+            let row = Row::new(vec![
+                Value::Int(*a),
+                if *b_null { Value::Null } else { Value::str(b.clone()) },
+                Value::Date(AppDate(*c)),
+                Value::SysTime(SysTime(*d)),
+            ]);
+            let id = table.append(&row).unwrap();
+            prop_assert_eq!(id, i);
+            model.push(row);
+            if merge_points.contains(&i) {
+                table.merge();
+            }
+        }
+        table.merge();
+        prop_assert_eq!(table.len(), model.len());
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(&table.get_row(i), want, "row {}", i);
+        }
+    }
+}
