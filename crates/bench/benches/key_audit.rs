@@ -13,6 +13,7 @@ fn config() -> BenchConfig {
         repetitions: 1,
         discard: 0,
         batch_size: 1,
+        workers: bitempo_engine::api::default_workers(),
     }
 }
 

@@ -22,6 +22,10 @@ pub struct BenchConfig {
     pub discard: usize,
     /// Scenarios per loader transaction (Fig 13 varies this).
     pub batch_size: usize,
+    /// Worker threads for morsel-parallel sequential scans. Forwarded into
+    /// every engine's [`TuningConfig`] by [`Instance::build`]; `1` is the
+    /// single-threaded execution the paper measured.
+    pub workers: usize,
 }
 
 impl BenchConfig {
@@ -35,6 +39,7 @@ impl BenchConfig {
             repetitions: 7,
             discard: 2,
             batch_size: 1,
+            workers: bitempo_engine::api::default_workers(),
         }
     }
 
@@ -48,6 +53,7 @@ impl BenchConfig {
             repetitions: 5,
             discard: 1,
             batch_size: 1,
+            workers: bitempo_engine::api::default_workers(),
         }
     }
 
@@ -56,6 +62,13 @@ impl BenchConfig {
     pub fn with_scale(mut self, h: f64, m: f64) -> BenchConfig {
         self.h = h;
         self.m = m;
+        self
+    }
+
+    /// This configuration with the given scan parallelism (`0` clamps to 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> BenchConfig {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -80,8 +93,12 @@ pub struct Instance {
 impl Instance {
     /// Generates data and history at the configured scales and loads every
     /// engine by archive replay, applying `tuning` afterwards (the paper
-    /// builds indexes after the load, like its DBAs did).
+    /// builds indexes after the load, like its DBAs did). The config's
+    /// `workers` knob overrides the tuning's, so one `BenchConfig` pins the
+    /// scan parallelism of the whole run.
     pub fn build(config: &BenchConfig, tuning: &TuningConfig) -> Result<Instance> {
+        let tuning = tuning.clone().with_workers(config.workers);
+        let tuning = &tuning;
         let data = bitempo_dbgen::generate(&ScaleConfig::with_h(config.h));
         let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(config.m));
         let mut engines = Vec::new();
@@ -225,6 +242,7 @@ mod tests {
             repetitions: 3,
             discard: 1,
             batch_size: 1,
+            workers: 2,
         }
     }
 

@@ -136,8 +136,9 @@ pub enum IndexKind {
 
 /// Tuning configuration applied uniformly across engines (paper §5.1):
 /// *A) Time Index*, *B) Key+Time Index*, *C) Value Index*. GiST selects the
-/// index implementation on System D.
-#[derive(Debug, Clone, Default)]
+/// index implementation on System D. `workers` sets the degree of
+/// morsel-parallelism for sequential scans.
+#[derive(Debug, Clone)]
 pub struct TuningConfig {
     /// A) app-time index on the current partition, app+sys time indexes on
     /// the history partition.
@@ -148,6 +149,28 @@ pub struct TuningConfig {
     pub value_index: Vec<(String, String)>,
     /// Use GiST instead of B-Tree where the engine supports it (System D).
     pub gist: bool,
+    /// Worker threads for morsel-parallel sequential scans (see
+    /// [`crate::morsel`]). `1` scans single-threaded, exactly as before the
+    /// morsel layer existed; any value produces identical results.
+    pub workers: usize,
+}
+
+impl Default for TuningConfig {
+    /// No extra indexes; scans use every available core.
+    fn default() -> TuningConfig {
+        TuningConfig {
+            time_index: false,
+            key_time_index: false,
+            value_index: Vec::new(),
+            gist: false,
+            workers: default_workers(),
+        }
+    }
+}
+
+/// The default scan parallelism: one worker per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 impl TuningConfig {
@@ -171,6 +194,12 @@ impl TuningConfig {
             key_time_index: true,
             ..Default::default()
         }
+    }
+
+    /// This configuration with the given scan parallelism.
+    pub fn with_workers(mut self, workers: usize) -> TuningConfig {
+        self.workers = workers.max(1);
+        self
     }
 }
 
@@ -202,6 +231,9 @@ pub struct ScanOutput {
     /// the EXPLAIN output of this benchmark, used by the tuning study and
     /// the plan-shape tests.
     pub partition_paths: Vec<AccessPath>,
+    /// Work counters (morsels dispatched, versions visited/pruned, index
+    /// probes). Deterministic: identical for every worker count.
+    pub metrics: crate::morsel::ScanMetrics,
 }
 
 /// The common interface of all four engines.
@@ -376,6 +408,9 @@ mod tests {
         assert!(TuningConfig::time().time_index);
         let kt = TuningConfig::key_time();
         assert!(kt.time_index && kt.key_time_index);
+        assert!(kt.workers >= 1, "default parallelism is at least 1");
+        assert_eq!(TuningConfig::none().with_workers(0).workers, 1);
+        assert_eq!(TuningConfig::none().with_workers(4).workers, 4);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod api;
 pub mod catalog;
+pub mod morsel;
 pub mod rowscan;
 pub mod index;
 pub mod sequenced;
@@ -34,6 +35,7 @@ pub use api::{
     TuningConfig,
 };
 pub use catalog::Catalog;
+pub use morsel::ScanMetrics;
 pub use system_a::SystemA;
 pub use system_b::SystemB;
 pub use system_c::SystemC;

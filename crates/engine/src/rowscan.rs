@@ -9,21 +9,35 @@
 
 use crate::api::{AccessPath, AppSpec, ColRange, SysSpec};
 use crate::index::{GistIndex, IndexedCol, OrderedIndex};
+use crate::morsel::{run_morsels, ScanMetrics};
 use crate::version::Version;
 use bitempo_core::{Row, SysTime, TableDef, Value};
 use bitempo_storage::{Heap, Rect};
-use std::ops::Bound;
+use std::ops::{Bound, Range};
 
 /// Index scans must be estimated below this fraction of the partition to be
 /// chosen over a sequential scan.
 pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.15;
 
 /// A slot-addressable collection of versions (one physical partition).
-pub trait VersionSource {
+///
+/// `Sync` is a supertrait so sequential scans over a partition can be split
+/// into morsels and executed by scoped worker threads (see
+/// [`crate::morsel`]); every implementation is plain owned data.
+pub trait VersionSource: Sync {
     /// The version stored at `slot`, if live.
     fn version(&self, slot: u64) -> Option<&Version>;
-    /// All live `(slot, version)` pairs.
-    fn for_each(&self, f: &mut dyn FnMut(u64, &Version));
+    /// Upper bound (exclusive) on scan positions: the range `0..scan_units()`
+    /// covers every live version, and disjoint sub-ranges visit disjoint
+    /// versions. For heaps this counts tombstoned slots too.
+    fn scan_units(&self) -> usize;
+    /// All live `(slot, version)` pairs whose scan position is in `range`,
+    /// in position order.
+    fn for_each_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &Version));
+    /// All live `(slot, version)` pairs, in position order.
+    fn for_each(&self, f: &mut dyn FnMut(u64, &Version)) {
+        self.for_each_in(0..self.scan_units(), f);
+    }
     /// Number of live versions.
     fn len(&self) -> usize;
     /// True when the partition holds no live versions.
@@ -36,8 +50,11 @@ impl VersionSource for Heap<Version> {
     fn version(&self, slot: u64) -> Option<&Version> {
         self.get(bitempo_storage::SlotId(slot as u32))
     }
-    fn for_each(&self, f: &mut dyn FnMut(u64, &Version)) {
-        for (slot, v) in self.iter() {
+    fn scan_units(&self) -> usize {
+        self.allocated()
+    }
+    fn for_each_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &Version)) {
+        for (slot, v) in self.iter_range(range) {
             f(u64::from(slot.0), v);
         }
     }
@@ -57,8 +74,12 @@ impl VersionSource for Reconstructed {
             .ok()
             .map(|i| &self.0[i].1)
     }
-    fn for_each(&self, f: &mut dyn FnMut(u64, &Version)) {
-        for (slot, v) in &self.0 {
+    fn scan_units(&self) -> usize {
+        self.0.len()
+    }
+    fn for_each_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &Version)) {
+        let end = range.end.min(self.0.len());
+        for (slot, v) in &self.0[range.start.min(end)..end] {
             f(*slot, v);
         }
     }
@@ -156,6 +177,9 @@ pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rec
 
 /// Scans one partition: picks an access path, applies residual filters, and
 /// appends qualifying output rows (in `def.scan_schema()` layout) to `out`.
+/// Counters accumulate into `metrics`. Sequential scans are morsel-parallel
+/// across up to `workers` threads (`<= 1` runs inline); the index paths stay
+/// serial, as their probe result sets are already small by construction.
 /// Returns the access path taken.
 #[allow(clippy::too_many_arguments)]
 pub fn scan_partition(
@@ -166,11 +190,16 @@ pub fn scan_partition(
     preds: &[ColRange],
     now: SysTime,
     prefer_gist: bool,
+    workers: usize,
     out: &mut Vec<Row>,
+    metrics: &mut ScanMetrics,
 ) -> AccessPath {
-    let emit = |v: &Version, out: &mut Vec<Row>| {
+    let emit = |v: &Version, out: &mut Vec<Row>, m: &mut ScanMetrics| {
+        m.rows_visited += 1;
         if v.matches(sys, app) && v.matches_preds(preds) {
             out.push(v.output_row(def));
+        } else {
+            m.versions_pruned += 1;
         }
     };
 
@@ -178,8 +207,9 @@ pub fn scan_partition(
     if let Some(pk) = part.pk {
         if let Some(key_vals) = full_key_equality(def, preds) {
             for slot in pk.probe_prefix(&key_vals) {
+                metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
-                    emit(v, out);
+                    emit(v, out, metrics);
                 }
             }
             return AccessPath::KeyLookup(pk.def.name.clone());
@@ -190,8 +220,9 @@ pub fn scan_partition(
     if prefer_gist {
         if let (Some(gist), Some(rect)) = (part.gist, gist_query_rect(sys, app, now)) {
             for slot in gist.probe(&rect) {
+                metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
-                    emit(v, out);
+                    emit(v, out, metrics);
                 }
             }
             return AccessPath::GistScan(gist.name.clone());
@@ -221,15 +252,21 @@ pub fn scan_partition(
     }
     if let Some((_, index, range)) = best {
         for slot in index.probe_range(bound_ref(&range.lo), bound_ref(&range.hi)) {
+            metrics.index_probes += 1;
             if let Some(v) = part.source.version(slot) {
-                emit(v, out);
+                emit(v, out, metrics);
             }
         }
         return AccessPath::IndexScan(index.def.name.clone());
     }
 
-    // 4. Sequential scan.
-    part.source.for_each(&mut |_, v| emit(v, out));
+    // 4. Sequential scan, split into morsels. Merging in morsel order keeps
+    //    the output identical to a single-threaded scan for any worker count.
+    let (rows, scan_metrics) = run_morsels(part.source.scan_units(), workers, |range, buf, m| {
+        part.source.for_each_in(range, &mut |_, v| emit(v, buf, m));
+    });
+    metrics.merge(&scan_metrics);
+    out.extend(rows);
     AccessPath::FullScan { partitions: 1 }
 }
 
@@ -333,6 +370,7 @@ mod tests {
             gist: None,
         };
         let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
         let path = scan_partition(
             &part,
             &def(),
@@ -341,10 +379,15 @@ mod tests {
             &[],
             SysTime(100),
             false,
+            1,
             &mut out,
+            &mut m,
         );
         assert_eq!(path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out.len(), 50);
+        assert_eq!(m.morsels, 1, "50 rows fit in one morsel");
+        assert_eq!(m.rows_visited, 50);
+        assert_eq!(m.versions_pruned, 0);
     }
 
     #[test]
@@ -365,6 +408,7 @@ mod tests {
             gist: None,
         };
         let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
         let path = scan_partition(
             &part,
             &def(),
@@ -373,11 +417,15 @@ mod tests {
             &[ColRange::eq(0, Value::Int(7))],
             SysTime(100),
             false,
+            1,
             &mut out,
+            &mut m,
         );
         assert_eq!(path, AccessPath::KeyLookup("pk_t".into()));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get(1), &Value::Int(70));
+        assert_eq!(m.index_probes, 1);
+        assert_eq!(m.morsels, 0, "index paths dispatch no morsels");
     }
 
     #[test]
@@ -400,6 +448,7 @@ mod tests {
         };
         // Selective: sys_start <= 5 of 0..1000 → ~0.5 %.
         let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
         let path = scan_partition(
             &part,
             &def(),
@@ -408,13 +457,17 @@ mod tests {
             &[],
             SysTime(2000),
             false,
+            1,
             &mut out,
+            &mut m,
         );
         assert_eq!(path, AccessPath::IndexScan("ix_sys_start".into()));
         assert_eq!(out.len(), 6, "versions 0..=5 visible at t5");
+        assert_eq!(m.index_probes, 6);
 
         // Non-selective: AS OF t900 → 90 % → sequential scan.
         let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
         let path = scan_partition(
             &part,
             &def(),
@@ -423,10 +476,14 @@ mod tests {
             &[],
             SysTime(2000),
             false,
+            1,
             &mut out,
+            &mut m,
         );
         assert_eq!(path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out.len(), 901);
+        assert_eq!(m.rows_visited, 1000);
+        assert_eq!(m.versions_pruned, 99);
     }
 
     #[test]
@@ -443,6 +500,7 @@ mod tests {
             gist: Some(&gist),
         };
         let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
         let path = scan_partition(
             &part,
             &def(),
@@ -451,10 +509,55 @@ mod tests {
             &[],
             SysTime(200),
             true,
+            1,
             &mut out,
+            &mut m,
         );
         assert_eq!(path, AccessPath::GistScan("gist_t".into()));
         assert_eq!(out.len(), 11, "versions with sys_start <= 10");
+        assert!(m.index_probes >= 11);
+    }
+
+    #[test]
+    fn parallel_scan_identical_to_sequential() {
+        // Big enough for several morsels, with tombstones to make slot
+        // positions and live count disagree.
+        let mut heap = heap_with(5000);
+        for slot in [3u32, 999, 2048, 4096] {
+            heap.remove(bitempo_storage::SlotId(slot));
+        }
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+        };
+        let scan = |workers: usize| {
+            let mut out = Vec::new();
+            let mut m = ScanMetrics::default();
+            let path = scan_partition(
+                &part,
+                &def(),
+                &SysSpec::AsOf(SysTime(2500)),
+                &AppSpec::All,
+                &[],
+                SysTime(9000),
+                false,
+                workers,
+                &mut out,
+                &mut m,
+            );
+            assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+            (out, m)
+        };
+        let (seq_rows, seq_m) = scan(1);
+        assert_eq!(seq_m.morsels, 5, "5000 slots => 5 morsels");
+        assert_eq!(seq_m.rows_visited, 4996, "tombstones are skipped");
+        for workers in [2, 4, 8] {
+            let (par_rows, par_m) = scan(workers);
+            assert_eq!(par_rows, seq_rows, "workers={workers}");
+            assert_eq!(par_m, seq_m, "workers={workers}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::index::{IndexDef, IndexedCol, OrderedIndex};
+use crate::morsel::ScanMetrics;
 use crate::rowscan::{merge_access, scan_partition, PartitionView};
 use crate::sequenced::split_for_portion;
 use crate::version::Version;
@@ -421,8 +422,10 @@ impl BitemporalEngine for SystemA {
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
         let t = self.table(table);
+        let workers = self.tuning.workers;
         let mut rows = Vec::new();
         let mut paths = Vec::new();
+        let mut metrics = ScanMetrics::default();
         let cur_view = PartitionView {
             source: &t.current,
             pk: t.pk.as_ref(),
@@ -430,7 +433,16 @@ impl BitemporalEngine for SystemA {
             gist: None,
         };
         paths.push(scan_partition(
-            &cur_view, def, sys, app, preds, self.now, false, &mut rows,
+            &cur_view,
+            def,
+            sys,
+            app,
+            preds,
+            self.now,
+            false,
+            workers,
+            &mut rows,
+            &mut metrics,
         ));
         if !sys.current_only() && def.has_system_time() {
             let hist_view = PartitionView {
@@ -440,13 +452,23 @@ impl BitemporalEngine for SystemA {
                 gist: None,
             };
             paths.push(scan_partition(
-                &hist_view, def, sys, app, preds, self.now, false, &mut rows,
+                &hist_view,
+                def,
+                sys,
+                app,
+                preds,
+                self.now,
+                false,
+                workers,
+                &mut rows,
+                &mut metrics,
             ));
         }
         Ok(ScanOutput {
             access: merge_access(paths.clone()),
             partition_paths: paths,
             rows,
+            metrics,
         })
     }
 

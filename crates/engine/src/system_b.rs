@@ -26,6 +26,7 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::index::{IndexDef, IndexedCol, OrderedIndex};
+use crate::morsel::ScanMetrics;
 use crate::rowscan::{merge_access, scan_partition, PartitionView, Reconstructed};
 use crate::system_a::{build_tuning_defs, overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
@@ -409,8 +410,10 @@ impl BitemporalEngine for SystemB {
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
         let t = &self.tables[table.0 as usize];
+        let workers = self.tuning.workers;
         let mut rows = Vec::new();
         let mut paths = Vec::new();
+        let mut metrics = ScanMetrics::default();
 
         // Current partition: every *temporal* table pays the
         // vertical-partition merge join; non-temporal tables are stored as
@@ -442,7 +445,16 @@ impl BitemporalEngine for SystemB {
             gist: None,
         };
         paths.push(scan_partition(
-            &cur_view, def, sys, app, preds, self.now, false, &mut rows,
+            &cur_view,
+            def,
+            sys,
+            app,
+            preds,
+            self.now,
+            false,
+            workers,
+            &mut rows,
+            &mut metrics,
         ));
 
         if !sys.current_only() && def.has_system_time() {
@@ -453,7 +465,16 @@ impl BitemporalEngine for SystemB {
                 gist: None,
             };
             paths.push(scan_partition(
-                &hist_view, def, sys, app, preds, self.now, false, &mut rows,
+                &hist_view,
+                def,
+                sys,
+                app,
+                preds,
+                self.now,
+                false,
+                workers,
+                &mut rows,
+                &mut metrics,
             ));
             // Staged, not-yet-drained undo entries form a third partition
             // that only sequential access can see.
@@ -472,7 +493,16 @@ impl BitemporalEngine for SystemB {
                     gist: None,
                 };
                 paths.push(scan_partition(
-                    &undo_view, def, sys, app, preds, self.now, false, &mut rows,
+                    &undo_view,
+                    def,
+                    sys,
+                    app,
+                    preds,
+                    self.now,
+                    false,
+                    workers,
+                    &mut rows,
+                    &mut metrics,
                 ));
             }
         }
@@ -480,6 +510,7 @@ impl BitemporalEngine for SystemB {
             access: merge_access(paths.clone()),
             partition_paths: paths,
             rows,
+            metrics,
         })
     }
 

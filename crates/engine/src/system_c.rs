@@ -18,6 +18,7 @@ use crate::api::{
     AccessPath, AppSpec, BitemporalEngine, ColRange, ScanOutput, SysSpec, TableStats, TuningConfig,
 };
 use crate::catalog::Catalog;
+use crate::morsel::{run_morsels, ScanMetrics};
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
@@ -77,6 +78,9 @@ pub struct SystemC {
     tables: Vec<TableC>,
     hidden: Vec<HiddenCols>,
     now: SysTime,
+    /// Only [`TuningConfig::workers`] is consulted — the index settings are
+    /// accepted but ignored (see [`SystemC::apply_tuning`]).
+    tuning: TuningConfig,
 }
 
 impl SystemC {
@@ -266,6 +270,7 @@ impl BitemporalEngine for SystemC {
     }
 
     fn apply_tuning(&mut self, tuning: &TuningConfig) -> Result<()> {
+        self.tuning = tuning.clone();
         // Build (label) the requested indexes so the tuning study can report
         // them, but never consult them: the scan path is the plan (Fig 3).
         for (id, def) in self.catalog.iter() {
@@ -363,49 +368,59 @@ impl BitemporalEngine for SystemC {
         let def = self.catalog.def(table);
         let hidden = self.hidden[table.0 as usize];
         let t = &self.tables[table.0 as usize];
+        let workers = self.tuning.workers;
         let mut rows = Vec::new();
+        let mut metrics = ScanMetrics::default();
         let mut partitions = 1u8;
 
         // Column-store execution: evaluate the temporal filter and the
         // pushed predicates on the *columns they touch*, and materialize a
         // full row only for qualifying positions — the scan discipline that
         // makes System C "not as sensitive to plan changes" (paper §5.4.1).
+        // Each fragment is scanned in row-range morsels; merging per-morsel
+        // buffers in morsel order keeps the output order identical to the
+        // single-threaded loop.
         let mut scan_fragment = |part: &ColumnTable, dead: Option<&HashSet<usize>>| {
-            for rowid in 0..part.len() {
-                if dead.is_some_and(|d| d.contains(&rowid)) {
-                    continue;
-                }
-                let sys_ok = match hidden.sys_start {
-                    Some(c) => {
-                        let start = part.get_value(c, rowid).as_sys_time().expect("validfrom");
-                        let end = part.get_value(c + 1, rowid).as_sys_time().expect("validto");
-                        sys.matches(&SysPeriod::new(start, end))
+            let (frag_rows, m) = run_morsels(part.len(), workers, |range, buf, m| {
+                for rowid in range {
+                    if dead.is_some_and(|d| d.contains(&rowid)) {
+                        continue;
                     }
-                    None => true,
-                };
-                if !sys_ok {
-                    continue;
-                }
-                let app_ok = match hidden.app_start {
-                    Some(c) => {
-                        let start = part.get_value(c, rowid).as_date().expect("app start");
-                        let end = part.get_value(c + 1, rowid).as_date().expect("app end");
-                        app.matches(&AppPeriod::new(start, end))
+                    m.rows_visited += 1;
+                    let sys_ok = match hidden.sys_start {
+                        Some(c) => {
+                            let start =
+                                part.get_value(c, rowid).as_sys_time().expect("validfrom");
+                            let end =
+                                part.get_value(c + 1, rowid).as_sys_time().expect("validto");
+                            sys.matches(&SysPeriod::new(start, end))
+                        }
+                        None => true,
+                    };
+                    let app_ok = sys_ok
+                        && match hidden.app_start {
+                            Some(c) => {
+                                let start = part.get_value(c, rowid).as_date().expect("app start");
+                                let end =
+                                    part.get_value(c + 1, rowid).as_date().expect("app end");
+                                app.matches(&AppPeriod::new(start, end))
+                            }
+                            None => true,
+                        };
+                    let preds_ok = app_ok
+                        && preds
+                            .iter()
+                            .all(|p| p.matches(&part.get_value(p.col, rowid)));
+                    if !preds_ok {
+                        m.versions_pruned += 1;
+                        continue;
                     }
-                    None => true,
-                };
-                if !app_ok {
-                    continue;
+                    let v = self.version_from(table, part, rowid);
+                    buf.push(v.output_row(def));
                 }
-                if !preds
-                    .iter()
-                    .all(|p| p.matches(&part.get_value(p.col, rowid)))
-                {
-                    continue;
-                }
-                let v = self.version_from(table, part, rowid);
-                rows.push(v.output_row(def));
-            }
+            });
+            metrics.merge(&m);
+            rows.extend(frag_rows);
         };
         scan_fragment(&t.current, Some(&t.dead));
         if !sys.current_only() && def.has_system_time() {
@@ -418,6 +433,7 @@ impl BitemporalEngine for SystemC {
             partition_paths: (0..partitions)
                 .map(|_| AccessPath::FullScan { partitions: 1 })
                 .collect(),
+            metrics,
         })
     }
 

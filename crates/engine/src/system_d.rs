@@ -15,6 +15,7 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::index::{GistIndex, IndexDef, IndexedCol, OrderedIndex};
+use crate::morsel::ScanMetrics;
 use crate::rowscan::{merge_access, scan_partition, PartitionView};
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
@@ -305,6 +306,7 @@ impl BitemporalEngine for SystemD {
             gist: t.gist.as_ref(),
         };
         let mut rows = Vec::new();
+        let mut metrics = ScanMetrics::default();
         let path = scan_partition(
             &view,
             def,
@@ -313,12 +315,15 @@ impl BitemporalEngine for SystemD {
             preds,
             self.now,
             self.tuning.gist,
+            self.tuning.workers,
             &mut rows,
+            &mut metrics,
         );
         Ok(ScanOutput {
             access: merge_access(vec![path.clone()]),
             partition_paths: vec![path],
             rows,
+            metrics,
         })
     }
 

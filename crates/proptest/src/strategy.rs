@@ -1,0 +1,253 @@
+//! The [`Strategy`] trait and the combinators used by this workspace.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from the deterministic test RNG.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (the expansion of
+/// [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// String-pattern strategy: a `&str` literal is interpreted as a simplified
+/// regex of character classes with repetition counts, e.g. `"[a-z]{0,6}"`.
+/// Supported syntax: literal characters, `[a-z0-9_]` classes (ranges and
+/// singletons), and `{n}` / `{m,n}` quantifiers after a class or literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .expect("unterminated character class in pattern");
+            let set = parse_class(&chars[i + 1..close]);
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unterminated quantifier in pattern");
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad quantifier"),
+                    n.trim().parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            let k = (rng.next_u64() % class.len() as u64) as usize;
+            out.push(class[k]);
+        }
+    }
+    out
+}
+
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (a, b) = (body[i] as u32, body[i + 2] as u32);
+            for c in a..=b {
+                if let Some(c) = char::from_u32(c) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern");
+    set
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A/0, B/1);
+tuple_strategy!(A/0, B/1, C/2);
+tuple_strategy!(A/0, B/1, C/2, D/3);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = (-50i64..7).generate(&mut rng);
+            assert!((-50..7).contains(&v));
+            let u = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::for_test("pattern_strategy_matches_shape");
+        for _ in 0..200 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "x[0-9]{2}".generate(&mut rng);
+            assert_eq!(t.len(), 3);
+            assert!(t.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = TestRng::for_test("union_uses_every_arm");
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -85,10 +85,21 @@ impl<T> Heap<T> {
 
     /// Iterates over live records with their slots, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> {
-        self.slots
+        self.iter_range(0..self.slots.len())
+    }
+
+    /// Iterates over live records whose slot index falls in `range`, in
+    /// insertion order. This is the chunked-access primitive behind
+    /// morsel-parallel scans: slot indices are stable, so disjoint ranges
+    /// partition the heap without coordination and concatenating per-range
+    /// results in range order reproduces a full [`Heap::iter`] exactly.
+    pub fn iter_range(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = (SlotId, &T)> {
+        let end = range.end.min(self.slots.len());
+        let start = range.start.min(end);
+        self.slots[start..end]
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (SlotId(i as u32), r)))
+            .filter_map(move |(i, s)| s.as_ref().map(|r| (SlotId((start + i) as u32), r)))
     }
 }
 
@@ -135,6 +146,24 @@ mod tests {
         h.remove(ids[3]);
         let seen: Vec<_> = h.iter().map(|(_, v)| *v).collect();
         assert_eq!(seen, vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn iter_range_partitions_exactly() {
+        let mut h = Heap::new();
+        let ids: Vec<_> = (0..10).map(|i| h.insert(i)).collect();
+        h.remove(ids[2]);
+        h.remove(ids[7]);
+        // Disjoint ranges concatenated in order == full iteration.
+        let full: Vec<_> = h.iter().map(|(s, v)| (s, *v)).collect();
+        let mut chunked = Vec::new();
+        for start in (0..h.allocated()).step_by(3) {
+            chunked.extend(h.iter_range(start..start + 3).map(|(s, v)| (s, *v)));
+        }
+        assert_eq!(chunked, full);
+        // Out-of-bounds ranges are clamped, not panicking.
+        assert_eq!(h.iter_range(8..100).count(), 2);
+        assert_eq!(h.iter_range(50..60).count(), 0);
     }
 
     #[test]

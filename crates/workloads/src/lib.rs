@@ -28,7 +28,7 @@ pub mod tt;
 pub use params::QueryParams;
 
 use bitempo_core::{Result, Row, TableId};
-use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_engine::api::{AppSpec, ColRange, ScanOutput, SysSpec};
 use bitempo_engine::BitemporalEngine;
 
 /// Resolved ids of the eight benchmark tables.
@@ -94,6 +94,19 @@ impl<'a> Ctx<'a> {
         preds: &[ColRange],
     ) -> Result<Vec<Row>> {
         Ok(self.engine.scan(table, sys, app, preds)?.rows)
+    }
+
+    /// Like [`Ctx::scan`], but returns the full [`ScanOutput`] — rows plus
+    /// access paths and work counters. The parallel-equivalence tests use
+    /// this to compare entire outputs across worker counts.
+    pub fn scan_output(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        self.engine.scan(table, sys, app, preds)
     }
 
     /// Number of value columns of `table` (period columns follow them in

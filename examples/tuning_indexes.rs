@@ -19,6 +19,7 @@ fn main() -> bitempo_core::Result<()> {
         repetitions: 5,
         discard: 1,
         batch_size: 1,
+        workers: bitempo_engine::api::default_workers(),
     };
     let mut inst = Instance::build(&cfg, &TuningConfig::none())?;
     let p = inst.params.clone();

@@ -43,6 +43,30 @@ fn archive_file_round_trip_drives_identical_state() {
     }
 }
 
+/// Determinism regression: the generator must be a pure function of its
+/// seed. Two independent runs over independently regenerated base data must
+/// produce byte-for-byte identical archives — the cross-engine equivalence
+/// suite, the benchmark's repetitions, and archive round trips all assume
+/// this.
+#[test]
+fn same_seed_produces_identical_archives() {
+    let make = || {
+        let data = bitempo_dbgen::generate(&ScaleConfig::tiny());
+        bitempo_histgen::generate_history(&data, &HistoryConfig::tiny())
+    };
+    let (a, b) = (make(), make());
+    assert_eq!(a.archive, b.archive, "same seed must replay identically");
+    assert_eq!(a.archive.transactions.len(), b.archive.transactions.len());
+
+    // A different scenario seed must actually change the stream (guards
+    // against the seed being ignored).
+    let data = bitempo_dbgen::generate(&ScaleConfig::tiny());
+    let mut other_cfg = HistoryConfig::tiny();
+    other_cfg.seed ^= 0xDEAD_BEEF;
+    let c = bitempo_histgen::generate_history(&data, &other_cfg);
+    assert_ne!(a.archive, c.archive, "seed must steer the generator");
+}
+
 #[test]
 fn archive_size_scales_with_history() {
     let data = bitempo_dbgen::generate(&ScaleConfig::tiny());

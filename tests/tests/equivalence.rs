@@ -193,6 +193,78 @@ fn sorted(rows: bitempo_core::Result<Vec<bitempo_core::Row>>) -> Vec<bitempo_cor
     rows
 }
 
+/// Morsel-parallel scans must be *byte-identical* to sequential execution:
+/// same rows in the same order, same access paths, same work counters. Runs
+/// every engine through representative T (time travel), K (key/audit), and
+/// R (range-timeslice) queries plus raw multi-spec scans, at `workers = 1`
+/// and `workers = 4`, and compares entire outputs without sorting.
+#[test]
+fn parallel_scan_output_identical_to_sequential() {
+    let mut setup = build();
+    let p = setup.params.clone();
+
+    #[allow(clippy::type_complexity)]
+    let collect = |engine: &dyn BitemporalEngine| -> (
+        Vec<bitempo_engine::api::ScanOutput>,
+        Vec<Vec<bitempo_core::Row>>,
+    ) {
+        let ctx = Ctx::new(engine).unwrap();
+        // Raw scans: full ScanOutput (rows + paths + metrics) under specs
+        // that exercise current-only, point, range, and full-history access.
+        let scans = [
+            (SysSpec::Current, AppSpec::All),
+            (SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid)),
+            (SysSpec::Range(Period::new(p.sys_initial, p.sys_mid)), AppSpec::All),
+            (SysSpec::All, AppSpec::All),
+        ]
+        .iter()
+        .map(|(sys, app)| ctx.scan_output(ctx.t.orders, sys, app, &[]).unwrap())
+        .collect();
+        // Workload queries across the T, K, and R groups.
+        let queries = vec![
+            bitempo_workloads::tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid))
+                .unwrap(),
+            bitempo_workloads::tt::t4(&ctx, SysSpec::AsOf(p.sys_mid)).unwrap(),
+            bitempo_workloads::tt::t5_all(&ctx).unwrap(),
+            bitempo_workloads::key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
+                .unwrap(),
+            bitempo_workloads::key::k6(
+                &ctx,
+                p.acctbal_band.0,
+                p.acctbal_band.1,
+                SysSpec::All,
+                AppSpec::All,
+            )
+            .unwrap(),
+            bitempo_workloads::range::r1(&ctx).unwrap(),
+            bitempo_workloads::range::r2(&ctx, engine.now()).unwrap(),
+        ];
+        (scans, queries)
+    };
+
+    for i in 0..setup.engines.len() {
+        let kind = setup.engines[i].0;
+        setup.engines[i]
+            .1
+            .apply_tuning(&TuningConfig::none().with_workers(1))
+            .unwrap();
+        let (seq_scans, seq_queries) = collect(setup.engines[i].1.as_ref());
+        setup.engines[i]
+            .1
+            .apply_tuning(&TuningConfig::none().with_workers(4))
+            .unwrap();
+        let (par_scans, par_queries) = collect(setup.engines[i].1.as_ref());
+
+        for (j, (s, q)) in seq_scans.iter().zip(&par_scans).enumerate() {
+            assert_eq!(s.rows, q.rows, "{kind} scan {j}: row order must match");
+            assert_eq!(s.access, q.access, "{kind} scan {j}");
+            assert_eq!(s.partition_paths, q.partition_paths, "{kind} scan {j}");
+            assert_eq!(s.metrics, q.metrics, "{kind} scan {j}: counters must match");
+        }
+        assert_eq!(seq_queries, par_queries, "{kind}: T/K/R queries must match");
+    }
+}
+
 #[test]
 fn bulk_loaded_system_d_matches_replayed_engines() {
     let setup = build();
