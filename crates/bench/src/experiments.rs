@@ -1,14 +1,15 @@
 //! One function per paper artifact. Each returns a [`FigureReport`] whose
 //! series mirror the figure's legend; DESIGN.md §4 maps ids to the paper.
 
-use crate::report::{FigureReport, Series};
+use crate::report::{FaultSummary, FigureReport, Series};
 use crate::runner::{
-    build_nontemporal_baseline, geometric_mean, measure, BenchConfig, Instance,
+    build_nontemporal_baseline, geometric_mean, measure, measure_cell, BenchConfig, Instance,
 };
-use bitempo_core::{Period, Result, SysTime};
+use bitempo_core::fault::{FaultKind, FaultPlan, FaultyReader};
+use bitempo_core::{Error, Period, Result, SysTime};
 use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
 use bitempo_engine::SystemKind;
-use bitempo_histgen::ScenarioKind;
+use bitempo_histgen::{read_archive_with_retry, Archive, ScenarioKind};
 use bitempo_workloads::{bitemporal, key, range, tpch, tt, Ctx};
 
 fn gist_tuning() -> TuningConfig {
@@ -24,25 +25,21 @@ fn gist_tuning() -> TuningConfig {
 pub fn fig2(cfg: &BenchConfig) -> Result<FigureReport> {
     let inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig2", "Basic Time Travel (no index)", "µs");
+    let mut faults = FaultSummary::default();
     let p = &inst.params;
     for kind in SystemKind::ALL {
         let engine = inst.engine(kind);
         let ctx = Ctx::new(engine)?;
         let mut s = Series::new(format!("{kind} - no index"));
-        let m = measure(cfg, || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
-        s.push("T1 vary app/curr sys", m.micros());
-        let m = measure(cfg, || {
+        measure_cell(cfg, &mut s, &mut faults, "T1 vary app/curr sys", || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+        measure_cell(cfg, &mut s, &mut faults, "T1 vary sys/curr app", || {
             tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
-        })?;
-        s.push("T1 vary sys/curr app", m.micros());
-        let m = measure(cfg, || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
-        s.push("T2 vary app/curr sys", m.micros());
-        let m = measure(cfg, || {
+        });
+        measure_cell(cfg, &mut s, &mut faults, "T2 vary app/curr sys", || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+        measure_cell(cfg, &mut s, &mut faults, "T2 vary sys/curr app", || {
             tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
-        })?;
-        s.push("T2 vary sys/curr app", m.micros());
-        let m = measure(cfg, || tt::t5_all(&ctx))?;
-        s.push("T5 All Versions", m.micros());
+        });
+        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || tt::t5_all(&ctx));
         report.add(s);
     }
     report.note(
@@ -50,6 +47,7 @@ pub fn fig2(cfg: &BenchConfig) -> Result<FigureReport> {
          adds the history partition; System B pays the vertical-partition reconstruction; \
          ALL is the upper bound.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -58,43 +56,40 @@ pub fn fig2(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig3(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig3", "Index Impact for Basic Time Travel", "µs");
+    let mut faults = FaultSummary::default();
     let p = inst.params.clone();
 
     let run_setting = |inst: &Instance, label_suffix: &str, report: &mut FigureReport,
-                       systems: &[SystemKind], cfg: &BenchConfig|
+                       faults: &mut FaultSummary, systems: &[SystemKind], cfg: &BenchConfig|
      -> Result<()> {
         for &kind in systems {
             let engine = inst.engine(kind);
             let ctx = Ctx::new(engine)?;
             let mut s = Series::new(format!("{kind} - {label_suffix}"));
-            let m = measure(cfg, || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
-            s.push("T1 vary app/curr sys", m.micros());
-            let m = measure(cfg, || {
+            measure_cell(cfg, &mut s, faults, "T1 vary app/curr sys", || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+            measure_cell(cfg, &mut s, faults, "T1 vary sys/curr app", || {
                 tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
-            })?;
-            s.push("T1 vary sys/curr app", m.micros());
-            let m = measure(cfg, || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)))?;
-            s.push("T2 vary app/curr sys", m.micros());
-            let m = measure(cfg, || {
+            });
+            measure_cell(cfg, &mut s, faults, "T2 vary app/curr sys", || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+            measure_cell(cfg, &mut s, faults, "T2 vary sys/curr app", || {
                 tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
-            })?;
-            s.push("T2 vary sys/curr app", m.micros());
-            let m = measure(cfg, || tt::t5_all(&ctx))?;
-            s.push("T5 All Versions", m.micros());
+            });
+            measure_cell(cfg, &mut s, faults, "T5 All Versions", || tt::t5_all(&ctx));
             report.add(s);
         }
         Ok(())
     };
 
-    run_setting(&inst, "no index", &mut report, &SystemKind::ALL, cfg)?;
+    run_setting(&inst, "no index", &mut report, &mut faults, &SystemKind::ALL, cfg)?;
     inst.retune(&TuningConfig::time())?;
-    run_setting(&inst, "B-Tree", &mut report, &SystemKind::ALL, cfg)?;
+    run_setting(&inst, "B-Tree", &mut report, &mut faults, &SystemKind::ALL, cfg)?;
     inst.retune(&gist_tuning())?;
-    run_setting(&inst, "GiST", &mut report, &[SystemKind::D], cfg)?;
+    run_setting(&inst, "GiST", &mut report, &mut faults, &[SystemKind::D], cfg)?;
     report.note(
         "Expected shape (paper §5.3.2): limited index benefit overall; System C ignores \
          indexes entirely; GiST never beats the B-Tree.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -102,6 +97,7 @@ pub fn fig3(cfg: &BenchConfig) -> Result<FigureReport> {
 /// with a usable index, linear without.
 pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut report = FigureReport::new("fig4", "T1 for Variable History Size", "µs");
+    let mut faults = FaultSummary::default();
     let steps = 4;
     let mut series: Vec<Series> = Vec::new();
     for kind in SystemKind::ALL {
@@ -122,14 +118,12 @@ pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
         let x = format!("{} versions", inst.history.archive.transactions.len());
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            let m = measure(&step_cfg, || tt::t1(&ctx, sys_point, app_point))?;
-            series[2 * i].push(x.clone(), m.micros());
+            measure_cell(&step_cfg, &mut series[2 * i], &mut faults, x.clone(), || tt::t1(&ctx, sys_point, app_point));
         }
         inst.retune(&TuningConfig::time())?;
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            let m = measure(&step_cfg, || tt::t1(&ctx, sys_point, app_point))?;
-            series[2 * i + 1].push(x.clone(), m.micros());
+            measure_cell(&step_cfg, &mut series[2 * i + 1], &mut faults, x.clone(), || tt::t1(&ctx, sys_point, app_point));
         }
     }
     for s in series {
@@ -140,6 +134,7 @@ pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
          history size; with time indexes cost is mostly constant; System C is constant \
          even without an index (current/history split + scans).",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -147,21 +142,19 @@ pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig5(cfg: &BenchConfig) -> Result<FigureReport> {
     let inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig5", "Temporal Slicing", "µs");
+    let mut faults = FaultSummary::default();
     let p = &inst.params;
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - no index"));
-        let m = measure(cfg, || tt::t6(&ctx, Some(p.app_mid), p.sys_now))?;
-        s.push("T6 app time slice over sys", m.micros());
-        let m = measure(cfg, || tt::t9(&ctx, SysSpec::All, p.app_mid, p.app_late))?;
-        s.push("T6 app slice (simulated app time)", m.micros());
-        let m = measure(cfg, || tt::t6(&ctx, None, p.sys_mid))?;
-        s.push("T6 system time slice over app", m.micros());
-        let m = measure(cfg, || tt::t5_all(&ctx))?;
-        s.push("T5 All Versions", m.micros());
+        measure_cell(cfg, &mut s, &mut faults, "T6 app time slice over sys", || tt::t6(&ctx, Some(p.app_mid), p.sys_now));
+        measure_cell(cfg, &mut s, &mut faults, "T6 app slice (simulated app time)", || tt::t9(&ctx, SysSpec::All, p.app_mid, p.app_late));
+        measure_cell(cfg, &mut s, &mut faults, "T6 system time slice over app", || tt::t6(&ctx, None, p.sys_mid));
+        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || tt::t5_all(&ctx));
         report.add(s);
     }
     report.note("Expected shape (paper §5.3.4): slicing can be cheaper than point travel due to lower query complexity; indexes are of little use at these result sizes.");
+    report.faults = faults;
     Ok(report)
 }
 
@@ -174,13 +167,12 @@ pub fn fig6(cfg: &BenchConfig) -> Result<FigureReport> {
     let cfg = &cfg.with_scale(cfg.h / 2.0, cfg.m * 16.0);
     let inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig6", "Current TT Implicit vs Explicit", "µs");
+    let mut faults = FaultSummary::default();
     for kind in [SystemKind::A, SystemKind::B, SystemKind::C] {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(kind.name());
-        let m = measure(cfg, || tt::t7_implicit(&ctx))?;
-        s.push("Implicit", m.micros());
-        let m = measure(cfg, || tt::t7_explicit(&ctx))?;
-        s.push("Explicit", m.micros());
+        measure_cell(cfg, &mut s, &mut faults, "Implicit", || tt::t7_implicit(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "Explicit", || tt::t7_explicit(&ctx));
         report.add(s);
     }
     report.note(
@@ -190,6 +182,7 @@ pub fn fig6(cfg: &BenchConfig) -> Result<FigureReport> {
          System B the implicit query already pays the current-table reconstruction, which \
          masks the history walk — the plan-shape test asserts the partition access instead.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -268,6 +261,7 @@ fn key_dimension_points(
 pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig8", "Key in Time - Full Range (K1)", "µs");
+    let mut faults = FaultSummary::default();
     let p = inst.params.clone();
     for (tuning, label) in [
         (TuningConfig::none(), "no index"),
@@ -278,8 +272,7 @@ pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
             let ctx = Ctx::new(inst.engine(kind))?;
             let mut s = Series::new(format!("{kind} - {label}"));
             for (x, sys, app) in key_dimension_points(&p) {
-                let m = measure(cfg, || key::k1(&ctx, &p.hot_customer, sys, app))?;
-                s.push(format!("K1 {x}"), m.micros());
+                measure_cell(cfg, &mut s, &mut faults, format!("K1 {x}"), || key::k1(&ctx, &p.hot_customer, sys, app));
             }
             report.add(s);
         }
@@ -289,6 +282,7 @@ pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
          current system time; past-system-time access triggers history scans unless the \
          Key+Time index exists; B still pays reconstruction; C scans regardless.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -296,28 +290,26 @@ pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig9(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut inst = Instance::build(cfg, &TuningConfig::key_time())?;
     let mut report = FigureReport::new("fig9", "Key in Time - Time Restriction (K2/K3)", "µs");
+    let mut faults = FaultSummary::default();
     let p = inst.params.clone();
     let sys_range = SysSpec::Range(Period::new(p.sys_initial, p.sys_mid));
     inst.retune(&TuningConfig::key_time())?;
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - Key+Time"));
-        let m = measure(cfg, || key::k2(&ctx, &p.hot_customer, sys_range, AppSpec::All))?;
-        s.push("K2 (sys range)", m.micros());
-        let m = measure(cfg, || {
+        measure_cell(cfg, &mut s, &mut faults, "K2 (sys range)", || key::k2(&ctx, &p.hot_customer, sys_range, AppSpec::All));
+        measure_cell(cfg, &mut s, &mut faults, "K2 (app - system past)", || {
             key::k2(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
-        })?;
-        s.push("K2 (app - system past)", m.micros());
-        let m = measure(cfg, || key::k3(&ctx, &p.hot_customer, sys_range, AppSpec::All))?;
-        s.push("K3 (sys range, 1 column)", m.micros());
-        let m = measure(cfg, || key::k3(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All))?;
-        s.push("K3 (both)", m.micros());
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K3 (sys range, 1 column)", || key::k3(&ctx, &p.hot_customer, sys_range, AppSpec::All));
+        measure_cell(cfg, &mut s, &mut faults, "K3 (both)", || key::k3(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All));
         report.add(s);
     }
     report.note(
         "Expected shape (paper §5.5.2): time-range restrictions and column restrictions \
          have little impact compared to K1 — the version-fetch dominates.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -325,28 +317,26 @@ pub fn fig9(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig10(cfg: &BenchConfig) -> Result<FigureReport> {
     let inst = Instance::build(cfg, &TuningConfig::key_time())?;
     let mut report = FigureReport::new("fig10", "Key in Time - Version Restriction (K4/K5)", "µs");
+    let mut faults = FaultSummary::default();
     let p = &inst.params;
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - Key+Time"));
-        let m = measure(cfg, || {
+        measure_cell(cfg, &mut s, &mut faults, "K4 (Top-5 versions)", || {
             key::k4(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All, 5)
-        })?;
-        s.push("K4 (Top-5 versions)", m.micros());
-        let m = measure(cfg, || {
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K4 (Top-5, past sys)", || {
             key::k4(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_mid), AppSpec::All, 5)
-        })?;
-        s.push("K4 (Top-5, past sys)", m.micros());
-        let m = measure(cfg, || key::k5(&ctx, &p.hot_customer, p.sys_now))?;
-        s.push("K5 (predecessor)", m.micros());
-        let m = measure(cfg, || key::k5(&ctx, &p.hot_customer, p.sys_mid))?;
-        s.push("K5 (predecessor, past)", m.micros());
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor)", || key::k5(&ctx, &p.hot_customer, p.sys_now));
+        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor, past)", || key::k5(&ctx, &p.hot_customer, p.sys_mid));
         report.add(s);
     }
     report.note(
         "Expected shape (paper §5.5.2): Top-N helps in some cases; the K5 correlation \
          formulation is never cheaper than K4.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -354,6 +344,7 @@ pub fn fig10(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig11(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig11", "Value in Time (K6)", "µs");
+    let mut faults = FaultSummary::default();
     let p = inst.params.clone();
     let value_tuning = TuningConfig {
         value_index: vec![("customer".into(), "c_acctbal".into())],
@@ -365,14 +356,11 @@ pub fn fig11(cfg: &BenchConfig) -> Result<FigureReport> {
             let ctx = Ctx::new(inst.engine(kind))?;
             let mut s = Series::new(format!("{kind} - {label}"));
             let (lo, hi) = p.acctbal_band;
-            let m = measure(cfg, || key::k6(&ctx, lo, hi, SysSpec::Current, AppSpec::All))?;
-            s.push("K6 value, curr sys", m.micros());
-            let m = measure(cfg, || {
+            measure_cell(cfg, &mut s, &mut faults, "K6 value, curr sys", || key::k6(&ctx, lo, hi, SysSpec::Current, AppSpec::All));
+            measure_cell(cfg, &mut s, &mut faults, "K6 value, past sys", || {
                 key::k6(&ctx, lo, hi, SysSpec::AsOf(p.sys_initial), AppSpec::All)
-            })?;
-            s.push("K6 value, past sys", m.micros());
-            let m = measure(cfg, || key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All))?;
-            s.push("K6 value, all sys", m.micros());
+            });
+            measure_cell(cfg, &mut s, &mut faults, "K6 value, all sys", || key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All));
             report.add(s);
         }
     }
@@ -380,12 +368,14 @@ pub fn fig11(cfg: &BenchConfig) -> Result<FigureReport> {
         "Expected shape (paper §5.5.3): without an index everything is a table scan; the \
          value index speeds up the selective filter significantly (except on System C).",
     );
+    report.faults = faults;
     Ok(report)
 }
 
 /// Fig 12: key-range query versus history size (with Key+Time indexes).
 pub fn fig12(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut report = FigureReport::new("fig12", "Key-Range for Variable History Size", "µs");
+    let mut faults = FaultSummary::default();
     let steps = 4;
     let mut series: Vec<Series> = SystemKind::ALL
         .into_iter()
@@ -399,10 +389,9 @@ pub fn fig12(cfg: &BenchConfig) -> Result<FigureReport> {
         let x = format!("{} versions", inst.history.archive.transactions.len());
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            let m = measure(&step_cfg, || {
+            measure_cell(&step_cfg, &mut series[i], &mut faults, x.clone(), || {
                 key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(SysTime(2)), AppSpec::All)
-            })?;
-            series[i].push(x.clone(), m.micros());
+            });
         }
     }
     for s in series {
@@ -413,12 +402,14 @@ pub fn fig12(cfg: &BenchConfig) -> Result<FigureReport> {
          and D; System B grows with the current table because of the vertical-partition \
          reconstruction.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
 /// Fig 13: load-batch size impact on a key-range query.
 pub fn fig13(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut report = FigureReport::new("fig13", "Key-Range for Variable Batch Size", "µs");
+    let mut faults = FaultSummary::default();
     let mut series: Vec<Series> = SystemKind::ALL
         .into_iter()
         .map(|k| Series::new(format!("{k} - B-Tree")))
@@ -431,10 +422,9 @@ pub fn fig13(cfg: &BenchConfig) -> Result<FigureReport> {
         let x = format!("batch {batch}");
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            let m = measure(&step_cfg, || {
+            measure_cell(&step_cfg, &mut series[i], &mut faults, x.clone(), || {
                 key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
-            })?;
-            series[i].push(x.clone(), m.micros());
+            });
         }
     }
     for s in series {
@@ -444,6 +434,7 @@ pub fn fig13(cfg: &BenchConfig) -> Result<FigureReport> {
         "Expected shape (paper §5.5.4): batching reduces the number of transactions and \
          distinct versions; System B is affected the most.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -451,30 +442,21 @@ pub fn fig13(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig14(cfg: &BenchConfig) -> Result<FigureReport> {
     let inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig14", "Range Timeslice (R1–R7)", "µs");
+    let mut faults = FaultSummary::default();
     let p = &inst.params;
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(kind.name());
-        let m = measure(cfg, || tt::t5_all(&ctx))?;
-        s.push("ALL (yardstick)", m.micros());
-        let m = measure(cfg, || range::r1(&ctx))?;
-        s.push("R1", m.micros());
-        let m = measure(cfg, || range::r2(&ctx, p.sys_now))?;
-        s.push("R2", m.micros());
-        let m = measure(cfg, || range::r3a_naive(&ctx, SysSpec::Current))?;
-        s.push("R3a (naive temporal agg)", m.micros());
-        let m = measure(cfg, || range::r3b_naive(&ctx, SysSpec::Current))?;
-        s.push("R3b (naive temporal agg)", m.micros());
-        let m = measure(cfg, || range::r3a_sweep(&ctx, SysSpec::Current))?;
-        s.push("R3a (event sweep)", m.micros());
-        let m = measure(cfg, || range::r4(&ctx))?;
-        s.push("R4", m.micros());
-        let m = measure(cfg, || range::r5(&ctx, 5_000.0, 100_000.0))?;
-        s.push("R5 (temporal join)", m.micros());
-        let m = measure(cfg, || range::r6(&ctx, SysSpec::Current))?;
-        s.push("R6 (join + temporal agg)", m.micros());
-        let m = measure(cfg, || range::r7(&ctx))?;
-        s.push("R7", m.micros());
+        measure_cell(cfg, &mut s, &mut faults, "ALL (yardstick)", || tt::t5_all(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "R1", || range::r1(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "R2", || range::r2(&ctx, p.sys_now));
+        measure_cell(cfg, &mut s, &mut faults, "R3a (naive temporal agg)", || range::r3a_naive(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R3b (naive temporal agg)", || range::r3b_naive(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R3a (event sweep)", || range::r3a_sweep(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R4", || range::r4(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "R5 (temporal join)", || range::r5(&ctx, 5_000.0, 100_000.0));
+        measure_cell(cfg, &mut s, &mut faults, "R6 (join + temporal agg)", || range::r6(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R7", || range::r7(&ctx));
         report.add(s);
     }
     report.note(
@@ -482,6 +464,7 @@ pub fn fig14(cfg: &BenchConfig) -> Result<FigureReport> {
          orders of magnitude more than ALL; the event-sweep variant shows what a native \
          operator would achieve.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -489,6 +472,7 @@ pub fn fig14(cfg: &BenchConfig) -> Result<FigureReport> {
 pub fn fig15(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut inst = Instance::build(cfg, &TuningConfig::none())?;
     let mut report = FigureReport::new("fig15", "Bitemporal Dimensions (B3.1–B3.11)", "µs");
+    let mut faults = FaultSummary::default();
     let p = inst.params.clone();
     for (tuning, label) in [
         (TuningConfig::none(), "no index"),
@@ -499,10 +483,9 @@ pub fn fig15(cfg: &BenchConfig) -> Result<FigureReport> {
             let ctx = Ctx::new(inst.engine(kind))?;
             let mut s = Series::new(format!("{kind} - {label}"));
             for variant in 1..=11u8 {
-                let m = measure(cfg, || {
+                measure_cell(cfg, &mut s, &mut faults, format!("B3.{variant}"), || {
                     bitemporal::b3_variant(&ctx, variant, 55, p.app_mid, p.sys_initial)
-                })?;
-                s.push(format!("B3.{variant}"), m.micros());
+                });
             }
             report.add(s);
         }
@@ -512,6 +495,7 @@ pub fn fig15(cfg: &BenchConfig) -> Result<FigureReport> {
          variants degrade into scans and overlap joins; indexes help only the selective \
          point variants.",
     );
+    report.faults = faults;
     Ok(report)
 }
 
@@ -690,10 +674,101 @@ pub fn scaling(cfg: &BenchConfig) -> Result<FigureReport> {
     Ok(report)
 }
 
+/// Fault-injection scenario report (not a paper artifact): exercises the
+/// hardened pipeline end to end. Layer 1 corrupts a serialized generator
+/// archive and shows the checksummed v2 reader detecting it, then recovers
+/// a transiently-faulty read through the retry loop; layer 2 injects a
+/// worker panic into the morsel layer of every engine and shows containment
+/// plus clean recovery after retuning; layer 3 forces a query timeout and
+/// shows the failure landing as an error cell instead of aborting the run.
+pub fn faults(cfg: &BenchConfig) -> Result<FigureReport> {
+    let mut report = FigureReport::new("faults", "Fault Injection and Graceful Degradation", "µs");
+    let mut tally = FaultSummary::default();
+
+    // Layer 1a: a single bit flip in the archive stream must be caught by
+    // the v2 per-transaction checksums, never parsed into bad data.
+    let mut inst = Instance::build(cfg, &TuningConfig::none())?;
+    let mut bytes = Vec::new();
+    inst.history.archive.write_to(&mut bytes)?;
+    let flip = FaultPlan::none().with(FaultKind::BitFlip {
+        offset: (bytes.len() / 2) as u64,
+        mask: 0x10,
+    });
+    tally.injected += flip.len() as u64;
+    let mut reader = FaultyReader::new(&bytes[..], flip);
+    match Archive::read_from(&mut reader) {
+        Err(Error::Archive(_)) => {
+            tally.detected += 1;
+            report.note("archive bit flip: detected by the v2 checksums (Error::Archive)");
+        }
+        Err(e) => return Err(e),
+        Ok(_) => report.note("archive bit flip: NOT detected — checksum hole"),
+    }
+
+    // Layer 1b: a transient read fault is absorbed by the retry path and
+    // the payload survives intact.
+    tally.injected += 1;
+    let reread = read_archive_with_retry(
+        || {
+            let plan = FaultPlan::none().with(FaultKind::TransientAt(64));
+            let mut r = FaultyReader::new(&bytes[..], plan);
+            Archive::read_from(&mut r)
+        },
+        3,
+    )?;
+    if reread.transactions.len() == inst.history.archive.transactions.len() {
+        tally.recovered += 1;
+        report.note("archive transient fault: recovered by retry, payload intact");
+    }
+
+    // Layer 2: inject a worker panic into morsel 0 of every engine's
+    // sequential scan; containment must surface it as WorkerPanicked.
+    inst.retune(&TuningConfig::none().with_workers(2).with_panic_morsel(0))?;
+    for kind in SystemKind::ALL {
+        tally.injected += 1;
+        let engine = inst.engine(kind);
+        let orders = engine.resolve("orders")?;
+        match engine.scan(orders, &SysSpec::All, &AppSpec::All, &[]) {
+            Err(Error::WorkerPanicked { morsel, .. }) => {
+                tally.detected += 1;
+                report.note(format!("{kind}: worker panic contained at morsel {morsel}"));
+            }
+            Err(e) => return Err(e),
+            Ok(_) => report.note(format!("{kind}: injected panic did not fire")),
+        }
+    }
+    // Recovery: clear the injection and the same scans run clean.
+    inst.retune(&TuningConfig::none().with_workers(2))?;
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(format!("{kind} - after recovery"));
+        measure_cell(cfg, &mut s, &mut tally, "T5 after panic recovery", || tt::t5_all(&ctx));
+        if s.errors.is_empty() {
+            tally.recovered += 1;
+        }
+        report.add(s);
+    }
+
+    // Layer 3: a zero wall-clock budget forces a timeout; the cell degrades
+    // to ERR and the run keeps going.
+    tally.injected += 1;
+    let t_cfg = cfg.with_timeout(0);
+    let app_mid = inst.params.app_mid;
+    let ctx = Ctx::new(inst.engine(SystemKind::A))?;
+    let mut s = Series::new("System A - forced timeout");
+    measure_cell(&t_cfg, &mut s, &mut tally, "T1 under zero budget", || {
+        tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(app_mid))
+    });
+    report.add(s);
+
+    report.faults = tally;
+    Ok(report)
+}
+
 /// All experiment ids in run order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "table1", "table2", "arch", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "faults",
 ];
 
 /// Runs one experiment by id (fig15/fig16 run at small scale
@@ -720,6 +795,7 @@ pub fn run_experiment(id: &str, cfg: &BenchConfig) -> Result<FigureReport> {
         "fig15" => fig15(&BenchConfig::small_scale()),
         "fig16" => fig16(cfg),
         "scaling" => scaling(cfg),
+        "faults" => faults(cfg),
         other => Err(bitempo_core::Error::Invalid(format!(
             "unknown experiment {other}"
         ))),
@@ -738,6 +814,7 @@ mod tests {
             discard: 0,
             batch_size: 1,
             workers: 2,
+            query_timeout_millis: crate::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
         }
     }
 
@@ -769,6 +846,34 @@ mod tests {
             "ORDERS + LINEITEM at 1/2/4 workers"
         );
         assert!(r.notes.iter().any(|n| n.contains("morsels")));
+    }
+
+    #[test]
+    fn fault_experiment_detects_and_recovers() {
+        let r = faults(&micro_cfg()).unwrap();
+        // 1 bit flip + 1 transient + 4 worker panics + 1 forced timeout.
+        assert_eq!(r.faults.injected, 7, "{:?}", r.faults);
+        // Detected: the bit flip, the four panics, the timeout.
+        assert_eq!(r.faults.detected, 6, "{:?}", r.faults);
+        // Recovered: the transient retry, four clean post-panic scans,
+        // the degraded-but-complete timeout cell.
+        assert_eq!(r.faults.recovered, 6, "{:?}", r.faults);
+        let md = r.to_markdown();
+        assert!(md.contains("ERR"), "{md}");
+        assert!(md.contains("faults: 7 injected / 6 detected / 6 recovered"), "{md}");
+    }
+
+    #[test]
+    fn degraded_run_still_produces_complete_report() {
+        // Acceptance scenario: force every query in fig2 to time out; the
+        // experiment must still return a full-shape report whose cells are
+        // all errors rather than aborting.
+        let r = fig2(&micro_cfg().with_timeout(0)).unwrap();
+        assert_eq!(r.series.len(), 4);
+        assert!(r.series.iter().all(|s| s.points.len() == 5));
+        assert!(r.series.iter().all(|s| s.errors.len() == 5));
+        assert_eq!(r.faults.detected, 20, "{:?}", r.faults);
+        assert_eq!(r.faults.recovered, 20, "{:?}", r.faults);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Instance building and latency measurement.
 
-use bitempo_core::{Result, Row, TableDef, TemporalClass};
+use crate::report::{FaultSummary, Series};
+use bitempo_core::fault::panic_message;
+use bitempo_core::{Error, Result, Row, TableDef, TemporalClass};
 use bitempo_dbgen::{ScaleConfig, TpchData};
 use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
 use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
@@ -26,6 +28,12 @@ pub struct BenchConfig {
     /// every engine's [`TuningConfig`] by [`Instance::build`]; `1` is the
     /// single-threaded execution the paper measured.
     pub workers: usize,
+    /// Per-query wall-clock budget in milliseconds, checked cooperatively
+    /// after each repetition (engines are not `Sync`, so queries cannot be
+    /// preempted mid-flight). A repetition that overruns aborts the cell
+    /// with [`Error::QueryTimeout`]. `0` is the deterministic fault hook:
+    /// every query exceeds a zero budget, so the first repetition times out.
+    pub query_timeout_millis: u64,
 }
 
 impl BenchConfig {
@@ -40,6 +48,7 @@ impl BenchConfig {
             discard: 2,
             batch_size: 1,
             workers: bitempo_engine::api::default_workers(),
+            query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
         }
     }
 
@@ -54,6 +63,7 @@ impl BenchConfig {
             discard: 1,
             batch_size: 1,
             workers: bitempo_engine::api::default_workers(),
+            query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
         }
     }
 
@@ -71,7 +81,19 @@ impl BenchConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// This configuration with the given per-query wall-clock budget
+    /// (`0` forces every query to time out — the fault-injection hook).
+    #[must_use]
+    pub fn with_timeout(mut self, millis: u64) -> BenchConfig {
+        self.query_timeout_millis = millis;
+        self
+    }
 }
+
+/// Default per-query wall-clock budget: one minute, far above any
+/// laptop-scale cell, so fault-free runs never trip it.
+pub const DEFAULT_QUERY_TIMEOUT_MILLIS: u64 = 60_000;
 
 /// A fully-loaded benchmark instance: all four engines, the generator
 /// truth, and the per-engine load reports.
@@ -199,16 +221,29 @@ impl Measurement {
 
 /// Measures a query per the paper's §5.1 discipline: run
 /// `discard + repetitions` times, drop the warm-ups, report the median.
+///
+/// Hardened against misbehaving queries: a panic inside `run` is caught and
+/// surfaced as [`Error::Panicked`], and each repetition is checked against
+/// the config's wall-clock budget ([`Error::QueryTimeout`] on overrun).
+/// Either way the caller gets a typed error for this one cell instead of a
+/// torn-down process.
 pub fn measure<F>(config: &BenchConfig, mut run: F) -> Result<Measurement>
 where
     F: FnMut() -> Result<Vec<Row>>,
 {
+    let budget_nanos = config.query_timeout_millis.saturating_mul(1_000_000);
     let mut kept = Vec::with_capacity(config.repetitions);
     let mut rows = 0;
     for rep in 0..(config.discard + config.repetitions) {
         let t0 = Instant::now();
-        let out = run()?;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut run))
+            .map_err(|payload| Error::Panicked(panic_message(payload.as_ref())))??;
         let nanos = t0.elapsed().as_nanos() as u64;
+        if nanos > budget_nanos {
+            return Err(Error::QueryTimeout {
+                millis: config.query_timeout_millis,
+            });
+        }
         rows = out.len();
         if rep >= config.discard {
             kept.push(nanos);
@@ -219,6 +254,30 @@ where
         median_nanos: kept[kept.len() / 2],
         rows,
     })
+}
+
+/// Measures one report cell with graceful degradation: a successful run
+/// pushes its median latency onto `series`; a failed one (panic, timeout,
+/// injected fault, engine error) records an error cell instead and bumps
+/// the experiment's fault tallies, so the rest of the figure still renders.
+pub fn measure_cell<F>(
+    config: &BenchConfig,
+    series: &mut Series,
+    faults: &mut FaultSummary,
+    x: impl Into<String>,
+    run: F,
+) where
+    F: FnMut() -> Result<Vec<Row>>,
+{
+    let x = x.into();
+    match measure(config, run) {
+        Ok(m) => series.push(x.clone(), m.micros()),
+        Err(e) => {
+            faults.detected += 1;
+            faults.recovered += 1;
+            series.push_error(x, e.to_string());
+        }
+    }
 }
 
 /// Geometric mean of ratios (Fig 7's summary statistic).
@@ -243,6 +302,7 @@ mod tests {
             discard: 1,
             batch_size: 1,
             workers: 2,
+            query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
         }
     }
 
@@ -336,6 +396,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn panicking_query_is_contained() {
+        let cfg = tiny();
+        let err = measure(&cfg, || -> Result<Vec<Row>> { panic!("boom in Q9") }).unwrap_err();
+        match err {
+            Error::Panicked(msg) => assert!(msg.contains("boom in Q9"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_forces_timeout() {
+        let cfg = tiny().with_timeout(0);
+        let mut calls = 0;
+        let err = measure(&cfg, || {
+            calls += 1;
+            Ok(Vec::new())
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "aborts after the first overrunning repetition");
+        assert!(matches!(err, Error::QueryTimeout { millis: 0 }));
+    }
+
+    #[test]
+    fn measure_cell_degrades_to_error_cell() {
+        let cfg = tiny();
+        let mut series = Series::new("System A");
+        let mut faults = FaultSummary::default();
+        measure_cell(&cfg, &mut series, &mut faults, "Q1", || {
+            Ok(vec![Row::new(vec![bitempo_core::Value::Int(1)])])
+        });
+        measure_cell(&cfg, &mut series, &mut faults, "Q2", || -> Result<Vec<Row>> {
+            panic!("injected")
+        });
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.errors.len(), 1);
+        assert!(series.errors[0].1.contains("injected"), "{:?}", series.errors);
+        assert_eq!(faults.detected, 1);
+        assert_eq!(faults.recovered, 1);
     }
 
     #[test]

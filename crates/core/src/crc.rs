@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by zip/gzip/PNG), implemented
+//! with a compile-time lookup table so the archive checksums need no
+//! external crate. Streaming via [`Crc32`], one-shot via [`crc32`].
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// A streaming CRC-32 hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = b"bitemporal archive payload".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x01;
+            assert_ne!(crc32(&data), clean, "flip at byte {i} undetected");
+            data[i] ^= 0x01;
+        }
+    }
+}

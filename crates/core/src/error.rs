@@ -38,8 +38,39 @@ pub enum Error {
     TransactionClosed,
     /// Archive (de)serialization failure.
     Archive(String),
+    /// A morsel worker panicked; the scan was contained and aborted.
+    WorkerPanicked {
+        /// Index of the morsel whose worker panicked.
+        morsel: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A benchmark query exceeded its wall-clock budget.
+    QueryTimeout {
+        /// The budget that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// A query panicked and was caught by the bench runner.
+    Panicked(String),
+    /// A retryable I/O condition (interrupted, timed out, would block).
+    Transient(String),
     /// Catch-all for invalid arguments.
     Invalid(String),
+}
+
+impl Error {
+    /// True for failures a caller may sensibly retry or continue past:
+    /// transient I/O, timeouts, and contained panics. Data corruption
+    /// ([`Error::Archive`]) and logic errors are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Transient(_)
+                | Error::QueryTimeout { .. }
+                | Error::WorkerPanicked { .. }
+                | Error::Panicked(_)
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -58,6 +89,14 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported temporal feature: {m}"),
             Error::TransactionClosed => write!(f, "transaction already closed"),
             Error::Archive(m) => write!(f, "archive error: {m}"),
+            Error::WorkerPanicked { morsel, message } => {
+                write!(f, "worker panicked on morsel {morsel}: {message}")
+            }
+            Error::QueryTimeout { millis } => {
+                write!(f, "query exceeded {millis} ms wall-clock budget")
+            }
+            Error::Panicked(m) => write!(f, "query panicked: {m}"),
+            Error::Transient(m) => write!(f, "transient I/O error: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
         }
     }
@@ -67,7 +106,13 @@ impl std::error::Error for Error {}
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Archive(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                Error::Transient(e.to_string())
+            }
+            _ => Error::Archive(e.to_string()),
+        }
     }
 }
 
@@ -93,5 +138,27 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: Error = io.into();
         assert!(matches!(e, Error::Archive(_)));
+    }
+
+    #[test]
+    fn retryable_io_errors_become_transient() {
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::WouldBlock,
+        ] {
+            let e: Error = std::io::Error::new(kind, "flaky").into();
+            assert!(matches!(e, Error::Transient(_)), "{kind:?}");
+            assert!(e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::QueryTimeout { millis: 5 }.is_retryable());
+        assert!(Error::WorkerPanicked { morsel: 3, message: "x".into() }.is_retryable());
+        assert!(Error::Panicked("x".into()).is_retryable());
+        assert!(!Error::Archive("corrupt".into()).is_retryable());
+        assert!(!Error::UnknownTable("t".into()).is_retryable());
     }
 }

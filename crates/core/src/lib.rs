@@ -22,8 +22,10 @@
 //! [`SysTime::MAX`] denotes the *current* (still visible) version; an
 //! application period ending at [`AppDate::MAX`] is valid "until forever".
 
+pub mod crc;
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod key;
 pub mod rng;
 pub mod row;
@@ -31,7 +33,9 @@ pub mod schema;
 pub mod time;
 pub mod value;
 
+pub use crc::{crc32, Crc32};
 pub use error::{Error, Result};
+pub use fault::{FaultKind, FaultPlan, FaultyReader, FaultyWriter};
 pub use key::Key;
 pub use rng::Pcg32;
 pub use row::Row;

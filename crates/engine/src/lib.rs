@@ -35,7 +35,7 @@ pub use api::{
     TuningConfig,
 };
 pub use catalog::Catalog;
-pub use morsel::ScanMetrics;
+pub use morsel::{MorselExec, ScanMetrics};
 pub use system_a::SystemA;
 pub use system_b::SystemB;
 pub use system_c::SystemC;

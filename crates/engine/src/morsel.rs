@@ -10,14 +10,60 @@
 //! a partition smaller than one morsel) iterates exactly the same morsel
 //! ranges, so the per-scan [`ScanMetrics`] are also identical regardless of
 //! worker count. The cross-engine equivalence tests rely on both properties.
+//!
+//! Panics inside a morsel are contained: every morsel body runs under
+//! [`std::panic::catch_unwind`], a poisoned flag halts further dispatch, and
+//! the scan surfaces [`Error::WorkerPanicked`] with the index of the first
+//! panicking morsel instead of tearing down the thread scope. The
+//! [`MorselExec`] config carries an injected-panic hook so each engine's
+//! containment path can be exercised deterministically.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bitempo_core::fault::panic_message;
+use bitempo_core::{Error, Result};
 
 /// Rows per morsel. Small enough to load-balance skewed partitions, large
 /// enough that the per-morsel dispatch cost is negligible; partitions below
 /// this size never spawn threads.
 pub const MORSEL_ROWS: usize = 1024;
+
+/// Execution parameters for one morsel-driven scan: worker count plus the
+/// fault-injection hook used by the panic-containment tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselExec {
+    /// Worker threads (including the calling thread). `<= 1` runs inline.
+    pub workers: usize,
+    /// If set, the worker that picks up this morsel index panics before
+    /// scanning it — a deterministic fault for testing containment.
+    pub panic_morsel: Option<u64>,
+}
+
+impl Default for MorselExec {
+    fn default() -> MorselExec {
+        MorselExec::workers(1)
+    }
+}
+
+impl MorselExec {
+    /// Plain execution with `workers` threads and no injected faults.
+    pub fn workers(workers: usize) -> MorselExec {
+        MorselExec {
+            workers,
+            panic_morsel: None,
+        }
+    }
+
+    /// Builder-style: injects a panic at the given morsel index.
+    #[must_use]
+    pub fn with_panic_morsel(mut self, morsel: u64) -> MorselExec {
+        self.panic_morsel = Some(morsel);
+        self
+    }
+}
 
 /// Counters collected by one scan, identical across worker counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,14 +96,41 @@ pub fn morsel_ranges(units: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
-/// Runs `scan` over every morsel range covering `0..units`, on up to
-/// `workers` threads, and returns the concatenated rows plus merged metrics.
+/// Runs one morsel under panic containment, returning its rows and metrics
+/// or a [`Error::WorkerPanicked`] naming the morsel.
+fn run_one<T, F>(index: usize, range: Range<usize>, exec: MorselExec, scan: &F) -> Result<(Vec<T>, ScanMetrics)>
+where
+    F: Fn(Range<usize>, &mut Vec<T>, &mut ScanMetrics) + Sync,
+{
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if exec.panic_morsel == Some(index as u64) {
+            panic!("injected fault: morsel {index}");
+        }
+        let mut rows = Vec::new();
+        let mut m = ScanMetrics::default();
+        scan(range, &mut rows, &mut m);
+        (rows, m)
+    }));
+    result.map_err(|payload| Error::WorkerPanicked {
+        morsel: index as u64,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Runs `scan` over every morsel range covering `0..units`, per the
+/// [`MorselExec`] config, and returns the concatenated rows plus merged
+/// metrics.
 ///
 /// `scan` is invoked once per morsel with a fresh output buffer and metrics;
 /// results are concatenated in morsel order, so the returned row vector is
-/// identical for every worker count. With `workers <= 1` (or a single
-/// morsel) no threads are spawned and the morsels run inline, in order.
-pub fn run_morsels<T, F>(units: usize, workers: usize, scan: F) -> (Vec<T>, ScanMetrics)
+/// identical for every worker count. With one worker (or a single morsel) no
+/// threads are spawned and the morsels run inline, in order.
+///
+/// A panic inside any morsel (including one injected via
+/// [`MorselExec::panic_morsel`]) aborts the scan with
+/// [`Error::WorkerPanicked`]; remaining morsels are not dispatched, already
+/// running ones finish, and the thread scope unwinds cleanly.
+pub fn run_morsels<T, F>(units: usize, exec: MorselExec, scan: F) -> Result<(Vec<T>, ScanMetrics)>
 where
     T: Send,
     F: Fn(Range<usize>, &mut Vec<T>, &mut ScanMetrics) + Sync,
@@ -67,24 +140,45 @@ where
         morsels: morsels.len() as u64,
         ..ScanMetrics::default()
     };
-    let workers = workers.max(1).min(morsels.len().max(1));
+    let workers = exec.workers.max(1).min(morsels.len().max(1));
 
     if workers == 1 {
         let mut rows = Vec::new();
-        for range in morsels {
-            scan(range, &mut rows, &mut metrics);
+        for (i, range) in morsels.into_iter().enumerate() {
+            let (mut chunk, m) = run_one(i, range, exec, &scan)?;
+            rows.append(&mut chunk);
+            metrics.merge(&m);
         }
-        return (rows, metrics);
+        // Inline metrics count dispatched morsels only on success; on the
+        // error path above the whole scan is discarded anyway.
+        return Ok((rows, metrics));
     }
 
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<(u64, Error)>> = Mutex::new(None);
     let drain = |produced: &mut Vec<(usize, Vec<T>, ScanMetrics)>| loop {
+        if poisoned.load(Ordering::Relaxed) {
+            break;
+        }
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(range) = morsels.get(i) else { break };
-        let mut rows = Vec::new();
-        let mut m = ScanMetrics::default();
-        scan(range.clone(), &mut rows, &mut m);
-        produced.push((i, rows, m));
+        match run_one(i, range.clone(), exec, &scan) {
+            Ok((rows, m)) => produced.push((i, rows, m)),
+            Err(e) => {
+                poisoned.store(true, Ordering::Relaxed);
+                let mut slot = first_panic.lock().unwrap_or_else(|p| p.into_inner());
+                // Keep the lowest-index panic so the reported morsel is
+                // deterministic even when several workers trip at once.
+                let replace = match slot.as_ref() {
+                    None => true,
+                    Some((idx, _)) => (i as u64) < *idx,
+                };
+                if replace {
+                    *slot = Some((i as u64, e));
+                }
+            }
+        }
     };
     // The calling thread participates as a worker, so only `workers - 1`
     // threads are spawned — at two workers that halves the dispatch cost.
@@ -101,10 +195,31 @@ where
         let mut all = Vec::new();
         drain(&mut all);
         for h in handles {
-            all.extend(h.join().expect("morsel worker panicked"));
+            // Workers never unwind (morsel bodies are caught), but stay
+            // defensive: fold an unexpected worker death into the error.
+            match h.join() {
+                Ok(produced) => all.extend(produced),
+                Err(payload) => {
+                    poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = first_panic.lock().unwrap_or_else(|p| p.into_inner());
+                    if slot.is_none() {
+                        *slot = Some((
+                            u64::MAX,
+                            Error::WorkerPanicked {
+                                morsel: u64::MAX,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        ));
+                    }
+                }
+            }
         }
         all
     });
+
+    if let Some((_, e)) = first_panic.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
 
     done.sort_unstable_by_key(|(i, _, _)| *i);
     let mut rows = Vec::with_capacity(done.iter().map(|(_, r, _)| r.len()).sum());
@@ -112,7 +227,7 @@ where
         rows.append(&mut chunk);
         metrics.merge(&m);
     }
-    (rows, metrics)
+    Ok((rows, metrics))
 }
 
 #[cfg(test)]
@@ -144,9 +259,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_rows_and_metrics() {
         let units = MORSEL_ROWS * 7 + 123;
-        let (seq_rows, seq_m) = run_morsels(units, 1, evens);
+        let (seq_rows, seq_m) = run_morsels(units, MorselExec::workers(1), evens).unwrap();
         for workers in [2, 4, 16] {
-            let (par_rows, par_m) = run_morsels(units, workers, evens);
+            let (par_rows, par_m) =
+                run_morsels(units, MorselExec::workers(workers), evens).unwrap();
             assert_eq!(par_rows, seq_rows, "workers={workers}");
             assert_eq!(par_m, seq_m, "workers={workers}");
         }
@@ -157,11 +273,69 @@ mod tests {
 
     #[test]
     fn small_input_and_zero_workers_run_inline() {
-        let (rows, m) = run_morsels(10, 0, evens);
+        let (rows, m) = run_morsels(10, MorselExec::workers(0), evens).unwrap();
         assert_eq!(rows, vec![0, 2, 4, 6, 8]);
         assert_eq!(m.morsels, 1);
-        let (rows, m) = run_morsels(0, 4, evens);
+        let (rows, m) = run_morsels(0, MorselExec::workers(4), evens).unwrap();
         assert!(rows.is_empty());
         assert_eq!(m.morsels, 0);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_inline() {
+        let units = MORSEL_ROWS * 3;
+        let exec = MorselExec::workers(1).with_panic_morsel(1);
+        let err = run_morsels(units, exec, evens).unwrap_err();
+        assert_eq!(
+            err,
+            Error::WorkerPanicked {
+                morsel: 1,
+                message: "injected fault: morsel 1".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_contained_parallel() {
+        let units = MORSEL_ROWS * 8 + 17;
+        for workers in [2, 4] {
+            let exec = MorselExec::workers(workers).with_panic_morsel(3);
+            let err = run_morsels(units, exec, evens).unwrap_err();
+            match err {
+                Error::WorkerPanicked { morsel, message } => {
+                    assert_eq!(morsel, 3, "workers={workers}");
+                    assert_eq!(message, "injected fault: morsel 3");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_panic_is_contained_too() {
+        let bomb = |range: Range<usize>, out: &mut Vec<usize>, _m: &mut ScanMetrics| {
+            if range.start >= MORSEL_ROWS * 2 {
+                panic!("scan bug at {}", range.start);
+            }
+            out.extend(range);
+        };
+        let err = run_morsels(MORSEL_ROWS * 4, MorselExec::workers(2), bomb).unwrap_err();
+        match err {
+            Error::WorkerPanicked { morsel, message } => {
+                assert!(morsel >= 2);
+                assert!(message.starts_with("scan bug at "));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_succeeds_after_failed_attempt() {
+        let units = MORSEL_ROWS * 2;
+        let exec = MorselExec::workers(2).with_panic_morsel(0);
+        assert!(run_morsels(units, exec, evens).is_err());
+        // The same scan with the fault cleared recovers fully.
+        let (rows, _) = run_morsels(units, MorselExec::workers(2), evens).unwrap();
+        assert_eq!(rows.len(), units / 2);
     }
 }

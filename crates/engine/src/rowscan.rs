@@ -9,9 +9,9 @@
 
 use crate::api::{AccessPath, AppSpec, ColRange, SysSpec};
 use crate::index::{GistIndex, IndexedCol, OrderedIndex};
-use crate::morsel::{run_morsels, ScanMetrics};
+use crate::morsel::{run_morsels, MorselExec, ScanMetrics};
 use crate::version::Version;
-use bitempo_core::{Row, SysTime, TableDef, Value};
+use bitempo_core::{Result, Row, SysTime, TableDef, Value};
 use bitempo_storage::{Heap, Rect};
 use std::ops::{Bound, Range};
 
@@ -178,9 +178,10 @@ pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rec
 /// Scans one partition: picks an access path, applies residual filters, and
 /// appends qualifying output rows (in `def.scan_schema()` layout) to `out`.
 /// Counters accumulate into `metrics`. Sequential scans are morsel-parallel
-/// across up to `workers` threads (`<= 1` runs inline); the index paths stay
-/// serial, as their probe result sets are already small by construction.
-/// Returns the access path taken.
+/// per `exec` (`workers <= 1` runs inline); the index paths stay serial, as
+/// their probe result sets are already small by construction. Returns the
+/// access path taken, or [`bitempo_core::Error::WorkerPanicked`] if a scan
+/// worker panicked (the panic is contained; partial output is discarded).
 #[allow(clippy::too_many_arguments)]
 pub fn scan_partition(
     part: &PartitionView<'_>,
@@ -190,10 +191,10 @@ pub fn scan_partition(
     preds: &[ColRange],
     now: SysTime,
     prefer_gist: bool,
-    workers: usize,
+    exec: MorselExec,
     out: &mut Vec<Row>,
     metrics: &mut ScanMetrics,
-) -> AccessPath {
+) -> Result<AccessPath> {
     let emit = |v: &Version, out: &mut Vec<Row>, m: &mut ScanMetrics| {
         m.rows_visited += 1;
         if v.matches(sys, app) && v.matches_preds(preds) {
@@ -212,7 +213,7 @@ pub fn scan_partition(
                     emit(v, out, metrics);
                 }
             }
-            return AccessPath::KeyLookup(pk.def.name.clone());
+            return Ok(AccessPath::KeyLookup(pk.def.name.clone()));
         }
     }
 
@@ -225,7 +226,7 @@ pub fn scan_partition(
                     emit(v, out, metrics);
                 }
             }
-            return AccessPath::GistScan(gist.name.clone());
+            return Ok(AccessPath::GistScan(gist.name.clone()));
         }
     }
 
@@ -257,17 +258,17 @@ pub fn scan_partition(
                 emit(v, out, metrics);
             }
         }
-        return AccessPath::IndexScan(index.def.name.clone());
+        return Ok(AccessPath::IndexScan(index.def.name.clone()));
     }
 
     // 4. Sequential scan, split into morsels. Merging in morsel order keeps
     //    the output identical to a single-threaded scan for any worker count.
-    let (rows, scan_metrics) = run_morsels(part.source.scan_units(), workers, |range, buf, m| {
+    let (rows, scan_metrics) = run_morsels(part.source.scan_units(), exec, |range, buf, m| {
         part.source.for_each_in(range, &mut |_, v| emit(v, buf, m));
-    });
+    })?;
     metrics.merge(&scan_metrics);
     out.extend(rows);
-    AccessPath::FullScan { partitions: 1 }
+    Ok(AccessPath::FullScan { partitions: 1 })
 }
 
 fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
@@ -379,10 +380,11 @@ mod tests {
             &[],
             SysTime(100),
             false,
-            1,
+            MorselExec::workers(1),
             &mut out,
             &mut m,
-        );
+        )
+        .unwrap();
         assert_eq!(path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out.len(), 50);
         assert_eq!(m.morsels, 1, "50 rows fit in one morsel");
@@ -417,10 +419,11 @@ mod tests {
             &[ColRange::eq(0, Value::Int(7))],
             SysTime(100),
             false,
-            1,
+            MorselExec::workers(1),
             &mut out,
             &mut m,
-        );
+        )
+        .unwrap();
         assert_eq!(path, AccessPath::KeyLookup("pk_t".into()));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get(1), &Value::Int(70));
@@ -457,10 +460,11 @@ mod tests {
             &[],
             SysTime(2000),
             false,
-            1,
+            MorselExec::workers(1),
             &mut out,
             &mut m,
-        );
+        )
+        .unwrap();
         assert_eq!(path, AccessPath::IndexScan("ix_sys_start".into()));
         assert_eq!(out.len(), 6, "versions 0..=5 visible at t5");
         assert_eq!(m.index_probes, 6);
@@ -476,10 +480,11 @@ mod tests {
             &[],
             SysTime(2000),
             false,
-            1,
+            MorselExec::workers(1),
             &mut out,
             &mut m,
-        );
+        )
+        .unwrap();
         assert_eq!(path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out.len(), 901);
         assert_eq!(m.rows_visited, 1000);
@@ -509,10 +514,11 @@ mod tests {
             &[],
             SysTime(200),
             true,
-            1,
+            MorselExec::workers(1),
             &mut out,
             &mut m,
-        );
+        )
+        .unwrap();
         assert_eq!(path, AccessPath::GistScan("gist_t".into()));
         assert_eq!(out.len(), 11, "versions with sys_start <= 10");
         assert!(m.index_probes >= 11);
@@ -543,10 +549,11 @@ mod tests {
                 &[],
                 SysTime(9000),
                 false,
-                workers,
+                MorselExec::workers(workers),
                 &mut out,
                 &mut m,
-            );
+            )
+            .unwrap();
             assert_eq!(path, AccessPath::FullScan { partitions: 1 });
             (out, m)
         };

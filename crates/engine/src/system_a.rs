@@ -422,7 +422,7 @@ impl BitemporalEngine for SystemA {
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
         let t = self.table(table);
-        let workers = self.tuning.workers;
+        let exec = self.tuning.exec();
         let mut rows = Vec::new();
         let mut paths = Vec::new();
         let mut metrics = ScanMetrics::default();
@@ -440,10 +440,10 @@ impl BitemporalEngine for SystemA {
             preds,
             self.now,
             false,
-            workers,
+            exec,
             &mut rows,
             &mut metrics,
-        ));
+        )?);
         if !sys.current_only() && def.has_system_time() {
             let hist_view = PartitionView {
                 source: &t.history,
@@ -459,10 +459,10 @@ impl BitemporalEngine for SystemA {
                 preds,
                 self.now,
                 false,
-                workers,
+                exec,
                 &mut rows,
                 &mut metrics,
-            ));
+            )?);
         }
         Ok(ScanOutput {
             access: merge_access(paths.clone()),

@@ -410,7 +410,7 @@ impl BitemporalEngine for SystemB {
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
         let t = &self.tables[table.0 as usize];
-        let workers = self.tuning.workers;
+        let exec = self.tuning.exec();
         let mut rows = Vec::new();
         let mut paths = Vec::new();
         let mut metrics = ScanMetrics::default();
@@ -452,10 +452,10 @@ impl BitemporalEngine for SystemB {
             preds,
             self.now,
             false,
-            workers,
+            exec,
             &mut rows,
             &mut metrics,
-        ));
+        )?);
 
         if !sys.current_only() && def.has_system_time() {
             let hist_view = PartitionView {
@@ -472,10 +472,10 @@ impl BitemporalEngine for SystemB {
                 preds,
                 self.now,
                 false,
-                workers,
+                exec,
                 &mut rows,
                 &mut metrics,
-            ));
+            )?);
             // Staged, not-yet-drained undo entries form a third partition
             // that only sequential access can see.
             if !t.undo.is_empty() {
@@ -500,10 +500,10 @@ impl BitemporalEngine for SystemB {
                     preds,
                     self.now,
                     false,
-                    workers,
+                    exec,
                     &mut rows,
                     &mut metrics,
-                ));
+                )?);
             }
         }
         Ok(ScanOutput {

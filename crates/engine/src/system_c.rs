@@ -368,7 +368,7 @@ impl BitemporalEngine for SystemC {
         let def = self.catalog.def(table);
         let hidden = self.hidden[table.0 as usize];
         let t = &self.tables[table.0 as usize];
-        let workers = self.tuning.workers;
+        let exec = self.tuning.exec();
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
         let mut partitions = 1u8;
@@ -380,8 +380,10 @@ impl BitemporalEngine for SystemC {
         // Each fragment is scanned in row-range morsels; merging per-morsel
         // buffers in morsel order keeps the output order identical to the
         // single-threaded loop.
-        let mut scan_fragment = |part: &ColumnTable, dead: Option<&HashSet<usize>>| {
-            let (frag_rows, m) = run_morsels(part.len(), workers, |range, buf, m| {
+        let mut scan_fragment = |part: &ColumnTable,
+                                 dead: Option<&HashSet<usize>>|
+         -> Result<()> {
+            let (frag_rows, m) = run_morsels(part.len(), exec, |range, buf, m| {
                 for rowid in range {
                     if dead.is_some_and(|d| d.contains(&rowid)) {
                         continue;
@@ -418,14 +420,15 @@ impl BitemporalEngine for SystemC {
                     let v = self.version_from(table, part, rowid);
                     buf.push(v.output_row(def));
                 }
-            });
+            })?;
             metrics.merge(&m);
             rows.extend(frag_rows);
+            Ok(())
         };
-        scan_fragment(&t.current, Some(&t.dead));
+        scan_fragment(&t.current, Some(&t.dead))?;
         if !sys.current_only() && def.has_system_time() {
             partitions += 1;
-            scan_fragment(&t.history, None);
+            scan_fragment(&t.history, None)?;
         }
         Ok(ScanOutput {
             rows,

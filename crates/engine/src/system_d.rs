@@ -315,10 +315,10 @@ impl BitemporalEngine for SystemD {
             preds,
             self.now,
             self.tuning.gist,
-            self.tuning.workers,
+            self.tuning.exec(),
             &mut rows,
             &mut metrics,
-        );
+        )?;
         Ok(ScanOutput {
             access: merge_access(vec![path.clone()]),
             partition_paths: vec![path],

@@ -5,14 +5,40 @@
 //!
 //! The format is a flat length-prefixed encoding (little-endian), hand
 //! rolled so the wire layout is explicit and auditable; see DESIGN.md §2.
+//!
+//! Format **v2** hardens the v1 layout against corruption:
+//!
+//! * every transaction is encoded as `len: u32 | crc32: u32 | body`, and the
+//!   CRC is verified *before* the body is parsed;
+//! * the stream ends with a footer `"BIHF" | count: u64 | stream_crc: u32`
+//!   (CRC over all transaction bodies), so truncation at a transaction
+//!   boundary — invisible to per-record checksums — is detected too;
+//! * every length prefix is validated against the remaining input size
+//!   before allocation, so a flipped length byte yields
+//!   [`Error::Archive`] instead of an out-of-memory abort.
+//!
+//! v1 archives remain readable ([`Archive::read_from`] dispatches on the
+//! header version); [`Archive::write_v1_to`] keeps the legacy writer
+//! available for compatibility tests.
 
 use crate::ops::{Op, ScenarioKind, Transaction};
+use bitempo_core::crc::{crc32, Crc32};
 use bitempo_core::{AppDate, AppPeriod, Error, Key, Period, Result, Row, Value};
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"BIHA";
-const VERSION: u32 = 1;
+const FOOTER_MAGIC: [u8; 4] = *b"BIHF";
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Upper bound on one encoded transaction body. Far above anything the
+/// generator emits; a length prefix beyond it is corruption, not data.
+const MAX_TXN_BYTES: u32 = 64 << 20;
+
+/// Allocation cap for length-prefixed buffers when the total input size is
+/// unknown: allocate at most this much up front and grow by reading.
+const PREALLOC_CAP: usize = 1 << 20;
 
 /// A serialized history: seeds plus the ordered transaction list.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,69 +54,97 @@ pub struct Archive {
 impl Archive {
     /// Groups scenarios into batches of `batch_size` transactions each —
     /// the loader knob behind Fig 13 ("combine a series of scenarios into
-    /// batches of variable sizes").
-    pub fn batched(&self, batch_size: usize) -> Vec<Transaction> {
+    /// batches of variable sizes"). Lazy: each batch is materialized only
+    /// when the iterator reaches it, so large-`m` replays never hold a
+    /// second copy of the whole transaction stream.
+    pub fn batched(&self, batch_size: usize) -> impl Iterator<Item = Transaction> + '_ {
         let batch_size = batch_size.max(1);
-        self.transactions
-            .chunks(batch_size)
-            .map(|chunk| Transaction {
-                scenarios: chunk.iter().flat_map(|t| t.scenarios.clone()).collect(),
-                ops: chunk.iter().flat_map(|t| t.ops.clone()).collect(),
-            })
-            .collect()
+        self.transactions.chunks(batch_size).map(|chunk| Transaction {
+            scenarios: chunk.iter().flat_map(|t| t.scenarios.clone()).collect(),
+            ops: chunk.iter().flat_map(|t| t.ops.clone()).collect(),
+        })
     }
 
-    /// Serializes into `w`.
+    /// Serializes into `w` using the current (v2, checksummed) format.
     pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
         w.write_all(&MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
         w.write_all(&self.dbgen_seed.to_le_bytes())?;
         w.write_all(&self.hist_seed.to_le_bytes())?;
         w.write_all(&(self.transactions.len() as u64).to_le_bytes())?;
+        let mut stream = Crc32::new();
+        let mut body = Vec::new();
         for txn in &self.transactions {
-            w.write_all(&(txn.scenarios.len() as u16).to_le_bytes())?;
-            for s in &txn.scenarios {
-                w.write_all(&[s.tag()])?;
-            }
-            w.write_all(&(txn.ops.len() as u32).to_le_bytes())?;
-            for op in &txn.ops {
-                write_op(w, op)?;
-            }
+            body.clear();
+            write_txn_body(&mut body, txn)?;
+            let len = u32::try_from(body.len())
+                .ok()
+                .filter(|&l| l <= MAX_TXN_BYTES)
+                .ok_or_else(|| {
+                    Error::Archive(format!("transaction body too large: {} bytes", body.len()))
+                })?;
+            w.write_all(&len.to_le_bytes())?;
+            w.write_all(&crc32(&body).to_le_bytes())?;
+            w.write_all(&body)?;
+            stream.update(&body);
+        }
+        w.write_all(&FOOTER_MAGIC)?;
+        w.write_all(&(self.transactions.len() as u64).to_le_bytes())?;
+        w.write_all(&stream.finish().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Serializes into `w` using the legacy v1 format (no checksums, no
+    /// footer). Kept for the v1→v2 compatibility tests.
+    pub fn write_v1_to(&self, w: &mut impl Write) -> Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION_V1.to_le_bytes())?;
+        w.write_all(&self.dbgen_seed.to_le_bytes())?;
+        w.write_all(&self.hist_seed.to_le_bytes())?;
+        w.write_all(&(self.transactions.len() as u64).to_le_bytes())?;
+        for txn in &self.transactions {
+            write_txn_body(w, txn)?;
         }
         Ok(())
     }
 
-    /// Deserializes from `r`.
+    /// Deserializes from `r` (v1 or v2), without knowing the input size.
+    /// Length prefixes are still bounded (allocation is capped and grows by
+    /// reading), but exact length-vs-remaining validation needs a sized
+    /// source — prefer [`Archive::load`] or [`Archive::read_from_slice`].
     pub fn read_from(r: &mut impl Read) -> Result<Archive> {
+        Archive::read_limited(r, None)
+    }
+
+    /// Deserializes from an in-memory buffer, validating every length
+    /// prefix against the exact number of remaining bytes.
+    pub fn read_from_slice(bytes: &[u8]) -> Result<Archive> {
+        Archive::read_limited(&mut &bytes[..], Some(bytes.len() as u64))
+    }
+
+    fn read_limited(r: &mut impl Read, limit: Option<u64>) -> Result<Archive> {
+        let mut src = Src {
+            r,
+            remaining: limit,
+        };
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        src.read_exact(&mut magic, "header magic")?;
         if magic != MAGIC {
             return Err(Error::Archive("bad magic".into()));
         }
-        let version = read_u32(r)?;
-        if version != VERSION {
-            return Err(Error::Archive(format!("unsupported version {version}")));
-        }
-        let dbgen_seed = read_u64(r)?;
-        let hist_seed = read_u64(r)?;
-        let n = read_u64(r)? as usize;
-        let mut transactions = Vec::with_capacity(n.min(1 << 24));
-        for _ in 0..n {
-            let n_scen = read_u16(r)? as usize;
-            let mut scenarios = Vec::with_capacity(n_scen);
-            for _ in 0..n_scen {
-                let tag = read_u8(r)?;
-                scenarios.push(
-                    ScenarioKind::from_tag(tag)
-                        .ok_or_else(|| Error::Archive(format!("bad scenario tag {tag}")))?,
-                );
+        let version = src.read_u32("header version")?;
+        let dbgen_seed = src.read_u64("dbgen seed")?;
+        let hist_seed = src.read_u64("hist seed")?;
+        let n = src.read_u64("transaction count")?;
+        let transactions = match version {
+            VERSION_V1 => read_txns_v1(&mut src, n)?,
+            VERSION => read_txns_v2(&mut src, n)?,
+            other => return Err(Error::Archive(format!("unsupported version {other}"))),
+        };
+        if let Some(rem) = src.remaining {
+            if rem != 0 {
+                return Err(Error::Archive(format!("{rem} trailing bytes after archive")));
             }
-            let n_ops = read_u32(r)? as usize;
-            let mut ops = Vec::with_capacity(n_ops.min(1 << 20));
-            for _ in 0..n_ops {
-                ops.push(read_op(r)?);
-            }
-            transactions.push(Transaction { scenarios, ops });
         }
         Ok(Archive {
             dbgen_seed,
@@ -109,11 +163,194 @@ impl Archive {
         Ok(())
     }
 
-    /// Reads an archive from a file.
+    /// Reads an archive from a file, bounding every length prefix by the
+    /// file size.
     pub fn load(path: impl AsRef<Path>) -> Result<Archive> {
         let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
         let mut r = std::io::BufReader::new(file);
-        Archive::read_from(&mut r)
+        Archive::read_limited(&mut r, Some(len))
+    }
+}
+
+/// Encodes one transaction body (shared between v1's inline stream and
+/// v2's checksummed records).
+fn write_txn_body(w: &mut impl Write, txn: &Transaction) -> Result<()> {
+    w.write_all(&(txn.scenarios.len() as u16).to_le_bytes())?;
+    for s in &txn.scenarios {
+        w.write_all(&[s.tag()])?;
+    }
+    w.write_all(&(txn.ops.len() as u32).to_le_bytes())?;
+    for op in &txn.ops {
+        write_op(w, op)?;
+    }
+    Ok(())
+}
+
+fn read_txns_v1<R: Read>(src: &mut Src<'_, R>, n: u64) -> Result<Vec<Transaction>> {
+    // Each transaction needs at least 6 bytes (scenario count + op count).
+    src.claim(n.saturating_mul(6), "transaction count")?;
+    let mut transactions = Vec::with_capacity(cap_count(n, src.remaining, 6));
+    for _ in 0..n {
+        transactions.push(read_txn_body(src)?);
+    }
+    Ok(transactions)
+}
+
+fn read_txns_v2<R: Read>(src: &mut Src<'_, R>, n: u64) -> Result<Vec<Transaction>> {
+    // Each record needs at least 8 bytes (length + checksum).
+    src.claim(n.saturating_mul(8), "transaction count")?;
+    let mut transactions = Vec::with_capacity(cap_count(n, src.remaining, 8));
+    let mut stream = Crc32::new();
+    for i in 0..n {
+        let len = src.read_u32("transaction length")?;
+        if len > MAX_TXN_BYTES {
+            return Err(Error::Archive(format!(
+                "transaction {i} length {len} exceeds {MAX_TXN_BYTES}-byte bound"
+            )));
+        }
+        let expect = src.read_u32("transaction checksum")?;
+        let body = src.read_vec(len as usize, "transaction body")?;
+        if crc32(&body) != expect {
+            return Err(Error::Archive(format!("checksum mismatch in transaction {i}")));
+        }
+        stream.update(&body);
+        let mut slice = &body[..];
+        let mut bsrc = Src {
+            r: &mut slice,
+            remaining: Some(u64::from(len)),
+        };
+        let txn = read_txn_body(&mut bsrc)?;
+        if bsrc.remaining != Some(0) {
+            return Err(Error::Archive(format!("trailing bytes in transaction {i}")));
+        }
+        transactions.push(txn);
+    }
+    let mut footer = [0u8; 4];
+    src.read_exact(&mut footer, "footer magic")?;
+    if footer != FOOTER_MAGIC {
+        return Err(Error::Archive("missing or corrupt footer".into()));
+    }
+    let count = src.read_u64("footer count")?;
+    if count != n {
+        return Err(Error::Archive(format!(
+            "footer count {count} disagrees with header count {n}"
+        )));
+    }
+    let crc = src.read_u32("footer checksum")?;
+    if crc != stream.finish() {
+        return Err(Error::Archive("stream checksum mismatch in footer".into()));
+    }
+    Ok(transactions)
+}
+
+fn read_txn_body<R: Read>(src: &mut Src<'_, R>) -> Result<Transaction> {
+    let n_scen = u64::from(src.read_u16("scenario count")?);
+    src.claim(n_scen, "scenario count")?;
+    let mut scenarios = Vec::with_capacity(n_scen as usize);
+    for _ in 0..n_scen {
+        let tag = src.read_u8("scenario tag")?;
+        scenarios.push(
+            ScenarioKind::from_tag(tag)
+                .ok_or_else(|| Error::Archive(format!("bad scenario tag {tag}")))?,
+        );
+    }
+    let n_ops = u64::from(src.read_u32("op count")?);
+    // Each op needs at least 2 bytes (tag + table).
+    src.claim(n_ops.saturating_mul(2), "op count")?;
+    let mut ops = Vec::with_capacity(cap_count(n_ops, src.remaining, 2));
+    for _ in 0..n_ops {
+        ops.push(read_op(src)?);
+    }
+    Ok(Transaction { scenarios, ops })
+}
+
+/// A safe pre-allocation size for `n` elements of at least `min_bytes`
+/// each: bounded by what the remaining input could possibly hold, and by a
+/// fixed cap when the input size is unknown.
+fn cap_count(n: u64, remaining: Option<u64>, min_bytes: u64) -> usize {
+    let bound = match remaining {
+        Some(rem) => rem / min_bytes.max(1),
+        None => PREALLOC_CAP as u64,
+    };
+    n.min(bound).min(PREALLOC_CAP as u64) as usize
+}
+
+/// A bounded source: tracks the remaining input size (when known) so every
+/// length prefix can be validated *before* allocation, and a lying prefix
+/// surfaces as [`Error::Archive`] instead of an OOM abort.
+struct Src<'a, R: Read> {
+    r: &'a mut R,
+    remaining: Option<u64>,
+}
+
+impl<R: Read> Src<'_, R> {
+    /// Fails unless at least `n` more bytes could remain in the input.
+    fn claim(&self, n: u64, what: &str) -> Result<()> {
+        if let Some(rem) = self.remaining {
+            if n > rem {
+                return Err(Error::Archive(format!(
+                    "{what}: {n} bytes claimed but only {rem} remain"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> Result<()> {
+        self.claim(buf.len() as u64, what)?;
+        self.r.read_exact(buf)?;
+        if let Some(rem) = &mut self.remaining {
+            *rem -= buf.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `len` bytes, pre-allocating at most [`PREALLOC_CAP`]
+    /// so an unvalidated length cannot trigger a huge allocation.
+    fn read_vec(&mut self, len: usize, what: &str) -> Result<Vec<u8>> {
+        self.claim(len as u64, what)?;
+        let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+        let mut chunk = [0u8; 8192];
+        let mut left = len;
+        while left > 0 {
+            let n = left.min(chunk.len());
+            self.r.read_exact(&mut chunk[..n])?;
+            if let Some(rem) = &mut self.remaining {
+                *rem -= n as u64;
+            }
+            out.extend_from_slice(&chunk[..n]);
+            left -= n;
+        }
+        Ok(out)
+    }
+
+    fn read_u8(&mut self, what: &str) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b, what)?;
+        Ok(b[0])
+    }
+
+    fn read_u16(&mut self, what: &str) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b, what)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn read_u32(&mut self, what: &str) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b, what)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self, what: &str) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b, what)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn read_i64(&mut self, what: &str) -> Result<i64> {
+        Ok(self.read_u64(what)? as i64)
     }
 }
 
@@ -157,39 +394,41 @@ fn write_op(w: &mut impl Write, op: &Op) -> Result<()> {
     Ok(())
 }
 
-fn read_op(r: &mut impl Read) -> Result<Op> {
-    let tag = read_u8(r)?;
-    let table = read_u8(r)?;
+fn read_op<R: Read>(src: &mut Src<'_, R>) -> Result<Op> {
+    let tag = src.read_u8("op tag")?;
+    let table = src.read_u8("op table")?;
     match tag {
         0 => Ok(Op::Insert {
             table,
-            row: read_row(r)?,
-            app: read_opt_period(r)?,
+            row: read_row(src)?,
+            app: read_opt_period(src)?,
         }),
         1 => {
-            let key = read_key(r)?;
-            let n = read_u16(r)? as usize;
-            let mut updates = Vec::with_capacity(n);
+            let key = read_key(src)?;
+            let n = u64::from(src.read_u16("update count")?);
+            // Each update needs at least 3 bytes (column + value tag).
+            src.claim(n.saturating_mul(3), "update count")?;
+            let mut updates = Vec::with_capacity(n as usize);
             for _ in 0..n {
-                let c = read_u16(r)?;
-                updates.push((c, read_value(r)?));
+                let c = src.read_u16("update column")?;
+                updates.push((c, read_value(src)?));
             }
             Ok(Op::Update {
                 table,
                 key,
                 updates,
-                portion: read_opt_period(r)?,
+                portion: read_opt_period(src)?,
             })
         }
         2 => Ok(Op::Delete {
             table,
-            key: read_key(r)?,
-            portion: read_opt_period(r)?,
+            key: read_key(src)?,
+            portion: read_opt_period(src)?,
         }),
         3 => Ok(Op::OverwriteApp {
             table,
-            key: read_key(r)?,
-            period: read_period(r)?,
+            key: read_key(src)?,
+            period: read_period(src)?,
         }),
         other => Err(Error::Archive(format!("bad op tag {other}"))),
     }
@@ -223,23 +462,22 @@ fn write_value(w: &mut impl Write, v: &Value) -> Result<()> {
     Ok(())
 }
 
-fn read_value(r: &mut impl Read) -> Result<Value> {
-    Ok(match read_u8(r)? {
+fn read_value<R: Read>(src: &mut Src<'_, R>) -> Result<Value> {
+    Ok(match src.read_u8("value tag")? {
         0 => Value::Null,
-        1 => Value::Int(read_i64(r)?),
-        2 => Value::Double(f64::from_bits(read_u64(r)?)),
+        1 => Value::Int(src.read_i64("int value")?),
+        2 => Value::Double(f64::from_bits(src.read_u64("double value")?)),
         3 => {
-            let len = read_u32(r)? as usize;
-            let mut buf = vec![0u8; len];
-            r.read_exact(&mut buf)?;
+            let len = src.read_u32("string length")? as usize;
+            let buf = src.read_vec(len, "string value")?;
             Value::Str(
                 String::from_utf8(buf)
                     .map_err(|e| Error::Archive(format!("bad utf8: {e}")))?
                     .into(),
             )
         }
-        4 => Value::Date(AppDate(read_i64(r)?)),
-        5 => Value::SysTime(bitempo_core::SysTime(read_u64(r)?)),
+        4 => Value::Date(AppDate(src.read_i64("date value")?)),
+        5 => Value::SysTime(bitempo_core::SysTime(src.read_u64("systime value")?)),
         other => return Err(Error::Archive(format!("bad value tag {other}"))),
     })
 }
@@ -252,11 +490,12 @@ fn write_row(w: &mut impl Write, row: &Row) -> Result<()> {
     Ok(())
 }
 
-fn read_row(r: &mut impl Read) -> Result<Row> {
-    let n = read_u16(r)? as usize;
-    let mut values = Vec::with_capacity(n);
+fn read_row<R: Read>(src: &mut Src<'_, R>) -> Result<Row> {
+    let n = u64::from(src.read_u16("row arity")?);
+    src.claim(n, "row arity")?;
+    let mut values = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        values.push(read_value(r)?);
+        values.push(read_value(src)?);
     }
     Ok(Row::new(values))
 }
@@ -270,11 +509,12 @@ fn write_key(w: &mut impl Write, key: &Key) -> Result<()> {
     Ok(())
 }
 
-fn read_key(r: &mut impl Read) -> Result<Key> {
-    let n = read_u16(r)? as usize;
-    let mut values = Vec::with_capacity(n);
+fn read_key<R: Read>(src: &mut Src<'_, R>) -> Result<Key> {
+    let n = u64::from(src.read_u16("key arity")?);
+    src.claim(n, "key arity")?;
+    let mut values = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        values.push(read_value(r)?);
+        values.push(read_value(src)?);
     }
     Ok(match values.as_slice() {
         [Value::Int(a)] => Key::Int(*a),
@@ -289,9 +529,9 @@ fn write_period(w: &mut impl Write, p: &AppPeriod) -> Result<()> {
     Ok(())
 }
 
-fn read_period(r: &mut impl Read) -> Result<AppPeriod> {
-    let start = AppDate(read_i64(r)?);
-    let end = AppDate(read_i64(r)?);
+fn read_period<R: Read>(src: &mut Src<'_, R>) -> Result<AppPeriod> {
+    let start = AppDate(src.read_i64("period start")?);
+    let end = AppDate(src.read_i64("period end")?);
     Ok(Period::new(start, end))
 }
 
@@ -306,36 +546,12 @@ fn write_opt_period(w: &mut impl Write, p: &Option<AppPeriod>) -> Result<()> {
     Ok(())
 }
 
-fn read_opt_period(r: &mut impl Read) -> Result<Option<AppPeriod>> {
-    Ok(match read_u8(r)? {
+fn read_opt_period<R: Read>(src: &mut Src<'_, R>) -> Result<Option<AppPeriod>> {
+    Ok(match src.read_u8("option tag")? {
         0 => None,
-        1 => Some(read_period(r)?),
+        1 => Some(read_period(src)?),
         other => return Err(Error::Archive(format!("bad option tag {other}"))),
     })
-}
-
-fn read_u8(r: &mut impl Read) -> Result<u8> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(b[0])
-}
-fn read_u16(r: &mut impl Read) -> Result<u16> {
-    let mut b = [0u8; 2];
-    r.read_exact(&mut b)?;
-    Ok(u16::from_le_bytes(b))
-}
-fn read_u32(r: &mut impl Read) -> Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-fn read_u64(r: &mut impl Read) -> Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-fn read_i64(r: &mut impl Read) -> Result<i64> {
-    Ok(read_u64(r)? as i64)
 }
 
 #[cfg(test)]
@@ -395,6 +611,8 @@ mod tests {
         a.write_to(&mut buf).unwrap();
         let b = Archive::read_from(&mut buf.as_slice()).unwrap();
         assert_eq!(a, b);
+        let c = Archive::read_from_slice(&buf).unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -407,6 +625,18 @@ mod tests {
         let b = Archive::load(&path).unwrap();
         assert_eq!(a, b);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_archives_remain_readable() {
+        let a = sample_archive();
+        let mut v1 = Vec::new();
+        a.write_v1_to(&mut v1).unwrap();
+        let mut v2 = Vec::new();
+        a.write_to(&mut v2).unwrap();
+        assert_ne!(v1, v2, "v2 adds checksums and a footer");
+        assert_eq!(Archive::read_from_slice(&v1).unwrap(), a);
+        assert_eq!(Archive::read_from(&mut v1.as_slice()).unwrap(), a);
     }
 
     #[test]
@@ -426,16 +656,67 @@ mod tests {
     }
 
     #[test]
+    fn detects_flipped_payload_byte() {
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        // Flip a byte inside the first transaction body (past the 32-byte
+        // header and the 8-byte record prefix).
+        buf[32 + 8 + 3] ^= 0x10;
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(matches!(err, Error::Archive(ref m) if m.contains("checksum")), "{err}");
+    }
+
+    #[test]
+    fn detects_truncation_at_transaction_boundary() {
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        // Drop the footer entirely: every remaining record is intact, so
+        // only the footer check can notice.
+        buf.truncate(buf.len() - 16);
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(matches!(err, Error::Archive(_)), "{err}");
+    }
+
+    #[test]
+    fn lying_length_prefix_is_rejected_not_allocated() {
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        // Overwrite the first transaction's length with a huge value; the
+        // claimed size exceeds the remaining input and must be rejected
+        // before any allocation happens.
+        buf[32..36].copy_from_slice(&(MAX_TXN_BYTES - 1).to_le_bytes());
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(matches!(err, Error::Archive(_)), "{err}");
+        // Beyond the hard bound, even a sized source rejects it by bound.
+        buf[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(matches!(err, Error::Archive(ref m) if m.contains("bound")), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        buf.extend_from_slice(&[0u8; 7]);
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(matches!(err, Error::Archive(ref m) if m.contains("trailing")), "{err}");
+    }
+
+    #[test]
     fn batching_merges_transactions() {
         let a = sample_archive();
-        let batched = a.batched(2);
+        let batched: Vec<Transaction> = a.batched(2).collect();
         assert_eq!(batched.len(), 1);
         assert_eq!(batched[0].scenarios.len(), 2);
         assert_eq!(batched[0].ops.len(), 4);
         // Batch size 1 is the identity.
-        assert_eq!(a.batched(1), a.transactions);
+        assert!(a.batched(1).eq(a.transactions.iter().cloned()));
         // Zero is clamped to 1.
-        assert_eq!(a.batched(0), a.transactions);
+        assert!(a.batched(0).eq(a.transactions.iter().cloned()));
     }
 
     #[test]

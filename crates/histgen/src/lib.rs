@@ -27,7 +27,10 @@ pub mod state;
 pub mod stats;
 
 pub use archive::Archive;
-pub use loader::{load_initial, replay, LoadReport};
+pub use loader::{
+    load_archive_with_retry, load_initial, read_archive_with_retry, replay, replay_resilient,
+    LoadReport, ReplayPolicy,
+};
 pub use ops::{Op, ScenarioKind, Transaction};
 pub use state::GenDb;
 pub use stats::{HistoryStats, TableOps};

@@ -16,9 +16,10 @@
 use crate::archive::Archive;
 use crate::ops::{Op, ScenarioKind};
 use crate::state::GenDb;
-use bitempo_core::{Result, SysTime, TableId, Value};
+use bitempo_core::{Error, Result, SysTime, TableId, Value};
 use bitempo_dbgen::TpchData;
 use bitempo_engine::BitemporalEngine;
+use std::path::Path;
 use std::time::Instant;
 
 /// Per-transaction load timing.
@@ -30,6 +31,34 @@ pub struct LoadReport {
     pub total_nanos: u64,
     /// System time after the replay.
     pub version: SysTime,
+    /// `(batch index, error)` for every batch that failed and was skipped
+    /// under a resilient [`ReplayPolicy`]. Empty under strict replay.
+    pub failed: Vec<(usize, Error)>,
+}
+
+/// How [`replay_resilient`] reacts to op failures mid-replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayPolicy {
+    /// Abort the whole replay once more than this many batches have failed.
+    /// `0` aborts on the first failure (strict, the [`replay`] behaviour).
+    pub max_failed_batches: usize,
+}
+
+impl ReplayPolicy {
+    /// Abort on the first failure — the classic all-or-nothing replay.
+    pub fn strict() -> ReplayPolicy {
+        ReplayPolicy {
+            max_failed_batches: 0,
+        }
+    }
+
+    /// Record up to `n` failed batches (skipping the remainder of each) and
+    /// keep replaying; the failures are reported in [`LoadReport::failed`].
+    pub fn resilient(n: usize) -> ReplayPolicy {
+        ReplayPolicy {
+            max_failed_batches: n,
+        }
+    }
 }
 
 impl LoadReport {
@@ -108,33 +137,86 @@ fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> Resu
     }
 }
 
-/// Replays the archive, committing every `batch_size` scenarios.
+/// Replays the archive, committing every `batch_size` scenarios. Strict:
+/// the first op failure aborts the whole replay.
 pub fn replay(
     engine: &mut dyn BitemporalEngine,
     ids: &[TableId],
     archive: &Archive,
     batch_size: usize,
 ) -> Result<LoadReport> {
+    replay_resilient(engine, ids, archive, batch_size, ReplayPolicy::strict())
+}
+
+/// Replays the archive under a failure policy. A failing op aborts the
+/// *remainder of its batch* (already-applied ops of the batch stay in the
+/// open transaction and are committed — the engines have no rollback, so
+/// this is the honest recovery unit); subsequent batches continue as long
+/// as the policy's failure budget holds. Every skipped batch is recorded in
+/// [`LoadReport::failed`].
+pub fn replay_resilient(
+    engine: &mut dyn BitemporalEngine,
+    ids: &[TableId],
+    archive: &Archive,
+    batch_size: usize,
+    policy: ReplayPolicy,
+) -> Result<LoadReport> {
     let started = Instant::now();
     let mut timings = Vec::with_capacity(archive.transactions.len());
-    for batch in archive.transactions.chunks(batch_size.max(1)) {
+    let mut failed: Vec<(usize, Error)> = Vec::new();
+    for (batch_idx, batch) in archive.transactions.chunks(batch_size.max(1)).enumerate() {
         let kind = batch[0].scenarios.first().copied().unwrap_or(
             ScenarioKind::NewOrderExistingCustomer,
         );
         let t0 = Instant::now();
-        for txn in batch {
+        let mut batch_err: Option<Error> = None;
+        'ops: for txn in batch {
             for op in &txn.ops {
-                apply_op(engine, ids, op)?;
+                if let Err(e) = apply_op(engine, ids, op) {
+                    batch_err = Some(e);
+                    break 'ops;
+                }
             }
         }
         engine.commit();
         timings.push((kind, t0.elapsed().as_nanos() as u64));
+        if let Some(e) = batch_err {
+            if failed.len() >= policy.max_failed_batches {
+                return Err(e);
+            }
+            failed.push((batch_idx, e));
+        }
     }
     Ok(LoadReport {
         timings,
         total_nanos: started.elapsed().as_nanos() as u64,
         version: engine.now(),
+        failed,
     })
+}
+
+/// Loads an archive from `path`, retrying up to `attempts` times on
+/// retryable ([`Error::is_retryable`]) failures — transient I/O hiccups a
+/// benchmark campaign should survive. Corruption is never retried.
+pub fn load_archive_with_retry(path: impl AsRef<Path>, attempts: usize) -> Result<Archive> {
+    read_archive_with_retry(|| Archive::load(path.as_ref()), attempts)
+}
+
+/// Generic retry driver over any archive source (used by the fault tests
+/// to wire a [`bitempo_core::FaultyReader`] behind the closure).
+pub fn read_archive_with_retry(
+    mut source: impl FnMut() -> Result<Archive>,
+    attempts: usize,
+) -> Result<Archive> {
+    let mut last: Option<Error> = None;
+    for _ in 0..attempts.max(1) {
+        match source() {
+            Ok(a) => return Ok(a),
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
 }
 
 /// Bulk-loads a fully-evolved history into an engine with manual system
@@ -283,9 +365,111 @@ mod tests {
                 .collect(),
             total_nanos: 0,
             version: SysTime(0),
+            failed: Vec::new(),
         };
         assert_eq!(report.median_nanos(None), Some(5_100));
         assert_eq!(report.p97_nanos(None), Some(9_700));
         assert_eq!(report.median_nanos(Some(ScenarioKind::CancelOrder)), None);
+    }
+
+    #[test]
+    fn resilient_replay_skips_failed_batches() {
+        let (data, history) = tiny_inputs();
+        // Poison a middle transaction with an update to a nonexistent key.
+        let mut archive = history.archive.clone();
+        let mid = archive.transactions.len() / 2;
+        archive.transactions[mid].ops.insert(
+            0,
+            Op::OverwriteApp {
+                table: 6,
+                key: bitempo_core::Key::int(i64::MAX),
+                period: bitempo_core::Period::new(
+                    bitempo_core::AppDate(0),
+                    bitempo_core::AppDate::MAX,
+                ),
+            },
+        );
+
+        // Strict replay aborts on the poisoned batch.
+        let mut engine = build_engine(SystemKind::A);
+        let ids = load_initial(engine.as_mut(), &data).unwrap();
+        assert!(replay(engine.as_mut(), &ids, &archive, 1).is_err());
+
+        // A resilient policy records the failure and finishes the replay.
+        let mut engine = build_engine(SystemKind::A);
+        let ids = load_initial(engine.as_mut(), &data).unwrap();
+        let report = replay_resilient(
+            engine.as_mut(),
+            &ids,
+            &archive,
+            1,
+            ReplayPolicy::resilient(4),
+        )
+        .unwrap();
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, mid);
+        assert!(matches!(report.failed[0].1, Error::KeyNotFound(_)));
+        assert_eq!(report.timings.len(), archive.transactions.len());
+
+        // A zero-budget policy behaves exactly like strict replay.
+        let mut engine = build_engine(SystemKind::A);
+        let ids = load_initial(engine.as_mut(), &data).unwrap();
+        assert!(replay_resilient(
+            engine.as_mut(),
+            &ids,
+            &archive,
+            1,
+            ReplayPolicy::strict()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors_only() {
+        let (_, history) = tiny_inputs();
+        let mut buf = Vec::new();
+        history.archive.write_to(&mut buf).unwrap();
+
+        let mut attempts = 0;
+        let archive = read_archive_with_retry(
+            || {
+                attempts += 1;
+                if attempts == 1 {
+                    Err(Error::Transient("flaky mount".into()))
+                } else {
+                    Archive::read_from_slice(&buf)
+                }
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(archive, history.archive);
+        assert_eq!(attempts, 2);
+
+        // Corruption is never retried.
+        let mut calls = 0;
+        let err = read_archive_with_retry(
+            || {
+                calls += 1;
+                Err(Error::Archive("corrupt".into()))
+            },
+            5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Archive(_)));
+        assert_eq!(calls, 1);
+
+        // A stream that stays transient exhausts its attempts.
+        let mut calls = 0;
+        let err = read_archive_with_retry(
+            || {
+                calls += 1;
+                Err(Error::Transient("still flaky".into()))
+            },
+            3,
+        )
+        .unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(calls, 3);
     }
 }

@@ -20,6 +20,7 @@ fn main() -> bitempo_core::Result<()> {
         discard: 1,
         batch_size: 1,
         workers: bitempo_engine::api::default_workers(),
+        query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
     };
     let mut inst = Instance::build(&cfg, &TuningConfig::none())?;
     let p = inst.params.clone();
