@@ -15,6 +15,7 @@ fn config() -> BenchConfig {
         batch_size: 1,
         workers: bitempo_engine::api::default_workers(),
         query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
+        trace: false,
     }
 }
 
@@ -36,8 +37,13 @@ fn bench_key_audit(c: &mut Criterion) {
             });
             group.bench_function(format!("{kind}/K1 past sys"), |b| {
                 b.iter(|| {
-                    key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
-                        .unwrap()
+                    key::k1(
+                        &ctx,
+                        &p.hot_customer,
+                        SysSpec::AsOf(p.sys_initial),
+                        AppSpec::All,
+                    )
+                    .unwrap()
                 })
             });
             group.bench_function(format!("{kind}/K1 both times"), |b| {

@@ -15,6 +15,7 @@ fn config() -> BenchConfig {
         batch_size: 1,
         workers: bitempo_engine::api::default_workers(),
         query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
+        trace: false,
     }
 }
 

@@ -15,6 +15,7 @@ fn config() -> BenchConfig {
         batch_size: 1,
         workers: bitempo_engine::api::default_workers(),
         query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
+        trace: false,
     }
 }
 
@@ -25,9 +26,8 @@ const SAMPLED: [u8; 6] = [1, 3, 5, 6, 13, 18];
 fn bench_tpch(c: &mut Criterion) {
     let inst = Instance::build(&config(), &TuningConfig::none()).expect("build instance");
     let p = inst.params.clone();
-    let baselines =
-        build_nontemporal_baseline(&inst, &SysSpec::Current, &AppSpec::AsOf(p.app_mid))
-            .expect("baseline");
+    let baselines = build_nontemporal_baseline(&inst, &SysSpec::Current, &AppSpec::AsOf(p.app_mid))
+        .expect("baseline");
 
     let mut group = c.benchmark_group("tpch");
     group.sample_size(10);

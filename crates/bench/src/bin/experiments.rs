@@ -27,11 +27,17 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--h" => {
-                cfg.h = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(cfg.h);
+                cfg.h = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.h);
                 i += 2;
             }
             "--m" => {
-                cfg.m = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(cfg.m);
+                cfg.m = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.m);
                 i += 2;
             }
             "--out" => {

@@ -6,6 +6,7 @@ use crate::runner::{
     build_nontemporal_baseline, geometric_mean, measure, measure_cell, BenchConfig, Instance,
 };
 use bitempo_core::fault::{FaultKind, FaultPlan, FaultyReader};
+use bitempo_core::obs::{self, TraceLog};
 use bitempo_core::{Error, Period, Result, SysTime};
 use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
 use bitempo_engine::SystemKind;
@@ -31,15 +32,21 @@ pub fn fig2(cfg: &BenchConfig) -> Result<FigureReport> {
         let engine = inst.engine(kind);
         let ctx = Ctx::new(engine)?;
         let mut s = Series::new(format!("{kind} - no index"));
-        measure_cell(cfg, &mut s, &mut faults, "T1 vary app/curr sys", || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+        measure_cell(cfg, &mut s, &mut faults, "T1 vary app/curr sys", || {
+            tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid))
+        });
         measure_cell(cfg, &mut s, &mut faults, "T1 vary sys/curr app", || {
             tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
         });
-        measure_cell(cfg, &mut s, &mut faults, "T2 vary app/curr sys", || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+        measure_cell(cfg, &mut s, &mut faults, "T2 vary app/curr sys", || {
+            tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid))
+        });
         measure_cell(cfg, &mut s, &mut faults, "T2 vary sys/curr app", || {
             tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
         });
-        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || tt::t5_all(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || {
+            tt::t5_all(&ctx)
+        });
         report.add(s);
     }
     report.note(
@@ -59,18 +66,26 @@ pub fn fig3(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut faults = FaultSummary::default();
     let p = inst.params.clone();
 
-    let run_setting = |inst: &Instance, label_suffix: &str, report: &mut FigureReport,
-                       faults: &mut FaultSummary, systems: &[SystemKind], cfg: &BenchConfig|
+    let run_setting = |inst: &Instance,
+                       label_suffix: &str,
+                       report: &mut FigureReport,
+                       faults: &mut FaultSummary,
+                       systems: &[SystemKind],
+                       cfg: &BenchConfig|
      -> Result<()> {
         for &kind in systems {
             let engine = inst.engine(kind);
             let ctx = Ctx::new(engine)?;
             let mut s = Series::new(format!("{kind} - {label_suffix}"));
-            measure_cell(cfg, &mut s, faults, "T1 vary app/curr sys", || tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+            measure_cell(cfg, &mut s, faults, "T1 vary app/curr sys", || {
+                tt::t1(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid))
+            });
             measure_cell(cfg, &mut s, faults, "T1 vary sys/curr app", || {
                 tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
             });
-            measure_cell(cfg, &mut s, faults, "T2 vary app/curr sys", || tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid)));
+            measure_cell(cfg, &mut s, faults, "T2 vary app/curr sys", || {
+                tt::t2(&ctx, SysSpec::Current, AppSpec::AsOf(p.app_mid))
+            });
             measure_cell(cfg, &mut s, faults, "T2 vary sys/curr app", || {
                 tt::t2(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
             });
@@ -80,11 +95,32 @@ pub fn fig3(cfg: &BenchConfig) -> Result<FigureReport> {
         Ok(())
     };
 
-    run_setting(&inst, "no index", &mut report, &mut faults, &SystemKind::ALL, cfg)?;
+    run_setting(
+        &inst,
+        "no index",
+        &mut report,
+        &mut faults,
+        &SystemKind::ALL,
+        cfg,
+    )?;
     inst.retune(&TuningConfig::time())?;
-    run_setting(&inst, "B-Tree", &mut report, &mut faults, &SystemKind::ALL, cfg)?;
+    run_setting(
+        &inst,
+        "B-Tree",
+        &mut report,
+        &mut faults,
+        &SystemKind::ALL,
+        cfg,
+    )?;
     inst.retune(&gist_tuning())?;
-    run_setting(&inst, "GiST", &mut report, &mut faults, &[SystemKind::D], cfg)?;
+    run_setting(
+        &inst,
+        "GiST",
+        &mut report,
+        &mut faults,
+        &[SystemKind::D],
+        cfg,
+    )?;
     report.note(
         "Expected shape (paper §5.3.2): limited index benefit overall; System C ignores \
          indexes entirely; GiST never beats the B-Tree.",
@@ -118,12 +154,24 @@ pub fn fig4(cfg: &BenchConfig) -> Result<FigureReport> {
         let x = format!("{} versions", inst.history.archive.transactions.len());
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            measure_cell(&step_cfg, &mut series[2 * i], &mut faults, x.clone(), || tt::t1(&ctx, sys_point, app_point));
+            measure_cell(
+                &step_cfg,
+                &mut series[2 * i],
+                &mut faults,
+                x.clone(),
+                || tt::t1(&ctx, sys_point, app_point),
+            );
         }
         inst.retune(&TuningConfig::time())?;
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
-            measure_cell(&step_cfg, &mut series[2 * i + 1], &mut faults, x.clone(), || tt::t1(&ctx, sys_point, app_point));
+            measure_cell(
+                &step_cfg,
+                &mut series[2 * i + 1],
+                &mut faults,
+                x.clone(),
+                || tt::t1(&ctx, sys_point, app_point),
+            );
         }
     }
     for s in series {
@@ -147,10 +195,30 @@ pub fn fig5(cfg: &BenchConfig) -> Result<FigureReport> {
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - no index"));
-        measure_cell(cfg, &mut s, &mut faults, "T6 app time slice over sys", || tt::t6(&ctx, Some(p.app_mid), p.sys_now));
-        measure_cell(cfg, &mut s, &mut faults, "T6 app slice (simulated app time)", || tt::t9(&ctx, SysSpec::All, p.app_mid, p.app_late));
-        measure_cell(cfg, &mut s, &mut faults, "T6 system time slice over app", || tt::t6(&ctx, None, p.sys_mid));
-        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || tt::t5_all(&ctx));
+        measure_cell(
+            cfg,
+            &mut s,
+            &mut faults,
+            "T6 app time slice over sys",
+            || tt::t6(&ctx, Some(p.app_mid), p.sys_now),
+        );
+        measure_cell(
+            cfg,
+            &mut s,
+            &mut faults,
+            "T6 app slice (simulated app time)",
+            || tt::t9(&ctx, SysSpec::All, p.app_mid, p.app_late),
+        );
+        measure_cell(
+            cfg,
+            &mut s,
+            &mut faults,
+            "T6 system time slice over app",
+            || tt::t6(&ctx, None, p.sys_mid),
+        );
+        measure_cell(cfg, &mut s, &mut faults, "T5 All Versions", || {
+            tt::t5_all(&ctx)
+        });
         report.add(s);
     }
     report.note("Expected shape (paper §5.3.4): slicing can be cheaper than point travel due to lower query complexity; indexes are of little use at these result sizes.");
@@ -171,8 +239,12 @@ pub fn fig6(cfg: &BenchConfig) -> Result<FigureReport> {
     for kind in [SystemKind::A, SystemKind::B, SystemKind::C] {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(kind.name());
-        measure_cell(cfg, &mut s, &mut faults, "Implicit", || tt::t7_implicit(&ctx));
-        measure_cell(cfg, &mut s, &mut faults, "Explicit", || tt::t7_explicit(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "Implicit", || {
+            tt::t7_implicit(&ctx)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "Explicit", || {
+            tt::t7_explicit(&ctx)
+        });
         report.add(s);
     }
     report.note(
@@ -250,9 +322,17 @@ fn key_dimension_points(
 ) -> Vec<(&'static str, SysSpec, AppSpec)> {
     vec![
         ("app time, curr sys", SysSpec::Current, AppSpec::All),
-        ("app time, past sys", SysSpec::AsOf(p.sys_initial), AppSpec::All),
+        (
+            "app time, past sys",
+            SysSpec::AsOf(p.sys_initial),
+            AppSpec::All,
+        ),
         ("both times", SysSpec::All, AppSpec::All),
-        ("sys time, curr app", SysSpec::All, AppSpec::AsOf(p.app_late)),
+        (
+            "sys time, curr app",
+            SysSpec::All,
+            AppSpec::AsOf(p.app_late),
+        ),
     ]
 }
 
@@ -272,7 +352,9 @@ pub fn fig8(cfg: &BenchConfig) -> Result<FigureReport> {
             let ctx = Ctx::new(inst.engine(kind))?;
             let mut s = Series::new(format!("{kind} - {label}"));
             for (x, sys, app) in key_dimension_points(&p) {
-                measure_cell(cfg, &mut s, &mut faults, format!("K1 {x}"), || key::k1(&ctx, &p.hot_customer, sys, app));
+                measure_cell(cfg, &mut s, &mut faults, format!("K1 {x}"), || {
+                    key::k1(&ctx, &p.hot_customer, sys, app)
+                });
             }
             report.add(s);
         }
@@ -297,12 +379,23 @@ pub fn fig9(cfg: &BenchConfig) -> Result<FigureReport> {
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - Key+Time"));
-        measure_cell(cfg, &mut s, &mut faults, "K2 (sys range)", || key::k2(&ctx, &p.hot_customer, sys_range, AppSpec::All));
-        measure_cell(cfg, &mut s, &mut faults, "K2 (app - system past)", || {
-            key::k2(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
+        measure_cell(cfg, &mut s, &mut faults, "K2 (sys range)", || {
+            key::k2(&ctx, &p.hot_customer, sys_range, AppSpec::All)
         });
-        measure_cell(cfg, &mut s, &mut faults, "K3 (sys range, 1 column)", || key::k3(&ctx, &p.hot_customer, sys_range, AppSpec::All));
-        measure_cell(cfg, &mut s, &mut faults, "K3 (both)", || key::k3(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All));
+        measure_cell(cfg, &mut s, &mut faults, "K2 (app - system past)", || {
+            key::k2(
+                &ctx,
+                &p.hot_customer,
+                SysSpec::AsOf(p.sys_initial),
+                AppSpec::All,
+            )
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K3 (sys range, 1 column)", || {
+            key::k3(&ctx, &p.hot_customer, sys_range, AppSpec::All)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K3 (both)", || {
+            key::k3(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
+        });
         report.add(s);
     }
     report.note(
@@ -326,10 +419,20 @@ pub fn fig10(cfg: &BenchConfig) -> Result<FigureReport> {
             key::k4(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All, 5)
         });
         measure_cell(cfg, &mut s, &mut faults, "K4 (Top-5, past sys)", || {
-            key::k4(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_mid), AppSpec::All, 5)
+            key::k4(
+                &ctx,
+                &p.hot_customer,
+                SysSpec::AsOf(p.sys_mid),
+                AppSpec::All,
+                5,
+            )
         });
-        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor)", || key::k5(&ctx, &p.hot_customer, p.sys_now));
-        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor, past)", || key::k5(&ctx, &p.hot_customer, p.sys_mid));
+        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor)", || {
+            key::k5(&ctx, &p.hot_customer, p.sys_now)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "K5 (predecessor, past)", || {
+            key::k5(&ctx, &p.hot_customer, p.sys_mid)
+        });
         report.add(s);
     }
     report.note(
@@ -350,17 +453,24 @@ pub fn fig11(cfg: &BenchConfig) -> Result<FigureReport> {
         value_index: vec![("customer".into(), "c_acctbal".into())],
         ..Default::default()
     };
-    for (tuning, label) in [(TuningConfig::none(), "no index"), (value_tuning, "Value index")] {
+    for (tuning, label) in [
+        (TuningConfig::none(), "no index"),
+        (value_tuning, "Value index"),
+    ] {
         inst.retune(&tuning)?;
         for kind in SystemKind::ALL {
             let ctx = Ctx::new(inst.engine(kind))?;
             let mut s = Series::new(format!("{kind} - {label}"));
             let (lo, hi) = p.acctbal_band;
-            measure_cell(cfg, &mut s, &mut faults, "K6 value, curr sys", || key::k6(&ctx, lo, hi, SysSpec::Current, AppSpec::All));
+            measure_cell(cfg, &mut s, &mut faults, "K6 value, curr sys", || {
+                key::k6(&ctx, lo, hi, SysSpec::Current, AppSpec::All)
+            });
             measure_cell(cfg, &mut s, &mut faults, "K6 value, past sys", || {
                 key::k6(&ctx, lo, hi, SysSpec::AsOf(p.sys_initial), AppSpec::All)
             });
-            measure_cell(cfg, &mut s, &mut faults, "K6 value, all sys", || key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All));
+            measure_cell(cfg, &mut s, &mut faults, "K6 value, all sys", || {
+                key::k6(&ctx, lo, hi, SysSpec::All, AppSpec::All)
+            });
             report.add(s);
         }
     }
@@ -390,7 +500,12 @@ pub fn fig12(cfg: &BenchConfig) -> Result<FigureReport> {
         for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
             let ctx = Ctx::new(inst.engine(kind))?;
             measure_cell(&step_cfg, &mut series[i], &mut faults, x.clone(), || {
-                key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(SysTime(2)), AppSpec::All)
+                key::k1(
+                    &ctx,
+                    &p.hot_customer,
+                    SysSpec::AsOf(SysTime(2)),
+                    AppSpec::All,
+                )
             });
         }
     }
@@ -447,15 +562,29 @@ pub fn fig14(cfg: &BenchConfig) -> Result<FigureReport> {
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(kind.name());
-        measure_cell(cfg, &mut s, &mut faults, "ALL (yardstick)", || tt::t5_all(&ctx));
+        measure_cell(cfg, &mut s, &mut faults, "ALL (yardstick)", || {
+            tt::t5_all(&ctx)
+        });
         measure_cell(cfg, &mut s, &mut faults, "R1", || range::r1(&ctx));
-        measure_cell(cfg, &mut s, &mut faults, "R2", || range::r2(&ctx, p.sys_now));
-        measure_cell(cfg, &mut s, &mut faults, "R3a (naive temporal agg)", || range::r3a_naive(&ctx, SysSpec::Current));
-        measure_cell(cfg, &mut s, &mut faults, "R3b (naive temporal agg)", || range::r3b_naive(&ctx, SysSpec::Current));
-        measure_cell(cfg, &mut s, &mut faults, "R3a (event sweep)", || range::r3a_sweep(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R2", || {
+            range::r2(&ctx, p.sys_now)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "R3a (naive temporal agg)", || {
+            range::r3a_naive(&ctx, SysSpec::Current)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "R3b (naive temporal agg)", || {
+            range::r3b_naive(&ctx, SysSpec::Current)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "R3a (event sweep)", || {
+            range::r3a_sweep(&ctx, SysSpec::Current)
+        });
         measure_cell(cfg, &mut s, &mut faults, "R4", || range::r4(&ctx));
-        measure_cell(cfg, &mut s, &mut faults, "R5 (temporal join)", || range::r5(&ctx, 5_000.0, 100_000.0));
-        measure_cell(cfg, &mut s, &mut faults, "R6 (join + temporal agg)", || range::r6(&ctx, SysSpec::Current));
+        measure_cell(cfg, &mut s, &mut faults, "R5 (temporal join)", || {
+            range::r5(&ctx, 5_000.0, 100_000.0)
+        });
+        measure_cell(cfg, &mut s, &mut faults, "R6 (join + temporal agg)", || {
+            range::r6(&ctx, SysSpec::Current)
+        });
         measure_cell(cfg, &mut s, &mut faults, "R7", || range::r7(&ctx));
         report.add(s);
     }
@@ -528,7 +657,10 @@ pub fn fig16(cfg: &BenchConfig) -> Result<FigureReport> {
     let t0 = std::time::Instant::now();
     let mut bulk = bitempo_engine::build_engine(SystemKind::D);
     bitempo_histgen::loader::bulk_load(bulk.as_mut(), &inst.history.db)?;
-    totals.push("System D (bulk load)", t0.elapsed().as_nanos() as f64 / 1_000_000.0);
+    totals.push(
+        "System D (bulk load)",
+        t0.elapsed().as_nanos() as f64 / 1_000_000.0,
+    );
     report.add(totals);
     report.note(
         "Expected shape (paper §5.8): System B's 97th percentile is far above its median \
@@ -565,15 +697,33 @@ pub fn table2(cfg: &BenchConfig) -> Result<FigureReport> {
     let mut report = FigureReport::new("table2", "Operations per Table", "count");
     type ColumnGetter<'a> = Box<dyn Fn(usize) -> f64 + 'a>;
     let columns: [(&str, ColumnGetter<'_>); 7] = [
-        ("App.Time Insert", Box::new(|i| stats.ops[i].app_insert as f64)),
-        ("App.Time Update", Box::new(|i| stats.ops[i].app_update as f64)),
-        ("Non-temp. Insert", Box::new(|i| stats.ops[i].nontemp_insert as f64)),
-        ("Non-temp. Update", Box::new(|i| stats.ops[i].nontemp_update as f64)),
+        (
+            "App.Time Insert",
+            Box::new(|i| stats.ops[i].app_insert as f64),
+        ),
+        (
+            "App.Time Update",
+            Box::new(|i| stats.ops[i].app_update as f64),
+        ),
+        (
+            "Non-temp. Insert",
+            Box::new(|i| stats.ops[i].nontemp_insert as f64),
+        ),
+        (
+            "Non-temp. Update",
+            Box::new(|i| stats.ops[i].nontemp_update as f64),
+        ),
         ("Delete", Box::new(|i| stats.ops[i].delete as f64)),
         ("History growth ratio", Box::new(|i| stats.growth_ratio(i))),
         (
             "Overwrite App.Time",
-            Box::new(|i| if stats.overwrites_app_time(i) { 1.0 } else { 0.0 }),
+            Box::new(|i| {
+                if stats.overwrites_app_time(i) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }),
         ),
     ];
     for (label, get) in &columns {
@@ -742,7 +892,9 @@ pub fn faults(cfg: &BenchConfig) -> Result<FigureReport> {
     for kind in SystemKind::ALL {
         let ctx = Ctx::new(inst.engine(kind))?;
         let mut s = Series::new(format!("{kind} - after recovery"));
-        measure_cell(cfg, &mut s, &mut tally, "T5 after panic recovery", || tt::t5_all(&ctx));
+        measure_cell(cfg, &mut s, &mut tally, "T5 after panic recovery", || {
+            tt::t5_all(&ctx)
+        });
         if s.errors.is_empty() {
             tally.recovered += 1;
         }
@@ -765,10 +917,79 @@ pub fn faults(cfg: &BenchConfig) -> Result<FigureReport> {
     Ok(report)
 }
 
+/// `explain`: one representative query per workload class (T, H, K, R, B),
+/// measured per engine with tracing forced on so every timing cell carries
+/// its access-path breakdown — which partition was read, whether an index
+/// or a full scan resolved it, and how many versions were visited, pruned,
+/// and emitted (the paper's §5 discussion, made inspectable). Also exports
+/// a chrome-trace JSON of one traced pass to `results/explain.trace.json`
+/// for about:tracing / Perfetto.
+pub fn explain(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::key_time())?;
+    let mut report = FigureReport::new(
+        "explain",
+        "Access-path explain: one query per class (key+time index)",
+        "µs",
+    );
+    let mut faults = FaultSummary::default();
+    let p = inst.params.clone();
+    let cfg = cfg.with_trace(true);
+    let mut combined = TraceLog::default();
+    for kind in SystemKind::ALL {
+        let engine = inst.engine(kind);
+        let ctx = Ctx::new(engine)?;
+        let mut s = Series::new(kind.to_string());
+        measure_cell(&cfg, &mut s, &mut faults, "T: T1 sys+app point", || {
+            tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid))
+        });
+        measure_cell(&cfg, &mut s, &mut faults, "H: TPC-H Q6 app travel", || {
+            tpch::run_query(&ctx, 6, &tpch::Tt::app(p.app_mid))
+        });
+        measure_cell(&cfg, &mut s, &mut faults, "K: K1 hot customer", || {
+            key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
+        });
+        measure_cell(&cfg, &mut s, &mut faults, "R: R1 audit range", || {
+            range::r1(&ctx)
+        });
+        measure_cell(&cfg, &mut s, &mut faults, "B: B3 point/point past", || {
+            bitemporal::b3_variant(&ctx, 2, 55, p.app_mid, p.sys_initial)
+        });
+        report.add(s);
+
+        // One extra traced pass per engine feeds the chrome-trace export;
+        // errors here were already footnoted by the measured cells above.
+        obs::enable();
+        let _ = tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid));
+        let _ = tpch::run_query(&ctx, 6, &tpch::Tt::app(p.app_mid));
+        let _ = key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All);
+        let _ = range::r1(&ctx);
+        let _ = bitemporal::b3_variant(&ctx, 2, 55, p.app_mid, p.sys_initial);
+        combined.merge(obs::disable());
+    }
+    if !combined.is_empty() {
+        let path = std::path::Path::new("results/explain.trace.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, combined.to_chrome_trace())?;
+        report.note(format!(
+            "Chrome-trace timeline written to {} (load in about:tracing or Perfetto).",
+            path.display()
+        ));
+    }
+    report.note(
+        "Read next to paper §5: T1 resolves via the time index where the engine exposes one, \
+         K1 via key lookup, R1/B3 fall back to partition scans; the breakdown shows which \
+         partitions each architecture touches and how many versions it prunes.",
+    );
+    report.faults = faults;
+    Ok(report)
+}
+
 /// All experiment ids in run order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1", "table2", "arch", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "faults",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "faults", "explain",
 ];
 
 /// Runs one experiment by id (fig15/fig16 run at small scale
@@ -796,6 +1017,7 @@ pub fn run_experiment(id: &str, cfg: &BenchConfig) -> Result<FigureReport> {
         "fig16" => fig16(cfg),
         "scaling" => scaling(cfg),
         "faults" => faults(cfg),
+        "explain" => explain(cfg),
         other => Err(bitempo_core::Error::Invalid(format!(
             "unknown experiment {other}"
         ))),
@@ -815,7 +1037,28 @@ mod tests {
             batch_size: 1,
             workers: 2,
             query_timeout_millis: crate::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
+            trace: false,
         }
+    }
+
+    #[test]
+    fn explain_reports_access_paths_for_every_engine() {
+        let r = explain(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 4, "one series per system");
+        for s in &r.series {
+            assert_eq!(s.points.len(), 5, "one cell per query class: {}", s.label);
+            assert!(s.errors.is_empty(), "{}: {:?}", s.label, s.errors);
+            // Tracing is forced on, so every cell carries a breakdown.
+            assert_eq!(s.breakdowns.len(), 5, "{}", s.label);
+            for (x, rows) in &s.breakdowns {
+                assert!(!rows.is_empty(), "{} at {x} has no access rows", s.label);
+            }
+        }
+        let md = r.to_markdown();
+        assert!(md.contains("#### Access paths"), "{md}");
+        // The traced pass exported a loadable chrome trace.
+        let trace = std::fs::read_to_string("results/explain.trace.json").unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
     }
 
     #[test]
@@ -860,7 +1103,10 @@ mod tests {
         assert_eq!(r.faults.recovered, 6, "{:?}", r.faults);
         let md = r.to_markdown();
         assert!(md.contains("ERR"), "{md}");
-        assert!(md.contains("faults: 7 injected / 6 detected / 6 recovered"), "{md}");
+        assert!(
+            md.contains("faults: 7 injected / 6 detected / 6 recovered"),
+            "{md}"
+        );
     }
 
     #[test]

@@ -1,6 +1,64 @@
 //! Figure/table data structures and markdown rendering.
 
+use bitempo_core::obs::ScanTrace;
 use std::fmt;
+
+/// One aggregated access-path line for a measured cell: what one
+/// `(table, partition, access path)` combination did during the query —
+/// the per-cell EXPLAIN the paper reads next to every timing (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRow {
+    /// Table name.
+    pub table: String,
+    /// Physical partition label ("current", "history", "staging", "all").
+    pub partition: String,
+    /// Rendered access path ("full-scan(1)", "btree(ix_...)", ...).
+    pub access: String,
+    /// How many times this combination was scanned during the query.
+    pub scans: u64,
+    /// Version records examined.
+    pub rows_visited: u64,
+    /// Qualifying rows emitted.
+    pub rows_emitted: u64,
+    /// Examined versions rejected by temporal specs or predicates.
+    pub versions_pruned: u64,
+    /// Slots resolved through index probes.
+    pub index_probes: u64,
+}
+
+impl AccessRow {
+    /// Aggregates raw per-partition scan traces by
+    /// `(table, partition, access)`, summing the work counters, in
+    /// first-seen order.
+    pub fn aggregate(scans: &[ScanTrace]) -> Vec<AccessRow> {
+        let mut out: Vec<AccessRow> = Vec::new();
+        for t in scans {
+            let found = out
+                .iter_mut()
+                .find(|r| r.table == t.table && r.partition == t.partition && r.access == t.access);
+            match found {
+                Some(r) => {
+                    r.scans += 1;
+                    r.rows_visited += t.rows_visited;
+                    r.rows_emitted += t.rows_emitted;
+                    r.versions_pruned += t.versions_pruned;
+                    r.index_probes += t.index_probes;
+                }
+                None => out.push(AccessRow {
+                    table: t.table.clone(),
+                    partition: t.partition.clone(),
+                    access: t.access.clone(),
+                    scans: 1,
+                    rows_visited: t.rows_visited,
+                    rows_emitted: t.rows_emitted,
+                    versions_pruned: t.versions_pruned,
+                    index_probes: t.index_probes,
+                }),
+            }
+        }
+        out
+    }
+}
 
 /// One measured series (one line/bar group in a paper figure).
 #[derive(Debug, Clone)]
@@ -14,6 +72,9 @@ pub struct Series {
     /// list carries a NaN placeholder at the same x, so cardinalities and
     /// label order stay consistent with clean runs.
     pub errors: Vec<(String, String)>,
+    /// `(x label, access-path breakdown)` for cells measured with tracing
+    /// on; rendered as a sub-table under the timing table.
+    pub breakdowns: Vec<(String, Vec<AccessRow>)>,
 }
 
 impl Series {
@@ -23,6 +84,7 @@ impl Series {
             label: label.into(),
             points: Vec::new(),
             errors: Vec::new(),
+            breakdowns: Vec::new(),
         }
     }
 
@@ -37,6 +99,11 @@ impl Series {
         let x = x.into();
         self.points.push((x.clone(), f64::NAN));
         self.errors.push((x, message.into()));
+    }
+
+    /// Attaches the access-path breakdown of a measured cell.
+    pub fn push_breakdown(&mut self, x: impl Into<String>, rows: Vec<AccessRow>) {
+        self.breakdowns.push((x.into(), rows));
     }
 }
 
@@ -173,6 +240,32 @@ impl FigureReport {
         for note in &self.notes {
             out.push_str(&format!("\n> {note}\n"));
         }
+        if self.series.iter().any(|s| !s.breakdowns.is_empty()) {
+            out.push_str("\n#### Access paths\n\n");
+            out.push_str(
+                "| series | query | table/partition | access | scans | visited | emitted | pruned | probes |\n",
+            );
+            out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+            for s in &self.series {
+                for (x, rows) in &s.breakdowns {
+                    for r in rows {
+                        out.push_str(&format!(
+                            "| {} | {} | {}/{} | {} | {} | {} | {} | {} | {} |\n",
+                            s.label,
+                            x,
+                            r.table,
+                            r.partition,
+                            r.access,
+                            r.scans,
+                            r.rows_visited,
+                            r.rows_emitted,
+                            r.versions_pruned,
+                            r.index_probes
+                        ));
+                    }
+                }
+            }
+        }
         out.push('\n');
         out
     }
@@ -202,7 +295,10 @@ mod tests {
         let md = r.to_markdown();
         assert!(md.contains("### fig2 — Basic Time Travel"));
         assert!(md.contains("| T1 app | 10.0 | 30.0 |"));
-        assert!(md.contains("| T1 sys | 20.5 | — |"), "missing point renders as dash:\n{md}");
+        assert!(
+            md.contains("| T1 sys | 20.5 | — |"),
+            "missing point renders as dash:\n{md}"
+        );
         assert!(md.contains("> B pays for reconstruction."));
     }
 
@@ -222,9 +318,71 @@ mod tests {
         assert!(md.contains("| Q1 | 12.0 |"), "{md}");
         assert!(md.contains("| Q2 | ERR |"), "{md}");
         assert!(md.contains("⚠ System A at Q2: query exceeded"), "{md}");
-        assert!(md.contains("> faults: 1 injected / 1 detected / 1 recovered"), "{md}");
+        assert!(
+            md.contains("> faults: 1 injected / 1 detected / 1 recovered"),
+            "{md}"
+        );
         // Error cells still count as points, keeping shapes uniform.
         assert_eq!(r.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn access_breakdown_aggregates_and_renders() {
+        let scan = |partition: &str, access: &str, visited: u64, emitted: u64| ScanTrace {
+            engine: "System A".into(),
+            table: "lineitem".into(),
+            partition: partition.into(),
+            access: access.into(),
+            rows_visited: visited,
+            rows_emitted: emitted,
+            versions_pruned: visited - emitted,
+            index_probes: 0,
+            morsels: 1,
+            workers: 1,
+            start_nanos: 0,
+            dur_nanos: 10,
+        };
+        // Two scans of the same (table, partition, access) collapse into one
+        // row with summed counters; a different partition stays separate.
+        let rows = AccessRow::aggregate(&[
+            scan("current", "full-scan(1)", 100, 40),
+            scan("current", "full-scan(1)", 50, 10),
+            scan("history", "btree(ix_sys)", 7, 7),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scans, 2);
+        assert_eq!(rows[0].rows_visited, 150);
+        assert_eq!(rows[0].rows_emitted, 50);
+        assert_eq!(rows[0].versions_pruned, 100);
+        assert_eq!(rows[1].partition, "history");
+        assert_eq!(rows[1].access, "btree(ix_sys)");
+
+        let mut r = FigureReport::new("explain", "Access paths", "µs");
+        let mut s = Series::new("System A");
+        s.push("T1", 12.0);
+        s.push_breakdown("T1", rows);
+        r.add(s);
+        let md = r.to_markdown();
+        assert!(md.contains("#### Access paths"), "{md}");
+        assert!(
+            md.contains(
+                "| System A | T1 | lineitem/current | full-scan(1) | 2 | 150 | 50 | 100 | 0 |"
+            ),
+            "{md}"
+        );
+        assert!(
+            md.contains("| System A | T1 | lineitem/history | btree(ix_sys) | 1 | 7 | 7 | 0 | 0 |"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn reports_without_breakdowns_omit_access_table() {
+        let mut r = FigureReport::new("fig2", "t", "µs");
+        let mut s = Series::new("s");
+        s.push("a", 1.0);
+        r.add(s);
+        assert!(!r.to_markdown().contains("Access paths"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Instance building and latency measurement.
 
-use crate::report::{FaultSummary, Series};
+use crate::report::{AccessRow, FaultSummary, Series};
 use bitempo_core::fault::panic_message;
+use bitempo_core::obs::{self, TraceLog};
 use bitempo_core::{Error, Result, Row, TableDef, TemporalClass};
 use bitempo_dbgen::{ScaleConfig, TpchData};
 use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
@@ -34,6 +35,12 @@ pub struct BenchConfig {
     /// with [`Error::QueryTimeout`]. `0` is the deterministic fault hook:
     /// every query exceeds a zero budget, so the first repetition times out.
     pub query_timeout_millis: u64,
+    /// Collect access-path traces and operator spans for the *kept*
+    /// repetitions ([`measure_traced`]): the bench reports render a
+    /// per-cell access-path breakdown from them. Tracing is thread-local
+    /// and off outside the traced repetitions; disabling it makes
+    /// [`measure_traced`] behave exactly like [`measure`].
+    pub trace: bool,
 }
 
 impl BenchConfig {
@@ -49,6 +56,7 @@ impl BenchConfig {
             batch_size: 1,
             workers: bitempo_engine::api::default_workers(),
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
+            trace: true,
         }
     }
 
@@ -64,6 +72,7 @@ impl BenchConfig {
             batch_size: 1,
             workers: bitempo_engine::api::default_workers(),
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
+            trace: true,
         }
     }
 
@@ -87,6 +96,13 @@ impl BenchConfig {
     #[must_use]
     pub fn with_timeout(mut self, millis: u64) -> BenchConfig {
         self.query_timeout_millis = millis;
+        self
+    }
+
+    /// This configuration with access-path tracing on or off.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> BenchConfig {
+        self.trace = trace;
         self
     }
 }
@@ -131,7 +147,8 @@ impl Instance {
             let t0 = Instant::now();
             let ids = loader::load_initial(engine.as_mut(), &data)?;
             initial_load_nanos.push((kind, t0.elapsed().as_nanos() as u64));
-            let report = loader::replay(engine.as_mut(), &ids, &history.archive, config.batch_size)?;
+            let report =
+                loader::replay(engine.as_mut(), &ids, &history.archive, config.batch_size)?;
             engine.checkpoint();
             engine.apply_tuning(tuning)?;
             engines.push((kind, engine));
@@ -227,18 +244,41 @@ impl Measurement {
 /// the config's wall-clock budget ([`Error::QueryTimeout`] on overrun).
 /// Either way the caller gets a typed error for this one cell instead of a
 /// torn-down process.
-pub fn measure<F>(config: &BenchConfig, mut run: F) -> Result<Measurement>
+pub fn measure<F>(config: &BenchConfig, run: F) -> Result<Measurement>
+where
+    F: FnMut() -> Result<Vec<Row>>,
+{
+    measure_traced(&config.with_trace(false), run).map(|(m, _)| m)
+}
+
+/// [`measure`] plus observability: when the config's `trace` flag is set,
+/// each *kept* repetition runs with [`obs`] tracing enabled and its
+/// [`TraceLog`] (access-path traces + operator spans) is returned alongside
+/// the measurement, in repetition order. Warm-up repetitions are never
+/// traced. Tracing is always disabled again before returning — including on
+/// the error paths — so a failed cell cannot leak an enabled recorder into
+/// the next one.
+pub fn measure_traced<F>(config: &BenchConfig, mut run: F) -> Result<(Measurement, Vec<TraceLog>)>
 where
     F: FnMut() -> Result<Vec<Row>>,
 {
     let budget_nanos = config.query_timeout_millis.saturating_mul(1_000_000);
     let mut kept = Vec::with_capacity(config.repetitions);
+    let mut logs = Vec::with_capacity(if config.trace { config.repetitions } else { 0 });
     let mut rows = 0;
     for rep in 0..(config.discard + config.repetitions) {
+        let traced = config.trace && rep >= config.discard;
+        if traced {
+            obs::enable();
+        }
         let t0 = Instant::now();
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut run))
-            .map_err(|payload| Error::Panicked(panic_message(payload.as_ref())))??;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut run))
+            .map_err(|payload| Error::Panicked(panic_message(payload.as_ref())));
         let nanos = t0.elapsed().as_nanos() as u64;
+        if traced {
+            logs.push(obs::disable());
+        }
+        let out = result??;
         if nanos > budget_nanos {
             return Err(Error::QueryTimeout {
                 millis: config.query_timeout_millis,
@@ -250,16 +290,24 @@ where
         }
     }
     kept.sort_unstable();
-    Ok(Measurement {
-        median_nanos: kept[kept.len() / 2],
-        rows,
-    })
+    Ok((
+        Measurement {
+            median_nanos: kept[kept.len() / 2],
+            rows,
+        },
+        logs,
+    ))
 }
 
 /// Measures one report cell with graceful degradation: a successful run
 /// pushes its median latency onto `series`; a failed one (panic, timeout,
 /// injected fault, engine error) records an error cell instead and bumps
 /// the experiment's fault tallies, so the rest of the figure still renders.
+///
+/// When the config's `trace` flag is set, the cell's access-path breakdown
+/// (aggregated from the last kept repetition — access-path choices and work
+/// counters are deterministic across repetitions) is attached to the series
+/// and rendered under the figure's timing table.
 pub fn measure_cell<F>(
     config: &BenchConfig,
     series: &mut Series,
@@ -270,8 +318,16 @@ pub fn measure_cell<F>(
     F: FnMut() -> Result<Vec<Row>>,
 {
     let x = x.into();
-    match measure(config, run) {
-        Ok(m) => series.push(x.clone(), m.micros()),
+    match measure_traced(config, run) {
+        Ok((m, logs)) => {
+            series.push(x.clone(), m.micros());
+            if let Some(log) = logs.last() {
+                let breakdown = AccessRow::aggregate(&log.scans);
+                if !breakdown.is_empty() {
+                    series.push_breakdown(x, breakdown);
+                }
+            }
+        }
         Err(e) => {
             faults.detected += 1;
             faults.recovered += 1;
@@ -303,6 +359,7 @@ mod tests {
             batch_size: 1,
             workers: 2,
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
+            trace: true,
         }
     }
 
@@ -337,12 +394,8 @@ mod tests {
     #[test]
     fn nontemporal_baseline_matches_snapshot() {
         let inst = Instance::build(&tiny(), &TuningConfig::none()).unwrap();
-        let baselines = build_nontemporal_baseline(
-            &inst,
-            &SysSpec::Current,
-            &AppSpec::All,
-        )
-        .unwrap();
+        let baselines =
+            build_nontemporal_baseline(&inst, &SysSpec::Current, &AppSpec::All).unwrap();
         let orders_idx = inst.history.db.table_index("orders").unwrap();
         let expected = inst
             .history
@@ -373,12 +426,9 @@ mod tests {
         let inst = Instance::build(&tiny(), &TuningConfig::none()).unwrap();
         let p = &inst.params;
         let tt = tpch::Tt::app(p.app_mid);
-        let baselines = build_nontemporal_baseline(
-            &inst,
-            &SysSpec::Current,
-            &AppSpec::AsOf(p.app_mid),
-        )
-        .unwrap();
+        let baselines =
+            build_nontemporal_baseline(&inst, &SysSpec::Current, &AppSpec::AsOf(p.app_mid))
+                .unwrap();
         for kind in bitempo_engine::SystemKind::ALL {
             let t_ctx = Ctx::new(inst.engine(kind)).unwrap();
             let b_ctx = baselines
@@ -429,12 +479,20 @@ mod tests {
         measure_cell(&cfg, &mut series, &mut faults, "Q1", || {
             Ok(vec![Row::new(vec![bitempo_core::Value::Int(1)])])
         });
-        measure_cell(&cfg, &mut series, &mut faults, "Q2", || -> Result<Vec<Row>> {
-            panic!("injected")
-        });
+        measure_cell(
+            &cfg,
+            &mut series,
+            &mut faults,
+            "Q2",
+            || -> Result<Vec<Row>> { panic!("injected") },
+        );
         assert_eq!(series.points.len(), 2);
         assert_eq!(series.errors.len(), 1);
-        assert!(series.errors[0].1.contains("injected"), "{:?}", series.errors);
+        assert!(
+            series.errors[0].1.contains("injected"),
+            "{:?}",
+            series.errors
+        );
         assert_eq!(faults.detected, 1);
         assert_eq!(faults.recovered, 1);
     }

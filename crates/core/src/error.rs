@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn retryability_classification() {
         assert!(Error::QueryTimeout { millis: 5 }.is_retryable());
-        assert!(Error::WorkerPanicked { morsel: 3, message: "x".into() }.is_retryable());
+        assert!(Error::WorkerPanicked {
+            morsel: 3,
+            message: "x".into()
+        }
+        .is_retryable());
         assert!(Error::Panicked("x".into()).is_retryable());
         assert!(!Error::Archive("corrupt".into()).is_retryable());
         assert!(!Error::UnknownTable("t".into()).is_retryable());

@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn bit_flip_corrupts_exactly_one_byte() {
         let data = [0u8; 32];
-        let plan = FaultPlan::none().with(FaultKind::BitFlip { offset: 17, mask: 0x40 });
+        let plan = FaultPlan::none().with(FaultKind::BitFlip {
+            offset: 17,
+            mask: 0x40,
+        });
         let mut r = FaultyReader::new(&data[..], plan);
         let mut out = Vec::new();
         r.read_to_end(&mut out).unwrap();
@@ -340,7 +343,10 @@ mod tests {
 
     #[test]
     fn writer_injects_flip_and_truncation() {
-        let plan = FaultPlan::none().with(FaultKind::BitFlip { offset: 2, mask: 0xFF });
+        let plan = FaultPlan::none().with(FaultKind::BitFlip {
+            offset: 2,
+            mask: 0xFF,
+        });
         let mut w = FaultyWriter::new(Vec::new(), plan);
         w.write_all(&[0, 0, 0, 0]).unwrap();
         assert_eq!(w.injected(), 1);

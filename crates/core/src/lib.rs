@@ -27,6 +27,7 @@ pub mod date;
 pub mod error;
 pub mod fault;
 pub mod key;
+pub mod obs;
 pub mod rng;
 pub mod row;
 pub mod schema;

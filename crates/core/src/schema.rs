@@ -229,7 +229,13 @@ mod tests {
 
     #[test]
     fn table_def_validation() {
-        let ok = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"));
+        let ok = TableDef::new(
+            "t",
+            schema(),
+            vec![0],
+            TemporalClass::Bitemporal,
+            Some("vt"),
+        );
         assert!(ok.is_ok());
         let bad_key = TableDef::new("t", schema(), vec![9], TemporalClass::NonTemporal, None);
         assert!(bad_key.is_err());
@@ -239,8 +245,14 @@ mod tests {
 
     #[test]
     fn scan_schema_appends_periods() {
-        let bt = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"))
-            .unwrap();
+        let bt = TableDef::new(
+            "t",
+            schema(),
+            vec![0],
+            TemporalClass::Bitemporal,
+            Some("vt"),
+        )
+        .unwrap();
         let names: Vec<_> = bt
             .scan_schema()
             .columns()
@@ -249,7 +261,15 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["id", "name", "price", "app_start", "app_end", "sys_start", "sys_end"]
+            vec![
+                "id",
+                "name",
+                "price",
+                "app_start",
+                "app_end",
+                "sys_start",
+                "sys_end"
+            ]
         );
 
         let nt = TableDef::new("t", schema(), vec![0], TemporalClass::NonTemporal, None).unwrap();
@@ -267,8 +287,14 @@ mod tests {
 
     #[test]
     fn temporal_class_predicates() {
-        let bt = TableDef::new("t", schema(), vec![0], TemporalClass::Bitemporal, Some("vt"))
-            .unwrap();
+        let bt = TableDef::new(
+            "t",
+            schema(),
+            vec![0],
+            TemporalClass::Bitemporal,
+            Some("vt"),
+        )
+        .unwrap();
         assert!(bt.has_app_time() && bt.has_system_time());
         let deg = TableDef::new("t", schema(), vec![0], TemporalClass::Degenerate, None).unwrap();
         assert!(!deg.has_app_time() && deg.has_system_time());

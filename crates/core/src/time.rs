@@ -259,7 +259,10 @@ mod tests {
     #[test]
     fn difference_splits() {
         // portion strictly inside: two residues
-        assert_eq!(p(0, 10).difference(&p(3, 7)), (Some(p(0, 3)), Some(p(7, 10))));
+        assert_eq!(
+            p(0, 10).difference(&p(3, 7)),
+            (Some(p(0, 3)), Some(p(7, 10)))
+        );
         // portion covers start: right residue only
         assert_eq!(p(0, 10).difference(&p(0, 7)), (None, Some(p(7, 10))));
         // portion covers everything: nothing left

@@ -263,14 +263,23 @@ mod tests {
     fn column_constants_match_schema() {
         let defs = table_defs();
         let orders = defs.iter().find(|d| d.name == "orders").unwrap();
-        assert_eq!(orders.schema.col("o_totalprice").unwrap(), col::orders::TOTALPRICE);
+        assert_eq!(
+            orders.schema.col("o_totalprice").unwrap(),
+            col::orders::TOTALPRICE
+        );
         assert_eq!(
             orders.schema.col("o_receivable_end").unwrap(),
             col::orders::RECEIVABLE_END
         );
         let li = defs.iter().find(|d| d.name == "lineitem").unwrap();
-        assert_eq!(li.schema.col("l_receiptdate").unwrap(), col::lineitem::RECEIPTDATE);
-        assert_eq!(li.key, vec![col::lineitem::ORDERKEY, col::lineitem::LINENUMBER]);
+        assert_eq!(
+            li.schema.col("l_receiptdate").unwrap(),
+            col::lineitem::RECEIPTDATE
+        );
+        assert_eq!(
+            li.key,
+            vec![col::lineitem::ORDERKEY, col::lineitem::LINENUMBER]
+        );
         let ps = defs.iter().find(|d| d.name == "partsupp").unwrap();
         assert_eq!(ps.key, vec![0, 1]);
     }

@@ -370,14 +370,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&ScaleConfig {
-            h: 0.001,
-            seed: 1,
-        });
-        let b = generate(&ScaleConfig {
-            h: 0.001,
-            seed: 2,
-        });
+        let a = generate(&ScaleConfig { h: 0.001, seed: 1 });
+        let b = generate(&ScaleConfig { h: 0.001, seed: 2 });
         assert_ne!(a.table("customer").rows, b.table("customer").rows);
     }
 
@@ -424,7 +418,11 @@ mod tests {
         let mut o = 0;
         let mut p = 0;
         for (row, app) in &d.table("orders").rows {
-            let status = row.get(col::orders::ORDERSTATUS).as_str().unwrap().to_string();
+            let status = row
+                .get(col::orders::ORDERSTATUS)
+                .as_str()
+                .unwrap()
+                .to_string();
             let app = app.expect("orders is bitemporal");
             match status.as_str() {
                 "F" => {

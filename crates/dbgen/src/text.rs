@@ -7,10 +7,38 @@ use bitempo_core::Pcg32;
 /// includes every color referenced by the TPC-H query parameters we use,
 /// e.g. Q9's "green" and Q20's "forest").
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "forest",
-    "frosted", "green", "honeydew", "hot", "indian",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "forest",
+    "frosted",
+    "green",
+    "honeydew",
+    "hot",
+    "indian",
 ];
 
 /// P_TYPE syllables.
@@ -29,7 +57,13 @@ pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// C_MKTSEGMENT values.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// L_SHIPINSTRUCT values.
 pub const INSTRUCTIONS: [&str; 4] = [
@@ -76,11 +110,30 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Filler nouns for comment synthesis.
 const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto",
-    "instructions", "dependencies", "excuses", "platelets",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
 ];
 const VERBS: [&str; 10] = [
-    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "engage", "wake",
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "cajole",
+    "boost",
+    "detect",
+    "integrate",
+    "engage",
+    "wake",
 ];
 const ADJECTIVES: [&str; 10] = [
     "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet", "ruthless", "final",
@@ -204,7 +257,10 @@ mod tests {
         let complaints = (0..2000)
             .filter(|_| supplier_comment(&mut rng).contains("Complaints"))
             .count();
-        assert!((10..100).contains(&complaints), "complaints rate: {complaints}/2000");
+        assert!(
+            (10..100).contains(&complaints),
+            "complaints rate: {complaints}/2000"
+        );
     }
 
     #[test]

@@ -125,6 +125,19 @@ pub enum AccessPath {
     KeyLookup(String),
 }
 
+impl std::fmt::Display for AccessPath {
+    /// Compact EXPLAIN-style rendering, used by access-path traces and the
+    /// bench report breakdown tables.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPath::FullScan { partitions } => write!(f, "full-scan({partitions})"),
+            AccessPath::IndexScan(name) => write!(f, "btree({name})"),
+            AccessPath::GistScan(name) => write!(f, "gist({name})"),
+            AccessPath::KeyLookup(name) => write!(f, "key-lookup({name})"),
+        }
+    }
+}
+
 /// Index families available to the tuning study (paper §5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexKind {

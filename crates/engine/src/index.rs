@@ -11,7 +11,7 @@
 
 use crate::api::IndexKind;
 use crate::version::Version;
-use bitempo_core::{SysTime, Value};
+use bitempo_core::{obs, SysTime, Value};
 use bitempo_storage::{BPlusTree, RTree, Rect};
 use std::ops::Bound;
 
@@ -122,6 +122,7 @@ impl OrderedIndex {
     /// Slots whose *first* index column lies in `(lo, hi)`. Composite
     /// suffix columns are not constrained (callers re-filter).
     pub fn probe_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u64> {
+        let mut span = obs::span_dyn("index", || format!("probe_range {}", self.def.name));
         // Translate single-column bounds to composite-key bounds. For the
         // upper bound we must admit any suffix, so an Included(v) bound
         // becomes "keys < [v, +inf...]" which for our comparator is
@@ -161,22 +162,22 @@ impl OrderedIndex {
             }
             out.push(*slot);
         }
+        span.arg_with("hits", || out.len().to_string());
         out
     }
 
     /// Slots matching an exact composite prefix `key`.
     pub fn probe_prefix(&self, key: &[Value]) -> Vec<u64> {
+        let mut span = obs::span_dyn("index", || format!("probe_prefix {}", self.def.name));
         let lo: Vec<Value> = key.to_vec();
         let mut out = Vec::new();
-        for (k, slot) in self
-            .tree
-            .range((Bound::Included(&lo), Bound::Unbounded))
-        {
+        for (k, slot) in self.tree.range((Bound::Included(&lo), Bound::Unbounded)) {
             if k.len() < key.len() || k[..key.len()] != *key {
                 break;
             }
             out.push(*slot);
         }
+        span.arg_with("hits", || out.len().to_string());
         out
     }
 
@@ -255,7 +256,10 @@ impl GistIndex {
 
     /// Slots whose rectangle intersects the query window.
     pub fn probe(&self, query: &Rect) -> Vec<u64> {
-        self.tree.search(query)
+        let mut span = obs::span_dyn("index", || format!("gist_probe {}", self.name));
+        let out = self.tree.search(query);
+        span.arg_with("hits", || out.len().to_string());
+        out
     }
 
     /// Number of indexed entries.
@@ -278,10 +282,7 @@ mod tests {
         Version {
             row: Row::new(vec![Value::Int(id), Value::str("payload")]),
             app: AppPeriod::new(AppDate(app.0), AppDate(app.1)),
-            sys: SysPeriod::new(
-                SysTime(sys.0),
-                sys.1.map_or(SysTime::MAX, SysTime),
-            ),
+            sys: SysPeriod::new(SysTime(sys.0), sys.1.map_or(SysTime::MAX, SysTime)),
         }
     }
 
@@ -320,10 +321,7 @@ mod tests {
         for i in 0..5 {
             idx.insert(&version(i, (0, 10), (0, None)), i as u64);
         }
-        let hits = idx.probe_range(
-            Bound::Excluded(&Value::Int(2)),
-            Bound::Unbounded,
-        );
+        let hits = idx.probe_range(Bound::Excluded(&Value::Int(2)), Bound::Unbounded);
         assert_eq!(hits, vec![3, 4]);
     }
 
@@ -410,6 +408,39 @@ mod tests {
         let q = Rect::point(100, 100);
         assert_eq!(g.probe(&q), vec![2]);
         assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn gist_probe_respects_half_open_boundaries() {
+        let mut g = GistIndex::new("gist_b");
+        // App period [10, 20), sys period [2, 5).
+        g.insert(&version(1, (10, 20), (2, Some(5))), 1);
+
+        // A version ending exactly at the query start must not match:
+        // app query window starting at day 20 ([20, 20] after conversion).
+        assert!(g.probe(&Rect::new(20, 20, 3, 3)).is_empty());
+        // ... and the last contained day does.
+        assert_eq!(g.probe(&Rect::new(19, 19, 3, 3)), vec![1]);
+        // Same on the system axis: sys time 5 is outside [2, 5).
+        assert!(g.probe(&Rect::new(12, 12, 5, 5)).is_empty());
+        assert_eq!(g.probe(&Rect::new(12, 12, 4, 4)), vec![1]);
+
+        // A query range ending exactly at the version start must not match
+        // either: app range [5, 10) converts to [5, 9].
+        assert!(g.probe(&Rect::new(5, 9, 3, 3)).is_empty());
+        assert_eq!(g.probe(&Rect::new(5, 10, 3, 3)), vec![1]);
+    }
+
+    #[test]
+    fn gist_probe_empty_query_range_matches_nothing() {
+        let mut g = GistIndex::new("gist_e");
+        g.insert(&version(1, (0, 100), (0, None)), 1);
+        // An empty app range [15, 15) converts to the inverted [15, 14];
+        // before Rect::is_empty gating this spuriously matched any version
+        // straddling day 15.
+        let q = Rect::new(15, 14, 0, i64::MAX - 1);
+        assert!(q.is_empty());
+        assert!(g.probe(&q).is_empty(), "empty period: no versions qualify");
     }
 
     #[test]

@@ -19,9 +19,9 @@
 
 pub mod api;
 pub mod catalog;
+pub mod index;
 pub mod morsel;
 pub mod rowscan;
-pub mod index;
 pub mod sequenced;
 pub mod system_a;
 pub mod system_b;

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bitempo_core::fault::panic_message;
-use bitempo_core::{Error, Result};
+use bitempo_core::{obs, Error, Result};
 
 /// Rows per morsel. Small enough to load-balance skewed partitions, large
 /// enough that the per-morsel dispatch cost is negligible; partitions below
@@ -98,7 +98,12 @@ pub fn morsel_ranges(units: usize) -> Vec<Range<usize>> {
 
 /// Runs one morsel under panic containment, returning its rows and metrics
 /// or a [`Error::WorkerPanicked`] naming the morsel.
-fn run_one<T, F>(index: usize, range: Range<usize>, exec: MorselExec, scan: &F) -> Result<(Vec<T>, ScanMetrics)>
+fn run_one<T, F>(
+    index: usize,
+    range: Range<usize>,
+    exec: MorselExec,
+    scan: &F,
+) -> Result<(Vec<T>, ScanMetrics)>
 where
     F: Fn(Range<usize>, &mut Vec<T>, &mut ScanMetrics) + Sync,
 {
@@ -141,6 +146,12 @@ where
         ..ScanMetrics::default()
     };
     let workers = exec.workers.max(1).min(morsels.len().max(1));
+    // Worker threads never record (their thread-local recorders stay
+    // disabled); this span on the coordinating thread times the whole
+    // dispatch, so traces are identical for every worker count.
+    let mut morsel_span = obs::span("exec", "run_morsels");
+    morsel_span.arg_with("morsels", || morsels.len().to_string());
+    morsel_span.arg_with("workers", || workers.to_string());
 
     if workers == 1 {
         let mut rows = Vec::new();

@@ -11,9 +11,52 @@ use crate::api::{AccessPath, AppSpec, ColRange, SysSpec};
 use crate::index::{GistIndex, IndexedCol, OrderedIndex};
 use crate::morsel::{run_morsels, MorselExec, ScanMetrics};
 use crate::version::Version;
-use bitempo_core::{Result, Row, SysTime, TableDef, Value};
+use bitempo_core::{obs, Result, Row, SysTime, TableDef, Value};
 use bitempo_storage::{Heap, Rect};
 use std::ops::{Bound, Range};
+
+/// Identifies where a partition scan runs, for access-path traces: which
+/// engine, table, and physical partition. Plain borrowed labels — building
+/// one costs nothing, so engines pass it unconditionally.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanSite<'a> {
+    /// Engine display name ("System A" .. "System D").
+    pub engine: &'a str,
+    /// Table name.
+    pub table: &'a str,
+    /// Physical partition label ("current", "history", "staging", "all").
+    pub partition: &'a str,
+}
+
+impl ScanSite<'_> {
+    /// Records one [`obs::ScanTrace`] for this site from counter deltas.
+    /// No-op (and no allocation) while tracing is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        access: &AccessPath,
+        delta: ScanMetrics,
+        rows_emitted: u64,
+        workers: usize,
+        start_nanos: u64,
+        dur_nanos: u64,
+    ) {
+        obs::record_scan(|| obs::ScanTrace {
+            engine: self.engine.to_string(),
+            table: self.table.to_string(),
+            partition: self.partition.to_string(),
+            access: access.to_string(),
+            rows_visited: delta.rows_visited,
+            rows_emitted,
+            versions_pruned: delta.versions_pruned,
+            index_probes: delta.index_probes,
+            morsels: delta.morsels,
+            workers: workers as u64,
+            start_nanos,
+            dur_nanos,
+        });
+    }
+}
 
 /// Index scans must be estimated below this fraction of the partition to be
 /// chosen over a sequential scan.
@@ -107,7 +150,12 @@ struct ProbeRange {
     hi: Bound<Value>,
 }
 
-fn probe_range_for(index: &OrderedIndex, sys: &SysSpec, app: &AppSpec, preds: &[ColRange]) -> Option<ProbeRange> {
+fn probe_range_for(
+    index: &OrderedIndex,
+    sys: &SysSpec,
+    app: &AppSpec,
+    preds: &[ColRange],
+) -> Option<ProbeRange> {
     match index.def.cols.first()? {
         IndexedCol::Value(c) => {
             let p = preds.iter().find(|p| p.col == *c)?;
@@ -182,8 +230,73 @@ pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rec
 /// their probe result sets are already small by construction. Returns the
 /// access path taken, or [`bitempo_core::Error::WorkerPanicked`] if a scan
 /// worker panicked (the panic is contained; partial output is discarded).
+///
+/// When tracing is enabled ([`obs::is_enabled`]) one [`obs::ScanTrace`] is
+/// recorded for `site`; the disabled path is a single flag check.
 #[allow(clippy::too_many_arguments)]
 pub fn scan_partition(
+    site: ScanSite<'_>,
+    part: &PartitionView<'_>,
+    def: &TableDef,
+    sys: &SysSpec,
+    app: &AppSpec,
+    preds: &[ColRange],
+    now: SysTime,
+    prefer_gist: bool,
+    exec: MorselExec,
+    out: &mut Vec<Row>,
+    metrics: &mut ScanMetrics,
+) -> Result<AccessPath> {
+    let Some(start) = obs::trace_clock() else {
+        return scan_partition_inner(
+            part,
+            def,
+            sys,
+            app,
+            preds,
+            now,
+            prefer_gist,
+            exec,
+            out,
+            metrics,
+        );
+    };
+    let rows_before = out.len();
+    let before = *metrics;
+    let result = scan_partition_inner(
+        part,
+        def,
+        sys,
+        app,
+        preds,
+        now,
+        prefer_gist,
+        exec,
+        out,
+        metrics,
+    );
+    let end = obs::trace_clock().unwrap_or(start);
+    if let Ok(path) = &result {
+        let delta = ScanMetrics {
+            morsels: metrics.morsels - before.morsels,
+            rows_visited: metrics.rows_visited - before.rows_visited,
+            versions_pruned: metrics.versions_pruned - before.versions_pruned,
+            index_probes: metrics.index_probes - before.index_probes,
+        };
+        site.record(
+            path,
+            delta,
+            (out.len() - rows_before) as u64,
+            exec.workers.max(1),
+            start,
+            end.saturating_sub(start),
+        );
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_partition_inner(
     part: &PartitionView<'_>,
     def: &TableDef,
     sys: &SysSpec,
@@ -244,9 +357,7 @@ pub fn scan_partition(
                     _ => continue,
                 },
             };
-            if sel < INDEX_SELECTIVITY_THRESHOLD
-                && best.as_ref().is_none_or(|(b, _, _)| sel < *b)
-            {
+            if sel < INDEX_SELECTIVITY_THRESHOLD && best.as_ref().is_none_or(|(b, _, _)| sel < *b) {
                 best = Some((sel, index, range));
             }
         }
@@ -331,6 +442,14 @@ mod tests {
         AppDate, AppPeriod, Column, DataType, Schema, SysPeriod, TableDef, TemporalClass,
     };
 
+    fn site() -> ScanSite<'static> {
+        ScanSite {
+            engine: "test",
+            table: "t",
+            partition: "p",
+        }
+    }
+
     fn def() -> TableDef {
         TableDef::new(
             "t",
@@ -373,6 +492,7 @@ mod tests {
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
         let path = scan_partition(
+            site(),
             &part,
             &def(),
             &SysSpec::All,
@@ -412,6 +532,7 @@ mod tests {
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
         let path = scan_partition(
+            site(),
             &part,
             &def(),
             &SysSpec::Current,
@@ -453,6 +574,7 @@ mod tests {
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
         let path = scan_partition(
+            site(),
             &part,
             &def(),
             &SysSpec::AsOf(SysTime(5)),
@@ -473,6 +595,7 @@ mod tests {
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
         let path = scan_partition(
+            site(),
             &part,
             &def(),
             &SysSpec::AsOf(SysTime(900)),
@@ -507,6 +630,7 @@ mod tests {
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
         let path = scan_partition(
+            site(),
             &part,
             &def(),
             &SysSpec::AsOf(SysTime(10)),
@@ -542,6 +666,7 @@ mod tests {
             let mut out = Vec::new();
             let mut m = ScanMetrics::default();
             let path = scan_partition(
+                site(),
                 &part,
                 &def(),
                 &SysSpec::AsOf(SysTime(2500)),
@@ -589,7 +714,10 @@ mod tests {
             full_key_equality(&d, &[ColRange::eq(0, Value::Int(3))]),
             Some(vec![Value::Int(3)])
         );
-        assert_eq!(full_key_equality(&d, &[ColRange::eq(1, Value::Int(3))]), None);
+        assert_eq!(
+            full_key_equality(&d, &[ColRange::eq(1, Value::Int(3))]),
+            None
+        );
         let range_pred = ColRange::between(
             0,
             Bound::Included(Value::Int(1)),
@@ -614,10 +742,50 @@ mod tests {
 
     #[test]
     fn gist_rect_construction() {
-        let r = gist_query_rect(&SysSpec::Current, &AppSpec::AsOf(AppDate(10)), SysTime(42))
-            .unwrap();
+        let r =
+            gist_query_rect(&SysSpec::Current, &AppSpec::AsOf(AppDate(10)), SysTime(42)).unwrap();
         assert_eq!((r.x_min, r.x_max), (10, 10));
         assert_eq!((r.y_min, r.y_max), (42, 42));
         assert!(gist_query_rect(&SysSpec::All, &AppSpec::All, SysTime(0)).is_none());
+    }
+
+    #[test]
+    fn gist_scan_with_empty_app_range_probes_nothing() {
+        let heap = heap_with(100);
+        let mut gist = GistIndex::new("gist_t");
+        for (slot, v) in heap.iter() {
+            gist.insert(v, u64::from(slot.0));
+        }
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: Some(&gist),
+        };
+        // Empty application window [5, 5): no version can qualify, and the
+        // query rect is inverted — the probe must return no slots instead of
+        // spuriously matching versions that straddle day 5.
+        let empty = AppPeriod::new(AppDate(5), AppDate(5));
+        let rect = gist_query_rect(&SysSpec::All, &AppSpec::Range(empty), SysTime(200)).unwrap();
+        assert!(rect.is_empty());
+        let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
+        let path = scan_partition(
+            site(),
+            &part,
+            &def(),
+            &SysSpec::All,
+            &AppSpec::Range(empty),
+            &[],
+            SysTime(200),
+            true,
+            MorselExec::workers(1),
+            &mut out,
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(path, AccessPath::GistScan("gist_t".into()));
+        assert!(out.is_empty());
+        assert_eq!(m.index_probes, 0, "no false-positive probes");
     }
 }

@@ -68,7 +68,12 @@ mod tests {
     #[test]
     fn residues_and_affected_partition_the_original() {
         // The pieces must tile the original period exactly (no gap/overlap).
-        for (a, b, x, y) in [(0, 50, 10, 20), (0, 50, 0, 50), (5, 30, 0, 10), (5, 30, 25, 60)] {
+        for (a, b, x, y) in [
+            (0, 50, 10, 20),
+            (0, 50, 0, 50),
+            (5, 30, 0, 10),
+            (5, 30, 25, 60),
+        ] {
             let s = split_for_portion(p(a, b), p(x, y)).unwrap();
             let mut pieces = s.residues.clone();
             pieces.push(s.affected);

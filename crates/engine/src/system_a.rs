@@ -8,17 +8,16 @@
 //! no indexes unless the tuning study adds them.
 
 use crate::api::{
-    AppSpec, BitemporalEngine, ColRange, IndexKind, ScanOutput, SysSpec, TableStats,
-    TuningConfig,
+    AppSpec, BitemporalEngine, ColRange, IndexKind, ScanOutput, SysSpec, TableStats, TuningConfig,
 };
 use crate::catalog::Catalog;
 use crate::index::{IndexDef, IndexedCol, OrderedIndex};
 use crate::morsel::ScanMetrics;
-use crate::rowscan::{merge_access, scan_partition, PartitionView};
+use crate::rowscan::{merge_access, scan_partition, PartitionView, ScanSite};
 use crate::sequenced::split_for_portion;
 use crate::version::Version;
 use bitempo_core::{
-    AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
+    obs, AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
     Value,
 };
 use bitempo_storage::{Heap, SlotId};
@@ -320,7 +319,13 @@ impl BitemporalEngine for SystemA {
             t.hist_key_index = None;
             let mut cur_defs = Vec::new();
             let mut hist_defs = Vec::new();
-            build_tuning_defs(&def, tuning, &mut cur_defs, &mut hist_defs, &mut t.hist_key_index)?;
+            build_tuning_defs(
+                &def,
+                tuning,
+                &mut cur_defs,
+                &mut hist_defs,
+                &mut t.hist_key_index,
+            )?;
             t.cur_indexes = cur_defs.into_iter().map(OrderedIndex::new).collect();
             t.hist_indexes = hist_defs.into_iter().map(OrderedIndex::new).collect();
             // Populate from existing data.
@@ -423,9 +428,15 @@ impl BitemporalEngine for SystemA {
         let def = self.catalog.def(table);
         let t = self.table(table);
         let exec = self.tuning.exec();
+        let _span = obs::span_dyn("engine", || format!("System A scan {}", def.name));
         let mut rows = Vec::new();
         let mut paths = Vec::new();
         let mut metrics = ScanMetrics::default();
+        let site = |partition| ScanSite {
+            engine: "System A",
+            table: &def.name,
+            partition,
+        };
         let cur_view = PartitionView {
             source: &t.current,
             pk: t.pk.as_ref(),
@@ -433,6 +444,7 @@ impl BitemporalEngine for SystemA {
             gist: None,
         };
         paths.push(scan_partition(
+            site("current"),
             &cur_view,
             def,
             sys,
@@ -452,6 +464,7 @@ impl BitemporalEngine for SystemA {
                 gist: None,
             };
             paths.push(scan_partition(
+                site("history"),
                 &hist_view,
                 def,
                 sys,
@@ -578,7 +591,9 @@ mod tests {
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 100)]);
         let t1 = e.now();
-        let n = e.update(t, &Key::int(1), &[(1, Value::Int(999))], None).unwrap();
+        let n = e
+            .update(t, &Key::int(1), &[(1, Value::Int(999))], None)
+            .unwrap();
         e.commit();
         assert_eq!(n, 1);
         let s = e.stats(t);
@@ -631,7 +646,9 @@ mod tests {
         e.commit();
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert!(out.rows.is_empty());
-        let out = e.scan(t, &SysSpec::AsOf(before), &AppSpec::All, &[]).unwrap();
+        let out = e
+            .scan(t, &SysSpec::AsOf(before), &AppSpec::All, &[])
+            .unwrap();
         assert_eq!(out.rows.len(), 1);
     }
 
@@ -639,10 +656,18 @@ mod tests {
     fn overwrite_app_period_replaces_versions() {
         let mut e = SystemA::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
-        e.insert(t, simple_row(1, 1), Some(Period::new(AppDate(0), AppDate(10))))
-            .unwrap();
-        e.insert(t, simple_row(1, 2), Some(Period::new(AppDate(10), AppDate(20))))
-            .unwrap();
+        e.insert(
+            t,
+            simple_row(1, 1),
+            Some(Period::new(AppDate(0), AppDate(10))),
+        )
+        .unwrap();
+        e.insert(
+            t,
+            simple_row(1, 2),
+            Some(Period::new(AppDate(10), AppDate(20))),
+        )
+        .unwrap();
         e.commit();
         let n = e
             .overwrite_app_period(t, &Key::int(1), Period::new(AppDate(5), AppDate(50)))
@@ -651,7 +676,11 @@ mod tests {
         assert_eq!(n, 2);
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(out.rows.len(), 1);
-        assert_eq!(out.rows[0].get(1), &Value::Int(2), "latest version's values");
+        assert_eq!(
+            out.rows[0].get(1),
+            &Value::Int(2),
+            "latest version's values"
+        );
         assert_eq!(out.rows[0].get(2), &Value::Date(AppDate(5)));
     }
 
@@ -660,7 +689,8 @@ mod tests {
         let mut e = SystemA::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 100)]);
-        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None)
+            .unwrap();
         e.commit();
         let now = e.now();
         let implicit = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
@@ -679,7 +709,8 @@ mod tests {
         let mut e = SystemA::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 100), (2, 200)]);
-        e.update(t, &Key::int(1), &[(1, Value::Int(101))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(101))], None)
+            .unwrap();
         e.commit();
         let cur = e
             .lookup_key(t, &Key::int(1), &SysSpec::Current, &AppSpec::All)
@@ -704,7 +735,8 @@ mod tests {
         let mut e = SystemA::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
         e.insert(t, simple_row(1, 1), None).unwrap();
-        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None)
+            .unwrap();
         e.commit();
         let s = e.stats(t);
         assert_eq!(
@@ -722,7 +754,8 @@ mod tests {
             .unwrap();
         e.insert(t, simple_row(1, 5), None).unwrap();
         e.commit();
-        e.update(t, &Key::int(1), &[(1, Value::Int(6))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(6))], None)
+            .unwrap();
         e.commit();
         let s = e.stats(t);
         assert_eq!((s.current_rows, s.history_rows), (1, 0));

@@ -27,11 +27,11 @@ use crate::api::{
 use crate::catalog::Catalog;
 use crate::index::{IndexDef, IndexedCol, OrderedIndex};
 use crate::morsel::ScanMetrics;
-use crate::rowscan::{merge_access, scan_partition, PartitionView, Reconstructed};
+use crate::rowscan::{merge_access, scan_partition, PartitionView, Reconstructed, ScanSite};
 use crate::system_a::{build_tuning_defs, overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
-    AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
+    obs, AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
     Value,
 };
 use bitempo_storage::{Heap, SlotId};
@@ -149,11 +149,9 @@ impl TableB {
                 compressed_bytes = compressed_bytes.wrapping_add(match value {
                     // Re-encoding walks every payload byte, like the real
                     // compressor would.
-                    bitempo_core::Value::Str(s) => {
-                        s.as_bytes().iter().fold(0u64, |acc, &b| {
-                            acc.wrapping_mul(31).wrapping_add(u64::from(b))
-                        })
-                    }
+                    bitempo_core::Value::Str(s) => s.as_bytes().iter().fold(0u64, |acc, &b| {
+                        acc.wrapping_mul(31).wrapping_add(u64::from(b))
+                    }),
                     bitempo_core::Value::Null => 1,
                     bitempo_core::Value::Int(i) => *i as u64,
                     bitempo_core::Value::Double(d) => d.to_bits(),
@@ -211,9 +209,7 @@ impl SequencedOps for SystemB {
         self.version_of(table, slot)
     }
     fn close(&mut self, table: TableId, uid: u64, end: SysTime) -> Version {
-        let before = self
-            .version_of(table, uid)
-            .expect("closing a live version");
+        let before = self.version_of(table, uid).expect("closing a live version");
         let def_key = self.catalog.def(table).key.clone();
         let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
         let t = &mut self.tables[table.0 as usize];
@@ -232,13 +228,7 @@ impl SequencedOps for SystemB {
         let mut closed = before.clone();
         closed.sys = SysPeriod::new(closed.sys.start, end);
         if !nontemporal && !closed.sys.is_empty() {
-            t.undo.push((
-                closed,
-                HistoryMeta {
-                    txn: end.0,
-                    op: 0,
-                },
-            ));
+            t.undo.push((closed, HistoryMeta { txn: end.0, op: 0 }));
             if t.undo.len() >= UNDO_DRAIN_THRESHOLD {
                 t.drain_undo();
             }
@@ -313,7 +303,13 @@ impl BitemporalEngine for SystemB {
             t.hist_key_index = None;
             let mut cur_defs = Vec::new();
             let mut hist_defs = Vec::new();
-            build_tuning_defs(&def, tuning, &mut cur_defs, &mut hist_defs, &mut t.hist_key_index)?;
+            build_tuning_defs(
+                &def,
+                tuning,
+                &mut cur_defs,
+                &mut hist_defs,
+                &mut t.hist_key_index,
+            )?;
             t.cur_indexes = cur_defs.into_iter().map(OrderedIndex::new).collect();
             t.hist_indexes = hist_defs.into_iter().map(OrderedIndex::new).collect();
             let recon = t.reconstruct_current();
@@ -411,9 +407,15 @@ impl BitemporalEngine for SystemB {
         let def = self.catalog.def(table);
         let t = &self.tables[table.0 as usize];
         let exec = self.tuning.exec();
+        let _span = obs::span_dyn("engine", || format!("System B scan {}", def.name));
         let mut rows = Vec::new();
         let mut paths = Vec::new();
         let mut metrics = ScanMetrics::default();
+        let site = |partition| ScanSite {
+            engine: "System B",
+            table: &def.name,
+            partition,
+        };
 
         // Current partition: every *temporal* table pays the
         // vertical-partition merge join; non-temporal tables are stored as
@@ -445,6 +447,7 @@ impl BitemporalEngine for SystemB {
             gist: None,
         };
         paths.push(scan_partition(
+            site("current"),
             &cur_view,
             def,
             sys,
@@ -465,6 +468,7 @@ impl BitemporalEngine for SystemB {
                 gist: None,
             };
             paths.push(scan_partition(
+                site("history"),
                 &hist_view,
                 def,
                 sys,
@@ -493,6 +497,7 @@ impl BitemporalEngine for SystemB {
                     gist: None,
                 };
                 paths.push(scan_partition(
+                    site("staging"),
                     &undo_view,
                     def,
                     sys,
@@ -559,12 +564,17 @@ mod tests {
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 10), (2, 20)]);
         let t1 = e.now();
-        e.update(t, &Key::int(1), &[(1, Value::Int(11))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(11))], None)
+            .unwrap();
         e.commit();
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(out.rows.len(), 2);
         let out = e.scan(t, &SysSpec::AsOf(t1), &AppSpec::All, &[]).unwrap();
-        let mut vals: Vec<i64> = out.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        let mut vals: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .collect();
         vals.sort_unstable();
         assert_eq!(vals, vec![10, 20]);
     }
@@ -576,7 +586,8 @@ mod tests {
         insert_rows(&mut e, t, &[(1, 0)]);
         // A handful of updates stays in the undo log...
         for i in 0..5 {
-            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None).unwrap();
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
             e.commit();
         }
         let tb = &e.tables[0];
@@ -587,7 +598,8 @@ mod tests {
         assert_eq!(out.rows.len(), 6);
         // Crossing the threshold drains.
         for i in 0..(UNDO_DRAIN_THRESHOLD as i64) {
-            e.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None).unwrap();
+            e.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                .unwrap();
             e.commit();
         }
         let tb = &e.tables[0];
@@ -670,7 +682,8 @@ mod tests {
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 0)]);
         for i in 0..10 {
-            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None).unwrap();
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
             e.commit();
         }
         e.apply_tuning(&TuningConfig::key_time()).unwrap();

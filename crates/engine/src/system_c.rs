@@ -19,10 +19,11 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::morsel::{run_morsels, ScanMetrics};
+use crate::rowscan::ScanSite;
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
-    AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
+    obs, AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
     TableDef, TableId, TemporalClass, Value,
 };
 use bitempo_storage::ColumnTable;
@@ -145,11 +146,9 @@ impl SystemC {
             }
             let row = old.get_row(rowid);
             let open = match hidden.sys_start {
-                Some(c) => old
-                    .get_value(c + 1, rowid)
-                    .as_sys_time()
-                    .expect("validto")
-                    == SysTime::MAX,
+                Some(c) => {
+                    old.get_value(c + 1, rowid).as_sys_time().expect("validto") == SysTime::MAX
+                }
                 None => true,
             };
             if open {
@@ -198,9 +197,7 @@ impl SequencedOps for SystemC {
     }
     fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version {
         let rowid = slot as usize;
-        let before = self
-            .peek(table, slot)
-            .expect("closing a live version");
+        let before = self.peek(table, slot).expect("closing a live version");
         let def_key = self.catalog.def(table).key.clone();
         let has_sys = self.catalog.def(table).has_system_time();
         let hidden = self.hidden[table.0 as usize];
@@ -369,6 +366,7 @@ impl BitemporalEngine for SystemC {
         let hidden = self.hidden[table.0 as usize];
         let t = &self.tables[table.0 as usize];
         let exec = self.tuning.exec();
+        let _span = obs::span_dyn("engine", || format!("System C scan {}", def.name));
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
         let mut partitions = 1u8;
@@ -380,9 +378,11 @@ impl BitemporalEngine for SystemC {
         // Each fragment is scanned in row-range morsels; merging per-morsel
         // buffers in morsel order keeps the output order identical to the
         // single-threaded loop.
-        let mut scan_fragment = |part: &ColumnTable,
+        let mut scan_fragment = |partition: &'static str,
+                                 part: &ColumnTable,
                                  dead: Option<&HashSet<usize>>|
          -> Result<()> {
+            let start = obs::trace_clock();
             let (frag_rows, m) = run_morsels(part.len(), exec, |range, buf, m| {
                 for rowid in range {
                     if dead.is_some_and(|d| d.contains(&rowid)) {
@@ -391,10 +391,8 @@ impl BitemporalEngine for SystemC {
                     m.rows_visited += 1;
                     let sys_ok = match hidden.sys_start {
                         Some(c) => {
-                            let start =
-                                part.get_value(c, rowid).as_sys_time().expect("validfrom");
-                            let end =
-                                part.get_value(c + 1, rowid).as_sys_time().expect("validto");
+                            let start = part.get_value(c, rowid).as_sys_time().expect("validfrom");
+                            let end = part.get_value(c + 1, rowid).as_sys_time().expect("validto");
                             sys.matches(&SysPeriod::new(start, end))
                         }
                         None => true,
@@ -403,8 +401,7 @@ impl BitemporalEngine for SystemC {
                         && match hidden.app_start {
                             Some(c) => {
                                 let start = part.get_value(c, rowid).as_date().expect("app start");
-                                let end =
-                                    part.get_value(c + 1, rowid).as_date().expect("app end");
+                                let end = part.get_value(c + 1, rowid).as_date().expect("app end");
                                 app.matches(&AppPeriod::new(start, end))
                             }
                             None => true,
@@ -421,14 +418,32 @@ impl BitemporalEngine for SystemC {
                     buf.push(v.output_row(def));
                 }
             })?;
+            // System C has no index paths, so the per-fragment trace is
+            // assembled here rather than in `rowscan::scan_partition`.
+            if let Some(start) = start {
+                let end = obs::trace_clock().unwrap_or(start);
+                ScanSite {
+                    engine: "System C",
+                    table: &def.name,
+                    partition,
+                }
+                .record(
+                    &AccessPath::FullScan { partitions: 1 },
+                    m,
+                    frag_rows.len() as u64,
+                    exec.workers.max(1),
+                    start,
+                    end.saturating_sub(start),
+                );
+            }
             metrics.merge(&m);
             rows.extend(frag_rows);
             Ok(())
         };
-        scan_fragment(&t.current, Some(&t.dead))?;
+        scan_fragment("current", &t.current, Some(&t.dead))?;
         if !sys.current_only() && def.has_system_time() {
             partitions += 1;
-            scan_fragment(&t.history, None)?;
+            scan_fragment("history", &t.history, None)?;
         }
         Ok(ScanOutput {
             rows,
@@ -486,13 +501,18 @@ mod tests {
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 10), (2, 20)]);
         let t1 = e.now();
-        e.update(t, &Key::int(1), &[(1, Value::Int(11))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(11))], None)
+            .unwrap();
         e.commit();
         let cur = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(cur.rows.len(), 2);
         assert_eq!(cur.access, AccessPath::FullScan { partitions: 1 });
         let past = e.scan(t, &SysSpec::AsOf(t1), &AppSpec::All, &[]).unwrap();
-        let mut vals: Vec<i64> = past.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        let mut vals: Vec<i64> = past
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .collect();
         vals.sort_unstable();
         assert_eq!(vals, vec![10, 20]);
         assert_eq!(past.access, AccessPath::FullScan { partitions: 2 });
@@ -505,7 +525,8 @@ mod tests {
         insert_rows(&mut e, t, &[(1, 10)]);
         let t1 = e.now();
         for i in 0..5 {
-            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None).unwrap();
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
             e.commit();
         }
         assert_eq!(e.tables[0].history.len(), 0, "not merged yet");
@@ -528,7 +549,8 @@ mod tests {
         assert_eq!(past.rows.len(), 1);
         assert_eq!(past.rows[0].get(1), &Value::Int(10));
         // DML after merge keeps working.
-        e.update(t, &Key::int(1), &[(1, Value::Int(99))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(99))], None)
+            .unwrap();
         e.commit();
         let cur = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(cur.rows[0].get(1), &Value::Int(99));
@@ -594,7 +616,8 @@ mod tests {
         let mut e = SystemC::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
         e.insert(t, simple_row(1, 1), None).unwrap();
-        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(2))], None)
+            .unwrap();
         e.commit();
         let all = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap();
         assert_eq!(all.rows.len(), 1);

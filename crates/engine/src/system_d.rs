@@ -16,11 +16,11 @@ use crate::api::{
 use crate::catalog::Catalog;
 use crate::index::{GistIndex, IndexDef, IndexedCol, OrderedIndex};
 use crate::morsel::ScanMetrics;
-use crate::rowscan::{merge_access, scan_partition, PartitionView};
+use crate::rowscan::{merge_access, scan_partition, PartitionView, ScanSite};
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
-    AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
+    obs, AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
     Value,
 };
 use bitempo_storage::{Heap, SlotId};
@@ -299,6 +299,7 @@ impl BitemporalEngine for SystemD {
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
         let t = &self.tables[table.0 as usize];
+        let _span = obs::span_dyn("engine", || format!("System D scan {}", def.name));
         let view = PartitionView {
             source: &t.all,
             pk: t.key_index.map(|i| &t.indexes[i]),
@@ -308,6 +309,11 @@ impl BitemporalEngine for SystemD {
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
         let path = scan_partition(
+            ScanSite {
+                engine: "System D",
+                table: &def.name,
+                partition: "all",
+            },
             &view,
             def,
             sys,
@@ -390,7 +396,8 @@ mod tests {
         let mut e = SystemD::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
         insert_rows(&mut e, t, &[(1, 1), (2, 2)]);
-        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None)
+            .unwrap();
         e.commit();
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(out.rows.len(), 2);
@@ -422,12 +429,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e.now(), SysTime(5));
-        let out = e.scan(t, &SysSpec::AsOf(SysTime(2)), &AppSpec::All, &[]).unwrap();
+        let out = e
+            .scan(t, &SysSpec::AsOf(SysTime(2)), &AppSpec::All, &[])
+            .unwrap();
         assert_eq!(out.rows[0].get(1), &Value::Int(10));
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(out.rows[0].get(1), &Value::Int(11));
         // DML after bulk load continues the timeline.
-        e.update(t, &Key::int(1), &[(1, Value::Int(12))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(12))], None)
+            .unwrap();
         e.commit();
         let out = e.scan(t, &SysSpec::Current, &AppSpec::All, &[]).unwrap();
         assert_eq!(out.rows[0].get(1), &Value::Int(12));
@@ -487,13 +497,20 @@ mod tests {
         .unwrap();
         // Close version 1 after the GiST was built (rect goes conservative)
         // and insert a fresh key.
-        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None).unwrap();
+        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None)
+            .unwrap();
         e.commit();
         e.insert(t, simple_row(3, 3), None).unwrap();
         e.commit();
-        let out = e.scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[]).unwrap();
+        let out = e
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[])
+            .unwrap();
         assert!(matches!(out.access, AccessPath::GistScan(_)));
-        let mut vals: Vec<i64> = out.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        let mut vals: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .collect();
         vals.sort_unstable();
         assert_eq!(vals, vec![2, 3, 9]);
     }

@@ -59,10 +59,12 @@ impl Archive {
     /// second copy of the whole transaction stream.
     pub fn batched(&self, batch_size: usize) -> impl Iterator<Item = Transaction> + '_ {
         let batch_size = batch_size.max(1);
-        self.transactions.chunks(batch_size).map(|chunk| Transaction {
-            scenarios: chunk.iter().flat_map(|t| t.scenarios.clone()).collect(),
-            ops: chunk.iter().flat_map(|t| t.ops.clone()).collect(),
-        })
+        self.transactions
+            .chunks(batch_size)
+            .map(|chunk| Transaction {
+                scenarios: chunk.iter().flat_map(|t| t.scenarios.clone()).collect(),
+                ops: chunk.iter().flat_map(|t| t.ops.clone()).collect(),
+            })
     }
 
     /// Serializes into `w` using the current (v2, checksummed) format.
@@ -143,7 +145,9 @@ impl Archive {
         };
         if let Some(rem) = src.remaining {
             if rem != 0 {
-                return Err(Error::Archive(format!("{rem} trailing bytes after archive")));
+                return Err(Error::Archive(format!(
+                    "{rem} trailing bytes after archive"
+                )));
             }
         }
         Ok(Archive {
@@ -212,7 +216,9 @@ fn read_txns_v2<R: Read>(src: &mut Src<'_, R>, n: u64) -> Result<Vec<Transaction
         let expect = src.read_u32("transaction checksum")?;
         let body = src.read_vec(len as usize, "transaction body")?;
         if crc32(&body) != expect {
-            return Err(Error::Archive(format!("checksum mismatch in transaction {i}")));
+            return Err(Error::Archive(format!(
+                "checksum mismatch in transaction {i}"
+            )));
         }
         stream.update(&body);
         let mut slice = &body[..];
@@ -664,7 +670,10 @@ mod tests {
         // header and the 8-byte record prefix).
         buf[32 + 8 + 3] ^= 0x10;
         let err = Archive::read_from_slice(&buf).unwrap_err();
-        assert!(matches!(err, Error::Archive(ref m) if m.contains("checksum")), "{err}");
+        assert!(
+            matches!(err, Error::Archive(ref m) if m.contains("checksum")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -693,7 +702,10 @@ mod tests {
         // Beyond the hard bound, even a sized source rejects it by bound.
         buf[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = Archive::read_from_slice(&buf).unwrap_err();
-        assert!(matches!(err, Error::Archive(ref m) if m.contains("bound")), "{err}");
+        assert!(
+            matches!(err, Error::Archive(ref m) if m.contains("bound")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -703,7 +715,10 @@ mod tests {
         a.write_to(&mut buf).unwrap();
         buf.extend_from_slice(&[0u8; 7]);
         let err = Archive::read_from_slice(&buf).unwrap_err();
-        assert!(matches!(err, Error::Archive(ref m) if m.contains("trailing")), "{err}");
+        assert!(
+            matches!(err, Error::Archive(ref m) if m.contains("trailing")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -109,9 +109,7 @@ pub fn load_initial(engine: &mut dyn BitemporalEngine, data: &TpchData) -> Resul
 
 fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> Result<()> {
     match op {
-        Op::Insert { table, row, app } => {
-            engine.insert(ids[*table as usize], row.clone(), *app)
-        }
+        Op::Insert { table, row, app } => engine.insert(ids[*table as usize], row.clone(), *app),
         Op::Update {
             table,
             key,
@@ -130,7 +128,9 @@ fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> Resu
             table,
             key,
             portion,
-        } => engine.delete(ids[*table as usize], key, *portion).map(|_| ()),
+        } => engine
+            .delete(ids[*table as usize], key, *portion)
+            .map(|_| ()),
         Op::OverwriteApp { table, key, period } => engine
             .overwrite_app_period(ids[*table as usize], key, *period)
             .map(|_| ()),
@@ -165,9 +165,11 @@ pub fn replay_resilient(
     let mut timings = Vec::with_capacity(archive.transactions.len());
     let mut failed: Vec<(usize, Error)> = Vec::new();
     for (batch_idx, batch) in archive.transactions.chunks(batch_size.max(1)).enumerate() {
-        let kind = batch[0].scenarios.first().copied().unwrap_or(
-            ScenarioKind::NewOrderExistingCustomer,
-        );
+        let kind = batch[0]
+            .scenarios
+            .first()
+            .copied()
+            .unwrap_or(ScenarioKind::NewOrderExistingCustomer);
         let t0 = Instant::now();
         let mut batch_err: Option<Error> = None;
         'ops: for txn in batch {
@@ -272,7 +274,8 @@ mod tests {
             let ids = load_initial(engine.as_mut(), &data).unwrap();
             let report = replay(engine.as_mut(), &ids, &history.archive, 1).unwrap();
             assert_eq!(
-                report.version, history.db.now(),
+                report.version,
+                history.db.now(),
                 "{kind}: commit counts must line up"
             );
             engine.checkpoint();
@@ -306,8 +309,14 @@ mod tests {
         let bulk_ids = bulk_load(bulk.as_mut(), &history.db).unwrap();
 
         for (&a, &b) in ids.iter().zip(&bulk_ids) {
-            let mut ra = replayed.scan(a, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
-            let mut rb = bulk.scan(b, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
+            let mut ra = replayed
+                .scan(a, &SysSpec::All, &AppSpec::All, &[])
+                .unwrap()
+                .rows;
+            let mut rb = bulk
+                .scan(b, &SysSpec::All, &AppSpec::All, &[])
+                .unwrap()
+                .rows;
             ra.sort();
             rb.sort();
             assert_eq!(ra, rb);
@@ -335,7 +344,10 @@ mod tests {
 
         // Current state is identical even though version timestamps differ.
         for (&a, &b) in ids1.iter().zip(&ids2) {
-            let mut ra = one.scan(a, &SysSpec::Current, &AppSpec::All, &[]).unwrap().rows;
+            let mut ra = one
+                .scan(a, &SysSpec::Current, &AppSpec::All, &[])
+                .unwrap()
+                .rows;
             let mut rb = batched
                 .scan(b, &SysSpec::Current, &AppSpec::All, &[])
                 .unwrap()
@@ -414,14 +426,9 @@ mod tests {
         // A zero-budget policy behaves exactly like strict replay.
         let mut engine = build_engine(SystemKind::A);
         let ids = load_initial(engine.as_mut(), &data).unwrap();
-        assert!(replay_resilient(
-            engine.as_mut(),
-            &ids,
-            &archive,
-            1,
-            ReplayPolicy::strict()
-        )
-        .is_err());
+        assert!(
+            replay_resilient(engine.as_mut(), &ids, &archive, 1, ReplayPolicy::strict()).is_err()
+        );
     }
 
     #[test]

@@ -349,7 +349,10 @@ fn new_order(r: &mut Runner, today: AppDate, new_customer: bool) -> Vec<Op> {
 }
 
 fn cancel_order(r: &mut Runner) -> Vec<Op> {
-    let orderkey = r.open_orders.pick(&mut r.rng).expect("precondition checked");
+    let orderkey = r
+        .open_orders
+        .pick(&mut r.rng)
+        .expect("precondition checked");
     let info = r.order_info[&orderkey];
     let mut ops = Vec::new();
     for ln in 1..=info.lines {
@@ -371,7 +374,10 @@ fn cancel_order(r: &mut Runner) -> Vec<Op> {
 }
 
 fn deliver_order(r: &mut Runner, today: AppDate) -> Vec<Op> {
-    let orderkey = r.open_orders.pick(&mut r.rng).expect("precondition checked");
+    let orderkey = r
+        .open_orders
+        .pick(&mut r.rng)
+        .expect("precondition checked");
     let info = r.order_info[&orderkey];
     let active_end = today.max(info.orderdate.plus_days(1));
     let ops = vec![
@@ -494,7 +500,10 @@ fn update_supplier(r: &mut Runner) -> Vec<Op> {
 }
 
 fn manipulate_order(r: &mut Runner, db: &GenDb, today: AppDate) -> Vec<Op> {
-    let orderkey = r.live_orders.pick(&mut r.rng).expect("precondition checked");
+    let orderkey = r
+        .live_orders
+        .pick(&mut r.rng)
+        .expect("precondition checked");
     let key = Key::int(orderkey);
     let table = t::ORDERS as usize;
     let current = db.current_of(table, &key);

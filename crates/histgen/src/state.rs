@@ -18,10 +18,10 @@
 use bitempo_core::{
     AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TemporalClass, Value,
 };
+use bitempo_dbgen::TpchData;
 use bitempo_engine::api::{AppSpec, SysSpec};
 use bitempo_engine::sequenced::split_for_portion;
 use bitempo_engine::Version;
-use bitempo_dbgen::TpchData;
 use std::collections::HashMap;
 
 use crate::ops::Op;

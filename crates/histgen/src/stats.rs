@@ -116,7 +116,11 @@ impl fmt::Display for HistoryStats {
                 o.nontemp_update,
                 o.delete,
                 self.growth_ratio(i),
-                if self.overwrites_app_time(i) { "yes" } else { "no" },
+                if self.overwrites_app_time(i) {
+                    "yes"
+                } else {
+                    "no"
+                },
             )?;
         }
         Ok(())

@@ -111,7 +111,13 @@ impl Expr {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Add(a, b) => numeric(a.eval(row)?, b.eval(row)?, f64_add, i64_add, date_add),
             Expr::Sub(a, b) => numeric(a.eval(row)?, b.eval(row)?, f64_sub, i64_sub, date_sub),
-            Expr::Mul(a, b) => numeric(a.eval(row)?, b.eval(row)?, |x, y| x * y, |x, y| x.wrapping_mul(y), no_date),
+            Expr::Mul(a, b) => numeric(
+                a.eval(row)?,
+                b.eval(row)?,
+                |x, y| x * y,
+                |x, y| x.wrapping_mul(y),
+                no_date,
+            ),
             Expr::Div(a, b) => {
                 let x = a.eval(row)?.as_double()?;
                 let y = b.eval(row)?.as_double()?;
@@ -133,7 +139,9 @@ impl Expr {
             Expr::Like(a, pattern) => {
                 let v = a.eval(row)?;
                 let s = v.as_str()?;
-                Ok(Value::Int(like_match(s.as_bytes(), pattern.as_bytes()) as i64))
+                Ok(Value::Int(
+                    like_match(s.as_bytes(), pattern.as_bytes()) as i64
+                ))
             }
             Expr::InList(a, values) => {
                 let v = a.eval(row)?;
@@ -204,12 +212,14 @@ fn numeric(
 ) -> Result<Value> {
     match (&a, &b) {
         (Value::Int(x), Value::Int(y)) => Ok(Value::Int(g(*x, *y))),
-        (Value::Date(x), Value::Int(y)) => d(*x, *y)
-            .map(Value::Date)
-            .ok_or_else(|| Error::TypeMismatch {
-                expected: "numeric".into(),
-                found: "date in multiplicative op".into(),
-            }),
+        (Value::Date(x), Value::Int(y)) => {
+            d(*x, *y)
+                .map(Value::Date)
+                .ok_or_else(|| Error::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: "date in multiplicative op".into(),
+                })
+        }
         (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
         _ => Ok(Value::Double(f(a.as_double()?, b.as_double()?))),
     }
@@ -283,7 +293,11 @@ mod tests {
             .and(col(1).le(lit(3.0)))
             .matches(&r)
             .unwrap());
-        assert!(col(0).eq(lit(99)).or(col(0).eq(lit(10))).matches(&r).unwrap());
+        assert!(col(0)
+            .eq(lit(99))
+            .or(col(0).eq(lit(10)))
+            .matches(&r)
+            .unwrap());
         assert!(col(0).eq(lit(99)).negate().matches(&r).unwrap());
         assert!(col(0).between(lit(5), lit(10)).matches(&r).unwrap());
         assert!(!col(0).between(lit(11), lit(20)).matches(&r).unwrap());
@@ -292,7 +306,10 @@ mod tests {
     #[test]
     fn null_semantics() {
         let r = row();
-        assert!(!col(4).eq(lit(0)).matches(&r).unwrap(), "NULL = x is unknown");
+        assert!(
+            !col(4).eq(lit(0)).matches(&r).unwrap(),
+            "NULL = x is unknown"
+        );
         assert!(!col(4).ne(lit(0)).matches(&r).unwrap());
         assert!(Expr::IsNull(Box::new(col(4))).matches(&r).unwrap());
         assert!(!Expr::IsNull(Box::new(col(0))).matches(&r).unwrap());

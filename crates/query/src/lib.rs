@@ -26,5 +26,8 @@ pub mod ops;
 pub mod temporal;
 
 pub use expr::Expr;
-pub use ops::{aggregate, distinct, filter, hash_join, project, sort_by, top_n, union, AggExpr, AggFunc, JoinKind, SortKey};
+pub use ops::{
+    aggregate, distinct, filter, hash_join, project, sort_by, top_n, union, AggExpr, AggFunc,
+    JoinKind, SortKey,
+};
 pub use temporal::{temporal_aggregate, temporal_aggregate_naive, temporal_join, version_delta};

@@ -1,7 +1,7 @@
 //! Physical relational operators over materialized row sets.
 
 use crate::expr::Expr;
-use bitempo_core::{Result, Row, Value};
+use bitempo_core::{obs, Result, Row, Value};
 use std::collections::{HashMap, HashSet};
 
 /// Join variants.
@@ -19,6 +19,7 @@ pub enum JoinKind {
 
 /// Keeps rows satisfying `pred`.
 pub fn filter(rows: &[Row], pred: &Expr) -> Result<Vec<Row>> {
+    let _span = obs::span("query", "filter");
     let mut out = Vec::new();
     for row in rows {
         if pred.matches(row)? {
@@ -30,6 +31,7 @@ pub fn filter(rows: &[Row], pred: &Expr) -> Result<Vec<Row>> {
 
 /// Evaluates `exprs` per row.
 pub fn project(rows: &[Row], exprs: &[Expr]) -> Result<Vec<Row>> {
+    let _span = obs::span("query", "project");
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
         let values: Result<Vec<Value>> = exprs.iter().map(|e| e.eval(row)).collect();
@@ -50,6 +52,7 @@ pub fn hash_join(
     right_keys: &[usize],
     kind: JoinKind,
 ) -> Vec<Row> {
+    let _span = obs::span("query", "hash_join");
     assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
     let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
     for row in right {
@@ -237,6 +240,7 @@ impl AggState {
 /// Hash aggregation: output rows are `group_by` columns followed by one
 /// column per aggregate, in first-seen group order.
 pub fn aggregate(rows: &[Row], group_by: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    let _span = obs::span("query", "aggregate");
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     for row in rows {
@@ -289,6 +293,7 @@ impl SortKey {
 
 /// Stable multi-key sort.
 pub fn sort_by(rows: &mut [Row], keys: &[SortKey]) {
+    let _span = obs::span("query", "sort");
     rows.sort_by(|a, b| {
         for k in keys {
             let ord = a.get(k.col).cmp(b.get(k.col));
@@ -303,6 +308,7 @@ pub fn sort_by(rows: &mut [Row], keys: &[SortKey]) {
 
 /// Sort + LIMIT.
 pub fn top_n(rows: &[Row], keys: &[SortKey], n: usize) -> Vec<Row> {
+    let _span = obs::span("query", "top_n");
     let mut sorted = rows.to_vec();
     sort_by(&mut sorted, keys);
     sorted.truncate(n);
@@ -311,6 +317,7 @@ pub fn top_n(rows: &[Row], keys: &[SortKey], n: usize) -> Vec<Row> {
 
 /// Duplicate elimination preserving first occurrence order.
 pub fn distinct(rows: &[Row]) -> Vec<Row> {
+    let _span = obs::span("query", "distinct");
     let mut seen = HashSet::with_capacity(rows.len());
     let mut out = Vec::new();
     for row in rows {
@@ -362,7 +369,11 @@ mod tests {
             Row::new(vec![Value::Int(2), Value::str("z")]),
         ];
         let inner = hash_join(&left, &right, &[0], &[0], JoinKind::Inner);
-        assert_eq!(inner.len(), 2 + 2, "two key-1 rows, one key-2 with 2 matches");
+        assert_eq!(
+            inner.len(),
+            2 + 2,
+            "two key-1 rows, one key-2 with 2 matches"
+        );
         assert_eq!(inner[0].arity(), 5);
         let leftj = hash_join(&left, &right, &[0], &[0], JoinKind::Left);
         assert_eq!(leftj.len(), 5, "key-3 row padded");
@@ -406,12 +417,12 @@ mod tests {
         let out = aggregate(&r, &[], &[AggExpr::count()]).unwrap();
         assert_eq!(out, vec![Row::new(vec![Value::Int(4)])]);
         let out = aggregate(&[], &[], &[AggExpr::count(), AggExpr::sum(col(0))]).unwrap();
-        assert_eq!(
-            out,
-            vec![Row::new(vec![Value::Int(0), Value::Double(0.0)])]
-        );
+        assert_eq!(out, vec![Row::new(vec![Value::Int(0), Value::Double(0.0)])]);
         let out = aggregate(&[], &[0], &[AggExpr::count()]).unwrap();
-        assert!(out.is_empty(), "grouped aggregate over empty input is empty");
+        assert!(
+            out.is_empty(),
+            "grouped aggregate over empty input is empty"
+        );
     }
 
     #[test]

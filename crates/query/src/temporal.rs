@@ -17,7 +17,8 @@
 //! * [`version_delta`] — consecutive-version pairing along system time
 //!   (R7, K4/K5).
 
-use bitempo_core::{Result, Row, Value};
+use bitempo_core::{obs, Result, Row, Value};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Reads a period column pair `(start, end)` as orderable values.
@@ -37,6 +38,21 @@ pub fn temporal_aggregate(
     end_col: usize,
     value: &crate::Expr,
 ) -> Result<Vec<Row>> {
+    temporal_aggregate_counted(rows, start_col, end_col, value).map(|(out, _)| out)
+}
+
+/// [`temporal_aggregate`] plus its *work counter*: the number of elementary
+/// steps taken (event construction, sort comparisons, sweep iterations).
+/// The counter exists so tests can prove the sweep is O(n log n) — the
+/// regression the naive formulation fell into was invisible to
+/// output-equivalence tests alone.
+pub fn temporal_aggregate_counted(
+    rows: &[Row],
+    start_col: usize,
+    end_col: usize,
+    value: &crate::Expr,
+) -> Result<(Vec<Row>, u64)> {
+    let _span = obs::span("temporal", "temporal_aggregate");
     // Event list: +value at start, -value at end.
     let mut events: Vec<(Value, f64, i64)> = Vec::with_capacity(rows.len() * 2);
     for row in rows {
@@ -49,7 +65,13 @@ pub fn temporal_aggregate(
         events.push((start, x, 1));
         events.push((end, -x, -1));
     }
-    events.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut work = events.len() as u64;
+    let comparisons = Cell::new(0u64);
+    events.sort_by(|a, b| {
+        comparisons.set(comparisons.get() + 1);
+        a.0.cmp(&b.0)
+    });
+    work += comparisons.get();
     let mut out = Vec::new();
     let mut sum = 0.0;
     let mut count: i64 = 0;
@@ -60,6 +82,7 @@ pub fn temporal_aggregate(
             sum += events[i].1;
             count += events[i].2;
             i += 1;
+            work += 1;
         }
         if i < events.len() && count > 0 {
             out.push(Row::new(vec![
@@ -70,7 +93,7 @@ pub fn temporal_aggregate(
             ]));
         }
     }
-    Ok(out)
+    Ok((out, work))
 }
 
 /// The naive SQL:2011 formulation: collect all distinct boundary points,
@@ -82,6 +105,19 @@ pub fn temporal_aggregate_naive(
     end_col: usize,
     value: &crate::Expr,
 ) -> Result<Vec<Row>> {
+    temporal_aggregate_naive_counted(rows, start_col, end_col, value).map(|(out, _)| out)
+}
+
+/// [`temporal_aggregate_naive`] plus its work counter (rows rescanned per
+/// boundary window) — the quadratic witness the linearithmic-bound test
+/// compares against.
+pub fn temporal_aggregate_naive_counted(
+    rows: &[Row],
+    start_col: usize,
+    end_col: usize,
+    value: &crate::Expr,
+) -> Result<(Vec<Row>, u64)> {
+    let _span = obs::span("temporal", "temporal_aggregate_naive");
     let mut boundaries: Vec<Value> = Vec::with_capacity(rows.len() * 2);
     for row in rows {
         let (s, e) = period_of(row, start_col, end_col);
@@ -90,12 +126,14 @@ pub fn temporal_aggregate_naive(
     }
     boundaries.sort();
     boundaries.dedup();
+    let mut work = 0u64;
     let mut out = Vec::new();
     for w in boundaries.windows(2) {
         let (point, next) = (&w[0], &w[1]);
         let mut sum = 0.0;
         let mut count: i64 = 0;
         for row in rows {
+            work += 1;
             let (s, e) = period_of(row, start_col, end_col);
             if s <= *point && *point < e {
                 let v = value.eval(row)?;
@@ -114,7 +152,7 @@ pub fn temporal_aggregate_naive(
             ]));
         }
     }
-    Ok(out)
+    Ok((out, work))
 }
 
 /// Temporal join: equi-join on `(left_keys, right_keys)` where the two
@@ -128,32 +166,39 @@ pub fn temporal_join(
     left_period: (usize, usize),
     right_period: (usize, usize),
 ) -> Vec<Row> {
-    let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
+    let mut span = obs::span("temporal", "temporal_join");
+    // Keys are borrowed, not cloned — the hash table only lives for the
+    // duration of the join, so `Vec<&Value>` avoids a deep clone per row.
+    let mut table: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::with_capacity(right.len());
     for row in right {
-        let key: Vec<Value> = right_keys.iter().map(|&c| row.get(c).clone()).collect();
+        let key: Vec<&Value> = right_keys.iter().map(|&c| row.get(c)).collect();
         table.entry(key).or_default().push(row);
     }
     let mut out = Vec::new();
     for lrow in left {
-        let key: Vec<Value> = left_keys.iter().map(|&c| lrow.get(c).clone()).collect();
+        let key: Vec<&Value> = left_keys.iter().map(|&c| lrow.get(c)).collect();
         let Some(candidates) = table.get(&key) else {
             continue;
         };
-        let (ls, le) = period_of(lrow, left_period.0, left_period.1);
+        let (ls, le) = (lrow.get(left_period.0), lrow.get(left_period.1));
         for rrow in candidates {
-            let (rs, re) = period_of(rrow, right_period.0, right_period.1);
-            let start = if ls >= rs { ls.clone() } else { rs.clone() };
-            let end = if le <= re { le.clone() } else { re.clone() };
+            let (rs, re) = (rrow.get(right_period.0), rrow.get(right_period.1));
+            // Intersection test on borrowed endpoints *before* any
+            // materialization: non-overlapping (and empty, `start >= end`)
+            // intersections allocate nothing.
+            let start = if ls >= rs { ls } else { rs };
+            let end = if le <= re { le } else { re };
             if start < end {
-                let mut row = lrow.concat(rrow);
-                let mut values = row.values().to_vec();
-                values.push(start);
-                values.push(end);
-                row = Row::new(values);
-                out.push(row);
+                let mut values = Vec::with_capacity(lrow.arity() + rrow.arity() + 2);
+                values.extend_from_slice(lrow.values());
+                values.extend_from_slice(rrow.values());
+                values.push(start.clone());
+                values.push(end.clone());
+                out.push(Row::new(values));
             }
         }
     }
+    span.arg_with("rows", || out.len().to_string());
     out
 }
 
@@ -162,6 +207,7 @@ pub fn temporal_join(
 /// next row. This generalizes K4/K5's "previous version" retrieval to all
 /// keys, as R7 requires.
 pub fn version_delta(rows: &[Row], key_cols: &[usize], order_col: usize) -> Vec<Row> {
+    let _span = obs::span("temporal", "version_delta");
     let mut chains: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
     for row in rows {
         let key: Vec<Value> = key_cols.iter().map(|&c| row.get(c).clone()).collect();
@@ -244,6 +290,49 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_linearithmic_naive_is_quadratic() {
+        // Randomized input, large enough that the asymptotic gap is
+        // unambiguous: the sweep's counted work must stay within a
+        // linearithmic bound while the naive formulation provably does
+        // Ω(n²) row visits. Output equivalence is asserted on the same run.
+        let n: u64 = 1000;
+        let mut rng = bitempo_core::Pcg32::new(11, 7);
+        let rows: Vec<Row> = (0..n as i64)
+            .map(|i| {
+                let s = rng.int_range(0, 2000);
+                let e = s + rng.int_range(1, 200);
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Double(rng.int_range(1, 100) as f64),
+                    Value::Date(AppDate(s)),
+                    Value::Date(AppDate(e)),
+                ])
+            })
+            .collect();
+        let (sweep, sweep_work) = temporal_aggregate_counted(&rows, 2, 3, &col(1)).unwrap();
+        let (naive, naive_work) = temporal_aggregate_naive_counted(&rows, 2, 3, &col(1)).unwrap();
+        assert_eq!(sweep, naive, "same answer from both formulations");
+
+        // 2n events; sort comparisons + construction + sweep iterations
+        // must stay within C·m·log2(m), m = 2n, with generous C = 4.
+        let m = 2 * n;
+        let bound = 4 * m * (u64::BITS - m.leading_zeros()) as u64;
+        assert!(
+            sweep_work <= bound,
+            "sweep work {sweep_work} exceeds linearithmic bound {bound}"
+        );
+        // The naive plan rescans all n rows for ~2n-1 boundary windows.
+        assert!(
+            naive_work >= n * n / 8,
+            "naive work {naive_work} unexpectedly below quadratic floor"
+        );
+        assert!(
+            naive_work > 8 * sweep_work,
+            "sweep ({sweep_work}) must beat naive ({naive_work}) by a wide margin"
+        );
+    }
+
+    #[test]
     fn empty_and_degenerate_periods() {
         assert!(temporal_aggregate(&[], 2, 3, &col(1)).unwrap().is_empty());
         let degenerate = vec![Row::new(vec![
@@ -253,7 +342,9 @@ mod tests {
             Value::Date(AppDate(3)),
         ])];
         assert!(
-            temporal_aggregate(&degenerate, 2, 3, &col(1)).unwrap().is_empty(),
+            temporal_aggregate(&degenerate, 2, 3, &col(1))
+                .unwrap()
+                .is_empty(),
             "empty periods contribute nothing"
         );
     }
@@ -279,11 +370,31 @@ mod tests {
     }
 
     #[test]
+    fn join_meeting_periods_produce_no_row() {
+        // [1,5) ⋈ [5,9): the periods *meet* but do not overlap — the
+        // intersection [5,5) is empty and must yield no output row (and,
+        // since the test is hoisted before materialization, no allocation).
+        let l = |k: i64, s: i64, e: i64| {
+            Row::new(vec![
+                Value::Int(k),
+                Value::Date(AppDate(s)),
+                Value::Date(AppDate(e)),
+            ])
+        };
+        let left = vec![l(1, 1, 5)];
+        let right = vec![l(1, 5, 9)];
+        let out = temporal_join(&left, &right, &[0], &[0], (1, 2), (1, 2));
+        assert!(out.is_empty(), "meeting periods have an empty intersection");
+        // Flipped operands too.
+        let out = temporal_join(&right, &left, &[0], &[0], (1, 2), (1, 2));
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn version_deltas() {
         // (key, price, sys_start)
-        let v = |k: i64, p: f64, t: i64| {
-            Row::new(vec![Value::Int(k), Value::Double(p), Value::Int(t)])
-        };
+        let v =
+            |k: i64, p: f64, t: i64| Row::new(vec![Value::Int(k), Value::Double(p), Value::Int(t)]);
         let rows = vec![v(1, 100.0, 1), v(1, 110.0, 5), v(1, 90.0, 9), v(2, 50.0, 2)];
         let out = version_delta(&rows, &[0], 2);
         assert_eq!(out.len(), 2, "two consecutive pairs for key 1, none for 2");

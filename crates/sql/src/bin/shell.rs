@@ -63,7 +63,10 @@ fn main() {
 
     let mut engine: Box<dyn BitemporalEngine> = build_engine(kind);
     if !empty {
-        eprintln!("generating TPC-BiH instance (h = {h}, m = {m}) on {} ...", kind.name());
+        eprintln!(
+            "generating TPC-BiH instance (h = {h}, m = {m}) on {} ...",
+            kind.name()
+        );
         let data = bitempo_dbgen::generate(&ScaleConfig::with_h(h));
         let history = bitempo_histgen::generate_history(&data, &HistoryConfig::with_m(m));
         let ids = loader::load_initial(engine.as_mut(), &data).expect("initial load");

@@ -2,7 +2,7 @@
 
 use crate::ast::*;
 use bitempo_core::date::parse_iso_date;
-use bitempo_core::{AppDate, AppPeriod, Error, Key, Period, Result, Row, SysTime, Value};
+use bitempo_core::{obs, AppDate, AppPeriod, Error, Key, Period, Result, Row, SysTime, Value};
 use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
 use bitempo_engine::BitemporalEngine;
 use bitempo_query::expr::Expr;
@@ -203,9 +203,8 @@ fn bind_scalar_inner(
 ) -> Result<Expr> {
     Ok(match expr {
         ScalarExpr::Column(name) => {
-            let b = binding.ok_or_else(|| {
-                Error::Invalid(format!("column {name} not allowed here"))
-            })?;
+            let b =
+                binding.ok_or_else(|| Error::Invalid(format!("column {name} not allowed here")))?;
             Expr::Col(b.col(name)?)
         }
         ScalarExpr::Literal(v) => Expr::Lit(v.clone()),
@@ -246,9 +245,7 @@ fn bind_predicate(
                 CmpOp::Ge => l.ge(r),
             }
         }
-        Predicate::Like(expr, pattern) => {
-            bind_scalar(engine, binding, expr)?.like(pattern.clone())
-        }
+        Predicate::Like(expr, pattern) => bind_scalar(engine, binding, expr)?.like(pattern.clone()),
         Predicate::Between(expr, lo, hi) => {
             let e = bind_scalar(engine, binding, expr)?;
             e.between(
@@ -257,14 +254,15 @@ fn bind_predicate(
             )
         }
         Predicate::InList(expr, items) => {
-            let values: Result<Vec<Value>> =
-                items.iter().map(|i| const_value(engine, i)).collect();
+            let values: Result<Vec<Value>> = items.iter().map(|i| const_value(engine, i)).collect();
             bind_scalar(engine, binding, expr)?.in_list(values?)
         }
-        Predicate::And(a, b) => bind_predicate(engine, binding, a)?
-            .and(bind_predicate(engine, binding, b)?),
-        Predicate::Or(a, b) => bind_predicate(engine, binding, a)?
-            .or(bind_predicate(engine, binding, b)?),
+        Predicate::And(a, b) => {
+            bind_predicate(engine, binding, a)?.and(bind_predicate(engine, binding, b)?)
+        }
+        Predicate::Or(a, b) => {
+            bind_predicate(engine, binding, a)?.or(bind_predicate(engine, binding, b)?)
+        }
         Predicate::Not(a) => bind_predicate(engine, binding, a)?.negate(),
     })
 }
@@ -353,7 +351,9 @@ fn app_point(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<AppDate
     match const_value(engine, expr)? {
         Value::Date(d) => Ok(d),
         Value::Int(i) => Ok(AppDate(i)),
-        other => Err(Error::Invalid(format!("bad application time point: {other}"))),
+        other => Err(Error::Invalid(format!(
+            "bad application time point: {other}"
+        ))),
     }
 }
 
@@ -361,10 +361,9 @@ fn sys_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Resul
     Ok(match clause {
         None => SysSpec::Current,
         Some(TimeClause::AsOf(e)) => SysSpec::AsOf(sys_point(engine, e)?),
-        Some(TimeClause::FromTo(a, b)) => SysSpec::Range(Period::new(
-            sys_point(engine, a)?,
-            sys_point(engine, b)?,
-        )),
+        Some(TimeClause::FromTo(a, b)) => {
+            SysSpec::Range(Period::new(sys_point(engine, a)?, sys_point(engine, b)?))
+        }
         Some(TimeClause::All) => SysSpec::All,
     })
 }
@@ -373,15 +372,15 @@ fn app_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Resul
     Ok(match clause {
         None => AppSpec::All,
         Some(TimeClause::AsOf(e)) => AppSpec::AsOf(app_point(engine, e)?),
-        Some(TimeClause::FromTo(a, b)) => AppSpec::Range(Period::new(
-            app_point(engine, a)?,
-            app_point(engine, b)?,
-        )),
+        Some(TimeClause::FromTo(a, b)) => {
+            AppSpec::Range(Period::new(app_point(engine, a)?, app_point(engine, b)?))
+        }
         Some(TimeClause::All) => AppSpec::All,
     })
 }
 
 fn run_select(engine: &mut dyn BitemporalEngine, select: &Select) -> Result<QueryOutput> {
+    let _span = obs::span_dyn("sql", || format!("select {}", select.table));
     let table = engine.resolve(&select.table)?;
     let def = engine.table_def(table).clone();
     if select.business_time.is_some() && !def.has_app_time() {
@@ -409,9 +408,10 @@ fn run_select(engine: &mut dyn BitemporalEngine, select: &Select) -> Result<Quer
         rows = filter(&rows, &residual)?;
     }
 
-    let has_aggregates = select.projections.iter().any(|p| {
-        matches!(p, Projection::CountStar | Projection::Aggregate(_, _))
-    });
+    let has_aggregates = select
+        .projections
+        .iter()
+        .any(|p| matches!(p, Projection::CountStar | Projection::Aggregate(_, _)));
 
     let (columns, mut out) = if has_aggregates || !select.group_by.is_empty() {
         run_grouped(engine, &binding, select, &rows)?
@@ -425,7 +425,9 @@ fn run_select(engine: &mut dyn BitemporalEngine, select: &Select) -> Result<Quer
         let idx = match &k.target {
             OrderTarget::Position(p) => {
                 if *p == 0 || *p > columns.len() {
-                    return Err(Error::Invalid(format!("ORDER BY position {p} out of range")));
+                    return Err(Error::Invalid(format!(
+                        "ORDER BY position {p} out of range"
+                    )));
                 }
                 p - 1
             }
@@ -497,8 +499,7 @@ fn run_grouped(
     select: &Select,
     rows: &[Row],
 ) -> Result<(Vec<String>, Vec<Row>)> {
-    let group_cols: Result<Vec<usize>> =
-        select.group_by.iter().map(|g| binding.col(g)).collect();
+    let group_cols: Result<Vec<usize>> = select.group_by.iter().map(|g| binding.col(g)).collect();
     let group_cols = group_cols?;
     let mut aggs = Vec::new();
     // Map each projection to a position in the aggregate output
@@ -509,11 +510,8 @@ fn run_grouped(
         names.push(projection_name(p, i));
         match p {
             Projection::Expr(ScalarExpr::Column(c), _) => {
-                let pos = select
-                    .group_by
-                    .iter()
-                    .position(|g| g == c)
-                    .ok_or_else(|| {
+                let pos =
+                    select.group_by.iter().position(|g| g == c).ok_or_else(|| {
                         Error::Invalid(format!("column {c} must appear in GROUP BY"))
                     })?;
                 output_slots.push(pos);
@@ -542,10 +540,7 @@ fn run_grouped(
         }
     }
     let grouped = aggregate(rows, &group_cols, &aggs)?;
-    let out = grouped
-        .iter()
-        .map(|r| r.project(&output_slots))
-        .collect();
+    let out = grouped.iter().map(|r| r.project(&output_slots)).collect();
     Ok((names, out))
 }
 
@@ -554,12 +549,7 @@ fn app_period(
     portion: Option<&(ScalarExpr, ScalarExpr)>,
 ) -> Result<Option<AppPeriod>> {
     portion
-        .map(|(a, b)| {
-            Ok(Period::new(
-                app_point(engine, a)?,
-                app_point(engine, b)?,
-            ))
-        })
+        .map(|(a, b)| Ok(Period::new(app_point(engine, a)?, app_point(engine, b)?)))
         .transpose()
 }
 
@@ -569,6 +559,7 @@ fn run_insert(
     values: &[ScalarExpr],
     business_time: Option<&(ScalarExpr, ScalarExpr)>,
 ) -> Result<QueryOutput> {
+    let _span = obs::span_dyn("sql", || format!("insert {table}"));
     let id = engine.resolve(table)?;
     let row: Result<Vec<Value>> = values.iter().map(|v| const_value(engine, v)).collect();
     let app = app_period(engine, business_time)?;
@@ -607,14 +598,11 @@ fn key_from_where(
     let mut key_values = Vec::new();
     for &k in &def.key {
         let name = &def.schema.column(k).name;
-        let (_, expr) = eqs
-            .iter()
-            .find(|(c, _)| c == name)
-            .ok_or_else(|| {
-                Error::Invalid(format!(
-                    "DML WHERE must pin the primary key; missing {name}"
-                ))
-            })?;
+        let (_, expr) = eqs.iter().find(|(c, _)| c == name).ok_or_else(|| {
+            Error::Invalid(format!(
+                "DML WHERE must pin the primary key; missing {name}"
+            ))
+        })?;
         key_values.push(const_value(engine, expr)?);
     }
     Ok(match key_values.as_slice() {
@@ -631,6 +619,7 @@ fn run_update(
     set: &[(String, ScalarExpr)],
     where_clause: &Predicate,
 ) -> Result<QueryOutput> {
+    let _span = obs::span_dyn("sql", || format!("update {table}"));
     let id = engine.resolve(table)?;
     let key = key_from_where(engine, id, where_clause)?;
     let def = engine.table_def(id).clone();
@@ -649,6 +638,7 @@ fn run_delete(
     portion: Option<&(ScalarExpr, ScalarExpr)>,
     where_clause: &Predicate,
 ) -> Result<QueryOutput> {
+    let _span = obs::span_dyn("sql", || format!("delete {table}"));
     let id = engine.resolve(table)?;
     let key = key_from_where(engine, id, where_clause)?;
     let app = app_period(engine, portion)?;
@@ -671,7 +661,15 @@ mod tests {
         };
         assert_eq!(
             columns,
-            &["id", "name", "price", "app_start", "app_end", "sys_start", "sys_end"]
+            &[
+                "id",
+                "name",
+                "price",
+                "app_start",
+                "app_end",
+                "sys_start",
+                "sys_end"
+            ]
         );
         assert_eq!(rows.len(), 1);
     }
@@ -699,7 +697,11 @@ mod tests {
         .unwrap();
         let rows = out.rows();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].get(0), &Value::Int(4), "current versions incl. split");
+        assert_eq!(
+            rows[0].get(0),
+            &Value::Int(4),
+            "current versions incl. split"
+        );
         assert_eq!(rows[0].get(2), &Value::str("hammer"));
     }
 
@@ -728,11 +730,7 @@ mod tests {
         let out = run_sql(db.as_mut(), "SELECT COUNT(*) FROM items").unwrap();
         assert_eq!(out.rows()[0].get(0), &Value::Int(5));
 
-        let out = run_sql(
-            db.as_mut(),
-            "UPDATE items SET price = 42.0 WHERE id = 4",
-        )
-        .unwrap();
+        let out = run_sql(db.as_mut(), "UPDATE items SET price = 42.0 WHERE id = 4").unwrap();
         assert!(matches!(out, QueryOutput::Affected(1)));
         run_sql(db.as_mut(), "COMMIT").unwrap();
         let out = run_sql(db.as_mut(), "SELECT price FROM items WHERE id = 4").unwrap();
@@ -786,7 +784,11 @@ mod tests {
         assert!(run_sql(db.as_mut(), "SELECT nope FROM items").is_err());
         assert!(run_sql(db.as_mut(), "SELECT * FROM nope").is_err());
         assert!(run_sql(db.as_mut(), "UPDATE items SET price = 1 WHERE name = 'saw'").is_err());
-        assert!(run_sql(db.as_mut(), "SELECT name, COUNT(*) FROM items GROUP BY price").is_err());
+        assert!(run_sql(
+            db.as_mut(),
+            "SELECT name, COUNT(*) FROM items GROUP BY price"
+        )
+        .is_err());
     }
 
     #[test]

@@ -171,20 +171,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|e| {
-                        Error::Invalid(format!("bad float {text}: {e}"))
-                    })?));
+                    tokens
+                        .push(Token::Float(text.parse().map_err(|e| {
+                            Error::Invalid(format!("bad float {text}: {e}"))
+                        })?));
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|e| {
-                        Error::Invalid(format!("bad integer {text}: {e}"))
-                    })?));
+                    tokens
+                        .push(Token::Int(text.parse().map_err(|e| {
+                            Error::Invalid(format!("bad integer {text}: {e}"))
+                        })?));
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));

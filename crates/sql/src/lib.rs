@@ -84,12 +84,24 @@ pub(crate) mod testdb {
         let row = |id: i64, name: &str, price: f64| {
             Row::new(vec![Value::Int(id), Value::str(name), Value::Double(price)])
         };
-        db.insert(t, row(1, "hammer", 10.0), Some(AppPeriod::since(AppDate(100))))
-            .unwrap();
-        db.insert(t, row(2, "wrench", 20.0), Some(AppPeriod::since(AppDate(150))))
-            .unwrap();
-        db.insert(t, row(3, "saw", 30.0), Some(Period::new(AppDate(100), AppDate(300))))
-            .unwrap();
+        db.insert(
+            t,
+            row(1, "hammer", 10.0),
+            Some(AppPeriod::since(AppDate(100))),
+        )
+        .unwrap();
+        db.insert(
+            t,
+            row(2, "wrench", 20.0),
+            Some(AppPeriod::since(AppDate(150))),
+        )
+        .unwrap();
+        db.insert(
+            t,
+            row(3, "saw", 30.0),
+            Some(Period::new(AppDate(100), AppDate(300))),
+        )
+        .unwrap();
         db.commit(); // t1
         db.update(
             t,

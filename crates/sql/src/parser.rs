@@ -108,7 +108,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s.to_ascii_lowercase()),
-            other => Err(Error::Invalid(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Invalid(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -359,7 +361,11 @@ impl Parser {
             Some(Token::Le) => CmpOp::Le,
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::Ge) => CmpOp::Ge,
-            other => return Err(Error::Invalid(format!("expected comparison, found {other:?}"))),
+            other => {
+                return Err(Error::Invalid(format!(
+                    "expected comparison, found {other:?}"
+                )))
+            }
         };
         let right = self.scalar()?;
         Ok(Predicate::Compare { op, left, right })
@@ -423,15 +429,15 @@ impl Parser {
             Some(Token::Int(i)) => Ok(ScalarExpr::Literal(Value::Int(i))),
             Some(Token::Float(f)) => Ok(ScalarExpr::Literal(Value::Double(f))),
             Some(Token::Str(s)) => Ok(ScalarExpr::Literal(Value::str(s))),
-            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("date") => {
-                match self.advance() {
-                    Some(Token::Str(s)) => Ok(ScalarExpr::DateLiteral(s)),
-                    other => Err(Error::Invalid(format!("bad DATE literal: {other:?}"))),
-                }
-            }
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("date") => match self.advance() {
+                Some(Token::Str(s)) => Ok(ScalarExpr::DateLiteral(s)),
+                other => Err(Error::Invalid(format!("bad DATE literal: {other:?}"))),
+            },
             Some(Token::Ident(id)) if id.eq_ignore_ascii_case("now") => Ok(ScalarExpr::Now),
             Some(Token::Ident(id)) => Ok(ScalarExpr::Column(id.to_ascii_lowercase())),
-            other => Err(Error::Invalid(format!("expected expression, found {other:?}"))),
+            other => Err(Error::Invalid(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -541,24 +547,18 @@ mod tests {
              FOR BUSINESS_TIME FROM DATE '1995-01-01' TO DATE '1996-01-01'",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(
             sel.system_time,
             Some(TimeClause::AsOf(ScalarExpr::Literal(Value::Int(7))))
         );
         assert!(matches!(sel.business_time, Some(TimeClause::FromTo(_, _))));
         let s = parse("SELECT * FROM orders FOR SYSTEM_TIME ALL").unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.system_time, Some(TimeClause::All));
         // NOW as a system-time point.
         let s = parse("SELECT * FROM orders FOR SYSTEM_TIME AS OF NOW").unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.system_time, Some(TimeClause::AsOf(ScalarExpr::Now)));
     }
 
@@ -569,9 +569,7 @@ mod tests {
              FROM orders GROUP BY o_orderstatus",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.projections.len(), 4);
         assert!(matches!(sel.projections[1], Projection::CountStar));
         assert!(matches!(
@@ -588,9 +586,7 @@ mod tests {
              AND d BETWEEN 1 AND 10 AND e IN (1, 2, 3)",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert!(sel.where_clause.is_some());
     }
 
@@ -599,17 +595,27 @@ mod tests {
         let s = parse("INSERT INTO items VALUES (1, 'hammer', 9.99)").unwrap();
         assert!(matches!(s, Statement::Insert { ref table, ref values, .. }
             if table == "items" && values.len() == 3));
-        let s = parse(
-            "INSERT INTO items BUSINESS_TIME FROM 10 TO 20 VALUES (1, 'x', 1.0)",
-        )
-        .unwrap();
-        assert!(matches!(s, Statement::Insert { business_time: Some(_), .. }));
+        let s =
+            parse("INSERT INTO items BUSINESS_TIME FROM 10 TO 20 VALUES (1, 'x', 1.0)").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                business_time: Some(_),
+                ..
+            }
+        ));
         let s = parse(
             "UPDATE items FOR PORTION OF BUSINESS_TIME FROM 10 TO 20 \
              SET price = 11.0 WHERE id = 1",
         )
         .unwrap();
-        assert!(matches!(s, Statement::Update { portion: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Update {
+                portion: Some(_),
+                ..
+            }
+        ));
         let s = parse("DELETE FROM items WHERE id = 3").unwrap();
         assert!(matches!(s, Statement::Delete { portion: None, .. }));
         assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
@@ -623,9 +629,7 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let s = parse("SELECT a + b * 2 FROM t").unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         let Projection::Expr(ScalarExpr::Binary { op, right, .. }, _) = &sel.projections[0] else {
             panic!()
         };

@@ -195,10 +195,7 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
     }
 
     /// Iterates entries whose keys fall in `range`, in key order.
-    pub fn range(
-        &self,
-        range: (Bound<&K>, Bound<&K>),
-    ) -> impl Iterator<Item = (&K, &V)> + '_ {
+    pub fn range(&self, range: (Bound<&K>, Bound<&K>)) -> impl Iterator<Item = (&K, &V)> + '_ {
         let (leaf, pos) = match range.0 {
             Bound::Included(k) => self.seek(k, true),
             Bound::Excluded(k) => self.seek(k, false),

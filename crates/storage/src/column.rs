@@ -7,8 +7,8 @@
 //! delta rows are renumbered onto the end of main in append order, which
 //! preserves ids because the delta always sits logically after main).
 
-use bitempo_core::{DataType, Error, Result, Row, Schema, Value};
 use bitempo_core::time::{AppDate, SysTime};
+use bitempo_core::{DataType, Error, Result, Row, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -109,8 +109,16 @@ pub struct ColumnTable {
 impl ColumnTable {
     /// Creates an empty table with the given value schema.
     pub fn new(schema: Schema) -> ColumnTable {
-        let main = schema.columns().iter().map(|c| ColumnData::new(c.dtype)).collect();
-        let delta = schema.columns().iter().map(|c| ColumnData::new(c.dtype)).collect();
+        let main = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::new(c.dtype))
+            .collect();
+        let delta = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::new(c.dtype))
+            .collect();
         let n = schema.arity();
         ColumnTable {
             schema,
@@ -199,7 +207,11 @@ impl ColumnTable {
         let (data, nulls, pos) = if row < self.main_len {
             (&self.main[col], &self.main_nulls[col], row)
         } else {
-            (&self.delta[col], &self.delta_nulls[col], row - self.main_len)
+            (
+                &self.delta[col],
+                &self.delta_nulls[col],
+                row - self.main_len,
+            )
         };
         if let Some(mask) = nulls {
             if mask.get(pos).copied().unwrap_or(false) {

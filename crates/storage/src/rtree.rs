@@ -45,9 +45,24 @@ impl Rect {
         Rect::new(x, x, y, y)
     }
 
-    /// True if the rectangles share any point.
+    /// True if the rectangle contains no point: some axis is inverted
+    /// (`min > max`). A half-open period `[s, e)` with `e <= s` converts to
+    /// exactly such a rectangle (`[s, e - 1]` with `e - 1 < s`), so empty
+    /// query periods become empty rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.x_min > self.x_max || self.y_min > self.y_max
+    }
+
+    /// True if the rectangles share any point. Inclusive on both ends —
+    /// rectangles touching only at an edge *do* intersect, which is why
+    /// half-open periods must be converted with `end - 1` before indexing
+    /// (see [`Rect`] docs). An empty rectangle (inverted axis) intersects
+    /// nothing: the coordinate comparisons alone would spuriously accept
+    /// `other` ranges that straddle the inversion point.
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.x_min <= other.x_max
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x_min <= other.x_max
             && other.x_min <= self.x_max
             && self.y_min <= other.y_max
             && other.y_min <= self.y_max
@@ -159,7 +174,12 @@ impl<T: Clone> RTree<T> {
     }
 
     /// Recursive insert; on split returns both halves' bounding rects/ids.
-    fn insert_into(&mut self, node: usize, rect: Rect, value: T) -> Option<(Rect, usize, Rect, usize)> {
+    fn insert_into(
+        &mut self,
+        node: usize,
+        rect: Rect,
+        value: T,
+    ) -> Option<(Rect, usize, Rect, usize)> {
         if self.nodes[node].is_leaf {
             self.nodes[node].entries.push(Entry {
                 rect,
@@ -305,6 +325,25 @@ mod tests {
         assert!(!a.intersects(&c));
         assert_eq!(a.union(&c), Rect::new(0, 20, 0, 10));
         assert!(Rect::point(5, 5).intersects(&a));
+    }
+
+    #[test]
+    fn empty_rects_intersect_nothing() {
+        let a = Rect::new(0, 10, 0, 10);
+        // An empty half-open period [5, 5) converts to [5, 4]: inverted.
+        let empty_x = Rect::new(5, 4, 0, 10);
+        let empty_y = Rect::new(0, 10, 5, 4);
+        assert!(empty_x.is_empty());
+        assert!(empty_y.is_empty());
+        assert!(!a.is_empty());
+        // Raw coordinate comparisons would accept these (5 <= 10 && 0 <= 4),
+        // matching versions that straddle the inversion point.
+        assert!(!empty_x.intersects(&a), "empty query rect matches nothing");
+        assert!(!a.intersects(&empty_x), "in either operand position");
+        assert!(!empty_y.intersects(&a));
+        assert!(!empty_x.intersects(&empty_y));
+        // Degenerate-but-nonempty rects (points) still behave.
+        assert!(!Rect::point(5, 5).is_empty());
     }
 
     #[test]

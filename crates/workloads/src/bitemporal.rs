@@ -27,12 +27,7 @@ pub enum Dim<T> {
 
 /// Executes the B3 self-join under the given dimension treatments and
 /// returns the distinct other part keys, sorted.
-pub fn b3(
-    ctx: &Ctx<'_>,
-    part: i64,
-    app: Dim<AppDate>,
-    sys: Dim<SysTime>,
-) -> Result<Vec<Row>> {
+pub fn b3(ctx: &Ctx<'_>, part: i64, app: Dim<AppDate>, sys: Dim<SysTime>) -> Result<Vec<Row>> {
     let app_spec = match app {
         Dim::Point(d) => AppSpec::AsOf(d),
         _ => AppSpec::All,
@@ -180,37 +175,49 @@ mod tests {
     #[test]
     fn agnostic_dominates_points() {
         let p = fixture().params.clone();
-        let agnostic = assert_equivalent(|ctx| {
-            b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial)
-        });
-        let current = assert_equivalent(|ctx| {
-            b3_variant(ctx, 6, PROBE_PART, p.app_mid, p.sys_initial)
-        });
-        let pointy = assert_equivalent(|ctx| {
-            b3_variant(ctx, 1, PROBE_PART, p.app_mid, p.sys_initial)
-        });
+        let agnostic =
+            assert_equivalent(|ctx| b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial));
+        let current =
+            assert_equivalent(|ctx| b3_variant(ctx, 6, PROBE_PART, p.app_mid, p.sys_initial));
+        let pointy =
+            assert_equivalent(|ctx| b3_variant(ctx, 1, PROBE_PART, p.app_mid, p.sys_initial));
         assert!(agnostic.len() >= current.len());
         assert!(current.len() >= pointy.len());
-        assert!(!agnostic.is_empty(), "part 55's suppliers supply other parts");
+        assert!(
+            !agnostic.is_empty(),
+            "part 55's suppliers supply other parts"
+        );
     }
 
     #[test]
     fn invalid_variant_rejected() {
         let fx = fixture();
         let ctx = Ctx::new(fx.engines[0].1.as_ref()).unwrap();
-        assert!(b3_variant(&ctx, 12, PROBE_PART, fx.params.app_mid, fx.params.sys_initial).is_err());
-        assert!(b3_variant(&ctx, 0, PROBE_PART, fx.params.app_mid, fx.params.sys_initial).is_err());
+        assert!(b3_variant(
+            &ctx,
+            12,
+            PROBE_PART,
+            fx.params.app_mid,
+            fx.params.sys_initial
+        )
+        .is_err());
+        assert!(b3_variant(
+            &ctx,
+            0,
+            PROBE_PART,
+            fx.params.app_mid,
+            fx.params.sys_initial
+        )
+        .is_err());
     }
 
     #[test]
     fn correlation_is_a_subset_of_agnostic() {
         let p = fixture().params.clone();
-        let corr = assert_equivalent(|ctx| {
-            b3_variant(ctx, 5, PROBE_PART, p.app_mid, p.sys_initial)
-        });
-        let agnostic = assert_equivalent(|ctx| {
-            b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial)
-        });
+        let corr =
+            assert_equivalent(|ctx| b3_variant(ctx, 5, PROBE_PART, p.app_mid, p.sys_initial));
+        let agnostic =
+            assert_equivalent(|ctx| b3_variant(ctx, 11, PROBE_PART, p.app_mid, p.sys_initial));
         use std::collections::HashSet;
         let a: HashSet<_> = agnostic.iter().collect();
         for r in &corr {

@@ -153,7 +153,10 @@ pub fn value_approx_eq(a: &bitempo_core::Value, b: &bitempo_core::Value, tol: f6
             (x - y).abs() <= tol * scale
         }
         (Value::Double(_), Value::Int(_)) | (Value::Int(_), Value::Double(_)) => {
-            let (x, y) = (a.as_double().unwrap_or(f64::NAN), b.as_double().unwrap_or(f64::NAN));
+            let (x, y) = (
+                a.as_double().unwrap_or(f64::NAN),
+                b.as_double().unwrap_or(f64::NAN),
+            );
             let scale = x.abs().max(y.abs()).max(1.0);
             (x - y).abs() <= tol * scale
         }
@@ -211,8 +214,7 @@ pub(crate) mod fixtures {
     pub fn fixture() -> &'static Fixture {
         FIXTURE.get_or_init(|| {
             let data = bitempo_dbgen::generate(&ScaleConfig::tiny());
-            let history =
-                bitempo_histgen::generate_history(&data, &HistoryConfig::tiny());
+            let history = bitempo_histgen::generate_history(&data, &HistoryConfig::tiny());
             let mut engines = Vec::new();
             for kind in SystemKind::ALL {
                 let mut engine = build_engine(kind);

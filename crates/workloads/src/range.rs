@@ -23,11 +23,7 @@ pub fn r1(ctx: &Ctx<'_>) -> Result<Vec<Row>> {
     let from_status = col::orders::ORDERSTATUS;
     let to_status = arity + col::orders::ORDERSTATUS;
     let changed = filter(&pairs, &c(from_status).ne(c(to_status)))?;
-    let mut out = aggregate(
-        &changed,
-        &[from_status, to_status],
-        &[AggExpr::count()],
-    )?;
+    let mut out = aggregate(&changed, &[from_status, to_status], &[AggExpr::count()])?;
     bitempo_query::sort_by(&mut out, &[SortKey::asc(0), SortKey::asc(1)]);
     Ok(out)
 }
@@ -196,9 +192,9 @@ mod tests {
     fn r1_counts_status_transitions() {
         let rows = assert_equivalent(r1);
         // Deliveries (O→F) happen in every history.
-        let of = rows.iter().find(|r| {
-            r.get(0) == &Value::str("O") && r.get(1) == &Value::str("F")
-        });
+        let of = rows
+            .iter()
+            .find(|r| r.get(0) == &Value::str("O") && r.get(1) == &Value::str("F"));
         assert!(of.is_some(), "O→F transitions must exist: {rows:?}");
     }
 

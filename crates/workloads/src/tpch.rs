@@ -134,9 +134,21 @@ pub fn q2(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &c(rg::NAME).eq(lit("EUROPE")),
     )?;
     // ps ⋈ part ⋈ supplier ⋈ nation ⋈ region.
-    let j = hash_join(&partsupp, &part, &[ps::PARTKEY], &[p::PARTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &partsupp,
+        &part,
+        &[ps::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Inner,
+    );
     let o_part = ar(ctx, ctx.t.partsupp);
-    let j = hash_join(&j, &supplier, &[ps::SUPPKEY], &[s::SUPPKEY], JoinKind::Inner);
+    let j = hash_join(
+        &j,
+        &supplier,
+        &[ps::SUPPKEY],
+        &[s::SUPPKEY],
+        JoinKind::Inner,
+    );
     let o_supp = o_part + ar(ctx, ctx.t.part);
     let j = hash_join(
         &j,
@@ -155,7 +167,11 @@ pub fn q2(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     );
     // Min supplycost per part (over the qualifying European offers).
     let mins = aggregate(&j, &[ps::PARTKEY], &[AggExpr::min(c(ps::SUPPLYCOST))])?;
-    let arity = ar(ctx, ctx.t.partsupp) + ar(ctx, ctx.t.part) + ar(ctx, ctx.t.supplier) + ar(ctx, ctx.t.nation) + ar(ctx, ctx.t.region);
+    let arity = ar(ctx, ctx.t.partsupp)
+        + ar(ctx, ctx.t.part)
+        + ar(ctx, ctx.t.supplier)
+        + ar(ctx, ctx.t.nation)
+        + ar(ctx, ctx.t.region);
     let j = hash_join(&j, &mins, &[ps::PARTKEY], &[0], JoinKind::Inner);
     let j = filter(&j, &c(ps::SUPPLYCOST).eq(c(arity + 1)))?;
     let out = project(
@@ -169,7 +185,16 @@ pub fn q2(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             c(o_supp + s::PHONE),
         ],
     )?;
-    Ok(top_n(&out, &[SortKey::desc(0), SortKey::asc(2), SortKey::asc(1), SortKey::asc(3)], 100))
+    Ok(top_n(
+        &out,
+        &[
+            SortKey::desc(0),
+            SortKey::asc(2),
+            SortKey::asc(1),
+            SortKey::asc(3),
+        ],
+        100,
+    ))
 }
 
 /// Q3: shipping priority (BUILDING, 1995-03-15).
@@ -186,7 +211,13 @@ pub fn q3(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &ctx.tscan(ctx.t.lineitem, tt)?,
         &c(l::SHIPDATE).gt(date(1995, 3, 15)),
     )?;
-    let j = hash_join(&customer, &orders, &[cu::CUSTKEY], &[o::CUSTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &customer,
+        &orders,
+        &[cu::CUSTKEY],
+        &[o::CUSTKEY],
+        JoinKind::Inner,
+    );
     let o_ord = ar(ctx, ctx.t.customer);
     let j = hash_join(
         &j,
@@ -207,7 +238,11 @@ pub fn q3(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         ],
     )?;
     let grouped = aggregate(&keyed, &[0, 1, 2], &[AggExpr::sum(c(3))])?;
-    Ok(top_n(&grouped, &[SortKey::desc(3), SortKey::asc(1), SortKey::asc(0)], 10))
+    Ok(top_n(
+        &grouped,
+        &[SortKey::desc(3), SortKey::asc(1), SortKey::asc(0)],
+        10,
+    ))
 }
 
 /// Q4: order-priority checking (1993-Q3).
@@ -222,7 +257,13 @@ pub fn q4(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &ctx.tscan(ctx.t.lineitem, tt)?,
         &c(l::COMMITDATE).lt(c(l::RECEIPTDATE)),
     )?;
-    let j = hash_join(&orders, &lineitem, &[o::ORDERKEY], &[l::ORDERKEY], JoinKind::Semi);
+    let j = hash_join(
+        &orders,
+        &lineitem,
+        &[o::ORDERKEY],
+        &[l::ORDERKEY],
+        JoinKind::Semi,
+    );
     let mut out = aggregate(&j, &[o::ORDERPRIORITY], &[AggExpr::count()])?;
     sort_by(&mut out, &[SortKey::asc(0)]);
     Ok(out)
@@ -242,7 +283,13 @@ pub fn q5(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let lineitem = ctx.tscan(ctx.t.lineitem, tt)?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
 
-    let j = hash_join(&region, &nation, &[rg::REGIONKEY], &[n::REGIONKEY], JoinKind::Inner);
+    let j = hash_join(
+        &region,
+        &nation,
+        &[rg::REGIONKEY],
+        &[n::REGIONKEY],
+        JoinKind::Inner,
+    );
     let o_nat = ar(ctx, ctx.t.region);
     let j = hash_join(
         &j,
@@ -307,7 +354,9 @@ pub fn q7(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let nation = ctx.tscan(ctx.t.nation, tt)?;
     let fr_de = filter(
         &nation,
-        &c(n::NAME).eq(lit("FRANCE")).or(c(n::NAME).eq(lit("GERMANY"))),
+        &c(n::NAME)
+            .eq(lit("FRANCE"))
+            .or(c(n::NAME).eq(lit("GERMANY"))),
     )?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
     let customer = ctx.tscan(ctx.t.customer, tt)?;
@@ -319,12 +368,30 @@ pub fn q7(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(l::SHIPDATE).le(date(1996, 12, 31))),
     )?;
     // supplier ⋈ n1
-    let sj = hash_join(&supplier, &fr_de, &[s::NATIONKEY], &[n::NATIONKEY], JoinKind::Inner);
+    let sj = hash_join(
+        &supplier,
+        &fr_de,
+        &[s::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Inner,
+    );
     let o_n1 = ar(ctx, ctx.t.supplier);
     // customer ⋈ n2
-    let cj = hash_join(&customer, &fr_de, &[cu::NATIONKEY], &[n::NATIONKEY], JoinKind::Inner);
+    let cj = hash_join(
+        &customer,
+        &fr_de,
+        &[cu::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Inner,
+    );
     // lineitem ⋈ sj
-    let j = hash_join(&lineitem, &sj, &[l::SUPPKEY], &[s::SUPPKEY], JoinKind::Inner);
+    let j = hash_join(
+        &lineitem,
+        &sj,
+        &[l::SUPPKEY],
+        &[s::SUPPKEY],
+        JoinKind::Inner,
+    );
     let o_sj = ar(ctx, ctx.t.lineitem);
     // ⋈ orders
     let j = hash_join(&j, &orders, &[l::ORDERKEY], &[o::ORDERKEY], JoinKind::Inner);
@@ -350,7 +417,10 @@ pub fn q7(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let volume = c(l::EXTENDEDPRICE).mul(lit(1.0).sub(c(l::DISCOUNT)));
     let keyed = project(&j, &[c(supp_nation), c(cust_nation), year, volume])?;
     let mut out = aggregate(&keyed, &[0, 1, 2], &[AggExpr::sum(c(3))])?;
-    sort_by(&mut out, &[SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)]);
+    sort_by(
+        &mut out,
+        &[SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+    );
     Ok(out)
 }
 
@@ -360,7 +430,10 @@ pub fn q8(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &ctx.tscan(ctx.t.part, tt)?,
         &c(p::TYPE).eq(lit("ECONOMY ANODIZED STEEL")),
     )?;
-    let region = filter(&ctx.tscan(ctx.t.region, tt)?, &c(rg::NAME).eq(lit("AMERICA")))?;
+    let region = filter(
+        &ctx.tscan(ctx.t.region, tt)?,
+        &c(rg::NAME).eq(lit("AMERICA")),
+    )?;
     let nation = ctx.tscan(ctx.t.nation, tt)?;
     let customer = ctx.tscan(ctx.t.customer, tt)?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
@@ -372,7 +445,13 @@ pub fn q8(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     )?;
     let lineitem = ctx.tscan(ctx.t.lineitem, tt)?;
 
-    let j = hash_join(&lineitem, &part, &[l::PARTKEY], &[p::PARTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &lineitem,
+        &part,
+        &[l::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Inner,
+    );
     let j = hash_join(&j, &orders, &[l::ORDERKEY], &[o::ORDERKEY], JoinKind::Inner);
     let o_ord = ar(ctx, ctx.t.lineitem) + ar(ctx, ctx.t.part);
     let j = hash_join(
@@ -384,7 +463,13 @@ pub fn q8(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     );
     let o_cust = o_ord + ar(ctx, ctx.t.orders);
     // Customer's nation must lie in AMERICA.
-    let cn = hash_join(&nation, &region, &[n::REGIONKEY], &[rg::REGIONKEY], JoinKind::Semi);
+    let cn = hash_join(
+        &nation,
+        &region,
+        &[n::REGIONKEY],
+        &[rg::REGIONKEY],
+        JoinKind::Semi,
+    );
     let j = hash_join(
         &j,
         &cn,
@@ -430,7 +515,13 @@ pub fn q9(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let orders = ctx.tscan(ctx.t.orders, tt)?;
     let nation = ctx.tscan(ctx.t.nation, tt)?;
 
-    let j = hash_join(&lineitem, &part, &[l::PARTKEY], &[p::PARTKEY], JoinKind::Semi);
+    let j = hash_join(
+        &lineitem,
+        &part,
+        &[l::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Semi,
+    );
     let j = hash_join(
         &j,
         &partsupp,
@@ -484,7 +575,13 @@ pub fn q10(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &c(l::RETURNFLAG).eq(lit("R")),
     )?;
     let nation = ctx.tscan(ctx.t.nation, tt)?;
-    let j = hash_join(&customer, &orders, &[cu::CUSTKEY], &[o::CUSTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &customer,
+        &orders,
+        &[cu::CUSTKEY],
+        &[o::CUSTKEY],
+        JoinKind::Inner,
+    );
     let o_ord = ar(ctx, ctx.t.customer);
     let j = hash_join(
         &j,
@@ -494,7 +591,13 @@ pub fn q10(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         JoinKind::Inner,
     );
     let o_li = o_ord + ar(ctx, ctx.t.orders);
-    let j = hash_join(&j, &nation, &[cu::NATIONKEY], &[n::NATIONKEY], JoinKind::Inner);
+    let j = hash_join(
+        &j,
+        &nation,
+        &[cu::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Inner,
+    );
     let o_nat = o_li + ar(ctx, ctx.t.lineitem);
     let revenue = c(o_li + l::EXTENDEDPRICE).mul(lit(1.0).sub(c(o_li + l::DISCOUNT)));
     let keyed = project(
@@ -516,9 +619,24 @@ pub fn q10(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
 pub fn q11(ctx: &Ctx<'_>, tt: &Tt, fraction: f64) -> Result<Vec<Row>> {
     let partsupp = ctx.tscan(ctx.t.partsupp, tt)?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
-    let nation = filter(&ctx.tscan(ctx.t.nation, tt)?, &c(n::NAME).eq(lit("GERMANY")))?;
-    let sj = hash_join(&supplier, &nation, &[s::NATIONKEY], &[n::NATIONKEY], JoinKind::Semi);
-    let j = hash_join(&partsupp, &sj, &[ps::SUPPKEY], &[s::SUPPKEY], JoinKind::Semi);
+    let nation = filter(
+        &ctx.tscan(ctx.t.nation, tt)?,
+        &c(n::NAME).eq(lit("GERMANY")),
+    )?;
+    let sj = hash_join(
+        &supplier,
+        &nation,
+        &[s::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Semi,
+    );
+    let j = hash_join(
+        &partsupp,
+        &sj,
+        &[ps::SUPPKEY],
+        &[s::SUPPKEY],
+        JoinKind::Semi,
+    );
     let value = c(ps::SUPPLYCOST).mul(c(ps::AVAILQTY));
     let keyed = project(&j, &[c(ps::PARTKEY), value])?;
     let per_part = aggregate(&keyed, &[0], &[AggExpr::sum(c(1))])?;
@@ -541,7 +659,13 @@ pub fn q12(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(l::RECEIPTDATE).lt(date(1995, 1, 1))),
     )?;
     let orders = ctx.tscan(ctx.t.orders, tt)?;
-    let j = hash_join(&lineitem, &orders, &[l::ORDERKEY], &[o::ORDERKEY], JoinKind::Inner);
+    let j = hash_join(
+        &lineitem,
+        &orders,
+        &[l::ORDERKEY],
+        &[o::ORDERKEY],
+        JoinKind::Inner,
+    );
     let o_ord = ar(ctx, ctx.t.lineitem);
     let high = Expr::If(
         Box::new(
@@ -574,7 +698,13 @@ pub fn q13(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &ctx.tscan(ctx.t.orders, tt)?,
         &c(o::COMMENT).like("%special%requests%").negate(),
     )?;
-    let j = hash_join(&customer, &orders, &[cu::CUSTKEY], &[o::CUSTKEY], JoinKind::Left);
+    let j = hash_join(
+        &customer,
+        &orders,
+        &[cu::CUSTKEY],
+        &[o::CUSTKEY],
+        JoinKind::Left,
+    );
     let o_ord = ar(ctx, ctx.t.customer);
     // Count orders per customer; NULL orderkey (no match) contributes 0.
     let keyed = project(
@@ -604,7 +734,13 @@ pub fn q14(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(l::SHIPDATE).lt(date(1995, 10, 1))),
     )?;
     let part = ctx.tscan(ctx.t.part, tt)?;
-    let j = hash_join(&lineitem, &part, &[l::PARTKEY], &[p::PARTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &lineitem,
+        &part,
+        &[l::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Inner,
+    );
     let o_part = ar(ctx, ctx.t.lineitem);
     let revenue = c(l::EXTENDEDPRICE).mul(lit(1.0).sub(c(l::DISCOUNT)));
     let promo = Expr::If(
@@ -656,20 +792,34 @@ pub fn q16(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .eq(lit("Brand#45"))
             .negate()
             .and(c(p::TYPE).like("MEDIUM POLISHED%").negate())
-            .and(c(p::SIZE).in_list(
-                [49i64, 14, 23, 45, 19, 3, 36, 9]
-                    .into_iter()
-                    .map(Value::Int)
-                    .collect(),
-            )),
+            .and(
+                c(p::SIZE).in_list(
+                    [49i64, 14, 23, 45, 19, 3, 36, 9]
+                        .into_iter()
+                        .map(Value::Int)
+                        .collect(),
+                ),
+            ),
     )?;
     let partsupp = ctx.tscan(ctx.t.partsupp, tt)?;
     let complainers = filter(
         &ctx.tscan(ctx.t.supplier, tt)?,
         &c(s::COMMENT).like("%Customer%Complaints%"),
     )?;
-    let j = hash_join(&partsupp, &part, &[ps::PARTKEY], &[p::PARTKEY], JoinKind::Inner);
-    let j = hash_join(&j, &complainers, &[ps::SUPPKEY], &[s::SUPPKEY], JoinKind::Anti);
+    let j = hash_join(
+        &partsupp,
+        &part,
+        &[ps::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Inner,
+    );
+    let j = hash_join(
+        &j,
+        &complainers,
+        &[ps::SUPPKEY],
+        &[s::SUPPKEY],
+        JoinKind::Anti,
+    );
     let o_part = ar(ctx, ctx.t.partsupp);
     let keyed = project(
         &j,
@@ -683,7 +833,12 @@ pub fn q16(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let mut out = aggregate(&keyed, &[0, 1, 2], &[AggExpr::count_distinct(c(3))])?;
     sort_by(
         &mut out,
-        &[SortKey::desc(3), SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+        &[
+            SortKey::desc(3),
+            SortKey::asc(0),
+            SortKey::asc(1),
+            SortKey::asc(2),
+        ],
     );
     Ok(out)
 }
@@ -697,14 +852,17 @@ pub fn q17(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(p::CONTAINER).eq(lit("MED BOX"))),
     )?;
     let lineitem = ctx.tscan(ctx.t.lineitem, tt)?;
-    let j = hash_join(&lineitem, &part, &[l::PARTKEY], &[p::PARTKEY], JoinKind::Semi);
+    let j = hash_join(
+        &lineitem,
+        &part,
+        &[l::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Semi,
+    );
     let avg_qty = aggregate(&j, &[l::PARTKEY], &[AggExpr::avg(c(l::QUANTITY))])?;
     let j2 = hash_join(&j, &avg_qty, &[l::PARTKEY], &[0], JoinKind::Inner);
     let threshold_col = ar(ctx, ctx.t.lineitem) + 1;
-    let small = filter(
-        &j2,
-        &c(l::QUANTITY).lt(lit(0.2).mul(c(threshold_col))),
-    )?;
+    let small = filter(&j2, &c(l::QUANTITY).lt(lit(0.2).mul(c(threshold_col))))?;
     let sums = aggregate(&small, &[], &[AggExpr::sum(c(l::EXTENDEDPRICE))])?;
     project(&sums, &[c(0).div(lit(7.0))])
 }
@@ -718,7 +876,13 @@ pub fn q18(ctx: &Ctx<'_>, tt: &Tt, min_qty: f64) -> Result<Vec<Row>> {
     let customer = ctx.tscan(ctx.t.customer, tt)?;
     let j = hash_join(&orders, &big, &[o::ORDERKEY], &[0], JoinKind::Inner);
     let o_qty = ar(ctx, ctx.t.orders) + 1;
-    let j = hash_join(&j, &customer, &[o::CUSTKEY], &[cu::CUSTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &j,
+        &customer,
+        &[o::CUSTKEY],
+        &[cu::CUSTKEY],
+        JoinKind::Inner,
+    );
     let o_cust = ar(ctx, ctx.t.orders) + 2;
     let keyed = project(
         &j,
@@ -731,7 +895,11 @@ pub fn q18(ctx: &Ctx<'_>, tt: &Tt, min_qty: f64) -> Result<Vec<Row>> {
             c(o_qty),
         ],
     )?;
-    Ok(top_n(&keyed, &[SortKey::desc(4), SortKey::asc(3), SortKey::asc(2)], 100))
+    Ok(top_n(
+        &keyed,
+        &[SortKey::desc(4), SortKey::asc(3), SortKey::asc(2)],
+        100,
+    ))
 }
 
 /// Q19: discounted revenue (three brand/container/quantity brackets).
@@ -743,7 +911,13 @@ pub fn q19(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(l::SHIPMODE).in_list(vec![Value::str("AIR"), Value::str("REG AIR")])),
     )?;
     let part = ctx.tscan(ctx.t.part, tt)?;
-    let j = hash_join(&lineitem, &part, &[l::PARTKEY], &[p::PARTKEY], JoinKind::Inner);
+    let j = hash_join(
+        &lineitem,
+        &part,
+        &[l::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Inner,
+    );
     let op = ar(ctx, ctx.t.lineitem);
     let bracket = |brand: &str, containers: &[&str], lo: f64, hi: f64| {
         c(op + p::BRAND)
@@ -753,9 +927,24 @@ pub fn q19(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
             .and(c(l::QUANTITY).le(lit(hi)))
             .and(c(op + p::SIZE).between(lit(1), lit(15)))
     };
-    let cond = bracket("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0)
-        .or(bracket("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0))
-        .or(bracket("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0));
+    let cond = bracket(
+        "Brand#12",
+        &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+        1.0,
+        11.0,
+    )
+    .or(bracket(
+        "Brand#23",
+        &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+        10.0,
+        20.0,
+    ))
+    .or(bracket(
+        "Brand#34",
+        &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+        20.0,
+        30.0,
+    ));
     let matched = filter(&j, &cond)?;
     aggregate(
         &matched,
@@ -770,7 +959,13 @@ pub fn q19(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
 pub fn q20(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let part = filter(&ctx.tscan(ctx.t.part, tt)?, &c(p::NAME).like("forest%"))?;
     let partsupp = ctx.tscan(ctx.t.partsupp, tt)?;
-    let ps_forest = hash_join(&partsupp, &part, &[ps::PARTKEY], &[p::PARTKEY], JoinKind::Semi);
+    let ps_forest = hash_join(
+        &partsupp,
+        &part,
+        &[ps::PARTKEY],
+        &[p::PARTKEY],
+        JoinKind::Semi,
+    );
     // Half the quantity shipped of that part/supplier in 1994.
     let lineitem = filter(
         &ctx.tscan(ctx.t.lineitem, tt)?,
@@ -795,8 +990,20 @@ pub fn q20(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     // Suppliers of those offers, in CANADA.
     let nation = filter(&ctx.tscan(ctx.t.nation, tt)?, &c(n::NAME).eq(lit("CANADA")))?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
-    let canadians = hash_join(&supplier, &nation, &[s::NATIONKEY], &[n::NATIONKEY], JoinKind::Semi);
-    let chosen = hash_join(&canadians, &plenty, &[s::SUPPKEY], &[ps::SUPPKEY], JoinKind::Semi);
+    let canadians = hash_join(
+        &supplier,
+        &nation,
+        &[s::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Semi,
+    );
+    let chosen = hash_join(
+        &canadians,
+        &plenty,
+        &[s::SUPPKEY],
+        &[ps::SUPPKEY],
+        JoinKind::Semi,
+    );
     let mut out = project(&chosen, &[c(s::NAME), c(s::ADDRESS)])?;
     out = distinct(&out);
     sort_by(&mut out, &[SortKey::asc(0)]);
@@ -812,7 +1019,13 @@ pub fn q21(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &c(o::ORDERSTATUS).eq(lit("F")),
     )?;
     // l1: late lines of finished orders.
-    let l1 = hash_join(&late, &orders, &[l::ORDERKEY], &[o::ORDERKEY], JoinKind::Semi);
+    let l1 = hash_join(
+        &late,
+        &orders,
+        &[l::ORDERKEY],
+        &[o::ORDERKEY],
+        JoinKind::Semi,
+    );
     // Another supplier also touched the order...
     let mut l1_other = Vec::new();
     {
@@ -848,8 +1061,20 @@ pub fn q21(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
         &c(n::NAME).eq(lit("SAUDI ARABIA")),
     )?;
     let supplier = ctx.tscan(ctx.t.supplier, tt)?;
-    let saudis = hash_join(&supplier, &nation, &[s::NATIONKEY], &[n::NATIONKEY], JoinKind::Semi);
-    let j = hash_join(&l1_other, &saudis, &[l::SUPPKEY], &[s::SUPPKEY], JoinKind::Inner);
+    let saudis = hash_join(
+        &supplier,
+        &nation,
+        &[s::NATIONKEY],
+        &[n::NATIONKEY],
+        JoinKind::Semi,
+    );
+    let j = hash_join(
+        &l1_other,
+        &saudis,
+        &[l::SUPPKEY],
+        &[s::SUPPKEY],
+        JoinKind::Inner,
+    );
     let o_supp = ar(ctx, ctx.t.lineitem);
     let keyed = project(&j, &[c(o_supp + s::NAME)])?;
     let grouped = aggregate(&keyed, &[0], &[AggExpr::count()])?;
@@ -884,7 +1109,13 @@ pub fn q22(ctx: &Ctx<'_>, tt: &Tt) -> Result<Vec<Row>> {
     let rich = filter(&in_codes, &c(cu::ACCTBAL).gt(lit(avg_bal)))?;
     // ...with no orders at all.
     let orders = ctx.tscan(ctx.t.orders, tt)?;
-    let dormant = hash_join(&rich, &orders, &[cu::CUSTKEY], &[o::CUSTKEY], JoinKind::Anti);
+    let dormant = hash_join(
+        &rich,
+        &orders,
+        &[cu::CUSTKEY],
+        &[o::CUSTKEY],
+        JoinKind::Anti,
+    );
     let keyed = project(&dormant, &[c(code_col), c(cu::ACCTBAL)])?;
     let mut out = aggregate(&keyed, &[0], &[AggExpr::count(), AggExpr::sum(c(1))])?;
     sort_by(&mut out, &[SortKey::asc(0)]);
@@ -1009,7 +1240,10 @@ mod tests {
                 expected += r.get(l::EXTENDEDPRICE).as_double().unwrap() * disc;
             }
         }
-        let got = q6(&ctx, &Tt::none()).unwrap()[0].get(0).as_double().unwrap();
+        let got = q6(&ctx, &Tt::none()).unwrap()[0]
+            .get(0)
+            .as_double()
+            .unwrap();
         assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
     }
 
@@ -1019,9 +1253,7 @@ mod tests {
         // Q1 over the initial version vs now: history adds lineitems.
         let early = assert_equivalent(|ctx| q1(ctx, &Tt::sys(p.sys_initial)));
         let now = assert_equivalent(|ctx| q1(ctx, &Tt::none()));
-        let total = |rows: &[Row]| -> i64 {
-            rows.iter().map(|r| r.get(9).as_int().unwrap()).sum()
-        };
+        let total = |rows: &[Row]| -> i64 { rows.iter().map(|r| r.get(9).as_int().unwrap()).sum() };
         // The history both adds (new orders) and removes (cancellations)
         // qualifying lineitems; the two snapshots must simply differ.
         assert_ne!(total(&now), total(&early), "history must be visible");

@@ -24,10 +24,7 @@ pub fn t1(ctx: &Ctx<'_>, sys: SysSpec, app: AppSpec) -> Result<Vec<Row>> {
     aggregate(
         &rows,
         &[],
-        &[
-            AggExpr::avg(c(col::partsupp::SUPPLYCOST)),
-            AggExpr::count(),
-        ],
+        &[AggExpr::avg(c(col::partsupp::SUPPLYCOST)), AggExpr::count()],
     )
 }
 
@@ -60,7 +57,10 @@ pub fn t4(ctx: &Ctx<'_>, sys: SysSpec) -> Result<Vec<Row>> {
     let rows = ctx.scan(ctx.t.orders, &sys, &AppSpec::All, &[])?;
     Ok(top_n(
         &rows,
-        &[SortKey::desc(col::orders::TOTALPRICE), SortKey::asc(col::orders::ORDERKEY)],
+        &[
+            SortKey::desc(col::orders::TOTALPRICE),
+            SortKey::asc(col::orders::ORDERKEY),
+        ],
         10,
     ))
 }
@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn t1_equivalent_and_sane() {
         let p = fixture().params.clone();
-        let rows = assert_equivalent(|ctx| t1(ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid)));
+        let rows =
+            assert_equivalent(|ctx| t1(ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid)));
         assert_eq!(rows.len(), 1);
         let avg = rows[0].get(0).as_double().unwrap();
         let n = rows[0].get(1).as_int().unwrap();
@@ -214,9 +215,7 @@ mod tests {
         let p = fixture().params.clone();
         let rows = assert_equivalent(|ctx| t8(ctx, SysSpec::Current, p.app_late));
         assert_eq!(rows.len(), 1);
-        let t9_rows = assert_equivalent(|ctx| {
-            t9(ctx, SysSpec::Current, p.app_mid, p.app_max)
-        });
+        let t9_rows = assert_equivalent(|ctx| t9(ctx, SysSpec::Current, p.app_mid, p.app_max));
         assert!(!t9_rows.is_empty());
     }
 }

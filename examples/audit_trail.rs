@@ -72,12 +72,7 @@ fn main() -> bitempo_core::Result<()> {
     let transitions = range::r1(&ctx)?;
     println!("\norder status transitions (R1):");
     for t in &transitions {
-        println!(
-            "  {} -> {} : {} times",
-            t.get(0),
-            t.get(1),
-            t.get(2)
-        );
+        println!("  {} -> {} : {} times", t.get(0), t.get(1), t.get(2));
     }
 
     // Sanity: the audit saw at least one delivery.

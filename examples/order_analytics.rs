@@ -64,7 +64,10 @@ fn main() -> bitempo_core::Result<()> {
         ("sys time travel", tpch::Tt::sys(params.sys_initial)),
     ] {
         let rows = tpch::q5(&ctx, &tt)?;
-        println!("\nQ5 local supplier volume ({label}): {} nations", rows.len());
+        println!(
+            "\nQ5 local supplier volume ({label}): {} nations",
+            rows.len()
+        );
         for row in rows.iter().take(3) {
             println!("  {row}");
         }

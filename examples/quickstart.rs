@@ -5,7 +5,9 @@
 //! cargo run -p bitempo-examples --bin quickstart
 //! ```
 
-use bitempo_core::{AppDate, AppPeriod, Column, DataType, Key, Row, Schema, TableDef, TemporalClass, Value};
+use bitempo_core::{
+    AppDate, AppPeriod, Column, DataType, Key, Row, Schema, TableDef, TemporalClass, Value,
+};
 use bitempo_engine::api::{AppSpec, SysSpec};
 use bitempo_engine::{build_engine, SystemKind};
 
@@ -77,7 +79,10 @@ fn main() -> bitempo_core::Result<()> {
     // Bitemporal point query: the price valid in February, as known now.
     let feb = AppDate::from_ymd(2024, 2, 1);
     let out = db.scan(prices, &SysSpec::Current, &AppSpec::AsOf(feb), &[])?;
-    println!("\nprice valid in February, known now: {}", out.rows[0].get(1));
+    println!(
+        "\nprice valid in February, known now: {}",
+        out.rows[0].get(1)
+    );
     assert_eq!(out.rows[0].get(1), &Value::Double(10.00));
 
     // The full bitemporal history: every version ever recorded.

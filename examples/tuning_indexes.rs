@@ -21,6 +21,7 @@ fn main() -> bitempo_core::Result<()> {
         batch_size: 1,
         workers: bitempo_engine::api::default_workers(),
         query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
+        trace: false,
     };
     let mut inst = Instance::build(&cfg, &TuningConfig::none())?;
     let p = inst.params.clone();
@@ -53,7 +54,12 @@ fn main() -> bitempo_core::Result<()> {
                 tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_late))
             })?;
             let k1 = measure(&cfg, || {
-                key::k1(&ctx, &p.hot_customer, SysSpec::AsOf(p.sys_initial), AppSpec::All)
+                key::k1(
+                    &ctx,
+                    &p.hot_customer,
+                    SysSpec::AsOf(p.sys_initial),
+                    AppSpec::All,
+                )
             })?;
             // Peek at the plan the engine chose for the K1 probe.
             let access = engine

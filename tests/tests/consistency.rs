@@ -28,10 +28,15 @@ fn referential_integrity_at_every_sampled_system_time() {
     let lineitem_id = engine.resolve("lineitem").unwrap();
     let customer_id = engine.resolve("customer").unwrap();
 
-    let samples: Vec<SysTime> = (0..=10).map(|i| SysTime(1 + (now.0 - 1) * i / 10)).collect();
+    let samples: Vec<SysTime> = (0..=10)
+        .map(|i| SysTime(1 + (now.0 - 1) * i / 10))
+        .collect();
     for t in samples {
         let sys = SysSpec::AsOf(t);
-        let orders = engine.scan(orders_id, &sys, &AppSpec::All, &[]).unwrap().rows;
+        let orders = engine
+            .scan(orders_id, &sys, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
         let order_keys: HashSet<i64> = orders
             .iter()
             .map(|r| r.get(col::orders::ORDERKEY).as_int().unwrap())
@@ -154,7 +159,10 @@ fn supplier_is_degenerate() {
     let def = engine.table_def(id).clone();
     assert!(!def.has_app_time());
     assert!(def.has_system_time());
-    let rows = engine.scan(id, &SysSpec::All, &AppSpec::All, &[]).unwrap().rows;
+    let rows = engine
+        .scan(id, &SysSpec::All, &AppSpec::All, &[])
+        .unwrap()
+        .rows;
     assert_eq!(rows[0].arity(), def.schema.arity() + 2);
     // The Update-Supplier scenario (4 % of a 1 000-scenario history) must
     // have produced history.

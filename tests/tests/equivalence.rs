@@ -64,10 +64,7 @@ fn scan_grid_matches_oracle_on_all_engines() {
                     let id = engine.resolve(table).unwrap();
                     let mut got = engine.scan(id, sys, app, &[]).unwrap().rows;
                     sort_canonical(&mut got);
-                    assert_eq!(
-                        got, want,
-                        "{kind} table {table} sys {sys:?} app {app:?}"
-                    );
+                    assert_eq!(got, want, "{kind} table {table} sys {sys:?} app {app:?}");
                 }
             }
         }
@@ -214,7 +211,10 @@ fn parallel_scan_output_identical_to_sequential() {
         let scans = [
             (SysSpec::Current, AppSpec::All),
             (SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid)),
-            (SysSpec::Range(Period::new(p.sys_initial, p.sys_mid)), AppSpec::All),
+            (
+                SysSpec::Range(Period::new(p.sys_initial, p.sys_mid)),
+                AppSpec::All,
+            ),
             (SysSpec::All, AppSpec::All),
         ]
         .iter()
@@ -226,8 +226,7 @@ fn parallel_scan_output_identical_to_sequential() {
                 .unwrap(),
             bitempo_workloads::tt::t4(&ctx, SysSpec::AsOf(p.sys_mid)).unwrap(),
             bitempo_workloads::tt::t5_all(&ctx).unwrap(),
-            bitempo_workloads::key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All)
-                .unwrap(),
+            bitempo_workloads::key::k1(&ctx, &p.hot_customer, SysSpec::All, AppSpec::All).unwrap(),
             bitempo_workloads::key::k6(
                 &ctx,
                 p.acctbal_band.0,

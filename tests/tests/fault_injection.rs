@@ -145,7 +145,10 @@ fn worker_panic_is_contained_on_every_engine() {
             .scan(orders, &SysSpec::All, &AppSpec::All, &[])
             .unwrap()
             .rows;
-        assert!(!rows.is_empty(), "{kind}: post-recovery scan came back empty");
+        assert!(
+            !rows.is_empty(),
+            "{kind}: post-recovery scan came back empty"
+        );
     }
 }
 
@@ -162,6 +165,7 @@ fn degraded_experiment_yields_complete_report() {
         batch_size: 1,
         workers: 2,
         query_timeout_millis: 0,
+        trace: false,
     };
     let report = bitempo_bench::experiments::fig2(&cfg).unwrap();
     assert_eq!(report.series.len(), 4, "one series per engine");
@@ -171,8 +175,10 @@ fn degraded_experiment_yields_complete_report() {
     }
     let md = report.to_markdown();
     assert!(md.contains("ERR"), "{md}");
-    assert!(md.contains("wall-clock") || md.contains("timed out") || md.contains("timeout"),
-        "error footnotes should name the timeout: {md}");
+    assert!(
+        md.contains("wall-clock") || md.contains("timed out") || md.contains("timeout"),
+        "error footnotes should name the timeout: {md}"
+    );
 }
 
 /// The transient-fault path recovers through the retry loop and delivers a

@@ -59,7 +59,10 @@ fn key_lookup_plans_follow_the_paper() {
         .lookup_key(customer, &p.hot_customer, &SysSpec::Current, &AppSpec::All)
         .unwrap();
     assert_eq!(current.partition_paths.len(), 1);
-    assert!(matches!(current.partition_paths[0], AccessPath::KeyLookup(_)));
+    assert!(matches!(
+        current.partition_paths[0],
+        AccessPath::KeyLookup(_)
+    ));
 
     let past = engine
         .lookup_key(

@@ -43,8 +43,11 @@ fn dml_strategy() -> impl Strategy<Value = Dml> {
     let val = 0i64..100;
     let span = (0i64..50, 0i64..50);
     prop_oneof![
-        (id.clone(), val.clone(), span.clone())
-            .prop_map(|(id, val, app)| Dml::Insert { id, val, app }),
+        (id.clone(), val.clone(), span.clone()).prop_map(|(id, val, app)| Dml::Insert {
+            id,
+            val,
+            app
+        }),
         (id.clone(), val, proptest::option::of(span.clone()))
             .prop_map(|(id, val, portion)| Dml::Update { id, val, portion }),
         (id.clone(), proptest::option::of(span.clone()))

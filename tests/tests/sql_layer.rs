@@ -25,12 +25,7 @@ fn sql_t1_matches_programmatic_t1() {
     let (mut engine, p) = build();
     let programmatic = {
         let ctx = Ctx::new(engine.as_ref()).unwrap();
-        tt::t1(
-            &ctx,
-            SysSpec::AsOf(p.sys_mid),
-            AppSpec::AsOf(p.app_mid),
-        )
-        .unwrap()
+        tt::t1(&ctx, SysSpec::AsOf(p.sys_mid), AppSpec::AsOf(p.app_mid)).unwrap()
     };
     let sql = format!(
         "SELECT AVG(ps_supplycost), COUNT(*) FROM partsupp \
@@ -85,10 +80,16 @@ fn sql_time_travel_counts_match_scans() {
     let (mut engine, p) = build();
     for (sys_sql, sys_spec) in [
         (String::new(), SysSpec::Current),
-        (format!("FOR SYSTEM_TIME AS OF {}", p.sys_initial.0), SysSpec::AsOf(p.sys_initial)),
+        (
+            format!("FOR SYSTEM_TIME AS OF {}", p.sys_initial.0),
+            SysSpec::AsOf(p.sys_initial),
+        ),
         ("FOR SYSTEM_TIME ALL".to_string(), SysSpec::All),
         (
-            format!("FOR SYSTEM_TIME FROM {} TO {}", p.sys_initial.0, p.sys_mid.0),
+            format!(
+                "FOR SYSTEM_TIME FROM {} TO {}",
+                p.sys_initial.0, p.sys_mid.0
+            ),
             SysSpec::Range(bitempo_core::Period::new(p.sys_initial, p.sys_mid)),
         ),
     ] {
@@ -155,7 +156,11 @@ fn sql_aggregation_matches_manual_grouping() {
         .rows;
     let mut by_status: std::collections::HashMap<String, (i64, f64)> = Default::default();
     for r in &rows {
-        let status = r.get(col::orders::ORDERSTATUS).as_str().unwrap().to_string();
+        let status = r
+            .get(col::orders::ORDERSTATUS)
+            .as_str()
+            .unwrap()
+            .to_string();
         let price = r.get(col::orders::TOTALPRICE).as_double().unwrap();
         let e = by_status.entry(status).or_insert((0, 0.0));
         e.0 += 1;
