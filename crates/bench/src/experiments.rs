@@ -11,7 +11,7 @@ use bitempo_core::{Error, Period, Result, SysTime};
 use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
 use bitempo_engine::SystemKind;
 use bitempo_histgen::{read_archive_with_retry, Archive, ScenarioKind};
-use bitempo_workloads::{bitemporal, key, range, tpch, tt, Ctx};
+use bitempo_workloads::{bitemporal, key, plans, range, tpch, tt, Ctx};
 
 fn gist_tuning() -> TuningConfig {
     TuningConfig {
@@ -986,10 +986,83 @@ pub fn explain(cfg: &BenchConfig) -> Result<FigureReport> {
     Ok(report)
 }
 
+/// `lint-plans`: the plan validator run as a gate — builds one
+/// representative plan per workload class (T, H, K, R, B) on every engine,
+/// *executing* the underlying accesses (so debug builds also exercise the
+/// engines' scan-postcondition checks), then feeds each plan through the
+/// static validator in `bitempo_query::plan`. Every scan must classify its
+/// predicates into pushed vs residual (or declare itself full-history) and
+/// every temporal join/aggregate must declare whether its output is
+/// coalesced. Any violation fails the experiment: plans are linted here,
+/// not benchmarked.
+pub fn lint_plans(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::key_time())?;
+    let mut report = FigureReport::new(
+        "lint-plans",
+        "Plan lint: classified scans and declared coalescing per workload class",
+        "violations",
+    );
+    let p = inst.params.clone();
+    let mut all_violations: Vec<String> = Vec::new();
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let class_plans = plans::representative_plans(&ctx, &p)?;
+        let mut s = Series::new(kind.to_string());
+        for cp in &class_plans {
+            let x = format!("{}: {}", cp.class, cp.query);
+            match bitempo_query::validate(&cp.plan) {
+                Ok(()) => s.push(x, 0.0),
+                Err(violations) => {
+                    s.push(x, violations.len() as f64);
+                    for v in violations {
+                        all_violations.push(format!("{kind} class {}: {v}", cp.class));
+                    }
+                }
+            }
+        }
+        report.add(s);
+    }
+    if all_violations.is_empty() {
+        report.note(
+            "All representative plans classify their predicates and declare temporal \
+             coalescing on every engine; 0 violations.",
+        );
+        Ok(report)
+    } else {
+        for v in &all_violations {
+            report.note(v.clone());
+        }
+        Err(Error::Invalid(format!(
+            "plan lint failed with {} violation(s): {}",
+            all_violations.len(),
+            all_violations.join("; ")
+        )))
+    }
+}
+
 /// All experiment ids in run order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "table1", "table2", "arch", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "scaling", "faults", "explain",
+pub const ALL_EXPERIMENTS: [&str; 21] = [
+    "table1",
+    "table2",
+    "arch",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "scaling",
+    "faults",
+    "explain",
+    "lint-plans",
 ];
 
 /// Runs one experiment by id (fig15/fig16 run at small scale
@@ -1018,6 +1091,7 @@ pub fn run_experiment(id: &str, cfg: &BenchConfig) -> Result<FigureReport> {
         "scaling" => scaling(cfg),
         "faults" => faults(cfg),
         "explain" => explain(cfg),
+        "lint-plans" => lint_plans(cfg),
         other => Err(bitempo_core::Error::Invalid(format!(
             "unknown experiment {other}"
         ))),
@@ -1059,6 +1133,28 @@ mod tests {
         // The traced pass exported a loadable chrome trace.
         let trace = std::fs::read_to_string("results/explain.trace.json").unwrap();
         assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    }
+
+    #[test]
+    fn lint_plans_accepts_every_engines_representative_plans() {
+        let r = lint_plans(&micro_cfg()).unwrap();
+        assert_eq!(r.series.len(), 4, "one series per system");
+        for s in &r.series {
+            assert_eq!(
+                s.points.len(),
+                5,
+                "one plan per workload class: {}",
+                s.label
+            );
+            for (x, violations) in &s.points {
+                assert_eq!(*violations, 0.0, "{}: {x} has violations", s.label);
+            }
+        }
+        assert!(
+            r.notes.iter().any(|n| n.contains("0 violations")),
+            "{:?}",
+            r.notes
+        );
     }
 
     #[test]

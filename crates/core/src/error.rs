@@ -56,6 +56,10 @@ pub enum Error {
     Transient(String),
     /// Catch-all for invalid arguments.
     Invalid(String),
+    /// An engine-internal invariant was violated (a bug, not bad input).
+    /// Surfaced as an error instead of a panic so a broken engine cannot
+    /// take the whole benchmark run down with it.
+    Internal(String),
 }
 
 impl Error {
@@ -98,6 +102,7 @@ impl fmt::Display for Error {
             Error::Panicked(m) => write!(f, "query panicked: {m}"),
             Error::Transient(m) => write!(f, "transient I/O error: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -164,5 +169,6 @@ mod tests {
         assert!(Error::Panicked("x".into()).is_retryable());
         assert!(!Error::Archive("corrupt".into()).is_retryable());
         assert!(!Error::UnknownTable("t".into()).is_retryable());
+        assert!(!Error::Internal("broken invariant".into()).is_retryable());
     }
 }

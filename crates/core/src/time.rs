@@ -109,9 +109,12 @@ pub type SysPeriod = Period<SysTime>;
 pub type AppPeriod = Period<AppDate>;
 
 impl<T: Copy + Ord> Period<T> {
-    /// Creates a period. Callers must ensure `start <= end`; the engines
-    /// validate user-supplied periods with [`Period::is_empty`].
-    pub const fn new(start: T, end: T) -> Period<T> {
+    /// Creates a period. Callers must ensure `start <= end`; user-supplied
+    /// bounds are validated at the input edges (SQL layer, archive reader)
+    /// before they reach this constructor, so an inverted period here is a
+    /// bug in engine code, caught in debug builds.
+    pub fn new(start: T, end: T) -> Period<T> {
+        debug_assert!(start <= end, "inverted period: start > end");
         Period { start, end }
     }
 
@@ -295,7 +298,13 @@ mod tests {
     #[test]
     fn empty_period_detection() {
         assert!(p(5, 5).is_empty());
-        assert!(p(6, 5).is_empty());
+        // Inverted bounds can only be written by hand — `Period::new`
+        // debug-asserts against them — yet `is_empty` must still hold.
+        let inverted = Period {
+            start: AppDate(6),
+            end: AppDate(5),
+        };
+        assert!(inverted.is_empty());
         assert!(!p(5, 6).is_empty());
     }
 }

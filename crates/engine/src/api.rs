@@ -270,6 +270,92 @@ pub struct ScanOutput {
     pub metrics: crate::morsel::ScanMetrics,
 }
 
+/// Statically checks a scan's output against the specification that
+/// produced it: every row carries the declared output arity, the surfaced
+/// periods satisfy the temporal specs, and every pushed predicate holds
+/// (pushed predicates promise "no residual filtering needed" — see
+/// [`ColRange`]). The four engines call this under `debug_assertions` after
+/// every scan, so any drift between an access path and the logical
+/// specification fails loudly in tests instead of skewing measurements.
+pub fn validate_scan_output(
+    def: &TableDef,
+    sys: &SysSpec,
+    app: &AppSpec,
+    preds: &[ColRange],
+    out: &ScanOutput,
+) -> std::result::Result<(), String> {
+    use bitempo_core::TemporalClass;
+    let value_arity = def.schema.arity();
+    let mut expected = value_arity;
+    if def.temporal == TemporalClass::Bitemporal {
+        expected += 2;
+    }
+    if def.temporal != TemporalClass::NonTemporal {
+        expected += 2;
+    }
+    for (i, row) in out.rows.iter().enumerate() {
+        if row.arity() != expected {
+            return Err(format!(
+                "row {i} of `{}` has arity {}, scan schema has {expected}",
+                def.name,
+                row.arity()
+            ));
+        }
+        if def.temporal == TemporalClass::Bitemporal {
+            match (row.get(value_arity), row.get(value_arity + 1)) {
+                (Value::Date(s), Value::Date(e)) => {
+                    let p = AppPeriod { start: *s, end: *e };
+                    if !app.matches(&p) {
+                        return Err(format!(
+                            "row {i} of `{}` has app period {p} outside {app:?}",
+                            def.name
+                        ));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "row {i} of `{}` has non-date app period columns {other:?}",
+                        def.name
+                    ))
+                }
+            }
+        }
+        if def.temporal != TemporalClass::NonTemporal {
+            let base = if def.temporal == TemporalClass::Bitemporal {
+                value_arity + 2
+            } else {
+                value_arity
+            };
+            match (row.get(base), row.get(base + 1)) {
+                (Value::SysTime(s), Value::SysTime(e)) => {
+                    let p = SysPeriod { start: *s, end: *e };
+                    if !sys.matches(&p) {
+                        return Err(format!(
+                            "row {i} of `{}` has sys period {p} outside {sys:?}",
+                            def.name
+                        ));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "row {i} of `{}` has non-systime period columns {other:?}",
+                        def.name
+                    ))
+                }
+            }
+        }
+        for p in preds {
+            if p.col < value_arity && !p.matches(row.get(p.col)) {
+                return Err(format!(
+                    "row {i} of `{}` violates pushed predicate on column {}",
+                    def.name, p.col
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The common interface of all four engines.
 ///
 /// DML executes in the context of an open transaction; [`Self::commit`]

@@ -17,6 +17,10 @@
 //! regular, statically partitioned tables and rely on standard indexes as
 //! well as query rewrites"* — is the design rule for this crate.
 
+// Tests may unwrap freely; production engine code must not (TB004, and
+// `clippy::unwrap_used` in Cargo.toml as the compiler-level backstop).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod api;
 pub mod catalog;
 pub mod index;

@@ -115,14 +115,15 @@ impl VersionSource for Reconstructed {
         self.0
             .binary_search_by_key(&slot, |(s, _)| *s)
             .ok()
-            .map(|i| &self.0[i].1)
+            .and_then(|i| self.0.get(i))
+            .map(|(_, v)| v)
     }
     fn scan_units(&self) -> usize {
         self.0.len()
     }
     fn for_each_in(&self, range: Range<usize>, f: &mut dyn FnMut(u64, &Version)) {
         let end = range.end.min(self.0.len());
-        for (slot, v) in &self.0[range.start.min(end)..end] {
+        for (slot, v) in self.0.get(range.start.min(end)..end).unwrap_or(&[]) {
             f(*slot, v);
         }
     }

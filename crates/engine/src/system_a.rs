@@ -60,17 +60,14 @@ impl SystemA {
 
     fn insert_version(&mut self, table: TableId, version: Version) {
         let def_key = self.catalog.def(table).key.clone();
-        let t = &mut self.tables[table.0 as usize];
-        let slot = t.current.insert(version);
-        let slot64 = u64::from(slot.0);
-        let v = t.current.get(slot).expect("just inserted");
-        let key = Key::from_row(&v.row, &def_key);
+        let key = Key::from_row(&version.row, &def_key);
+        let t = self.table_mut(table);
+        let slot64 = u64::from(t.current.insert(version.clone()).0);
         if let Some(pk) = &mut t.pk {
-            pk.insert(t.current.get(slot).unwrap(), slot64);
+            pk.insert(&version, slot64);
         }
-        let v_clone = t.current.get(slot).unwrap().clone();
         for ix in &mut t.cur_indexes {
-            ix.insert(&v_clone, slot64);
+            ix.insert(&version, slot64);
         }
         t.key_map.entry(key).or_default().push(slot64);
     }
@@ -78,12 +75,16 @@ impl SystemA {
     /// Closes the open version in `slot` at `end`, moving it to history.
     /// Versions whose system period would be empty (created and superseded
     /// inside the same transaction) are discarded: they were never visible.
-    fn close_version(&mut self, table: TableId, slot64: u64, end: SysTime) -> Version {
+    fn close_version(&mut self, table: TableId, slot64: u64, end: SysTime) -> Result<Version> {
         let def_key = self.catalog.def(table).key.clone();
         let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
-        let t = &mut self.tables[table.0 as usize];
+        let t = self.table_mut(table);
         let slot = SlotId(slot64 as u32);
-        let mut v = t.current.remove(slot).expect("closing a live version");
+        let Some(mut v) = t.current.remove(slot) else {
+            return Err(Error::Internal(format!(
+                "closing slot {slot64} with no live version"
+            )));
+        };
         if let Some(pk) = &mut t.pk {
             pk.remove(&v, slot64);
         }
@@ -103,19 +104,27 @@ impl SystemA {
                 ix.insert(&v, h64);
             }
         }
-        closed
+        Ok(closed)
     }
 
     fn open_slots_of_key(&self, table: TableId, key: &Key) -> Vec<u64> {
-        self.tables[table.0 as usize]
+        self.table(table)
             .key_map
             .get(key)
             .cloned()
             .unwrap_or_default()
     }
 
+    /// `TableId`s are issued densely by the catalog, so indexing with one it
+    /// handed out cannot go out of bounds.
     fn table(&self, table: TableId) -> &TableA {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for reads
         &self.tables[table.0 as usize]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut TableA {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for writes
+        &mut self.tables[table.0 as usize]
     }
 }
 
@@ -151,7 +160,7 @@ pub(crate) fn sequenced_dml<E: SequencedOps>(
             continue;
         };
         affected += 1;
-        let old = engine.close(table, slot, pending);
+        let old = engine.close(table, slot, pending)?;
         if def.temporal == TemporalClass::NonTemporal {
             // Non-versioned tables update in place (no history, no residue).
             if let Some(updates) = new_values {
@@ -218,7 +227,7 @@ pub(crate) fn overwrite_period<E: SequencedOps>(
     let mut representative: Option<Version> = None;
     let n = slots.len();
     for slot in slots {
-        let closed = engine.close(table, slot, pending);
+        let closed = engine.close(table, slot, pending)?;
         let better = representative
             .as_ref()
             .is_none_or(|r| closed.app.start >= r.app.start);
@@ -226,7 +235,11 @@ pub(crate) fn overwrite_period<E: SequencedOps>(
             representative = Some(closed);
         }
     }
-    let rep = representative.expect("at least one version closed");
+    let Some(rep) = representative else {
+        return Err(Error::Internal(
+            "overwrite closed no versions despite a non-empty slot list".into(),
+        ));
+    };
     engine.insert_version_at(
         table,
         Version {
@@ -245,7 +258,9 @@ pub(crate) trait SequencedOps {
     fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64>;
     fn peek(&self, table: TableId, slot: u64) -> Option<Version>;
     /// Closes the open version at `slot` and returns it (pre-close periods).
-    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version;
+    /// Closing a slot with no live version is an engine bug, reported as
+    /// [`Error::Internal`] rather than a panic.
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Result<Version>;
     fn insert_version_at(&mut self, table: TableId, version: Version);
 }
 
@@ -262,7 +277,7 @@ impl SequencedOps for SystemA {
     fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
         self.table(table).current.get(SlotId(slot as u32)).cloned()
     }
-    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version {
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Result<Version> {
         self.close_version(table, slot, end)
     }
     fn insert_version_at(&mut self, table: TableId, version: Version) {
@@ -313,7 +328,7 @@ impl BitemporalEngine for SystemA {
         let defs: Vec<(TableId, TableDef)> =
             self.catalog.iter().map(|(i, d)| (i, d.clone())).collect();
         for (id, def) in defs {
-            let t = &mut self.tables[id.0 as usize];
+            let t = self.table_mut(id);
             t.cur_indexes.clear();
             t.hist_indexes.clear();
             t.hist_key_index = None;
@@ -459,7 +474,7 @@ impl BitemporalEngine for SystemA {
         if !sys.current_only() && def.has_system_time() {
             let hist_view = PartitionView {
                 source: &t.history,
-                pk: t.hist_key_index.map(|i| &t.hist_indexes[i]),
+                pk: t.hist_key_index.and_then(|i| t.hist_indexes.get(i)),
                 indexes: &t.hist_indexes,
                 gist: None,
             };
@@ -477,12 +492,16 @@ impl BitemporalEngine for SystemA {
                 &mut metrics,
             )?);
         }
-        Ok(ScanOutput {
+        let out = ScanOutput {
             access: merge_access(paths.clone()),
             partition_paths: paths,
             rows,
             metrics,
-        })
+        };
+        #[cfg(debug_assertions)]
+        crate::api::validate_scan_output(def, sys, app, preds, &out)
+            .unwrap_or_else(|msg| panic!("System A scan postcondition: {msg}"));
+        Ok(out)
     }
 
     fn lookup_key(
@@ -508,6 +527,24 @@ impl BitemporalEngine for SystemA {
             current_rows: t.current.len(),
             history_rows: t.history.len(),
         }
+    }
+
+    fn supports_manual_system_time(&self) -> bool {
+        false
+    }
+
+    fn bulk_load(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<(Row, AppPeriod, SysPeriod)>,
+    ) -> Result<()> {
+        Err(Error::Unsupported(
+            "bulk load with manual system time".into(),
+        ))
+    }
+
+    fn checkpoint(&mut self) {
+        // History writes are synchronous (§5.2): nothing staged to flush.
     }
 }
 

@@ -180,7 +180,7 @@ impl SystemB {
     }
 
     fn version_of(&self, table: TableId, uid: u64) -> Option<Version> {
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let row = t.cur_values.get(SlotId(uid as u32))?.clone();
         let &(app, start) = t.cur_temporal.get(&uid)?;
         Some(Version {
@@ -188,6 +188,18 @@ impl SystemB {
             app,
             sys: SysPeriod::since(start),
         })
+    }
+
+    /// `TableId`s are issued densely by the catalog, so indexing with one it
+    /// handed out cannot go out of bounds.
+    fn table(&self, table: TableId) -> &TableB {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for reads
+        &self.tables[table.0 as usize]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut TableB {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for writes
+        &mut self.tables[table.0 as usize]
     }
 }
 
@@ -199,7 +211,7 @@ impl SequencedOps for SystemB {
         self.now.next()
     }
     fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
-        self.tables[table.0 as usize]
+        self.table(table)
             .key_map
             .get(key)
             .cloned()
@@ -208,11 +220,15 @@ impl SequencedOps for SystemB {
     fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
         self.version_of(table, slot)
     }
-    fn close(&mut self, table: TableId, uid: u64, end: SysTime) -> Version {
-        let before = self.version_of(table, uid).expect("closing a live version");
+    fn close(&mut self, table: TableId, uid: u64, end: SysTime) -> Result<Version> {
+        let Some(before) = self.version_of(table, uid) else {
+            return Err(Error::Internal(format!(
+                "closing uid {uid} with no live version"
+            )));
+        };
         let def_key = self.catalog.def(table).key.clone();
         let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
-        let t = &mut self.tables[table.0 as usize];
+        let t = self.table_mut(table);
         t.cur_values.remove(SlotId(uid as u32));
         t.cur_temporal.remove(&uid);
         if let Some(pk) = &mut t.pk {
@@ -233,11 +249,11 @@ impl SequencedOps for SystemB {
                 t.drain_undo();
             }
         }
-        before
+        Ok(before)
     }
     fn insert_version_at(&mut self, table: TableId, version: Version) {
         let def_key = self.catalog.def(table).key.clone();
-        let t = &mut self.tables[table.0 as usize];
+        let t = self.table_mut(table);
         let slot = t.cur_values.insert(version.row.clone());
         let uid = u64::from(slot.0);
         t.cur_temporal.insert(uid, (version.app, version.sys.start));
@@ -296,7 +312,7 @@ impl BitemporalEngine for SystemB {
         let defs: Vec<(TableId, TableDef)> =
             self.catalog.iter().map(|(i, d)| (i, d.clone())).collect();
         for (id, def) in defs {
-            let t = &mut self.tables[id.0 as usize];
+            let t = self.table_mut(id);
             t.drain_undo();
             t.cur_indexes.clear();
             t.hist_indexes.clear();
@@ -405,7 +421,7 @@ impl BitemporalEngine for SystemB {
         preds: &[ColRange],
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let exec = self.tuning.exec();
         let _span = obs::span_dyn("engine", || format!("System B scan {}", def.name));
         let mut rows = Vec::new();
@@ -463,7 +479,7 @@ impl BitemporalEngine for SystemB {
         if !sys.current_only() && def.has_system_time() {
             let hist_view = PartitionView {
                 source: &t.history,
-                pk: t.hist_key_index.map(|i| &t.hist_indexes[i]),
+                pk: t.hist_key_index.and_then(|i| t.hist_indexes.get(i)),
                 indexes: &t.hist_indexes,
                 gist: None,
             };
@@ -511,12 +527,16 @@ impl BitemporalEngine for SystemB {
                 )?);
             }
         }
-        Ok(ScanOutput {
+        let out = ScanOutput {
             access: merge_access(paths.clone()),
             partition_paths: paths,
             rows,
             metrics,
-        })
+        };
+        #[cfg(debug_assertions)]
+        crate::api::validate_scan_output(def, sys, app, preds, &out)
+            .unwrap_or_else(|msg| panic!("System B scan postcondition: {msg}"));
+        Ok(out)
     }
 
     fn lookup_key(
@@ -537,11 +557,25 @@ impl BitemporalEngine for SystemB {
     }
 
     fn stats(&self, table: TableId) -> TableStats {
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         TableStats {
             current_rows: t.cur_values.len(),
             history_rows: t.history.len() + t.undo.len(),
         }
+    }
+
+    fn supports_manual_system_time(&self) -> bool {
+        false
+    }
+
+    fn bulk_load(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<(Row, AppPeriod, SysPeriod)>,
+    ) -> Result<()> {
+        Err(Error::Unsupported(
+            "bulk load with manual system time".into(),
+        ))
     }
 
     fn checkpoint(&mut self) {

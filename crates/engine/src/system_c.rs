@@ -23,7 +23,7 @@ use crate::rowscan::ScanSite;
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
-    obs, AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
+    obs, AppDate, AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
     TableDef, TableId, TemporalClass, Value,
 };
 use bitempo_storage::ColumnTable;
@@ -72,6 +72,21 @@ fn physical_schema(def: &TableDef) -> (Schema, HiddenCols) {
     (Schema::new(cols), hidden)
 }
 
+/// Decodes a date-typed hidden column. The hidden columns' types are fixed
+/// by [`physical_schema`] at table creation, so the decode cannot fail.
+fn decode_date(part: &ColumnTable, col: usize, rowid: usize) -> AppDate {
+    // tblint: allow(TB004) hidden-column type is fixed by physical_schema at creation
+    part.get_value(col, rowid).as_date().expect("date column")
+}
+
+/// Decodes a system-time-typed hidden column; see [`decode_date`].
+fn decode_sys(part: &ColumnTable, col: usize, rowid: usize) -> SysTime {
+    part.get_value(col, rowid)
+        .as_sys_time()
+        // tblint: allow(TB004) hidden-column type is fixed by physical_schema at creation
+        .expect("systime column")
+}
+
 /// The System C engine. See module docs.
 #[derive(Debug, Default)]
 pub struct SystemC {
@@ -106,24 +121,35 @@ impl SystemC {
 
     fn version_from(&self, table: TableId, part: &ColumnTable, rowid: usize) -> Version {
         let def = self.catalog.def(table);
-        let hidden = self.hidden[table.0 as usize];
+        let hidden = self.hidden_of(table);
         let arity = def.schema.arity();
         let row: Row = (0..arity).map(|c| part.get_value(c, rowid)).collect();
         let app = match hidden.app_start {
-            Some(c) => AppPeriod::new(
-                part.get_value(c, rowid).as_date().expect("app start col"),
-                part.get_value(c + 1, rowid).as_date().expect("app end col"),
-            ),
+            Some(c) => AppPeriod::new(decode_date(part, c, rowid), decode_date(part, c + 1, rowid)),
             None => AppPeriod::ALL,
         };
         let sys = match hidden.sys_start {
-            Some(c) => SysPeriod::new(
-                part.get_value(c, rowid).as_sys_time().expect("validfrom"),
-                part.get_value(c + 1, rowid).as_sys_time().expect("validto"),
-            ),
+            Some(c) => SysPeriod::new(decode_sys(part, c, rowid), decode_sys(part, c + 1, rowid)),
             None => SysPeriod::ALL,
         };
         Version { row, app, sys }
+    }
+
+    /// `TableId`s are issued densely by the catalog, so indexing with one it
+    /// handed out cannot go out of bounds.
+    fn table(&self, table: TableId) -> &TableC {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for reads
+        &self.tables[table.0 as usize]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut TableC {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for writes
+        &mut self.tables[table.0 as usize]
+    }
+
+    fn hidden_of(&self, table: TableId) -> HiddenCols {
+        // tblint: allow(TB004) hidden-column positions are pushed in lockstep with create_table
+        self.hidden[table.0 as usize]
     }
 
     /// The HANA-style delta merge: seals the column deltas *and* moves
@@ -131,8 +157,8 @@ impl SystemC {
     fn merge_table(&mut self, table: TableId) {
         let def = self.catalog.def(table).clone();
         let (phys, _) = physical_schema(&def);
-        let hidden = self.hidden[table.0 as usize];
-        let t = &mut self.tables[table.0 as usize];
+        let hidden = self.hidden_of(table);
+        let t = self.table_mut(table);
         if t.closed_in_current == 0 && t.dead.is_empty() {
             t.current.merge();
             t.history.merge();
@@ -146,12 +172,11 @@ impl SystemC {
             }
             let row = old.get_row(rowid);
             let open = match hidden.sys_start {
-                Some(c) => {
-                    old.get_value(c + 1, rowid).as_sys_time().expect("validto") == SysTime::MAX
-                }
+                Some(c) => decode_sys(&old, c + 1, rowid) == SysTime::MAX,
                 None => true,
             };
             if open {
+                // tblint: allow(TB004) row came from a fragment with the identical physical schema
                 let new_id = t.current.append(&row).expect("schema preserved");
                 let key_vals: Vec<Value> =
                     def.key.iter().map(|&c| old.get_value(c, rowid)).collect();
@@ -162,6 +187,7 @@ impl SystemC {
                 };
                 new_map.entry(key).or_default().push(new_id);
             } else {
+                // tblint: allow(TB004) row came from a fragment with the identical physical schema
                 t.history.append(&row).expect("schema preserved");
             }
         }
@@ -181,47 +207,54 @@ impl SequencedOps for SystemC {
         self.now.next()
     }
     fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
-        self.tables[table.0 as usize]
+        self.table(table)
             .key_map
             .get(key)
             .map(|v| v.iter().map(|&r| r as u64).collect())
             .unwrap_or_default()
     }
     fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let rowid = slot as usize;
         if rowid >= t.current.len() || t.dead.contains(&rowid) {
             return None;
         }
         Some(self.version_from(table, &t.current, rowid))
     }
-    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Version {
+    fn close(&mut self, table: TableId, slot: u64, end: SysTime) -> Result<Version> {
         let rowid = slot as usize;
-        let before = self.peek(table, slot).expect("closing a live version");
+        let Some(before) = self.peek(table, slot) else {
+            return Err(Error::Internal(format!(
+                "closing row {rowid} with no live version"
+            )));
+        };
         let def_key = self.catalog.def(table).key.clone();
-        let has_sys = self.catalog.def(table).has_system_time();
-        let hidden = self.hidden[table.0 as usize];
-        let t = &mut self.tables[table.0 as usize];
+        let hidden = self.hidden_of(table);
+        let t = self.table_mut(table);
         let key = Key::from_row(&before.row, &def_key);
         if let Some(rows) = t.key_map.get_mut(&key) {
             rows.retain(|&r| r != rowid);
         }
         let never_visible = before.sys.start >= end;
-        if !has_sys || never_visible {
-            t.dead.insert(rowid);
-        } else {
-            let c = hidden.sys_start.expect("system-versioned table");
-            t.current
-                .set_value(c + 1, rowid, &Value::SysTime(end))
-                .expect("validto update");
-            t.closed_in_current += 1;
+        // `sys_start` is `Some` exactly when the table is system-versioned.
+        match hidden.sys_start {
+            Some(c) if !never_visible => {
+                t.current
+                    .set_value(c + 1, rowid, &Value::SysTime(end))
+                    .map_err(|e| Error::Internal(format!("validto update: {e}")))?;
+                t.closed_in_current += 1;
+            }
+            _ => {
+                t.dead.insert(rowid);
+            }
         }
-        before
+        Ok(before)
     }
     fn insert_version_at(&mut self, table: TableId, version: Version) {
         let def_key = self.catalog.def(table).key.clone();
         let phys = self.physical_row(table, &version);
-        let t = &mut self.tables[table.0 as usize];
+        let t = self.table_mut(table);
+        // tblint: allow(TB004) physical_row builds against this table's own physical schema
         let rowid = t.current.append(&phys).expect("schema matches");
         let key = Key::from_row(&version.row, &def_key);
         t.key_map.entry(key).or_default().push(rowid);
@@ -271,6 +304,7 @@ impl BitemporalEngine for SystemC {
         // Build (label) the requested indexes so the tuning study can report
         // them, but never consult them: the scan path is the plan (Fig 3).
         for (id, def) in self.catalog.iter() {
+            // tblint: allow(TB004) TableId is catalog-issued and dense (borrow split from catalog)
             let t = &mut self.tables[id.0 as usize];
             t.ignored_indexes.clear();
             if tuning.time_index && def.has_system_time() {
@@ -363,8 +397,8 @@ impl BitemporalEngine for SystemC {
         preds: &[ColRange],
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
-        let hidden = self.hidden[table.0 as usize];
-        let t = &self.tables[table.0 as usize];
+        let hidden = self.hidden_of(table);
+        let t = self.table(table);
         let exec = self.tuning.exec();
         let _span = obs::span_dyn("engine", || format!("System C scan {}", def.name));
         let mut rows = Vec::new();
@@ -391,8 +425,8 @@ impl BitemporalEngine for SystemC {
                     m.rows_visited += 1;
                     let sys_ok = match hidden.sys_start {
                         Some(c) => {
-                            let start = part.get_value(c, rowid).as_sys_time().expect("validfrom");
-                            let end = part.get_value(c + 1, rowid).as_sys_time().expect("validto");
+                            let start = decode_sys(part, c, rowid);
+                            let end = decode_sys(part, c + 1, rowid);
                             sys.matches(&SysPeriod::new(start, end))
                         }
                         None => true,
@@ -400,8 +434,8 @@ impl BitemporalEngine for SystemC {
                     let app_ok = sys_ok
                         && match hidden.app_start {
                             Some(c) => {
-                                let start = part.get_value(c, rowid).as_date().expect("app start");
-                                let end = part.get_value(c + 1, rowid).as_date().expect("app end");
+                                let start = decode_date(part, c, rowid);
+                                let end = decode_date(part, c + 1, rowid);
                                 app.matches(&AppPeriod::new(start, end))
                             }
                             None => true,
@@ -445,14 +479,18 @@ impl BitemporalEngine for SystemC {
             partitions += 1;
             scan_fragment("history", &t.history, None)?;
         }
-        Ok(ScanOutput {
+        let out = ScanOutput {
             rows,
             access: AccessPath::FullScan { partitions },
             partition_paths: (0..partitions)
                 .map(|_| AccessPath::FullScan { partitions: 1 })
                 .collect(),
             metrics,
-        })
+        };
+        #[cfg(debug_assertions)]
+        crate::api::validate_scan_output(def, sys, app, preds, &out)
+            .unwrap_or_else(|msg| panic!("System C scan postcondition: {msg}"));
+        Ok(out)
     }
 
     fn lookup_key(
@@ -474,12 +512,26 @@ impl BitemporalEngine for SystemC {
     }
 
     fn stats(&self, table: TableId) -> TableStats {
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let open: usize = t.key_map.values().map(Vec::len).sum();
         TableStats {
             current_rows: open,
             history_rows: t.history.len() + t.closed_in_current,
         }
+    }
+
+    fn supports_manual_system_time(&self) -> bool {
+        false
+    }
+
+    fn bulk_load(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<(Row, AppPeriod, SysPeriod)>,
+    ) -> Result<()> {
+        Err(Error::Unsupported(
+            "bulk load with manual system time".into(),
+        ))
     }
 
     fn checkpoint(&mut self) {

@@ -59,20 +59,30 @@ impl SystemD {
 
     fn insert_version(&mut self, table: TableId, version: Version) {
         let def_key = self.catalog.def(table).key.clone();
-        let t = &mut self.tables[table.0 as usize];
-        let slot = t.all.insert(version);
-        let slot64 = u64::from(slot.0);
-        let v = t.all.get(slot).expect("just inserted").clone();
+        let t = self.table_mut(table);
+        let slot64 = u64::from(t.all.insert(version.clone()).0);
         for ix in &mut t.indexes {
-            ix.insert(&v, slot64);
+            ix.insert(&version, slot64);
         }
         if let Some(g) = &mut t.gist {
-            g.insert(&v, slot64);
+            g.insert(&version, slot64);
         }
-        if v.sys.is_current() {
-            let key = Key::from_row(&v.row, &def_key);
+        if version.sys.is_current() {
+            let key = Key::from_row(&version.row, &def_key);
             t.key_map.entry(key).or_default().push(slot64);
         }
+    }
+
+    /// `TableId`s are issued densely by the catalog, so indexing with one it
+    /// handed out cannot go out of bounds.
+    fn table(&self, table: TableId) -> &TableD {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for reads
+        &self.tables[table.0 as usize]
+    }
+
+    fn table_mut(&mut self, table: TableId) -> &mut TableD {
+        // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point for writes
+        &mut self.tables[table.0 as usize]
     }
 }
 
@@ -84,24 +94,25 @@ impl SequencedOps for SystemD {
         self.now.next()
     }
     fn open_slots(&self, table: TableId, key: &Key) -> Vec<u64> {
-        self.tables[table.0 as usize]
+        self.table(table)
             .key_map
             .get(key)
             .cloned()
             .unwrap_or_default()
     }
     fn peek(&self, table: TableId, slot: u64) -> Option<Version> {
-        self.tables[table.0 as usize]
-            .all
-            .get(SlotId(slot as u32))
-            .cloned()
+        self.table(table).all.get(SlotId(slot as u32)).cloned()
     }
-    fn close(&mut self, table: TableId, slot64: u64, end: SysTime) -> Version {
+    fn close(&mut self, table: TableId, slot64: u64, end: SysTime) -> Result<Version> {
         let def_key = self.catalog.def(table).key.clone();
         let nontemporal = self.catalog.def(table).temporal == TemporalClass::NonTemporal;
-        let t = &mut self.tables[table.0 as usize];
+        let t = self.table_mut(table);
         let slot = SlotId(slot64 as u32);
-        let before = t.all.get(slot).expect("closing live version").clone();
+        let Some(before) = t.all.get(slot).cloned() else {
+            return Err(Error::Internal(format!(
+                "closing slot {slot64} with no live version"
+            )));
+        };
         let key = Key::from_row(&before.row, &def_key);
         if let Some(slots) = t.key_map.get_mut(&key) {
             slots.retain(|&s| s != slot64);
@@ -115,14 +126,13 @@ impl SequencedOps for SystemD {
             }
             // GiST entries are left stale: the tombstoned slot resolves to
             // nothing at probe time, which is sound (conservative rects).
-        } else {
+        } else if let Some(v) = t.all.get_mut(slot) {
             // In-place close: the version stays put with an ended period.
             // Period *starts* are the only indexed boundaries, so B-Tree
             // entries remain valid; the GiST rect becomes conservative.
-            let v = t.all.get_mut(slot).expect("still live");
             v.sys = SysPeriod::new(v.sys.start, end);
         }
-        before
+        Ok(before)
     }
     fn insert_version_at(&mut self, table: TableId, version: Version) {
         self.insert_version(table, version);
@@ -201,7 +211,7 @@ impl BitemporalEngine for SystemD {
                     });
                 }
             }
-            let t = &mut self.tables[id.0 as usize];
+            let t = self.table_mut(id);
             t.indexes = index_defs.into_iter().map(OrderedIndex::new).collect();
             t.key_index = key_index;
             t.gist = (tuning.gist && def.has_system_time())
@@ -298,11 +308,11 @@ impl BitemporalEngine for SystemD {
         preds: &[ColRange],
     ) -> Result<ScanOutput> {
         let def = self.catalog.def(table);
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let _span = obs::span_dyn("engine", || format!("System D scan {}", def.name));
         let view = PartitionView {
             source: &t.all,
-            pk: t.key_index.map(|i| &t.indexes[i]),
+            pk: t.key_index.and_then(|i| t.indexes.get(i)),
             indexes: &t.indexes,
             gist: t.gist.as_ref(),
         };
@@ -325,12 +335,16 @@ impl BitemporalEngine for SystemD {
             &mut rows,
             &mut metrics,
         )?;
-        Ok(ScanOutput {
+        let out = ScanOutput {
             access: merge_access(vec![path.clone()]),
             partition_paths: vec![path],
             rows,
             metrics,
-        })
+        };
+        #[cfg(debug_assertions)]
+        crate::api::validate_scan_output(def, sys, app, preds, &out)
+            .unwrap_or_else(|msg| panic!("System D scan postcondition: {msg}"));
+        Ok(out)
     }
 
     fn lookup_key(
@@ -351,7 +365,7 @@ impl BitemporalEngine for SystemD {
     }
 
     fn stats(&self, table: TableId) -> TableStats {
-        let t = &self.tables[table.0 as usize];
+        let t = self.table(table);
         let current = t.key_map.values().map(Vec::len).sum();
         TableStats {
             current_rows: current,
@@ -381,6 +395,10 @@ impl BitemporalEngine for SystemD {
             }
         }
         Ok(())
+    }
+
+    fn checkpoint(&mut self) {
+        // One flat table, no staged reorganization: nothing to flush.
     }
 }
 

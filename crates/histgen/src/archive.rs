@@ -538,6 +538,12 @@ fn write_period(w: &mut impl Write, p: &AppPeriod) -> Result<()> {
 fn read_period<R: Read>(src: &mut Src<'_, R>) -> Result<AppPeriod> {
     let start = AppDate(src.read_i64("period start")?);
     let end = AppDate(src.read_i64("period end")?);
+    if start > end {
+        return Err(Error::Archive(format!(
+            "inverted period in stream: start {} > end {}",
+            start.0, end.0
+        )));
+    }
     Ok(Period::new(start, end))
 }
 

@@ -161,6 +161,7 @@ pub fn replay_resilient(
     batch_size: usize,
     policy: ReplayPolicy,
 ) -> Result<LoadReport> {
+    // tblint: allow(TB001) load-latency percentiles are the experiment's measurement (Fig 16)
     let started = Instant::now();
     let mut timings = Vec::with_capacity(archive.transactions.len());
     let mut failed: Vec<(usize, Error)> = Vec::new();
@@ -170,6 +171,7 @@ pub fn replay_resilient(
             .first()
             .copied()
             .unwrap_or(ScenarioKind::NewOrderExistingCustomer);
+        // tblint: allow(TB001) per-batch wall-clock is the measured quantity here
         let t0 = Instant::now();
         let mut batch_err: Option<Error> = None;
         'ops: for txn in batch {

@@ -14,7 +14,10 @@
 //!   distinct / union over materialized row sets;
 //! * [`temporal`] — temporal aggregation (both the efficient event sweep
 //!   and the *naive* boundary-points formulation the paper measured),
-//!   overlap joins, and version-delta extraction (R7, K4/K5).
+//!   overlap joins, and version-delta extraction (R7, K4/K5);
+//! * [`plan`] — a statically checkable plan description and validator:
+//!   scans must classify predicates into pushed vs residual (or admit to a
+//!   full-history read), temporal operators must declare coalescing.
 //!
 //! Operators are materialized (`Vec<Row>` in, `Vec<Row>` out): with all
 //! data memory-resident — the paper's setup too ("all read requests ...
@@ -23,6 +26,7 @@
 
 pub mod expr;
 pub mod ops;
+pub mod plan;
 pub mod temporal;
 
 pub use expr::Expr;
@@ -30,4 +34,5 @@ pub use ops::{
     aggregate, distinct, filter, hash_join, project, sort_by, top_n, union, AggExpr, AggFunc,
     JoinKind, SortKey,
 };
+pub use plan::{validate, AppClass, Classification, PlanNode, PlanViolation, ScanNode, SysClass};
 pub use temporal::{temporal_aggregate, temporal_aggregate_naive, temporal_join, version_delta};

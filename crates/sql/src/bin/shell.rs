@@ -107,6 +107,7 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
+        // tblint: allow(TB001) interactive shell latency display, not a measured result
         let started = std::time::Instant::now();
         match bitempo_sql::run_sql(engine.as_mut(), &sql) {
             Ok(output) => {

@@ -357,13 +357,30 @@ fn app_point(engine: &dyn BitemporalEngine, expr: &ScalarExpr) -> Result<AppDate
     }
 }
 
+/// Builds a user-supplied period, rejecting inverted bounds: `FROM b TO a`
+/// with `a < b` is a query error, not an empty result.
+fn user_period<T: Copy + Ord + std::fmt::Display>(
+    dim: &str,
+    start: T,
+    end: T,
+) -> Result<Period<T>> {
+    if start > end {
+        return Err(Error::Invalid(format!(
+            "{dim} FROM {start} TO {end}: range start is after its end"
+        )));
+    }
+    Ok(Period::new(start, end))
+}
+
 fn sys_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Result<SysSpec> {
     Ok(match clause {
         None => SysSpec::Current,
         Some(TimeClause::AsOf(e)) => SysSpec::AsOf(sys_point(engine, e)?),
-        Some(TimeClause::FromTo(a, b)) => {
-            SysSpec::Range(Period::new(sys_point(engine, a)?, sys_point(engine, b)?))
-        }
+        Some(TimeClause::FromTo(a, b)) => SysSpec::Range(user_period(
+            "SYSTEM_TIME",
+            sys_point(engine, a)?,
+            sys_point(engine, b)?,
+        )?),
         Some(TimeClause::All) => SysSpec::All,
     })
 }
@@ -372,9 +389,11 @@ fn app_spec(engine: &dyn BitemporalEngine, clause: &Option<TimeClause>) -> Resul
     Ok(match clause {
         None => AppSpec::All,
         Some(TimeClause::AsOf(e)) => AppSpec::AsOf(app_point(engine, e)?),
-        Some(TimeClause::FromTo(a, b)) => {
-            AppSpec::Range(Period::new(app_point(engine, a)?, app_point(engine, b)?))
-        }
+        Some(TimeClause::FromTo(a, b)) => AppSpec::Range(user_period(
+            "BUSINESS_TIME",
+            app_point(engine, a)?,
+            app_point(engine, b)?,
+        )?),
         Some(TimeClause::All) => AppSpec::All,
     })
 }
@@ -549,7 +568,13 @@ fn app_period(
     portion: Option<&(ScalarExpr, ScalarExpr)>,
 ) -> Result<Option<AppPeriod>> {
     portion
-        .map(|(a, b)| Ok(Period::new(app_point(engine, a)?, app_point(engine, b)?)))
+        .map(|(a, b)| {
+            user_period(
+                "PORTION OF BUSINESS_TIME",
+                app_point(engine, a)?,
+                app_point(engine, b)?,
+            )
+        })
         .transpose()
 }
 
@@ -685,6 +710,23 @@ mod tests {
         // Only the superseded hammer version has a closed system period.
         assert_eq!(out.rows().len(), 1);
         assert_eq!(out.rows()[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn inverted_time_ranges_are_query_errors() {
+        let mut db = items_db();
+        let err = run_sql(
+            db.as_mut(),
+            "SELECT id FROM items FOR SYSTEM_TIME FROM 7 TO 3",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("start is after its end"), "{err}");
+        let err = run_sql(
+            db.as_mut(),
+            "SELECT id FROM items FOR BUSINESS_TIME FROM 20 TO 10",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("start is after its end"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+// TB001 clean fixture: versions are stamped from the logical commit
+// counter, never the wall clock.
+fn stamp_version(engine: &dyn BitemporalEngine) -> SysTime {
+    engine.now()
+}

@@ -1,0 +1,11 @@
+// TB001 firing fixture: wall-clock reads outside the bench harness.
+use std::time::{Instant, SystemTime};
+
+fn stamp_version() -> u128 {
+    let started = Instant::now();
+    let _ = started;
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+// TB002 clean fixture: half-open [start, end) — endpoints compare with
+// strict < / >, starts may use <=.
+fn visible(point: SysTime, sys_start: SysTime, sys_end: SysTime) -> bool {
+    sys_start <= point && point < sys_end
+}
+
+fn overlaps(a_end: AppDate, b_start: AppDate) -> bool {
+    b_start < a_end
+}

@@ -1,0 +1,8 @@
+// TB002 firing fixture: closed-interval comparisons on period endpoints.
+fn visible(point: SysTime, sys_start: SysTime, sys_end: SysTime) -> bool {
+    sys_start <= point && point <= sys_end
+}
+
+fn overlaps(a_end: AppDate, b_start: AppDate) -> bool {
+    b_start <= a_end
+}

@@ -1,0 +1,11 @@
+// TB003 clean fixture: BTreeMap iterates in key order, so the report is
+// byte-identical across runs.
+use std::collections::BTreeMap;
+
+fn emit(cells: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (label, value) in cells {
+        out.push_str(&format!("{label}: {value}\n"));
+    }
+    out
+}

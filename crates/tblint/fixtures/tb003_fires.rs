@@ -1,0 +1,10 @@
+// TB003 firing fixture: hash-ordered collections in an output path.
+use std::collections::HashMap;
+
+fn emit(cells: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (label, value) in cells {
+        out.push_str(&format!("{label}: {value}\n"));
+    }
+    out
+}

@@ -1,0 +1,6 @@
+// TB004 firing fixture: panicking patterns in a scan hot path.
+fn read_slot(slots: &[u64], i: usize, version: Option<&Version>) -> u64 {
+    let v = version.unwrap();
+    let _ = v.row.get(0).expect("first column");
+    slots[i]
+}

@@ -1,0 +1,6 @@
+// TB004 waived fixture: a justified waiver suppresses the finding; the
+// justification text is carried into the diagnostic.
+fn table(&self, table: TableId) -> &TableA {
+    // tblint: allow(TB004) TableId is catalog-issued and dense; sole indexing point
+    &self.tables[table.0 as usize]
+}

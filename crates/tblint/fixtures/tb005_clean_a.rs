@@ -1,0 +1,7 @@
+// TB005 clean fixture (pairs with tb005_clean_b.rs): identical method
+// sets, different definition order.
+impl BitemporalEngine for FixtureA {
+    fn scan(&self) {}
+    fn commit(&mut self) {}
+    fn checkpoint(&mut self) {}
+}

@@ -1,0 +1,6 @@
+// TB005 clean fixture (pairs with tb005_clean_a.rs).
+impl BitemporalEngine for FixtureB {
+    fn checkpoint(&mut self) {}
+    fn commit(&mut self) {}
+    fn scan(&self) {}
+}

@@ -1,0 +1,7 @@
+// TB005 firing fixture (pairs with tb005_clean_a.rs): `checkpoint` is
+// missing and `vacuum` is extra, so the method sets diverge.
+impl BitemporalEngine for FixtureB {
+    fn commit(&mut self) {}
+    fn scan(&self) {}
+    fn vacuum(&mut self) {}
+}

@@ -1,0 +1,418 @@
+//! A small hand-written Rust lexer: just enough token structure for the
+//! TB rules, with no dependency on `syn` (registry deps are offline shims).
+//!
+//! The lexer's one job is to make the rules *comment- and string-safe*:
+//! a `SystemTime::now` inside a string literal or a doc comment must never
+//! fire TB001. Comments are not emitted as tokens, but line comments are
+//! surfaced separately so the waiver parser can read
+//! `// tblint: allow(TBnnn) <reason>` markers without ever confusing them
+//! with string literals that merely *mention* the waiver syntax.
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `impl`, ...).
+    Ident,
+    /// Punctuation / operator, possibly multi-character (`::`, `<=`, `[`).
+    Punct,
+    /// Numeric literal (`0`, `1_000`, `0xFF`, `1.5e3`).
+    Number,
+    /// String, raw-string, byte-string or char literal (contents dropped).
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (empty for [`TokKind::Literal`] — contents are
+    /// irrelevant to every rule and may be arbitrarily large).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `//` comment, surfaced for waiver parsing.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Text after the `//` (leading slashes of doc comments included).
+    pub body: String,
+}
+
+/// Lexer output: significant tokens plus the line comments.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Significant tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Every `//` comment, in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Two-character operators that must lex as one token. `<=` and `>=` are
+/// the ones TB002 depends on; the rest exist so they are not mistaken for
+/// them (`<<=` must not produce a phantom `<=`).
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "<=", ">=", "==", "!=", "->", "=>", "..", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=",
+];
+
+/// Lexes `src`. The lexer is intentionally forgiving: malformed input
+/// (unterminated strings, stray bytes) never panics — it produces the best
+/// token stream it can, because a lint tool must not crash on the code it
+/// is criticising.
+pub fn lex(src: &str) -> LexOut {
+    let mut out = LexOut::default();
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Advances `i` over `count` chars, tracking newlines.
+    macro_rules! bump {
+        ($count:expr) => {{
+            for _ in 0..$count {
+                if i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment (and doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(LineComment {
+                line,
+                body: b[start..j].iter().collect(),
+            });
+            bump!(j - i);
+            continue;
+        }
+        // Block comment, nesting like Rust's.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            bump!(2);
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br##"..."## etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let tok_line = line;
+            // Skip the prefix letters.
+            while i < n && (b[i] == 'r' || b[i] == 'b') {
+                bump!(1);
+            }
+            let mut hashes = 0usize;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                bump!(1);
+            }
+            bump!(1); // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '"' {
+                    let mut k = 0;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        bump!(1 + hashes);
+                        break;
+                    }
+                }
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let tok_line = line;
+            if c == 'b' {
+                bump!(1);
+            }
+            bump!(1); // opening quote
+            while i < n {
+                if b[i] == '\\' {
+                    bump!(2);
+                } else if b[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            if is_lifetime(&b, i) {
+                bump!(1);
+                let mut text = String::from("'");
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    text.push(b[i]);
+                    bump!(1);
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: tok_line,
+                });
+            } else {
+                bump!(1); // opening quote
+                while i < n {
+                    if b[i] == '\\' {
+                        bump!(2);
+                    } else if b[i] == '\'' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let tok_line = line;
+            let mut text = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                text.push(b[i]);
+                bump!(1);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Numbers (including tuple-field digits like the `0` in `self.0`,
+        // which matters to TB004's indexing detection).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let mut text = String::new();
+            while i < n {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    text.push(d);
+                    bump!(1);
+                } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // `1.5`, but not the range `0..10`.
+                    text.push(d);
+                    bump!(1);
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Number,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Operators: greedy two-char match, then single char.
+        let tok_line = line;
+        if i + 1 < n {
+            let pair: String = [b[i], b[i + 1]].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                bump!(2);
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: pair,
+                    line: tok_line,
+                });
+                continue;
+            }
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tok_line,
+        });
+        bump!(1);
+    }
+    out
+}
+
+/// True if position `i` starts a raw (possibly byte) string: `r"`, `r#`,
+/// `br"`, `br#`. Requires the quote/hash to follow immediately so that
+/// identifiers starting with `r` (e.g. `rows`) are not misread.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    // Must not already be inside an identifier (`for r in ..` handled by
+    // the ident branch running first for `r` alone — here we only see the
+    // char sequence, so require quote or hash next).
+    matches!(b.get(j), Some('"') | Some('#')) && {
+        // `r#ident` is a raw identifier, not a raw string.
+        let mut k = j;
+        while matches!(b.get(k), Some('#')) {
+            k += 1;
+        }
+        matches!(b.get(k), Some('"'))
+    }
+}
+
+/// True if the `'` at `i` starts a lifetime rather than a char literal.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(c) if c.is_alphabetic() || *c == '_' => {
+            // `'a'` is a char, `'a` (no closing quote) is a lifetime.
+            !matches!(b.get(i + 2), Some('\''))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // Instant::now in a comment
+            /* SystemTime::now in a block /* nested */ comment */
+            let s = "Instant::now inside a string";
+            let r = r#"raw with "quotes" and Instant::now"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn two_char_operators_lex_as_one() {
+        let toks = lex("a <= b; c >= d; e::f").toks;
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"<="));
+        assert!(puncts.contains(&">="));
+        assert!(puncts.contains(&"::"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n  c");
+        let lines: Vec<u32> = out.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        let lifetimes = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn comments_surface_for_waiver_parsing() {
+        let out = lex("let x = 1; // tblint: allow(TB001) test reason\n");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].body.contains("tblint: allow(TB001)"));
+        assert_eq!(out.comments[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_syntax_inside_string_is_not_a_comment() {
+        let out = lex("let x = \"// tblint: allow(TB001) fake\";");
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn tuple_field_digits_are_numbers() {
+        let out = lex("self.0[i]");
+        let kinds: Vec<TokKind> = out.toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Number,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct
+            ]
+        );
+    }
+}

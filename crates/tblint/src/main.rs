@@ -1,0 +1,53 @@
+//! The `tblint` CLI: lints the workspace and exits non-zero on any
+//! unwaived finding. Usage: `cargo run -p tblint --release [root]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(find_workspace_root);
+    let report = match tblint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tblint: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let unwaived = report.unwaived().count();
+    println!(
+        "tblint: {} files, {} finding(s): {} unwaived, {} waived",
+        report.files,
+        report.diagnostics.len(),
+        unwaived,
+        report.waived_count()
+    );
+    if unwaived > 0 {
+        println!("tblint: FAIL — fix the findings above or waive them with a justification");
+        ExitCode::FAILURE
+    } else {
+        println!("tblint: OK");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// directory containing `crates/`), so the tool runs correctly from any
+/// crate directory.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The TB rule catalogue, evaluated over the lexer's token stream.
+//!
+//! | Code  | Invariant |
+//! |-------|-----------|
+//! | TB000 | waiver hygiene: waivers parse, carry reasons, and are used |
+//! | TB001 | no wall-clock reads outside the bench harness / obs clock |
+//! | TB002 | no closed-interval comparisons on period endpoints |
+//! | TB003 | no hash-ordered iteration feeding report/archive/trace output |
+//! | TB004 | no `unwrap`/`expect`/slice-indexing in engine scan hot paths |
+//! | TB005 | engine parity: all four engines define the same method set |
+//!
+//! Every rule is waivable with `// tblint: allow(TBnnn) <reason>` (see
+//! [`crate::waiver`]); the tree is kept at **zero unwaived findings**.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Waiver-hygiene pseudo-rule (malformed or unused waivers).
+pub const TB000: &str = "TB000";
+/// Determinism: no `SystemTime::now` / `Instant::now` outside the bench
+/// crate and the obs trace clock.
+pub const TB001: &str = "TB001";
+/// Half-open intervals: no `<=` / `>=` comparisons against `*_end`
+/// period-endpoint columns outside `core::time` / `core::schema`.
+pub const TB002: &str = "TB002";
+/// Deterministic output: no `HashMap` / `HashSet` in files that feed
+/// report, archive or trace output.
+pub const TB003: &str = "TB003";
+/// Panic-free hot paths: no `unwrap` / `expect` / slice-indexing in the
+/// engine scan files.
+pub const TB004: &str = "TB004";
+/// Engine parity: all four `system_*.rs` implement the same
+/// `BitemporalEngine` method set.
+pub const TB005: &str = "TB005";
+
+/// One rule finding, before waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule code.
+    pub code: &'static str,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Files allowed to read the wall clock (TB001): the bench harness
+/// measures with it, and the obs recorder's trace clock *is* the
+/// sanctioned wrapper everything else must go through.
+fn tb001_exempt(path: &str) -> bool {
+    path.starts_with("crates/bench/") || path == "crates/core/src/obs.rs"
+}
+
+/// Files that own period-endpoint comparison logic (TB002): the half-open
+/// constructors and matchers live here; everyone else must call them.
+fn tb002_exempt(path: &str) -> bool {
+    path == "crates/core/src/time.rs" || path == "crates/core/src/schema.rs"
+}
+
+/// Files whose output must be deterministic (TB003): benchmark reports,
+/// the history archive codec, generator statistics, and the trace
+/// recorder. Hash-ordered iteration anywhere here is an ordering bug
+/// waiting to happen, so the rule bans the types outright.
+fn tb003_scope(path: &str) -> bool {
+    path.starts_with("crates/bench/src/")
+        || path == "crates/core/src/obs.rs"
+        || path == "crates/histgen/src/archive.rs"
+        || path == "crates/histgen/src/stats.rs"
+}
+
+/// Engine scan hot-path files (TB004).
+fn tb004_scope(path: &str) -> bool {
+    match path.strip_prefix("crates/engine/src/") {
+        Some(rest) => {
+            (rest.starts_with("system_") && rest.ends_with(".rs"))
+                || rest == "rowscan.rs"
+                || rest == "morsel.rs"
+        }
+        None => false,
+    }
+}
+
+/// The four engine files compared by TB005.
+pub fn tb005_scope(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/engine/src/system_a.rs"
+            | "crates/engine/src/system_b.rs"
+            | "crates/engine/src/system_c.rs"
+            | "crates/engine/src/system_d.rs"
+    )
+}
+
+/// Runs the single-file rules (TB001–TB004) over one token stream.
+pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !tb001_exempt(path) {
+        tb001(toks, &mut findings);
+    }
+    if !tb002_exempt(path) {
+        tb002(toks, &mut findings);
+    }
+    if tb003_scope(path) {
+        tb003(toks, &mut findings);
+    }
+    if tb004_scope(path) {
+        let stripped = strip_test_modules(toks);
+        tb004(&stripped, &mut findings);
+    }
+    findings
+}
+
+/// TB001: `SystemTime :: now` or `Instant :: now` token sequences.
+fn tb001(toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(3) {
+        let clock =
+            w[0].kind == TokKind::Ident && (w[0].text == "SystemTime" || w[0].text == "Instant");
+        if clock && w[1].text == "::" && w[2].kind == TokKind::Ident && w[2].text == "now" {
+            out.push(Finding {
+                line: w[0].line,
+                code: TB001,
+                message: format!(
+                    "`{}::now` outside the bench harness breaks determinism — \
+                     use the logical clock (core::time) or obs::trace_clock",
+                    w[0].text
+                ),
+            });
+        }
+    }
+}
+
+/// TB002: `*_end` identifiers adjacent to `<=` / `>=`. Half-open periods
+/// compare endpoints with strict `<` / `>`; a closed comparison on an
+/// `_end` column is the classic off-by-one the paper's §4 schema exists
+/// to prevent.
+fn tb002(toks: &[Tok], out: &mut Vec<Finding>) {
+    let is_endpoint =
+        |t: &Tok| t.kind == TokKind::Ident && t.text.ends_with("_end") && t.text.len() > 4;
+    let is_closed_cmp = |t: &Tok| t.kind == TokKind::Punct && (t.text == "<=" || t.text == ">=");
+    for w in toks.windows(2) {
+        let (endpoint, cmp) = if is_endpoint(&w[0]) && is_closed_cmp(&w[1]) {
+            (&w[0], &w[1])
+        } else if is_closed_cmp(&w[0]) && is_endpoint(&w[1]) {
+            (&w[1], &w[0])
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            line: cmp.line.min(endpoint.line),
+            code: TB002,
+            message: format!(
+                "closed-interval comparison `{}` against period endpoint `{}` — \
+                 half-open [start, end) endpoints compare with strict </>, or go \
+                 through the core::time constructors",
+                cmp.text, endpoint.text
+            ),
+        });
+    }
+}
+
+/// TB003: any `HashMap` / `HashSet` mention in an output-path file.
+fn tb003(toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Finding {
+                line: t.line,
+                code: TB003,
+                message: format!(
+                    "`{}` in an output path — iteration order is nondeterministic; \
+                     use BTreeMap/BTreeSet or sort before emitting",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// TB004: `.unwrap(` / `.expect(` calls and slice-indexing expressions in
+/// the scan hot paths (test modules excluded).
+fn tb004(toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(` — method calls only, so `unwrap_or` and
+        // friends (which are total) stay legal.
+        if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+            let after_dot = i > 0 && toks[i - 1].text == ".";
+            let called = toks.get(i + 1).is_some_and(|n| n.text == "(");
+            if after_dot && called {
+                out.push(Finding {
+                    line: t.line,
+                    code: TB004,
+                    message: format!(
+                        "`.{}()` in an engine scan hot path — return a proper \
+                         Error or waive with a justification",
+                        t.text
+                    ),
+                });
+            }
+        }
+        // Indexing: `[` whose previous significant token ends an
+        // expression (identifier, literal number, `)` or `]`). Attribute
+        // (`#[`), macro (`vec![`), type (`: [u8; 4]`) and array-literal
+        // brackets all follow non-expression tokens and do not fire.
+        if t.kind == TokKind::Punct && t.text == "[" && i > 0 {
+            let prev = &toks[i - 1];
+            let expr_end = matches!(prev.kind, TokKind::Ident | TokKind::Number)
+                || prev.text == ")"
+                || prev.text == "]";
+            // Keywords that *end* in an expression position but cannot be
+            // indexed (`return [..]`, `in [..]`, `if x == y [..]` etc.).
+            let keyword = prev.kind == TokKind::Ident
+                && matches!(
+                    prev.text.as_str(),
+                    "return" | "in" | "break" | "else" | "match" | "mut" | "ref" | "as"
+                );
+            if expr_end && !keyword {
+                out.push(Finding {
+                    line: t.line,
+                    code: TB004,
+                    message: "slice-indexing in an engine scan hot path — use `.get()` \
+                              or waive with a justification"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Removes `#[cfg(test)] mod … { … }` blocks from a token stream, so TB004
+/// does not fire on test assertions.
+pub fn strip_test_modules(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_at(toks, i) {
+            // Skip the attribute itself (7 tokens: # [ cfg ( test ) ]),
+            // any further attributes, the `mod name {`, and the block.
+            i += 7;
+            while toks.get(i).is_some_and(|t| t.text == "#") {
+                i = skip_attribute(toks, i);
+            }
+            if toks.get(i).is_some_and(|t| t.text == "mod") {
+                // mod <name> {
+                i += 2;
+                if toks.get(i).is_some_and(|t| t.text == "{") {
+                    i = skip_braced_block(toks, i);
+                    continue;
+                }
+            }
+            // Not a `mod` (e.g. a cfg(test) fn) — fall through and skip
+            // just the following item conservatively by continuing the
+            // normal copy; stripping only applies to test modules.
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// True if tokens at `i` spell `# [ cfg ( test ) ]`.
+fn is_cfg_test_at(toks: &[Tok], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    toks.len() >= i + texts.len()
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| toks[i + k].text == *t)
+}
+
+/// Skips an attribute `#[ ... ]` starting at `i` (the `#`), returning the
+/// index just past its closing `]`.
+fn skip_attribute(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a `{ ... }` block starting at `i` (the `{`), returning the index
+/// just past its matching `}`.
+fn skip_braced_block(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The method names a file defines inside
+/// `impl BitemporalEngine for <X> { ... }`, with the line of the `impl`.
+pub fn engine_method_set(toks: &[Tok]) -> Option<(u32, Vec<String>)> {
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if toks[i].text == "impl"
+            && toks[i + 1].text == "BitemporalEngine"
+            && toks[i + 2].text == "for"
+            && toks[i + 3].kind == TokKind::Ident
+        {
+            let impl_line = toks[i].line;
+            // Find the opening brace (no generics in our engines, but be
+            // tolerant of a `where` clause).
+            let mut j = i + 4;
+            while j < toks.len() && toks[j].text != "{" {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut methods = Vec::new();
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            methods.sort();
+                            return Some((impl_line, methods));
+                        }
+                    }
+                    "fn" if depth == 1 => {
+                        if let Some(name) = toks.get(j + 1) {
+                            methods.push(name.text.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            methods.sort();
+            return Some((impl_line, methods));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// TB005: compares the `BitemporalEngine` method sets across the engine
+/// files. Returns `(file index, finding)` pairs.
+pub fn check_parity(files: &[(String, Vec<Tok>)]) -> Vec<(usize, Finding)> {
+    let mut sets: Vec<(usize, u32, Vec<String>)> = Vec::new();
+    let mut out = Vec::new();
+    for (idx, (path, toks)) in files.iter().enumerate() {
+        match engine_method_set(toks) {
+            Some((line, methods)) => sets.push((idx, line, methods)),
+            None => out.push((
+                idx,
+                Finding {
+                    line: 1,
+                    code: TB005,
+                    message: format!("no `impl BitemporalEngine for …` block found in {path}"),
+                },
+            )),
+        }
+    }
+    let Some((_, _, reference)) = sets.first() else {
+        return out;
+    };
+    let reference = reference.clone();
+    for (idx, line, methods) in &sets[1..] {
+        if *methods == reference {
+            continue;
+        }
+        let missing: Vec<&String> = reference.iter().filter(|m| !methods.contains(m)).collect();
+        let extra: Vec<&String> = methods.iter().filter(|m| !reference.contains(m)).collect();
+        out.push((
+            *idx,
+            Finding {
+                line: *line,
+                code: TB005,
+                message: format!(
+                    "engine method set diverges from {}: missing {missing:?}, extra {extra:?} — \
+                     all four engines must define the same BitemporalEngine API surface",
+                    files[sets[0].0].0
+                ),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn codes(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, &lex(src).toks)
+            .into_iter()
+            .map(|f| f.code)
+            .collect()
+    }
+
+    #[test]
+    fn tb001_fires_outside_bench() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(codes("crates/engine/src/lib.rs", src), vec![TB001]);
+        assert!(codes("crates/bench/src/runner.rs", src).is_empty());
+        assert!(codes("crates/core/src/obs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tb002_catches_closed_endpoint_comparisons() {
+        assert_eq!(
+            codes("crates/query/src/x.rs", "if x <= app_end { }"),
+            vec![TB002]
+        );
+        assert_eq!(
+            codes("crates/query/src/x.rs", "if sys_end >= t { }"),
+            vec![TB002]
+        );
+        // Strict comparisons and non-endpoint identifiers are fine.
+        assert!(codes("crates/query/src/x.rs", "if x < app_end { }").is_empty());
+        assert!(codes("crates/query/src/x.rs", "if end <= start { }").is_empty());
+        // The core time module owns these comparisons.
+        assert!(codes("crates/core/src/time.rs", "if x <= app_end { }").is_empty());
+    }
+
+    #[test]
+    fn tb003_bans_hash_collections_in_output_paths() {
+        let src = "use std::collections::HashMap; fn f() { let m: HashMap<u8, u8>; }";
+        let found = codes("crates/bench/src/report.rs", src);
+        assert!(found.iter().all(|c| *c == TB003) && found.len() == 2);
+        assert!(codes("crates/engine/src/catalog.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tb004_catches_panicking_patterns() {
+        let path = "crates/engine/src/rowscan.rs";
+        assert_eq!(codes(path, "let x = opt.unwrap();"), vec![TB004]);
+        assert_eq!(codes(path, "let x = opt.expect(\"msg\");"), vec![TB004]);
+        assert_eq!(codes(path, "let x = slots[i];"), vec![TB004]);
+        assert_eq!(codes(path, "let x = self.0[i];"), vec![TB004]);
+        // Total alternatives and non-indexing brackets are fine.
+        assert!(codes(path, "let x = opt.unwrap_or(0);").is_empty());
+        assert!(codes(path, "let v = vec![1, 2];").is_empty());
+        assert!(codes(path, "#[derive(Debug)] struct S;").is_empty());
+        assert!(codes(path, "let a: [u8; 4] = [0; 4];").is_empty());
+        // Out-of-scope files are not hot paths.
+        assert!(codes("crates/engine/src/catalog.rs", "x.unwrap();").is_empty());
+    }
+
+    #[test]
+    fn tb004_ignores_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(codes("crates/engine/src/morsel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tb005_detects_method_set_divergence() {
+        let a = "impl BitemporalEngine for A { fn scan(&self) {} fn commit(&mut self) {} }";
+        let b = "impl BitemporalEngine for B { fn commit(&mut self) {} fn scan(&self) {} }";
+        let c = "impl BitemporalEngine for C { fn scan(&self) {} }";
+        let files = vec![
+            ("a.rs".to_string(), lex(a).toks),
+            ("b.rs".to_string(), lex(b).toks),
+        ];
+        assert!(check_parity(&files).is_empty(), "order must not matter");
+        let files = vec![
+            ("a.rs".to_string(), lex(a).toks),
+            ("c.rs".to_string(), lex(c).toks),
+        ];
+        let findings = check_parity(&files);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, 1);
+        assert!(findings[0].1.message.contains("commit"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Waiver parsing: `// tblint: allow(TBnnn) <reason>`.
+//!
+//! Waiver policy (also documented in DESIGN.md):
+//!
+//! * a waiver suppresses findings of the named rule on its own line and on
+//!   the line immediately below it (so it can trail the offending
+//!   expression or sit on its own line above it);
+//! * the reason is **mandatory** — a waiver without one is itself a
+//!   diagnostic ([`crate::rules::TB000`]);
+//! * a waiver that suppresses nothing is reported as unused, so stale
+//!   waivers cannot accumulate.
+
+use crate::lexer::LineComment;
+
+/// A parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: u32,
+    /// The rule code it waives (`"TB004"`).
+    pub code: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Set by the rule engine when a finding consumes this waiver.
+    pub used: bool,
+}
+
+/// A waiver-shaped comment that failed to parse, with the reason it failed.
+#[derive(Debug, Clone)]
+pub struct MalformedWaiver {
+    /// 1-based line of the broken comment.
+    pub line: u32,
+    /// Human-readable description of what is wrong.
+    pub problem: String,
+}
+
+/// The marker every waiver comment starts with (after `//` and spaces).
+const MARKER: &str = "tblint:";
+
+/// Extracts waivers from a file's line comments. Comments that clearly try
+/// to be waivers but are malformed are returned separately so the driver
+/// can surface them — a typo must not silently un-waive a finding.
+pub fn parse(comments: &[LineComment]) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let body = c.body.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            malformed.push(MalformedWaiver {
+                line: c.line,
+                problem: format!("expected `allow(TBnnn) <reason>` after `{MARKER}`"),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            malformed.push(MalformedWaiver {
+                line: c.line,
+                problem: "unclosed `allow(` in waiver".to_string(),
+            });
+            continue;
+        };
+        let code = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().to_string();
+        if !is_rule_code(&code) {
+            malformed.push(MalformedWaiver {
+                line: c.line,
+                problem: format!("`{code}` is not a rule code (expected TB0nn)"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            malformed.push(MalformedWaiver {
+                line: c.line,
+                problem: format!("waiver for {code} has no reason — justifications are mandatory"),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            line: c.line,
+            code,
+            reason,
+            used: false,
+        });
+    }
+    (waivers, malformed)
+}
+
+/// True if `code` has the shape of a rule code (`TB` + 3 digits).
+fn is_rule_code(code: &str) -> bool {
+    code.len() == 5 && code.starts_with("TB") && code[2..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Marks a matching waiver for (`code`, `line`) used and returns its
+/// reason. A waiver on line `L` covers findings on `L` and `L + 1`.
+pub fn claim(waivers: &mut [Waiver], code: &str, line: u32) -> Option<String> {
+    for w in waivers.iter_mut() {
+        if w.code == code && (w.line == line || w.line + 1 == line) {
+            w.used = true;
+            return Some(w.reason.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+        parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_waiver_parses() {
+        let (ws, bad) = parse_src("x(); // tblint: allow(TB004) slot came from insert above\n");
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].code, "TB004");
+        assert_eq!(ws[0].reason, "slot came from insert above");
+        assert_eq!(ws[0].line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let (ws, bad) = parse_src("// tblint: allow(TB001)\n");
+        assert!(ws.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].problem.contains("no reason"));
+    }
+
+    #[test]
+    fn bad_code_is_malformed() {
+        let (ws, bad) = parse_src("// tblint: allow(TB1) because\n");
+        assert!(ws.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let (ws, bad) = parse_src("// just a comment mentioning allow(TB004)\n");
+        assert!(ws.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_waiver_accepted() {
+        // `///` doc comments surface with a leading slash in the body.
+        let (ws, bad) = parse_src("/// tblint: allow(TB002) doc example\n");
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn claim_covers_same_and_next_line() {
+        let (mut ws, _) = parse_src("// tblint: allow(TB004) reason here\nx();\n");
+        assert!(claim(&mut ws, "TB004", 2).is_some());
+        assert!(ws[0].used);
+        let (mut ws, _) = parse_src("// tblint: allow(TB004) reason here\n");
+        assert!(claim(&mut ws, "TB001", 1).is_none());
+        assert!(claim(&mut ws, "TB004", 3).is_none());
+    }
+}

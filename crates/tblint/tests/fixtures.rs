@@ -1,0 +1,141 @@
+//! Fixture-based rule tests: every TB rule has one firing and one clean
+//! fixture under `fixtures/` (a directory the workspace walker skips, so
+//! the firing fixtures never pollute a real lint run).
+
+use tblint::rules::{self, check_parity};
+use tblint::{check_source, Diagnostic};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn tb001_fixture_fires_outside_bench_and_not_inside() {
+    let src = fixture("tb001_fires.rs");
+    let diags = check_source("crates/engine/src/lib.rs", &src);
+    assert_eq!(codes(&diags), [rules::TB001, rules::TB001], "{diags:?}");
+    assert!(diags.iter().all(|d| d.waived.is_none()));
+    // The same source is legal where the wall clock is the measurement.
+    assert!(check_source("crates/bench/src/runner.rs", &src).is_empty());
+    assert!(check_source("crates/core/src/obs.rs", &src).is_empty());
+}
+
+#[test]
+fn tb001_clean_fixture_passes() {
+    let src = fixture("tb001_clean.rs");
+    assert!(check_source("crates/engine/src/lib.rs", &src).is_empty());
+}
+
+#[test]
+fn tb002_fixture_fires_outside_core_time_and_not_inside() {
+    let src = fixture("tb002_fires.rs");
+    let diags = check_source("crates/query/src/temporal.rs", &src);
+    assert_eq!(codes(&diags), [rules::TB002, rules::TB002], "{diags:?}");
+    // The half-open matchers themselves live in core::time / core::schema.
+    assert!(check_source("crates/core/src/time.rs", &src).is_empty());
+    assert!(check_source("crates/core/src/schema.rs", &src).is_empty());
+}
+
+#[test]
+fn tb002_clean_fixture_passes() {
+    let src = fixture("tb002_clean.rs");
+    assert!(check_source("crates/query/src/temporal.rs", &src).is_empty());
+}
+
+#[test]
+fn tb003_fixture_fires_in_output_paths_only() {
+    let src = fixture("tb003_fires.rs");
+    let diags = check_source("crates/bench/src/report.rs", &src);
+    assert!(!diags.is_empty());
+    assert!(codes(&diags).iter().all(|c| *c == rules::TB003));
+    // Hash maps are fine where iteration order never reaches an artifact.
+    assert!(check_source("crates/engine/src/catalog.rs", &src).is_empty());
+}
+
+#[test]
+fn tb003_clean_fixture_passes() {
+    let src = fixture("tb003_clean.rs");
+    assert!(check_source("crates/bench/src/report.rs", &src).is_empty());
+}
+
+#[test]
+fn tb004_fixture_fires_in_hot_paths_only() {
+    let src = fixture("tb004_fires.rs");
+    let diags = check_source("crates/engine/src/rowscan.rs", &src);
+    assert_eq!(
+        codes(&diags),
+        [rules::TB004, rules::TB004, rules::TB004],
+        "unwrap, expect, slice-index: {diags:?}"
+    );
+    assert!(check_source("crates/engine/src/catalog.rs", &src).is_empty());
+}
+
+#[test]
+fn tb004_clean_fixture_passes() {
+    let src = fixture("tb004_clean.rs");
+    assert!(check_source("crates/engine/src/morsel.rs", &src).is_empty());
+}
+
+#[test]
+fn tb004_waiver_fixture_suppresses_with_reason() {
+    let src = fixture("tb004_waived.rs");
+    let diags = check_source("crates/engine/src/system_a.rs", &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let reason = diags[0].waived.as_deref().expect("finding is waived");
+    assert!(reason.contains("catalog-issued"), "{reason}");
+}
+
+#[test]
+fn tb005_clean_fixture_pair_has_parity() {
+    let files = vec![
+        (
+            "a.rs".to_string(),
+            tblint::lexer::lex(&fixture("tb005_clean_a.rs")).toks,
+        ),
+        (
+            "b.rs".to_string(),
+            tblint::lexer::lex(&fixture("tb005_clean_b.rs")).toks,
+        ),
+    ];
+    assert!(check_parity(&files).is_empty(), "order must not matter");
+}
+
+#[test]
+fn tb005_firing_fixture_reports_divergence() {
+    let files = vec![
+        (
+            "a.rs".to_string(),
+            tblint::lexer::lex(&fixture("tb005_clean_a.rs")).toks,
+        ),
+        (
+            "b.rs".to_string(),
+            tblint::lexer::lex(&fixture("tb005_fires_b.rs")).toks,
+        ),
+    ];
+    let findings = check_parity(&files);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].0, 1, "the diverging file is flagged");
+    let msg = &findings[0].1.message;
+    assert!(
+        msg.contains("checkpoint") && msg.contains("vacuum"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn workspace_run_on_this_repo_is_clean() {
+    // The real gate, exercised from the test suite too: zero unwaived
+    // findings across the workspace this crate lives in.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = tblint::run_workspace(root).expect("walk workspace");
+    let unwaived: Vec<String> = report.unwaived().map(ToString::to_string).collect();
+    assert!(unwaived.is_empty(), "{}", unwaived.join("\n"));
+}

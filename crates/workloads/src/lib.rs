@@ -11,7 +11,9 @@
 //! * [`range`] — range-timeslice queries (R1–R7), including temporal
 //!   aggregation and temporal joins;
 //! * [`bitemporal`] — the B3.1–B3.11 bitemporal-dimension matrix (Table 3);
-//! * [`params`] — benchmark parameter selection (time points, hot keys).
+//! * [`params`] — benchmark parameter selection (time points, hot keys);
+//! * [`plans`] — one statically-validated representative plan per workload
+//!   class, feeding the `lint-plans` experiment.
 //!
 //! Every query function takes a [`Ctx`] plus explicit temporal parameters
 //! and returns materialized rows, so the same plan text runs against any
@@ -21,6 +23,7 @@
 pub mod bitemporal;
 pub mod key;
 pub mod params;
+pub mod plans;
 pub mod range;
 pub mod tpch;
 pub mod tt;
@@ -206,7 +209,9 @@ pub(crate) mod fixtures {
     }
 
     // Box<dyn BitemporalEngine> is Send; queries take &dyn, so a Mutex-free
-    // static is fine as long as tests only read.
+    // static is fine as long as tests only read. The workspace denies
+    // `unsafe_code`; this test-only impl is the one justified exception.
+    #[allow(unsafe_code)]
     unsafe impl Sync for Fixture {}
 
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();

@@ -1,0 +1,292 @@
+//! Representative, statically-validated query plans — one per workload
+//! class — bridging the workload implementations to the plan validator in
+//! [`bitempo_query::plan`].
+//!
+//! Each builder does two things:
+//!
+//! 1. **executes** the real engine access the workload performs (so the
+//!    engines' `debug_assertions` scan-postcondition checks actually fire
+//!    on the returned output), and
+//! 2. **describes** that access as a [`PlanNode`] tree whose scan nodes
+//!    classify every predicate into *pushed* vs *residual* and whose
+//!    temporal operators declare their coalescing behaviour.
+//!
+//! The `lint-plans` bench experiment runs [`representative_plans`] against
+//! every engine and feeds each plan through [`bitempo_query::validate`]; a
+//! plan that forgets a classification fails the lint, not the benchmark.
+
+use crate::{Ctx, QueryParams};
+use bitempo_core::{Result, SysPeriod, TableId};
+use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_query::{AppClass, Classification, PlanNode, ScanNode, SysClass};
+
+/// One representative plan: the workload class it stands for, the concrete
+/// query it models, and the (already executed) plan tree.
+pub struct ClassPlan {
+    /// Workload class letter (paper §3.3): `"T"`, `"H"`, `"K"`, `"R"`, `"B"`.
+    pub class: &'static str,
+    /// The query the plan models, for diagnostics (e.g. `"T5/ALL"`).
+    pub query: &'static str,
+    /// The validated plan description.
+    pub plan: PlanNode,
+}
+
+/// Maps an executed [`SysSpec`] to its plan-level constraint class.
+fn sys_class(spec: &SysSpec) -> SysClass {
+    match spec {
+        SysSpec::Current => SysClass::Current,
+        SysSpec::AsOf(_) => SysClass::AsOf,
+        SysSpec::Range(_) => SysClass::Range,
+        SysSpec::All => SysClass::All,
+    }
+}
+
+/// Maps an executed [`AppSpec`] to its plan-level constraint class.
+fn app_class(spec: &AppSpec) -> AppClass {
+    match spec {
+        AppSpec::AsOf(_) => AppClass::AsOf,
+        AppSpec::Range(_) => AppClass::Range,
+        AppSpec::All => AppClass::All,
+    }
+}
+
+/// Names the columns of `preds` against the table's value schema.
+fn pred_names(ctx: &Ctx<'_>, table: TableId, preds: &[ColRange]) -> Vec<String> {
+    let def = ctx.engine.table_def(table);
+    preds
+        .iter()
+        .map(|p| match def.schema.columns().get(p.col) {
+            Some(c) => c.name.clone(),
+            None => format!("col#{}", p.col),
+        })
+        .collect()
+}
+
+/// Executes a scan and returns the faithful description of what ran: the
+/// temporal specs are pushed into the access path (every engine enforces
+/// them inside `scan`), `preds` are pushed column predicates, and
+/// `residual` names filters the workload applies *above* the scan.
+fn executed_scan(
+    ctx: &Ctx<'_>,
+    table: TableId,
+    sys: &SysSpec,
+    app: &AppSpec,
+    preds: &[ColRange],
+    residual: &[&str],
+) -> Result<ScanNode> {
+    ctx.scan_output(table, sys, app, preds)?;
+    let classification = Classification {
+        sys_pushed: !matches!(sys, SysSpec::All),
+        app_pushed: !matches!(app, AppSpec::All),
+        pushed_cols: pred_names(ctx, table, preds),
+        residual_cols: residual.iter().map(|c| (*c).to_string()).collect(),
+    };
+    Ok(ScanNode::classified(
+        ctx.engine.table_def(table).name.clone(),
+        sys_class(sys),
+        app_class(app),
+        classification,
+    ))
+}
+
+/// T class — the ALL/T5 yardstick: the complete ORDERS history, both
+/// dimensions unconstrained. The one plan that *must* declare
+/// `full_history` (and would fail the lint if it claimed otherwise).
+fn t_plan(ctx: &Ctx<'_>) -> Result<PlanNode> {
+    let scan = executed_scan(ctx, ctx.t.orders, &SysSpec::All, &AppSpec::All, &[], &[])?;
+    debug_assert!(scan.full_history, "unconstrained T5 scan is full-history");
+    Ok(PlanNode::Scan(scan))
+}
+
+/// H class — TPC-H Q1 under bitemporal time travel (§5.4): an `AS OF` scan
+/// of LINEITEM in both dimensions, a residual SHIPDATE filter the engines
+/// cannot push (it compares a value column, not a period), then the
+/// grouping aggregation and sort.
+fn h_plan(ctx: &Ctx<'_>, params: &QueryParams) -> Result<PlanNode> {
+    let sys = SysSpec::AsOf(params.sys_mid);
+    let app = AppSpec::AsOf(params.app_mid);
+    let scan = executed_scan(ctx, ctx.t.lineitem, &sys, &app, &[], &["l_shipdate"])?;
+    Ok(PlanNode::Sort {
+        input: Box::new(PlanNode::Aggregate {
+            input: Box::new(PlanNode::Filter {
+                input: Box::new(PlanNode::Scan(scan)),
+                predicate: "l_shipdate <= 1998-09-02".into(),
+            }),
+            group_by: vec!["l_returnflag".into(), "l_linestatus".into()],
+            aggs: vec![
+                "sum(l_quantity)".into(),
+                "sum(l_extendedprice)".into(),
+                "sum(disc_price)".into(),
+                "sum(charge)".into(),
+                "avg(l_quantity)".into(),
+                "avg(l_extendedprice)".into(),
+                "avg(l_discount)".into(),
+                "count(*)".into(),
+            ],
+        }),
+        keys: vec!["l_returnflag".into(), "l_linestatus".into()],
+    })
+}
+
+/// K class — K1/K2, the audit query: one customer's full version history
+/// over a system-time range at an application point, ordered by
+/// `sys_time_start`. The key predicate is pushed (the engines serve it via
+/// `lookup_key`), so the scan is *not* full-history despite covering a
+/// system range.
+fn k_plan(ctx: &Ctx<'_>, params: &QueryParams) -> Result<PlanNode> {
+    let sys = SysSpec::Range(SysPeriod::new(params.sys_initial, params.sys_now));
+    let app = AppSpec::AsOf(params.app_mid);
+    ctx.engine
+        .lookup_key(ctx.t.customer, &params.hot_customer, &sys, &app)?;
+    let def = ctx.engine.table_def(ctx.t.customer);
+    let pushed_cols = def
+        .key
+        .iter()
+        .map(|&i| def.schema.column(i).name.clone())
+        .collect();
+    let scan = ScanNode::classified(
+        def.name.clone(),
+        sys_class(&sys),
+        app_class(&app),
+        Classification {
+            sys_pushed: true,
+            app_pushed: true,
+            pushed_cols,
+            residual_cols: Vec::new(),
+        },
+    );
+    Ok(PlanNode::Sort {
+        input: Box::new(PlanNode::Scan(scan)),
+        keys: vec!["sys_time_start".into()],
+    })
+}
+
+/// R class — R3a, temporal aggregation by event sweep: active-order value
+/// per elementary application interval at one system time. The sweep emits
+/// one row per elementary interval and does *not* merge adjacent intervals
+/// with equal sums, so the plan declares `coalesced: Some(false)`.
+fn r_plan(ctx: &Ctx<'_>, params: &QueryParams) -> Result<PlanNode> {
+    let sys = SysSpec::AsOf(params.sys_mid);
+    let scan = executed_scan(ctx, ctx.t.orders, &sys, &AppSpec::All, &[], &[])?;
+    crate::range::r3a_sweep(ctx, sys)?;
+    Ok(PlanNode::TemporalAggregate {
+        input: Box::new(PlanNode::Scan(scan)),
+        algorithm: "event-sweep".into(),
+        coalesced: Some(false),
+    })
+}
+
+/// B class — R6's bitemporal shape: ORDERS ⋈ LINEITEM on order key where
+/// the application periods overlap, both inputs pinned to one system time.
+/// The join returns raw intersection periods (the SQL:2011 workaround's
+/// known gap, §5.6.2), hence `coalesced: Some(false)`.
+fn b_plan(ctx: &Ctx<'_>, params: &QueryParams) -> Result<PlanNode> {
+    let sys = SysSpec::AsOf(params.sys_mid);
+    let left = executed_scan(ctx, ctx.t.orders, &sys, &AppSpec::All, &[], &[])?;
+    let right = executed_scan(ctx, ctx.t.lineitem, &sys, &AppSpec::All, &[], &[])?;
+    Ok(PlanNode::TemporalJoin {
+        left: Box::new(PlanNode::Scan(left)),
+        right: Box::new(PlanNode::Scan(right)),
+        keys: vec!["o_orderkey = l_orderkey".into()],
+        coalesced: Some(false),
+    })
+}
+
+/// Builds (and executes) one representative plan per workload class.
+pub fn representative_plans(ctx: &Ctx<'_>, params: &QueryParams) -> Result<Vec<ClassPlan>> {
+    Ok(vec![
+        ClassPlan {
+            class: "T",
+            query: "T5/ALL full ORDERS history",
+            plan: t_plan(ctx)?,
+        },
+        ClassPlan {
+            class: "H",
+            query: "Q1 pricing summary under time travel",
+            plan: h_plan(ctx, params)?,
+        },
+        ClassPlan {
+            class: "K",
+            query: "K1 hot-customer audit",
+            plan: k_plan(ctx, params)?,
+        },
+        ClassPlan {
+            class: "R",
+            query: "R3a temporal aggregation (event sweep)",
+            plan: r_plan(ctx, params)?,
+        },
+        ClassPlan {
+            class: "B",
+            query: "R6 temporal join at one system time",
+            plan: b_plan(ctx, params)?,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fixture;
+
+    #[test]
+    fn representative_plans_validate_on_every_engine() {
+        let fx = fixture();
+        for (kind, engine) in &fx.engines {
+            let ctx = Ctx::new(engine.as_ref()).unwrap();
+            let plans = representative_plans(&ctx, &fx.params).unwrap();
+            assert_eq!(plans.len(), 5, "one plan per workload class");
+            for cp in &plans {
+                if let Err(violations) = bitempo_query::validate(&cp.plan) {
+                    let report: Vec<String> = violations.iter().map(ToString::to_string).collect();
+                    panic!(
+                        "{kind} class {} ({}) failed plan lint:\n{}",
+                        cp.class,
+                        cp.query,
+                        report.join("\n")
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_plan_is_the_only_full_history_scan() {
+        let fx = fixture();
+        let (_, engine) = &fx.engines[0];
+        let ctx = Ctx::new(engine.as_ref()).unwrap();
+        let plans = representative_plans(&ctx, &fx.params).unwrap();
+        for cp in &plans {
+            let mut full = Vec::new();
+            collect_full_history(&cp.plan, &mut full);
+            if cp.class == "T" {
+                assert_eq!(full, ["orders"], "T5 declares the full-history scan");
+            } else {
+                assert!(
+                    full.is_empty(),
+                    "class {} must not scan full history",
+                    cp.class
+                );
+            }
+        }
+    }
+
+    fn collect_full_history(plan: &PlanNode, out: &mut Vec<String>) {
+        match plan {
+            PlanNode::Scan(s) => {
+                if s.full_history {
+                    out.push(s.table.clone());
+                }
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::TemporalAggregate { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::TopN { input, .. } => collect_full_history(input, out),
+            PlanNode::HashJoin { left, right, .. } | PlanNode::TemporalJoin { left, right, .. } => {
+                collect_full_history(left, out);
+                collect_full_history(right, out);
+            }
+        }
+    }
+}
