@@ -24,6 +24,12 @@ pub struct AccessRow {
     pub versions_pruned: u64,
     /// Slots resolved through index probes.
     pub index_probes: u64,
+    /// Probed slots that survived every residual filter — "index helped",
+    /// as opposed to merely "index probed".
+    pub index_hits: u64,
+    /// Internal index entries examined while probing (B-Tree leaf entries,
+    /// R-Tree rectangles, timeline events, endpoint-list entries).
+    pub index_node_visits: u64,
 }
 
 impl AccessRow {
@@ -43,6 +49,8 @@ impl AccessRow {
                     r.rows_emitted += t.rows_emitted;
                     r.versions_pruned += t.versions_pruned;
                     r.index_probes += t.index_probes;
+                    r.index_hits += t.index_hits;
+                    r.index_node_visits += t.index_node_visits;
                 }
                 None => out.push(AccessRow {
                     table: t.table.clone(),
@@ -53,6 +61,8 @@ impl AccessRow {
                     rows_emitted: t.rows_emitted,
                     versions_pruned: t.versions_pruned,
                     index_probes: t.index_probes,
+                    index_hits: t.index_hits,
+                    index_node_visits: t.index_node_visits,
                 }),
             }
         }
@@ -243,14 +253,14 @@ impl FigureReport {
         if self.series.iter().any(|s| !s.breakdowns.is_empty()) {
             out.push_str("\n#### Access paths\n\n");
             out.push_str(
-                "| series | query | table/partition | access | scans | visited | emitted | pruned | probes |\n",
+                "| series | query | table/partition | access | scans | visited | emitted | pruned | probes | hits | node-visits |\n",
             );
-            out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+            out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
             for s in &self.series {
                 for (x, rows) in &s.breakdowns {
                     for r in rows {
                         out.push_str(&format!(
-                            "| {} | {} | {}/{} | {} | {} | {} | {} | {} | {} |\n",
+                            "| {} | {} | {}/{} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                             s.label,
                             x,
                             r.table,
@@ -260,7 +270,9 @@ impl FigureReport {
                             r.rows_visited,
                             r.rows_emitted,
                             r.versions_pruned,
-                            r.index_probes
+                            r.index_probes,
+                            r.index_hits,
+                            r.index_node_visits
                         ));
                     }
                 }
@@ -337,6 +349,8 @@ mod tests {
             rows_emitted: emitted,
             versions_pruned: visited - emitted,
             index_probes: 0,
+            index_hits: 0,
+            index_node_visits: 0,
             morsels: 1,
             workers: 1,
             start_nanos: 0,
@@ -366,12 +380,14 @@ mod tests {
         assert!(md.contains("#### Access paths"), "{md}");
         assert!(
             md.contains(
-                "| System A | T1 | lineitem/current | full-scan(1) | 2 | 150 | 50 | 100 | 0 |"
+                "| System A | T1 | lineitem/current | full-scan(1) | 2 | 150 | 50 | 100 | 0 | 0 | 0 |"
             ),
             "{md}"
         );
         assert!(
-            md.contains("| System A | T1 | lineitem/history | btree(ix_sys) | 1 | 7 | 7 | 0 | 0 |"),
+            md.contains(
+                "| System A | T1 | lineitem/history | btree(ix_sys) | 1 | 7 | 7 | 0 | 0 | 0 | 0 |"
+            ),
             "{md}"
         );
     }

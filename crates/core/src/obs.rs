@@ -82,6 +82,10 @@ pub struct ScanTrace {
     pub versions_pruned: u64,
     /// Slots resolved through an index probe.
     pub index_probes: u64,
+    /// Probed slots that survived every residual filter (index *helped*).
+    pub index_hits: u64,
+    /// Index entries examined internally while probing.
+    pub index_node_visits: u64,
     /// Morsels dispatched (0 on index paths).
     pub morsels: u64,
     /// Configured worker threads for the scan.
@@ -167,6 +171,11 @@ impl TraceLog {
                 ("rows_emitted".to_string(), t.rows_emitted.to_string()),
                 ("versions_pruned".to_string(), t.versions_pruned.to_string()),
                 ("index_probes".to_string(), t.index_probes.to_string()),
+                ("index_hits".to_string(), t.index_hits.to_string()),
+                (
+                    "index_node_visits".to_string(),
+                    t.index_node_visits.to_string(),
+                ),
                 ("morsels".to_string(), t.morsels.to_string()),
                 ("workers".to_string(), t.workers.to_string()),
             ];
@@ -353,6 +362,8 @@ mod tests {
             rows_emitted: 10,
             versions_pruned: 90,
             index_probes: 0,
+            index_hits: 0,
+            index_node_visits: 0,
             morsels: 1,
             workers: 4,
             start_nanos: start,

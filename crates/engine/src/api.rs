@@ -121,6 +121,10 @@ pub enum AccessPath {
     IndexScan(String),
     /// GiST / R-Tree index scan (System D only).
     GistScan(String),
+    /// Temporal-index probe (Timeline / interval index, `bitempo-tindex`):
+    /// the candidate slots came from the named temporal index instead of a
+    /// partition walk.
+    TemporalProbe(String),
     /// Primary-key point access through an index.
     KeyLookup(String),
 }
@@ -133,6 +137,7 @@ impl std::fmt::Display for AccessPath {
             AccessPath::FullScan { partitions } => write!(f, "full-scan({partitions})"),
             AccessPath::IndexScan(name) => write!(f, "btree({name})"),
             AccessPath::GistScan(name) => write!(f, "gist({name})"),
+            AccessPath::TemporalProbe(name) => write!(f, "tindex({name})"),
             AccessPath::KeyLookup(name) => write!(f, "key-lookup({name})"),
         }
     }
@@ -162,6 +167,10 @@ pub struct TuningConfig {
     pub value_index: Vec<(String, String)>,
     /// Use GiST instead of B-Tree where the engine supports it (System D).
     pub gist: bool,
+    /// Attach the `bitempo-tindex` temporal index (Timeline + interval
+    /// index) to history-bearing partitions and let the planner select it
+    /// as an access path — the index the benchmarked 2014 systems lacked.
+    pub temporal_index: bool,
     /// Worker threads for morsel-parallel sequential scans (see
     /// [`crate::morsel`]). `1` scans single-threaded, exactly as before the
     /// morsel layer existed; any value produces identical results.
@@ -181,6 +190,7 @@ impl Default for TuningConfig {
             key_time_index: false,
             value_index: Vec::new(),
             gist: false,
+            temporal_index: false,
             workers: default_workers(),
             panic_morsel: None,
         }
@@ -213,6 +223,21 @@ impl TuningConfig {
             key_time_index: true,
             ..Default::default()
         }
+    }
+
+    /// The temporal-index setting: no conventional extra indexes, but the
+    /// Timeline/interval index attached to every history-bearing partition.
+    pub fn temporal() -> TuningConfig {
+        TuningConfig {
+            temporal_index: true,
+            ..Default::default()
+        }
+    }
+
+    /// This configuration with the temporal index toggled.
+    pub fn with_temporal_index(mut self, on: bool) -> TuningConfig {
+        self.temporal_index = on;
+        self
     }
 
     /// This configuration with the given scan parallelism.
@@ -447,6 +472,13 @@ pub trait BitemporalEngine: Send {
     /// Partition row counts.
     fn stats(&self, table: TableId) -> TableStats;
 
+    /// Aggregate footprint of all attached temporal indexes (zero when the
+    /// temporal index is off). The `temporal-index` benchmark reports this
+    /// next to the probe-time wins so maintenance cost is never hidden.
+    fn temporal_index_footprint(&self) -> bitempo_tindex::IndexFootprint {
+        bitempo_tindex::IndexFootprint::default()
+    }
+
     /// True if the engine lets the loader set system time explicitly and
     /// therefore supports bulk-loading a pre-stamped history (System D;
     /// paper §5.8).
@@ -531,6 +563,13 @@ mod tests {
         assert!(kt.workers >= 1, "default parallelism is at least 1");
         assert_eq!(TuningConfig::none().with_workers(0).workers, 1);
         assert_eq!(TuningConfig::none().with_workers(4).workers, 4);
+        assert!(!TuningConfig::none().temporal_index);
+        assert!(TuningConfig::temporal().temporal_index);
+        assert!(
+            TuningConfig::none()
+                .with_temporal_index(true)
+                .temporal_index
+        );
     }
 
     #[test]

@@ -122,6 +122,18 @@ impl OrderedIndex {
     /// Slots whose *first* index column lies in `(lo, hi)`. Composite
     /// suffix columns are not constrained (callers re-filter).
     pub fn probe_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<u64> {
+        self.probe_range_counted(lo, hi, &mut 0)
+    }
+
+    /// Like [`OrderedIndex::probe_range`], but counts every leaf entry
+    /// examined (including the one that terminates the range walk) into
+    /// `visits` — the probe-work number scan metrics report.
+    pub fn probe_range_counted(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+        visits: &mut u64,
+    ) -> Vec<u64> {
         let mut span = obs::span_dyn("index", || format!("probe_range {}", self.def.name));
         // Translate single-column bounds to composite-key bounds. For the
         // upper bound we must admit any suffix, so an Included(v) bound
@@ -144,6 +156,7 @@ impl OrderedIndex {
         };
         let mut out = Vec::new();
         for (key, slot) in self.tree.range((lo_ref, Bound::Unbounded)) {
+            *visits += 1;
             let first = &key[0];
             // Stop once past the upper bound.
             let past = match hi {
@@ -168,10 +181,17 @@ impl OrderedIndex {
 
     /// Slots matching an exact composite prefix `key`.
     pub fn probe_prefix(&self, key: &[Value]) -> Vec<u64> {
+        self.probe_prefix_counted(key, &mut 0)
+    }
+
+    /// Like [`OrderedIndex::probe_prefix`], but counts examined leaf
+    /// entries into `visits`.
+    pub fn probe_prefix_counted(&self, key: &[Value], visits: &mut u64) -> Vec<u64> {
         let mut span = obs::span_dyn("index", || format!("probe_prefix {}", self.def.name));
         let lo: Vec<Value> = key.to_vec();
         let mut out = Vec::new();
         for (k, slot) in self.tree.range((Bound::Included(&lo), Bound::Unbounded)) {
+            *visits += 1;
             if k.len() < key.len() || k[..key.len()] != *key {
                 break;
             }
@@ -184,21 +204,41 @@ impl OrderedIndex {
     /// Estimated fraction of entries whose first column lies in the range,
     /// by uniform interpolation. `None` if the column is not numeric or the
     /// index is empty (caller should then only use the index for equality).
+    ///
+    /// Bounds are honoured exactly on discrete domains (`Int`, `Date`,
+    /// `SysTime` step by whole units; an excluded endpoint gives up exactly
+    /// one unit, an included upper endpoint claims one), and a range that is
+    /// provably empty after clipping to the indexed `[min, max]` domain —
+    /// inverted bounds, `(v, v]`, `[v, v)`, or wholly outside the domain —
+    /// returns `Some(0.0)` rather than a clamped residue.
     pub fn estimate_selectivity(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<f64> {
         if self.tree.is_empty() || self.lo > self.hi {
             return None;
         }
-        let span = (self.hi - self.lo).max(1.0);
-        let lo_x = match lo {
-            Bound::Included(v) | Bound::Excluded(v) => numeric(v)?,
+        // Unit step of the bound's domain: discrete values move in whole
+        // units, a continuous (Double) endpoint has measure zero.
+        let unit = |v: &Value| match v {
+            Value::Double(_) => 0.0,
+            _ => 1.0,
+        };
+        // Effective half-open interval [lo_eff, hi_eff) on the real line.
+        let lo_eff = match lo {
+            Bound::Included(v) => numeric(v)?,
+            Bound::Excluded(v) => numeric(v)? + unit(v),
             Bound::Unbounded => self.lo,
         };
-        let hi_x = match hi {
-            Bound::Included(v) | Bound::Excluded(v) => numeric(v)?,
-            Bound::Unbounded => self.hi,
+        let hi_eff = match hi {
+            Bound::Included(v) => numeric(v)? + unit(v),
+            Bound::Excluded(v) => numeric(v)?,
+            Bound::Unbounded => self.hi + 1.0,
         };
-        let clipped_lo = lo_x.max(self.lo);
-        let clipped_hi = hi_x.min(self.hi);
+        // Clip to the indexed domain, itself half-open: [min, max + 1).
+        let clipped_lo = lo_eff.max(self.lo);
+        let clipped_hi = hi_eff.min(self.hi + 1.0);
+        if clipped_hi <= clipped_lo {
+            return Some(0.0);
+        }
+        let span = (self.hi + 1.0 - self.lo).max(1.0);
         Some(((clipped_hi - clipped_lo) / span).clamp(0.0, 1.0))
     }
 }
@@ -256,8 +296,14 @@ impl GistIndex {
 
     /// Slots whose rectangle intersects the query window.
     pub fn probe(&self, query: &Rect) -> Vec<u64> {
+        self.probe_counted(query, &mut 0)
+    }
+
+    /// Like [`GistIndex::probe`], but counts every R-Tree entry examined
+    /// (internal and leaf) into `visits`.
+    pub fn probe_counted(&self, query: &Rect, visits: &mut u64) -> Vec<u64> {
         let mut span = obs::span_dyn("index", || format!("gist_probe {}", self.name));
-        let out = self.tree.search(query);
+        let out = self.tree.search_counted(query, visits);
         span.arg_with("hits", || out.len().to_string());
         out
     }
@@ -392,6 +438,131 @@ mod tests {
         assert!(idx
             .estimate_selectivity(Bound::Included(&Value::str("x")), Bound::Unbounded)
             .is_none());
+    }
+
+    #[test]
+    fn selectivity_honours_bound_kinds_exactly() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        // Domain 0..=99: a whole-unit grid, span exactly 100.
+        for i in 0..100 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        let est = |lo: Bound<&Value>, hi: Bound<&Value>| idx.estimate_selectivity(lo, hi).unwrap();
+        // [10, 19] covers 10 units of 100 — exactly 0.1.
+        assert_eq!(
+            est(
+                Bound::Included(&Value::Int(10)),
+                Bound::Included(&Value::Int(19)),
+            ),
+            0.1
+        );
+        // (9, 20) covers the same ten values.
+        assert_eq!(
+            est(
+                Bound::Excluded(&Value::Int(9)),
+                Bound::Excluded(&Value::Int(20)),
+            ),
+            0.1
+        );
+        // [10, 20) loses the upper endpoint relative to [10, 20].
+        let half_open = est(
+            Bound::Included(&Value::Int(10)),
+            Bound::Excluded(&Value::Int(20)),
+        );
+        let closed = est(
+            Bound::Included(&Value::Int(10)),
+            Bound::Included(&Value::Int(20)),
+        );
+        assert_eq!(half_open, 0.1);
+        assert_eq!(closed, 0.11);
+        // A single-point closed range is one unit.
+        assert_eq!(
+            est(
+                Bound::Included(&Value::Int(42)),
+                Bound::Included(&Value::Int(42)),
+            ),
+            0.01
+        );
+    }
+
+    #[test]
+    fn selectivity_empty_ranges_are_exactly_zero() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for i in 0..100 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        let zero = [
+            // [v, v) and (v, v] are empty by construction.
+            (
+                Bound::Included(Value::Int(10)),
+                Bound::Excluded(Value::Int(10)),
+            ),
+            (
+                Bound::Excluded(Value::Int(10)),
+                Bound::Included(Value::Int(10)),
+            ),
+            // Inverted bounds.
+            (
+                Bound::Included(Value::Int(50)),
+                Bound::Included(Value::Int(40)),
+            ),
+            // Entirely below / above the indexed domain.
+            (
+                Bound::Included(Value::Int(-90)),
+                Bound::Included(Value::Int(-50)),
+            ),
+            (Bound::Excluded(Value::Int(99)), Bound::Unbounded),
+        ];
+        for (lo, hi) in &zero {
+            let lo_ref = match lo {
+                Bound::Included(v) => Bound::Included(v),
+                Bound::Excluded(v) => Bound::Excluded(v),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let hi_ref = match hi {
+                Bound::Included(v) => Bound::Included(v),
+                Bound::Excluded(v) => Bound::Excluded(v),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            assert_eq!(
+                idx.estimate_selectivity(lo_ref, hi_ref),
+                Some(0.0),
+                "{lo:?}..{hi:?} is provably empty"
+            );
+        }
+    }
+
+    #[test]
+    fn counted_probes_report_entries_examined() {
+        let mut idx = OrderedIndex::new(IndexDef {
+            name: "ix".into(),
+            cols: vec![IndexedCol::Value(0)],
+            kind: IndexKind::BTree,
+        });
+        for i in 0..100 {
+            idx.insert(&version(i, (0, 10), (0, None)), i as u64);
+        }
+        let mut visits = 0;
+        let hits = idx.probe_range_counted(
+            Bound::Included(&Value::Int(10)),
+            Bound::Excluded(&Value::Int(13)),
+            &mut visits,
+        );
+        assert_eq!(hits, vec![10, 11, 12]);
+        // Three hits plus the entry that terminated the walk.
+        assert_eq!(visits, 4);
+        let mut visits = 0;
+        let hits = idx.probe_prefix_counted(&[Value::Int(7)], &mut visits);
+        assert_eq!(hits, vec![7]);
+        assert_eq!(visits, 2);
     }
 
     #[test]

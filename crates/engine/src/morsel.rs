@@ -74,8 +74,14 @@ pub struct ScanMetrics {
     pub rows_visited: u64,
     /// Examined versions rejected by the temporal specs or predicates.
     pub versions_pruned: u64,
-    /// Slots resolved through an index (PK, B-Tree, or GiST) probe.
+    /// Slots resolved through an index (PK, B-Tree, GiST, or temporal) probe.
     pub index_probes: u64,
+    /// Probed slots that survived every residual filter — "the index
+    /// helped", as opposed to `index_probes` which only says it was asked.
+    pub index_hits: u64,
+    /// Index entries examined internally while probing (checkpoint slots,
+    /// replayed events, endpoint-list entries, B-Tree leaf entries).
+    pub index_node_visits: u64,
 }
 
 impl ScanMetrics {
@@ -85,6 +91,8 @@ impl ScanMetrics {
         self.rows_visited += other.rows_visited;
         self.versions_pruned += other.versions_pruned;
         self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.index_node_visits += other.index_node_visits;
     }
 }
 

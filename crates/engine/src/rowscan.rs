@@ -13,6 +13,7 @@ use crate::morsel::{run_morsels, MorselExec, ScanMetrics};
 use crate::version::Version;
 use bitempo_core::{obs, Result, Row, SysTime, TableDef, Value};
 use bitempo_storage::{Heap, Rect};
+use bitempo_tindex::{AppProbe, ProbeCost, SysProbe, TemporalIndex};
 use std::ops::{Bound, Range};
 
 /// Identifies where a partition scan runs, for access-path traces: which
@@ -50,6 +51,8 @@ impl ScanSite<'_> {
             rows_emitted,
             versions_pruned: delta.versions_pruned,
             index_probes: delta.index_probes,
+            index_hits: delta.index_hits,
+            index_node_visits: delta.index_node_visits,
             morsels: delta.morsels,
             workers: workers as u64,
             start_nanos,
@@ -142,6 +145,29 @@ pub struct PartitionView<'a> {
     pub indexes: &'a [OrderedIndex],
     /// GiST index, if any (System D).
     pub gist: Option<&'a GistIndex>,
+    /// Temporal index (Timeline + interval index), if attached.
+    pub tindex: Option<&'a TemporalIndex>,
+}
+
+/// The [`SysProbe`] a system-time spec implies, or `None` when the spec
+/// does not constrain system time.
+pub fn sys_probe_for(sys: &SysSpec) -> Option<SysProbe> {
+    match sys {
+        SysSpec::Current => Some(SysProbe::CurrentOnly),
+        SysSpec::AsOf(t) => Some(SysProbe::At(*t)),
+        SysSpec::Range(p) => Some(SysProbe::During(*p)),
+        SysSpec::All => None,
+    }
+}
+
+/// The [`AppProbe`] an application-time spec implies, or `None` when the
+/// spec does not constrain application time.
+pub fn app_probe_for(app: &AppSpec) -> Option<AppProbe> {
+    match app {
+        AppSpec::AsOf(d) => Some(AppProbe::At(*d)),
+        AppSpec::Range(p) => Some(AppProbe::During(*p)),
+        AppSpec::All => None,
+    }
 }
 
 /// The range on an index's leading column implied by the temporal specs or
@@ -283,6 +309,8 @@ pub fn scan_partition(
             rows_visited: metrics.rows_visited - before.rows_visited,
             versions_pruned: metrics.versions_pruned - before.versions_pruned,
             index_probes: metrics.index_probes - before.index_probes,
+            index_hits: metrics.index_hits - before.index_hits,
+            index_node_visits: metrics.index_node_visits - before.index_node_visits,
         };
         site.record(
             path,
@@ -309,22 +337,26 @@ fn scan_partition_inner(
     out: &mut Vec<Row>,
     metrics: &mut ScanMetrics,
 ) -> Result<AccessPath> {
-    let emit = |v: &Version, out: &mut Vec<Row>, m: &mut ScanMetrics| {
+    let emit = |v: &Version, out: &mut Vec<Row>, m: &mut ScanMetrics| -> bool {
         m.rows_visited += 1;
         if v.matches(sys, app) && v.matches_preds(preds) {
             out.push(v.output_row(def));
+            true
         } else {
             m.versions_pruned += 1;
+            false
         }
     };
 
     // 1. Primary-key lookup if the predicates pin every key column.
     if let Some(pk) = part.pk {
         if let Some(key_vals) = full_key_equality(def, preds) {
-            for slot in pk.probe_prefix(&key_vals) {
+            for slot in pk.probe_prefix_counted(&key_vals, &mut metrics.index_node_visits) {
                 metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
-                    emit(v, out, metrics);
+                    if emit(v, out, metrics) {
+                        metrics.index_hits += 1;
+                    }
                 }
             }
             return Ok(AccessPath::KeyLookup(pk.def.name.clone()));
@@ -334,17 +366,20 @@ fn scan_partition_inner(
     // 2. GiST, when configured and the query has a temporal window.
     if prefer_gist {
         if let (Some(gist), Some(rect)) = (part.gist, gist_query_rect(sys, app, now)) {
-            for slot in gist.probe(&rect) {
+            for slot in gist.probe_counted(&rect, &mut metrics.index_node_visits) {
                 metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
-                    emit(v, out, metrics);
+                    if emit(v, out, metrics) {
+                        metrics.index_hits += 1;
+                    }
                 }
             }
             return Ok(AccessPath::GistScan(gist.name.clone()));
         }
     }
 
-    // 3. Cheapest sufficiently-selective B-Tree index.
+    // 3. Cheapest sufficiently-selective B-Tree index, estimated but not
+    //    yet committed — the temporal index gets to underbid it below.
     let mut best: Option<(f64, &OrderedIndex, ProbeRange)> = None;
     for index in part.indexes.iter().chain(part.pk) {
         if let Some(range) = probe_range_for(index, sys, app, preds) {
@@ -363,11 +398,53 @@ fn scan_partition_inner(
             }
         }
     }
+
+    // 3b. Temporal index: applicable whenever either temporal dimension is
+    //     constrained. Chosen over the B-Tree when its estimated candidate
+    //     fraction is sufficiently selective *and* no cheaper B-Tree range
+    //     exists; candidates are a superset, re-checked by `emit`, and
+    //     arrive sorted by slot so output order matches a sequential scan.
+    if let Some(tix) = part.tindex {
+        let sys_probe = sys_probe_for(sys);
+        let app_probe = app_probe_for(app);
+        if sys_probe.is_some() || app_probe.is_some() {
+            let frac = tix.estimate_fraction(
+                sys_probe.as_ref(),
+                app_probe.as_ref(),
+                part.source.len().max(1),
+            );
+            let underbids_btree = best.as_ref().is_none_or(|(sel, _, _)| frac <= *sel);
+            if frac < INDEX_SELECTIVITY_THRESHOLD && underbids_btree {
+                let mut cost = ProbeCost::default();
+                if let Some(slots) =
+                    tix.candidates(sys_probe.as_ref(), app_probe.as_ref(), &mut cost)
+                {
+                    metrics.index_node_visits += cost.node_visits;
+                    for slot in slots {
+                        metrics.index_probes += 1;
+                        if let Some(v) = part.source.version(slot) {
+                            if emit(v, out, metrics) {
+                                metrics.index_hits += 1;
+                            }
+                        }
+                    }
+                    return Ok(AccessPath::TemporalProbe(tix.name().to_string()));
+                }
+            }
+        }
+    }
+
     if let Some((_, index, range)) = best {
-        for slot in index.probe_range(bound_ref(&range.lo), bound_ref(&range.hi)) {
+        for slot in index.probe_range_counted(
+            bound_ref(&range.lo),
+            bound_ref(&range.hi),
+            &mut metrics.index_node_visits,
+        ) {
             metrics.index_probes += 1;
             if let Some(v) = part.source.version(slot) {
-                emit(v, out, metrics);
+                if emit(v, out, metrics) {
+                    metrics.index_hits += 1;
+                }
             }
         }
         return Ok(AccessPath::IndexScan(index.def.name.clone()));
@@ -376,7 +453,9 @@ fn scan_partition_inner(
     // 4. Sequential scan, split into morsels. Merging in morsel order keeps
     //    the output identical to a single-threaded scan for any worker count.
     let (rows, scan_metrics) = run_morsels(part.source.scan_units(), exec, |range, buf, m| {
-        part.source.for_each_in(range, &mut |_, v| emit(v, buf, m));
+        part.source.for_each_in(range, &mut |_, v| {
+            emit(v, buf, m);
+        });
     })?;
     metrics.merge(&scan_metrics);
     out.extend(rows);
@@ -416,7 +495,8 @@ pub fn merge_access(paths: Vec<AccessPath>) -> AccessPath {
             AccessPath::FullScan { partitions: n } => partitions += n,
             other => {
                 let rank = |a: &AccessPath| match a {
-                    AccessPath::KeyLookup(_) => 3,
+                    AccessPath::KeyLookup(_) => 4,
+                    AccessPath::TemporalProbe(_) => 3,
                     AccessPath::IndexScan(_) => 2,
                     AccessPath::GistScan(_) => 1,
                     AccessPath::FullScan { .. } => 0,
@@ -489,6 +569,7 @@ mod tests {
             pk: None,
             indexes: &[],
             gist: None,
+            tindex: None,
         };
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
@@ -529,6 +610,7 @@ mod tests {
             pk: Some(&pk),
             indexes: &[],
             gist: None,
+            tindex: None,
         };
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
@@ -570,6 +652,7 @@ mod tests {
             pk: None,
             indexes: &indexes,
             gist: None,
+            tindex: None,
         };
         // Selective: sys_start <= 5 of 0..1000 → ~0.5 %.
         let mut out = Vec::new();
@@ -627,6 +710,7 @@ mod tests {
             pk: None,
             indexes: &[],
             gist: Some(&gist),
+            tindex: None,
         };
         let mut out = Vec::new();
         let mut m = ScanMetrics::default();
@@ -662,6 +746,7 @@ mod tests {
             pk: None,
             indexes: &[],
             gist: None,
+            tindex: None,
         };
         let scan = |workers: usize| {
             let mut out = Vec::new();
@@ -727,6 +812,97 @@ mod tests {
         assert_eq!(full_key_equality(&d, &[range_pred]), None);
     }
 
+    fn tindex_over(heap: &Heap<Version>) -> TemporalIndex {
+        let mut tix = TemporalIndex::new("tix_t", 64);
+        for (slot, v) in heap.iter() {
+            tix.insert(u64::from(slot.0), v.app, v.sys);
+        }
+        tix.prepare();
+        tix
+    }
+
+    #[test]
+    fn temporal_probe_chosen_when_selective_and_matches_full_scan() {
+        let heap = heap_with(1000);
+        let tix = tindex_over(&heap);
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: Some(&tix),
+        };
+        let bare = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: None,
+        };
+        // Selective: visible at t5 → 6 of 1000 versions.
+        let run = |part: &PartitionView| {
+            let mut out = Vec::new();
+            let mut m = ScanMetrics::default();
+            let path = scan_partition(
+                site(),
+                part,
+                &def(),
+                &SysSpec::AsOf(SysTime(5)),
+                &AppSpec::All,
+                &[],
+                SysTime(2000),
+                false,
+                MorselExec::workers(1),
+                &mut out,
+                &mut m,
+            )
+            .unwrap();
+            (path, out, m)
+        };
+        let (path, out, m) = run(&part);
+        assert_eq!(path, AccessPath::TemporalProbe("tix_t".into()));
+        assert_eq!(out.len(), 6, "versions 0..=5 visible at t5");
+        assert_eq!(m.index_probes, 6);
+        assert_eq!(m.index_hits, 6, "the superset was exact here");
+        assert!(m.index_node_visits > 0, "probe work is accounted");
+        assert_eq!(m.morsels, 0, "no morsels on the probe path");
+        let (bare_path, bare_out, _) = run(&bare);
+        assert_eq!(bare_path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out, bare_out, "probe output identical to full scan");
+    }
+
+    #[test]
+    fn temporal_probe_declined_when_not_selective() {
+        let heap = heap_with(1000);
+        let tix = tindex_over(&heap);
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: Some(&tix),
+        };
+        let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
+        // AS OF t900 → ~90 % of versions qualify: scan wins.
+        let path = scan_partition(
+            site(),
+            &part,
+            &def(),
+            &SysSpec::AsOf(SysTime(900)),
+            &AppSpec::All,
+            &[],
+            SysTime(2000),
+            false,
+            MorselExec::workers(1),
+            &mut out,
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out.len(), 901);
+    }
+
     #[test]
     fn merge_access_prefers_specific() {
         let merged = merge_access(vec![
@@ -762,6 +938,7 @@ mod tests {
             pk: None,
             indexes: &[],
             gist: Some(&gist),
+            tindex: None,
         };
         // Empty application window [5, 5): no version can qualify, and the
         // query rect is inverted — the probe must return no slots instead of

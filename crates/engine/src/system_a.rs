@@ -21,6 +21,7 @@ use bitempo_core::{
     Value,
 };
 use bitempo_storage::{Heap, SlotId};
+use bitempo_tindex::{IndexFootprint, TemporalIndex};
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]
@@ -35,8 +36,47 @@ struct TableA {
     /// leading columns are the key doubles as the history "PK" access path.
     hist_indexes: Vec<OrderedIndex>,
     hist_key_index: Option<usize>,
+    /// Temporal index over the history partition, maintained at close time
+    /// (only with [`TuningConfig::temporal_index`]).
+    tindex: Option<TemporalIndex>,
+    /// Temporal index over the current partition, maintained at insert and
+    /// close time. Without it, every time-travel scan pays a full pass over
+    /// the open versions even when the probe instant predates almost all of
+    /// them.
+    cur_tindex: Option<TemporalIndex>,
     /// Open versions per key, for DML resolution.
     key_map: HashMap<Key, Vec<u64>>,
+}
+
+/// Rebuilds a history-partition temporal index from an existing heap —
+/// shared by Systems A and B, whose history partitions are identical heaps
+/// of closed versions.
+pub(crate) fn build_history_tindex(name: &str, history: &Heap<Version>) -> TemporalIndex {
+    let mut tix = TemporalIndex::new(
+        format!("tx_hist_{name}"),
+        bitempo_tindex::timeline::DEFAULT_CHECKPOINT_EVERY,
+    );
+    for (slot, v) in history.iter() {
+        tix.insert(u64::from(slot.0), v.app, v.sys);
+    }
+    tix.prepare();
+    tix
+}
+
+/// Rebuilds a current-partition temporal index from a heap of (mostly
+/// open) versions, at tuning time. System A's current heap reuses slots, so
+/// correctness leans on the candidate-superset contract: replay is causal,
+/// and the scan re-checks every candidate against its authoritative period.
+fn build_current_tindex(name: &str, current: &Heap<Version>) -> TemporalIndex {
+    let mut tix = TemporalIndex::new(
+        format!("tx_cur_{name}"),
+        bitempo_tindex::timeline::DEFAULT_CHECKPOINT_EVERY,
+    );
+    for (slot, v) in current.iter() {
+        tix.insert(u64::from(slot.0), v.app, v.sys);
+    }
+    tix.prepare();
+    tix
 }
 
 /// The System A engine. See module docs.
@@ -70,6 +110,9 @@ impl SystemA {
             ix.insert(&version, slot64);
         }
         t.key_map.entry(key).or_default().push(slot64);
+        if let Some(tix) = &mut t.cur_tindex {
+            tix.insert(slot64, version.app, version.sys);
+        }
     }
 
     /// Closes the open version in `slot` at `end`, moving it to history.
@@ -85,6 +128,13 @@ impl SystemA {
                 "closing slot {slot64} with no live version"
             )));
         };
+        if let Some(tix) = &mut t.cur_tindex {
+            // The slot leaves the current partition whatever its fate
+            // (archived, discarded, or re-inserted in place): invalidating
+            // here keeps later probes from resurrecting it, and probes
+            // before `end` re-check whatever occupies the slot by then.
+            tix.close(slot64, end);
+        }
         if let Some(pk) = &mut t.pk {
             pk.remove(&v, slot64);
         }
@@ -102,6 +152,9 @@ impl SystemA {
             let h64 = u64::from(hslot.0);
             for ix in &mut t.hist_indexes {
                 ix.insert(&v, h64);
+            }
+            if let Some(tix) = &mut t.tindex {
+                tix.insert(h64, v.app, v.sys);
             }
         }
         Ok(closed)
@@ -364,6 +417,10 @@ impl BitemporalEngine for SystemA {
                     ix.insert(v, *slot);
                 }
             }
+            t.tindex = (tuning.temporal_index && def.has_system_time())
+                .then(|| build_history_tindex(&def.name, &t.history));
+            t.cur_tindex = (tuning.temporal_index && def.has_system_time())
+                .then(|| build_current_tindex(&def.name, &t.current));
         }
         Ok(())
     }
@@ -457,6 +514,7 @@ impl BitemporalEngine for SystemA {
             pk: t.pk.as_ref(),
             indexes: &t.cur_indexes,
             gist: None,
+            tindex: t.cur_tindex.as_ref(),
         };
         paths.push(scan_partition(
             site("current"),
@@ -477,6 +535,7 @@ impl BitemporalEngine for SystemA {
                 pk: t.hist_key_index.and_then(|i| t.hist_indexes.get(i)),
                 indexes: &t.hist_indexes,
                 gist: None,
+                tindex: t.tindex.as_ref(),
             };
             paths.push(scan_partition(
                 site("history"),
@@ -545,6 +604,25 @@ impl BitemporalEngine for SystemA {
 
     fn checkpoint(&mut self) {
         // History writes are synchronous (§5.2): nothing staged to flush.
+        // The temporal index still uses the quiescent point to sort its
+        // interval endpoint lists.
+        for t in &mut self.tables {
+            if let Some(tix) = &mut t.tindex {
+                tix.prepare();
+            }
+            if let Some(tix) = &mut t.cur_tindex {
+                tix.prepare();
+            }
+        }
+    }
+
+    fn temporal_index_footprint(&self) -> IndexFootprint {
+        self.tables
+            .iter()
+            .flat_map(|t| t.tindex.iter().chain(t.cur_tindex.iter()))
+            .fold(IndexFootprint::default(), |acc, tix| {
+                acc.merged(tix.footprint())
+            })
     }
 }
 
@@ -816,5 +894,43 @@ mod tests {
             Some(Period::new(AppDate(0), AppDate(1))),
         );
         assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn temporal_tuning_probes_history_and_matches_full_scan() {
+        let mut e = SystemA::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 0)]);
+        for i in 0..8 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
+            e.commit();
+        }
+        let early = e.now();
+        for i in 0..200 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                .unwrap();
+            e.commit();
+        }
+        let plain = e
+            .scan(t, &SysSpec::AsOf(early), &AppSpec::All, &[])
+            .unwrap();
+        assert!(matches!(plain.access, AccessPath::FullScan { .. }));
+        e.apply_tuning(&TuningConfig::temporal()).unwrap();
+        // Maintenance after tuning: close_version keeps feeding the index.
+        e.update(t, &Key::int(1), &[(1, Value::Int(999))], None)
+            .unwrap();
+        e.commit();
+        let probed = e
+            .scan(t, &SysSpec::AsOf(early), &AppSpec::All, &[])
+            .unwrap();
+        assert!(
+            matches!(probed.access, AccessPath::TemporalProbe(_)),
+            "expected a temporal probe, got {}",
+            probed.access
+        );
+        assert!(probed.metrics.index_probes > 0);
+        assert!(probed.metrics.index_hits > 0);
+        assert_eq!(probed.rows, plain.rows);
     }
 }

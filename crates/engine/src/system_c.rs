@@ -19,7 +19,9 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::morsel::{run_morsels, ScanMetrics};
-use crate::rowscan::ScanSite;
+use crate::rowscan::{
+    app_probe_for, merge_access, sys_probe_for, ScanSite, INDEX_SELECTIVITY_THRESHOLD,
+};
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
@@ -27,6 +29,7 @@ use bitempo_core::{
     TableDef, TableId, TemporalClass, Value,
 };
 use bitempo_storage::ColumnTable;
+use bitempo_tindex::{IndexFootprint, ProbeCost, TemporalIndex};
 use std::collections::{HashMap, HashSet};
 
 #[derive(Debug)]
@@ -44,6 +47,15 @@ struct TableC {
     closed_in_current: usize,
     /// Indexes built on request and never consulted (see module docs).
     ignored_indexes: Vec<String>,
+    /// Optional temporal index over the history partition, maintained as
+    /// the merge appends superseded records. Unlike the B-Trees above it
+    /// *is* consulted: the paper's System C had no such structure, and the
+    /// `temporal-index` experiment measures what one would have bought it.
+    tindex: Option<TemporalIndex>,
+    /// Temporal index over the current partition. Rebuilt at every delta
+    /// merge (the merge renumbers rowids), maintained in place between
+    /// merges as rows are appended and their `$validto` terminated.
+    cur_tindex: Option<TemporalIndex>,
 }
 
 /// Positions of the hidden temporal columns within the physical schema.
@@ -85,6 +97,38 @@ fn decode_sys(part: &ColumnTable, col: usize, rowid: usize) -> SysTime {
         .as_sys_time()
         // tblint: allow(TB004) hidden-column type is fixed by physical_schema at creation
         .expect("systime column")
+}
+
+/// Decodes both periods of one physical row from the hidden columns.
+fn periods_of(part: &ColumnTable, hidden: HiddenCols, rowid: usize) -> (AppPeriod, SysPeriod) {
+    let app = match hidden.app_start {
+        Some(c) => AppPeriod::new(decode_date(part, c, rowid), decode_date(part, c + 1, rowid)),
+        None => AppPeriod::ALL,
+    };
+    let sys = match hidden.sys_start {
+        Some(c) => SysPeriod::new(decode_sys(part, c, rowid), decode_sys(part, c + 1, rowid)),
+        None => SysPeriod::ALL,
+    };
+    (app, sys)
+}
+
+/// Rebuilds a temporal index over one column-store fragment from scratch
+/// (tuning time, and after each delta merge renumbers the current rowids).
+fn build_column_tindex(
+    index_name: String,
+    hidden: HiddenCols,
+    part: &ColumnTable,
+) -> TemporalIndex {
+    let mut tix = TemporalIndex::new(
+        index_name,
+        bitempo_tindex::timeline::DEFAULT_CHECKPOINT_EVERY,
+    );
+    for rowid in 0..part.len() {
+        let (app, sys) = periods_of(part, hidden, rowid);
+        tix.insert(rowid as u64, app, sys);
+    }
+    tix.prepare();
+    tix
 }
 
 /// The System C engine. See module docs.
@@ -188,7 +232,11 @@ impl SystemC {
                 new_map.entry(key).or_default().push(new_id);
             } else {
                 // tblint: allow(TB004) row came from a fragment with the identical physical schema
-                t.history.append(&row).expect("schema preserved");
+                let hist_id = t.history.append(&row).expect("schema preserved");
+                if let Some(tix) = &mut t.tindex {
+                    let (app, sysp) = periods_of(&old, hidden, rowid);
+                    tix.insert(hist_id as u64, app, sysp);
+                }
             }
         }
         t.key_map = new_map;
@@ -196,6 +244,17 @@ impl SystemC {
         t.closed_in_current = 0;
         t.current.merge();
         t.history.merge();
+        if let Some(tix) = &mut t.tindex {
+            tix.prepare();
+        }
+        if t.cur_tindex.is_some() {
+            // The rebuild above renumbered every current rowid.
+            t.cur_tindex = Some(build_column_tindex(
+                format!("tx_cur_{}", def.name),
+                hidden,
+                &t.current,
+            ));
+        }
     }
 }
 
@@ -248,6 +307,9 @@ impl SequencedOps for SystemC {
                 t.dead.insert(rowid);
             }
         }
+        if let Some(tix) = &mut t.cur_tindex {
+            tix.close(slot, end);
+        }
         Ok(before)
     }
     fn insert_version_at(&mut self, table: TableId, version: Version) {
@@ -258,6 +320,9 @@ impl SequencedOps for SystemC {
         let rowid = t.current.append(&phys).expect("schema matches");
         let key = Key::from_row(&version.row, &def_key);
         t.key_map.entry(key).or_default().push(rowid);
+        if let Some(tix) = &mut t.cur_tindex {
+            tix.insert(rowid as u64, version.app, version.sys);
+        }
     }
 }
 
@@ -282,6 +347,8 @@ impl BitemporalEngine for SystemC {
             dead: HashSet::new(),
             closed_in_current: 0,
             ignored_indexes: Vec::new(),
+            tindex: None,
+            cur_tindex: None,
         });
         self.hidden.push(hidden);
         Ok(id)
@@ -304,8 +371,14 @@ impl BitemporalEngine for SystemC {
         // Build (label) the requested indexes so the tuning study can report
         // them, but never consult them: the scan path is the plan (Fig 3).
         for (id, def) in self.catalog.iter() {
+            // tblint: allow(TB004) hidden-column positions are pushed in lockstep with create_table
+            let hidden = self.hidden[id.0 as usize];
             // tblint: allow(TB004) TableId is catalog-issued and dense (borrow split from catalog)
             let t = &mut self.tables[id.0 as usize];
+            t.tindex = (tuning.temporal_index && def.has_system_time())
+                .then(|| build_column_tindex(format!("tx_hist_{}", def.name), hidden, &t.history));
+            t.cur_tindex = (tuning.temporal_index && def.has_system_time())
+                .then(|| build_column_tindex(format!("tx_cur_{}", def.name), hidden, &t.current));
             t.ignored_indexes.clear();
             if tuning.time_index && def.has_system_time() {
                 t.ignored_indexes.push(format!("ix_sys_{}", def.name));
@@ -403,7 +476,34 @@ impl BitemporalEngine for SystemC {
         let _span = obs::span_dyn("engine", || format!("System C scan {}", def.name));
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
-        let mut partitions = 1u8;
+        let mut paths: Vec<AccessPath> = Vec::new();
+
+        // Shared residual filter: the authoritative per-row re-check, used
+        // by the sequential path and by temporal-index candidates alike so
+        // index precision can never change scan results.
+        let qualifies = |part: &ColumnTable, rowid: usize| -> bool {
+            let sys_ok = match hidden.sys_start {
+                Some(c) => {
+                    let start = decode_sys(part, c, rowid);
+                    let end = decode_sys(part, c + 1, rowid);
+                    sys.matches(&SysPeriod::new(start, end))
+                }
+                None => true,
+            };
+            let app_ok = sys_ok
+                && match hidden.app_start {
+                    Some(c) => {
+                        let start = decode_date(part, c, rowid);
+                        let end = decode_date(part, c + 1, rowid);
+                        app.matches(&AppPeriod::new(start, end))
+                    }
+                    None => true,
+                };
+            app_ok
+                && preds
+                    .iter()
+                    .all(|p| p.matches(&part.get_value(p.col, rowid)))
+        };
 
         // Column-store execution: evaluate the temporal filter and the
         // pushed predicates on the *columns they touch*, and materialize a
@@ -412,9 +512,11 @@ impl BitemporalEngine for SystemC {
         // Each fragment is scanned in row-range morsels; merging per-morsel
         // buffers in morsel order keeps the output order identical to the
         // single-threaded loop.
-        let mut scan_fragment = |partition: &'static str,
-                                 part: &ColumnTable,
-                                 dead: Option<&HashSet<usize>>|
+        let scan_fragment = |partition: &'static str,
+                             part: &ColumnTable,
+                             dead: Option<&HashSet<usize>>,
+                             rows: &mut Vec<Row>,
+                             metrics: &mut ScanMetrics|
          -> Result<()> {
             let start = obs::trace_clock();
             let (frag_rows, m) = run_morsels(part.len(), exec, |range, buf, m| {
@@ -423,28 +525,7 @@ impl BitemporalEngine for SystemC {
                         continue;
                     }
                     m.rows_visited += 1;
-                    let sys_ok = match hidden.sys_start {
-                        Some(c) => {
-                            let start = decode_sys(part, c, rowid);
-                            let end = decode_sys(part, c + 1, rowid);
-                            sys.matches(&SysPeriod::new(start, end))
-                        }
-                        None => true,
-                    };
-                    let app_ok = sys_ok
-                        && match hidden.app_start {
-                            Some(c) => {
-                                let start = decode_date(part, c, rowid);
-                                let end = decode_date(part, c + 1, rowid);
-                                app.matches(&AppPeriod::new(start, end))
-                            }
-                            None => true,
-                        };
-                    let preds_ok = app_ok
-                        && preds
-                            .iter()
-                            .all(|p| p.matches(&part.get_value(p.col, rowid)));
-                    if !preds_ok {
+                    if !qualifies(part, rowid) {
                         m.versions_pruned += 1;
                         continue;
                     }
@@ -452,7 +533,7 @@ impl BitemporalEngine for SystemC {
                     buf.push(v.output_row(def));
                 }
             })?;
-            // System C has no index paths, so the per-fragment trace is
+            // System C has no B-Tree paths, so the per-fragment trace is
             // assembled here rather than in `rowscan::scan_partition`.
             if let Some(start) = start {
                 let end = obs::trace_clock().unwrap_or(start);
@@ -474,17 +555,113 @@ impl BitemporalEngine for SystemC {
             rows.extend(frag_rows);
             Ok(())
         };
-        scan_fragment("current", &t.current, Some(&t.dead))?;
+        // The temporal index is the one index System C consults: when the
+        // estimated candidate fraction for a fragment is selective enough,
+        // the probe visits candidate rowids (ascending, so output order
+        // matches the sequential scan) instead of walking the fragment.
+        let probe_fragment = |partition: &'static str,
+                              part: &ColumnTable,
+                              dead: Option<&HashSet<usize>>,
+                              tix: Option<&TemporalIndex>,
+                              rows: &mut Vec<Row>,
+                              metrics: &mut ScanMetrics|
+         -> Option<AccessPath> {
+            let tix = tix?;
+            let sys_probe = sys_probe_for(sys);
+            let app_probe = app_probe_for(app);
+            if sys_probe.is_none() && app_probe.is_none() {
+                return None;
+            }
+            let frac =
+                tix.estimate_fraction(sys_probe.as_ref(), app_probe.as_ref(), part.len().max(1));
+            if frac >= INDEX_SELECTIVITY_THRESHOLD {
+                return None;
+            }
+            let mut cost = ProbeCost::default();
+            let cands = tix.candidates(sys_probe.as_ref(), app_probe.as_ref(), &mut cost)?;
+            let start = obs::trace_clock();
+            let mut m = ScanMetrics {
+                index_node_visits: cost.node_visits,
+                ..ScanMetrics::default()
+            };
+            let mut buf = Vec::new();
+            for slot in cands {
+                let rowid = slot as usize;
+                m.index_probes += 1;
+                if rowid >= part.len() || dead.is_some_and(|d| d.contains(&rowid)) {
+                    continue;
+                }
+                m.rows_visited += 1;
+                if !qualifies(part, rowid) {
+                    m.versions_pruned += 1;
+                    continue;
+                }
+                m.index_hits += 1;
+                let v = self.version_from(table, part, rowid);
+                buf.push(v.output_row(def));
+            }
+            let path = AccessPath::TemporalProbe(tix.name().to_string());
+            if let Some(start) = start {
+                let end = obs::trace_clock().unwrap_or(start);
+                ScanSite {
+                    engine: "System C",
+                    table: &def.name,
+                    partition,
+                }
+                .record(
+                    &path,
+                    m,
+                    buf.len() as u64,
+                    1,
+                    start,
+                    end.saturating_sub(start),
+                );
+            }
+            metrics.merge(&m);
+            rows.extend(buf);
+            Some(path)
+        };
+
+        match probe_fragment(
+            "current",
+            &t.current,
+            Some(&t.dead),
+            t.cur_tindex.as_ref(),
+            &mut rows,
+            &mut metrics,
+        ) {
+            Some(path) => paths.push(path),
+            None => {
+                scan_fragment(
+                    "current",
+                    &t.current,
+                    Some(&t.dead),
+                    &mut rows,
+                    &mut metrics,
+                )?;
+                paths.push(AccessPath::FullScan { partitions: 1 });
+            }
+        }
         if !sys.current_only() && def.has_system_time() {
-            partitions += 1;
-            scan_fragment("history", &t.history, None)?;
+            match probe_fragment(
+                "history",
+                &t.history,
+                None,
+                t.tindex.as_ref(),
+                &mut rows,
+                &mut metrics,
+            ) {
+                Some(path) => paths.push(path),
+                None => {
+                    scan_fragment("history", &t.history, None, &mut rows, &mut metrics)?;
+                    paths.push(AccessPath::FullScan { partitions: 1 });
+                }
+            }
         }
         let out = ScanOutput {
             rows,
-            access: AccessPath::FullScan { partitions },
-            partition_paths: (0..partitions)
-                .map(|_| AccessPath::FullScan { partitions: 1 })
-                .collect(),
+            access: merge_access(paths.clone()),
+            partition_paths: paths,
             metrics,
         };
         #[cfg(debug_assertions)]
@@ -538,6 +715,15 @@ impl BitemporalEngine for SystemC {
         for id in 0..self.tables.len() {
             self.merge_table(TableId(id as u32));
         }
+    }
+
+    fn temporal_index_footprint(&self) -> IndexFootprint {
+        self.tables
+            .iter()
+            .flat_map(|t| t.tindex.iter().chain(t.cur_tindex.iter()))
+            .fold(IndexFootprint::default(), |acc, tix| {
+                acc.merged(tix.footprint())
+            })
     }
 }
 
@@ -677,5 +863,45 @@ mod tests {
         e.checkpoint();
         let all = e.scan(t, &SysSpec::All, &AppSpec::All, &[]).unwrap();
         assert_eq!(all.rows.len(), 1, "dead row dropped by merge");
+    }
+
+    #[test]
+    fn temporal_tuning_probes_merged_history() {
+        let mut e = SystemC::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 0)]);
+        for i in 0..8 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
+            e.commit();
+        }
+        let early = e.now();
+        for i in 0..200 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                .unwrap();
+            e.commit();
+        }
+        e.checkpoint();
+        let plain = e
+            .scan(t, &SysSpec::AsOf(early), &AppSpec::All, &[])
+            .unwrap();
+        assert!(matches!(plain.access, AccessPath::FullScan { .. }));
+        e.apply_tuning(&TuningConfig::temporal()).unwrap();
+        // Maintenance after tuning: versions reaching history through the
+        // delta merge keep feeding the index.
+        e.update(t, &Key::int(1), &[(1, Value::Int(999))], None)
+            .unwrap();
+        e.commit();
+        e.checkpoint();
+        let probed = e
+            .scan(t, &SysSpec::AsOf(early), &AppSpec::All, &[])
+            .unwrap();
+        assert!(
+            matches!(probed.access, AccessPath::TemporalProbe(_)),
+            "expected a temporal probe, got {}",
+            probed.access
+        );
+        assert!(probed.metrics.index_hits > 0);
+        assert_eq!(probed.rows, plain.rows);
     }
 }

@@ -17,13 +17,14 @@ use crate::catalog::Catalog;
 use crate::index::{GistIndex, IndexDef, IndexedCol, OrderedIndex};
 use crate::morsel::ScanMetrics;
 use crate::rowscan::{merge_access, scan_partition, PartitionView, ScanSite};
-use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
+use crate::system_a::{build_history_tindex, overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
     obs, AppPeriod, Error, Key, Result, Row, SysPeriod, SysTime, TableDef, TableId, TemporalClass,
     Value,
 };
 use bitempo_storage::{Heap, SlotId};
+use bitempo_tindex::{IndexFootprint, TemporalIndex};
 use std::collections::HashMap;
 
 #[derive(Debug, Default)]
@@ -40,6 +41,12 @@ struct TableD {
     /// temporal tables must carry (the paper's §2.4 note that DML semantics
     /// fall to the application when support is not native).
     key_map: HashMap<Key, Vec<u64>>,
+    /// Optional temporal index over the single flat table, maintained at
+    /// DML time: System D is the showcase for inline maintenance because
+    /// versions activate in commit order, keeping the event log monotone
+    /// (except after manual-timestamp bulk loads, which the timeline's
+    /// segment-skipping replay absorbs).
+    tindex: Option<TemporalIndex>,
 }
 
 /// The System D engine. See module docs.
@@ -66,6 +73,9 @@ impl SystemD {
         }
         if let Some(g) = &mut t.gist {
             g.insert(&version, slot64);
+        }
+        if let Some(tix) = &mut t.tindex {
+            tix.insert(slot64, version.app, version.sys);
         }
         if version.sys.is_current() {
             let key = Key::from_row(&version.row, &def_key);
@@ -131,6 +141,11 @@ impl SequencedOps for SystemD {
             // Period *starts* are the only indexed boundaries, so B-Tree
             // entries remain valid; the GiST rect becomes conservative.
             v.sys = SysPeriod::new(v.sys.start, end);
+        }
+        if let Some(tix) = &mut t.tindex {
+            // Invalidating removed slots too keeps candidate sets tight;
+            // a stale candidate resolves to nothing at probe time anyway.
+            tix.close(slot64, end);
         }
         Ok(before)
     }
@@ -231,6 +246,8 @@ impl BitemporalEngine for SystemD {
                     g.insert(v, *slot);
                 }
             }
+            t.tindex = (tuning.temporal_index && def.has_system_time())
+                .then(|| build_history_tindex(&def.name, &t.all));
         }
         Ok(())
     }
@@ -315,6 +332,7 @@ impl BitemporalEngine for SystemD {
             pk: t.key_index.and_then(|i| t.indexes.get(i)),
             indexes: &t.indexes,
             gist: t.gist.as_ref(),
+            tindex: t.tindex.as_ref(),
         };
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
@@ -394,11 +412,31 @@ impl BitemporalEngine for SystemD {
                 self.now = sys.end;
             }
         }
+        // Manual timestamps arrive out of order; re-sort the endpoint lists
+        // so the next probe is not stuck on the linear tail.
+        if let Some(tix) = &mut self.table_mut(table).tindex {
+            tix.prepare();
+        }
         Ok(())
     }
 
     fn checkpoint(&mut self) {
-        // One flat table, no staged reorganization: nothing to flush.
+        // One flat table, no staged reorganization to flush — but a tuned
+        // temporal index re-sorts its endpoint lists at quiescent points.
+        for t in &mut self.tables {
+            if let Some(tix) = &mut t.tindex {
+                tix.prepare();
+            }
+        }
+    }
+
+    fn temporal_index_footprint(&self) -> IndexFootprint {
+        self.tables
+            .iter()
+            .filter_map(|t| t.tindex.as_ref())
+            .fold(IndexFootprint::default(), |acc, tix| {
+                acc.merged(tix.footprint())
+            })
     }
 }
 
@@ -551,5 +589,71 @@ mod tests {
             .unwrap();
         assert!(matches!(after.access, AccessPath::KeyLookup(_)));
         assert_eq!(after.rows, before.rows);
+    }
+
+    #[test]
+    fn temporal_tuning_probes_flat_table_with_inline_maintenance() {
+        let mut e = SystemD::new();
+        let t = e.create_table(bitemp_table("t")).unwrap();
+        insert_rows(&mut e, t, &[(1, 0)]);
+        e.apply_tuning(&TuningConfig::temporal()).unwrap();
+        // All maintenance happens at DML time, after the index was built.
+        for i in 0..8 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(i))], None)
+                .unwrap();
+            e.commit();
+        }
+        let early = e.now();
+        for i in 0..200 {
+            e.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                .unwrap();
+            e.commit();
+        }
+        let probed = e
+            .scan(t, &SysSpec::AsOf(early), &AppSpec::All, &[])
+            .unwrap();
+        assert!(
+            matches!(probed.access, AccessPath::TemporalProbe(_)),
+            "expected a temporal probe, got {}",
+            probed.access
+        );
+        assert!(probed.metrics.index_hits > 0);
+        let plain = {
+            let mut bare = SystemD::new();
+            let t2 = bare.create_table(bitemp_table("t")).unwrap();
+            insert_rows(&mut bare, t2, &[(1, 0)]);
+            for i in 0..8 {
+                bare.update(t2, &Key::int(1), &[(1, Value::Int(i))], None)
+                    .unwrap();
+                bare.commit();
+            }
+            for i in 0..200 {
+                bare.update(t2, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                    .unwrap();
+                bare.commit();
+            }
+            bare.scan(t2, &SysSpec::AsOf(early), &AppSpec::All, &[])
+                .unwrap()
+        };
+        assert_eq!(probed.rows, plain.rows);
+        // Bulk load with manual timestamps stays correct (out-of-order
+        // events; the superset re-check filters anything stale).
+        e.bulk_load(
+            t,
+            vec![(
+                simple_row(2, 2),
+                AppPeriod::ALL,
+                SysPeriod::new(SysTime(1), SysTime(3)),
+            )],
+        )
+        .unwrap();
+        let past = e
+            .scan(t, &SysSpec::AsOf(SysTime(2)), &AppSpec::All, &[])
+            .unwrap();
+        assert!(past
+            .rows
+            .iter()
+            .any(|r| r.get(0) == &Value::Int(2) && r.get(1) == &Value::Int(2)));
+        assert!(e.temporal_index_footprint().events > 0);
     }
 }

@@ -34,5 +34,7 @@ pub use ops::{
     aggregate, distinct, filter, hash_join, project, sort_by, top_n, union, AggExpr, AggFunc,
     JoinKind, SortKey,
 };
-pub use plan::{validate, AppClass, Classification, PlanNode, PlanViolation, ScanNode, SysClass};
+pub use plan::{
+    validate, AppClass, Classification, PlanNode, PlanViolation, ScanKind, ScanNode, SysClass,
+};
 pub use temporal::{temporal_aggregate, temporal_aggregate_naive, temporal_join, version_delta};

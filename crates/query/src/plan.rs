@@ -43,6 +43,23 @@ pub enum AppClass {
     All,
 }
 
+/// The physical shape of a leaf table access. Plans must say *how* a scan
+/// intends to reach its rows, because the paper's latency figures are only
+/// comparable when the access path is known (a sequential pass and a
+/// temporal-index probe can return identical rows at wildly different cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Sequential pass over the partition(s); may still use conventional
+    /// B-Tree/GiST paths chosen by the engine.
+    #[default]
+    Seq,
+    /// Probe of the `bitempo-tindex` Timeline/interval index: the plan
+    /// commits to reaching rows through a temporal constraint, so at least
+    /// one temporal dimension must be pushed and the scan cannot be
+    /// full-history.
+    TemporalIndexProbe,
+}
+
 /// How a scan disposed of each predicate: pushed into the access path or
 /// evaluated as a residual filter on the scan's output.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -74,6 +91,8 @@ pub struct ScanNode {
     /// (the paper's T5 "all versions" yardstick). Mandatory when nothing
     /// constrains the scan; forbidden when something does.
     pub full_history: bool,
+    /// Physical access shape; see [`ScanKind`].
+    pub kind: ScanKind,
 }
 
 impl ScanNode {
@@ -97,7 +116,16 @@ impl ScanNode {
             app,
             classification: Some(classification),
             full_history: unconstrained,
+            kind: ScanKind::Seq,
         }
+    }
+
+    /// This scan re-shaped as a temporal-index probe. Validation enforces
+    /// that a probing scan pushes at least one temporal dimension.
+    #[must_use]
+    pub fn probing(mut self) -> ScanNode {
+        self.kind = ScanKind::TemporalIndexProbe;
+        self
     }
 }
 
@@ -331,6 +359,24 @@ fn check_scan(scan: &ScanNode, label: &str, out: &mut Vec<PlanViolation>) {
             problem: "scan is constrained yet declared full-history".into(),
         });
     }
+    if scan.kind == ScanKind::TemporalIndexProbe {
+        if !class.sys_pushed && !class.app_pushed {
+            out.push(PlanViolation {
+                path: label.to_string(),
+                problem: "temporal-index probe pushes no temporal dimension — the index \
+                          has nothing to probe with"
+                    .into(),
+            });
+        }
+        if scan.full_history {
+            out.push(PlanViolation {
+                path: label.to_string(),
+                problem: "temporal-index probe declared full-history — an unconstrained \
+                          read cannot come from an index probe"
+                    .into(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +429,7 @@ mod tests {
             app: AppClass::All,
             classification: None,
             full_history: false,
+            kind: ScanKind::Seq,
         });
         let errs = validate(&plan).unwrap_err();
         assert_eq!(errs.len(), 1);
@@ -398,6 +445,7 @@ mod tests {
             app: AppClass::All,
             classification: Some(Classification::default()),
             full_history: false,
+            kind: ScanKind::Seq,
         });
         let errs = validate(&plan).unwrap_err();
         assert!(errs[0].problem.contains("full-history"));
@@ -414,6 +462,7 @@ mod tests {
                 ..Classification::default()
             }),
             full_history: true,
+            kind: ScanKind::Seq,
         });
         let errs = validate(&plan).unwrap_err();
         assert!(errs[0].problem.contains("declared full-history"));
@@ -447,6 +496,7 @@ mod tests {
                 app: AppClass::All,
                 classification: None,
                 full_history: false,
+                kind: ScanKind::Seq,
             })),
             right: Box::new(constrained_scan()),
             left_keys: vec!["a".into(), "b".into()],
@@ -468,12 +518,63 @@ mod tests {
                 app: AppClass::All,
                 classification: None,
                 full_history: false,
+                kind: ScanKind::Seq,
             })),
             predicate: "v > 3".into(),
         };
         let errs = validate(&plan).unwrap_err();
         assert_eq!(errs[0].path, "Filter/Scan(x)");
         assert!(errs[0].to_string().starts_with("Filter/Scan(x): "));
+    }
+
+    #[test]
+    fn probe_scan_must_push_a_temporal_dimension() {
+        // A probing scan with system time pushed is fine.
+        let ok = PlanNode::Scan(
+            ScanNode::classified(
+                "orders",
+                SysClass::AsOf,
+                AppClass::All,
+                Classification {
+                    sys_pushed: true,
+                    ..Classification::default()
+                },
+            )
+            .probing(),
+        );
+        assert!(validate(&ok).is_ok());
+        // A probing scan whose temporal predicates are all residual is not:
+        // the index would have nothing to probe with.
+        let bad = PlanNode::Scan(
+            ScanNode::classified(
+                "orders",
+                SysClass::AsOf,
+                AppClass::All,
+                Classification::default(),
+            )
+            .probing(),
+        );
+        let errs = validate(&bad).unwrap_err();
+        assert!(errs[0].problem.contains("nothing to probe"));
+    }
+
+    #[test]
+    fn probe_scan_cannot_be_full_history() {
+        let plan = PlanNode::Scan(ScanNode {
+            table: "orders".into(),
+            sys: SysClass::All,
+            app: AppClass::All,
+            classification: Some(Classification {
+                sys_pushed: true,
+                ..Classification::default()
+            }),
+            full_history: true,
+            kind: ScanKind::TemporalIndexProbe,
+        });
+        let errs = validate(&plan).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.problem.contains("cannot come from an index probe")));
     }
 
     #[test]

@@ -281,10 +281,18 @@ impl<T: Clone> RTree<T> {
 
     /// All values whose rectangle intersects `query`.
     pub fn search(&self, query: &Rect) -> Vec<T> {
+        self.search_counted(query, &mut 0)
+    }
+
+    /// Like [`RTree::search`], but counts every tree entry examined
+    /// (internal and leaf) into `visits` — the probe-work number scan
+    /// metrics report.
+    pub fn search_counted(&self, query: &Rect, visits: &mut u64) -> Vec<T> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(node) = stack.pop() {
             for e in &self.nodes[node].entries {
+                *visits += 1;
                 if e.rect.intersects(query) {
                     match &e.payload {
                         Payload::Child(c) => stack.push(*c),

@@ -1,0 +1,11 @@
+// TB002 clean fixture, tindex flavor: the half-open discipline on
+// event-list / endpoint-list entries — an invalidation at `end` means the
+// version is already gone at `end`, so coverage and stabbing compare the
+// end strictly.
+fn replay_covers(event_end: SysTime, probe: SysTime) -> bool {
+    event_end < probe
+}
+
+fn stab_hits(date: AppDate, span_end: AppDate) -> bool {
+    date < span_end
+}

@@ -1,0 +1,12 @@
+// TB002 firing fixture, tindex flavor: closed-interval comparisons on
+// event-list / endpoint-list entries. The timeline's invalidation events
+// and the interval index's sorted end lists carry half-open `[start, end)`
+// endpoints; comparing them with `<=` / `>=` re-admits the exact instant a
+// version died.
+fn replay_covers(event_end: SysTime, probe: SysTime) -> bool {
+    event_end <= probe
+}
+
+fn stab_hits(date: AppDate, span_end: AppDate) -> bool {
+    date >= span_end
+}

@@ -48,6 +48,27 @@ fn tb002_clean_fixture_passes() {
 }
 
 #[test]
+fn tb002_tindex_fixture_fires_inside_the_index_crate() {
+    // The temporal index is built *from* event-list and endpoint-list
+    // comparisons, which makes it the likeliest place for a closed-interval
+    // slip — and it is not exempt: only core::time / core::schema own
+    // endpoint comparison logic.
+    let src = fixture("tb002_tindex_fires.rs");
+    let diags = check_source("crates/tindex/src/interval.rs", &src);
+    assert_eq!(codes(&diags), [rules::TB002, rules::TB002], "{diags:?}");
+    let diags = check_source("crates/tindex/src/timeline.rs", &src);
+    assert_eq!(codes(&diags), [rules::TB002, rules::TB002], "{diags:?}");
+    assert!(check_source("crates/core/src/time.rs", &src).is_empty());
+}
+
+#[test]
+fn tb002_tindex_clean_fixture_passes() {
+    let src = fixture("tb002_tindex_clean.rs");
+    assert!(check_source("crates/tindex/src/interval.rs", &src).is_empty());
+    assert!(check_source("crates/tindex/src/timeline.rs", &src).is_empty());
+}
+
+#[test]
 fn tb003_fixture_fires_in_output_paths_only() {
     let src = fixture("tb003_fires.rs");
     let diags = check_source("crates/bench/src/report.rs", &src);

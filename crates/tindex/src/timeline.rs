@@ -1,0 +1,546 @@
+//! The Timeline: a system-time visibility index.
+//!
+//! System time only ever moves forward, and a version's visibility changes
+//! at exactly two moments — when it is recorded (*activation*) and when it
+//! is superseded or deleted (*invalidation*). The Timeline therefore stores
+//! history as an **append-only event log** in causal order, and cuts a
+//! **checkpoint version-set** (the sorted set of visible slots) every
+//! `checkpoint_every` events. A probe "visible at system version S"
+//! restores the nearest checkpoint whose events all precede `S` and replays
+//! the bounded slice of events up to `S` — work proportional to the answer
+//! plus the checkpoint interval, not to the length of history. That is the
+//! sublinearity the benchmarked 2014 systems lacked (paper Figs 3, 9, 10).
+//!
+//! Correctness does not depend on events arriving in time order: replay is
+//! causal (append order), so a bulk load with manual, out-of-order system
+//! times stays correct — the log merely loses the binary-search bound. To
+//! keep such logs probeable, every checkpoint-aligned segment of the log
+//! also records its min/max event time, and replays skip whole segments
+//! whose time window cannot affect the probe. History partitions indexed at
+//! *close* time (activation times lag close order) rely on this.
+
+use bitempo_core::{SysPeriod, SysTime};
+use std::collections::BTreeSet;
+
+/// Default checkpoint interval: small enough to bound replays tightly,
+/// large enough that checkpoint memory stays a fraction of the event log.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 256;
+
+/// What happened to a slot's visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The version became visible.
+    Activate,
+    /// The version stopped being visible (half-open: not visible *at* the
+    /// event time).
+    Invalidate,
+}
+
+/// One visibility change in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Commit time the change took effect.
+    pub at: SysTime,
+    /// Partition-local slot of the affected version.
+    pub slot: u64,
+    /// Activation or invalidation.
+    pub kind: EventKind,
+}
+
+/// The visible slot set after applying a prefix of the log.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Number of log events this set reflects.
+    upto: usize,
+    /// Maximum event time in that prefix: the checkpoint serves a probe at
+    /// `S` only when `max_at <= S`, so every reflected event applies.
+    max_at: SysTime,
+    /// Sorted visible slots.
+    visible: Vec<u64>,
+}
+
+/// The system-time visibility index. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    events: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+    every: usize,
+    /// `(min, max)` event time per checkpoint-aligned log segment
+    /// (`events[k * every .. (k + 1) * every]`), for segment skipping in
+    /// non-monotone replays.
+    seg_bounds: Vec<(SysTime, SysTime)>,
+    /// Running mirror of the visible set, snapshot at checkpoint cuts.
+    live: BTreeSet<u64>,
+    /// Running maximum event time.
+    max_at: SysTime,
+    /// True while events have arrived in non-decreasing time order, which
+    /// allows replays to stop at a binary-searched prefix.
+    monotone: bool,
+}
+
+impl Default for Timeline {
+    fn default() -> Timeline {
+        Timeline::new(DEFAULT_CHECKPOINT_EVERY)
+    }
+}
+
+impl Timeline {
+    /// Creates an empty timeline cutting a checkpoint every
+    /// `checkpoint_every` events (clamped to at least 1).
+    pub fn new(checkpoint_every: usize) -> Timeline {
+        Timeline {
+            events: Vec::new(),
+            checkpoints: Vec::new(),
+            every: checkpoint_every.max(1),
+            seg_bounds: Vec::new(),
+            live: BTreeSet::new(),
+            max_at: SysTime::ZERO,
+            monotone: true,
+        }
+    }
+
+    /// Records that `slot` became visible at `at`.
+    pub fn activate(&mut self, slot: u64, at: SysTime) {
+        self.live.insert(slot);
+        self.push(Event {
+            at,
+            slot,
+            kind: EventKind::Activate,
+        });
+    }
+
+    /// Records that `slot` stopped being visible at `at`.
+    pub fn invalidate(&mut self, slot: u64, at: SysTime) {
+        self.live.remove(&slot);
+        self.push(Event {
+            at,
+            slot,
+            kind: EventKind::Invalidate,
+        });
+    }
+
+    fn push(&mut self, e: Event) {
+        if e.at < self.max_at {
+            self.monotone = false;
+        }
+        self.max_at = self.max_at.max(e.at);
+        self.events.push(e);
+        let seg = (self.events.len() - 1) / self.every;
+        match self.seg_bounds.get_mut(seg) {
+            Some((lo, hi)) => {
+                *lo = (*lo).min(e.at);
+                *hi = (*hi).max(e.at);
+            }
+            None => self.seg_bounds.push((e.at, e.at)),
+        }
+        if self.events.len().is_multiple_of(self.every) {
+            self.checkpoints.push(Checkpoint {
+                upto: self.events.len(),
+                max_at: self.max_at,
+                visible: self.live.iter().copied().collect(),
+            });
+        }
+    }
+
+    /// Number of events recorded.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of checkpoint version-sets cut so far.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Approximate resident bytes of the log, checkpoints and live mirror.
+    pub fn memory_bytes(&self) -> u64 {
+        let events = self.events.len() * std::mem::size_of::<Event>();
+        let ckpts: usize = self
+            .checkpoints
+            .iter()
+            .map(|c| std::mem::size_of::<Checkpoint>() + c.visible.len() * 8)
+            .sum();
+        (events + ckpts + self.live.len() * 8) as u64
+    }
+
+    /// The nearest usable checkpoint for a probe at `at`: the latest whose
+    /// whole prefix applies. Returns `(events_reflected, start_set)`.
+    fn restore(&self, at: SysTime, visits: &mut u64) -> (usize, BTreeSet<u64>) {
+        let ci = self.checkpoints.partition_point(|c| c.max_at <= at);
+        match ci.checked_sub(1).and_then(|i| self.checkpoints.get(i)) {
+            Some(c) => {
+                *visits += c.visible.len() as u64;
+                (c.upto, c.visible.iter().copied().collect())
+            }
+            None => (0, BTreeSet::new()),
+        }
+    }
+
+    /// Walks `events[upto..]` segment by segment, invoking `f` on every
+    /// event in segments whose `(min, max)` time window passes `seg_ok`,
+    /// and skipping the rest wholesale. `seg_ok` must be conservative:
+    /// true whenever any event in the window could matter to the probe.
+    fn replay_segments(
+        &self,
+        upto: usize,
+        seg_ok: impl Fn(SysTime, SysTime) -> bool,
+        cost: &mut crate::ProbeCost,
+        mut f: impl FnMut(&Event),
+    ) {
+        let mut pos = upto;
+        while pos < self.events.len() {
+            let seg = pos / self.every;
+            let seg_end = ((seg + 1) * self.every).min(self.events.len());
+            // One visit to consult the segment's time bounds.
+            cost.node_visits += 1;
+            let ok = self
+                .seg_bounds
+                .get(seg)
+                .is_none_or(|&(lo, hi)| seg_ok(lo, hi));
+            if ok {
+                for e in self.events.get(pos..seg_end).unwrap_or(&[]) {
+                    cost.node_visits += 1;
+                    f(e);
+                }
+            }
+            pos = seg_end;
+        }
+    }
+
+    /// Number of events in segments passing `seg_ok` that also pass
+    /// `event_ok`. Counting individual events (rather than whole segments)
+    /// keeps planner estimates tight on non-monotone logs, where a segment
+    /// holding one early activation would otherwise count wholesale.
+    fn count_events(
+        &self,
+        upto: usize,
+        seg_ok: impl Fn(SysTime, SysTime) -> bool,
+        event_ok: impl Fn(&Event) -> bool,
+    ) -> usize {
+        let mut n = 0;
+        let mut pos = upto;
+        while pos < self.events.len() {
+            let seg = pos / self.every;
+            let seg_end = ((seg + 1) * self.every).min(self.events.len());
+            let ok = self
+                .seg_bounds
+                .get(seg)
+                .is_none_or(|&(lo, hi)| seg_ok(lo, hi));
+            if ok {
+                n += self
+                    .events
+                    .get(pos..seg_end)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter(|e| event_ok(e))
+                    .count();
+            }
+            pos = seg_end;
+        }
+        n
+    }
+
+    /// Slots visible at system version `at`: activated at or before `at`
+    /// and not invalidated at or before it. `SysTime::MAX` yields the
+    /// current snapshot (never-invalidated slots). Sorted ascending.
+    pub fn visible_at(&self, at: SysTime, cost: &mut crate::ProbeCost) -> Vec<u64> {
+        let (upto, mut set) = self.restore(at, &mut cost.node_visits);
+        let apply = |e: &Event, set: &mut BTreeSet<u64>| {
+            if e.at > at {
+                return;
+            }
+            match e.kind {
+                EventKind::Activate => {
+                    set.insert(e.slot);
+                }
+                EventKind::Invalidate => {
+                    set.remove(&e.slot);
+                }
+            }
+        };
+        if self.monotone {
+            let hi = self.events.partition_point(|e| e.at <= at);
+            for e in self.events.iter().take(hi).skip(upto) {
+                cost.node_visits += 1;
+                apply(e, &mut set);
+            }
+        } else {
+            // Segments whose earliest event is already past `at` cannot
+            // change visibility at `at`.
+            self.replay_segments(upto, |lo, _| lo <= at, cost, |e| apply(e, &mut set));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Candidate slots for versions whose system period overlaps `range`:
+    /// everything visible when the range opens, plus everything activated
+    /// inside it. A superset of the true overlap set (degenerate periods
+    /// are filtered by the caller's authoritative re-check). Sorted
+    /// ascending.
+    pub fn visible_during(&self, range: &SysPeriod, cost: &mut crate::ProbeCost) -> Vec<u64> {
+        let mut set: BTreeSet<u64> = self.visible_at(range.start, cost).into_iter().collect();
+        if self.monotone {
+            let lo = self.events.partition_point(|e| e.at < range.start);
+            let hi = self.events.partition_point(|e| e.at < range.end);
+            for e in self.events.iter().take(hi).skip(lo) {
+                cost.node_visits += 1;
+                if e.kind == EventKind::Activate {
+                    set.insert(e.slot);
+                }
+            }
+        } else {
+            self.replay_segments(
+                0,
+                |lo, hi| lo < range.end && hi >= range.start,
+                cost,
+                |e| {
+                    if e.kind == EventKind::Activate && range.contains_point(e.at) {
+                        set.insert(e.slot);
+                    }
+                },
+            );
+        }
+        set.into_iter().collect()
+    }
+
+    /// Upper bound on the number of slots [`Timeline::visible_at`] can
+    /// return: the restored checkpoint size plus one per activation the
+    /// replay could insert. Only activations at or before `at` count —
+    /// invalidations and later events can never grow the visible set.
+    pub fn estimate_at(&self, at: SysTime) -> usize {
+        if at >= self.max_at {
+            // Every recorded event applies, so the live mirror *is* the
+            // visible set — exact, and O(1) for the common current-snapshot
+            // probe.
+            return self.live.len();
+        }
+        let ci = self.checkpoints.partition_point(|c| c.max_at <= at);
+        let (upto, base) = match ci.checked_sub(1).and_then(|i| self.checkpoints.get(i)) {
+            Some(c) => (c.upto, c.visible.len()),
+            None => (0, 0),
+        };
+        let replay = self.count_events(
+            upto,
+            |lo, _| lo <= at,
+            |e| e.kind == EventKind::Activate && e.at <= at,
+        );
+        base + replay
+    }
+
+    /// Upper bound on [`Timeline::visible_during`] output: everything
+    /// possibly visible as the range opens, plus one per activation that
+    /// lands inside the range.
+    pub fn estimate_during(&self, range: &SysPeriod) -> usize {
+        let activations = self.count_events(
+            0,
+            |lo, hi| lo < range.end && hi >= range.start,
+            |e| e.kind == EventKind::Activate && range.contains_point(e.at),
+        );
+        self.estimate_at(range.start) + activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::Period;
+
+    fn sysp(a: u64, b: u64) -> SysPeriod {
+        Period::new(SysTime(a), SysTime(b))
+    }
+
+    /// Applies version periods in causal order and checks `visible_at`
+    /// against the naive per-version oracle at every probe point.
+    fn check_against_oracle(versions: &[(u64, SysPeriod)], every: usize, probes: &[u64]) {
+        let mut tl = Timeline::new(every);
+        for &(slot, sys) in versions {
+            tl.activate(slot, sys.start);
+            if !sys.is_current() {
+                tl.invalidate(slot, sys.end);
+            }
+        }
+        for &p in probes {
+            let at = SysTime(p);
+            let mut cost = crate::ProbeCost::default();
+            let got = tl.visible_at(at, &mut cost);
+            let mut want: Vec<u64> = versions
+                .iter()
+                .filter(|(_, sys)| sys.contains_point(at))
+                .map(|&(slot, _)| slot)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(got, want, "visible_at(t{p}) with checkpoint_every={every}");
+        }
+    }
+
+    #[test]
+    fn visibility_matches_oracle_across_checkpoint_intervals() {
+        let versions: Vec<(u64, SysPeriod)> = (0..50u64)
+            .map(|i| {
+                if i % 7 == 0 {
+                    (i, SysPeriod::since(SysTime(i + 1)))
+                } else {
+                    (i, sysp(i + 1, i + 1 + (i % 5) * 3))
+                }
+            })
+            .collect();
+        let probes: Vec<u64> = (0..70).collect();
+        for every in [1, 2, 3, 8, 64, 1024] {
+            check_against_oracle(&versions, every, &probes);
+        }
+    }
+
+    #[test]
+    fn degenerate_same_instant_period_is_never_visible() {
+        // A version created and superseded in the same transaction has the
+        // empty period [s, s): half-open, so no probe may surface it.
+        check_against_oracle(&[(0, sysp(5, 5)), (1, sysp(5, 9))], 1, &[4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn slot_reuse_follows_causal_order() {
+        let mut tl = Timeline::new(2);
+        tl.activate(0, SysTime(5));
+        tl.invalidate(0, SysTime(8));
+        tl.activate(0, SysTime(8)); // slot reused at the same instant
+        let mut cost = crate::ProbeCost::default();
+        assert_eq!(tl.visible_at(SysTime(7), &mut cost), vec![0]);
+        assert_eq!(tl.visible_at(SysTime(8), &mut cost), vec![0]);
+        assert!(tl.visible_at(SysTime(4), &mut cost).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_bulk_load_stays_correct() {
+        // Manual system times arriving out of order (System D bulk load):
+        // the log drops its monotone fast path but must stay exact.
+        let versions = vec![
+            (0, sysp(40, 50)),
+            (1, sysp(10, 20)),
+            (2, SysPeriod::since(SysTime(30))),
+            (3, sysp(15, 45)),
+        ];
+        let probes: Vec<u64> = (0..60).collect();
+        for every in [1, 3, 100] {
+            check_against_oracle(&versions, every, &probes);
+        }
+        let mut tl = Timeline::new(3);
+        for &(slot, sys) in &versions {
+            tl.activate(slot, sys.start);
+            if !sys.is_current() {
+                tl.invalidate(slot, sys.end);
+            }
+        }
+        assert!(!tl.monotone);
+    }
+
+    #[test]
+    fn probe_cost_is_bounded_by_checkpoint_interval() {
+        // Monotone history: a probe replays at most `every` events past its
+        // checkpoint, no matter how long history grows.
+        let every = 16;
+        let mut tl = Timeline::new(every);
+        for i in 0..10_000u64 {
+            tl.activate(i, SysTime(i + 1));
+            tl.invalidate(i, SysTime(i + 2));
+        }
+        let mut cost = crate::ProbeCost::default();
+        let visible = tl.visible_at(SysTime(5_000), &mut cost);
+        assert_eq!(visible.len(), 1);
+        // Replay slice plus restored checkpoint members: far below the
+        // 20_000-event log.
+        assert!(
+            cost.node_visits <= (2 * every + 4) as u64,
+            "visits {} should be bounded by the checkpoint interval",
+            cost.node_visits
+        );
+    }
+
+    #[test]
+    fn nonmonotone_history_probe_skips_segments() {
+        // The close-time indexing pattern of the history partitions: each
+        // closed version appends (activate start, invalidate end), and the
+        // activation time lags the running close time, so the log is never
+        // monotone — yet an early probe must not walk the whole log.
+        let every = 16;
+        let mut tl = Timeline::new(every);
+        for i in 0..10_000u64 {
+            tl.activate(i, SysTime(i + 1));
+            tl.invalidate(i, SysTime(i + 3));
+        }
+        assert!(!tl.monotone);
+        let mut cost = crate::ProbeCost::default();
+        let visible = tl.visible_at(SysTime(100), &mut cost);
+        assert_eq!(visible.len(), 2);
+        // Checkpoint restore plus a handful of replayed segments plus one
+        // bounds check per skipped segment — far below the 20 000 events.
+        let segments = (tl.event_count() / every) as u64;
+        assert!(
+            cost.node_visits <= segments + (4 * every) as u64,
+            "visits {} should skip inapplicable segments",
+            cost.node_visits
+        );
+    }
+
+    #[test]
+    fn range_candidates_cover_every_overlapping_version() {
+        let versions = vec![
+            (0, sysp(1, 4)),
+            (1, sysp(3, 8)),
+            (2, sysp(6, 6)),
+            (3, SysPeriod::since(SysTime(7))),
+            (4, sysp(9, 12)),
+        ];
+        let mut tl = Timeline::new(2);
+        for &(slot, sys) in &versions {
+            tl.activate(slot, sys.start);
+            if !sys.is_current() {
+                tl.invalidate(slot, sys.end);
+            }
+        }
+        let range = sysp(4, 9);
+        let mut cost = crate::ProbeCost::default();
+        let got = tl.visible_during(&range, &mut cost);
+        for (slot, sys) in &versions {
+            if sys.overlaps(&range) && !sys.is_empty() {
+                assert!(got.contains(slot), "slot {slot} must be a candidate");
+            }
+        }
+        // Not part of the contract, but pin the expected exact set here:
+        // slot 0 ended before the range, slot 4 starts at its end.
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn estimates_bound_results() {
+        let mut tl = Timeline::new(8);
+        for i in 0..200u64 {
+            tl.activate(i, SysTime(i + 1));
+            if i % 3 != 0 {
+                tl.invalidate(i, SysTime(i + 10));
+            }
+        }
+        for p in [0u64, 5, 100, 150, 300] {
+            let mut cost = crate::ProbeCost::default();
+            let got = tl.visible_at(SysTime(p), &mut cost);
+            assert!(tl.estimate_at(SysTime(p)) >= got.len());
+        }
+        let range = sysp(50, 120);
+        let mut cost = crate::ProbeCost::default();
+        let got = tl.visible_during(&range, &mut cost);
+        assert!(tl.estimate_during(&range) >= got.len());
+    }
+
+    #[test]
+    fn memory_and_counts_grow_with_history() {
+        let mut tl = Timeline::new(4);
+        assert_eq!(tl.event_count(), 0);
+        assert_eq!(tl.checkpoint_count(), 0);
+        for i in 0..20u64 {
+            tl.activate(i, SysTime(i));
+        }
+        assert_eq!(tl.event_count(), 20);
+        assert_eq!(tl.checkpoint_count(), 5);
+        assert!(tl.memory_bytes() > 0);
+    }
+}

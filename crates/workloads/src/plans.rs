@@ -17,7 +17,7 @@
 
 use crate::{Ctx, QueryParams};
 use bitempo_core::{Result, SysPeriod, TableId};
-use bitempo_engine::api::{AppSpec, ColRange, SysSpec};
+use bitempo_engine::api::{AccessPath, AppSpec, ColRange, SysSpec};
 use bitempo_query::{AppClass, Classification, PlanNode, ScanNode, SysClass};
 
 /// One representative plan: the workload class it stands for, the concrete
@@ -65,7 +65,10 @@ fn pred_names(ctx: &Ctx<'_>, table: TableId, preds: &[ColRange]) -> Vec<String> 
 /// Executes a scan and returns the faithful description of what ran: the
 /// temporal specs are pushed into the access path (every engine enforces
 /// them inside `scan`), `preds` are pushed column predicates, and
-/// `residual` names filters the workload applies *above* the scan.
+/// `residual` names filters the workload applies *above* the scan. The
+/// scan's [`bitempo_query::ScanKind`] reflects the access path the engine
+/// actually chose, so a plan describes a temporal-index probe only when
+/// one ran.
 fn executed_scan(
     ctx: &Ctx<'_>,
     table: TableId,
@@ -74,19 +77,24 @@ fn executed_scan(
     preds: &[ColRange],
     residual: &[&str],
 ) -> Result<ScanNode> {
-    ctx.scan_output(table, sys, app, preds)?;
+    let out = ctx.scan_output(table, sys, app, preds)?;
     let classification = Classification {
         sys_pushed: !matches!(sys, SysSpec::All),
         app_pushed: !matches!(app, AppSpec::All),
         pushed_cols: pred_names(ctx, table, preds),
         residual_cols: residual.iter().map(|c| (*c).to_string()).collect(),
     };
-    Ok(ScanNode::classified(
+    let scan = ScanNode::classified(
         ctx.engine.table_def(table).name.clone(),
         sys_class(sys),
         app_class(app),
         classification,
-    ))
+    );
+    Ok(if matches!(out.access, AccessPath::TemporalProbe(_)) {
+        scan.probing()
+    } else {
+        scan
+    })
 }
 
 /// T class — the ALL/T5 yardstick: the complete ORDERS history, both
