@@ -1167,8 +1167,192 @@ pub fn lint_plans(cfg: &BenchConfig) -> Result<FigureReport> {
     }
 }
 
+/// `optimizer`: the cost-based planner inspected end to end. Part one
+/// sweeps `AS OF` system times over CUSTOMER with the temporal index tuned;
+/// every traced cell's breakdown carries planned-vs-visited rows, so the
+/// report shows per partition where the probe beat the scan and how far
+/// the estimate was off. Part two brackets the crossover exactly: a table
+/// of `n` keys inserted one commit apart makes `AS OF t` qualify `t` rows,
+/// so sweeping `t` across the probe's break-even point must flip the
+/// chosen path from index to scan on every engine — the experiment fails
+/// if any cell lands on the wrong side. No threshold knob exists any more;
+/// the switch falls out of estimated work. Part three demonstrates adaptive
+/// re-planning:
+/// a query that stabs a gap between application periods (everything before
+/// day 5 or after day 10, probed at day 7) makes the interval estimator see
+/// half the partition where nothing qualifies; with `adaptive` tuning the
+/// observed miss feeds back and the second plan switches to the temporal
+/// probe on every engine. The experiment fails if any engine does not flip.
+pub fn optimizer_experiment(cfg: &BenchConfig) -> Result<FigureReport> {
+    let inst = Instance::build(cfg, &TuningConfig::temporal())?;
+    let mut report = FigureReport::new(
+        "optimizer",
+        "Cost-based access paths: selectivity crossover and adaptive re-planning",
+        "µs",
+    );
+    let mut faults = FaultSummary::default();
+    let p = inst.params.clone();
+    let traced = cfg.with_trace(true);
+
+    // Part one: the workload sweep. One series per engine; each cell's
+    // breakdown table reports planned vs visited rows for the chosen path
+    // on every partition the scan touched.
+    for kind in SystemKind::ALL {
+        let ctx = Ctx::new(inst.engine(kind))?;
+        let mut s = Series::new(format!("{kind} - AS OF sweep"));
+        for (label, at) in [
+            ("load snapshot", p.sys_initial),
+            ("mid history", p.sys_mid),
+            ("now", p.sys_now),
+        ] {
+            measure_cell(&traced, &mut s, &mut faults, label, || {
+                ctx.scan(ctx.t.customer, &SysSpec::AsOf(at), &AppSpec::All, &[])
+            });
+            let out = ctx.scan_output(ctx.t.customer, &SysSpec::AsOf(at), &AppSpec::All, &[])?;
+            report.note(format!(
+                "{kind} {label}: {} — planned {} rows, visited {}, emitted {}",
+                out.access,
+                out.metrics.planned_rows,
+                out.metrics.rows_visited,
+                out.rows.len(),
+            ));
+        }
+        report.add(s);
+    }
+
+    // Part two: the controlled crossover. `n` keys inserted one commit
+    // apart make `AS OF t` qualify exactly `t` of `n` stored versions, so
+    // the swept fractions bracket the probe's break-even point from both
+    // sides and the chosen path must flip from index to scan.
+    let cross_def = bitempo_core::TableDef::new(
+        "cross",
+        bitempo_core::Schema::new(vec![
+            bitempo_core::Column::new("id", bitempo_core::DataType::Int),
+            bitempo_core::Column::new("val", bitempo_core::DataType::Int),
+        ]),
+        vec![0],
+        bitempo_core::TemporalClass::Bitemporal,
+        Some("vt"),
+    )?;
+    const CROSS_N: i64 = 400;
+    for kind in SystemKind::ALL {
+        let mut engine = bitempo_engine::build_engine(kind);
+        let t = engine.create_table(cross_def.clone())?;
+        for i in 0..CROSS_N {
+            engine.insert(
+                t,
+                bitempo_core::Row::new(vec![
+                    bitempo_core::Value::Int(i),
+                    bitempo_core::Value::Int(i),
+                ]),
+                None,
+            )?;
+            engine.commit();
+        }
+        engine.apply_tuning(&TuningConfig::temporal().with_workers(1))?;
+        let mut s = Series::new(format!("{kind} - crossover (rows visited)"));
+        for (pct, expect_probe) in [(5i64, true), (10, true), (25, false), (100, false)] {
+            let at = SysTime((CROSS_N * pct / 100) as u64);
+            let out = engine.scan(t, &SysSpec::AsOf(at), &AppSpec::All, &[])?;
+            let probed = matches!(
+                out.access,
+                bitempo_engine::api::AccessPath::TemporalProbe(_)
+            );
+            s.push(format!("{pct}% qualify"), out.metrics.rows_visited as f64);
+            report.note(format!(
+                "{kind} crossover at {pct}%: {} — planned {} rows, visited {}, emitted {}",
+                out.access,
+                out.metrics.planned_rows,
+                out.metrics.rows_visited,
+                out.rows.len(),
+            ));
+            if probed != expect_probe {
+                return Err(Error::Invalid(format!(
+                    "{kind}: at {pct}% qualifying the optimizer chose {} — expected the \
+                     {} side of the crossover",
+                    out.access,
+                    if expect_probe { "index" } else { "scan" }
+                )));
+            }
+        }
+        report.add(s);
+    }
+
+    // Part three: the adaptive flip, on a purpose-built table per engine so
+    // the estimator's failure mode is exact and reproducible.
+    let def = bitempo_core::TableDef::new(
+        "flip",
+        bitempo_core::Schema::new(vec![
+            bitempo_core::Column::new("id", bitempo_core::DataType::Int),
+            bitempo_core::Column::new("val", bitempo_core::DataType::Int),
+        ]),
+        vec![0],
+        bitempo_core::TemporalClass::Bitemporal,
+        Some("vt"),
+    )?;
+    for kind in SystemKind::ALL {
+        bitempo_query::optimizer::reset_feedback();
+        let mut engine = bitempo_engine::build_engine(kind);
+        let t = engine.create_table(def.clone())?;
+        for i in 0..300i64 {
+            let app = if i % 2 == 0 {
+                Period::new(bitempo_core::AppDate(0), bitempo_core::AppDate(5))
+            } else {
+                Period::new(bitempo_core::AppDate(10), bitempo_core::AppDate(20))
+            };
+            engine.insert(
+                t,
+                bitempo_core::Row::new(vec![
+                    bitempo_core::Value::Int(i),
+                    bitempo_core::Value::Int(i),
+                ]),
+                Some(app),
+            )?;
+        }
+        engine.commit();
+        engine.apply_tuning(&TuningConfig::temporal().with_adaptive(true).with_workers(1))?;
+        let probe = bitempo_engine::api::AppSpec::AsOf(bitempo_core::AppDate(7));
+        let first = engine.scan(t, &SysSpec::All, &probe, &[])?;
+        let second = engine.scan(t, &SysSpec::All, &probe, &[])?;
+        let mut s = Series::new(format!("{kind} - adaptive replan (est rows)"));
+        s.push("plan 1", first.metrics.planned_rows as f64);
+        s.push("plan 2", second.metrics.planned_rows as f64);
+        report.add(s);
+        report.note(format!(
+            "{kind}: AS OF day 7 stabs a gap — plan 1 {} (estimated {} rows, emitted {}), \
+             plan 2 {} (estimated {} rows, emitted {})",
+            first.access,
+            first.metrics.planned_rows,
+            first.rows.len(),
+            second.access,
+            second.metrics.planned_rows,
+            second.rows.len(),
+        ));
+        if !matches!(
+            second.access,
+            bitempo_engine::api::AccessPath::TemporalProbe(_)
+        ) {
+            bitempo_query::optimizer::reset_feedback();
+            return Err(Error::Invalid(format!(
+                "{kind}: adaptive re-plan did not switch to the temporal probe \
+                 (plan 1 {}, plan 2 {})",
+                first.access, second.access
+            )));
+        }
+    }
+    bitempo_query::optimizer::reset_feedback();
+    report.note(
+        "Expected shape: the crossover sweep probes while few rows qualify and falls back \
+         to the scan once the estimated work passes break-even — the §5.9 regime, now \
+         priced per site instead of thresholded. The replan series drops from ~half the \
+         partition to ~nothing after one observed miss.",
+    );
+    report.faults = faults;
+    Ok(report)
+}
+
 /// All experiment ids in run order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "table1",
     "table2",
     "arch",
@@ -1191,6 +1375,7 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "explain",
     "temporal-index",
     "lint-plans",
+    "optimizer",
 ];
 
 /// Runs one experiment by id (fig15/fig16 run at small scale
@@ -1221,6 +1406,7 @@ pub fn run_experiment(id: &str, cfg: &BenchConfig) -> Result<FigureReport> {
         "explain" => explain(cfg),
         "temporal-index" => temporal_index(cfg),
         "lint-plans" => lint_plans(cfg),
+        "optimizer" => optimizer_experiment(cfg),
         other => Err(bitempo_core::Error::Invalid(format!(
             "unknown experiment {other}"
         ))),
@@ -1307,6 +1493,34 @@ mod tests {
             "expected ≥2 probing engines; notes: {:?}",
             r.notes
         );
+    }
+
+    #[test]
+    fn optimizer_experiment_shows_crossover_and_adaptive_flip() {
+        let r = optimizer_experiment(&micro_cfg()).unwrap();
+        // Four workload-sweep, four crossover, four replan series. The
+        // crossover assertions live inside the experiment: it returns Err
+        // if any engine picks the wrong side of the break-even point.
+        assert_eq!(r.series.len(), 12, "{:?}", r.series.len());
+        for kind in SystemKind::ALL {
+            let label = format!("{kind} - adaptive replan (est rows)");
+            let s = r
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("missing series {label}"));
+            assert_eq!(s.points.len(), 2, "{label}");
+            // The observed miss must shrink the second plan's estimate.
+            assert!(s.points[1].1 < s.points[0].1, "{label}: {:?}", s.points);
+        }
+        // The flip is spelled out per engine; the experiment itself errors
+        // if any second plan is not a temporal probe.
+        let flips = r
+            .notes
+            .iter()
+            .filter(|n| n.contains("stabs a gap") && n.contains("plan 2 tindex"))
+            .count();
+        assert_eq!(flips, 4, "{:?}", r.notes);
     }
 
     #[test]

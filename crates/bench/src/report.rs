@@ -30,6 +30,10 @@ pub struct AccessRow {
     /// Internal index entries examined while probing (B-Tree leaf entries,
     /// R-Tree rectangles, timeline events, endpoint-list entries).
     pub index_node_visits: u64,
+    /// Rows the optimizer's chosen path was estimated to visit (after any
+    /// feedback correction) — read against `rows_visited` to judge the
+    /// estimate.
+    pub planned_rows: u64,
 }
 
 impl AccessRow {
@@ -51,6 +55,7 @@ impl AccessRow {
                     r.index_probes += t.index_probes;
                     r.index_hits += t.index_hits;
                     r.index_node_visits += t.index_node_visits;
+                    r.planned_rows += t.planned_rows;
                 }
                 None => out.push(AccessRow {
                     table: t.table.clone(),
@@ -63,6 +68,7 @@ impl AccessRow {
                     index_probes: t.index_probes,
                     index_hits: t.index_hits,
                     index_node_visits: t.index_node_visits,
+                    planned_rows: t.planned_rows,
                 }),
             }
         }
@@ -253,20 +259,21 @@ impl FigureReport {
         if self.series.iter().any(|s| !s.breakdowns.is_empty()) {
             out.push_str("\n#### Access paths\n\n");
             out.push_str(
-                "| series | query | table/partition | access | scans | visited | emitted | pruned | probes | hits | node-visits |\n",
+                "| series | query | table/partition | access | scans | planned | visited | emitted | pruned | probes | hits | node-visits |\n",
             );
-            out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+            out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
             for s in &self.series {
                 for (x, rows) in &s.breakdowns {
                     for r in rows {
                         out.push_str(&format!(
-                            "| {} | {} | {}/{} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                            "| {} | {} | {}/{} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                             s.label,
                             x,
                             r.table,
                             r.partition,
                             r.access,
                             r.scans,
+                            r.planned_rows,
                             r.rows_visited,
                             r.rows_emitted,
                             r.versions_pruned,
@@ -352,6 +359,7 @@ mod tests {
             index_hits: 0,
             index_node_visits: 0,
             morsels: 1,
+            planned_rows: visited,
             workers: 1,
             start_nanos: 0,
             dur_nanos: 10,
@@ -380,13 +388,13 @@ mod tests {
         assert!(md.contains("#### Access paths"), "{md}");
         assert!(
             md.contains(
-                "| System A | T1 | lineitem/current | full-scan(1) | 2 | 150 | 50 | 100 | 0 | 0 | 0 |"
+                "| System A | T1 | lineitem/current | full-scan(1) | 2 | 150 | 150 | 50 | 100 | 0 | 0 | 0 |"
             ),
             "{md}"
         );
         assert!(
             md.contains(
-                "| System A | T1 | lineitem/history | btree(ix_sys) | 1 | 7 | 7 | 0 | 0 | 0 | 0 |"
+                "| System A | T1 | lineitem/history | btree(ix_sys) | 1 | 7 | 7 | 7 | 0 | 0 | 0 | 0 |"
             ),
             "{md}"
         );

@@ -88,6 +88,9 @@ pub struct ScanTrace {
     pub index_node_visits: u64,
     /// Morsels dispatched (0 on index paths).
     pub morsels: u64,
+    /// Rows the planner estimated the chosen path would visit — compare
+    /// against `rows_visited` for per-scan estimate error.
+    pub planned_rows: u64,
     /// Configured worker threads for the scan.
     pub workers: u64,
     /// Start offset from the trace epoch, nanoseconds.
@@ -177,6 +180,7 @@ impl TraceLog {
                     t.index_node_visits.to_string(),
                 ),
                 ("morsels".to_string(), t.morsels.to_string()),
+                ("planned_rows".to_string(), t.planned_rows.to_string()),
                 ("workers".to_string(), t.workers.to_string()),
             ];
             push_event(&mut out, "scan", &name, t.start_nanos, t.dur_nanos, &args);
@@ -365,6 +369,7 @@ mod tests {
             index_hits: 0,
             index_node_visits: 0,
             morsels: 1,
+            planned_rows: 100,
             workers: 4,
             start_nanos: start,
             dur_nanos: 1_500,

@@ -171,6 +171,14 @@ pub struct TuningConfig {
     /// index) to history-bearing partitions and let the planner select it
     /// as an access path — the index the benchmarked 2014 systems lacked.
     pub temporal_index: bool,
+    /// Adaptive re-planning: feed observed actual-vs-estimated row counts
+    /// back into the optimizer's per-(site, predicate-class) correction
+    /// store, so a repeated misestimated query switches access paths on
+    /// re-plan. Off by default — plan stability across repeated identical
+    /// scans is part of the engine contract the equivalence suites assert,
+    /// so adaptivity is an explicit tuning decision, like building an
+    /// index.
+    pub adaptive: bool,
     /// Worker threads for morsel-parallel sequential scans (see
     /// [`crate::morsel`]). `1` scans single-threaded, exactly as before the
     /// morsel layer existed; any value produces identical results.
@@ -191,6 +199,7 @@ impl Default for TuningConfig {
             value_index: Vec::new(),
             gist: false,
             temporal_index: false,
+            adaptive: false,
             workers: default_workers(),
             panic_morsel: None,
         }
@@ -232,6 +241,13 @@ impl TuningConfig {
             temporal_index: true,
             ..Default::default()
         }
+    }
+
+    /// This configuration with adaptive re-planning toggled.
+    #[must_use]
+    pub fn with_adaptive(mut self, on: bool) -> TuningConfig {
+        self.adaptive = on;
+        self
     }
 
     /// This configuration with the temporal index toggled.

@@ -13,6 +13,7 @@ use crate::api::IndexKind;
 use crate::version::Version;
 use bitempo_core::{obs, SysTime, Value};
 use bitempo_storage::{BPlusTree, RTree, Rect};
+use std::collections::BTreeMap;
 use std::ops::Bound;
 
 /// What a single index column is built over.
@@ -69,6 +70,11 @@ pub struct OrderedIndex {
     tree: BPlusTree<Vec<Value>, u64>,
     lo: f64,
     hi: f64,
+    /// Entry count per distinct leading-column value, maintained on
+    /// insert/remove. Feeds the equality-selectivity estimate for columns
+    /// interpolation cannot handle (strings): one key group out of
+    /// `distinct_first()` — instead of a hard-coded guess.
+    first_col: BTreeMap<Value, u64>,
 }
 
 impl OrderedIndex {
@@ -79,6 +85,7 @@ impl OrderedIndex {
             tree: BPlusTree::new(),
             lo: f64::INFINITY,
             hi: f64::NEG_INFINITY,
+            first_col: BTreeMap::new(),
         }
     }
 
@@ -100,13 +107,32 @@ impl OrderedIndex {
                 self.hi = self.hi.max(x);
             }
         }
+        if let Some(first) = key.first() {
+            *self.first_col.entry(first.clone()).or_insert(0) += 1;
+        }
         self.tree.insert(key, slot);
     }
 
     /// Removes `version`'s entry for `slot` (returns whether it existed).
     pub fn remove(&mut self, version: &Version, slot: u64) -> bool {
         let key = self.key_of(version);
-        self.tree.remove(&key, &slot)
+        let existed = self.tree.remove(&key, &slot);
+        if existed {
+            if let Some(first) = key.first() {
+                if let Some(count) = self.first_col.get_mut(first) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.first_col.remove(first);
+                    }
+                }
+            }
+        }
+        existed
+    }
+
+    /// Number of distinct leading-column values currently indexed.
+    pub fn distinct_first(&self) -> usize {
+        self.first_col.len()
     }
 
     /// Number of indexed entries.
@@ -306,6 +332,14 @@ impl GistIndex {
         let out = self.tree.search_counted(query, visits);
         span.arg_with("hits", || out.len().to_string());
         out
+    }
+
+    /// Estimated fraction of indexed rectangles intersecting `query` — the
+    /// cost-model input that lets a GiST probe compete with (and lose to)
+    /// a sequential scan on near-full-window queries, instead of being
+    /// chosen unconditionally whenever the index exists.
+    pub fn estimate_fraction(&self, query: &Rect) -> f64 {
+        self.tree.estimate_fraction(query)
     }
 
     /// Number of indexed entries.

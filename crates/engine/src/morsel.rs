@@ -82,6 +82,10 @@ pub struct ScanMetrics {
     /// Index entries examined internally while probing (checkpoint slots,
     /// replayed events, endpoint-list entries, B-Tree leaf entries).
     pub index_node_visits: u64,
+    /// Rows the chosen access path was *estimated* to visit when the
+    /// optimizer committed to it (after feedback correction). Comparing
+    /// against `rows_visited` exposes estimate error per scan.
+    pub planned_rows: u64,
 }
 
 impl ScanMetrics {
@@ -93,6 +97,7 @@ impl ScanMetrics {
         self.index_probes += other.index_probes;
         self.index_hits += other.index_hits;
         self.index_node_visits += other.index_node_visits;
+        self.planned_rows += other.planned_rows;
     }
 }
 

@@ -1,17 +1,24 @@
-//! Partition scanning with index selection — the per-engine "optimizer".
+//! Partition scanning with cost-based access-path selection.
 //!
 //! Every row-store engine answers a scan per physical partition by choosing
-//! among: primary-key lookup, B-Tree index scan, GiST scan, or a full scan.
-//! The choice uses the crude uniform-interpolation selectivity estimate from
-//! [`crate::index`], with a fixed threshold. This mirrors the behaviour the
-//! paper measured: indexes only pay off for very selective predicates, and
-//! optimizers flip to table scans otherwise (§5.3.2, §5.4.1, §5.9).
+//! among: primary-key lookup, B-Tree index scan, GiST scan, temporal-index
+//! probe, or a full scan. All applicable paths are enumerated into a
+//! [`bitempo_query::optimizer::Memo`], costed from the partition's row
+//! count and each index's candidate-fraction estimate, and the cheapest
+//! wins. The cost weights keep the regime the paper measured — indexes pay
+//! off only for selective predicates, and optimizers flip to table scans
+//! otherwise (§5.3.2, §5.4.1, §5.9) — but the flip point now falls out of
+//! relative work, not a hard-coded threshold. With `adaptive` tuning on,
+//! observed actual-vs-estimated row counts feed the optimizer's feedback
+//! store so a repeated misestimated query re-plans onto the cheaper path.
 
 use crate::api::{AccessPath, AppSpec, ColRange, SysSpec};
 use crate::index::{GistIndex, IndexedCol, OrderedIndex};
 use crate::morsel::{run_morsels, MorselExec, ScanMetrics};
 use crate::version::Version;
 use bitempo_core::{obs, Result, Row, SysTime, TableDef, Value};
+use bitempo_query::optimizer::{self, Alternative, PathKind, ValuePreds};
+use bitempo_query::plan::{AppClass, SysClass};
 use bitempo_storage::{Heap, Rect};
 use bitempo_tindex::{AppProbe, ProbeCost, SysProbe, TemporalIndex};
 use std::ops::{Bound, Range};
@@ -54,16 +61,22 @@ impl ScanSite<'_> {
             index_hits: delta.index_hits,
             index_node_visits: delta.index_node_visits,
             morsels: delta.morsels,
+            planned_rows: delta.planned_rows,
             workers: workers as u64,
             start_nanos,
             dur_nanos,
         });
     }
-}
 
-/// Index scans must be estimated below this fraction of the partition to be
-/// chosen over a sequential scan.
-pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.15;
+    /// This site as the optimizer's borrowed feedback key.
+    fn feedback(&self) -> optimizer::FeedbackSite<'_> {
+        optimizer::FeedbackSite {
+            engine: self.engine,
+            table: self.table,
+            partition: self.partition,
+        }
+    }
+}
 
 /// A slot-addressable collection of versions (one physical partition).
 ///
@@ -170,6 +183,36 @@ pub fn app_probe_for(app: &AppSpec) -> Option<AppProbe> {
     }
 }
 
+/// The optimizer predicate class of a scan: which temporal dimensions are
+/// constrained and what shape the pushed value predicates take. This is the
+/// key granularity of the adaptive feedback store.
+pub fn pred_class(sys: &SysSpec, app: &AppSpec, preds: &[ColRange]) -> optimizer::PredClass {
+    let values = if preds.is_empty() {
+        ValuePreds::None
+    } else if preds
+        .iter()
+        .all(|p| matches!((&p.lo, &p.hi), (Bound::Included(a), Bound::Included(b)) if a == b))
+    {
+        ValuePreds::Point
+    } else {
+        ValuePreds::Range
+    };
+    optimizer::PredClass {
+        sys: match sys {
+            SysSpec::Current => SysClass::Current,
+            SysSpec::AsOf(_) => SysClass::AsOf,
+            SysSpec::Range(_) => SysClass::Range,
+            SysSpec::All => SysClass::All,
+        },
+        app: match app {
+            AppSpec::AsOf(_) => AppClass::AsOf,
+            AppSpec::Range(_) => AppClass::Range,
+            AppSpec::All => AppClass::All,
+        },
+        values,
+    }
+}
+
 /// The range on an index's leading column implied by the temporal specs or
 /// pushed predicates, with an owned-bounds representation.
 struct ProbeRange {
@@ -250,6 +293,22 @@ pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rec
     Some(Rect::new(x_min, x_max, y_min, y_max))
 }
 
+/// Execution recipe for one enumerated alternative, kept parallel to the
+/// memo's insertion order so the winning index maps back to the borrowed
+/// access structures without re-deriving probe arguments.
+enum Choice<'a> {
+    /// Morsel-parallel sequential scan.
+    Seq,
+    /// Exact prefix probe of the primary-key index with the pinned values.
+    Key(&'a OrderedIndex, Vec<Value>),
+    /// Range probe of an ordered index.
+    BTree(&'a OrderedIndex, ProbeRange),
+    /// Rectangle probe of the GiST.
+    Gist(&'a GistIndex, Rect),
+    /// Temporal-index candidate probe.
+    Tix(&'a TemporalIndex, Option<SysProbe>, Option<AppProbe>),
+}
+
 /// Scans one partition: picks an access path, applies residual filters, and
 /// appends qualifying output rows (in `def.scan_schema()` layout) to `out`.
 /// Counters accumulate into `metrics`. Sequential scans are morsel-parallel
@@ -257,6 +316,12 @@ pub fn gist_query_rect(sys: &SysSpec, app: &AppSpec, now: SysTime) -> Option<Rec
 /// their probe result sets are already small by construction. Returns the
 /// access path taken, or [`bitempo_core::Error::WorkerPanicked`] if a scan
 /// worker panicked (the panic is contained; partial output is discarded).
+///
+/// The path is chosen by the cost-based memo in
+/// [`bitempo_query::optimizer`]; with `adaptive` set, actual row counts are
+/// fed back so repeated scans of the same predicate class re-plan on the
+/// observed estimate error. Costs price total work, not wall clock, so the
+/// chosen path — and the output — is identical across worker counts.
 ///
 /// When tracing is enabled ([`obs::is_enabled`]) one [`obs::ScanTrace`] is
 /// recorded for `site`; the disabled path is a single flag check.
@@ -269,38 +334,20 @@ pub fn scan_partition(
     app: &AppSpec,
     preds: &[ColRange],
     now: SysTime,
-    prefer_gist: bool,
+    adaptive: bool,
     exec: MorselExec,
     out: &mut Vec<Row>,
     metrics: &mut ScanMetrics,
 ) -> Result<AccessPath> {
     let Some(start) = obs::trace_clock() else {
         return scan_partition_inner(
-            part,
-            def,
-            sys,
-            app,
-            preds,
-            now,
-            prefer_gist,
-            exec,
-            out,
-            metrics,
+            site, part, def, sys, app, preds, now, adaptive, exec, out, metrics,
         );
     };
     let rows_before = out.len();
     let before = *metrics;
     let result = scan_partition_inner(
-        part,
-        def,
-        sys,
-        app,
-        preds,
-        now,
-        prefer_gist,
-        exec,
-        out,
-        metrics,
+        site, part, def, sys, app, preds, now, adaptive, exec, out, metrics,
     );
     let end = obs::trace_clock().unwrap_or(start);
     if let Ok(path) = &result {
@@ -311,6 +358,7 @@ pub fn scan_partition(
             index_probes: metrics.index_probes - before.index_probes,
             index_hits: metrics.index_hits - before.index_hits,
             index_node_visits: metrics.index_node_visits - before.index_node_visits,
+            planned_rows: metrics.planned_rows - before.planned_rows,
         };
         site.record(
             path,
@@ -326,17 +374,28 @@ pub fn scan_partition(
 
 #[allow(clippy::too_many_arguments)]
 fn scan_partition_inner(
+    site: ScanSite<'_>,
     part: &PartitionView<'_>,
     def: &TableDef,
     sys: &SysSpec,
     app: &AppSpec,
     preds: &[ColRange],
     now: SysTime,
-    prefer_gist: bool,
+    adaptive: bool,
     exec: MorselExec,
     out: &mut Vec<Row>,
     metrics: &mut ScanMetrics,
 ) -> Result<AccessPath> {
+    let n = part.source.len();
+    // An empty partition defeats every estimator: candidate fractions would
+    // divide by zero, and the old `len().max(1)` patch made an empty
+    // partition estimate fraction 0 and unconditionally "win" the temporal
+    // probe. There is nothing to choose between — short-circuit to a
+    // trivial sequential pass that visits nothing.
+    if n == 0 {
+        return Ok(AccessPath::FullScan { partitions: 1 });
+    }
+
     let emit = |v: &Version, out: &mut Vec<Row>, m: &mut ScanMetrics| -> bool {
         m.rows_visited += 1;
         if v.matches(sys, app) && v.matches_preds(preds) {
@@ -348,9 +407,129 @@ fn scan_partition_inner(
         }
     };
 
-    // 1. Primary-key lookup if the predicates pin every key column.
+    // Sequential execution, split into morsels. Merging in morsel order
+    // keeps the output identical to a single-threaded scan for any worker
+    // count.
+    let run_seq = |out: &mut Vec<Row>, metrics: &mut ScanMetrics| -> Result<AccessPath> {
+        let (rows, scan_metrics) = run_morsels(part.source.scan_units(), exec, |range, buf, m| {
+            part.source.for_each_in(range, &mut |_, v| {
+                emit(v, buf, m);
+            });
+        })?;
+        metrics.merge(&scan_metrics);
+        out.extend(rows);
+        Ok(AccessPath::FullScan { partitions: 1 })
+    };
+
+    // Enumerate every applicable physical alternative into the memo, with a
+    // parallel list of execution recipes in the same insertion order.
+    let mut memo = optimizer::Memo::new(n);
+    let mut choices: Vec<Choice<'_>> = Vec::new();
+
+    memo.add(Alternative::seq());
+    choices.push(Choice::Seq);
+
+    // Primary-key lookup, when the predicates pin every key column. The
+    // candidate set is exact, so the estimate is one row's share.
     if let Some(pk) = part.pk {
         if let Some(key_vals) = full_key_equality(def, preds) {
+            memo.add(Alternative::new(
+                PathKind::KeyLookup,
+                pk.def.name.clone(),
+                Some(1.0 / n as f64),
+            ));
+            choices.push(Choice::Key(pk, key_vals));
+        }
+    }
+
+    // B-Tree range probes on every ordered index whose leading column the
+    // query constrains.
+    for index in part.indexes.iter().chain(part.pk) {
+        let Some(range) = probe_range_for(index, sys, app, preds) else {
+            continue;
+        };
+        let sel = match index.estimate_selectivity(bound_ref(&range.lo), bound_ref(&range.hi)) {
+            Some(s) => s,
+            // Non-estimable leading column (strings): only an equality
+            // probe has a principled estimate — one distinct key's share of
+            // the index. An empty index has no keys to share; skip it.
+            None => match (&range.lo, &range.hi) {
+                (Bound::Included(a), Bound::Included(b)) if a == b => {
+                    match index.distinct_first() {
+                        0 => continue,
+                        d => 1.0 / d as f64,
+                    }
+                }
+                _ => continue,
+            },
+        };
+        memo.add(Alternative::new(
+            PathKind::BTreeRange,
+            index.def.name.clone(),
+            Some(sel),
+        ));
+        choices.push(Choice::BTree(index, range));
+    }
+
+    // GiST rectangle probe, when present and the query has a temporal
+    // window — costed like every other path, not preferred by fiat.
+    if let (Some(gist), Some(rect)) = (part.gist, gist_query_rect(sys, app, now)) {
+        let frac = gist.estimate_fraction(&rect);
+        memo.add(Alternative::new(
+            PathKind::GistProbe,
+            gist.name.clone(),
+            Some(frac),
+        ));
+        choices.push(Choice::Gist(gist, rect));
+    }
+
+    // Temporal index, applicable whenever either temporal dimension is
+    // constrained. Candidates are a superset, re-checked by `emit`, and
+    // arrive sorted by slot so output order matches a sequential scan.
+    if let Some(tix) = part.tindex {
+        let sys_probe = sys_probe_for(sys);
+        let app_probe = app_probe_for(app);
+        if sys_probe.is_some() || app_probe.is_some() {
+            let frac = tix.estimate_fraction(sys_probe.as_ref(), app_probe.as_ref(), n);
+            memo.add(Alternative::new(
+                PathKind::TemporalProbe,
+                tix.name().to_string(),
+                Some(frac),
+            ));
+            choices.push(Choice::Tix(tix, sys_probe, app_probe));
+        }
+    }
+
+    let class = pred_class(sys, app, preds);
+    let fsite = site.feedback();
+    let with_feedback = |kind: PathKind, frac: f64| {
+        (frac * optimizer::correction(&fsite, &class, kind)).clamp(0.0, 1.0)
+    };
+    let identity = |_: PathKind, frac: f64| frac;
+    let decision = if adaptive {
+        memo.best(&with_feedback)
+    } else {
+        memo.best(&identity)
+    };
+    // The sequential alternative is always registered, so a decision always
+    // exists; the `None` arm below routes to the sequential fallback anyway.
+    let winner_index = decision.as_ref().map_or(usize::MAX, |d| d.winner_index);
+    metrics.planned_rows += decision.as_ref().map_or(n as u64, |d| d.winner.est_rows);
+
+    #[cfg(debug_assertions)]
+    if let Some(d) = &decision {
+        let plan = optimizer::choice_plan(site.table, &class, d.winner.kind);
+        debug_assert!(
+            bitempo_query::plan::validate(&plan).is_ok(),
+            "optimizer chose a plan shape the validator rejects: {}",
+            d.winner.kind
+        );
+    }
+
+    let rows_before = out.len();
+    let visited_before = metrics.rows_visited;
+    let path = match choices.into_iter().nth(winner_index) {
+        Some(Choice::Key(pk, key_vals)) => {
             for slot in pk.probe_prefix_counted(&key_vals, &mut metrics.index_node_visits) {
                 metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
@@ -359,13 +538,24 @@ fn scan_partition_inner(
                     }
                 }
             }
-            return Ok(AccessPath::KeyLookup(pk.def.name.clone()));
+            AccessPath::KeyLookup(pk.def.name.clone())
         }
-    }
-
-    // 2. GiST, when configured and the query has a temporal window.
-    if prefer_gist {
-        if let (Some(gist), Some(rect)) = (part.gist, gist_query_rect(sys, app, now)) {
+        Some(Choice::BTree(index, range)) => {
+            for slot in index.probe_range_counted(
+                bound_ref(&range.lo),
+                bound_ref(&range.hi),
+                &mut metrics.index_node_visits,
+            ) {
+                metrics.index_probes += 1;
+                if let Some(v) = part.source.version(slot) {
+                    if emit(v, out, metrics) {
+                        metrics.index_hits += 1;
+                    }
+                }
+            }
+            AccessPath::IndexScan(index.def.name.clone())
+        }
+        Some(Choice::Gist(gist, rect)) => {
             for slot in gist.probe_counted(&rect, &mut metrics.index_node_visits) {
                 metrics.index_probes += 1;
                 if let Some(v) = part.source.version(slot) {
@@ -374,51 +564,12 @@ fn scan_partition_inner(
                     }
                 }
             }
-            return Ok(AccessPath::GistScan(gist.name.clone()));
+            AccessPath::GistScan(gist.name.clone())
         }
-    }
-
-    // 3. Cheapest sufficiently-selective B-Tree index, estimated but not
-    //    yet committed — the temporal index gets to underbid it below.
-    let mut best: Option<(f64, &OrderedIndex, ProbeRange)> = None;
-    for index in part.indexes.iter().chain(part.pk) {
-        if let Some(range) = probe_range_for(index, sys, app, preds) {
-            let lo_ref = bound_ref(&range.lo);
-            let hi_ref = bound_ref(&range.hi);
-            let sel = match index.estimate_selectivity(lo_ref, hi_ref) {
-                Some(s) => s,
-                // Non-estimable (string column): only trust equality probes.
-                None => match (&range.lo, &range.hi) {
-                    (Bound::Included(a), Bound::Included(b)) if a == b => 0.01,
-                    _ => continue,
-                },
-            };
-            if sel < INDEX_SELECTIVITY_THRESHOLD && best.as_ref().is_none_or(|(b, _, _)| sel < *b) {
-                best = Some((sel, index, range));
-            }
-        }
-    }
-
-    // 3b. Temporal index: applicable whenever either temporal dimension is
-    //     constrained. Chosen over the B-Tree when its estimated candidate
-    //     fraction is sufficiently selective *and* no cheaper B-Tree range
-    //     exists; candidates are a superset, re-checked by `emit`, and
-    //     arrive sorted by slot so output order matches a sequential scan.
-    if let Some(tix) = part.tindex {
-        let sys_probe = sys_probe_for(sys);
-        let app_probe = app_probe_for(app);
-        if sys_probe.is_some() || app_probe.is_some() {
-            let frac = tix.estimate_fraction(
-                sys_probe.as_ref(),
-                app_probe.as_ref(),
-                part.source.len().max(1),
-            );
-            let underbids_btree = best.as_ref().is_none_or(|(sel, _, _)| frac <= *sel);
-            if frac < INDEX_SELECTIVITY_THRESHOLD && underbids_btree {
-                let mut cost = ProbeCost::default();
-                if let Some(slots) =
-                    tix.candidates(sys_probe.as_ref(), app_probe.as_ref(), &mut cost)
-                {
+        Some(Choice::Tix(tix, sys_probe, app_probe)) => {
+            let mut cost = ProbeCost::default();
+            match tix.candidates(sys_probe.as_ref(), app_probe.as_ref(), &mut cost) {
+                Some(slots) => {
                     metrics.index_node_visits += cost.node_visits;
                     for slot in slots {
                         metrics.index_probes += 1;
@@ -428,38 +579,37 @@ fn scan_partition_inner(
                             }
                         }
                     }
-                    return Ok(AccessPath::TemporalProbe(tix.name().to_string()));
+                    AccessPath::TemporalProbe(tix.name().to_string())
                 }
+                None => run_seq(out, metrics)?,
+            }
+        }
+        Some(Choice::Seq) | None => run_seq(out, metrics)?,
+    };
+
+    // Close the loop: record actual-vs-estimated rows so the next plan of
+    // this predicate class sees the estimator's observed error.
+    if adaptive {
+        if let Some(d) = &decision {
+            let emitted = (out.len() - rows_before) as u64;
+            let visited = metrics.rows_visited - visited_before;
+            match d.winner.kind {
+                // The scan won. Every index alternative's candidate set is a
+                // superset of the emitted rows, so the emitted count is the
+                // observed lower bound that pulls an overestimate back down.
+                PathKind::SeqScan => {
+                    for alt in &d.alternatives {
+                        if alt.kind != PathKind::SeqScan {
+                            optimizer::observe(&fsite, &class, alt.kind, alt.raw_rows, emitted);
+                        }
+                    }
+                }
+                kind => optimizer::observe(&fsite, &class, kind, d.winner.raw_rows, visited),
             }
         }
     }
 
-    if let Some((_, index, range)) = best {
-        for slot in index.probe_range_counted(
-            bound_ref(&range.lo),
-            bound_ref(&range.hi),
-            &mut metrics.index_node_visits,
-        ) {
-            metrics.index_probes += 1;
-            if let Some(v) = part.source.version(slot) {
-                if emit(v, out, metrics) {
-                    metrics.index_hits += 1;
-                }
-            }
-        }
-        return Ok(AccessPath::IndexScan(index.def.name.clone()));
-    }
-
-    // 4. Sequential scan, split into morsels. Merging in morsel order keeps
-    //    the output identical to a single-threaded scan for any worker count.
-    let (rows, scan_metrics) = run_morsels(part.source.scan_units(), exec, |range, buf, m| {
-        part.source.for_each_in(range, &mut |_, v| {
-            emit(v, buf, m);
-        });
-    })?;
-    metrics.merge(&scan_metrics);
-    out.extend(rows);
-    Ok(AccessPath::FullScan { partitions: 1 })
+    Ok(path)
 }
 
 fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
@@ -553,6 +703,14 @@ mod tests {
         }
     }
 
+    fn mk_app_version(id: i64, app_start: i64, app_end: i64) -> Version {
+        Version {
+            row: Row::new(vec![Value::Int(id), Value::Int(id)]),
+            app: AppPeriod::new(AppDate(app_start), AppDate(app_end)),
+            sys: SysPeriod::new(SysTime(0), SysTime::MAX),
+        }
+    }
+
     fn heap_with(n: i64) -> Heap<Version> {
         let mut h = Heap::new();
         for i in 0..n {
@@ -592,6 +750,7 @@ mod tests {
         assert_eq!(m.morsels, 1, "50 rows fit in one morsel");
         assert_eq!(m.rows_visited, 50);
         assert_eq!(m.versions_pruned, 0);
+        assert_eq!(m.planned_rows, 50, "a sequential plan expects every row");
     }
 
     #[test]
@@ -699,8 +858,13 @@ mod tests {
     }
 
     #[test]
-    fn gist_preferred_when_configured() {
-        let heap = heap_with(100);
+    fn gist_chosen_when_selective_declined_when_not() {
+        // Bounded system periods [i, i+10) give the R-Tree tight rectangles,
+        // so its fraction estimate tracks real selectivity.
+        let mut heap = Heap::new();
+        for i in 0..500i64 {
+            heap.insert(mk_version(i, i, i as u64, Some(i as u64 + 10)));
+        }
         let mut gist = GistIndex::new("gist_t");
         for (slot, v) in heap.iter() {
             gist.insert(v, u64::from(slot.0));
@@ -712,25 +876,45 @@ mod tests {
             gist: Some(&gist),
             tindex: None,
         };
-        let mut out = Vec::new();
-        let mut m = ScanMetrics::default();
-        let path = scan_partition(
-            site(),
-            &part,
-            &def(),
-            &SysSpec::AsOf(SysTime(10)),
-            &AppSpec::AsOf(AppDate(5)),
-            &[],
-            SysTime(200),
-            true,
-            MorselExec::workers(1),
-            &mut out,
-            &mut m,
-        )
-        .unwrap();
+        let bare = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: None,
+        };
+        let run = |part: &PartitionView, sys: &SysSpec| {
+            let mut out = Vec::new();
+            let mut m = ScanMetrics::default();
+            let path = scan_partition(
+                site(),
+                part,
+                &def(),
+                sys,
+                &AppSpec::All,
+                &[],
+                SysTime(1000),
+                false,
+                MorselExec::workers(1),
+                &mut out,
+                &mut m,
+            )
+            .unwrap();
+            (path, out, m)
+        };
+        // Selective: AS OF t10 → sys [i, i+10) contains 10 only for i 1..=10.
+        let selective = SysSpec::AsOf(SysTime(10));
+        let (path, out, _) = run(&part, &selective);
         assert_eq!(path, AccessPath::GistScan("gist_t".into()));
-        assert_eq!(out.len(), 11, "versions with sys_start <= 10");
-        assert!(m.index_probes >= 11);
+        assert_eq!(out.len(), 10, "versions 1..=10 visible at t10");
+        let (bare_path, bare_out, _) = run(&bare, &selective);
+        assert_eq!(bare_path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out, bare_out, "GiST output identical to full scan");
+        // Non-selective: a range covering every version → sequential scan.
+        let wide = SysSpec::Range(SysPeriod::new(SysTime(0), SysTime(600)));
+        let (path, out, _) = run(&part, &wide);
+        assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(out.len(), 500);
     }
 
     #[test]
@@ -866,6 +1050,7 @@ mod tests {
         assert_eq!(m.index_hits, 6, "the superset was exact here");
         assert!(m.index_node_visits > 0, "probe work is accounted");
         assert_eq!(m.morsels, 0, "no morsels on the probe path");
+        assert!(m.planned_rows > 0, "the chosen probe carried an estimate");
         let (bare_path, bare_out, _) = run(&bare);
         assert_eq!(bare_path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out, bare_out, "probe output identical to full scan");
@@ -901,6 +1086,106 @@ mod tests {
         .unwrap();
         assert_eq!(path, AccessPath::FullScan { partitions: 1 });
         assert_eq!(out.len(), 901);
+    }
+
+    #[test]
+    fn empty_partition_short_circuits_before_estimating() {
+        // Regression: the old planner fed `len().max(1)` to the temporal
+        // estimator, so an empty partition estimated fraction 0 and always
+        // "won" the probe. Empty partitions must take the trivial scan.
+        let heap: Heap<Version> = Heap::new();
+        let mut tix = TemporalIndex::new("tix_t", 64);
+        tix.prepare();
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: Some(&tix),
+        };
+        let mut out = Vec::new();
+        let mut m = ScanMetrics::default();
+        let path = scan_partition(
+            site(),
+            &part,
+            &def(),
+            &SysSpec::AsOf(SysTime(5)),
+            &AppSpec::All,
+            &[],
+            SysTime(100),
+            false,
+            MorselExec::workers(4),
+            &mut out,
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(path, AccessPath::FullScan { partitions: 1 });
+        assert!(out.is_empty());
+        assert_eq!(m.index_probes, 0, "no probe against an empty partition");
+        assert_eq!(m.planned_rows, 0);
+    }
+
+    #[test]
+    fn adaptive_replan_switches_path_on_repeat() {
+        optimizer::reset_feedback();
+        // App periods alternate [0,5) and [10,20): a stab at day 7 matches
+        // nothing, but the interval estimate sees half the partition on each
+        // side, so the first plan declines the probe.
+        let mut heap = Heap::new();
+        for i in 0..400i64 {
+            if i % 2 == 0 {
+                heap.insert(mk_app_version(i, 0, 5));
+            } else {
+                heap.insert(mk_app_version(i, 10, 20));
+            }
+        }
+        let tix = tindex_over(&heap);
+        let part = PartitionView {
+            source: &heap,
+            pk: None,
+            indexes: &[],
+            gist: None,
+            tindex: Some(&tix),
+        };
+        let run = || {
+            let mut out = Vec::new();
+            let mut m = ScanMetrics::default();
+            let path = scan_partition(
+                site(),
+                &part,
+                &def(),
+                &SysSpec::All,
+                &AppSpec::AsOf(AppDate(7)),
+                &[],
+                SysTime(100),
+                true,
+                MorselExec::workers(1),
+                &mut out,
+                &mut m,
+            )
+            .unwrap();
+            (path, out, m)
+        };
+        let (first, out1, m1) = run();
+        assert_eq!(first, AccessPath::FullScan { partitions: 1 });
+        assert!(out1.is_empty(), "nothing is valid on day 7");
+        assert!(
+            m1.planned_rows > 100,
+            "the raw estimate saw a large candidate set: {}",
+            m1.planned_rows
+        );
+        let (second, out2, m2) = run();
+        assert_eq!(
+            second,
+            AccessPath::TemporalProbe("tix_t".into()),
+            "the corrected estimate re-plans onto the probe"
+        );
+        assert!(out2.is_empty());
+        assert!(
+            m2.planned_rows < m1.planned_rows,
+            "feedback shrank the estimate"
+        );
+        optimizer::reset_feedback();
     }
 
     #[test]
@@ -940,8 +1225,9 @@ mod tests {
             gist: Some(&gist),
             tindex: None,
         };
-        // Empty application window [5, 5): no version can qualify, and the
-        // query rect is inverted — the probe must return no slots instead of
+        // Empty application window [5, 5): no version can qualify, the query
+        // rect is inverted, and the estimated fraction is 0 — the GiST wins
+        // on startup cost alone and must return no slots instead of
         // spuriously matching versions that straddle day 5.
         let empty = AppPeriod::new(AppDate(5), AppDate(5));
         let rect = gist_query_rect(&SysSpec::All, &AppSpec::Range(empty), SysTime(200)).unwrap();
@@ -956,7 +1242,7 @@ mod tests {
             &AppSpec::Range(empty),
             &[],
             SysTime(200),
-            true,
+            false,
             MorselExec::workers(1),
             &mut out,
             &mut m,

@@ -524,7 +524,7 @@ impl BitemporalEngine for SystemA {
             app,
             preds,
             self.now,
-            false,
+            self.tuning.adaptive,
             exec,
             &mut rows,
             &mut metrics,
@@ -545,7 +545,7 @@ impl BitemporalEngine for SystemA {
                 app,
                 preds,
                 self.now,
-                false,
+                self.tuning.adaptive,
                 exec,
                 &mut rows,
                 &mut metrics,

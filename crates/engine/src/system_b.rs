@@ -508,7 +508,7 @@ impl BitemporalEngine for SystemB {
             app,
             preds,
             self.now,
-            false,
+            self.tuning.adaptive,
             exec,
             &mut rows,
             &mut metrics,
@@ -530,7 +530,7 @@ impl BitemporalEngine for SystemB {
                 app,
                 preds,
                 self.now,
-                false,
+                self.tuning.adaptive,
                 exec,
                 &mut rows,
                 &mut metrics,
@@ -560,7 +560,7 @@ impl BitemporalEngine for SystemB {
                     app,
                     preds,
                     self.now,
-                    false,
+                    self.tuning.adaptive,
                     exec,
                     &mut rows,
                     &mut metrics,

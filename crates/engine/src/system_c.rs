@@ -19,15 +19,14 @@ use crate::api::{
 };
 use crate::catalog::Catalog;
 use crate::morsel::{run_morsels, ScanMetrics};
-use crate::rowscan::{
-    app_probe_for, merge_access, sys_probe_for, ScanSite, INDEX_SELECTIVITY_THRESHOLD,
-};
+use crate::rowscan::{app_probe_for, merge_access, pred_class, sys_probe_for, ScanSite};
 use crate::system_a::{overwrite_period, sequenced_dml, SequencedOps};
 use crate::version::Version;
 use bitempo_core::{
     obs, AppDate, AppPeriod, Column, DataType, Error, Key, Result, Row, Schema, SysPeriod, SysTime,
     TableDef, TableId, TemporalClass, Value,
 };
+use bitempo_query::optimizer::{self, PathKind};
 use bitempo_storage::ColumnTable;
 use bitempo_tindex::{IndexFootprint, ProbeCost, TemporalIndex};
 use std::collections::{HashMap, HashSet};
@@ -515,11 +514,12 @@ impl BitemporalEngine for SystemC {
         let scan_fragment = |partition: &'static str,
                              part: &ColumnTable,
                              dead: Option<&HashSet<usize>>,
+                             tix: Option<&TemporalIndex>,
                              rows: &mut Vec<Row>,
                              metrics: &mut ScanMetrics|
          -> Result<()> {
             let start = obs::trace_clock();
-            let (frag_rows, m) = run_morsels(part.len(), exec, |range, buf, m| {
+            let (frag_rows, mut m) = run_morsels(part.len(), exec, |range, buf, m| {
                 for rowid in range {
                     if dead.is_some_and(|d| d.contains(&rowid)) {
                         continue;
@@ -533,6 +533,7 @@ impl BitemporalEngine for SystemC {
                     buf.push(v.output_row(def));
                 }
             })?;
+            m.planned_rows = part.len() as u64;
             // System C has no B-Tree paths, so the per-fragment trace is
             // assembled here rather than in `rowscan::scan_partition`.
             if let Some(start) = start {
@@ -550,6 +551,33 @@ impl BitemporalEngine for SystemC {
                     start,
                     end.saturating_sub(start),
                 );
+            }
+            // Closing the loop from the sequential side: a declined probe's
+            // estimate is still scored against the rows the scan emitted
+            // (its candidate set is a superset of them), so a repeated
+            // overestimate re-plans onto the probe.
+            if self.tuning.adaptive {
+                if let Some(tix) = tix {
+                    let sys_probe = sys_probe_for(sys);
+                    let app_probe = app_probe_for(app);
+                    let n = part.len();
+                    if (sys_probe.is_some() || app_probe.is_some()) && n > 0 {
+                        let raw = tix.estimate_candidates(sys_probe.as_ref(), app_probe.as_ref(), n)
+                            as u64;
+                        let fsite = optimizer::FeedbackSite {
+                            engine: "System C",
+                            table: &def.name,
+                            partition,
+                        };
+                        optimizer::observe(
+                            &fsite,
+                            &pred_class(sys, app, preds),
+                            PathKind::TemporalProbe,
+                            raw,
+                            frag_rows.len() as u64,
+                        );
+                    }
+                }
             }
             metrics.merge(&m);
             rows.extend(frag_rows);
@@ -572,9 +600,37 @@ impl BitemporalEngine for SystemC {
             if sys_probe.is_none() && app_probe.is_none() {
                 return None;
             }
-            let frac =
-                tix.estimate_fraction(sys_probe.as_ref(), app_probe.as_ref(), part.len().max(1));
-            if frac >= INDEX_SELECTIVITY_THRESHOLD {
+            let n = part.len();
+            // An empty fragment defeats the estimator (its divisor was once
+            // patched with `.max(1)`, making an empty fragment estimate
+            // fraction 0 and always "win"); the trivial scan handles it.
+            if n == 0 {
+                return None;
+            }
+            let frac = tix.estimate_fraction(sys_probe.as_ref(), app_probe.as_ref(), n);
+            let mut memo = optimizer::Memo::new(n);
+            memo.add(optimizer::Alternative::seq());
+            memo.add(optimizer::Alternative::new(
+                PathKind::TemporalProbe,
+                tix.name(),
+                Some(frac),
+            ));
+            let class = pred_class(sys, app, preds);
+            let fsite = optimizer::FeedbackSite {
+                engine: "System C",
+                table: &def.name,
+                partition,
+            };
+            let with_feedback = |kind: PathKind, f: f64| {
+                (f * optimizer::correction(&fsite, &class, kind)).clamp(0.0, 1.0)
+            };
+            let identity = |_: PathKind, f: f64| f;
+            let decision = if self.tuning.adaptive {
+                memo.best(&with_feedback)
+            } else {
+                memo.best(&identity)
+            }?;
+            if decision.winner.kind != PathKind::TemporalProbe {
                 return None;
             }
             let mut cost = ProbeCost::default();
@@ -582,6 +638,7 @@ impl BitemporalEngine for SystemC {
             let start = obs::trace_clock();
             let mut m = ScanMetrics {
                 index_node_visits: cost.node_visits,
+                planned_rows: decision.winner.est_rows,
                 ..ScanMetrics::default()
             };
             let mut buf = Vec::new();
@@ -617,6 +674,15 @@ impl BitemporalEngine for SystemC {
                     end.saturating_sub(start),
                 );
             }
+            if self.tuning.adaptive {
+                optimizer::observe(
+                    &fsite,
+                    &class,
+                    PathKind::TemporalProbe,
+                    decision.winner.raw_rows,
+                    m.rows_visited,
+                );
+            }
             metrics.merge(&m);
             rows.extend(buf);
             Some(path)
@@ -636,6 +702,7 @@ impl BitemporalEngine for SystemC {
                     "current",
                     &t.current,
                     Some(&t.dead),
+                    t.cur_tindex.as_ref(),
                     &mut rows,
                     &mut metrics,
                 )?;
@@ -653,7 +720,14 @@ impl BitemporalEngine for SystemC {
             ) {
                 Some(path) => paths.push(path),
                 None => {
-                    scan_fragment("history", &t.history, None, &mut rows, &mut metrics)?;
+                    scan_fragment(
+                        "history",
+                        &t.history,
+                        None,
+                        t.tindex.as_ref(),
+                        &mut rows,
+                        &mut metrics,
+                    )?;
                     paths.push(AccessPath::FullScan { partitions: 1 });
                 }
             }

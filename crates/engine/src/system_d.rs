@@ -348,7 +348,7 @@ impl BitemporalEngine for SystemD {
             app,
             preds,
             self.now,
-            self.tuning.gist,
+            self.tuning.adaptive,
             self.tuning.exec(),
             &mut rows,
             &mut metrics,
@@ -512,7 +512,9 @@ mod tests {
     fn gist_tuning_is_used_and_correct() {
         let mut e = SystemD::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
-        for i in 0..50 {
+        // Bounded app periods [i, i+10): a point probe at day 0 matches only
+        // row 0, so the costed GiST estimate beats the sequential scan.
+        for i in 0..200 {
             e.insert(
                 t,
                 simple_row(i, i * 2),
@@ -522,53 +524,89 @@ mod tests {
             e.commit();
         }
         let no_index = e
-            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(25)), &[])
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[])
             .unwrap();
+        // GiST only — with a time B-Tree tuned as well, the cheaper
+        // per-row B-Tree probe would legitimately outbid the GiST.
         e.apply_tuning(&TuningConfig {
             gist: true,
-            time_index: true,
             ..Default::default()
         })
         .unwrap();
         let gist = e
-            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(25)), &[])
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[])
             .unwrap();
-        assert!(matches!(gist.access, AccessPath::GistScan(_)));
+        assert!(
+            matches!(gist.access, AccessPath::GistScan(_)),
+            "selective probe should pick the GiST, got {}",
+            gist.access
+        );
         let mut a = no_index.rows.clone();
         let mut b = gist.rows.clone();
         a.sort();
         b.sort();
         assert_eq!(a, b, "GiST scan must return the same rows as the seq scan");
+        // A window covering every period is not worth a probe: the cost
+        // model falls back to the sequential scan.
+        let wide = e
+            .scan(
+                t,
+                &SysSpec::Current,
+                &AppSpec::Range(Period::new(AppDate(0), AppDate(500))),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(wide.access, AccessPath::FullScan { partitions: 1 });
+        assert_eq!(wide.rows.len(), 200);
     }
 
     #[test]
     fn gist_stays_correct_after_post_tuning_dml() {
         let mut e = SystemD::new();
         let t = e.create_table(bitemp_table("t")).unwrap();
-        insert_rows(&mut e, t, &[(1, 1), (2, 2)]);
+        // Enough rows with bounded periods [i, i+5) that a point probe is
+        // worth the GiST's per-row cost.
+        for i in 1..=80 {
+            e.insert(
+                t,
+                simple_row(i, i),
+                Some(Period::new(AppDate(i), AppDate(i + 5))),
+            )
+            .unwrap();
+            e.commit();
+        }
         e.apply_tuning(&TuningConfig {
             gist: true,
             ..Default::default()
         })
         .unwrap();
-        // Close version 1 after the GiST was built (rect goes conservative)
-        // and insert a fresh key.
-        e.update(t, &Key::int(1), &[(1, Value::Int(9))], None)
+        // Close a version after the GiST was built (rect goes conservative)
+        // and insert a fresh key straddling the probe date.
+        e.update(t, &Key::int(2), &[(1, Value::Int(9))], None)
             .unwrap();
         e.commit();
-        e.insert(t, simple_row(3, 3), None).unwrap();
+        e.insert(
+            t,
+            simple_row(81, 81),
+            Some(Period::new(AppDate(2), AppDate(7))),
+        )
+        .unwrap();
         e.commit();
         let out = e
-            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(0)), &[])
+            .scan(t, &SysSpec::Current, &AppSpec::AsOf(AppDate(2)), &[])
             .unwrap();
-        assert!(matches!(out.access, AccessPath::GistScan(_)));
+        assert!(
+            matches!(out.access, AccessPath::GistScan(_)),
+            "expected a GiST scan, got {}",
+            out.access
+        );
         let mut vals: Vec<i64> = out
             .rows
             .iter()
             .map(|r| r.get(1).as_int().unwrap())
             .collect();
         vals.sort_unstable();
-        assert_eq!(vals, vec![2, 3, 9]);
+        assert_eq!(vals, vec![1, 9, 81]);
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!   overlap joins, and version-delta extraction (R7, K4/K5);
 //! * [`plan`] — a statically checkable plan description and validator:
 //!   scans must classify predicates into pushed vs residual (or admit to a
-//!   full-history read), temporal operators must declare coalescing.
+//!   full-history read), temporal operators must declare coalescing;
+//! * [`optimizer`] — cost-based access-path selection over the plan IR: a
+//!   one-group Cascades-style memo costs every physical alternative a
+//!   partition scan has (sequential, key lookup, B-Tree, GiST, temporal
+//!   index), plus an adaptive feedback store that corrects repeated
+//!   misestimates from observed actual-vs-estimated row counts.
 //!
 //! Operators are materialized (`Vec<Row>` in, `Vec<Row>` out): with all
 //! data memory-resident — the paper's setup too ("all read requests ...
@@ -26,6 +31,7 @@
 
 pub mod expr;
 pub mod ops;
+pub mod optimizer;
 pub mod plan;
 pub mod temporal;
 

@@ -20,7 +20,9 @@ use std::fmt;
 
 /// System-time constraint class of a scan, mirroring
 /// `bitempo_engine::SysSpec` without depending on the engine crate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Ordered and hashable so [`crate::optimizer`] can key its feedback store
+/// on predicate classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SysClass {
     /// Implicit current version only.
     Current,
@@ -33,7 +35,7 @@ pub enum SysClass {
 }
 
 /// Application-time constraint class of a scan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AppClass {
     /// `AS OF APPLICATION TIME d`.
     AsOf,

@@ -96,6 +96,9 @@ impl Rect {
 const MAX_ENTRIES: usize = 16;
 const MIN_ENTRIES: usize = 4;
 
+/// Per-level node budget of [`RTree::estimate_fraction`]'s sampled descent.
+const ESTIMATE_NODE_CAP: usize = 8;
+
 #[derive(Debug, Clone)]
 struct Entry<T> {
     rect: Rect,
@@ -302,6 +305,53 @@ impl<T: Clone> RTree<T> {
             }
         }
         out
+    }
+
+    /// Estimated fraction of indexed rectangles intersecting `query`, from
+    /// a bounded sampled descent: at each level, the fraction of entries
+    /// whose MBR intersects the query multiplies into the running estimate;
+    /// at most [`ESTIMATE_NODE_CAP`] intersecting children are descended
+    /// into per level, with unsampled intersecting subtrees assumed to
+    /// match at the sampled mean. Cost is `O(cap * fanout * depth)` — far
+    /// below a probe — and the result is deterministic (the sample is the
+    /// first `cap` intersecting entries in tree order).
+    pub fn estimate_fraction(&self, query: &Rect) -> f64 {
+        if self.len == 0 || query.is_empty() {
+            return 0.0;
+        }
+        let mut frontier = vec![self.root];
+        let mut frac = 1.0_f64;
+        loop {
+            let mut total = 0usize;
+            let mut leaf_hits = 0usize;
+            let mut children = Vec::new();
+            let mut leaf_level = false;
+            for &n in &frontier {
+                let node = &self.nodes[n];
+                leaf_level |= node.is_leaf;
+                for e in &node.entries {
+                    total += 1;
+                    if e.rect.intersects(query) {
+                        match &e.payload {
+                            Payload::Child(c) => children.push(*c),
+                            Payload::Leaf(_) => leaf_hits += 1,
+                        }
+                    }
+                }
+            }
+            if total == 0 {
+                return 0.0;
+            }
+            if leaf_level {
+                return (frac * leaf_hits as f64 / total as f64).clamp(0.0, 1.0);
+            }
+            frac *= children.len() as f64 / total as f64;
+            if children.is_empty() {
+                return 0.0;
+            }
+            children.truncate(ESTIMATE_NODE_CAP);
+            frontier = children;
+        }
     }
 
     /// Visits every value whose rectangle intersects `query`.

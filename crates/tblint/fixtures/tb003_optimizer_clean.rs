@@ -1,0 +1,11 @@
+// TB003 clean fixture for the optimizer: the feedback store keys on a
+// BTreeMap, so snapshots (and the bench notes rendered from them) come out
+// in site order, byte-identical across runs.
+use std::collections::BTreeMap;
+
+fn snapshot(corrections: &BTreeMap<String, f64>) -> Vec<String> {
+    corrections
+        .iter()
+        .map(|(site, c)| format!("{site}: x{c:.2}"))
+        .collect()
+}

@@ -1,0 +1,12 @@
+// TB003 firing fixture for the optimizer: a hash-keyed feedback store
+// iterates in randomized order, so `feedback_snapshot()` — and every bench
+// note built from it — changes between runs, and tie-broken plan choices
+// can flap with it.
+use std::collections::HashMap;
+
+fn snapshot(corrections: &HashMap<String, f64>) -> Vec<String> {
+    corrections
+        .iter()
+        .map(|(site, c)| format!("{site}: x{c:.2}"))
+        .collect()
+}

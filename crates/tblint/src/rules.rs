@@ -65,6 +65,7 @@ fn tb003_scope(path: &str) -> bool {
         || path == "crates/core/src/obs.rs"
         || path == "crates/histgen/src/archive.rs"
         || path == "crates/histgen/src/stats.rs"
+        || path == "crates/query/src/optimizer.rs"
 }
 
 /// Engine scan hot-path files (TB004).
