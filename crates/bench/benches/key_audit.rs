@@ -16,6 +16,7 @@ fn config() -> BenchConfig {
         workers: bitempo_engine::api::default_workers(),
         query_timeout_millis: bitempo_bench::runner::DEFAULT_QUERY_TIMEOUT_MILLIS,
         trace: false,
+        durability: bitempo_bench::runner::DurabilityMode::Async,
     }
 }
 

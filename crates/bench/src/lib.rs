@@ -19,4 +19,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::{FaultSummary, FigureReport, Series};
-pub use runner::{BenchConfig, Instance, Measurement};
+pub use runner::{BenchConfig, DurabilityMode, Instance, Measurement};

@@ -9,6 +9,7 @@ use bitempo_engine::api::{AppSpec, SysSpec, TuningConfig};
 use bitempo_engine::{build_engine, BitemporalEngine, SystemKind};
 use bitempo_histgen::loader::{self, LoadReport};
 use bitempo_histgen::{History, HistoryConfig};
+pub use bitempo_storage::wal::DurabilityMode;
 use bitempo_workloads::QueryParams;
 use std::time::Instant;
 
@@ -41,6 +42,11 @@ pub struct BenchConfig {
     /// and off outside the traced repetitions; disabling it makes
     /// [`measure_traced`] behave exactly like [`measure`].
     pub trace: bool,
+    /// Commit durability for the `durability` experiment: how the
+    /// write-ahead log acknowledges commits (fsync per commit, group
+    /// commit, or buffered). Query experiments ignore it — replayed
+    /// instances are rebuilt from the archive, not from a WAL.
+    pub durability: DurabilityMode,
 }
 
 impl BenchConfig {
@@ -57,6 +63,7 @@ impl BenchConfig {
             workers: bitempo_engine::api::default_workers(),
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
             trace: true,
+            durability: DurabilityMode::Async,
         }
     }
 
@@ -73,6 +80,7 @@ impl BenchConfig {
             workers: bitempo_engine::api::default_workers(),
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
             trace: true,
+            durability: DurabilityMode::Async,
         }
     }
 
@@ -103,6 +111,13 @@ impl BenchConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> BenchConfig {
         self.trace = trace;
+        self
+    }
+
+    /// This configuration with the given commit durability mode.
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityMode) -> BenchConfig {
+        self.durability = durability;
         self
     }
 }
@@ -360,6 +375,7 @@ mod tests {
             workers: 2,
             query_timeout_millis: DEFAULT_QUERY_TIMEOUT_MILLIS,
             trace: true,
+            durability: DurabilityMode::Async,
         }
     }
 

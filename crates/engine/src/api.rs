@@ -188,6 +188,11 @@ pub struct TuningConfig {
     /// containment ([`bitempo_core::Error::WorkerPanicked`]). Never set in
     /// real benchmark configurations.
     pub panic_morsel: Option<u64>,
+    /// When a committed transaction's WAL bytes are forced to stable
+    /// storage (`dur_strict` / `dur_batched_Nms` / `dur_async`). Only takes
+    /// effect where a WAL is attached (the `bitempo-wal` replay driver);
+    /// the engines themselves are durability-agnostic.
+    pub durability: bitempo_storage::DurabilityMode,
 }
 
 impl Default for TuningConfig {
@@ -202,6 +207,7 @@ impl Default for TuningConfig {
             adaptive: false,
             workers: default_workers(),
             panic_morsel: None,
+            durability: bitempo_storage::DurabilityMode::Async,
         }
     }
 }
@@ -266,6 +272,13 @@ impl TuningConfig {
     /// (fault-injection testing only).
     pub fn with_panic_morsel(mut self, morsel: u64) -> TuningConfig {
         self.panic_morsel = Some(morsel);
+        self
+    }
+
+    /// This configuration with the given durability mode.
+    #[must_use]
+    pub fn with_durability(mut self, mode: bitempo_storage::DurabilityMode) -> TuningConfig {
+        self.durability = mode;
         self
     }
 
@@ -519,6 +532,25 @@ pub trait BitemporalEngine: Send {
     /// The benchmark calls this between loading and measuring, like the
     /// paper's warm-up runs.
     fn checkpoint(&mut self) {}
+
+    /// Every logical version of `table` — current and historical — as the
+    /// engine would stamp them, in a deterministic order. This is the
+    /// engine's contribution to a durability checkpoint: callers should
+    /// [`Self::checkpoint`] first so staged state (System B's undo log,
+    /// System C's delta) is folded in before the snapshot is taken.
+    fn snapshot_versions(&self, table: TableId) -> Result<Vec<crate::version::Version>>;
+
+    /// Rebuilds `table` from a [`Self::snapshot_versions`] snapshot taken
+    /// at system time `now`, replacing its current contents. Primary-key
+    /// bookkeeping is rebuilt; tuning-dependent indexes are left empty —
+    /// recovery re-applies the tuning configuration afterwards, exactly as
+    /// the bench runner does after a cold load.
+    fn restore(
+        &mut self,
+        table: TableId,
+        versions: Vec<crate::version::Version>,
+        now: SysTime,
+    ) -> Result<()>;
 }
 
 #[cfg(test)]

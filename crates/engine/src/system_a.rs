@@ -624,6 +624,39 @@ impl BitemporalEngine for SystemA {
                 acc.merged(tix.footprint())
             })
     }
+
+    fn snapshot_versions(&self, table: TableId) -> Result<Vec<Version>> {
+        let t = self.table(table);
+        let mut out: Vec<Version> = t.current.iter().map(|(_, v)| v.clone()).collect();
+        out.extend(t.history.iter().map(|(_, v)| v.clone()));
+        Ok(out)
+    }
+
+    fn restore(&mut self, table: TableId, versions: Vec<Version>, now: SysTime) -> Result<()> {
+        let def = self.catalog.def(table);
+        let pk = (!def.key.is_empty()).then(|| {
+            OrderedIndex::new(IndexDef {
+                name: format!("pk_{}", def.name),
+                cols: def.key.iter().map(|&c| IndexedCol::Value(c)).collect(),
+                kind: IndexKind::BTree,
+            })
+        });
+        *self.table_mut(table) = TableA {
+            pk,
+            ..TableA::default()
+        };
+        for v in versions {
+            if v.sys.is_current() {
+                // Open (and non-temporal) versions go through the normal
+                // insert path so the PK index and key map are rebuilt.
+                self.insert_version(table, v);
+            } else {
+                self.table_mut(table).history.insert(v);
+            }
+        }
+        self.now = now;
+        Ok(())
+    }
 }
 
 /// Builds the tuning index definitions for one table — shared by Systems A

@@ -148,12 +148,18 @@ impl TableB {
         if let Some(tix) = &mut self.tindex {
             tix.prepare();
         }
-        // The background writer maintains the history "in an optimized and
-        // compressed format": merging a drained batch rewrites the whole
-        // compressed archive — an O(H) pass over every stored value plus an
-        // O(H log H) re-sort by closing time, absorbed by whichever
-        // transaction crossed the threshold. This is the mechanism behind
-        // the paper's two-orders-of-magnitude 97th-percentile load spikes.
+        self.rebuild_compressed_layout();
+    }
+
+    /// The background writer maintains the history "in an optimized and
+    /// compressed format": merging a drained batch rewrites the whole
+    /// compressed archive — an O(H) pass over every stored value plus an
+    /// O(H log H) re-sort by closing time, absorbed by whichever
+    /// transaction crossed the threshold. This is the mechanism behind
+    /// the paper's two-orders-of-magnitude 97th-percentile load spikes.
+    /// Checkpoint restore also calls this, because the layout is physical
+    /// state an uncrashed engine would have.
+    fn rebuild_compressed_layout(&mut self) {
         let mut layout: Vec<(u64, u32)> = self
             .history
             .iter()
@@ -637,6 +643,57 @@ impl BitemporalEngine for SystemB {
             .fold(IndexFootprint::default(), |acc, tix| {
                 acc.merged(tix.footprint())
             })
+    }
+
+    fn snapshot_versions(&self, table: TableId) -> Result<Vec<Version>> {
+        let t = self.table(table);
+        let mut out: Vec<Version> = t
+            .reconstruct_current()
+            .0
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        out.extend(t.history.iter().map(|(_, v)| v.clone()));
+        // Staged undo entries are part of logical history even before the
+        // background writer drains them (snapshots taken after checkpoint
+        // find this empty).
+        out.extend(t.undo.iter().map(|(v, _)| v.clone()));
+        Ok(out)
+    }
+
+    fn restore(&mut self, table: TableId, versions: Vec<Version>, now: SysTime) -> Result<()> {
+        let def = self.catalog.def(table);
+        let pk = (!def.key.is_empty()).then(|| {
+            OrderedIndex::new(IndexDef {
+                name: format!("pk_{}", def.name),
+                cols: def.key.iter().map(|&c| IndexedCol::Value(c)).collect(),
+                kind: IndexKind::BTree,
+            })
+        });
+        *self.table_mut(table) = TableB {
+            pk,
+            ..TableB::default()
+        };
+        for v in versions {
+            if v.sys.is_current() {
+                self.insert_version_at(table, v);
+            } else {
+                // Closed versions land directly in the drained history, with
+                // the metadata the undo-log path would have recorded: the
+                // closing commit's transaction id and the supersede op code.
+                let meta = HistoryMeta {
+                    txn: v.sys.end.0,
+                    op: 0,
+                };
+                let t = self.table_mut(table);
+                let slot = t.history.insert(v);
+                debug_assert_eq!(u64::from(slot.0) as usize, t.hist_meta.len());
+                t.hist_meta.push(meta);
+            }
+        }
+        self.table_mut(table).rebuild_compressed_layout();
+        self.now = now;
+        Ok(())
     }
 }
 

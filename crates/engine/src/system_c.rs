@@ -799,6 +799,55 @@ impl BitemporalEngine for SystemC {
                 acc.merged(tix.footprint())
             })
     }
+
+    fn snapshot_versions(&self, table: TableId) -> Result<Vec<Version>> {
+        let t = self.table(table);
+        let mut out = Vec::with_capacity(t.current.len() + t.history.len());
+        for rowid in 0..t.current.len() {
+            if t.dead.contains(&rowid) {
+                continue;
+            }
+            out.push(self.version_from(table, &t.current, rowid));
+        }
+        for rowid in 0..t.history.len() {
+            out.push(self.version_from(table, &t.history, rowid));
+        }
+        Ok(out)
+    }
+
+    fn restore(&mut self, table: TableId, versions: Vec<Version>, now: SysTime) -> Result<()> {
+        let def = self.catalog.def(table).clone();
+        let (phys, _) = physical_schema(&def);
+        {
+            let t = self.table_mut(table);
+            t.current = ColumnTable::new(phys.clone());
+            t.history = ColumnTable::new(phys);
+            t.key_map.clear();
+            t.dead.clear();
+            t.closed_in_current = 0;
+            t.ignored_indexes.clear();
+            t.tindex = None;
+            t.cur_tindex = None;
+        }
+        for v in versions {
+            if v.sys.is_current() {
+                self.insert_version_at(table, v);
+            } else {
+                let phys_row = self.physical_row(table, &v);
+                let t = self.table_mut(table);
+                t.history
+                    .append(&phys_row)
+                    .map_err(|e| Error::Internal(format!("restore history append: {e}")))?;
+            }
+        }
+        // The snapshot was taken from merged fragments; seal the deltas so
+        // the restored physical layout matches the uncrashed engine's.
+        let t = self.table_mut(table);
+        t.current.merge();
+        t.history.merge();
+        self.now = now;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -438,6 +438,29 @@ impl BitemporalEngine for SystemD {
                 acc.merged(tix.footprint())
             })
     }
+
+    fn snapshot_versions(&self, table: TableId) -> Result<Vec<Version>> {
+        // One flat table; removed (never-visible / non-temporal-deleted)
+        // slots are tombstones the iterator already skips.
+        Ok(self
+            .table(table)
+            .all
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect())
+    }
+
+    fn restore(&mut self, table: TableId, versions: Vec<Version>, now: SysTime) -> Result<()> {
+        *self.table_mut(table) = TableD::default();
+        for v in versions {
+            // insert_version handles both open and closed versions: key_map
+            // entries are only added for currently-open ones, and all tuning
+            // indexes are empty until tuning is re-applied.
+            self.insert_version(table, v);
+        }
+        self.now = now;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

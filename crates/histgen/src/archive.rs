@@ -177,6 +177,39 @@ impl Archive {
     }
 }
 
+/// Encodes one transaction as a standalone archive-v2 record body — the
+/// payload format the durability WAL appends per commit, so a WAL tail and
+/// an archive speak the same wire language.
+pub fn encode_txn(txn: &Transaction) -> Result<Vec<u8>> {
+    let mut body = Vec::new();
+    write_txn_body(&mut body, txn)?;
+    if body.len() as u64 > u64::from(MAX_TXN_BYTES) {
+        return Err(Error::Archive(format!(
+            "transaction body too large: {} bytes",
+            body.len()
+        )));
+    }
+    Ok(body)
+}
+
+/// Decodes one standalone transaction body produced by [`encode_txn`],
+/// rejecting trailing bytes. Checksums are the *framing* layer's job (the
+/// archive record or WAL frame around the body).
+pub fn decode_txn(bytes: &[u8]) -> Result<Transaction> {
+    let mut slice = bytes;
+    let mut src = Src {
+        r: &mut slice,
+        remaining: Some(bytes.len() as u64),
+    };
+    let txn = read_txn_body(&mut src)?;
+    if src.remaining != Some(0) {
+        return Err(Error::Archive(
+            "trailing bytes after transaction body".into(),
+        ));
+    }
+    Ok(txn)
+}
+
 /// Encodes one transaction body (shared between v1's inline stream and
 /// v2's checksummed records).
 fn write_txn_body(w: &mut impl Write, txn: &Transaction) -> Result<()> {
@@ -246,6 +279,16 @@ fn read_txns_v2<R: Read>(src: &mut Src<'_, R>, n: u64) -> Result<Vec<Transaction
     let crc = src.read_u32("footer checksum")?;
     if crc != stream.finish() {
         return Err(Error::Archive("stream checksum mismatch in footer".into()));
+    }
+    // A zero-transaction stream passes every check above vacuously (the CRC
+    // of nothing is a constant), so "count 0 + well-formed footer" is
+    // indistinguishable from an archive whose records were all lost before
+    // the header count was overwritten. The generator never emits an empty
+    // history; treat the combination as corruption, not as completeness.
+    if n == 0 {
+        return Err(Error::Archive(
+            "empty transaction stream with a well-formed footer".into(),
+        ));
     }
     Ok(transactions)
 }
@@ -725,6 +768,47 @@ mod tests {
             matches!(err, Error::Archive(ref m) if m.contains("trailing")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn empty_stream_with_valid_footer_is_corrupt() {
+        // Regression: count 0 + a well-formed footer used to read back as a
+        // complete (empty) archive — indistinguishable from a stream whose
+        // records were lost. The v2 reader must reject it...
+        let empty = Archive {
+            dbgen_seed: 1,
+            hist_seed: 2,
+            transactions: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        empty.write_to(&mut buf).unwrap();
+        let err = Archive::read_from_slice(&buf).unwrap_err();
+        assert!(
+            matches!(err, Error::Archive(ref m) if m.contains("empty")),
+            "{err}"
+        );
+        let err = Archive::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, Error::Archive(_)), "{err}");
+        // ...while non-empty archives are unaffected.
+        let a = sample_archive();
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        assert_eq!(Archive::read_from_slice(&buf).unwrap(), a);
+    }
+
+    #[test]
+    fn standalone_txn_codec_round_trips() {
+        let a = sample_archive();
+        for txn in &a.transactions {
+            let body = encode_txn(txn).unwrap();
+            assert_eq!(&decode_txn(&body).unwrap(), txn);
+            // Trailing bytes are rejected, like the archive record reader.
+            let mut padded = body.clone();
+            padded.push(0);
+            assert!(decode_txn(&padded).is_err());
+            // Truncation is rejected.
+            assert!(decode_txn(&body[..body.len() - 1]).is_err());
+        }
     }
 
     #[test]

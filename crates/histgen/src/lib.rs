@@ -26,10 +26,10 @@ pub mod scenario;
 pub mod state;
 pub mod stats;
 
-pub use archive::Archive;
+pub use archive::{decode_txn, encode_txn, Archive};
 pub use loader::{
-    load_archive_with_retry, load_initial, read_archive_with_retry, replay, replay_resilient,
-    LoadReport, ReplayPolicy,
+    apply_op, load_archive_with_retry, load_initial, read_archive_with_retry, replay,
+    replay_resilient, LoadReport, ReplayPolicy, ReplayReport,
 };
 pub use ops::{Op, ScenarioKind, Transaction};
 pub use state::GenDb;

@@ -34,6 +34,24 @@ pub struct LoadReport {
     /// `(batch index, error)` for every batch that failed and was skipped
     /// under a resilient [`ReplayPolicy`]. Empty under strict replay.
     pub failed: Vec<(usize, Error)>,
+    /// Op-level accounting: exactly how many ops were applied, skipped, or
+    /// saved by a retry. Durability recovery asserts `skipped == 0` on this
+    /// — a count the batch-level `failed` list used to swallow.
+    pub ops: ReplayReport,
+}
+
+/// Op-level accounting for one replay. `applied + skipped` always equals
+/// the archive's total op count, so nothing can go missing silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Ops applied successfully (including those that needed a retry).
+    pub applied: u64,
+    /// Ops *not* applied: the failing op of each failed batch plus the
+    /// remainder of that batch, which the batch abort skipped.
+    pub skipped: u64,
+    /// Ops that failed with a retryable error and succeeded on the retry
+    /// (a subset of `applied`).
+    pub retried: u64,
 }
 
 /// How [`replay_resilient`] reacts to op failures mid-replay.
@@ -107,7 +125,10 @@ pub fn load_initial(engine: &mut dyn BitemporalEngine, data: &TpchData) -> Resul
     Ok(ids)
 }
 
-fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> Result<()> {
+/// Applies one archive op to an open engine transaction. Public because
+/// the durability WAL replays through exactly this dispatch — recovery and
+/// the original load must interpret an op identically.
+pub fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> Result<()> {
     match op {
         Op::Insert { table, row, app } => engine.insert(ids[*table as usize], row.clone(), *app),
         Op::Update {
@@ -165,26 +186,47 @@ pub fn replay_resilient(
     let started = Instant::now();
     let mut timings = Vec::with_capacity(archive.transactions.len());
     let mut failed: Vec<(usize, Error)> = Vec::new();
+    let mut ops = ReplayReport::default();
     for (batch_idx, batch) in archive.transactions.chunks(batch_size.max(1)).enumerate() {
         let kind = batch[0]
             .scenarios
             .first()
             .copied()
             .unwrap_or(ScenarioKind::NewOrderExistingCustomer);
+        let batch_ops: u64 = batch.iter().map(|t| t.ops.len() as u64).sum();
         // tblint: allow(TB001) per-batch wall-clock is the measured quantity here
         let t0 = Instant::now();
         let mut batch_err: Option<Error> = None;
+        let mut applied_in_batch = 0u64;
         'ops: for txn in batch {
             for op in &txn.ops {
-                if let Err(e) = apply_op(engine, ids, op) {
-                    batch_err = Some(e);
-                    break 'ops;
+                let outcome = match apply_op(engine, ids, op) {
+                    // One retry for transient failures: an op that succeeds
+                    // on the second attempt was never lost, and the report
+                    // says so instead of folding it into a skipped batch.
+                    Err(e) if e.is_retryable() => {
+                        let second = apply_op(engine, ids, op);
+                        if second.is_ok() {
+                            ops.retried += 1;
+                        }
+                        second
+                    }
+                    other => other,
+                };
+                match outcome {
+                    Ok(()) => applied_in_batch += 1,
+                    Err(e) => {
+                        batch_err = Some(e);
+                        break 'ops;
+                    }
                 }
             }
         }
         engine.commit();
         timings.push((kind, t0.elapsed().as_nanos() as u64));
+        ops.applied += applied_in_batch;
         if let Some(e) = batch_err {
+            ops.skipped += batch_ops - applied_in_batch;
             if failed.len() >= policy.max_failed_batches {
                 return Err(e);
             }
@@ -196,6 +238,7 @@ pub fn replay_resilient(
         total_nanos: started.elapsed().as_nanos() as u64,
         version: engine.now(),
         failed,
+        ops,
     })
 }
 
@@ -380,6 +423,7 @@ mod tests {
             total_nanos: 0,
             version: SysTime(0),
             failed: Vec::new(),
+            ops: ReplayReport::default(),
         };
         assert_eq!(report.median_nanos(None), Some(5_100));
         assert_eq!(report.p97_nanos(None), Some(9_700));
@@ -424,6 +468,17 @@ mod tests {
         assert_eq!(report.failed[0].0, mid);
         assert!(matches!(report.failed[0].1, Error::KeyNotFound(_)));
         assert_eq!(report.timings.len(), archive.transactions.len());
+        // Op-level accounting: nothing goes missing silently. The poisoned
+        // op plus the rest of its batch are the skipped count, and
+        // applied + skipped covers every op in the archive.
+        let total_ops: u64 = archive
+            .transactions
+            .iter()
+            .map(|t| t.ops.len() as u64)
+            .sum();
+        assert!(report.ops.skipped > 0);
+        assert_eq!(report.ops.applied + report.ops.skipped, total_ops);
+        assert_eq!(report.ops.retried, 0, "KeyNotFound is not retryable");
 
         // A zero-budget policy behaves exactly like strict replay.
         let mut engine = build_engine(SystemKind::A);

@@ -1,0 +1,10 @@
+// TB006 firing fixture: WAL construction sites that hide the durability
+// decision — one passes no mode-shaped argument at all, one launders the
+// choice through `DurabilityMode::default()`.
+fn open_log(sink: Box<dyn WalSink>) -> Result<TxnWal> {
+    TxnWal::create(sink)
+}
+
+fn open_defaulted(sink: Box<dyn WalSink>) -> Result<TxnWal> {
+    TxnWal::create(sink, DurabilityMode::default())
+}

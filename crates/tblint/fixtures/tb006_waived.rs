@@ -1,0 +1,6 @@
+// TB006 waived fixture: a justified waiver suppresses the finding; the
+// justification is carried into the diagnostic.
+fn open_scratch(sink: Box<dyn WalSink>) -> Result<TxnWal> {
+    // tblint: allow(TB006) scratch log for sizing only; bytes are discarded
+    TxnWal::create(sink)
+}

@@ -8,6 +8,7 @@
 //! | TB003 | no hash-ordered iteration feeding report/archive/trace output |
 //! | TB004 | no `unwrap`/`expect`/slice-indexing in engine scan hot paths |
 //! | TB005 | engine parity: all four engines define the same method set |
+//! | TB006 | WAL construction sites must declare an explicit durability mode |
 //!
 //! Every rule is waivable with `// tblint: allow(TBnnn) <reason>` (see
 //! [`crate::waiver`]); the tree is kept at **zero unwaived findings**.
@@ -31,6 +32,12 @@ pub const TB004: &str = "TB004";
 /// Engine parity: all four `system_*.rs` implement the same
 /// `BitemporalEngine` method set.
 pub const TB005: &str = "TB005";
+/// Explicit durability: every `TxnWal::create` / `TxnWal::open` call must
+/// pass a visible [`DurabilityMode`] — a mode-typed expression or a binding
+/// named `mode` / `durability` — and never `DurabilityMode::default()`.
+/// Whether a commit survives a crash must be a reviewed decision at the
+/// append site, not an inherited default.
+pub const TB006: &str = "TB006";
 
 /// One rule finding, before waiver resolution.
 #[derive(Debug, Clone)]
@@ -107,6 +114,7 @@ pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
         let stripped = strip_test_modules(toks);
         tb004(&stripped, &mut findings);
     }
+    tb006(toks, &mut findings);
     findings
 }
 
@@ -223,6 +231,73 @@ fn tb004(toks: &[Tok], out: &mut Vec<Finding>) {
                 });
             }
         }
+    }
+}
+
+/// TB006: `TxnWal :: create|open ( … )` whose argument tokens carry no
+/// durability declaration. A declaration is either a `DurabilityMode`
+/// path expression (not `DurabilityMode::default`) or an identifier named
+/// `mode` / `durability` — the conventional names for a mode threaded in
+/// from configuration.
+fn tb006(toks: &[Tok], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        let call = toks[i].kind == TokKind::Ident
+            && toks[i].text == "TxnWal"
+            && toks[i + 1].text == "::"
+            && toks[i + 2].kind == TokKind::Ident
+            && (toks[i + 2].text == "create" || toks[i + 2].text == "open")
+            && toks[i + 3].text == "(";
+        if !call {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Argument span: from after the opening paren to its match.
+        let open = i + 3;
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let args = &toks[open + 1..j.min(toks.len())];
+        let defaulted = args
+            .windows(3)
+            .any(|w| w[0].text == "DurabilityMode" && w[1].text == "::" && w[2].text == "default");
+        let declared = args.iter().any(|t| {
+            t.kind == TokKind::Ident
+                && (t.text == "DurabilityMode" || t.text == "mode" || t.text == "durability")
+        });
+        if defaulted {
+            out.push(Finding {
+                line,
+                code: TB006,
+                message: "`DurabilityMode::default()` at a WAL construction site — \
+                          crash-survival semantics must be an explicit, reviewed choice; \
+                          name the mode (Strict / Batched(ms) / Async)"
+                    .to_string(),
+            });
+        } else if !declared {
+            out.push(Finding {
+                line,
+                code: TB006,
+                message: "WAL construction site does not declare its durability mode — \
+                          pass a `DurabilityMode` expression or a binding named `mode` / \
+                          `durability` so the commit contract is visible at the append site"
+                    .to_string(),
+            });
+        }
+        i = j + 1;
     }
 }
 
@@ -465,6 +540,47 @@ mod tests {
     fn tb004_ignores_test_modules() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
         assert!(codes("crates/engine/src/morsel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tb006_requires_an_explicit_durability_mode() {
+        let path = "crates/wal/src/anywhere.rs";
+        // No mode-shaped argument at all.
+        assert_eq!(
+            codes(path, "let log = TxnWal::create(Box::new(sink))?;"),
+            vec![TB006]
+        );
+        // Defaulting the mode is as bad as omitting it.
+        assert_eq!(
+            codes(
+                path,
+                "let log = TxnWal::create(Box::new(sink), DurabilityMode::default())?;"
+            ),
+            vec![TB006]
+        );
+        // A named mode expression, a `mode` binding, or a config field
+        // named `durability` all declare the choice.
+        assert!(codes(
+            path,
+            "let log = TxnWal::create(Box::new(sink), DurabilityMode::Strict)?;"
+        )
+        .is_empty());
+        assert!(codes(
+            path,
+            "let log = TxnWal::create(Box::new(sink), opts.mode)?;"
+        )
+        .is_empty());
+        assert!(codes(
+            path,
+            "let log = TxnWal::create(Box::new(sink), cfg.durability)?;"
+        )
+        .is_empty());
+        // Nested parentheses inside the arguments stay inside the span.
+        assert!(codes(
+            path,
+            "let log = TxnWal::create(Box::new(FaultyWriter::new(buf, plan)), mode)?;"
+        )
+        .is_empty());
     }
 
     #[test]

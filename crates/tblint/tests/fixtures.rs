@@ -133,6 +133,36 @@ fn tb004_waiver_fixture_suppresses_with_reason() {
 }
 
 #[test]
+fn tb006_fixture_fires_on_undeclared_durability() {
+    let src = fixture("tb006_fires.rs");
+    let diags = check_source("crates/wal/src/log.rs", &src);
+    assert_eq!(
+        codes(&diags),
+        [rules::TB006, rules::TB006],
+        "missing mode, defaulted mode: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.waived.is_none()));
+}
+
+#[test]
+fn tb006_clean_fixture_passes() {
+    let src = fixture("tb006_clean.rs");
+    assert!(check_source("crates/wal/src/recover.rs", &src).is_empty());
+    // The rule is workspace-wide: the same sources stay clean (and would
+    // stay flagged) under any path label.
+    assert!(check_source("crates/bench/src/experiments.rs", &src).is_empty());
+}
+
+#[test]
+fn tb006_waiver_fixture_suppresses_with_reason() {
+    let src = fixture("tb006_waived.rs");
+    let diags = check_source("crates/wal/src/log.rs", &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let reason = diags[0].waived.as_deref().expect("finding is waived");
+    assert!(reason.contains("sizing"), "{reason}");
+}
+
+#[test]
 fn tb005_clean_fixture_pair_has_parity() {
     let files = vec![
         (

@@ -1,0 +1,453 @@
+//! Engine checkpoints: a serialized snapshot of every table's versions.
+//!
+//! A checkpoint bounds recovery work: instead of replaying the whole
+//! history, recovery loads the newest valid checkpoint and replays only
+//! the WAL records after it. The snapshot is *logical* — table definitions
+//! plus every [`Version`] as [`BitemporalEngine::snapshot_versions`]
+//! reports them — so one format serves all four engine architectures, and
+//! [`BitemporalEngine::restore`] rebuilds each engine's physical layout
+//! from it.
+//!
+//! The byte format follows the archive-v2 discipline: magic + version,
+//! a whole-body CRC-32 checked *before* parsing, and a bounded cursor so
+//! a lying length prefix surfaces as [`Error::Archive`], never as an
+//! over-allocation. Corrupt checkpoints are an expected input — recovery
+//! falls back to the next-older one.
+
+use bitempo_core::crc::crc32;
+use bitempo_core::{
+    AppDate, Column, DataType, Error, Period, Result, Row, Schema, SysTime, TableDef, TableId,
+    TemporalClass, Value,
+};
+use bitempo_engine::{BitemporalEngine, Version};
+
+/// Checkpoint blob magic.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"BICK";
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A decoded checkpoint: the engine state as of WAL sequence number `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The WAL sequence number of the last transaction folded into this
+    /// snapshot (0 = the initial load only).
+    pub seq: u64,
+    /// The engine's commit clock at snapshot time.
+    pub now: SysTime,
+    /// Per table, in creation order: definition plus every stored version.
+    pub tables: Vec<(TableDef, Vec<Version>)>,
+}
+
+impl Checkpoint {
+    /// Snapshots `engine` as of WAL sequence `seq`. Forces the engine's
+    /// deferred reorganization first ([`BitemporalEngine::checkpoint`]) so
+    /// staged state — System B's undo log, System C's delta — is folded in.
+    pub fn capture(
+        engine: &mut dyn BitemporalEngine,
+        ids: &[TableId],
+        seq: u64,
+    ) -> Result<Checkpoint> {
+        engine.checkpoint();
+        let mut tables = Vec::with_capacity(ids.len());
+        for &id in ids {
+            tables.push((engine.table_def(id).clone(), engine.snapshot_versions(id)?));
+        }
+        Ok(Checkpoint {
+            seq,
+            now: engine.now(),
+            tables,
+        })
+    }
+
+    /// Serializes the checkpoint: `magic | version | crc32(body) | body`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u64(&mut body, self.seq);
+        put_u64(&mut body, self.now.0);
+        put_u32(&mut body, self.tables.len() as u32);
+        for (def, versions) in &self.tables {
+            put_str(&mut body, &def.name);
+            put_u16(&mut body, def.schema.arity() as u16);
+            for col in def.schema.columns() {
+                put_str(&mut body, &col.name);
+                body.push(dtype_tag(col.dtype));
+            }
+            put_u16(&mut body, def.key.len() as u16);
+            for &k in &def.key {
+                put_u16(&mut body, k as u16);
+            }
+            body.push(match def.temporal {
+                TemporalClass::NonTemporal => 0,
+                TemporalClass::Degenerate => 1,
+                TemporalClass::Bitemporal => 2,
+            });
+            match &def.app_time_name {
+                None => body.push(0),
+                Some(n) => {
+                    body.push(1);
+                    put_str(&mut body, n);
+                }
+            }
+            put_u64(&mut body, versions.len() as u64);
+            for v in versions {
+                put_u16(&mut body, v.row.arity() as u16);
+                for val in v.row.values() {
+                    put_value(&mut body, val);
+                }
+                put_u64(&mut body, v.app.start.0 as u64);
+                put_u64(&mut body, v.app.end.0 as u64);
+                put_u64(&mut body, v.sys.start.0);
+                put_u64(&mut body, v.sys.end.0);
+            }
+        }
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Deserializes and validates a checkpoint blob. Any malformation —
+    /// bad magic, checksum mismatch, lying length, trailing bytes — is
+    /// [`Error::Archive`]; recovery treats that as "try the older one".
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint> {
+        if bytes.len() < 12 {
+            return Err(Error::Archive("checkpoint shorter than its header".into()));
+        }
+        if bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(Error::Archive("bad checkpoint magic".into()));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != CHECKPOINT_VERSION {
+            return Err(Error::Archive(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let expect = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let body = &bytes[12..];
+        if crc32(body) != expect {
+            return Err(Error::Archive("checkpoint checksum mismatch".into()));
+        }
+        let mut cur = Cur { b: body, pos: 0 };
+        let seq = cur.u64("seq")?;
+        let now = SysTime(cur.u64("now")?);
+        let n_tables = cur.u32("table count")?;
+        let mut tables = Vec::with_capacity(n_tables.min(64) as usize);
+        for _ in 0..n_tables {
+            let name = cur.string("table name")?;
+            let n_cols = cur.u16("column count")?;
+            let mut cols = Vec::with_capacity(usize::from(n_cols));
+            for _ in 0..n_cols {
+                let cname = cur.string("column name")?;
+                cols.push(Column::new(cname, dtype_from(cur.u8("column type")?)?));
+            }
+            let n_key = cur.u16("key arity")?;
+            let mut key = Vec::with_capacity(usize::from(n_key));
+            for _ in 0..n_key {
+                key.push(usize::from(cur.u16("key column")?));
+            }
+            let temporal = match cur.u8("temporal class")? {
+                0 => TemporalClass::NonTemporal,
+                1 => TemporalClass::Degenerate,
+                2 => TemporalClass::Bitemporal,
+                t => return Err(Error::Archive(format!("unknown temporal class {t}"))),
+            };
+            let app_time_name = match cur.u8("app-time tag")? {
+                0 => None,
+                1 => Some(cur.string("app-time name")?),
+                t => return Err(Error::Archive(format!("bad option tag {t}"))),
+            };
+            let def = TableDef::new(
+                name,
+                Schema::new(cols),
+                key,
+                temporal,
+                app_time_name.as_deref(),
+            )?;
+            let n_versions = cur.u64("version count")?;
+            // A version occupies at least 18 bytes; pre-check the claim so
+            // a hostile count cannot drive a huge reservation.
+            if n_versions > (cur.remaining() as u64) / 18 {
+                return Err(Error::Archive(format!(
+                    "version count {n_versions} exceeds checkpoint size"
+                )));
+            }
+            let mut versions = Vec::with_capacity(n_versions as usize);
+            for _ in 0..n_versions {
+                let arity = cur.u16("row arity")?;
+                let mut vals = Vec::with_capacity(usize::from(arity));
+                for _ in 0..arity {
+                    vals.push(cur.value()?);
+                }
+                let app = Period {
+                    start: AppDate(cur.u64("app start")? as i64),
+                    end: AppDate(cur.u64("app end")? as i64),
+                };
+                let sys = Period {
+                    start: SysTime(cur.u64("sys start")?),
+                    end: SysTime(cur.u64("sys end")?),
+                };
+                versions.push(Version {
+                    row: Row::new(vals),
+                    app,
+                    sys,
+                });
+            }
+            tables.push((def, versions));
+        }
+        if cur.remaining() != 0 {
+            return Err(Error::Archive(format!(
+                "{} trailing bytes after checkpoint",
+                cur.remaining()
+            )));
+        }
+        Ok(Checkpoint { seq, now, tables })
+    }
+
+    /// Restores `engine` (fresh, no tables) to this checkpoint's state,
+    /// returning the table ids in creation order.
+    pub fn restore_into(&self, engine: &mut dyn BitemporalEngine) -> Result<Vec<TableId>> {
+        let mut ids = Vec::with_capacity(self.tables.len());
+        for (def, _) in &self.tables {
+            ids.push(engine.create_table(def.clone())?);
+        }
+        for (&id, (_, versions)) in ids.iter().zip(&self.tables) {
+            engine.restore(id, versions.clone(), self.now)?;
+        }
+        Ok(ids)
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Double => 1,
+        DataType::Str => 2,
+        DataType::Date => 3,
+        DataType::SysTime => 4,
+    }
+}
+
+fn dtype_from(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Double,
+        2 => DataType::Str,
+        3 => DataType::Date,
+        4 => DataType::SysTime,
+        t => return Err(Error::Archive(format!("unknown data type tag {t}"))),
+    })
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Double(d) => {
+            out.push(2);
+            put_u64(out, d.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            out.push(4);
+            put_u64(out, d.0 as u64);
+        }
+        Value::SysTime(t) => {
+            out.push(5);
+            put_u64(out, t.0);
+        }
+    }
+}
+
+/// A bounded cursor over the checkpoint body: every read names what it is
+/// reading, and a read past the end is an [`Error::Archive`], never a
+/// panic or an allocation.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| Error::Archive(format!("checkpoint truncated reading {what}")))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        let s = self.take(len, what)?;
+        String::from_utf8(s.to_vec())
+            .map_err(|_| Error::Archive(format!("invalid utf-8 in {what}")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8("value tag")? {
+            0 => Value::Null,
+            1 => Value::Int(self.u64("int value")? as i64),
+            2 => Value::Double(f64::from_bits(self.u64("double value")?)),
+            3 => Value::str(self.string("string value")?),
+            4 => Value::Date(AppDate(self.u64("date value")? as i64)),
+            5 => Value::SysTime(SysTime(self.u64("systime value")?)),
+            t => return Err(Error::Archive(format!("unknown value tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::{AppPeriod, Key, SysPeriod};
+    use bitempo_engine::{build_engine, SystemKind};
+
+    fn sample() -> Checkpoint {
+        let def = TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Str),
+                Column::new("price", DataType::Double),
+            ]),
+            vec![0],
+            TemporalClass::Bitemporal,
+            Some("vt"),
+        )
+        .unwrap();
+        let v1 = Version {
+            row: Row::new(vec![
+                Value::Int(1),
+                Value::str("widget"),
+                Value::Double(9.5),
+            ]),
+            app: Period::new(AppDate(10), AppDate::MAX),
+            sys: SysPeriod::since(SysTime(1)),
+        };
+        let v2 = Version {
+            row: Row::new(vec![Value::Int(2), Value::Null, Value::Double(-0.0)]),
+            app: AppPeriod::ALL,
+            sys: SysPeriod::new(SysTime(1), SysTime(3)),
+        };
+        Checkpoint {
+            seq: 7,
+            now: SysTime(9),
+            tables: vec![(def, vec![v1, v2])],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let bytes = c.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let bytes = sample().encode();
+        // Any single bit flip anywhere must be rejected (magic, version,
+        // CRC, or body — the CRC covers the body, the header is validated).
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                Checkpoint::decode(&bad).is_err(),
+                "flip at byte {pos} was accepted"
+            );
+        }
+        // Truncation at every length is rejected, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Checkpoint::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn capture_and_restore_round_trip_through_an_engine() {
+        let mut eng = build_engine(SystemKind::A);
+        let def = sample().tables[0].0.clone();
+        let id = eng.create_table(def).unwrap();
+        eng.insert(
+            id,
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Double(1.0)]),
+            None,
+        )
+        .unwrap();
+        eng.commit();
+        eng.update(id, &Key::int(1), &[(2, Value::Double(2.0))], None)
+            .unwrap();
+        eng.commit();
+        let ids = vec![id];
+        let ck = Checkpoint::capture(eng.as_mut(), &ids, 2).unwrap();
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+
+        let mut fresh = build_engine(SystemKind::A);
+        let new_ids = back.restore_into(fresh.as_mut()).unwrap();
+        assert_eq!(new_ids.len(), 1);
+        assert_eq!(fresh.now(), eng.now());
+        let mut a = eng.snapshot_versions(id).unwrap();
+        let mut b = fresh.snapshot_versions(new_ids[0]).unwrap();
+        let key = |v: &Version| format!("{v:?}");
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+}

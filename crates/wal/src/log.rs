@@ -1,0 +1,420 @@
+//! The transaction log writer: when appended bytes become durable.
+//!
+//! [`TxnWal`] frames payloads with `bitempo_storage::wal` and pushes them
+//! into a [`WalSink`] under one of the three durability modes:
+//!
+//! * [`DurabilityMode::Strict`] — every append writes *and syncs* before
+//!   returning; an acknowledged commit is durable.
+//! * [`DurabilityMode::Batched`]`(N)` — appends enqueue without blocking; a
+//!   flusher thread wakes roughly every `N` milliseconds, writes the
+//!   accumulated batch and syncs it once — the classic group commit.
+//!   [`TxnWal::sync`] is the barrier that waits for the flusher's
+//!   acknowledgement.
+//! * [`DurabilityMode::Async`] — appends only write; nothing is synced
+//!   until an explicit [`TxnWal::sync`] or [`TxnWal::close`]. A crash may
+//!   lose any suffix of acknowledged commits.
+//!
+//! The flusher paces itself with `Condvar::wait_timeout`, not wall-clock
+//! reads — benchmark timing stays confined to the bench crate (TB001).
+
+use crate::sink::WalSink;
+use bitempo_core::{Error, Result};
+use bitempo_storage::wal::{header_bytes, DurabilityMode, WalAppender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A write-ahead log of framed payloads under a durability mode.
+///
+/// One `TxnWal` per log stream, for its lifetime. Sequence numbers are the
+/// dense 1-based record numbers assigned by the framing layer; the driver
+/// appends exactly one record per committed transaction, so record `seq`
+/// *is* the commit number.
+pub struct TxnWal {
+    mode: DurabilityMode,
+    backend: Backend,
+}
+
+enum Backend {
+    /// Strict and async modes: the caller's thread owns the sink.
+    Direct {
+        sink: Box<dyn WalSink>,
+        appender: WalAppender,
+        /// Highest sequence number written to the sink.
+        written: u64,
+        /// Highest sequence number synced to stable storage.
+        durable: u64,
+    },
+    /// Batched mode: a flusher thread owns the sink.
+    Batched(Batched),
+}
+
+impl TxnWal {
+    /// Creates a log on `sink`, writing the stream header immediately.
+    pub fn create(mut sink: Box<dyn WalSink>, mode: DurabilityMode) -> Result<TxnWal> {
+        sink.write_all(&header_bytes())?;
+        let backend = match mode {
+            DurabilityMode::Strict | DurabilityMode::Async => Backend::Direct {
+                sink,
+                appender: WalAppender::new(),
+                written: 0,
+                durable: 0,
+            },
+            DurabilityMode::Batched(ms) => Backend::Batched(Batched::spawn(sink, ms)),
+        };
+        Ok(TxnWal { mode, backend })
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Appends one payload as the next record, returning its sequence
+    /// number. Under `Strict` the record is durable on return; under
+    /// `Batched` it is merely *submitted* (watch [`TxnWal::durable_seq`]
+    /// or call [`TxnWal::sync`]); under `Async` it is written, unsynced.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Direct {
+                sink,
+                appender,
+                written,
+                durable,
+            } => {
+                let (seq, frame) = appender.encode(payload);
+                sink.write_all(&frame)?;
+                *written = seq;
+                if self.mode == DurabilityMode::Strict {
+                    sink.sync()?;
+                    *durable = seq;
+                }
+                Ok(seq)
+            }
+            Backend::Batched(b) => b.submit(payload),
+        }
+    }
+
+    /// Highest sequence number known durable (synced to stable storage).
+    pub fn durable_seq(&self) -> u64 {
+        match &self.backend {
+            Backend::Direct { durable, .. } => *durable,
+            Backend::Batched(b) => b.durable_seq(),
+        }
+    }
+
+    /// Highest sequence number submitted so far.
+    pub fn submitted_seq(&self) -> u64 {
+        match &self.backend {
+            Backend::Direct { written, .. } => *written,
+            Backend::Batched(b) => b.submitted_seq(),
+        }
+    }
+
+    /// Durability barrier: blocks until every submitted record is durable
+    /// (or the sink has failed).
+    pub fn sync(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::Direct {
+                sink,
+                written,
+                durable,
+                ..
+            } => {
+                sink.sync()?;
+                *durable = *written;
+                Ok(())
+            }
+            Backend::Batched(b) => b.barrier(),
+        }
+    }
+
+    /// Drains and closes the log, returning the highest durable sequence
+    /// number. A sink failure anywhere before or during the drain surfaces
+    /// here, with the watermark of what *did* survive available via the
+    /// error-path test hooks (recovery scans the bytes, not the return).
+    pub fn close(mut self) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Direct {
+                sink,
+                written,
+                durable,
+                ..
+            } => {
+                sink.sync()?;
+                *durable = *written;
+                Ok(*durable)
+            }
+            Backend::Batched(b) => b.shutdown(),
+        }
+    }
+}
+
+/// Shared state between the submitting thread and the flusher.
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled to wake the flusher early (barrier, shutdown).
+    work: Condvar,
+    /// Signaled by the flusher after each batch (durable watermark moved).
+    ack: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Encoded frames awaiting the next flush.
+    buf: Vec<u8>,
+    /// Highest sequence number enqueued.
+    submitted: u64,
+    /// Highest sequence number written + synced.
+    durable: u64,
+    /// First sink failure; the flusher stops consuming after it.
+    error: Option<String>,
+    shutdown: bool,
+}
+
+/// The group-commit backend: a flusher thread that coalesces submitted
+/// frames and syncs them in batches.
+struct Batched {
+    shared: Arc<Shared>,
+    appender: WalAppender,
+    interval: Duration,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Batched {
+    fn spawn(mut sink: Box<dyn WalSink>, interval_ms: u32) -> Batched {
+        let interval = Duration::from_millis(u64::from(interval_ms.max(1)));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            ack: Condvar::new(),
+        });
+        let flusher_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("wal-flusher".into())
+            .spawn(move || {
+                loop {
+                    // Sleep one group-commit interval (or until a barrier /
+                    // shutdown pokes us), then flush whatever accumulated.
+                    // Ordinary appends do NOT signal `work` — that is what
+                    // makes commits coalesce instead of syncing one by one.
+                    let (batch, target, stop) = {
+                        let mut st = flusher_shared
+                            .state
+                            .lock()
+                            .expect("wal flusher state poisoned");
+                        if st.buf.is_empty() && !st.shutdown {
+                            st = flusher_shared
+                                .work
+                                .wait_timeout(st, interval)
+                                .expect("wal flusher state poisoned")
+                                .0;
+                        }
+                        (std::mem::take(&mut st.buf), st.submitted, st.shutdown)
+                    };
+                    if !batch.is_empty() {
+                        let res = sink.write_all(&batch).and_then(|()| sink.sync());
+                        let mut st = flusher_shared
+                            .state
+                            .lock()
+                            .expect("wal flusher state poisoned");
+                        match res {
+                            Ok(()) => st.durable = st.durable.max(target),
+                            Err(e) => {
+                                st.error.get_or_insert(e.to_string());
+                                st.shutdown = true;
+                            }
+                        }
+                        let failed = st.error.is_some();
+                        drop(st);
+                        flusher_shared.ack.notify_all();
+                        if failed {
+                            return;
+                        }
+                    } else if stop {
+                        flusher_shared.ack.notify_all();
+                        return;
+                    }
+                }
+            })
+            .expect("spawn wal flusher");
+        Batched {
+            shared,
+            appender: WalAppender::new(),
+            interval,
+            handle: Some(handle),
+        }
+    }
+
+    /// Non-blocking append: encodes the frame into the pending batch.
+    fn submit(&mut self, payload: &[u8]) -> Result<u64> {
+        let (seq, frame) = self.appender.encode(payload);
+        let mut st = self.shared.state.lock().expect("wal state poisoned");
+        if let Some(e) = &st.error {
+            return Err(Error::Archive(format!("wal flusher failed: {e}")));
+        }
+        st.buf.extend_from_slice(&frame);
+        st.submitted = seq;
+        Ok(seq)
+    }
+
+    fn durable_seq(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("wal state poisoned")
+            .durable
+    }
+
+    fn submitted_seq(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("wal state poisoned")
+            .submitted
+    }
+
+    /// Blocks until everything submitted is durable, or the flusher died.
+    fn barrier(&mut self) -> Result<()> {
+        let mut st = self.shared.state.lock().expect("wal state poisoned");
+        let target = st.submitted;
+        while st.durable < target {
+            if let Some(e) = &st.error {
+                return Err(Error::Archive(format!("wal flusher failed: {e}")));
+            }
+            let flusher_dead = self.handle.as_ref().is_none_or(JoinHandle::is_finished);
+            if flusher_dead {
+                return Err(Error::Archive(
+                    "wal flusher exited before the barrier".into(),
+                ));
+            }
+            self.shared.work.notify_one();
+            st = self
+                .shared
+                .ack
+                .wait_timeout(st, self.interval)
+                .expect("wal state poisoned")
+                .0;
+        }
+        Ok(())
+    }
+
+    /// Asks the flusher to drain and exit, then joins it.
+    fn shutdown(&mut self) -> Result<u64> {
+        {
+            let mut st = self.shared.state.lock().expect("wal state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_one();
+        if let Some(handle) = self.handle.take() {
+            // Keep poking until it exits: the flusher may be mid-sleep.
+            while !handle.is_finished() {
+                self.shared.work.notify_one();
+                std::thread::yield_now();
+            }
+            handle
+                .join()
+                .map_err(|_| Error::Internal("wal flusher panicked".into()))?;
+        }
+        let st = self.shared.state.lock().expect("wal state poisoned");
+        match &st.error {
+            Some(e) => Err(Error::Archive(format!("wal flusher failed: {e}"))),
+            None => Ok(st.durable),
+        }
+    }
+}
+
+impl Drop for Batched {
+    fn drop(&mut self) {
+        // Best-effort drain on drop; `close()` is the checked path.
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::SharedBuf;
+    use bitempo_core::fault::{FaultKind, FaultPlan, FaultyWriter};
+    use bitempo_storage::wal;
+
+    #[test]
+    fn strict_mode_is_durable_per_append() {
+        let buf = SharedBuf::new();
+        let mut w = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).unwrap();
+        assert_eq!(w.append(b"t1").unwrap(), 1);
+        assert_eq!(w.durable_seq(), 1);
+        assert_eq!(w.append(b"t2").unwrap(), 2);
+        assert_eq!(w.durable_seq(), 2);
+        assert_eq!(w.close().unwrap(), 2);
+        let s = wal::scan(&buf.snapshot());
+        assert!(s.is_clean());
+        assert_eq!(s.last_seq(), 2);
+    }
+
+    #[test]
+    fn async_mode_syncs_only_on_demand() {
+        let buf = SharedBuf::new();
+        let mut w = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Async).unwrap();
+        w.append(b"t1").unwrap();
+        w.append(b"t2").unwrap();
+        assert_eq!(w.durable_seq(), 0, "nothing promised yet");
+        assert_eq!(w.submitted_seq(), 2);
+        w.sync().unwrap();
+        assert_eq!(w.durable_seq(), 2);
+        w.append(b"t3").unwrap();
+        assert_eq!(w.close().unwrap(), 3);
+    }
+
+    #[test]
+    fn batched_mode_coalesces_and_acknowledges() {
+        let buf = SharedBuf::new();
+        let mut w = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Batched(1)).unwrap();
+        for i in 0..20u8 {
+            w.append(&[i]).unwrap();
+        }
+        assert_eq!(w.submitted_seq(), 20);
+        w.sync().unwrap();
+        assert!(w.durable_seq() >= 20);
+        assert_eq!(w.close().unwrap(), 20);
+        let s = wal::scan(&buf.snapshot());
+        assert!(s.is_clean(), "{:?}", s.torn);
+        assert_eq!(s.records.len(), 20);
+    }
+
+    #[test]
+    fn strict_append_surfaces_the_crash() {
+        let buf = SharedBuf::new();
+        let plan = FaultPlan::none().with(FaultKind::TruncateAt(40));
+        let sink = FaultyWriter::new(buf.clone(), plan);
+        let mut w = TxnWal::create(Box::new(sink), DurabilityMode::Strict).unwrap();
+        let mut crashed_at = None;
+        for i in 0..10u64 {
+            if w.append(format!("txn-{i}").as_bytes()).is_err() {
+                crashed_at = Some(i);
+                break;
+            }
+        }
+        let crashed_at = crashed_at.expect("the 40-byte cut must fire");
+        // Everything acknowledged before the crash is recoverable.
+        let s = wal::scan(&buf.snapshot());
+        assert_eq!(s.last_seq(), crashed_at, "acknowledged appends survive");
+        assert!(!s.is_clean(), "the torn tail is detected");
+    }
+
+    #[test]
+    fn batched_mode_reports_the_failure_at_the_barrier() {
+        let buf = SharedBuf::new();
+        let plan = FaultPlan::none().with(FaultKind::TruncateAt(64));
+        let sink = FaultyWriter::new(buf.clone(), plan);
+        let mut w = TxnWal::create(Box::new(sink), DurabilityMode::Batched(1)).unwrap();
+        for i in 0..50u64 {
+            // Submission may start failing once the flusher has died.
+            let _ = w.append(format!("txn-{i}").as_bytes());
+        }
+        assert!(w.close().is_err(), "the sink failure surfaces on close");
+        let s = wal::scan(&buf.snapshot());
+        assert!(s.last_seq() < 50, "the cut lost a suffix");
+    }
+}

@@ -1,0 +1,404 @@
+//! Crash recovery: checkpoint + WAL tail = the uncrashed engine.
+//!
+//! [`durable_replay`] is the logging twin of the histgen loader: it replays
+//! the generator archive one transaction per commit, appending each
+//! transaction's archive-v2 body to a [`TxnWal`] *before* applying it, and
+//! snapshots a [`Checkpoint`] every `checkpoint_every` commits. A sink
+//! failure mid-run is a simulated crash: the driver stops and reports it,
+//! leaving the torn log bytes as the only survivor.
+//!
+//! [`recover`] rebuilds from those survivors: it scans the WAL (keeping the
+//! longest valid prefix, truncating at the first torn or corrupt record),
+//! picks the newest checkpoint that still decodes (falling back past
+//! corrupt ones), restores the engine from it, and replays the WAL records
+//! after the checkpoint through [`bitempo_histgen::apply_op`] — the exact
+//! dispatch of the original load. Tuning is re-applied afterwards, like a
+//! cold load. The crash tests assert the result is query-equivalent to
+//! [`oracle_replay`] of the same prefix on all five query classes.
+
+use crate::checkpoint::Checkpoint;
+use crate::log::TxnWal;
+use bitempo_core::{Error, Result, TableId};
+use bitempo_dbgen::TpchData;
+use bitempo_engine::{build_engine, BitemporalEngine, SystemKind, TuningConfig};
+use bitempo_histgen::{apply_op, decode_txn, encode_txn, load_initial, Archive};
+use bitempo_storage::wal;
+use bitempo_storage::DurabilityMode;
+
+/// Replay-with-logging options.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// When appended commit records become durable.
+    pub mode: DurabilityMode,
+    /// Snapshot a checkpoint every this many commits (0 = only the
+    /// checkpoint of the initial load). Recovery replays at most this many
+    /// WAL records, so it bounds recovery time.
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    /// Async logging, checkpoint every 64 commits.
+    fn default() -> DurableOptions {
+        DurableOptions {
+            mode: DurabilityMode::Async,
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// What a [`durable_replay`] run produced.
+#[derive(Debug)]
+pub struct DurableRun {
+    /// Table ids in creation order.
+    pub ids: Vec<TableId>,
+    /// Transactions applied and committed (each one appended to the WAL
+    /// before it was applied).
+    pub commits: u64,
+    /// Encoded checkpoints, oldest first. Index 0 is always the snapshot
+    /// of the initial load (`seq` 0).
+    pub checkpoints: Vec<Vec<u8>>,
+    /// Highest WAL sequence number acknowledged durable at close.
+    pub durable_seq: u64,
+    /// `Some(reason)` if the WAL sink failed mid-run — the simulated
+    /// crash. Commits stop at the failure; the engine state past the log
+    /// is considered lost.
+    pub crashed: Option<String>,
+}
+
+/// Replays `archive` against `engine` with write-ahead logging: for each
+/// transaction, append its encoded body to `log`, apply its operations,
+/// commit, and checkpoint on the configured cadence.
+///
+/// A WAL append failure stops the run (see [`DurableRun::crashed`]); any
+/// other operation failure is a hard error — the archive is trusted input
+/// here, and recovery must be able to assume zero skipped ops.
+pub fn durable_replay(
+    engine: &mut dyn BitemporalEngine,
+    data: &TpchData,
+    archive: &Archive,
+    log: TxnWal,
+    opts: &DurableOptions,
+) -> Result<DurableRun> {
+    let mut log = log;
+    let ids = load_initial(engine, data)?;
+    let mut checkpoints = vec![Checkpoint::capture(engine, &ids, 0)?.encode()];
+    let mut commits = 0u64;
+    let mut crashed = None;
+    for txn in &archive.transactions {
+        let payload = encode_txn(txn)?;
+        if let Err(e) = log.append(&payload) {
+            crashed = Some(e.to_string());
+            break;
+        }
+        for op in &txn.ops {
+            apply_op(engine, &ids, op)?;
+        }
+        engine.commit();
+        commits += 1;
+        if opts.checkpoint_every > 0 && commits.is_multiple_of(opts.checkpoint_every) {
+            checkpoints.push(Checkpoint::capture(engine, &ids, commits)?.encode());
+        }
+    }
+    let durable_seq = match log.close() {
+        Ok(d) => d,
+        Err(e) => {
+            // A failure surfacing at close (group commit) is the same
+            // crash, detected later; keep the first reason we saw.
+            crashed.get_or_insert(e.to_string());
+            0
+        }
+    };
+    Ok(DurableRun {
+        ids,
+        commits,
+        checkpoints,
+        durable_seq,
+        crashed,
+    })
+}
+
+/// How a recovery went: what was salvaged, from where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+    /// Checkpoints that failed to decode and were skipped (newest first
+    /// is tried first, so these were all newer than the one used).
+    pub checkpoints_rejected: usize,
+    /// Valid records found in the WAL prefix.
+    pub wal_records: u64,
+    /// Records actually replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Why the WAL tail was truncated, if it was ([`wal::WalScan::torn`]).
+    pub torn: Option<String>,
+    /// Byte length of the valid WAL prefix — the clean truncation point.
+    pub wal_valid_len: u64,
+    /// Committed transactions represented in the recovered state.
+    pub commits: u64,
+}
+
+/// A recovered engine with its table ids and the recovery accounting.
+pub struct Recovered {
+    /// The rebuilt engine, tuned and checkpointed.
+    pub engine: Box<dyn BitemporalEngine>,
+    /// Table ids in creation order (same order as the original run).
+    pub ids: Vec<TableId>,
+    /// What was salvaged.
+    pub report: RecoveryReport,
+}
+
+/// Rebuilds an engine of `kind` from the newest valid checkpoint in
+/// `checkpoints` plus the valid prefix of `wal_bytes`, then re-applies
+/// `tuning` exactly as the bench runner does after a cold load.
+///
+/// Corruption is handled, not propagated: a torn WAL tail is truncated at
+/// the last clean record boundary, and a corrupt checkpoint falls back to
+/// the next older one. Only a *total* loss — no decodable checkpoint at
+/// all — is an error.
+pub fn recover(
+    kind: SystemKind,
+    wal_bytes: &[u8],
+    checkpoints: &[Vec<u8>],
+    tuning: &TuningConfig,
+) -> Result<Recovered> {
+    let scan = wal::scan(wal_bytes);
+    let mut rejected = 0;
+    let mut chosen = None;
+    for encoded in checkpoints.iter().rev() {
+        match Checkpoint::decode(encoded) {
+            Ok(c) => {
+                chosen = Some(c);
+                break;
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    let ckpt = chosen.ok_or_else(|| {
+        Error::Archive(format!(
+            "recovery found no valid checkpoint among {}",
+            checkpoints.len()
+        ))
+    })?;
+    let mut engine = build_engine(kind);
+    let ids = ckpt.restore_into(engine.as_mut())?;
+    let mut replayed = 0u64;
+    for rec in &scan.records {
+        if rec.seq <= ckpt.seq {
+            continue;
+        }
+        let txn = decode_txn(&rec.payload)?;
+        for op in &txn.ops {
+            apply_op(engine.as_mut(), &ids, op)?;
+        }
+        engine.commit();
+        replayed += 1;
+    }
+    engine.apply_tuning(tuning)?;
+    engine.checkpoint();
+    let commits = ckpt.seq.max(scan.last_seq());
+    Ok(Recovered {
+        engine,
+        ids,
+        report: RecoveryReport {
+            checkpoint_seq: ckpt.seq,
+            checkpoints_rejected: rejected,
+            wal_records: scan.records.len() as u64,
+            replayed,
+            torn: scan.torn,
+            wal_valid_len: scan.valid_len,
+            commits,
+        },
+    })
+}
+
+/// The uncrashed oracle: replays the first `commits` transactions of
+/// `archive` with the same commit cadence as [`durable_replay`] (including
+/// the physical-checkpoint calls on the same boundaries), then applies
+/// `tuning`. Recovery must be equivalent to this.
+pub fn oracle_replay(
+    kind: SystemKind,
+    data: &TpchData,
+    archive: &Archive,
+    commits: u64,
+    opts: &DurableOptions,
+    tuning: &TuningConfig,
+) -> Result<(Box<dyn BitemporalEngine>, Vec<TableId>)> {
+    let mut engine = build_engine(kind);
+    let ids = load_initial(engine.as_mut(), data)?;
+    engine.checkpoint();
+    for (i, txn) in archive.transactions.iter().enumerate() {
+        if i as u64 >= commits {
+            break;
+        }
+        for op in &txn.ops {
+            apply_op(engine.as_mut(), &ids, op)?;
+        }
+        engine.commit();
+        let done = i as u64 + 1;
+        if opts.checkpoint_every > 0 && done.is_multiple_of(opts.checkpoint_every) {
+            engine.checkpoint();
+        }
+    }
+    engine.apply_tuning(tuning)?;
+    engine.checkpoint();
+    Ok((engine, ids))
+}
+
+/// A canonical, order-independent rendering of an engine's entire logical
+/// state: every table's versions, sorted. Two engines of the same kind
+/// are state-equivalent iff these match — the strongest equivalence the
+/// crash tests assert, on top of the per-query-class checks.
+pub fn canonical_state(engine: &dyn BitemporalEngine, ids: &[TableId]) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for &id in ids {
+        let name = engine.table_def(id).name.clone();
+        let mut lines: Vec<String> = engine
+            .snapshot_versions(id)?
+            .iter()
+            .map(|v| format!("{name}|{v:?}"))
+            .collect();
+        lines.sort();
+        out.extend(lines);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::SharedBuf;
+    use bitempo_core::fault::{FaultKind, FaultPlan, FaultyWriter};
+    use bitempo_dbgen::ScaleConfig;
+    use bitempo_histgen::{generate_history, HistoryConfig};
+
+    fn tiny_world() -> (TpchData, Archive) {
+        let data = bitempo_dbgen::generate(&ScaleConfig {
+            h: 0.0004,
+            seed: 0xD00D,
+        });
+        let hist = generate_history(
+            &data,
+            &HistoryConfig {
+                m: 0.00012, // 120 scenario transactions
+                seed: 0xFACE,
+                scenarios_per_day: 4,
+            },
+        );
+        (data, hist.archive)
+    }
+
+    #[test]
+    fn clean_run_recovers_identically() {
+        let (data, archive) = tiny_world();
+        let opts = DurableOptions {
+            mode: DurabilityMode::Strict,
+            checkpoint_every: 50,
+        };
+        let tuning = TuningConfig::none().with_workers(1);
+        let buf = SharedBuf::new();
+        let mut engine = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(buf.clone()), opts.mode).unwrap();
+        let run = durable_replay(engine.as_mut(), &data, &archive, log, &opts).unwrap();
+        assert!(run.crashed.is_none());
+        assert_eq!(run.commits, archive.transactions.len() as u64);
+        assert_eq!(run.durable_seq, run.commits);
+        assert_eq!(run.checkpoints.len(), 1 + (run.commits / 50) as usize);
+
+        let rec = recover(SystemKind::A, &buf.snapshot(), &run.checkpoints, &tuning).unwrap();
+        assert!(rec.report.torn.is_none());
+        assert_eq!(rec.report.commits, run.commits);
+        assert!(rec.report.checkpoint_seq >= 50, "used a late checkpoint");
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(engine.as_ref(), &run.ids).unwrap()
+        );
+    }
+
+    #[test]
+    fn crash_mid_stream_recovers_the_prefix() {
+        let (data, archive) = tiny_world();
+        let opts = DurableOptions {
+            mode: DurabilityMode::Strict,
+            checkpoint_every: 32,
+        };
+        let tuning = TuningConfig::none().with_workers(1);
+
+        // Dry run to size the log, then cut it at two thirds.
+        let dry = SharedBuf::new();
+        let mut scratch = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(dry.clone()), opts.mode).unwrap();
+        durable_replay(scratch.as_mut(), &data, &archive, log, &opts).unwrap();
+        let cut = (dry.len() as u64) * 2 / 3;
+
+        let buf = SharedBuf::new();
+        let sink = FaultyWriter::new(
+            buf.clone(),
+            FaultPlan::none().with(FaultKind::TruncateAt(cut)),
+        );
+        let mut engine = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(sink), opts.mode).unwrap();
+        let run = durable_replay(engine.as_mut(), &data, &archive, log, &opts).unwrap();
+        assert!(run.crashed.is_some(), "the cut must fire");
+        assert!(run.commits < archive.transactions.len() as u64);
+
+        let rec = recover(SystemKind::A, &buf.snapshot(), &run.checkpoints, &tuning).unwrap();
+        // Strict mode: every acknowledged commit must be recovered.
+        assert_eq!(rec.report.commits, run.commits);
+        let (oracle, oracle_ids) = oracle_replay(
+            SystemKind::A,
+            &data,
+            &archive,
+            rec.report.commits,
+            &opts,
+            &tuning,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(oracle.as_ref(), &oracle_ids).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_an_older_one() {
+        let (data, archive) = tiny_world();
+        let opts = DurableOptions {
+            mode: DurabilityMode::Async,
+            checkpoint_every: 40,
+        };
+        let tuning = TuningConfig::none().with_workers(1);
+        let buf = SharedBuf::new();
+        let mut engine = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(buf.clone()), opts.mode).unwrap();
+        let run = durable_replay(engine.as_mut(), &data, &archive, log, &opts).unwrap();
+        assert!(run.checkpoints.len() >= 3, "need checkpoints to corrupt");
+
+        let mut checkpoints = run.checkpoints.clone();
+        let last = checkpoints.len() - 1;
+        let mid = checkpoints[last].len() / 2;
+        checkpoints[last][mid] ^= 0xFF;
+
+        let rec = recover(SystemKind::A, &buf.snapshot(), &checkpoints, &tuning).unwrap();
+        assert_eq!(rec.report.checkpoints_rejected, 1);
+        assert_eq!(rec.report.commits, run.commits, "the WAL covers the gap");
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(engine.as_ref(), &run.ids).unwrap()
+        );
+    }
+
+    #[test]
+    fn no_valid_checkpoint_is_a_hard_error() {
+        let res = recover(
+            SystemKind::A,
+            &wal::header_bytes(),
+            &[vec![1, 2, 3]],
+            &TuningConfig::none(),
+        );
+        match res {
+            Err(Error::Archive(_)) => {}
+            Err(other) => panic!("wrong error kind: {other}"),
+            Ok(_) => panic!("recovery without a checkpoint must fail"),
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`bitemporal`] — the B3.1–B3.11 bitemporal-dimension matrix (Table 3);
 //! * [`params`] — benchmark parameter selection (time points, hot keys);
 //! * [`plans`] — one statically-validated representative plan per workload
-//!   class, feeding the `lint-plans` experiment.
+//!   class, feeding the `lint-plans` experiment;
+//! * [`suite`] — one representative query per class, bundled as the
+//!   five-class equivalence probe the crash-recovery tests compare on.
 //!
 //! Every query function takes a [`Ctx`] plus explicit temporal parameters
 //! and returns materialized rows, so the same plan text runs against any
@@ -25,10 +27,12 @@ pub mod key;
 pub mod params;
 pub mod plans;
 pub mod range;
+pub mod suite;
 pub mod tpch;
 pub mod tt;
 
 pub use params::QueryParams;
+pub use suite::{five_class_answers, five_class_diff, FIVE_CLASSES};
 
 use bitempo_core::{Result, Row, TableId};
 use bitempo_engine::api::{AppSpec, ColRange, ScanOutput, SysSpec};

@@ -1,0 +1,106 @@
+//! One representative query per workload class, bundled for equivalence
+//! checks.
+//!
+//! Crash recovery (and any other "same state?" question) needs a quick,
+//! broad probe of an engine's logical state. Running the full workload is
+//! overkill; scanning raw versions misses the query layer. This module
+//! picks one query from each of the five classes of §3.3 — time travel,
+//! TPC-H under time travel, pure-key audit, range-timeslice, and the
+//! bitemporal-dimension matrix — and returns their canonically-sorted
+//! answers, so two engines can be compared class by class with one call.
+
+use crate::{bitemporal, key, range, sort_canonical, tpch, tt, Ctx, QueryParams};
+use bitempo_core::{Result, Row};
+use bitempo_engine::api::{AppSpec, SysSpec};
+
+/// The class labels, in the order [`five_class_answers`] reports them.
+pub const FIVE_CLASSES: [&str; 5] = ["tt/T1", "tpch/Q6", "key/K1", "range/R1", "bitemporal/B3.2"];
+
+/// Runs one representative query per workload class and returns the
+/// canonically-sorted answers, labeled. The picks cover every temporal
+/// access shape: a system-time `AS OF` aggregate (T1), an application-time
+/// `AS OF` TPC-H filter (Q6), a full-history key audit (K1), an
+/// all-versions range-timeslice (R1), and a mixed bitemporal point query
+/// (B3.2).
+pub fn five_class_answers(ctx: &Ctx<'_>, p: &QueryParams) -> Result<Vec<(&'static str, Vec<Row>)>> {
+    let mut out = Vec::with_capacity(FIVE_CLASSES.len());
+    let mut push = |label: &'static str, mut rows: Vec<Row>| {
+        sort_canonical(&mut rows);
+        out.push((label, rows));
+    };
+    push(
+        FIVE_CLASSES[0],
+        tt::t1(ctx, SysSpec::AsOf(p.sys_mid), AppSpec::All)?,
+    );
+    push(
+        FIVE_CLASSES[1],
+        tpch::run_query(ctx, 6, &tpch::Tt::app(p.app_mid))?,
+    );
+    push(
+        FIVE_CLASSES[2],
+        key::k1(ctx, &p.hot_customer, SysSpec::All, AppSpec::All)?,
+    );
+    push(FIVE_CLASSES[3], range::r1(ctx)?);
+    push(
+        FIVE_CLASSES[4],
+        bitemporal::b3_variant(ctx, 2, 55, p.app_mid, p.sys_initial)?,
+    );
+    Ok(out)
+}
+
+/// Compares two [`five_class_answers`] outputs with float tolerance.
+/// Returns the first mismatch as `"<class>: <difference>"`, or `None`
+/// when every class agrees.
+pub fn five_class_diff(
+    a: &[(&'static str, Vec<Row>)],
+    b: &[(&'static str, Vec<Row>)],
+) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("class count {} vs {}", a.len(), b.len()));
+    }
+    for ((la, ra), (lb, rb)) in a.iter().zip(b) {
+        if la != lb {
+            return Some(format!("class order {la} vs {lb}"));
+        }
+        if let Some(diff) = crate::rows_approx_diff(ra, rb, 1e-9) {
+            return Some(format!("{la}: {diff}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fixture;
+
+    #[test]
+    fn five_classes_agree_across_all_engines() {
+        let fx = fixture();
+        let mut reference: Option<Vec<(&'static str, Vec<Row>)>> = None;
+        for (kind, engine) in &fx.engines {
+            let ctx = Ctx::new(engine.as_ref()).unwrap();
+            let answers = five_class_answers(&ctx, &fx.params).unwrap();
+            assert_eq!(answers.len(), FIVE_CLASSES.len());
+            // Each class must produce a label from the canonical list.
+            for ((label, _), expect) in answers.iter().zip(FIVE_CLASSES) {
+                assert_eq!(*label, expect);
+            }
+            match &reference {
+                None => reference = Some(answers),
+                Some(expected) => {
+                    if let Some(diff) = five_class_diff(&answers, expected) {
+                        panic!("{kind:?} disagrees with the reference: {diff}");
+                    }
+                }
+            }
+        }
+        // At least one class must return rows on the tiny fixture, or the
+        // equivalence check would be vacuous.
+        let answers = reference.unwrap();
+        assert!(
+            answers.iter().any(|(_, rows)| !rows.is_empty()),
+            "all five classes returned empty answers"
+        );
+    }
+}
