@@ -31,8 +31,8 @@ pub struct BenchConfig {
     /// single-threaded execution the paper measured.
     pub workers: usize,
     /// Per-query wall-clock budget in milliseconds, checked cooperatively
-    /// after each repetition (engines are not `Sync`, so queries cannot be
-    /// preempted mid-flight). A repetition that overruns aborts the cell
+    /// after each repetition (queries run inline on the measuring thread
+    /// and are never preempted mid-flight). A repetition that overruns aborts the cell
     /// with [`Error::QueryTimeout`]. `0` is the deterministic fault hook:
     /// every query exceeds a zero budget, so the first repetition times out.
     pub query_timeout_millis: u64,
@@ -225,6 +225,7 @@ pub fn build_nontemporal_baseline(
             let value_arity = def.schema.arity();
             for row in db.scan(idx, sys, app) {
                 let values: Vec<_> = (0..value_arity).map(|c| row.get(c).clone()).collect();
+                // tblint: allow(TB007) nontemporal baseline load; no serving layer exists here
                 engine.insert(id, Row::new(values), None)?;
             }
         }

@@ -52,6 +52,13 @@ pub enum Error {
     },
     /// A query panicked and was caught by the bench runner.
     Panicked(String),
+    /// First-committer-wins validation failed: another transaction that
+    /// committed after this one's snapshot was pinned wrote an overlapping
+    /// key range. The transaction's buffered writes were discarded; the
+    /// caller decides whether to re-run it against a fresh snapshot.
+    /// Deliberately *not* [`Error::is_retryable`]: blind op-level retry
+    /// (the loader's policy) would re-drive the same stale writes.
+    Conflict(String),
     /// A retryable I/O condition (interrupted, timed out, would block).
     Transient(String),
     /// Catch-all for invalid arguments.
@@ -100,6 +107,7 @@ impl fmt::Display for Error {
                 write!(f, "query exceeded {millis} ms wall-clock budget")
             }
             Error::Panicked(m) => write!(f, "query panicked: {m}"),
+            Error::Conflict(m) => write!(f, "write-write conflict: {m}"),
             Error::Transient(m) => write!(f, "transient I/O error: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
@@ -170,5 +178,8 @@ mod tests {
         assert!(!Error::Archive("corrupt".into()).is_retryable());
         assert!(!Error::UnknownTable("t".into()).is_retryable());
         assert!(!Error::Internal("broken invariant".into()).is_retryable());
+        // A serialization conflict must go back to the *transaction* level
+        // (re-run against a fresh snapshot), never to a blind op retry.
+        assert!(!Error::Conflict("k=3".into()).is_retryable());
     }
 }

@@ -417,7 +417,12 @@ pub fn validate_scan_output(
 /// through exactly this interface (paper §4.2), except on engines that
 /// support manually-set system time (System D), where
 /// [`Self::bulk_load`] is permitted.
-pub trait BitemporalEngine: Send {
+///
+/// `Send + Sync`: engines keep no interior mutability — every mutation goes
+/// through `&mut self` — so shared `&self` reads from multiple threads are
+/// safe by construction. The MVCC layer (`bitempo-txn`) relies on this to
+/// serve snapshot reads under a shared lock while a single writer commits.
+pub trait BitemporalEngine: Send + Sync {
     /// Engine display name ("System A" .. "System D").
     fn name(&self) -> &'static str;
 

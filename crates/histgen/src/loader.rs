@@ -16,8 +16,9 @@
 use crate::archive::Archive;
 use crate::ops::{Op, ScenarioKind};
 use crate::state::GenDb;
-use bitempo_core::{Error, Result, SysTime, TableId, Value};
+use bitempo_core::{AppPeriod, Error, Key, Result, Row, SysTime, TableId, TemporalClass, Value};
 use bitempo_dbgen::TpchData;
+use bitempo_engine::api::{AppSpec, SysSpec};
 use bitempo_engine::BitemporalEngine;
 use std::path::Path;
 use std::time::Instant;
@@ -158,6 +159,40 @@ pub fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> 
     }
 }
 
+/// True if a current-visible version already carries exactly `row`'s
+/// values and application period — i.e. a failed insert's first attempt
+/// actually landed in the engine before the error surfaced.
+///
+/// Sequenced ops are idempotent when re-applied inside the same open
+/// transaction (re-closing an open version leaves an empty `[p, p)` system
+/// period the engines discard, and the rewritten portions are absolute),
+/// but a bare insert is not: re-driving one after a partial apply would
+/// duplicate the version. The retry path consults this probe first.
+fn insert_effect_present(
+    engine: &dyn BitemporalEngine,
+    id: TableId,
+    row: &Row,
+    app: Option<AppPeriod>,
+) -> bool {
+    let def = engine.table_def(id);
+    let key = Key::from_row(row, &def.key);
+    let value_arity = def.schema.arity();
+    let want = app.unwrap_or(AppPeriod::ALL);
+    let bitemporal = def.temporal == TemporalClass::Bitemporal;
+    // Pending (uncommitted) versions have open system periods, so a plain
+    // current-snapshot lookup sees the eventual effect of this transaction.
+    let Ok(out) = engine.lookup_key(id, &key, &SysSpec::Current, &AppSpec::All) else {
+        return false;
+    };
+    out.rows.iter().any(|r| {
+        let values_match = (0..value_arity).all(|c| r.get(c) == row.get(c));
+        let app_match = !bitemporal
+            || (r.get(value_arity) == &Value::Date(want.start)
+                && r.get(value_arity + 1) == &Value::Date(want.end));
+        values_match && app_match
+    })
+}
+
 /// Replays the archive, committing every `batch_size` scenarios. Strict:
 /// the first op failure aborts the whole replay.
 pub fn replay(
@@ -204,8 +239,24 @@ pub fn replay_resilient(
                     // One retry for transient failures: an op that succeeds
                     // on the second attempt was never lost, and the report
                     // says so instead of folding it into a skipped batch.
+                    // The retry must be idempotent: a transient error can
+                    // surface *after* the op mutated the engine (e.g. a
+                    // contained worker panic mid-bookkeeping), and blindly
+                    // re-driving an insert would then duplicate a version.
                     Err(e) if e.is_retryable() => {
-                        let second = apply_op(engine, ids, op);
+                        let already_applied = match op {
+                            Op::Insert { table, row, app } => {
+                                insert_effect_present(engine, ids[*table as usize], row, *app)
+                            }
+                            // Sequenced ops re-apply idempotently (see
+                            // `insert_effect_present` for the argument).
+                            _ => false,
+                        };
+                        let second = if already_applied {
+                            Ok(())
+                        } else {
+                            apply_op(engine, ids, op)
+                        };
                         if second.is_ok() {
                             ops.retried += 1;
                         }
@@ -486,6 +537,186 @@ mod tests {
         assert!(
             replay_resilient(engine.as_mut(), &ids, &archive, 1, ReplayPolicy::strict()).is_err()
         );
+    }
+
+    /// When the transient fault fires relative to the insert's effect.
+    #[derive(Clone, Copy, PartialEq)]
+    enum FaultPhase {
+        /// The insert fully applies, then the error surfaces (e.g. a
+        /// contained panic in post-apply bookkeeping). The regression
+        /// target: a blind retry here double-applies.
+        AfterApply,
+        /// The error surfaces before anything is mutated; a retry is the
+        /// correct and only recovery.
+        BeforeApply,
+    }
+
+    /// Delegating wrapper that injects one transient failure on the n-th
+    /// insert, either before or after the inner engine applied it.
+    struct FlakyEngine {
+        inner: Box<dyn BitemporalEngine>,
+        phase: FaultPhase,
+        /// Fire on this (1-based) insert call; 0 = spent.
+        fuse: usize,
+        calls: usize,
+    }
+
+    impl BitemporalEngine for FlakyEngine {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn architecture(&self) -> &'static str {
+            self.inner.architecture()
+        }
+        fn create_table(&mut self, def: bitempo_core::TableDef) -> Result<TableId> {
+            self.inner.create_table(def)
+        }
+        fn resolve(&self, name: &str) -> Result<TableId> {
+            self.inner.resolve(name)
+        }
+        fn table_names(&self) -> Vec<String> {
+            self.inner.table_names()
+        }
+        fn table_def(&self, table: TableId) -> &bitempo_core::TableDef {
+            self.inner.table_def(table)
+        }
+        fn apply_tuning(&mut self, tuning: &bitempo_engine::TuningConfig) -> Result<()> {
+            self.inner.apply_tuning(tuning)
+        }
+        fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+            self.calls += 1;
+            if self.calls == self.fuse {
+                self.fuse = 0;
+                if self.phase == FaultPhase::AfterApply {
+                    self.inner.insert(table, row, app)?;
+                }
+                return Err(Error::Transient("fault after partial apply".into()));
+            }
+            self.inner.insert(table, row, app)
+        }
+        fn update(
+            &mut self,
+            table: TableId,
+            key: &Key,
+            updates: &[(usize, Value)],
+            portion: Option<AppPeriod>,
+        ) -> Result<usize> {
+            self.inner.update(table, key, updates, portion)
+        }
+        fn delete(
+            &mut self,
+            table: TableId,
+            key: &Key,
+            portion: Option<AppPeriod>,
+        ) -> Result<usize> {
+            self.inner.delete(table, key, portion)
+        }
+        fn overwrite_app_period(
+            &mut self,
+            table: TableId,
+            key: &Key,
+            period: AppPeriod,
+        ) -> Result<usize> {
+            self.inner.overwrite_app_period(table, key, period)
+        }
+        fn commit(&mut self) -> SysTime {
+            self.inner.commit()
+        }
+        fn now(&self) -> SysTime {
+            self.inner.now()
+        }
+        fn scan(
+            &self,
+            table: TableId,
+            sys: &SysSpec,
+            app: &AppSpec,
+            preds: &[bitempo_engine::api::ColRange],
+        ) -> Result<bitempo_engine::api::ScanOutput> {
+            self.inner.scan(table, sys, app, preds)
+        }
+        fn lookup_key(
+            &self,
+            table: TableId,
+            key: &Key,
+            sys: &SysSpec,
+            app: &AppSpec,
+        ) -> Result<bitempo_engine::api::ScanOutput> {
+            self.inner.lookup_key(table, key, sys, app)
+        }
+        fn stats(&self, table: TableId) -> bitempo_engine::api::TableStats {
+            self.inner.stats(table)
+        }
+        fn checkpoint(&mut self) {
+            self.inner.checkpoint();
+        }
+        fn snapshot_versions(
+            &self,
+            table: TableId,
+        ) -> Result<Vec<bitempo_engine::version::Version>> {
+            self.inner.snapshot_versions(table)
+        }
+        fn restore(
+            &mut self,
+            table: TableId,
+            versions: Vec<bitempo_engine::version::Version>,
+            now: SysTime,
+        ) -> Result<()> {
+            self.inner.restore(table, versions, now)
+        }
+    }
+
+    /// The satellite regression: a transient fault that surfaces *after*
+    /// the insert already applied must not be re-driven into the engine —
+    /// the retried replay has to converge on the clean replay's exact
+    /// state, with the op counted as retried, not duplicated or skipped.
+    #[test]
+    fn retry_after_partial_apply_does_not_double_apply() {
+        let (data, history) = tiny_inputs();
+        let mut clean = build_engine(SystemKind::A);
+        let clean_ids = load_initial(clean.as_mut(), &data).unwrap();
+        replay(clean.as_mut(), &clean_ids, &history.archive, 1).unwrap();
+
+        for phase in [FaultPhase::AfterApply, FaultPhase::BeforeApply] {
+            let mut inner = build_engine(SystemKind::A);
+            let ids = load_initial(inner.as_mut(), &data).unwrap();
+            let mut flaky = FlakyEngine {
+                inner,
+                phase,
+                // First insert *during the replay* (the initial load ran
+                // against the unwrapped engine).
+                fuse: 1,
+                calls: 0,
+            };
+            let report = replay_resilient(
+                &mut flaky,
+                &ids,
+                &history.archive,
+                1,
+                ReplayPolicy::resilient(0),
+            )
+            .unwrap();
+            assert_eq!(report.ops.retried, 1, "the fault was absorbed");
+            assert_eq!(report.ops.skipped, 0);
+            assert!(report.failed.is_empty());
+
+            for (&a, &b) in clean_ids.iter().zip(&ids) {
+                let mut want = clean
+                    .scan(a, &SysSpec::All, &AppSpec::All, &[])
+                    .unwrap()
+                    .rows;
+                let mut got = flaky
+                    .inner
+                    .scan(b, &SysSpec::All, &AppSpec::All, &[])
+                    .unwrap()
+                    .rows;
+                want.sort();
+                got.sort();
+                assert_eq!(
+                    got, want,
+                    "replay with an injected fault must converge on the clean state"
+                );
+            }
+        }
     }
 
     #[test]

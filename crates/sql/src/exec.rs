@@ -588,6 +588,7 @@ fn run_insert(
     let id = engine.resolve(table)?;
     let row: Result<Vec<Value>> = values.iter().map(|v| const_value(engine, v)).collect();
     let app = app_period(engine, business_time)?;
+    // tblint: allow(TB007) single-session SQL executor; the MVCC front-end is bitempo-txn
     engine.insert(id, Row::new(row?), app)?;
     Ok(QueryOutput::Affected(1))
 }
@@ -653,6 +654,7 @@ fn run_update(
         assignments.push((def.schema.col(col)?, const_value(engine, expr)?));
     }
     let app = app_period(engine, portion)?;
+    // tblint: allow(TB007) single-session SQL executor; the MVCC front-end is bitempo-txn
     let n = engine.update(id, &key, &assignments, app)?;
     Ok(QueryOutput::Affected(n))
 }
@@ -667,6 +669,7 @@ fn run_delete(
     let id = engine.resolve(table)?;
     let key = key_from_where(engine, id, where_clause)?;
     let app = app_period(engine, portion)?;
+    // tblint: allow(TB007) single-session SQL executor; the MVCC front-end is bitempo-txn
     let n = engine.delete(id, &key, app)?;
     Ok(QueryOutput::Affected(n))
 }

@@ -1,0 +1,12 @@
+// TB007 firing fixture: production code driving engine DML directly —
+// one bare `engine` receiver, one `*_engine` binding. Both bypass the
+// MVCC commit path (no snapshot validation, no WAL record).
+fn seed(engine: &mut dyn BitemporalEngine, id: TableId) -> Result<()> {
+    engine.insert(id, simple_row(1, 10), None)?;
+    Ok(())
+}
+
+fn patch(base_engine: &mut dyn BitemporalEngine, id: TableId, k: &Key) -> Result<()> {
+    base_engine.update(id, k, &[(1, Value::Int(2))], None)?;
+    Ok(())
+}

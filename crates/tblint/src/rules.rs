@@ -9,6 +9,7 @@
 //! | TB004 | no `unwrap`/`expect`/slice-indexing in engine scan hot paths |
 //! | TB005 | engine parity: all four engines define the same method set |
 //! | TB006 | WAL construction sites must declare an explicit durability mode |
+//! | TB007 | no direct engine DML outside the sanctioned write paths |
 //!
 //! Every rule is waivable with `// tblint: allow(TBnnn) <reason>` (see
 //! [`crate::waiver`]); the tree is kept at **zero unwaived findings**.
@@ -38,6 +39,14 @@ pub const TB005: &str = "TB005";
 /// Whether a commit survives a crash must be a reviewed decision at the
 /// append site, not an inherited default.
 pub const TB006: &str = "TB006";
+/// Sanctioned write paths: outside the history loader, WAL recovery, the
+/// MVCC serving layer, the engines themselves and the test trees, no code
+/// may call engine DML (`insert` / `update` / `delete` /
+/// `overwrite_app_period` / `bulk_load`) directly on an engine value.
+/// Interactive writes go through `bitempo_txn::Transaction`, which
+/// snapshot-validates and WAL-logs them; a raw engine call bypasses
+/// first-committer-wins *and* durability, silently.
+pub const TB007: &str = "TB007";
 
 /// One rule finding, before waiver resolution.
 #[derive(Debug, Clone)]
@@ -87,6 +96,19 @@ fn tb004_scope(path: &str) -> bool {
     }
 }
 
+/// Files allowed to drive engine DML directly (TB007): the archive
+/// replayer and loader, WAL recovery (which replays through the loader's
+/// codec), the MVCC layer (the commit path *is* the sanction), the engine
+/// crate itself, and the integration-test tree. Everyone else writes
+/// through `bitempo_txn` or waives with a reason.
+fn tb007_exempt(path: &str) -> bool {
+    path.starts_with("crates/histgen/")
+        || path.starts_with("crates/wal/")
+        || path.starts_with("crates/txn/")
+        || path.starts_with("crates/engine/")
+        || path.starts_with("tests/")
+}
+
 /// The four engine files compared by TB005.
 pub fn tb005_scope(path: &str) -> bool {
     matches!(
@@ -115,6 +137,10 @@ pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
         tb004(&stripped, &mut findings);
     }
     tb006(toks, &mut findings);
+    if !tb007_exempt(path) {
+        let stripped = strip_test_modules(toks);
+        tb007(&stripped, &mut findings);
+    }
     findings
 }
 
@@ -298,6 +324,44 @@ fn tb006(toks: &[Tok], out: &mut Vec<Finding>) {
             });
         }
         i = j + 1;
+    }
+}
+
+/// TB007: `<engine receiver> . <dml method> (` token sequences in
+/// production code (test modules excluded). The receiver heuristic is the
+/// workspace's naming convention for engine values — `engine`, `eng`, or
+/// any `*_engine` binding; DML on anything else (a map's `insert`, a
+/// transaction's `update`) does not fire.
+fn tb007(toks: &[Tok], out: &mut Vec<Finding>) {
+    const DML: [&str; 5] = [
+        "insert",
+        "update",
+        "delete",
+        "overwrite_app_period",
+        "bulk_load",
+    ];
+    for w in toks.windows(4) {
+        let recv = &w[0];
+        let engine_recv = recv.kind == TokKind::Ident
+            && (recv.text == "engine" || recv.text == "eng" || recv.text.ends_with("_engine"));
+        if engine_recv
+            && w[1].text == "."
+            && w[2].kind == TokKind::Ident
+            && DML.contains(&w[2].text.as_str())
+            && w[3].text == "("
+        {
+            out.push(Finding {
+                line: w[2].line,
+                code: TB007,
+                message: format!(
+                    "direct `{}.{}` outside the sanctioned write paths — interactive \
+                     writes go through `bitempo_txn::Transaction` (snapshot-validated, \
+                     WAL-logged); loaders use histgen's replay. Waive only for \
+                     pre-serving setup with a reason",
+                    recv.text, w[2].text
+                ),
+            });
+        }
     }
 }
 
@@ -581,6 +645,39 @@ mod tests {
             "let log = TxnWal::create(Box::new(FaultyWriter::new(buf, plan)), mode)?;"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn tb007_catches_direct_engine_dml_outside_sanctioned_paths() {
+        let path = "crates/bench/src/experiments.rs";
+        assert_eq!(codes(path, "engine.insert(id, row, None)?;"), vec![TB007]);
+        assert_eq!(
+            codes(path, "base_engine.delete(id, &k, None)?;"),
+            vec![TB007]
+        );
+        assert_eq!(
+            codes(path, "eng.overwrite_app_period(id, &k, row, p)?;"),
+            vec![TB007]
+        );
+        // Non-engine receivers, reads, and commits are all fine.
+        assert!(codes(path, "map.insert(k, v);").is_empty());
+        assert!(codes(path, "txn.update(id, &k, &sets, None)?;").is_empty());
+        assert!(codes(path, "engine.scan(id, &sys, &app, &[])?;").is_empty());
+        assert!(codes(path, "engine.commit();").is_empty());
+        // The sanctioned write paths are exempt wholesale.
+        for exempt in [
+            "crates/histgen/src/loader.rs",
+            "crates/wal/src/recover.rs",
+            "crates/txn/src/lib.rs",
+            "crates/engine/src/testutil.rs",
+            "tests/tests/mvcc_isolation.rs",
+        ] {
+            assert!(codes(exempt, "engine.insert(id, row, None)?;").is_empty());
+        }
+        // Test modules inside in-scope files are stripped first.
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { engine.insert(a, b, None); }\n}\n";
+        assert!(codes(path, src).is_empty());
     }
 
     #[test]

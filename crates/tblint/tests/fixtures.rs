@@ -163,6 +163,39 @@ fn tb006_waiver_fixture_suppresses_with_reason() {
 }
 
 #[test]
+fn tb007_fixture_fires_outside_sanctioned_paths_only() {
+    let src = fixture("tb007_fires.rs");
+    let diags = check_source("crates/bench/src/experiments.rs", &src);
+    assert_eq!(
+        codes(&diags),
+        [rules::TB007, rules::TB007],
+        "bare and suffixed receivers: {diags:?}"
+    );
+    // The loader, recovery, MVCC, engine internals and the test tree are
+    // the sanctioned write paths.
+    assert!(check_source("crates/histgen/src/loader.rs", &src).is_empty());
+    assert!(check_source("crates/wal/src/recover.rs", &src).is_empty());
+    assert!(check_source("crates/txn/src/lib.rs", &src).is_empty());
+    assert!(check_source("crates/engine/src/testutil.rs", &src).is_empty());
+    assert!(check_source("tests/tests/mvcc_isolation.rs", &src).is_empty());
+}
+
+#[test]
+fn tb007_clean_fixture_passes() {
+    let src = fixture("tb007_clean.rs");
+    assert!(check_source("crates/bench/src/experiments.rs", &src).is_empty());
+}
+
+#[test]
+fn tb007_waiver_fixture_suppresses_with_reason() {
+    let src = fixture("tb007_waived.rs");
+    let diags = check_source("crates/bench/src/experiments.rs", &src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let reason = diags[0].waived.as_deref().expect("finding is waived");
+    assert!(reason.contains("pre-serving"), "{reason}");
+}
+
+#[test]
 fn tb005_clean_fixture_pair_has_parity() {
     let files = vec![
         (

@@ -76,6 +76,11 @@ pub struct Timeline {
     /// True while events have arrived in non-decreasing time order, which
     /// allows replays to stop at a binary-searched prefix.
     monotone: bool,
+    /// Last invalidation time per slot, kept in debug builds only to back
+    /// the causal-reuse assertion in [`Timeline::activate`]. Release
+    /// builds pay nothing for it (the assertion compiles out).
+    #[cfg(debug_assertions)]
+    closed_at: std::collections::BTreeMap<u64, SysTime>,
 }
 
 impl Default for Timeline {
@@ -96,11 +101,30 @@ impl Timeline {
             live: BTreeSet::new(),
             max_at: SysTime::ZERO,
             monotone: true,
+            #[cfg(debug_assertions)]
+            closed_at: std::collections::BTreeMap::new(),
         }
     }
 
     /// Records that `slot` became visible at `at`.
+    ///
+    /// **Slot-reuse contract:** a slot may be re-activated only *causally* —
+    /// at or after its last invalidation. Re-activating earlier would make
+    /// a probe pinned between the two times surface the recycled slot's
+    /// *new* lifetime as if it were the old version's: exactly the reader
+    /// anomaly the MVCC layer's pinned snapshots must never observe. The
+    /// heap never recycles slots today (tombstones only), so this is an
+    /// invariant assertion, checked in debug builds.
     pub fn activate(&mut self, slot: u64, at: SysTime) {
+        #[cfg(debug_assertions)]
+        if let Some(&closed) = self.closed_at.get(&slot) {
+            debug_assert!(
+                at >= closed,
+                "non-causal slot reuse: slot {slot} re-activated at {at} before its \
+                 last invalidation at {closed}; a reader pinned to a snapshot between \
+                 the two would see the recycled slot's new lifetime"
+            );
+        }
         self.live.insert(slot);
         self.push(Event {
             at,
@@ -111,6 +135,11 @@ impl Timeline {
 
     /// Records that `slot` stopped being visible at `at`.
     pub fn invalidate(&mut self, slot: u64, at: SysTime) {
+        #[cfg(debug_assertions)]
+        {
+            let last = self.closed_at.entry(slot).or_insert(at);
+            *last = (*last).max(at);
+        }
         self.live.remove(&slot);
         self.push(Event {
             at,
@@ -408,6 +437,41 @@ mod tests {
         assert_eq!(tl.visible_at(SysTime(7), &mut cost), vec![0]);
         assert_eq!(tl.visible_at(SysTime(8), &mut cost), vec![0]);
         assert!(tl.visible_at(SysTime(4), &mut cost).is_empty());
+    }
+
+    /// The satellite regression, positive half: *causal* reuse (new
+    /// lifetime begins at or after the old one ended) keeps a probe pinned
+    /// to the older snapshot stable — it sees the old lifetime only.
+    #[test]
+    fn pinned_probe_is_stable_across_causal_slot_reuse() {
+        let mut tl = Timeline::new(2);
+        tl.activate(0, SysTime(5));
+        let mut cost = crate::ProbeCost::default();
+        // A reader pins system time 6 while the slot is still live.
+        assert_eq!(tl.visible_at(SysTime(6), &mut cost), vec![0]);
+        // Writer invalidates at 8 and recycles the slot at 9.
+        tl.invalidate(0, SysTime(8));
+        tl.activate(0, SysTime(9));
+        // The pinned probe still answers from the *old* lifetime; the new
+        // one is invisible before 9 and visible from 9 on.
+        assert_eq!(tl.visible_at(SysTime(6), &mut cost), vec![0]);
+        assert!(tl.visible_at(SysTime(8), &mut cost).is_empty());
+        assert_eq!(tl.visible_at(SysTime(9), &mut cost), vec![0]);
+    }
+
+    /// The satellite regression, negative half: non-causal reuse would let
+    /// a pinned reader surface the recycled slot's new lifetime, so the
+    /// debug assertion must reject it outright.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-causal slot reuse")]
+    fn non_causal_slot_reuse_is_rejected() {
+        let mut tl = Timeline::new(2);
+        tl.activate(0, SysTime(5));
+        tl.invalidate(0, SysTime(8));
+        // Re-activation *before* the last invalidation: a probe at 7 would
+        // now see the new lifetime under the old snapshot.
+        tl.activate(0, SysTime(6));
     }
 
     #[test]

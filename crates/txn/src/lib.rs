@@ -1,0 +1,933 @@
+//! # bitempo-txn
+//!
+//! The MVCC serving layer: interactive snapshot transactions over any of
+//! the four engines, with first-committer-wins conflict detection and
+//! WAL-backed durability (ROADMAP open item 1).
+//!
+//! The paper benchmarks single-threaded query streams, but its "ready for
+//! the future" question is about serving concurrent mixed workloads. The
+//! engines already are version stores ordered by commit time, so snapshot
+//! isolation falls out of the bitemporal model itself: a transaction pins
+//! the system time `T` of the latest commit at [`TxnManager::begin`], and
+//! every read translates its system-time specification so only versions
+//! committed at or before `T` are visible (`AS OF T` is the snapshot).
+//!
+//! **Concurrency model.** A [`std::sync::RwLock`] guards the engine:
+//! snapshot reads share it, a committing writer takes it exclusively for
+//! the short *validate → log → apply → commit* critical section — the
+//! atomic publish point. Readers therefore never observe a partially
+//! applied transaction: between commits there is no pending state at all,
+//! and during one the writer holds the lock exclusively. Writes are
+//! buffered in the [`Transaction`], so the writer's exclusive window is
+//! proportional to the write set, never to the user's think time; the
+//! expensive part of commit — waiting for group-commit durability — happens
+//! *after* the lock is released, so concurrent committers amortize one
+//! fsync ([`bitempo_wal::DurabilityWaiter`]).
+//!
+//! **First-committer-wins.** Each buffered write contributes a
+//! `(table, key, application-period)` entry to the transaction's write
+//! set. Commit validation scans the records of transactions that committed
+//! after the snapshot was pinned; any entry with the same table and key
+//! whose application period overlaps aborts the committer with
+//! [`bitempo_core::Error::Conflict`] before anything is logged or applied.
+//! The caller re-runs the transaction against a fresh snapshot.
+//!
+//! **Snapshot contract.** A pinned snapshot guarantees the *row set*: every
+//! read returns exactly the rows of the commit-prefix state at `T`. The
+//! rendered system-period end of a version closed after `T` reflects the
+//! later close (the engines store one period per version); row visibility
+//! is unaffected, which is the isolation property the oracle tests check.
+
+use bitempo_core::{AppPeriod, Error, Key, Result, Row, SysTime, TableDef, TableId, Value};
+use bitempo_engine::api::{
+    AppSpec, BitemporalEngine, ColRange, ScanOutput, SysSpec, TableStats, TuningConfig,
+};
+use bitempo_histgen::{apply_op, Op, Transaction as TxnOps};
+use bitempo_wal::{Checkpoint, DurabilityWaiter, TxnWal};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+/// One write-set entry: the unit of first-committer-wins validation.
+#[derive(Debug, Clone, PartialEq)]
+struct WriteEntry {
+    /// Table index (the archive's load-order index, as in [`Op`]).
+    table: u8,
+    /// Primary key touched.
+    key: Key,
+    /// Application-period range touched; two entries on the same key
+    /// conflict only when these overlap (disjoint `FOR PORTION OF` writes
+    /// to one key are serializable as-is).
+    app: AppPeriod,
+}
+
+/// What one committed transaction wrote, kept for validating later
+/// committers whose snapshots predate it.
+#[derive(Debug, Clone)]
+struct CommitRecord {
+    /// Commit (system) time.
+    ts: SysTime,
+    /// The write set.
+    writes: Vec<WriteEntry>,
+}
+
+/// Engine-side state under the manager's reader/writer lock.
+struct EngineState {
+    engine: Box<dyn BitemporalEngine>,
+    ids: Vec<TableId>,
+    /// Commit records newer than the oldest active pin, ascending by `ts`.
+    commit_log: Vec<CommitRecord>,
+    /// WAL records appended so far (0 when running without a WAL).
+    applied_seq: u64,
+    /// Set when an apply failed mid-transaction: the engine holds
+    /// uncommitted partial state that has no rollback path. New
+    /// transactions are refused and existing snapshots stop using the
+    /// current-partition fast path (pending versions are visible there).
+    poisoned: Option<String>,
+}
+
+/// Monotonic counters for the benchmark's `txn_*`/`conflict_*` series.
+#[derive(Debug, Default)]
+pub struct TxnCounters {
+    /// Transactions committed (including read-only commits).
+    pub committed: AtomicU64,
+    /// Transactions aborted by first-committer-wins validation.
+    pub conflicts: AtomicU64,
+    /// Snapshots pinned by [`TxnManager::begin`].
+    pub snapshots: AtomicU64,
+}
+
+/// The MVCC front-end over one engine. See the crate docs for the model.
+pub struct TxnManager {
+    state: RwLock<EngineState>,
+    /// The commit log sink; `None` runs without durability (tests).
+    wal: Mutex<Option<TxnWal>>,
+    /// Active snapshot pins (`pin -> count`): the floor below which commit
+    /// records can be pruned, maintained by [`Transaction`] drop.
+    pins: Mutex<BTreeMap<SysTime, usize>>,
+    /// Immutable table metadata, cached so write buffering never takes the
+    /// state lock (a transaction may buffer while holding a [`Snapshot`],
+    /// and `std`'s `RwLock` read-reentrancy can deadlock behind a queued
+    /// writer).
+    defs: Vec<TableDef>,
+    /// Table ids in load order, mirroring `defs` (immutable).
+    ids: Vec<TableId>,
+    counters: TxnCounters,
+}
+
+impl TxnManager {
+    /// Wraps a loaded engine. `ids` must be the engine's tables in archive
+    /// load order (at most 256, the [`Op`] addressing limit); `wal`, when
+    /// present, receives one record per committed writing transaction,
+    /// encoded exactly as the durability driver's — [`bitempo_wal::recover`]
+    /// replays interactive history and replayed history identically.
+    pub fn new(
+        engine: Box<dyn BitemporalEngine>,
+        ids: Vec<TableId>,
+        wal: Option<TxnWal>,
+    ) -> Result<TxnManager> {
+        if ids.len() > 256 {
+            return Err(Error::Invalid(format!(
+                "op encoding addresses at most 256 tables, got {}",
+                ids.len()
+            )));
+        }
+        let defs = ids.iter().map(|&id| engine.table_def(id).clone()).collect();
+        Ok(TxnManager {
+            state: RwLock::new(EngineState {
+                engine,
+                ids: ids.clone(),
+                commit_log: Vec::new(),
+                applied_seq: 0,
+                poisoned: None,
+            }),
+            wal: Mutex::new(wal),
+            pins: Mutex::new(BTreeMap::new()),
+            defs,
+            ids,
+            counters: TxnCounters::default(),
+        })
+    }
+
+    /// The commit counters.
+    pub fn counters(&self) -> &TxnCounters {
+        &self.counters
+    }
+
+    /// Table ids in load order (the same order as at construction).
+    pub fn table_ids(&self) -> &[TableId] {
+        &self.ids
+    }
+
+    /// System time of the latest commit.
+    pub fn now(&self) -> SysTime {
+        self.state.read().expect("txn state poisoned").engine.now()
+    }
+
+    /// Begins a transaction pinned to the latest commit time. Reads through
+    /// [`Transaction::snapshot`] see exactly that commit-prefix state;
+    /// writes buffer locally until [`Transaction::commit`].
+    pub fn begin(&self) -> Result<Transaction<'_>> {
+        let pin = {
+            let st = self.state.read().expect("txn state poisoned");
+            if let Some(why) = &st.poisoned {
+                return Err(Error::Internal(format!("txn manager poisoned: {why}")));
+            }
+            let pin = st.engine.now();
+            // Register the pin while still holding the read lock, so no
+            // concurrent committer can prune past it in between.
+            *self
+                .pins
+                .lock()
+                .expect("pin registry poisoned")
+                .entry(pin)
+                .or_insert(0) += 1;
+            pin
+        };
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(Transaction {
+            mgr: self,
+            pin,
+            ops: Vec::new(),
+            writes: Vec::new(),
+            unpinned: false,
+        })
+    }
+
+    /// Captures a durability checkpoint of the current committed state,
+    /// labelled with the exact WAL sequence number it covers. Runs under
+    /// the *write* lock: a checkpoint can never interleave with a commit,
+    /// so the transaction committing concurrently with checkpoint capture
+    /// is either fully inside it (and `seq` covers its WAL record) or fully
+    /// after it (and recovery replays it) — never half-captured.
+    pub fn checkpoint(&self) -> Result<Checkpoint> {
+        let mut st = self.state.write().expect("txn state poisoned");
+        let EngineState {
+            engine,
+            ids,
+            applied_seq,
+            ..
+        } = &mut *st;
+        engine.checkpoint();
+        Checkpoint::capture(engine.as_mut(), ids, *applied_seq)
+    }
+
+    /// Shuts the manager down: closes the WAL (surfacing any sink failure
+    /// and the durable watermark) and returns the engine with its ids.
+    pub fn close(self) -> Result<(Box<dyn BitemporalEngine>, Vec<TableId>, u64)> {
+        let wal = self.wal.into_inner().expect("wal lock poisoned");
+        let durable = match wal {
+            Some(w) => w.close()?,
+            None => 0,
+        };
+        let st = self.state.into_inner().expect("txn state poisoned");
+        Ok((st.engine, st.ids, durable))
+    }
+
+    fn unpin(&self, pin: SysTime) {
+        let mut pins = self.pins.lock().expect("pin registry poisoned");
+        if let Some(n) = pins.get_mut(&pin) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&pin);
+            }
+        }
+    }
+
+    fn def_index(&self, table: TableId) -> Result<usize> {
+        self.ids
+            .iter()
+            .position(|&id| id == table)
+            .ok_or_else(|| Error::Invalid(format!("table {table:?} is not managed here")))
+    }
+}
+
+/// An open transaction: a pinned snapshot plus locally buffered writes.
+/// Dropping it without committing is a rollback.
+pub struct Transaction<'a> {
+    mgr: &'a TxnManager,
+    pin: SysTime,
+    /// Buffered operations, in execution order.
+    ops: Vec<Op>,
+    /// The write set the buffered ops will be validated under.
+    writes: Vec<WriteEntry>,
+    unpinned: bool,
+}
+
+impl Transaction<'_> {
+    /// The snapshot's pinned system time.
+    pub fn pin(&self) -> SysTime {
+        self.pin
+    }
+
+    /// Opens the pinned snapshot for reading. Holds the manager's shared
+    /// lock for the guard's lifetime — queries on it never block each
+    /// other, and a committer waits only for guards currently open, not
+    /// for the transaction's think time.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        let guard = self.mgr.state.read().expect("txn state poisoned");
+        Snapshot {
+            now: guard.engine.now(),
+            degraded: guard.poisoned.is_some(),
+            guard,
+            pin: self.pin,
+        }
+    }
+
+    fn def_for(&self, table: TableId) -> Result<(u8, &TableDef)> {
+        let idx = self.mgr.def_index(table)?;
+        Ok((idx as u8, &self.mgr.defs[idx]))
+    }
+
+    /// Buffers an insert of `row` valid for `app`.
+    pub fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+        let (t, def) = self.def_for(table)?;
+        self.writes.push(WriteEntry {
+            table: t,
+            key: Key::from_row(&row, &def.key),
+            app: app.unwrap_or(AppPeriod::ALL),
+        });
+        self.ops.push(Op::Insert { table: t, row, app });
+        Ok(())
+    }
+
+    /// Buffers a sequenced update of `key` for `portion`.
+    pub fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<()> {
+        let (t, _) = self.def_for(table)?;
+        self.writes.push(WriteEntry {
+            table: t,
+            key: key.clone(),
+            app: portion.unwrap_or(AppPeriod::ALL),
+        });
+        self.ops.push(Op::Update {
+            table: t,
+            key: key.clone(),
+            updates: updates
+                .iter()
+                .map(|(c, v)| (*c as u16, v.clone()))
+                .collect(),
+            portion,
+        });
+        Ok(())
+    }
+
+    /// Buffers a sequenced delete of `key` for `portion`.
+    pub fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<()> {
+        let (t, _) = self.def_for(table)?;
+        self.writes.push(WriteEntry {
+            table: t,
+            key: key.clone(),
+            app: portion.unwrap_or(AppPeriod::ALL),
+        });
+        self.ops.push(Op::Delete {
+            table: t,
+            key: key.clone(),
+            portion,
+        });
+        Ok(())
+    }
+
+    /// Buffers an application-period overwrite of `key`. Conservatively
+    /// conflicts with any concurrent write to the key: the overwrite
+    /// rewrites every visible version's period, so no portion is safe.
+    pub fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<()> {
+        let (t, _) = self.def_for(table)?;
+        self.writes.push(WriteEntry {
+            table: t,
+            key: key.clone(),
+            app: AppPeriod::ALL,
+        });
+        self.ops.push(Op::OverwriteApp {
+            table: t,
+            key: key.clone(),
+            period,
+        });
+        Ok(())
+    }
+
+    /// Discards the buffered writes and releases the snapshot pin.
+    pub fn rollback(mut self) {
+        self.ops.clear();
+        self.writes.clear();
+        // Drop does the unpin.
+    }
+
+    /// Validates, logs, applies and publishes the buffered writes, then
+    /// waits for the WAL's durability contract *outside* the publish lock.
+    /// Returns the commit's system time (the pin itself for a read-only
+    /// transaction, which neither validates nor logs anything).
+    ///
+    /// On [`Error::Conflict`] nothing was logged or applied; re-run the
+    /// whole transaction against a fresh snapshot.
+    pub fn commit(mut self) -> Result<SysTime> {
+        if self.ops.is_empty() {
+            self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.pin);
+        }
+        let ops = std::mem::take(&mut self.ops);
+        let writes = std::mem::take(&mut self.writes);
+
+        let mut st = self.mgr.state.write().expect("txn state poisoned");
+        if let Some(why) = &st.poisoned {
+            return Err(Error::Internal(format!("txn manager poisoned: {why}")));
+        }
+
+        // First-committer-wins: compare against every record committed
+        // after this snapshot was pinned (the log is ascending in `ts`).
+        for rec in st.commit_log.iter().rev() {
+            if rec.ts <= self.pin {
+                break;
+            }
+            for theirs in &rec.writes {
+                for ours in &writes {
+                    if theirs.table == ours.table
+                        && theirs.key == ours.key
+                        && theirs.app.overlaps(&ours.app)
+                    {
+                        self.mgr.counters.conflicts.fetch_add(1, Ordering::Relaxed);
+                        return Err(Error::Conflict(format!(
+                            "table {} key {} app {:?}: written by the transaction \
+                             committed at {} after this snapshot's pin {}",
+                            theirs.table, theirs.key, theirs.app, rec.ts, self.pin
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Pre-flight the sequenced ops so the overwhelmingly common apply
+        // failure — a vanished key — aborts *before* the engine is touched
+        // (the engines have no rollback). Keys this transaction inserts
+        // itself count as present.
+        preflight(&st, &ops)?;
+
+        // Log before apply, exactly like the durability replay driver, so
+        // recovery replays interactive commits through the same path. An
+        // append failure aborts the commit cleanly: nothing applied yet.
+        let mut waiter: Option<(DurabilityWaiter, u64)> = None;
+        {
+            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            if let Some(w) = wal.as_mut() {
+                let payload = bitempo_histgen::encode_txn(&TxnOps {
+                    scenarios: Vec::new(),
+                    ops: ops.clone(),
+                })?;
+                let seq = w.append(&payload)?;
+                debug_assert_eq!(seq, st.applied_seq + 1, "WAL order must be commit order");
+                waiter = Some((w.waiter(), seq));
+            }
+        }
+
+        // Apply + engine-commit: the atomic publish point. Failure past
+        // this line leaves unpublishable partial state, so it poisons the
+        // manager instead of pretending to abort.
+        let EngineState {
+            engine,
+            ids,
+            poisoned,
+            applied_seq,
+            ..
+        } = &mut *st;
+        for op in &ops {
+            if let Err(e) = apply_op(engine.as_mut(), ids, op) {
+                *poisoned = Some(format!("apply failed mid-transaction: {e}"));
+                return Err(Error::Internal(format!(
+                    "transaction half-applied, manager poisoned: {e}"
+                )));
+            }
+        }
+        let ts = engine.commit();
+        *applied_seq += 1;
+        st.commit_log.push(CommitRecord { ts, writes });
+
+        // Prune commit records no active snapshot can still conflict with.
+        let floor = {
+            let pins = self.mgr.pins.lock().expect("pin registry poisoned");
+            pins.keys().next().copied().unwrap_or(ts)
+        };
+        if st.commit_log.first().is_some_and(|r| r.ts <= floor) {
+            st.commit_log.retain(|r| r.ts > floor);
+        }
+        drop(st);
+
+        self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
+        // The durability wait happens outside every lock: concurrent
+        // committers park here together and one flusher fsync acks them
+        // all — the group commit the experiment measures.
+        if let Some((waiter, seq)) = waiter {
+            waiter.wait_for(seq)?;
+        }
+        Ok(ts)
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.unpinned {
+            self.unpinned = true;
+            self.mgr.unpin(self.pin);
+        }
+    }
+}
+
+/// Checks that every sequenced op's key is visible (or created earlier in
+/// the same transaction), so apply cannot fail on a vanished key.
+fn preflight(st: &EngineState, ops: &[Op]) -> Result<()> {
+    let mut fresh: Vec<(u8, &Key)> = Vec::new();
+    let mut fresh_rows: Vec<(u8, Key)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert { table, row, .. } => {
+                let def = st.engine.table_def(st.ids[*table as usize]);
+                fresh_rows.push((*table, Key::from_row(row, &def.key)));
+            }
+            Op::Update { table, key, .. }
+            | Op::Delete { table, key, .. }
+            | Op::OverwriteApp { table, key, .. } => {
+                let created = fresh.iter().any(|(t, k)| t == table && *k == key)
+                    || fresh_rows.iter().any(|(t, k)| t == table && k == key);
+                if !created {
+                    let out = st.engine.lookup_key(
+                        st.ids[*table as usize],
+                        key,
+                        &SysSpec::Current,
+                        &AppSpec::All,
+                    )?;
+                    if out.rows.is_empty() {
+                        return Err(Error::KeyNotFound(format!("{key} in table index {table}")));
+                    }
+                    fresh.push((*table, key));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A read guard over the pinned snapshot. Obtain per query burst and drop
+/// promptly: open guards are what a committer waits for.
+pub struct Snapshot<'a> {
+    guard: RwLockReadGuard<'a, EngineState>,
+    pin: SysTime,
+    /// The engine's commit watermark while this guard is held (constant:
+    /// the guard excludes writers).
+    now: SysTime,
+    degraded: bool,
+}
+
+impl Snapshot<'_> {
+    /// The read-only engine view at the pinned time. Implements the full
+    /// [`BitemporalEngine`] read surface, so the workload query classes run
+    /// on a snapshot exactly as they run on a raw engine.
+    pub fn view(&self) -> SnapshotView<'_> {
+        SnapshotView {
+            engine: self.guard.engine.as_ref(),
+            pin: self.pin,
+            // The current-partition fast path is sound only when the pin
+            // is the newest commit and no poisoned pending state lingers.
+            current_ok: self.pin == self.now && !self.degraded,
+        }
+    }
+}
+
+/// [`BitemporalEngine`] adapter that rewrites every system-time
+/// specification to the pinned snapshot. DML and schema changes are
+/// rejected — writes go through [`Transaction`] buffering.
+pub struct SnapshotView<'a> {
+    engine: &'a dyn BitemporalEngine,
+    pin: SysTime,
+    current_ok: bool,
+}
+
+impl SnapshotView<'_> {
+    /// Rewrites `sys` so only versions committed at or before the pin are
+    /// visible. See the crate docs for the row-visibility argument.
+    fn sys_at_pin(&self, sys: &SysSpec) -> SysSpec {
+        let t = self.pin;
+        match sys {
+            SysSpec::Current => {
+                if self.current_ok {
+                    SysSpec::Current
+                } else {
+                    SysSpec::AsOf(t)
+                }
+            }
+            SysSpec::AsOf(x) => SysSpec::AsOf((*x).min(t)),
+            // Half-open: end `t.next()` includes versions committed at
+            // exactly `t` and excludes everything later.
+            SysSpec::All => SysSpec::Range(bitempo_core::Period::new(SysTime::ZERO, t.next())),
+            SysSpec::Range(p) => {
+                let end = p.end.min(t.next());
+                SysSpec::Range(bitempo_core::Period::new(p.start.min(end), end))
+            }
+        }
+    }
+
+    fn read_only_err<T>(&self, what: &str) -> Result<T> {
+        Err(Error::Unsupported(format!(
+            "{what} on a pinned snapshot: buffer writes on the Transaction instead"
+        )))
+    }
+}
+
+impl BitemporalEngine for SnapshotView<'_> {
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    fn architecture(&self) -> &'static str {
+        self.engine.architecture()
+    }
+
+    fn create_table(&mut self, _def: TableDef) -> Result<TableId> {
+        self.read_only_err("create_table")
+    }
+
+    fn resolve(&self, name: &str) -> Result<TableId> {
+        self.engine.resolve(name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.engine.table_names()
+    }
+
+    fn table_def(&self, table: TableId) -> &TableDef {
+        self.engine.table_def(table)
+    }
+
+    fn apply_tuning(&mut self, _tuning: &TuningConfig) -> Result<()> {
+        self.read_only_err("apply_tuning")
+    }
+
+    fn insert(&mut self, _table: TableId, _row: Row, _app: Option<AppPeriod>) -> Result<()> {
+        self.read_only_err("insert")
+    }
+
+    fn update(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _updates: &[(usize, Value)],
+        _portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        self.read_only_err("update")
+    }
+
+    fn delete(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        self.read_only_err("delete")
+    }
+
+    fn overwrite_app_period(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _period: AppPeriod,
+    ) -> Result<usize> {
+        self.read_only_err("overwrite_app_period")
+    }
+
+    /// A snapshot has nothing to commit; its "commit time" is the pin.
+    fn commit(&mut self) -> SysTime {
+        self.pin
+    }
+
+    /// The snapshot's frozen notion of "now" — the pin, so any query that
+    /// derives parameters from the commit watermark stays inside it.
+    fn now(&self) -> SysTime {
+        self.pin
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        self.engine.scan(table, &self.sys_at_pin(sys), app, preds)
+    }
+
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput> {
+        self.engine
+            .lookup_key(table, key, &self.sys_at_pin(sys), app)
+    }
+
+    fn stats(&self, table: TableId) -> TableStats {
+        self.engine.stats(table)
+    }
+
+    fn snapshot_versions(&self, _table: TableId) -> Result<Vec<bitempo_engine::version::Version>> {
+        self.read_only_err("snapshot_versions")
+    }
+
+    fn restore(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<bitempo_engine::version::Version>,
+        _now: SysTime,
+    ) -> Result<()> {
+        self.read_only_err("restore")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_core::AppDate;
+    use bitempo_engine::testutil::{bitemp_table, simple_row};
+    use bitempo_engine::{build_engine, SystemKind};
+    use bitempo_storage::DurabilityMode;
+    use bitempo_wal::{canonical_state, recover, SharedBuf};
+
+    /// One bitemporal table with rows (1, 10) and (2, 20), committed.
+    fn manager(kind: SystemKind, wal: Option<TxnWal>) -> TxnManager {
+        let mut engine = build_engine(kind);
+        let t = engine.create_table(bitemp_table("t")).unwrap();
+        engine.insert(t, simple_row(1, 10), None).unwrap();
+        engine.insert(t, simple_row(2, 20), None).unwrap();
+        engine.commit();
+        TxnManager::new(engine, vec![t], wal).unwrap()
+    }
+
+    fn current_ids(view: &SnapshotView<'_>, t: TableId) -> Vec<i64> {
+        let mut ids: Vec<i64> = view
+            .scan(t, &SysSpec::Current, &AppSpec::All, &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected key {other:?}"),
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_a_concurrent_commit() {
+        for kind in SystemKind::ALL {
+            let mgr = manager(kind, None);
+            let t = mgr.table_ids()[0];
+            let reader = mgr.begin().unwrap();
+
+            let mut writer = mgr.begin().unwrap();
+            writer.insert(t, simple_row(3, 30), None).unwrap();
+            let ts = writer.commit().unwrap();
+            assert!(ts > reader.pin(), "{kind}: commit advanced system time");
+
+            // The old snapshot still answers from its pin...
+            let snap = reader.snapshot();
+            assert_eq!(current_ids(&snap.view(), t), vec![1, 2], "{kind}");
+            drop(snap);
+            // ...while a fresh one sees the commit.
+            let fresh = mgr.begin().unwrap();
+            let snap = fresh.snapshot();
+            assert_eq!(current_ids(&snap.view(), t), vec![1, 2, 3], "{kind}");
+        }
+    }
+
+    #[test]
+    fn first_committer_wins_and_the_loser_aborts_cleanly() {
+        let mgr = manager(SystemKind::A, None);
+        let t = mgr.table_ids()[0];
+
+        let mut first = mgr.begin().unwrap();
+        let mut second = mgr.begin().unwrap();
+        first
+            .update(t, &Key::int(1), &[(1, Value::Int(11))], None)
+            .unwrap();
+        second
+            .update(t, &Key::int(1), &[(1, Value::Int(12))], None)
+            .unwrap();
+        first.commit().unwrap();
+        match second.commit() {
+            Err(Error::Conflict(_)) => {}
+            other => panic!("expected a conflict, got {other:?}"),
+        }
+        assert_eq!(mgr.counters().conflicts.load(Ordering::Relaxed), 1);
+
+        // The aborted write never published: the winner's value stands.
+        let txn = mgr.begin().unwrap();
+        let snap = txn.snapshot();
+        let out = snap
+            .view()
+            .lookup_key(t, &Key::int(1), &SysSpec::Current, &AppSpec::All)
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].get(1), &Value::Int(11));
+    }
+
+    #[test]
+    fn disjoint_portions_of_one_key_do_not_conflict() {
+        let mgr = manager(SystemKind::A, None);
+        let t = mgr.table_ids()[0];
+        let early = AppPeriod::new(AppDate(0), AppDate(10));
+        let late = AppPeriod::new(AppDate(10), AppDate(20));
+
+        let mut a = mgr.begin().unwrap();
+        let mut b = mgr.begin().unwrap();
+        a.update(t, &Key::int(2), &[(1, Value::Int(21))], Some(early))
+            .unwrap();
+        b.update(t, &Key::int(2), &[(1, Value::Int(22))], Some(late))
+            .unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        assert_eq!(mgr.counters().conflicts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn snapshot_translation_caps_every_sys_spec_at_the_pin() {
+        let mgr = manager(SystemKind::B, None);
+        let t = mgr.table_ids()[0];
+        let pinned = mgr.begin().unwrap();
+
+        let mut w = mgr.begin().unwrap();
+        w.insert(t, simple_row(3, 30), None).unwrap();
+        w.commit().unwrap();
+
+        let snap = pinned.snapshot();
+        let view = snap.view();
+        // AS OF a future time clamps to the pin.
+        let future = SysSpec::AsOf(SysTime(u64::MAX - 1));
+        let rows = view.scan(t, &future, &AppSpec::All, &[]).unwrap().rows;
+        assert_eq!(rows.len(), 2, "the post-pin insert stays invisible");
+        // ALL and RANGE are right-clamped the same way.
+        let rows = view
+            .scan(t, &SysSpec::All, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        assert_eq!(rows.len(), 2);
+        let range = SysSpec::Range(bitempo_core::Period::new(SysTime::ZERO, SysTime(u64::MAX)));
+        let rows = view.scan(t, &range, &AppSpec::All, &[]).unwrap().rows;
+        assert_eq!(rows.len(), 2);
+        // now() is frozen at the pin.
+        assert_eq!(view.now(), pinned.pin());
+    }
+
+    #[test]
+    fn snapshot_view_rejects_dml_and_schema_changes() {
+        let mgr = manager(SystemKind::C, None);
+        let t = mgr.table_ids()[0];
+        let txn = mgr.begin().unwrap();
+        let snap = txn.snapshot();
+        let mut view = snap.view();
+        assert!(matches!(
+            view.insert(t, simple_row(9, 9), None),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            view.delete(t, &Key::int(1), None),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            view.create_table(bitemp_table("u")),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn vanished_key_aborts_before_anything_applies() {
+        let mgr = manager(SystemKind::A, None);
+        let t = mgr.table_ids()[0];
+        let mut txn = mgr.begin().unwrap();
+        txn.insert(t, simple_row(7, 70), None).unwrap();
+        txn.update(t, &Key::int(999), &[(1, Value::Int(0))], None)
+            .unwrap();
+        match txn.commit() {
+            Err(Error::KeyNotFound(_)) => {}
+            other => panic!("expected KeyNotFound, got {other:?}"),
+        }
+        // The insert buffered before the bad op must not have leaked.
+        let txn = mgr.begin().unwrap();
+        let snap = txn.snapshot();
+        assert_eq!(current_ids(&snap.view(), t), vec![1, 2]);
+    }
+
+    #[test]
+    fn read_only_commit_returns_the_pin_without_logging() {
+        let buf = SharedBuf::new();
+        let wal = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).unwrap();
+        let mgr = manager(SystemKind::D, Some(wal));
+        let txn = mgr.begin().unwrap();
+        let pin = txn.pin();
+        assert_eq!(txn.commit().unwrap(), pin);
+        let (_, _, durable) = mgr.close().unwrap();
+        assert_eq!(durable, 0, "read-only commits write no WAL records");
+    }
+
+    #[test]
+    fn interactive_commits_recover_from_the_wal() {
+        for mode in [DurabilityMode::Strict, DurabilityMode::Batched(1)] {
+            let buf = SharedBuf::new();
+            let wal = TxnWal::create(Box::new(buf.clone()), mode).unwrap();
+            let mgr = manager(SystemKind::A, Some(wal));
+            let t = mgr.table_ids()[0];
+            let base = mgr.checkpoint().unwrap().encode();
+
+            for i in 0..5i64 {
+                let mut txn = mgr.begin().unwrap();
+                txn.insert(t, simple_row(10 + i, i), None).unwrap();
+                txn.update(t, &Key::int(1), &[(1, Value::Int(100 + i))], None)
+                    .unwrap();
+                txn.commit().unwrap();
+            }
+
+            let (engine, ids, durable) = mgr.close().unwrap();
+            assert_eq!(durable, 5);
+            let rec = recover(
+                SystemKind::A,
+                &buf.snapshot(),
+                &[base],
+                &TuningConfig::none(),
+            )
+            .unwrap();
+            assert_eq!(rec.report.replayed, 5);
+            assert_eq!(
+                canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+                canonical_state(engine.as_ref(), &ids).unwrap(),
+                "{mode:?}: recovered state matches the served state"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_log_is_pruned_once_no_snapshot_needs_it() {
+        let mgr = manager(SystemKind::A, None);
+        let t = mgr.table_ids()[0];
+        for i in 0..20i64 {
+            let mut txn = mgr.begin().unwrap();
+            txn.insert(t, simple_row(100 + i, i), None).unwrap();
+            txn.commit().unwrap();
+        }
+        let st = mgr.state.read().unwrap();
+        assert!(
+            st.commit_log.len() <= 1,
+            "with no pinned snapshots the log must not grow, got {}",
+            st.commit_log.len()
+        );
+    }
+}

@@ -35,7 +35,7 @@ pub mod sink;
 
 pub use bitempo_storage::DurabilityMode;
 pub use checkpoint::Checkpoint;
-pub use log::TxnWal;
+pub use log::{DurabilityWaiter, TxnWal};
 pub use recover::{
     canonical_state, durable_replay, oracle_replay, recover, DurableOptions, DurableRun, Recovered,
     RecoveryReport,

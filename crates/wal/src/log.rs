@@ -129,6 +129,24 @@ impl TxnWal {
         }
     }
 
+    /// A handle a committer can block on *after* releasing whatever lock
+    /// serializes appends. Waiting for group commit inside the commit
+    /// critical section would serialize the fsync latency across committers
+    /// and defeat batching; the waiter carries just enough shared state to
+    /// park outside all locks until a given sequence number is durable.
+    pub fn waiter(&self) -> DurabilityWaiter {
+        match &self.backend {
+            // Strict: durable on append-return. Async: no durability
+            // contract until an explicit sync. Either way there is nothing
+            // to wait for at commit time.
+            Backend::Direct { .. } => DurabilityWaiter(Waiter::Immediate),
+            Backend::Batched(b) => DurabilityWaiter(Waiter::Batched {
+                shared: Arc::clone(&b.shared),
+                interval: b.interval,
+            }),
+        }
+    }
+
     /// Drains and closes the log, returning the highest durable sequence
     /// number. A sink failure anywhere before or during the drain surfaces
     /// here, with the watermark of what *did* survive available via the
@@ -146,6 +164,58 @@ impl TxnWal {
                 Ok(*durable)
             }
             Backend::Batched(b) => b.shutdown(),
+        }
+    }
+}
+
+/// A detached handle for awaiting durability of one appended record.
+///
+/// Cloned freely and used concurrently: many committers can park on the
+/// same group-commit flusher at once, which is exactly what amortizes the
+/// fsync (paper §2.4's commit-cost trade-off, now under concurrency).
+#[derive(Clone)]
+pub struct DurabilityWaiter(Waiter);
+
+#[derive(Clone)]
+enum Waiter {
+    /// Strict (durable on append) and async (no wait contract): return
+    /// immediately.
+    Immediate,
+    /// Group commit: park on the flusher's ack condvar until the durable
+    /// watermark passes the target sequence number.
+    Batched {
+        shared: Arc<Shared>,
+        /// Re-check cadence while parked (the flusher's flush interval).
+        interval: Duration,
+    },
+}
+
+impl DurabilityWaiter {
+    /// Blocks until record `seq` is durable under this log's mode. Under
+    /// strict and async modes this is a no-op (strict records are durable
+    /// on append-return; async promises nothing until an explicit sync).
+    pub fn wait_for(&self, seq: u64) -> Result<()> {
+        match &self.0 {
+            Waiter::Immediate => Ok(()),
+            Waiter::Batched { shared, interval } => {
+                let mut st = shared.state.lock().expect("wal state poisoned");
+                while st.durable < seq {
+                    if let Some(e) = &st.error {
+                        return Err(Error::Archive(format!("wal flusher failed: {e}")));
+                    }
+                    if st.shutdown {
+                        return Err(Error::Archive(
+                            "wal flusher shut down before the commit became durable".into(),
+                        ));
+                    }
+                    st = shared
+                        .ack
+                        .wait_timeout(st, *interval)
+                        .expect("wal state poisoned")
+                        .0;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -86,17 +86,28 @@ pub fn durable_replay(
     let mut crashed = None;
     for txn in &archive.transactions {
         let payload = encode_txn(txn)?;
-        if let Err(e) = log.append(&payload) {
-            crashed = Some(e.to_string());
-            break;
-        }
+        // A checkpoint must be labelled with the exact WAL sequence number
+        // it covers — the one the framing layer assigned, not a commit
+        // counter kept on the side. In this single-threaded driver the two
+        // coincide (asserted below), but recovery's "skip `rec.seq <=
+        // ckpt.seq`" boundary is only safe if the label comes from the log
+        // itself; a drifted counter would drop or double-replay the
+        // transaction that straddles the checkpoint.
+        let seq = match log.append(&payload) {
+            Ok(seq) => seq,
+            Err(e) => {
+                crashed = Some(e.to_string());
+                break;
+            }
+        };
         for op in &txn.ops {
             apply_op(engine, &ids, op)?;
         }
         engine.commit();
         commits += 1;
+        debug_assert_eq!(seq, commits, "WAL seq diverged from the commit count");
         if opts.checkpoint_every > 0 && commits.is_multiple_of(opts.checkpoint_every) {
-            checkpoints.push(Checkpoint::capture(engine, &ids, commits)?.encode());
+            checkpoints.push(Checkpoint::capture(engine, &ids, seq)?.encode());
         }
     }
     let durable_seq = match log.close() {
@@ -384,6 +395,108 @@ mod tests {
         assert_eq!(
             canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
             canonical_state(engine.as_ref(), &run.ids).unwrap()
+        );
+    }
+
+    /// Byte offset of the exact frame boundary after record `k` of a clean
+    /// run's WAL bytes. Frames are deterministic given the payload
+    /// sequence, so re-encoding the scanned payloads reproduces the sizes.
+    fn boundary_after(clean_wal: &[u8], k: usize) -> u64 {
+        let scan = wal::scan(clean_wal);
+        assert!(scan.is_clean() && scan.records.len() > k);
+        let mut appender = wal::WalAppender::new();
+        let mut off = wal::header_bytes().len() as u64;
+        for rec in &scan.records[..k] {
+            let (_, frame) = appender.encode(&rec.payload);
+            off += frame.len() as u64;
+        }
+        off
+    }
+
+    /// The checkpoint/WAL boundary: a crash *exactly* at the frame boundary
+    /// after the checkpointed commit must recover precisely that commit
+    /// count — the checkpointed transaction is neither dropped (off-by-one
+    /// toward the past) nor replayed twice (checkpoint label drifting below
+    /// the WAL seq it actually covers).
+    #[test]
+    fn crash_exactly_on_the_checkpoint_boundary() {
+        let (data, archive) = tiny_world();
+        let opts = DurableOptions {
+            mode: DurabilityMode::Strict,
+            checkpoint_every: 32,
+        };
+        let tuning = TuningConfig::none().with_workers(1);
+
+        let dry = SharedBuf::new();
+        let mut scratch = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(dry.clone()), opts.mode).unwrap();
+        durable_replay(scratch.as_mut(), &data, &archive, log, &opts).unwrap();
+
+        // Cut at the boundary right after record 32 — the same commit the
+        // cadence checkpoints — and two frames into record 33 (torn tail).
+        for extra in [0u64, 2] {
+            let cut = boundary_after(&dry.snapshot(), 32) + extra;
+            let buf = SharedBuf::new();
+            let sink = FaultyWriter::new(
+                buf.clone(),
+                FaultPlan::none().with(FaultKind::TruncateAt(cut)),
+            );
+            let mut engine = build_engine(SystemKind::A);
+            let log = TxnWal::create(Box::new(sink), opts.mode).unwrap();
+            let run = durable_replay(engine.as_mut(), &data, &archive, log, &opts).unwrap();
+            assert!(run.crashed.is_some());
+            assert_eq!(run.commits, 32, "strict mode stops at the cut");
+
+            let rec = recover(SystemKind::A, &buf.snapshot(), &run.checkpoints, &tuning).unwrap();
+            assert_eq!(rec.report.checkpoint_seq, 32, "newest checkpoint wins");
+            assert_eq!(rec.report.replayed, 0, "nothing may be replayed twice");
+            assert_eq!(rec.report.commits, 32, "nothing may be dropped");
+            let (oracle, oracle_ids) =
+                oracle_replay(SystemKind::A, &data, &archive, 32, &opts, &tuning).unwrap();
+            assert_eq!(
+                canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+                canonical_state(oracle.as_ref(), &oracle_ids).unwrap()
+            );
+        }
+    }
+
+    /// A crash a few commits past a checkpoint replays exactly the records
+    /// after the checkpoint's recorded seq — the straddling transaction is
+    /// covered by the checkpoint, not double-applied from the WAL.
+    #[test]
+    fn recovery_replays_only_records_past_the_checkpoint_seq() {
+        let (data, archive) = tiny_world();
+        let opts = DurableOptions {
+            mode: DurabilityMode::Strict,
+            checkpoint_every: 32,
+        };
+        let tuning = TuningConfig::none().with_workers(1);
+
+        let dry = SharedBuf::new();
+        let mut scratch = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(dry.clone()), opts.mode).unwrap();
+        durable_replay(scratch.as_mut(), &data, &archive, log, &opts).unwrap();
+
+        let cut = boundary_after(&dry.snapshot(), 35);
+        let buf = SharedBuf::new();
+        let sink = FaultyWriter::new(
+            buf.clone(),
+            FaultPlan::none().with(FaultKind::TruncateAt(cut)),
+        );
+        let mut engine = build_engine(SystemKind::A);
+        let log = TxnWal::create(Box::new(sink), opts.mode).unwrap();
+        let run = durable_replay(engine.as_mut(), &data, &archive, log, &opts).unwrap();
+        assert_eq!(run.commits, 35);
+
+        let rec = recover(SystemKind::A, &buf.snapshot(), &run.checkpoints, &tuning).unwrap();
+        assert_eq!(rec.report.checkpoint_seq, 32);
+        assert_eq!(rec.report.replayed, 3, "records 33..=35, each exactly once");
+        assert_eq!(rec.report.commits, 35);
+        let (oracle, oracle_ids) =
+            oracle_replay(SystemKind::A, &data, &archive, 35, &opts, &tuning).unwrap();
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(oracle.as_ref(), &oracle_ids).unwrap()
         );
     }
 

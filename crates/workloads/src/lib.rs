@@ -212,12 +212,6 @@ pub(crate) mod fixtures {
         pub params: QueryParams,
     }
 
-    // Box<dyn BitemporalEngine> is Send; queries take &dyn, so a Mutex-free
-    // static is fine as long as tests only read. The workspace denies
-    // `unsafe_code`; this test-only impl is the one justified exception.
-    #[allow(unsafe_code)]
-    unsafe impl Sync for Fixture {}
-
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
 
     pub fn fixture() -> &'static Fixture {
