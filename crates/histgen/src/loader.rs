@@ -159,15 +159,27 @@ pub fn apply_op(engine: &mut dyn BitemporalEngine, ids: &[TableId], op: &Op) -> 
     }
 }
 
-/// True if a current-visible version already carries exactly `row`'s
-/// values and application period — i.e. a failed insert's first attempt
-/// actually landed in the engine before the error surfaced.
+/// True if a *pending* version — one created by the currently open
+/// transaction — already carries exactly `row`'s values and application
+/// period, i.e. a failed insert's first attempt actually landed in the
+/// engine before the error surfaced.
 ///
 /// Sequenced ops are idempotent when re-applied inside the same open
 /// transaction (re-closing an open version leaves an empty `[p, p)` system
 /// period the engines discard, and the rewritten portions are absolute),
 /// but a bare insert is not: re-driving one after a partial apply would
 /// duplicate the version. The retry path consults this probe first.
+///
+/// The probe attributes a match to the open transaction by its system
+/// start: only a version whose system period opens at the engine's pending
+/// timestamp was created inside it. An identical version committed by an
+/// *earlier* transaction opens strictly before that and must not satisfy
+/// the probe — engines insert duplicates unconditionally, so such a false
+/// positive would skip the retry and silently drop the insert. Tables
+/// without system time offer no such attribution; there the probe stays
+/// conservative and reports "not applied" (the generated scenarios never
+/// insert into non-temporal tables, and a visible duplicate is the lesser
+/// risk than a silent drop).
 fn insert_effect_present(
     engine: &dyn BitemporalEngine,
     id: TableId,
@@ -175,10 +187,15 @@ fn insert_effect_present(
     app: Option<AppPeriod>,
 ) -> bool {
     let def = engine.table_def(id);
+    if !def.has_system_time() {
+        return false;
+    }
     let key = Key::from_row(row, &def.key);
     let value_arity = def.schema.arity();
     let want = app.unwrap_or(AppPeriod::ALL);
     let bitemporal = def.temporal == TemporalClass::Bitemporal;
+    let sys_col = value_arity + if bitemporal { 2 } else { 0 };
+    let pending = Value::SysTime(engine.now().next());
     // Pending (uncommitted) versions have open system periods, so a plain
     // current-snapshot lookup sees the eventual effect of this transaction.
     let Ok(out) = engine.lookup_key(id, &key, &SysSpec::Current, &AppSpec::All) else {
@@ -189,7 +206,7 @@ fn insert_effect_present(
         let app_match = !bitemporal
             || (r.get(value_arity) == &Value::Date(want.start)
                 && r.get(value_arity + 1) == &Value::Date(want.end));
-        values_match && app_match
+        values_match && app_match && r.get(sys_col) == &pending
     })
 }
 
@@ -716,6 +733,61 @@ mod tests {
                     "replay with an injected fault must converge on the clean state"
                 );
             }
+        }
+    }
+
+    /// The probe must attribute effects to the *open* transaction: an
+    /// identical version committed by an earlier transaction must not
+    /// satisfy it. Engines insert duplicates unconditionally, so a false
+    /// positive here would skip the retry and silently drop the insert
+    /// when the fault fired *before* anything applied.
+    #[test]
+    fn retry_probe_ignores_identical_committed_versions() {
+        use crate::ops::Transaction;
+        use bitempo_engine::testutil::{bitemp_table, simple_row};
+
+        // Two transactions insert byte-identical rows (same key, values,
+        // application period); the transient fault fires on the second.
+        let duplicate = || Transaction {
+            scenarios: Vec::new(),
+            ops: vec![Op::Insert {
+                table: 0,
+                row: simple_row(1, 10),
+                app: None,
+            }],
+        };
+        let archive = Archive {
+            dbgen_seed: 0,
+            hist_seed: 0,
+            transactions: vec![duplicate(), duplicate()],
+        };
+
+        for phase in [FaultPhase::BeforeApply, FaultPhase::AfterApply] {
+            let mut inner = build_engine(SystemKind::A);
+            let t = inner.create_table(bitemp_table("t")).unwrap();
+            let ids = vec![t];
+            let mut flaky = FlakyEngine {
+                inner,
+                phase,
+                fuse: 2, // the second transaction's insert
+                calls: 0,
+            };
+            let report =
+                replay_resilient(&mut flaky, &ids, &archive, 1, ReplayPolicy::resilient(0))
+                    .unwrap();
+            assert_eq!(report.ops.retried, 1);
+            assert_eq!(report.ops.skipped, 0);
+            let rows = flaky
+                .inner
+                .scan(t, &SysSpec::All, &AppSpec::All, &[])
+                .unwrap()
+                .rows;
+            assert_eq!(
+                rows.len(),
+                2,
+                "both inserts must land exactly once: the first transaction's \
+                 identical committed version is not the second's effect"
+            );
         }
     }
 

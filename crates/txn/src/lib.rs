@@ -14,7 +14,7 @@
 //!
 //! **Concurrency model.** A [`std::sync::RwLock`] guards the engine:
 //! snapshot reads share it, a committing writer takes it exclusively for
-//! the short *validate → log → apply → commit* critical section — the
+//! the short *validate → apply → log → commit* critical section — the
 //! atomic publish point. Readers therefore never observe a partially
 //! applied transaction: between commits there is no pending state at all,
 //! and during one the writer holds the lock exclusively. Writes are
@@ -23,6 +23,18 @@
 //! expensive part of commit — waiting for group-commit durability — happens
 //! *after* the lock is released, so concurrent committers amortize one
 //! fsync ([`bitempo_wal::DurabilityWaiter`]).
+//!
+//! **Durable-log agreement.** Buffered ops are validated against the
+//! cached [`TableDef`] as they are buffered (arity, temporal class, empty
+//! periods, column bounds), so every deterministic apply failure surfaces
+//! before commit even starts. At commit the ops are *applied first and
+//! logged after*, still inside the exclusive section: a WAL record
+//! therefore always describes a transaction that fully applied, which is
+//! what lets [`bitempo_wal::recover`] replay every logged record. In both
+//! failure directions the durable log and the reported outcome agree — a
+//! failed apply logs nothing, and an append failure after apply poisons
+//! the manager without a record, so recovery never resurrects a
+//! transaction whose commit returned an error.
 //!
 //! **First-committer-wins.** Each buffered write contributes a
 //! `(table, key, application-period)` entry to the transaction's write
@@ -121,6 +133,13 @@ impl TxnManager {
     /// present, receives one record per committed writing transaction,
     /// encoded exactly as the durability driver's — [`bitempo_wal::recover`]
     /// replays interactive history and replayed history identically.
+    ///
+    /// A non-empty `wal` is adopted, not reset: sequence numbering
+    /// continues from its last appended record, so checkpoints taken from
+    /// this manager stay labelled with the exact WAL seq they cover. The
+    /// caller must hand over an engine that already contains the effects
+    /// of every record in the log (the WAL only ever records applied
+    /// transactions).
     pub fn new(
         engine: Box<dyn BitemporalEngine>,
         ids: Vec<TableId>,
@@ -133,12 +152,13 @@ impl TxnManager {
             )));
         }
         let defs = ids.iter().map(|&id| engine.table_def(id).clone()).collect();
+        let applied_seq = wal.as_ref().map_or(0, |w| w.submitted_seq());
         Ok(TxnManager {
             state: RwLock::new(EngineState {
                 engine,
                 ids: ids.clone(),
                 commit_log: Vec::new(),
-                applied_seq: 0,
+                applied_seq,
                 poisoned: None,
             }),
             wal: Mutex::new(wal),
@@ -282,6 +302,15 @@ impl Transaction<'_> {
     /// Buffers an insert of `row` valid for `app`.
     pub fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
         let (t, def) = self.def_for(table)?;
+        if row.arity() != def.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "arity {} vs schema {} for {}",
+                row.arity(),
+                def.schema.arity(),
+                def.name
+            )));
+        }
+        check_app_period(def, app.as_ref(), "application period")?;
         self.writes.push(WriteEntry {
             table: t,
             key: Key::from_row(&row, &def.key),
@@ -299,7 +328,17 @@ impl Transaction<'_> {
         updates: &[(usize, Value)],
         portion: Option<AppPeriod>,
     ) -> Result<()> {
-        let (t, _) = self.def_for(table)?;
+        let (t, def) = self.def_for(table)?;
+        for (col, _) in updates {
+            if *col >= def.schema.arity() {
+                return Err(Error::Invalid(format!(
+                    "update column {col} out of range for {} (arity {})",
+                    def.name,
+                    def.schema.arity()
+                )));
+            }
+        }
+        check_portion(def, portion.as_ref())?;
         self.writes.push(WriteEntry {
             table: t,
             key: key.clone(),
@@ -319,7 +358,8 @@ impl Transaction<'_> {
 
     /// Buffers a sequenced delete of `key` for `portion`.
     pub fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<()> {
-        let (t, _) = self.def_for(table)?;
+        let (t, def) = self.def_for(table)?;
+        check_portion(def, portion.as_ref())?;
         self.writes.push(WriteEntry {
             table: t,
             key: key.clone(),
@@ -342,7 +382,8 @@ impl Transaction<'_> {
         key: &Key,
         period: AppPeriod,
     ) -> Result<()> {
-        let (t, _) = self.def_for(table)?;
+        let (t, def) = self.def_for(table)?;
+        check_app_period(def, Some(&period), "application-period overwrite")?;
         self.writes.push(WriteEntry {
             table: t,
             key: key.clone(),
@@ -363,13 +404,17 @@ impl Transaction<'_> {
         // Drop does the unpin.
     }
 
-    /// Validates, logs, applies and publishes the buffered writes, then
+    /// Validates, applies, logs and publishes the buffered writes, then
     /// waits for the WAL's durability contract *outside* the publish lock.
     /// Returns the commit's system time (the pin itself for a read-only
     /// transaction, which neither validates nor logs anything).
     ///
     /// On [`Error::Conflict`] nothing was logged or applied; re-run the
-    /// whole transaction against a fresh snapshot.
+    /// whole transaction against a fresh snapshot. On any other error the
+    /// durable log and the outcome agree: either nothing applied (the
+    /// validation and preflight paths), or the manager is poisoned *and
+    /// the WAL holds no record of this transaction* — recovery never
+    /// replays a transaction whose commit reported failure.
     pub fn commit(mut self) -> Result<SysTime> {
         if self.ops.is_empty() {
             self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
@@ -412,26 +457,25 @@ impl Transaction<'_> {
         // itself count as present.
         preflight(&st, &ops)?;
 
-        // Log before apply, exactly like the durability replay driver, so
-        // recovery replays interactive commits through the same path. An
-        // append failure aborts the commit cleanly: nothing applied yet.
-        let mut waiter: Option<(DurabilityWaiter, u64)> = None;
-        {
-            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
-            if let Some(w) = wal.as_mut() {
-                let payload = bitempo_histgen::encode_txn(&TxnOps {
+        // Encode the WAL payload up front: encoding is pure on the
+        // buffered ops, so a failure here aborts cleanly, pre-apply.
+        let payload = {
+            let wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            match wal.as_ref() {
+                Some(_) => Some(bitempo_histgen::encode_txn(&TxnOps {
                     scenarios: Vec::new(),
                     ops: ops.clone(),
-                })?;
-                let seq = w.append(&payload)?;
-                debug_assert_eq!(seq, st.applied_seq + 1, "WAL order must be commit order");
-                waiter = Some((w.waiter(), seq));
+                })?),
+                None => None,
             }
-        }
+        };
 
-        // Apply + engine-commit: the atomic publish point. Failure past
-        // this line leaves unpublishable partial state, so it poisons the
-        // manager instead of pretending to abort.
+        // Apply before logging: a record only enters the WAL once its
+        // transaction has fully applied, so recovery can replay every
+        // logged record. An apply failure past preflight leaves
+        // unpublishable partial state (no rollback), so it poisons the
+        // manager — with nothing logged, the durable history still agrees
+        // with the reported failure.
         let EngineState {
             engine,
             ids,
@@ -445,6 +489,31 @@ impl Transaction<'_> {
                 return Err(Error::Internal(format!(
                     "transaction half-applied, manager poisoned: {e}"
                 )));
+            }
+        }
+
+        // Log after apply, still inside the exclusive section, so WAL
+        // order is commit order (same encode_txn framing as the durability
+        // replay driver — recovery replays interactive history through
+        // the same dispatch). An append failure here also poisons: the
+        // applied state cannot be rolled back and must not publish as
+        // committed, and since the record never landed, recovery excludes
+        // the transaction exactly as the returned error reports.
+        let mut waiter: Option<(DurabilityWaiter, u64)> = None;
+        if let Some(payload) = payload {
+            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            let w = wal.as_mut().expect("wal vanished mid-commit");
+            match w.append(&payload) {
+                Ok(seq) => {
+                    debug_assert_eq!(seq, *applied_seq + 1, "WAL order must be commit order");
+                    waiter = Some((w.waiter(), seq));
+                }
+                Err(e) => {
+                    *poisoned = Some(format!("WAL append failed after apply: {e}"));
+                    return Err(Error::Internal(format!(
+                        "transaction applied but not logged, manager poisoned: {e}"
+                    )));
+                }
             }
         }
         let ts = engine.commit();
@@ -479,6 +548,37 @@ impl Drop for Transaction<'_> {
             self.mgr.unpin(self.pin);
         }
     }
+}
+
+/// Buffer-time twin of the engines' deterministic period validation: a
+/// given period on a table without application time is [`Error::Unsupported`],
+/// an empty one is [`Error::EmptyPeriod`]. Running this before an op enters
+/// the buffer means a malformed op can never reach the apply loop, where a
+/// deterministic failure would poison the manager.
+fn check_app_period(def: &TableDef, period: Option<&AppPeriod>, what: &str) -> Result<()> {
+    match period {
+        Some(_) if def.temporal != bitempo_core::TemporalClass::Bitemporal => {
+            Err(Error::Unsupported(format!(
+                "{what} on table {} without application time",
+                def.name
+            )))
+        }
+        Some(p) if p.is_empty() => Err(Error::EmptyPeriod(format!("{p}"))),
+        _ => Ok(()),
+    }
+}
+
+/// The portion variant of [`check_app_period`]: sequenced DML with an empty
+/// portion is an engine-level no-op (it overlaps nothing), not an error, so
+/// only the temporal-class check applies here.
+fn check_portion(def: &TableDef, portion: Option<&AppPeriod>) -> Result<()> {
+    if portion.is_some() && def.temporal != bitempo_core::TemporalClass::Bitemporal {
+        return Err(Error::Unsupported(format!(
+            "FOR PORTION OF on table {} without application time",
+            def.name
+        )));
+    }
+    Ok(())
 }
 
 /// Checks that every sequenced op's key is visible (or created earlier in
@@ -695,9 +795,11 @@ impl BitemporalEngine for SnapshotView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitempo_core::fault::{FaultKind, FaultPlan, FaultyWriter};
     use bitempo_core::AppDate;
-    use bitempo_engine::testutil::{bitemp_table, simple_row};
+    use bitempo_engine::testutil::{bitemp_table, plain_table, simple_row};
     use bitempo_engine::{build_engine, SystemKind};
+    use bitempo_histgen::encode_txn;
     use bitempo_storage::DurabilityMode;
     use bitempo_wal::{canonical_state, recover, SharedBuf};
 
@@ -912,6 +1014,215 @@ mod tests {
                 "{mode:?}: recovered state matches the served state"
             );
         }
+    }
+
+    /// Deterministic apply failures — arity, temporal class, empty
+    /// periods, bad update columns — must surface when the op is buffered,
+    /// never poison the manager, and never leave a WAL record that
+    /// recovery cannot replay.
+    #[test]
+    fn malformed_ops_are_rejected_at_buffer_time() {
+        let buf = SharedBuf::new();
+        let wal = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).unwrap();
+        let mut engine = build_engine(SystemKind::A);
+        let t = engine.create_table(bitemp_table("t")).unwrap();
+        let p = engine.create_table(plain_table("p")).unwrap();
+        engine.insert(t, simple_row(1, 10), None).unwrap();
+        engine.insert(p, simple_row(1, 10), None).unwrap();
+        engine.commit();
+        let mgr = TxnManager::new(engine, vec![t, p], Some(wal)).unwrap();
+        let base = mgr.checkpoint().unwrap().encode();
+
+        let empty = AppPeriod::new(AppDate(7), AppDate(7));
+        let some = AppPeriod::new(AppDate(0), AppDate(10));
+        let mut txn = mgr.begin().unwrap();
+        assert!(matches!(
+            txn.insert(t, Row::new(vec![Value::Int(9)]), None),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            txn.insert(t, simple_row(9, 90), Some(empty)),
+            Err(Error::EmptyPeriod(_))
+        ));
+        assert!(matches!(
+            txn.insert(p, simple_row(9, 90), Some(some)),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            txn.update(t, &Key::int(1), &[(7, Value::Int(0))], None),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            txn.update(p, &Key::int(1), &[(1, Value::Int(0))], Some(some)),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            txn.delete(p, &Key::int(1), Some(some)),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            txn.overwrite_app_period(t, &Key::int(1), empty),
+            Err(Error::EmptyPeriod(_))
+        ));
+        assert!(matches!(
+            txn.overwrite_app_period(p, &Key::int(1), some),
+            Err(Error::Unsupported(_))
+        ));
+
+        // The rejections buffered nothing and poisoned nothing: the same
+        // transaction still commits its valid write, and the WAL replays.
+        txn.insert(t, simple_row(2, 20), None).unwrap();
+        txn.commit().unwrap();
+        let (engine, ids, durable) = mgr.close().unwrap();
+        assert_eq!(durable, 1, "only the valid commit was logged");
+        let rec = recover(
+            SystemKind::A,
+            &buf.snapshot(),
+            &[base],
+            &TuningConfig::none(),
+        )
+        .unwrap();
+        assert!(rec.report.unreplayable.is_none());
+        assert_eq!(rec.report.replayed, 1);
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(engine.as_ref(), &ids).unwrap()
+        );
+    }
+
+    /// A WAL append failure after apply poisons the manager, and the
+    /// failed transaction is absent from the durable log: recovery
+    /// reproduces exactly the acknowledged commit prefix, never a
+    /// transaction whose commit returned an error.
+    #[test]
+    fn wal_append_failure_poisons_and_leaves_no_ghost_record() {
+        let buf = SharedBuf::new();
+        let sink = FaultyWriter::new(
+            buf.clone(),
+            FaultPlan::none().with(FaultKind::TruncateAt(220)),
+        );
+        let wal = TxnWal::create(Box::new(sink), DurabilityMode::Strict).unwrap();
+        let mgr = manager(SystemKind::A, Some(wal));
+        let t = mgr.table_ids()[0];
+        let base = mgr.checkpoint().unwrap().encode();
+
+        let mut acknowledged = 0i64;
+        let mut failure = None;
+        for i in 0..64i64 {
+            let mut txn = mgr.begin().unwrap();
+            txn.insert(t, simple_row(100 + i, i), None).unwrap();
+            match txn.commit() {
+                Ok(_) => acknowledged += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let failure = failure.expect("the byte cut must fire");
+        assert!(matches!(failure, Error::Internal(_)), "{failure:?}");
+        assert!(acknowledged >= 1, "need an acknowledged prefix to verify");
+        // Poisoned: the manager stops serving rather than lying.
+        assert!(matches!(mgr.begin(), Err(Error::Internal(_))));
+
+        // A fault-free twin serving the same acknowledged prefix is the
+        // oracle for what the durable history may contain.
+        let twin = manager(SystemKind::A, None);
+        let tt = twin.table_ids()[0];
+        for i in 0..acknowledged {
+            let mut txn = twin.begin().unwrap();
+            txn.insert(tt, simple_row(100 + i, i), None).unwrap();
+            txn.commit().unwrap();
+        }
+        let (twin_engine, twin_ids, _) = twin.close().unwrap();
+
+        let rec = recover(
+            SystemKind::A,
+            &buf.snapshot(),
+            &[base],
+            &TuningConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(rec.report.commits, acknowledged as u64);
+        assert!(rec.report.unreplayable.is_none());
+        assert_eq!(
+            canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
+            canonical_state(twin_engine.as_ref(), &twin_ids).unwrap(),
+            "recovery serves exactly the acknowledged prefix"
+        );
+    }
+
+    /// A manager constructed over a non-empty WAL continues its sequence
+    /// numbering, so checkpoints stay labelled with the exact WAL seq they
+    /// cover — the drop/double-replay boundary guarantee.
+    #[test]
+    fn manager_adopts_a_non_empty_wal_sequence() {
+        let buf = SharedBuf::new();
+        let mut wal = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).unwrap();
+
+        // A prior serving run: base state (rows 1, 2), then one applied
+        // and logged transaction (row 3).
+        let mut engine = build_engine(SystemKind::A);
+        let t = engine.create_table(bitemp_table("t")).unwrap();
+        engine.insert(t, simple_row(1, 10), None).unwrap();
+        engine.insert(t, simple_row(2, 20), None).unwrap();
+        engine.commit();
+        let ids = vec![t];
+        let base = Checkpoint::capture(engine.as_mut(), &ids, 0)
+            .unwrap()
+            .encode();
+        let prior = TxnOps {
+            scenarios: Vec::new(),
+            ops: vec![Op::Insert {
+                table: 0,
+                row: simple_row(3, 30),
+                app: None,
+            }],
+        };
+        for op in &prior.ops {
+            apply_op(engine.as_mut(), &ids, op).unwrap();
+        }
+        engine.commit();
+        wal.append(&encode_txn(&prior).unwrap()).unwrap();
+
+        // Adoption: the next commit is record 2, not record 1.
+        let mgr = TxnManager::new(engine, ids, Some(wal)).unwrap();
+        let t = mgr.table_ids()[0];
+        let mut txn = mgr.begin().unwrap();
+        txn.insert(t, simple_row(4, 40), None).unwrap();
+        txn.commit().unwrap();
+        let ckpt = mgr.checkpoint().unwrap();
+        assert_eq!(ckpt.seq, 2, "checkpoint labelled with the adopted seq");
+
+        let (engine, ids, durable) = mgr.close().unwrap();
+        assert_eq!(durable, 2);
+        // From the late checkpoint nothing replays; from the base, both
+        // records replay — either way the served state is reproduced.
+        let late = recover(
+            SystemKind::A,
+            &buf.snapshot(),
+            &[base.clone(), ckpt.encode()],
+            &TuningConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(late.report.checkpoint_seq, 2);
+        assert_eq!(late.report.replayed, 0);
+        assert_eq!(
+            canonical_state(late.engine.as_ref(), &late.ids).unwrap(),
+            canonical_state(engine.as_ref(), &ids).unwrap()
+        );
+        let full = recover(
+            SystemKind::A,
+            &buf.snapshot(),
+            &[base],
+            &TuningConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(full.report.replayed, 2);
+        assert_eq!(
+            canonical_state(full.engine.as_ref(), &full.ids).unwrap(),
+            canonical_state(engine.as_ref(), &ids).unwrap()
+        );
     }
 
     #[test]

@@ -146,6 +146,13 @@ pub struct RecoveryReport {
     pub wal_valid_len: u64,
     /// Committed transactions represented in the recovered state.
     pub commits: u64,
+    /// `Some(reason)` if a structurally valid record failed to decode or
+    /// apply: replay stopped at its boundary (state continuity past a
+    /// skipped record would be fiction) and the recovered state covers
+    /// only the records before it. Both log writers append a record only
+    /// after (or while trusting that) its transaction applies, so this
+    /// indicates corruption that slipped past the frame checksums.
+    pub unreplayable: Option<String>,
 }
 
 /// A recovered engine with its table ids and the recovery accounting.
@@ -163,9 +170,11 @@ pub struct Recovered {
 /// `tuning` exactly as the bench runner does after a cold load.
 ///
 /// Corruption is handled, not propagated: a torn WAL tail is truncated at
-/// the last clean record boundary, and a corrupt checkpoint falls back to
-/// the next older one. Only a *total* loss — no decodable checkpoint at
-/// all — is an error.
+/// the last clean record boundary, a corrupt checkpoint falls back to the
+/// next older one, and a record that fails to decode or apply truncates
+/// replay at its boundary ([`RecoveryReport::unreplayable`]) instead of
+/// failing the whole recovery. Only a *total* loss — no decodable
+/// checkpoint at all — is an error.
 pub fn recover(
     kind: SystemKind,
     wal_bytes: &[u8],
@@ -190,23 +199,62 @@ pub fn recover(
             checkpoints.len()
         ))
     })?;
-    let mut engine = build_engine(kind);
-    let ids = ckpt.restore_into(engine.as_mut())?;
-    let mut replayed = 0u64;
+    // Decode every record past the checkpoint before touching the engine:
+    // a record that fails to decode truncates replay at its boundary
+    // (reported, not propagated — the same philosophy as the torn-tail
+    // scan), and decode failures caught here can never leave partial
+    // pending state behind.
+    let mut txns = Vec::new();
+    let mut unreplayable = None;
     for rec in &scan.records {
         if rec.seq <= ckpt.seq {
             continue;
         }
-        let txn = decode_txn(&rec.payload)?;
-        for op in &txn.ops {
-            apply_op(engine.as_mut(), &ids, op)?;
+        match decode_txn(&rec.payload) {
+            Ok(txn) => txns.push(txn),
+            Err(e) => {
+                unreplayable = Some(format!("record {} failed to decode: {e}", rec.seq));
+                break;
+            }
+        }
+    }
+    let mut engine = build_engine(kind);
+    let ids = ckpt.restore_into(engine.as_mut())?;
+    let mut replayed = 0u64;
+    for (i, txn) in txns.iter().enumerate() {
+        let failed = txn
+            .ops
+            .iter()
+            .find_map(|op| apply_op(engine.as_mut(), &ids, op).err());
+        if let Some(e) = failed {
+            // The failing record left partial pending state; rebuild from
+            // the checkpoint and replay only the known-good prefix (those
+            // records are deterministic and already applied once).
+            unreplayable = Some(format!(
+                "record {} failed to apply: {e}",
+                ckpt.seq + i as u64 + 1
+            ));
+            engine = build_engine(kind);
+            let restored = ckpt.restore_into(engine.as_mut())?;
+            debug_assert_eq!(restored, ids, "checkpoint restore must be deterministic");
+            replayed = 0;
+            for good in &txns[..i] {
+                for op in &good.ops {
+                    apply_op(engine.as_mut(), &ids, op)?;
+                }
+                engine.commit();
+                replayed += 1;
+            }
+            break;
         }
         engine.commit();
         replayed += 1;
     }
     engine.apply_tuning(tuning)?;
     engine.checkpoint();
-    let commits = ckpt.seq.max(scan.last_seq());
+    // Record seqs are dense and 1-based, so the recovered state covers
+    // exactly the checkpoint plus every replayed record.
+    let commits = ckpt.seq + replayed;
     Ok(Recovered {
         engine,
         ids,
@@ -218,6 +266,7 @@ pub fn recover(
             torn: scan.torn,
             wal_valid_len: scan.valid_len,
             commits,
+            unreplayable,
         },
     })
 }
@@ -498,6 +547,80 @@ mod tests {
             canonical_state(rec.engine.as_ref(), &rec.ids).unwrap(),
             canonical_state(oracle.as_ref(), &oracle_ids).unwrap()
         );
+    }
+
+    /// A structurally valid record whose transaction cannot apply (here:
+    /// an overwrite of a key the state never held) must truncate replay at
+    /// its boundary — everything before it recovers, nothing after it is
+    /// half-applied, and the report says why — instead of failing the
+    /// whole recovery and taking every previously committed transaction
+    /// down with it.
+    #[test]
+    fn unreplayable_record_truncates_replay_instead_of_failing() {
+        use bitempo_core::{AppDate, Key, Period};
+        use bitempo_engine::testutil::{bitemp_table, simple_row};
+        use bitempo_histgen::{Op, Transaction};
+
+        let mut engine = build_engine(SystemKind::A);
+        let t = engine.create_table(bitemp_table("t")).unwrap();
+        engine.insert(t, simple_row(1, 10), None).unwrap();
+        engine.commit();
+        let ids = vec![t];
+        let base = Checkpoint::capture(engine.as_mut(), &ids, 0)
+            .unwrap()
+            .encode();
+
+        let insert = |id: i64| Transaction {
+            scenarios: Vec::new(),
+            ops: vec![Op::Insert {
+                table: 0,
+                row: simple_row(id, id * 10),
+                app: None,
+            }],
+        };
+        let poison = Transaction {
+            scenarios: Vec::new(),
+            ops: vec![Op::OverwriteApp {
+                table: 0,
+                key: Key::int(i64::MAX),
+                period: Period::new(AppDate(0), AppDate::MAX),
+            }],
+        };
+        let buf = SharedBuf::new();
+        let mut log = TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).unwrap();
+        log.append(&encode_txn(&insert(2)).unwrap()).unwrap();
+        log.append(&encode_txn(&poison).unwrap()).unwrap();
+        log.append(&encode_txn(&insert(3)).unwrap()).unwrap();
+        log.close().unwrap();
+
+        let rec = recover(
+            SystemKind::A,
+            &buf.snapshot(),
+            &[base],
+            &TuningConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(rec.report.replayed, 1, "only the good prefix replays");
+        assert_eq!(rec.report.commits, 1);
+        let reason = rec.report.unreplayable.as_deref().unwrap();
+        assert!(reason.contains("record 2"), "got: {reason}");
+        // The recovered state is exactly the prefix: rows 1 and 2, no
+        // partial residue of the poisoned record, nothing after it.
+        use bitempo_engine::api::{AppSpec, SysSpec};
+        let rows = rec
+            .engine
+            .scan(rec.ids[0], &SysSpec::Current, &AppSpec::All, &[])
+            .unwrap()
+            .rows;
+        let mut keys: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.get(0) {
+                bitempo_core::Value::Int(i) => *i,
+                other => panic!("unexpected key {other:?}"),
+            })
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
     }
 
     #[test]
