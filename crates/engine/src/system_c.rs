@@ -220,7 +220,7 @@ impl SystemC {
             };
             if open {
                 // tblint: allow(TB004) row came from a fragment with the identical physical schema
-                let new_id = t.current.append(&row).expect("schema preserved");
+                let new_id = t.current.append_row(&row).expect("schema preserved");
                 let key_vals: Vec<Value> =
                     def.key.iter().map(|&c| old.get_value(c, rowid)).collect();
                 let key = match key_vals.as_slice() {
@@ -231,7 +231,7 @@ impl SystemC {
                 new_map.entry(key).or_default().push(new_id);
             } else {
                 // tblint: allow(TB004) row came from a fragment with the identical physical schema
-                let hist_id = t.history.append(&row).expect("schema preserved");
+                let hist_id = t.history.append_row(&row).expect("schema preserved");
                 if let Some(tix) = &mut t.tindex {
                     let (app, sysp) = periods_of(&old, hidden, rowid);
                     tix.insert(hist_id as u64, app, sysp);
@@ -316,7 +316,7 @@ impl SequencedOps for SystemC {
         let phys = self.physical_row(table, &version);
         let t = self.table_mut(table);
         // tblint: allow(TB004) physical_row builds against this table's own physical schema
-        let rowid = t.current.append(&phys).expect("schema matches");
+        let rowid = t.current.append_row(&phys).expect("schema matches");
         let key = Key::from_row(&version.row, &def_key);
         t.key_map.entry(key).or_default().push(rowid);
         if let Some(tix) = &mut t.cur_tindex {
@@ -836,7 +836,7 @@ impl BitemporalEngine for SystemC {
                 let phys_row = self.physical_row(table, &v);
                 let t = self.table_mut(table);
                 t.history
-                    .append(&phys_row)
+                    .append_row(&phys_row)
                     .map_err(|e| Error::Internal(format!("restore history append: {e}")))?;
             }
         }

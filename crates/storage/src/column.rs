@@ -152,7 +152,11 @@ impl ColumnTable {
     }
 
     /// Appends a row; returns its stable row id.
-    pub fn append(&mut self, row: &Row) -> Result<usize> {
+    ///
+    /// (Named `append_row` rather than `append` so the workspace-unique
+    /// name `append` stays reserved for the WAL's blocking append — tblint
+    /// TB008 resolves intra-workspace calls by name, one hop deep.)
+    pub fn append_row(&mut self, row: &Row) -> Result<usize> {
         if row.arity() != self.schema.arity() {
             return Err(Error::Invalid(format!(
                 "row arity {} vs schema arity {}",
@@ -363,7 +367,7 @@ mod tests {
     fn append_and_read_back() {
         let mut t = ColumnTable::new(schema());
         for i in 0..10 {
-            let id = t.append(&row(i, "widget", i as f64 * 1.5)).unwrap();
+            let id = t.append_row(&row(i, "widget", i as f64 * 1.5)).unwrap();
             assert_eq!(id, i as usize);
         }
         assert_eq!(t.len(), 10);
@@ -375,7 +379,7 @@ mod tests {
     fn dictionary_deduplicates() {
         let mut t = ColumnTable::new(schema());
         for i in 0..100 {
-            t.append(&row(i, if i % 2 == 0 { "even" } else { "odd" }, 1.0))
+            t.append_row(&row(i, if i % 2 == 0 { "even" } else { "odd" }, 1.0))
                 .unwrap();
         }
         assert_eq!(t.dicts[1].strings.len(), 2);
@@ -385,7 +389,7 @@ mod tests {
     fn merge_preserves_row_ids_and_values() {
         let mut t = ColumnTable::new(schema());
         for i in 0..20 {
-            t.append(&row(i, "x", 0.0)).unwrap();
+            t.append_row(&row(i, "x", 0.0)).unwrap();
         }
         let before: Vec<Row> = (0..20).map(|i| t.get_row(i)).collect();
         assert_eq!(t.delta_len(), 20);
@@ -396,7 +400,7 @@ mod tests {
             assert_eq!(&t.get_row(i), b);
         }
         // Appends after merge continue the id sequence.
-        let id = t.append(&row(99, "y", 9.9)).unwrap();
+        let id = t.append_row(&row(99, "y", 9.9)).unwrap();
         assert_eq!(id, 20);
         t.merge();
         assert_eq!(t.get_row(20), row(99, "y", 9.9));
@@ -405,8 +409,8 @@ mod tests {
     #[test]
     fn nulls_round_trip_across_merge() {
         let mut t = ColumnTable::new(schema());
-        t.append(&row(1, "a", 1.0)).unwrap();
-        t.append(&Row::new(vec![
+        t.append_row(&row(1, "a", 1.0)).unwrap();
+        t.append_row(&Row::new(vec![
             Value::Int(2),
             Value::Null,
             Value::Null,
@@ -414,7 +418,7 @@ mod tests {
             Value::SysTime(SysTime(0)),
         ]))
         .unwrap();
-        t.append(&row(3, "c", 3.0)).unwrap();
+        t.append_row(&row(3, "c", 3.0)).unwrap();
         assert!(t.get_value(1, 1).is_null());
         assert!(t.get_value(2, 1).is_null());
         assert!(!t.get_value(1, 2).is_null());
@@ -427,12 +431,12 @@ mod tests {
     #[test]
     fn set_value_closes_system_period() {
         let mut t = ColumnTable::new(schema());
-        t.append(&row(1, "a", 1.0)).unwrap();
+        t.append_row(&row(1, "a", 1.0)).unwrap();
         t.merge();
         t.set_value(4, 0, &Value::SysTime(SysTime(42))).unwrap();
         assert_eq!(t.get_value(4, 0), Value::SysTime(SysTime(42)));
         // And in the delta fragment too.
-        t.append(&row(2, "b", 2.0)).unwrap();
+        t.append_row(&row(2, "b", 2.0)).unwrap();
         t.set_value(0, 1, &Value::Int(7)).unwrap();
         assert_eq!(t.get_value(0, 1), Value::Int(7));
     }
@@ -441,18 +445,18 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = ColumnTable::new(schema());
         let bad = Row::new(vec![Value::Int(1)]);
-        assert!(t.append(&bad).is_err());
+        assert!(t.append_row(&bad).is_err());
     }
 
     #[test]
     fn typed_scans() {
         let mut t = ColumnTable::new(schema());
         for i in 0..5 {
-            t.append(&row(i, "s", 0.0)).unwrap();
+            t.append_row(&row(i, "s", 0.0)).unwrap();
         }
         t.merge();
         for i in 5..8 {
-            t.append(&row(i, "s", 0.0)).unwrap();
+            t.append_row(&row(i, "s", 0.0)).unwrap();
         }
         let ids: Vec<i64> = t.scan_int(0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);

@@ -1,0 +1,17 @@
+// TB008 clean fixture: the same blocking operations, but the guard is
+// dead first — dropped explicitly or by scope exit.
+fn flush_after_drop(&self) -> Result<()> {
+    let mut reg = self.registry.lock().expect("registry poisoned");
+    let file = reg.take_file();
+    drop(reg);
+    file.sync_all()?;
+    Ok(())
+}
+
+fn nap_after_scope(&self) {
+    {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.mark_dirty();
+    }
+    std::thread::sleep(self.interval);
+}

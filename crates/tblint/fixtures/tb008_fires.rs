@@ -1,0 +1,13 @@
+// TB008 firing fixture: blocking operations run while a mutex guard is
+// still live — every other user of the lock waits out the latency.
+fn flush_under_lock(&self) -> Result<()> {
+    let mut reg = self.registry.lock().expect("registry poisoned");
+    reg.file.sync_all()?;
+    Ok(())
+}
+
+fn nap_under_lock(&self) {
+    let g = self.registry.lock().expect("registry poisoned");
+    std::thread::sleep(self.interval);
+    drop(g);
+}

@@ -1,0 +1,6 @@
+// TB008 one-hop fixture (callee half): blocks, but holds nothing itself —
+// only callers with live guards are findings.
+fn flush_log(st: &mut State) -> Result<()> {
+    st.file.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,8 @@
+// TB008 one-hop fixture (caller half): the blocking operation hides one
+// intra-workspace call away — `flush_log` fsyncs, and this function calls
+// it with the state guard live.
+fn commit_under_lock(&self) -> Result<()> {
+    let mut st = self.state.write().expect("state poisoned");
+    flush_log(&mut st)?;
+    Ok(())
+}

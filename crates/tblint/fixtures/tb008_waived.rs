@@ -1,0 +1,8 @@
+// TB008 waived fixture: a sink's own serialization mutex exists to order
+// writes *and* syncs — blocking under it is the design, stated in place.
+fn sync_under_sink_lock(&self) -> Result<()> {
+    let mut s = self.sink.lock().expect("sink poisoned");
+    // tblint: allow(TB008) the sink mutex serializes the sink itself; syncing under it is the point
+    s.file.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+// TB009 clean fixture: both paths honor the same hierarchy
+// (accounts before audit), so the lock-order graph is acyclic.
+fn transfer(&self) {
+    let a = self.accounts.lock().expect("accounts poisoned");
+    let b = self.audit.lock().expect("audit poisoned");
+    reconcile(&a, &b);
+}
+
+fn report(&self) {
+    let a = self.accounts.lock().expect("accounts poisoned");
+    let b = self.audit.lock().expect("audit poisoned");
+    reconcile(&a, &b);
+}

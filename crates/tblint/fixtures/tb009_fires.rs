@@ -1,0 +1,14 @@
+// TB009 firing fixture: a classic two-lock inversion. `transfer` takes
+// accounts then audit; `report` takes audit then accounts. Under load the
+// two paths deadlock; tblint reports the cycle with both witness chains.
+fn transfer(&self) {
+    let a = self.accounts.lock().expect("accounts poisoned");
+    let b = self.audit.lock().expect("audit poisoned");
+    reconcile(&a, &b);
+}
+
+fn report(&self) {
+    let b = self.audit.lock().expect("audit poisoned");
+    let a = self.accounts.lock().expect("accounts poisoned");
+    reconcile(&a, &b);
+}

@@ -1,0 +1,11 @@
+// TB010 clean fixture: the two sanctioned poison policies — a named
+// `.expect("<lock name> poisoned")`, or explicit recovery that takes the
+// data despite the poison.
+fn seq(&self) -> u64 {
+    let st = self.state.lock().expect("state poisoned");
+    st.seq
+}
+
+fn first_panic(&self) -> Option<String> {
+    self.panics.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}

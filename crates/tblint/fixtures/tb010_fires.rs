@@ -1,0 +1,10 @@
+// TB010 firing fixture: bare `.unwrap()` on lock results erases the
+// poison policy — a panic elsewhere cascades as an unexplained panic here.
+fn seq(&self) -> u64 {
+    let st = self.state.lock().unwrap();
+    st.seq
+}
+
+fn snapshot(&self) -> u64 {
+    self.state.read().unwrap().seq
+}

@@ -1,0 +1,7 @@
+// TB010 waived fixture: a deliberate bare unwrap with the justification
+// stated in place (e.g. a single-threaded harness that wants the panic).
+fn seq(&self) -> u64 {
+    // tblint: allow(TB010) single-threaded harness; a poisoned lock here is unreachable and should abort loudly
+    let st = self.state.lock().unwrap();
+    st.seq
+}

@@ -11,6 +11,7 @@
 //! unwaived finding, which is how CI gates on it.
 
 pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod waiver;
 
@@ -142,9 +143,54 @@ fn snippet_at(src: &str, line: u32) -> String {
     }
 }
 
+/// Runs the flow-aware concurrency rules (TB008, TB009) over a set of
+/// labelled sources *as one workspace*, resolving waivers per file. This
+/// is the fixture-test entry point for the cross-file rules, the same way
+/// [`check_source`] is for the per-file ones. Unused waivers are not
+/// reported here (the sources may carry waivers for per-file rules this
+/// pass does not run); [`run_workspace`] does the full lifecycle.
+pub fn check_concurrency_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let lexed: Vec<lexer::LexOut> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let inputs: Vec<(String, Vec<lexer::Tok>)> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((path, _), l)| (path.to_string(), l.toks.clone()))
+        .collect();
+    let mut waivers: Vec<Vec<waiver::Waiver>> =
+        lexed.iter().map(|l| waiver::parse(&l.comments).0).collect();
+    let mut diags = Vec::new();
+    for (idx, finding) in rules::check_concurrency(&inputs) {
+        let (path, src) = files[idx];
+        let waived = waiver::claim(&mut waivers[idx], finding.code, finding.line);
+        diags.push(Diagnostic {
+            file: path.to_string(),
+            line: finding.line,
+            code: finding.code,
+            message: finding.message,
+            snippet: snippet_at(src, finding.line),
+            waived,
+        });
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    diags
+}
+
+/// Per-file analysis state for [`run_workspace`]: one waiver set per file
+/// is threaded through *every* pass (per-file rules, TB005 parity, the
+/// concurrency pass) so a waiver for a workspace-level finding is claimed
+/// by it and only genuinely unclaimed waivers are reported unused.
+struct FileCtx {
+    rel: String,
+    src: String,
+    toks: Vec<lexer::Tok>,
+    waivers: Vec<waiver::Waiver>,
+}
+
 /// Lints the whole workspace rooted at `root`: every `.rs` file under
 /// `crates/`, `tests/` and `examples/`, except fixture directories and
-/// build output. Also runs the cross-file TB005 parity rule.
+/// build output. Runs the per-file rules, the cross-file TB005 parity
+/// rule, and the flow-aware concurrency pass (TB008, TB009) over all
+/// `crates/` files, then reports unused waivers.
 pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for top in ["crates", "tests", "examples"] {
@@ -156,33 +202,92 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
         files: files.len(),
         ..Report::default()
     };
-    let mut parity_inputs: Vec<(String, lexer::LexOut, String)> = Vec::new();
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = relative_label(root, path);
         let src = std::fs::read_to_string(path)?;
-        report.diagnostics.extend(check_source(&rel, &src));
-        if rules::tb005_scope(&rel) {
-            parity_inputs.push((rel, lexer::lex(&src), src));
+        let lexed = lexer::lex(&src);
+        let (waivers, malformed) = waiver::parse(&lexed.comments);
+        let ctx = FileCtx {
+            rel,
+            src,
+            toks: lexed.toks,
+            waivers,
+        };
+        for m in malformed {
+            report.diagnostics.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: m.line,
+                code: rules::TB000,
+                message: m.problem,
+                snippet: snippet_at(&ctx.src, m.line),
+                waived: None,
+            });
+        }
+        ctxs.push(ctx);
+    }
+
+    // Pass 1: per-file rules.
+    let mut findings: Vec<(usize, rules::Finding)> = Vec::new();
+    for (i, ctx) in ctxs.iter().enumerate() {
+        for f in rules::check_file(&ctx.rel, &ctx.toks) {
+            findings.push((i, f));
         }
     }
 
-    // TB005 runs across files; waivers still apply per file.
-    let toks: Vec<(String, Vec<lexer::Tok>)> = parity_inputs
-        .iter()
-        .map(|(p, l, _)| (p.clone(), l.toks.clone()))
+    // Pass 2: TB005 parity across the engine files.
+    let parity_idx: Vec<usize> = (0..ctxs.len())
+        .filter(|&i| rules::tb005_scope(&ctxs[i].rel))
         .collect();
-    for (idx, finding) in rules::check_parity(&toks) {
-        let (path, lexed, src) = &parity_inputs[idx];
-        let (mut waivers, _) = waiver::parse(&lexed.comments);
-        let waived = waiver::claim(&mut waivers, finding.code, finding.line);
+    let parity: Vec<(String, Vec<lexer::Tok>)> = parity_idx
+        .iter()
+        .map(|&i| (ctxs[i].rel.clone(), ctxs[i].toks.clone()))
+        .collect();
+    for (pi, f) in rules::check_parity(&parity) {
+        findings.push((parity_idx[pi], f));
+    }
+
+    // Pass 3: the flow-aware concurrency rules over all crate sources.
+    let conc_idx: Vec<usize> = (0..ctxs.len())
+        .filter(|&i| ctxs[i].rel.starts_with("crates/"))
+        .collect();
+    let conc: Vec<(String, Vec<lexer::Tok>)> = conc_idx
+        .iter()
+        .map(|&i| (ctxs[i].rel.clone(), ctxs[i].toks.clone()))
+        .collect();
+    for (ci, f) in rules::check_concurrency(&conc) {
+        findings.push((conc_idx[ci], f));
+    }
+
+    // Waiver resolution across everything the passes produced, then the
+    // unused-waiver sweep.
+    for (i, f) in findings {
+        let ctx = &mut ctxs[i];
+        let waived = if f.code == rules::TB000 {
+            None // waiver hygiene problems cannot be waived away
+        } else {
+            waiver::claim(&mut ctx.waivers, f.code, f.line)
+        };
         report.diagnostics.push(Diagnostic {
-            file: path.clone(),
-            line: finding.line,
-            code: finding.code,
-            message: finding.message,
-            snippet: snippet_at(src, finding.line),
+            file: ctx.rel.clone(),
+            line: f.line,
+            code: f.code,
+            message: f.message,
+            snippet: snippet_at(&ctx.src, f.line),
             waived,
         });
+    }
+    for ctx in &ctxs {
+        for w in ctx.waivers.iter().filter(|w| !w.used) {
+            report.diagnostics.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: w.line,
+                code: rules::TB000,
+                message: format!("unused waiver for {} — remove it", w.code),
+                snippet: snippet_at(&ctx.src, w.line),
+                waived: None,
+            });
+        }
     }
 
     report

@@ -1,0 +1,933 @@
+//! Flow-aware per-function models for the concurrency rules (TB008–TB010).
+//!
+//! [`build`] turns one file's token stream into a [`FileModel`]: for every
+//! `fn` it tracks *guard regions* — the spans where a `Mutex`/`RwLock`
+//! guard obtained via `.lock()` / `.read()` / `.write()` is live — by
+//! watching `let` bindings, early `drop(guard)`, statement ends (for
+//! guard temporaries never bound to a name) and scope exits. Inside a
+//! live region it records three kinds of [`Event`]:
+//!
+//! * **Blocking** — a blocking operation (fsync-class syncs, sleeps,
+//!   parks, group-commit waits, `File::open`/`create`) ran while at least
+//!   one guard was held. `Condvar::wait*` is special-cased: waiting on the
+//!   guard it atomically releases is the sanctioned pattern, so it only
+//!   counts as blocking when *another* guard is also live.
+//! * **Acquire** — a second lock was taken while one was held. These are
+//!   the edges of the workspace lock-order graph ([`lock_edges`]), whose
+//!   cycles ([`find_cycles`]) are the TB009 findings.
+//! * **Call** — a workspace function was called while a guard was held.
+//!   [`summaries`] aggregates what every *uniquely named* workspace
+//!   function blocks on and acquires, so the rules can propagate both
+//!   properties one call level deep without a full interprocedural
+//!   analysis.
+//!
+//! The model is a deliberate over-approximation on a token stream, not an
+//! AST: guards bound through `if let` / `match` patterns are assumed live
+//! to the end of the enclosing scope, closure bodies are scanned inline as
+//! part of their defining function, and call resolution is by *name*,
+//! restricted to names with exactly one workspace definition and filtered
+//! through an ambient blocklist (names that shadow std methods). The
+//! trade-offs and escape hatch (waivers with justifications) are
+//! documented in DESIGN.md §12.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Zero-argument methods that produce a lock guard. The empty-parens
+/// requirement is what keeps `io::Read::read(buf)` / `Write::write(buf)`
+/// calls from being mistaken for `RwLock` acquisitions.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Method / path-call names that block the calling thread. `join` is
+/// deliberately absent (`PathBuf::join`, `str::join`); `read_line` too —
+/// `stdin.lock().read_line(..)` is the sanctioned stdin pattern.
+const BLOCKING_METHODS: [&str; 10] = [
+    "sync",
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "flush",
+    "sleep",
+    "park",
+    "recv",
+    "recv_timeout",
+    "wait_for",
+];
+
+/// Condvar waits: blocking, but they *consume* the guard passed as the
+/// first argument (releasing it atomically), so only foreign guards count.
+const CONDVAR_WAITS: [&str; 3] = ["wait", "wait_timeout", "wait_while"];
+
+/// Keywords that can precede `(` without being a call.
+const KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "loop", "match", "return", "move", "in", "else", "unsafe", "as", "ref",
+    "box", "dyn",
+];
+
+/// Names excluded from one-hop call resolution even when uniquely defined
+/// in the workspace: they shadow ubiquitous std methods, so a call site
+/// almost never refers to the workspace definition.
+const AMBIENT_NAMES: [&str; 40] = [
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "clear",
+    "iter",
+    "next",
+    "write",
+    "read",
+    "lock",
+    "drop",
+    "fmt",
+    "from",
+    "into",
+    "eq",
+    "cmp",
+    "hash",
+    "min",
+    "max",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "map",
+    "and_then",
+    "ok",
+    "take",
+    "into_inner",
+    "join",
+    "find",
+    "position",
+    "retain",
+];
+
+/// One lock guard live at an event, named by the field/static it came
+/// from (the last path identifier before `.lock()` / `.read()` /
+/// `.write()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Held {
+    /// Lock key, e.g. `state`, `wal`, `pins`.
+    pub key: String,
+    /// 1-based line the guard was acquired on.
+    pub line: u32,
+}
+
+/// Something that happened inside a live guard region.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A blocking operation ran with `held` guards live.
+    Blocking {
+        /// The blocking call name (`sync_all`, `sleep`, …).
+        what: String,
+        /// 1-based line of the blocking call.
+        line: u32,
+        /// Guards live at that point (non-empty).
+        held: Vec<Held>,
+    },
+    /// A workspace-function call with `held` guards live.
+    Call {
+        /// Callee name as written at the call site.
+        callee: String,
+        /// 1-based line of the call.
+        line: u32,
+        /// Guards live at that point (non-empty).
+        held: Vec<Held>,
+    },
+    /// A lock acquisition with `held` (pre-existing) guards live.
+    Acquire {
+        /// Key of the newly acquired lock.
+        key: String,
+        /// 1-based line of the acquisition.
+        line: u32,
+        /// Guards already live (non-empty) — the lock-order predecessors.
+        held: Vec<Held>,
+    },
+}
+
+/// One function's flow model.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Function name as written after `fn`.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Events that happened while at least one guard was live.
+    pub events: Vec<Event>,
+    /// Every lock acquisition in the body (guarded or not) — the
+    /// callee-side half of one-hop lock-order edges.
+    pub acquires: Vec<(String, u32)>,
+    /// Every blocking operation in the body (guarded or not) — the
+    /// callee-side half of one-hop TB008.
+    pub blocking: Vec<(String, u32)>,
+}
+
+/// One file's functions, including nested ones.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// Workspace-relative path label.
+    pub path: String,
+    /// Per-function models in source order.
+    pub fns: Vec<FnModel>,
+}
+
+/// What a uniquely named workspace function does, for one-hop
+/// propagation into its callers.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// File of the unique definition.
+    pub file: String,
+    /// Blocking operations: `(what, file, line)`.
+    pub blocking: Vec<(String, String, u32)>,
+    /// Lock acquisitions: `(key, file, line)`.
+    pub acquires: Vec<(String, String, u32)>,
+}
+
+/// A lock-order graph node: the lock key qualified by the file that
+/// acquires it, so unrelated fields that happen to share a name (txn's
+/// `state` RwLock vs. the WAL flusher's `state` Mutex) are never unified.
+pub type Node = (String, String);
+
+/// Why a lock-order edge exists: the acquisition (or call) site.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Index into the `models` slice the edge was found in.
+    pub file_idx: usize,
+    /// 1-based line of the second acquisition (or the call that reaches
+    /// it).
+    pub line: u32,
+    /// Human-readable chain, e.g. `` `commit` holds `state` (line 426)
+    /// and acquires `pins` at crates/txn/src/lib.rs:525 ``.
+    pub desc: String,
+}
+
+/// A cycle in the lock-order graph, with one witness per edge.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// The nodes on the cycle, starting from the smallest.
+    pub nodes: Vec<Node>,
+    /// One witness per edge, in cycle order.
+    pub witnesses: Vec<Witness>,
+}
+
+/// Builds the per-function models for one file.
+pub fn build(path: &str, toks: &[Tok]) -> FileModel {
+    let mut spans = Vec::new();
+    collect_fn_spans(toks, 0, toks.len(), &mut spans);
+    let fns = spans.iter().map(|s| scan_fn(toks, s)).collect();
+    FileModel {
+        path: path.to_string(),
+        fns,
+    }
+}
+
+/// A function's body location: `open` is the index of its `{`, `close`
+/// of the matching `}`.
+struct FnSpan {
+    name: String,
+    line: u32,
+    open: usize,
+    close: usize,
+}
+
+/// Finds every `fn` with a body in `toks[i..end]`, recursing into bodies
+/// so nested functions get their own span.
+fn collect_fn_spans(toks: &[Tok], mut i: usize, end: usize, out: &mut Vec<FnSpan>) {
+    while i < end {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            let name = match toks.get(i + 1) {
+                Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // The body `{` is the first brace outside the parameter list /
+            // generics; a `;` first means a bodyless trait method.
+            let mut j = i + 2;
+            let mut nest = 0i32;
+            let mut body = None;
+            while j < end {
+                match toks[j].text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" if nest == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" if nest == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            match body {
+                Some(open) => {
+                    let close = match_brace(toks, open, end);
+                    out.push(FnSpan {
+                        name,
+                        line: toks[i].line,
+                        open,
+                        close,
+                    });
+                    collect_fn_spans(toks, open + 1, close, out);
+                    i = close + 1;
+                }
+                None => i = j + 1,
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or `end - 1`).
+fn match_brace(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// A live guard during the scan.
+struct Guard {
+    key: String,
+    /// `Some(binding)` for `let g = ….lock()…`, `None` for a statement
+    /// temporary.
+    name: Option<String>,
+    line: u32,
+    /// Brace depth at acquisition; the guard dies when the scan pops
+    /// below it.
+    depth: u32,
+}
+
+fn snapshot(live: &[Guard]) -> Vec<Held> {
+    live.iter()
+        .map(|g| Held {
+            key: g.key.clone(),
+            line: g.line,
+        })
+        .collect()
+}
+
+/// Scans one function body, tracking guard regions and recording events.
+#[allow(clippy::too_many_lines)]
+fn scan_fn(toks: &[Tok], span: &FnSpan) -> FnModel {
+    let mut model = FnModel {
+        name: span.name.clone(),
+        line: span.line,
+        events: Vec::new(),
+        acquires: Vec::new(),
+        blocking: Vec::new(),
+    };
+    let mut depth: u32 = 0;
+    let mut paren: i32 = 0;
+    let mut live: Vec<Guard> = Vec::new();
+    let mut pending_let: Option<String> = None;
+    let mut k = span.open;
+    let end = span.close.min(toks.len().saturating_sub(1));
+    while k <= end {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    live.retain(|g| g.depth <= depth);
+                }
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                ";" if paren == 0 => {
+                    live.retain(|g| g.name.is_some());
+                    pending_let = None;
+                }
+                _ => {}
+            }
+            k += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let prev = if k > span.open {
+            toks[k - 1].text.as_str()
+        } else {
+            ""
+        };
+        let next_is = |off: usize, s: &str| toks.get(k + off).is_some_and(|n| n.text == s);
+
+        // Nested fn: skip its body — it gets its own span and scan.
+        if t.text == "fn" && toks.get(k + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let mut j = k + 2;
+            let mut nest = 0i32;
+            while j <= end {
+                match toks[j].text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" if nest == 0 => {
+                        k = match_brace(toks, j, end + 1) + 1;
+                        break;
+                    }
+                    ";" if nest == 0 => {
+                        k = j + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j > end {
+                k = j;
+            }
+            continue;
+        }
+
+        // `let <pat> = …` — remember the first bound name so an acquire in
+        // the initializer becomes a *named* guard.
+        if t.text == "let" {
+            let mut j = k + 1;
+            while let Some(n) = toks.get(j) {
+                if n.kind == TokKind::Ident && n.text != "mut" && n.text != "ref" {
+                    pending_let = Some(n.text.clone());
+                    break;
+                }
+                if n.text == "=" || n.text == ";" {
+                    break;
+                }
+                j += 1;
+            }
+            k += 1;
+            continue;
+        }
+
+        // `drop(name)` — early end of a named guard region.
+        if t.text == "drop"
+            && prev != "."
+            && next_is(1, "(")
+            && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            && next_is(3, ")")
+        {
+            let name = toks[k + 2].text.clone();
+            live.retain(|g| g.name.as_deref() != Some(name.as_str()));
+            k += 4; // the skipped `(` and `)` balance out
+            continue;
+        }
+
+        // `<recv>.lock()` / `.read()` / `.write()` — a guard is born.
+        if ACQUIRE_METHODS.contains(&t.text.as_str())
+            && prev == "."
+            && next_is(1, "(")
+            && next_is(2, ")")
+        {
+            let key = if k >= span.open + 2 {
+                let recv = &toks[k - 2];
+                match recv.kind {
+                    TokKind::Ident | TokKind::Number => recv.text.clone(),
+                    _ => "<expr>".to_string(),
+                }
+            } else {
+                "<expr>".to_string()
+            };
+            model.acquires.push((key.clone(), t.line));
+            if !live.is_empty() {
+                model.events.push(Event::Acquire {
+                    key: key.clone(),
+                    line: t.line,
+                    held: snapshot(&live),
+                });
+            }
+            live.push(Guard {
+                key,
+                name: pending_let.clone(),
+                line: t.line,
+                depth,
+            });
+            k += 1;
+            continue;
+        }
+
+        // `cv.wait(guard)` family: blocking only if a *foreign* guard is
+        // also live; the consumed guard's region survives (the result is
+        // conventionally rebound to the same name).
+        if CONDVAR_WAITS.contains(&t.text.as_str()) && prev == "." && next_is(1, "(") {
+            let mut arg = None;
+            let mut j = k + 2;
+            while let Some(n) = toks.get(j) {
+                if n.kind == TokKind::Ident && n.text != "mut" {
+                    arg = Some(n.text.clone());
+                    break;
+                }
+                if n.text != "&" {
+                    break;
+                }
+                j += 1;
+            }
+            let foreign: Vec<Held> = live
+                .iter()
+                .filter(|g| {
+                    arg.as_deref()
+                        .is_none_or(|a| g.name.as_deref() != Some(a) && g.key != a)
+                })
+                .map(|g| Held {
+                    key: g.key.clone(),
+                    line: g.line,
+                })
+                .collect();
+            model.blocking.push((t.text.clone(), t.line));
+            if !foreign.is_empty() {
+                model.events.push(Event::Blocking {
+                    what: format!("{}(…) on a condvar", t.text),
+                    line: t.line,
+                    held: foreign,
+                });
+            }
+            k += 1;
+            continue;
+        }
+
+        // Blocking calls: methods/paths from the list, plus file opens.
+        if let Some(what) = blocking_name_at(toks, k, prev) {
+            model.blocking.push((what.clone(), t.line));
+            if !live.is_empty() {
+                model.events.push(Event::Blocking {
+                    what,
+                    line: t.line,
+                    held: snapshot(&live),
+                });
+            }
+            k += 1;
+            continue;
+        }
+
+        // Any other call while a guard is live: a one-hop candidate.
+        if !live.is_empty()
+            && next_is(1, "(")
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
+            && !KEYWORDS.contains(&t.text.as_str())
+            && !ACQUIRE_METHODS.contains(&t.text.as_str())
+        {
+            model.events.push(Event::Call {
+                callee: t.text.clone(),
+                line: t.line,
+                held: snapshot(&live),
+            });
+        }
+        k += 1;
+    }
+    model
+}
+
+/// Classifies the identifier at `k` as a blocking call, if it is one.
+fn blocking_name_at(toks: &[Tok], k: usize, prev: &str) -> Option<String> {
+    let t = &toks[k];
+    if toks.get(k + 1).is_none_or(|n| n.text != "(") {
+        return None;
+    }
+    if BLOCKING_METHODS.contains(&t.text.as_str()) && (prev == "." || prev == "::") {
+        return Some(t.text.clone());
+    }
+    if prev == "::" && k >= 2 && toks[k - 2].kind == TokKind::Ident {
+        let owner = toks[k - 2].text.as_str();
+        if owner == "File" && matches!(t.text.as_str(), "open" | "create" | "create_new") {
+            return Some(format!("File::{}", t.text));
+        }
+        if owner == "OpenOptions" && t.text == "new" {
+            return Some("OpenOptions::new".to_string());
+        }
+    }
+    None
+}
+
+/// Aggregates what every *uniquely named* workspace function blocks on and
+/// acquires. Names with multiple definitions (trait methods implemented by
+/// all four engines, `commit`, `now`, …), uppercase names, and ambient
+/// std-shadowing names are excluded: resolving them by name would merge
+/// unrelated functions and manufacture false cycles.
+pub fn summaries(models: &[FileModel]) -> BTreeMap<String, Summary> {
+    let mut defs: BTreeMap<&str, usize> = BTreeMap::new();
+    for fm in models {
+        for f in &fm.fns {
+            *defs.entry(f.name.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut out = BTreeMap::new();
+    for fm in models {
+        for f in &fm.fns {
+            if defs.get(f.name.as_str()) != Some(&1)
+                || AMBIENT_NAMES.contains(&f.name.as_str())
+                || !f
+                    .name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                || (f.blocking.is_empty() && f.acquires.is_empty())
+            {
+                continue;
+            }
+            out.insert(
+                f.name.clone(),
+                Summary {
+                    file: fm.path.clone(),
+                    blocking: f
+                        .blocking
+                        .iter()
+                        .map(|(w, l)| (w.clone(), fm.path.clone(), *l))
+                        .collect(),
+                    acquires: f
+                        .acquires
+                        .iter()
+                        .map(|(key, l)| (key.clone(), fm.path.clone(), *l))
+                        .collect(),
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Builds the lock-order graph: an edge `(a, b)` means some function
+/// acquired `b` (directly, or through a one-hop call) while holding `a`.
+pub fn lock_edges(
+    models: &[FileModel],
+    sums: &BTreeMap<String, Summary>,
+) -> BTreeMap<(Node, Node), Vec<Witness>> {
+    let mut edges: BTreeMap<(Node, Node), Vec<Witness>> = BTreeMap::new();
+    for (fi, fm) in models.iter().enumerate() {
+        for f in &fm.fns {
+            for ev in &f.events {
+                match ev {
+                    Event::Acquire { key, line, held } => {
+                        for h in held {
+                            let from: Node = (fm.path.clone(), h.key.clone());
+                            let to: Node = (fm.path.clone(), key.clone());
+                            edges.entry((from, to)).or_default().push(Witness {
+                                file_idx: fi,
+                                line: *line,
+                                desc: format!(
+                                    "`{}` holds `{}` (line {}) and acquires `{}` at {}:{}",
+                                    f.name, h.key, h.line, key, fm.path, line
+                                ),
+                            });
+                        }
+                    }
+                    Event::Call { callee, line, held } => {
+                        let Some(s) = sums.get(callee) else { continue };
+                        for (key, cfile, cline) in &s.acquires {
+                            for h in held {
+                                let from: Node = (fm.path.clone(), h.key.clone());
+                                let to: Node = (cfile.clone(), key.clone());
+                                edges.entry((from, to)).or_default().push(Witness {
+                                    file_idx: fi,
+                                    line: *line,
+                                    desc: format!(
+                                        "`{}` holds `{}` (line {}) and calls `{}` at {}:{}, \
+                                         which acquires `{}` at {}:{}",
+                                        f.name,
+                                        h.key,
+                                        h.line,
+                                        callee,
+                                        fm.path,
+                                        line,
+                                        key,
+                                        cfile,
+                                        cline
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    Event::Blocking { .. } => {}
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Finds every elementary cycle reachable from an edge, deduplicated by
+/// rotation (each cycle is reported once, anchored at its smallest node).
+pub fn find_cycles(edges: &BTreeMap<(Node, Node), Vec<Witness>>) -> Vec<Cycle> {
+    let mut adj: BTreeMap<&Node, Vec<&Node>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut seen: BTreeSet<Vec<Node>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (a, b) in edges.keys() {
+        let cycle_nodes: Option<Vec<Node>> = if a == b {
+            Some(vec![a.clone()])
+        } else {
+            shortest_path(&adj, b, a).map(|path| {
+                // path is b → … → a; the cycle is a → b → … → a.
+                let mut nodes = vec![a.clone()];
+                nodes.extend(path.into_iter().take_while(|n| n != a));
+                nodes
+            })
+        };
+        let Some(nodes) = cycle_nodes else { continue };
+        let canon = canonical_rotation(&nodes);
+        if !seen.insert(canon.clone()) {
+            continue;
+        }
+        let witnesses = canon
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let next = &canon[(i + 1) % canon.len()];
+                edges
+                    .get(&(n.clone(), next.clone()))
+                    .and_then(|ws| ws.first())
+                    .cloned()
+            })
+            .collect();
+        out.push(Cycle {
+            nodes: canon,
+            witnesses,
+        });
+    }
+    out
+}
+
+/// BFS shortest path `from → … → to` over the adjacency map, returned as
+/// the node list starting at `from` and ending at `to`.
+fn shortest_path(adj: &BTreeMap<&Node, Vec<&Node>>, from: &Node, to: &Node) -> Option<Vec<Node>> {
+    let mut prev: BTreeMap<&Node, &Node> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    let mut visited: BTreeSet<&Node> = BTreeSet::new();
+    visited.insert(from);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![cur.clone()];
+            let mut c = cur;
+            while let Some(p) = prev.get(c) {
+                path.push((*p).clone());
+                c = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for next in adj.get(cur).into_iter().flatten() {
+            if visited.insert(next) {
+                prev.insert(next, cur);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Rotates a cycle's node list so the smallest node comes first.
+fn canonical_rotation(nodes: &[Node]) -> Vec<Node> {
+    let min = nodes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| *n)
+        .map_or(0, |(i, _)| i);
+    let mut out = Vec::with_capacity(nodes.len());
+    out.extend_from_slice(&nodes[min..]);
+    out.extend_from_slice(&nodes[..min]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnModel> {
+        build("crates/x/src/lib.rs", &lex(src).toks).fns
+    }
+
+    #[test]
+    fn named_guard_region_spans_to_scope_exit() {
+        let m = &fns(
+            "fn f(&self) { let st = self.state.lock().expect(\"p\"); self.file.sync_all()?; }",
+        )[0];
+        let blocks: Vec<_> = m
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Blocking { .. }))
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        if let Event::Blocking { what, held, .. } = blocks[0] {
+            assert_eq!(what, "sync_all");
+            assert_eq!(held.len(), 1);
+            assert_eq!(held[0].key, "state");
+        }
+    }
+
+    #[test]
+    fn drop_ends_the_region_early() {
+        let src = "fn f(&self) { let st = self.state.lock().expect(\"p\"); drop(st); \
+                   self.file.sync_all()?; }";
+        let m = &fns(src)[0];
+        assert!(
+            !m.events.iter().any(|e| matches!(e, Event::Blocking { .. })),
+            "sync after drop(st) must not count as blocking-under-lock"
+        );
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let src = "fn f(&self) { *self.pins.lock().expect(\"p\").entry(k).or_insert(0) += 1; \
+                   self.file.sync_all()?; }";
+        let m = &fns(src)[0];
+        assert!(
+            !m.events.iter().any(|e| matches!(e, Event::Blocking { .. })),
+            "a guard temporary ends with its statement"
+        );
+    }
+
+    #[test]
+    fn scope_exit_ends_the_region() {
+        let src = "fn f(&self) { { let g = self.wal.lock().expect(\"p\"); g.touch(); } \
+                   self.file.sync_all()?; }";
+        let m = &fns(src)[0];
+        assert!(!m.events.iter().any(|e| matches!(e, Event::Blocking { .. })));
+    }
+
+    #[test]
+    fn condvar_wait_on_own_guard_is_sanctioned() {
+        let src = "fn f(&self) { let mut st = self.shared.state.lock().expect(\"p\"); \
+                   st = self.cv.wait_timeout(st, d).expect(\"p\").0; }";
+        let m = &fns(src)[0];
+        assert!(
+            !m.events.iter().any(|e| matches!(e, Event::Blocking { .. })),
+            "waiting on the guard the condvar releases is the sanctioned pattern"
+        );
+        // …but with a second, foreign guard live it is a finding.
+        let src = "fn g(&self) { let a = self.a.lock().expect(\"p\"); \
+                   let mut st = self.shared.state.lock().expect(\"p\"); \
+                   st = self.cv.wait_timeout(st, d).expect(\"p\").0; }";
+        let m = &fns(src)[0];
+        let blocks: Vec<_> = m
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Blocking { .. }))
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        if let Event::Blocking { held, .. } = blocks[0] {
+            assert_eq!(held.len(), 1);
+            assert_eq!(held[0].key, "a");
+        }
+    }
+
+    #[test]
+    fn second_acquire_records_a_lock_order_event() {
+        let src = "fn f(&self) { let a = self.left.lock().expect(\"p\"); \
+                   let b = self.right.lock().expect(\"p\"); }";
+        let m = &fns(src)[0];
+        let acq: Vec<_> = m
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { key, held, .. } => Some((key.clone(), held.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acq.len(), 1);
+        assert_eq!(acq[0].0, "right");
+        assert_eq!(acq[0].1[0].key, "left");
+    }
+
+    #[test]
+    fn calls_under_guard_are_recorded_and_summarized() {
+        let src = "fn caller(&self) { let st = self.state.lock().expect(\"p\"); \
+                   self.flush_log()?; }\n\
+                   fn flush_log(&self) { self.file.sync_all()?; }";
+        let models = vec![build("crates/x/src/lib.rs", &lex(src).toks)];
+        let caller = &models[0].fns[0];
+        assert!(caller
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Call { callee, .. } if callee == "flush_log")));
+        let sums = summaries(&models);
+        let s = sums.get("flush_log").expect("unique summary");
+        assert_eq!(s.blocking.len(), 1);
+        assert_eq!(s.blocking[0].0, "sync_all");
+    }
+
+    #[test]
+    fn ambiguous_names_get_no_summary() {
+        let src = "fn now(&self) { self.state.read().expect(\"p\"); }";
+        let src2 = "fn now(&self) -> u64 { 7 }";
+        let models = vec![
+            build("crates/a/src/lib.rs", &lex(src).toks),
+            build("crates/b/src/lib.rs", &lex(src2).toks),
+        ];
+        assert!(!summaries(&models).contains_key("now"));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_scanned_separately_not_inline() {
+        let src = "fn outer(&self) { let g = self.state.lock().expect(\"p\"); \
+                   fn inner(f: &File) { f.sync_all().ok(); } }";
+        let models = build("crates/x/src/lib.rs", &lex(src).toks);
+        let outer = models.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(
+            !outer
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Blocking { .. })),
+            "inner fn's sync must not be attributed to outer's guard region"
+        );
+        assert!(models.fns.iter().any(|f| f.name == "inner"));
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle_with_both_witnesses() {
+        let src = "fn ab(&self) { let a = self.left.lock().expect(\"p\"); \
+                   let b = self.right.lock().expect(\"p\"); }\n\
+                   fn ba(&self) { let b = self.right.lock().expect(\"p\"); \
+                   let a = self.left.lock().expect(\"p\"); }";
+        let models = vec![build("crates/x/src/lib.rs", &lex(src).toks)];
+        let sums = summaries(&models);
+        let edges = lock_edges(&models, &sums);
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].nodes.len(), 2);
+        assert_eq!(cycles[0].witnesses.len(), 2);
+        let descs: Vec<&str> = cycles[0]
+            .witnesses
+            .iter()
+            .map(|w| w.desc.as_str())
+            .collect();
+        assert!(descs.iter().any(|d| d.contains("`ab`")));
+        assert!(descs.iter().any(|d| d.contains("`ba`")));
+    }
+
+    #[test]
+    fn acyclic_hierarchy_has_no_cycles() {
+        let src = "fn f(&self) { let a = self.state.lock().expect(\"p\"); \
+                   let b = self.wal.lock().expect(\"p\"); \
+                   let c = self.pins.lock().expect(\"p\"); }";
+        let models = vec![build("crates/x/src/lib.rs", &lex(src).toks)];
+        let edges = lock_edges(&models, &summaries(&models));
+        assert!(!edges.is_empty());
+        assert!(find_cycles(&edges).is_empty());
+    }
+}

@@ -10,11 +10,18 @@
 //! | TB005 | engine parity: all four engines define the same method set |
 //! | TB006 | WAL construction sites must declare an explicit durability mode |
 //! | TB007 | no direct engine DML outside the sanctioned write paths |
+//! | TB008 | no blocking operation (fsync, sleep, group-commit wait, file open) while a lock guard is live, directly or one call deep |
+//! | TB009 | the workspace lock-order graph must be acyclic |
+//! | TB010 | lock results use the sanctioned poison policy, never bare `.unwrap()` |
 //!
-//! Every rule is waivable with `// tblint: allow(TBnnn) <reason>` (see
-//! [`crate::waiver`]); the tree is kept at **zero unwaived findings**.
+//! TB001–TB007 are token-window rules; TB008 and TB009 run on the
+//! flow-aware guard-region model ([`crate::model`]) across the whole
+//! workspace. Every rule is waivable with
+//! `// tblint: allow(TBnnn) <reason>` (see [`crate::waiver`]); the tree is
+//! kept at **zero unwaived findings**.
 
 use crate::lexer::{Tok, TokKind};
+use crate::model;
 
 /// Waiver-hygiene pseudo-rule (malformed or unused waivers).
 pub const TB000: &str = "TB000";
@@ -47,6 +54,23 @@ pub const TB006: &str = "TB006";
 /// snapshot-validates and WAL-logs them; a raw engine call bypasses
 /// first-committer-wins *and* durability, silently.
 pub const TB007: &str = "TB007";
+/// No blocking while holding a lock: an fsync-class sync, sleep, park,
+/// channel receive, group-commit wait or file open must not run — directly
+/// or through one level of intra-workspace calls — while a `Mutex`/`RwLock`
+/// guard is live. A guard region pins every other user of that lock to the
+/// blocked operation's latency: the p99 cliff the serving-layer experiment
+/// measures. `Condvar::wait` on the guard it releases is sanctioned.
+pub const TB008: &str = "TB008";
+/// The lock-order graph must be acyclic: if one code path acquires `b`
+/// while holding `a` and another acquires `a` while holding `b`, the two
+/// can deadlock under load. Findings report every edge of the cycle with a
+/// witness chain (function, hold site, acquisition site).
+pub const TB009: &str = "TB009";
+/// Lock results follow the sanctioned poison policy: either
+/// `.expect("<lock name> poisoned")` — a deliberate, named fail-stop — or
+/// explicit poison recovery (`.unwrap_or_else(|p| p.into_inner())`). A
+/// bare `.unwrap()` on a lock result is an unreviewed crash site.
+pub const TB010: &str = "TB010";
 
 /// One rule finding, before waiver resolution.
 #[derive(Debug, Clone)]
@@ -120,9 +144,17 @@ pub fn tb005_scope(path: &str) -> bool {
     )
 }
 
-/// Runs the single-file rules (TB001–TB004) over one token stream.
+/// Production lock sites live in `crates/` (TB010); the integration-test
+/// and example trees may use `.unwrap()` on locks freely.
+fn tb010_scope(path: &str) -> bool {
+    path.starts_with("crates/")
+}
+
+/// Runs the single-file rules (TB001–TB004, TB006, TB007, TB010) over one
+/// token stream.
 pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let stripped = strip_test_modules(toks);
     if !tb001_exempt(path) {
         tb001(toks, &mut findings);
     }
@@ -133,13 +165,14 @@ pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
         tb003(toks, &mut findings);
     }
     if tb004_scope(path) {
-        let stripped = strip_test_modules(toks);
         tb004(&stripped, &mut findings);
     }
     tb006(toks, &mut findings);
     if !tb007_exempt(path) {
-        let stripped = strip_test_modules(toks);
         tb007(&stripped, &mut findings);
+    }
+    if tb010_scope(path) {
+        tb010(&stripped, &mut findings);
     }
     findings
 }
@@ -363,6 +396,139 @@ fn tb007(toks: &[Tok], out: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// TB010: `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()` —
+/// a bare unwrap on a lock result, instead of the sanctioned poison policy
+/// (a named `.expect("… poisoned")` or explicit recovery via
+/// `.unwrap_or_else(|p| p.into_inner())`).
+fn tb010(toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(7) {
+        let acquire = w[0].text == "."
+            && w[1].kind == TokKind::Ident
+            && matches!(w[1].text.as_str(), "lock" | "read" | "write")
+            && w[2].text == "("
+            && w[3].text == ")";
+        if acquire
+            && w[4].text == "."
+            && w[5].kind == TokKind::Ident
+            && w[5].text == "unwrap"
+            && w[6].text == "("
+        {
+            out.push(Finding {
+                line: w[5].line,
+                code: TB010,
+                message: format!(
+                    "bare `.unwrap()` on a `.{}()` lock result — name the fail-stop with \
+                     `.expect(\"<lock name> poisoned\")` or recover the poison explicitly \
+                     with `.unwrap_or_else(|p| p.into_inner())`",
+                    w[1].text
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the flow-aware concurrency rules (TB008, TB009) across the
+/// workspace files. Test modules are stripped first — tests may hold
+/// guards across asserts freely. Returns `(file index, finding)` pairs
+/// like [`check_parity`].
+pub fn check_concurrency(files: &[(String, Vec<Tok>)]) -> Vec<(usize, Finding)> {
+    let models: Vec<model::FileModel> = files
+        .iter()
+        .map(|(path, toks)| model::build(path, &strip_test_modules(toks)))
+        .collect();
+    let sums = model::summaries(&models);
+    let mut out = Vec::new();
+
+    // TB008: blocking while a guard is live, directly or one call deep.
+    for (fi, fm) in models.iter().enumerate() {
+        for f in &fm.fns {
+            for ev in &f.events {
+                match ev {
+                    model::Event::Blocking { what, line, held } => {
+                        out.push((
+                            fi,
+                            Finding {
+                                line: *line,
+                                code: TB008,
+                                message: format!(
+                                    "blocking `{what}` in `{}` while holding {} — every \
+                                     other user of the lock waits out this latency; move \
+                                     the blocking work outside the guard region",
+                                    f.name,
+                                    held_list(held)
+                                ),
+                            },
+                        ));
+                    }
+                    model::Event::Call { callee, line, held } => {
+                        let Some(s) = sums.get(callee) else { continue };
+                        let Some((what, cfile, cline)) = s.blocking.first() else {
+                            continue;
+                        };
+                        let more = if s.blocking.len() > 1 {
+                            format!(" (+{} more)", s.blocking.len() - 1)
+                        } else {
+                            String::new()
+                        };
+                        out.push((
+                            fi,
+                            Finding {
+                                line: *line,
+                                code: TB008,
+                                message: format!(
+                                    "`{}` calls `{callee}`, which blocks on `{what}` \
+                                     ({cfile}:{cline}){more}, while holding {} — move the \
+                                     call outside the guard region or split the callee",
+                                    f.name,
+                                    held_list(held)
+                                ),
+                            },
+                        ));
+                    }
+                    model::Event::Acquire { .. } => {}
+                }
+            }
+        }
+    }
+
+    // TB009: lock-order cycles, each reported once with every witness.
+    let edges = model::lock_edges(&models, &sums);
+    for cycle in model::find_cycles(&edges) {
+        let ring: Vec<String> = cycle
+            .nodes
+            .iter()
+            .map(|(file, key)| format!("{file}::{key}"))
+            .collect();
+        let witnesses: Vec<&str> = cycle.witnesses.iter().map(|w| w.desc.as_str()).collect();
+        let Some(anchor) = cycle.witnesses.first() else {
+            continue;
+        };
+        out.push((
+            anchor.file_idx,
+            Finding {
+                line: anchor.line,
+                code: TB009,
+                message: format!(
+                    "lock-order cycle {} -> {} — two paths acquire these locks in opposite \
+                     orders and can deadlock under load; witnesses: {}",
+                    ring.join(" -> "),
+                    ring[0],
+                    witnesses.join("; ")
+                ),
+            },
+        ));
+    }
+    out
+}
+
+/// Formats a held-guard set for a finding message.
+fn held_list(held: &[model::Held]) -> String {
+    held.iter()
+        .map(|h| format!("`{}` (held since line {})", h.key, h.line))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Removes `#[cfg(test)] mod … { … }` blocks from a token stream, so TB004

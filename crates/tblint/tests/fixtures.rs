@@ -233,6 +233,107 @@ fn tb005_firing_fixture_reports_divergence() {
 }
 
 #[test]
+fn tb008_fixture_fires_on_blocking_under_a_live_guard() {
+    let diags =
+        tblint::check_concurrency_sources(&[("crates/fix/src/a.rs", &fixture("tb008_fires.rs"))]);
+    assert_eq!(codes(&diags), [rules::TB008, rules::TB008], "{diags:?}");
+    assert!(diags.iter().all(|d| d.waived.is_none()));
+    assert!(
+        diags[0].message.contains("sync_all") && diags[0].message.contains("registry"),
+        "{}",
+        diags[0].message
+    );
+    assert!(diags[1].message.contains("sleep"), "{}", diags[1].message);
+}
+
+#[test]
+fn tb008_clean_fixture_passes_guard_dead_before_blocking() {
+    // Explicit `drop(guard)` and scope exit both end the guard region.
+    let diags =
+        tblint::check_concurrency_sources(&[("crates/fix/src/a.rs", &fixture("tb008_clean.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tb008_waiver_fixture_suppresses_with_reason() {
+    let diags =
+        tblint::check_concurrency_sources(&[("crates/fix/src/a.rs", &fixture("tb008_waived.rs"))]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let reason = diags[0].waived.as_deref().expect("finding is waived");
+    assert!(reason.contains("serializes the sink"), "{reason}");
+}
+
+#[test]
+fn tb008_one_hop_fixture_charges_the_caller_holding_the_guard() {
+    let caller = fixture("tb008_onehop_caller.rs");
+    let callee = fixture("tb008_onehop_callee.rs");
+    let diags = tblint::check_concurrency_sources(&[
+        ("crates/fix/src/caller.rs", &caller),
+        ("crates/fix/src/callee.rs", &callee),
+    ]);
+    assert_eq!(codes(&diags), [rules::TB008], "{diags:?}");
+    assert_eq!(diags[0].file, "crates/fix/src/caller.rs");
+    let msg = &diags[0].message;
+    assert!(
+        msg.contains("flush_log") && msg.contains("state") && msg.contains("callee.rs"),
+        "the finding names the callee, the lock and the blocking site: {msg}"
+    );
+    // The callee itself holds nothing and is not a finding.
+    let alone = tblint::check_concurrency_sources(&[("crates/fix/src/callee.rs", &callee)]);
+    assert!(alone.is_empty(), "{alone:?}");
+}
+
+#[test]
+fn tb009_fixture_reports_the_inversion_with_both_witness_chains() {
+    let diags =
+        tblint::check_concurrency_sources(&[("crates/fix/src/a.rs", &fixture("tb009_fires.rs"))]);
+    assert_eq!(
+        codes(&diags),
+        [rules::TB009],
+        "one cycle, one finding: {diags:?}"
+    );
+    let msg = &diags[0].message;
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    for needle in ["transfer", "report", "accounts", "audit"] {
+        assert!(
+            msg.contains(needle),
+            "missing witness detail {needle:?}: {msg}"
+        );
+    }
+}
+
+#[test]
+fn tb009_clean_fixture_passes_under_a_consistent_hierarchy() {
+    let diags =
+        tblint::check_concurrency_sources(&[("crates/fix/src/a.rs", &fixture("tb009_clean.rs"))]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn tb010_fixture_fires_on_bare_unwrap_of_lock_results() {
+    let src = fixture("tb010_fires.rs");
+    let diags = check_source("crates/txn/src/lib.rs", &src);
+    assert_eq!(codes(&diags), [rules::TB010, rules::TB010], "{diags:?}");
+    assert!(diags.iter().all(|d| d.waived.is_none()));
+    // The rule only polices production crates, not the integration tests.
+    assert!(check_source("tests/tests/mvcc_isolation.rs", &src).is_empty());
+}
+
+#[test]
+fn tb010_clean_fixture_accepts_both_sanctioned_policies() {
+    let src = fixture("tb010_clean.rs");
+    assert!(check_source("crates/txn/src/lib.rs", &src).is_empty());
+}
+
+#[test]
+fn tb010_waiver_fixture_suppresses_with_reason() {
+    let diags = check_source("crates/txn/src/lib.rs", &fixture("tb010_waived.rs"));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let reason = diags[0].waived.as_deref().expect("finding is waived");
+    assert!(reason.contains("single-threaded"), "{reason}");
+}
+
+#[test]
 fn workspace_run_on_this_repo_is_clean() {
     // The real gate, exercised from the test suite too: zero unwaived
     // findings across the workspace this crate lives in.

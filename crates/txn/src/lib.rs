@@ -50,6 +50,10 @@
 //! later close (the engines store one period per version); row visibility
 //! is unaffected, which is the isolation property the oracle tests check.
 
+// Tests may unwrap freely; production serving-layer code must not (tblint
+// TB010 for lock results, `clippy::unwrap_used` in Cargo.toml for the rest).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use bitempo_core::{AppPeriod, Error, Key, Result, Row, SysTime, TableDef, TableId, Value};
 use bitempo_engine::api::{
     AppSpec, BitemporalEngine, ColRange, ScanOutput, SysSpec, TableStats, TuningConfig,
@@ -195,13 +199,13 @@ impl TxnManager {
             }
             let pin = st.engine.now();
             // Register the pin while still holding the read lock, so no
-            // concurrent committer can prune past it in between.
-            *self
-                .pins
-                .lock()
-                .expect("pin registry poisoned")
-                .entry(pin)
-                .or_insert(0) += 1;
+            // concurrent committer can prune past it in between. The pin
+            // registry is the innermost lock in the manager's hierarchy
+            // (state -> wal -> pins); naming the guard keeps its region
+            // explicit to readers and to tblint's guard-region scanner.
+            let mut pins = self.pins.lock().expect("pin registry poisoned");
+            *pins.entry(pin).or_insert(0) += 1;
+            drop(pins);
             pin
         };
         self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -410,11 +414,14 @@ impl Transaction<'_> {
     /// transaction, which neither validates nor logs anything).
     ///
     /// On [`Error::Conflict`] nothing was logged or applied; re-run the
-    /// whole transaction against a fresh snapshot. On any other error the
-    /// durable log and the outcome agree: either nothing applied (the
-    /// validation and preflight paths), or the manager is poisoned *and
-    /// the WAL holds no record of this transaction* — recovery never
-    /// replays a transaction whose commit reported failure.
+    /// whole transaction against a fresh snapshot. On any other error,
+    /// one of three states holds and the error says which: nothing applied
+    /// (the validation and preflight paths); the manager is poisoned *and
+    /// the WAL holds no record of this transaction* (apply/submit
+    /// failures — recovery never replays a transaction whose commit
+    /// reported failure); or, rarest, the record was published and written
+    /// but the durability wait itself failed — the manager poisons
+    /// fail-stop, because whether that tail survives a crash is unknown.
     pub fn commit(mut self) -> Result<SysTime> {
         if self.ops.is_empty() {
             self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
@@ -495,21 +502,24 @@ impl Transaction<'_> {
         // Log after apply, still inside the exclusive section, so WAL
         // order is commit order (same encode_txn framing as the durability
         // replay driver — recovery replays interactive history through
-        // the same dispatch). An append failure here also poisons: the
-        // applied state cannot be rolled back and must not publish as
-        // committed, and since the record never landed, recovery excludes
-        // the transaction exactly as the returned error reports.
+        // the same dispatch). `submit` writes the frame without syncing:
+        // the fsync belongs to the waiter below, *outside* every lock, so
+        // a strict-mode sync never serializes readers behind the disk
+        // (tblint TB008). A submit failure here poisons: the applied state
+        // cannot be rolled back and must not publish as committed, and
+        // since the record never landed, recovery excludes the transaction
+        // exactly as the returned error reports.
         let mut waiter: Option<(DurabilityWaiter, u64)> = None;
         if let Some(payload) = payload {
             let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
             let w = wal.as_mut().expect("wal vanished mid-commit");
-            match w.append(&payload) {
+            match w.submit(&payload) {
                 Ok(seq) => {
                     debug_assert_eq!(seq, *applied_seq + 1, "WAL order must be commit order");
                     waiter = Some((w.waiter(), seq));
                 }
                 Err(e) => {
-                    *poisoned = Some(format!("WAL append failed after apply: {e}"));
+                    *poisoned = Some(format!("WAL submit failed after apply: {e}"));
                     return Err(Error::Internal(format!(
                         "transaction applied but not logged, manager poisoned: {e}"
                     )));
@@ -531,11 +541,30 @@ impl Transaction<'_> {
         drop(st);
 
         self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
-        // The durability wait happens outside every lock: concurrent
-        // committers park here together and one flusher fsync acks them
-        // all — the group commit the experiment measures.
+        // The durability wait happens outside every lock. Under `Batched`,
+        // concurrent committers park here together and one flusher fsync
+        // acks them all; under `Strict`, the waiter performs the deferred
+        // fsync itself — still amortized, because one waiter's sync covers
+        // everything submitted before it ran. Either way readers are never
+        // stuck behind the disk.
         if let Some((waiter, seq)) = waiter {
-            waiter.wait_for(seq)?;
+            if let Err(e) = waiter.wait_for(seq) {
+                // The record is published and written but its durability is
+                // unknown (the fsync failed or the flusher died), so the
+                // in-memory state may be ahead of what the log preserves.
+                // Fail-stop: poison the manager rather than let later
+                // commits build on a possibly-lost prefix. This is the one
+                // honest ambiguity in the commit protocol — the caller
+                // learns the commit *may* not survive a crash, and nothing
+                // further is accepted.
+                let mut st = self.mgr.state.write().expect("txn state poisoned");
+                if st.poisoned.is_none() {
+                    st.poisoned = Some(format!("durability wait failed after publish: {e}"));
+                }
+                return Err(Error::Internal(format!(
+                    "commit published but durability is unknown, manager poisoned: {e}"
+                )));
+            }
         }
         Ok(ts)
     }
@@ -1240,5 +1269,136 @@ mod tests {
             "with no pinned snapshots the log must not grow, got {}",
             st.commit_log.len()
         );
+    }
+
+    /// A sink whose `sync` parks on a gate: `entered` flips when a sync is
+    /// in flight, and the sync does not return until `release` flips.
+    struct GateSink {
+        inner: SharedBuf,
+        entered: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        release: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl std::io::Write for GateSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.inner, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.inner)
+        }
+    }
+
+    impl bitempo_wal::WalSink for GateSink {
+        fn sync(&mut self) -> std::io::Result<()> {
+            self.entered
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            while !self.release.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            self.inner.sync()
+        }
+    }
+
+    /// Regression for the TB008 finding this PR fixed: a strict-mode
+    /// commit's fsync used to run inside the `state` write lock, so a
+    /// slow disk stalled every reader. Now the fsync is deferred to the
+    /// durability waiter, outside all manager locks — a reader must be
+    /// able to begin, snapshot and scan while a committer is stuck
+    /// mid-fsync.
+    #[test]
+    fn readers_are_not_blocked_while_a_strict_fsync_is_in_flight() {
+        use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
+        let entered = std::sync::Arc::new(AtomicBool::new(false));
+        let release = std::sync::Arc::new(AtomicBool::new(false));
+        let sink = GateSink {
+            inner: SharedBuf::new(),
+            entered: std::sync::Arc::clone(&entered),
+            release: std::sync::Arc::clone(&release),
+        };
+        let wal = TxnWal::create(Box::new(sink), DurabilityMode::Strict).unwrap();
+        let mgr = manager(SystemKind::A, Some(wal));
+        let t = mgr.table_ids()[0];
+
+        std::thread::scope(|scope| {
+            let committer = scope.spawn(|| {
+                let mut txn = mgr.begin().unwrap();
+                txn.insert(t, simple_row(3, 30), None).unwrap();
+                txn.commit().unwrap();
+            });
+
+            // Wait until the committer is provably inside the fsync.
+            while !entered.load(AtOrd::SeqCst) {
+                std::thread::yield_now();
+            }
+
+            // With the gate still closed, a reader gets a full snapshot
+            // read done. Before the fix this deadlocked: the fsync ran
+            // under the state write lock, and begin() needs the read lock.
+            let reader = mgr.begin().unwrap();
+            let snap = reader.snapshot();
+            let ids = current_ids(&snap.view(), t);
+            assert!(
+                ids == vec![1, 2] || ids == vec![1, 2, 3],
+                "reader saw a consistent prefix either side of the publish, got {ids:?}"
+            );
+            drop(snap);
+            drop(reader);
+
+            release.store(true, AtOrd::SeqCst);
+            committer.join().expect("committer thread");
+        });
+    }
+
+    /// A sink whose `sync` always fails (writes succeed).
+    struct FailingSyncSink(SharedBuf);
+
+    impl std::io::Write for FailingSyncSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.0, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.0)
+        }
+    }
+
+    impl bitempo_wal::WalSink for FailingSyncSink {
+        fn sync(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("simulated fsync failure"))
+        }
+    }
+
+    /// The deferred strict fsync creates one genuinely ambiguous outcome:
+    /// the commit published and its record was written, but the sync
+    /// failed, so whether the record survives a crash is unknown. The
+    /// manager must fail-stop — the commit errors and nothing further is
+    /// accepted.
+    #[test]
+    fn a_failed_durability_wait_after_publish_poisons_the_manager() {
+        let wal = TxnWal::create(
+            Box::new(FailingSyncSink(SharedBuf::new())),
+            DurabilityMode::Strict,
+        )
+        .unwrap();
+        let mgr = manager(SystemKind::A, Some(wal));
+        let t = mgr.table_ids()[0];
+
+        let mut txn = mgr.begin().unwrap();
+        txn.insert(t, simple_row(3, 30), None).unwrap();
+        match txn.commit() {
+            Err(Error::Internal(msg)) => {
+                assert!(
+                    msg.contains("durability is unknown"),
+                    "commit must report the ambiguity, got: {msg}"
+                );
+            }
+            other => panic!("expected a fail-stop internal error, got {other:?}"),
+        }
+        match mgr.begin() {
+            Err(Error::Internal(msg)) => {
+                assert!(msg.contains("poisoned"), "begin must refuse, got: {msg}");
+            }
+            Err(other) => panic!("expected the manager to be poisoned, got {other:?}"),
+            Ok(_) => panic!("expected the manager to be poisoned, but begin succeeded"),
+        };
     }
 }

@@ -28,6 +28,10 @@
 //! the recovery tests assert the recovered engine answers all five query
 //! classes identically to an uncrashed oracle replay of the same prefix.
 
+// Tests may unwrap freely; production durability code must not (tblint
+// TB010 for lock results, `clippy::unwrap_used` in Cargo.toml for the rest).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod checkpoint;
 pub mod log;
 pub mod recover;

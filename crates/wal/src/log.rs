@@ -36,17 +36,33 @@ pub struct TxnWal {
 }
 
 enum Backend {
-    /// Strict and async modes: the caller's thread owns the sink.
+    /// Strict and async modes: the sink sits behind a mutex shared with
+    /// strict-mode durability waiters, so a committer can *submit* (write,
+    /// no sync) inside its critical section and let the waiter perform the
+    /// fsync after every lock is released.
     Direct {
-        sink: Box<dyn WalSink>,
+        shared: Arc<DirectShared>,
         appender: WalAppender,
-        /// Highest sequence number written to the sink.
-        written: u64,
-        /// Highest sequence number synced to stable storage.
-        durable: u64,
     },
     /// Batched mode: a flusher thread owns the sink.
     Batched(Batched),
+}
+
+/// The direct backend's sink and watermarks, shared between the appending
+/// side and strict-mode [`DurabilityWaiter`]s.
+struct DirectShared {
+    /// The field is named `sink` (not `state`) so tblint's lock-order
+    /// graph keys this mutex distinctly from the batched backend's
+    /// `Shared.state` and the txn manager's `state` lock.
+    sink: Mutex<DirectSink>,
+}
+
+struct DirectSink {
+    sink: Box<dyn WalSink>,
+    /// Highest sequence number written to the sink.
+    written: u64,
+    /// Highest sequence number synced to stable storage.
+    durable: u64,
 }
 
 impl TxnWal {
@@ -55,10 +71,14 @@ impl TxnWal {
         sink.write_all(&header_bytes())?;
         let backend = match mode {
             DurabilityMode::Strict | DurabilityMode::Async => Backend::Direct {
-                sink,
+                shared: Arc::new(DirectShared {
+                    sink: Mutex::new(DirectSink {
+                        sink,
+                        written: 0,
+                        durable: 0,
+                    }),
+                }),
                 appender: WalAppender::new(),
-                written: 0,
-                durable: 0,
             },
             DurabilityMode::Batched(ms) => Backend::Batched(Batched::spawn(sink, ms)),
         };
@@ -74,31 +94,55 @@ impl TxnWal {
     /// number. Under `Strict` the record is durable on return; under
     /// `Batched` it is merely *submitted* (watch [`TxnWal::durable_seq`]
     /// or call [`TxnWal::sync`]); under `Async` it is written, unsynced.
+    ///
+    /// Single-threaded drivers (replay, benchmarks) use this. Concurrent
+    /// committers holding other locks should prefer [`TxnWal::submit`] +
+    /// [`TxnWal::waiter`], which moves the strict fsync out of the caller's
+    /// critical section.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
         match &mut self.backend {
-            Backend::Direct {
-                sink,
-                appender,
-                written,
-                durable,
-            } => {
+            Backend::Direct { shared, appender } => {
                 let (seq, frame) = appender.encode(payload);
-                sink.write_all(&frame)?;
-                *written = seq;
+                let mut s = shared.sink.lock().expect("wal sink poisoned");
+                s.sink.write_all(&frame)?;
+                s.written = seq;
                 if self.mode == DurabilityMode::Strict {
-                    sink.sync()?;
-                    *durable = seq;
+                    // tblint: allow(TB008) the sink mutex serializes the sink itself; strict append syncs under it by design
+                    s.sink.sync()?;
+                    s.durable = seq;
                 }
                 Ok(seq)
             }
-            Backend::Batched(b) => b.submit(payload),
+            Backend::Batched(b) => b.enqueue(payload),
+        }
+    }
+
+    /// Appends one payload *without* a durability wait: the frame is
+    /// written (or enqueued, under `Batched`) and its sequence number
+    /// returned, but nothing is synced. Pair with [`TxnWal::waiter`]: under
+    /// `Strict` the returned waiter performs the sync — once, covering
+    /// every record submitted so far — after the committer has dropped its
+    /// locks, so the fsync latency never sits inside a lock-protected
+    /// critical section.
+    pub fn submit(&mut self, payload: &[u8]) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Direct { shared, appender } => {
+                let (seq, frame) = appender.encode(payload);
+                let mut s = shared.sink.lock().expect("wal sink poisoned");
+                s.sink.write_all(&frame)?;
+                s.written = seq;
+                Ok(seq)
+            }
+            Backend::Batched(b) => b.enqueue(payload),
         }
     }
 
     /// Highest sequence number known durable (synced to stable storage).
     pub fn durable_seq(&self) -> u64 {
         match &self.backend {
-            Backend::Direct { durable, .. } => *durable,
+            Backend::Direct { shared, .. } => {
+                shared.sink.lock().expect("wal sink poisoned").durable
+            }
             Backend::Batched(b) => b.durable_seq(),
         }
     }
@@ -106,7 +150,9 @@ impl TxnWal {
     /// Highest sequence number submitted so far.
     pub fn submitted_seq(&self) -> u64 {
         match &self.backend {
-            Backend::Direct { written, .. } => *written,
+            Backend::Direct { shared, .. } => {
+                shared.sink.lock().expect("wal sink poisoned").written
+            }
             Backend::Batched(b) => b.submitted_seq(),
         }
     }
@@ -115,14 +161,11 @@ impl TxnWal {
     /// (or the sink has failed).
     pub fn sync(&mut self) -> Result<()> {
         match &mut self.backend {
-            Backend::Direct {
-                sink,
-                written,
-                durable,
-                ..
-            } => {
-                sink.sync()?;
-                *durable = *written;
+            Backend::Direct { shared, .. } => {
+                let mut s = shared.sink.lock().expect("wal sink poisoned");
+                // tblint: allow(TB008) the sink mutex serializes the sink itself; the barrier syncs under it by design
+                s.sink.sync()?;
+                s.durable = s.written;
                 Ok(())
             }
             Backend::Batched(b) => b.barrier(),
@@ -136,10 +179,19 @@ impl TxnWal {
     /// park outside all locks until a given sequence number is durable.
     pub fn waiter(&self) -> DurabilityWaiter {
         match &self.backend {
-            // Strict: durable on append-return. Async: no durability
-            // contract until an explicit sync. Either way there is nothing
-            // to wait for at commit time.
-            Backend::Direct { .. } => DurabilityWaiter(Waiter::Immediate),
+            Backend::Direct { shared, .. } => match self.mode {
+                // Strict: a submitted record is not yet synced; the waiter
+                // performs the deferred fsync (amortized across every
+                // committer that submitted before it runs). Records that
+                // went through `append` are already durable, so the waiter
+                // short-circuits on the watermark.
+                DurabilityMode::Strict => DurabilityWaiter(Waiter::StrictSync {
+                    shared: Arc::clone(shared),
+                }),
+                // Async: no durability contract until an explicit sync —
+                // nothing to wait for at commit time.
+                _ => DurabilityWaiter(Waiter::Immediate),
+            },
             Backend::Batched(b) => DurabilityWaiter(Waiter::Batched {
                 shared: Arc::clone(&b.shared),
                 interval: b.interval,
@@ -153,15 +205,12 @@ impl TxnWal {
     /// error-path test hooks (recovery scans the bytes, not the return).
     pub fn close(mut self) -> Result<u64> {
         match &mut self.backend {
-            Backend::Direct {
-                sink,
-                written,
-                durable,
-                ..
-            } => {
-                sink.sync()?;
-                *durable = *written;
-                Ok(*durable)
+            Backend::Direct { shared, .. } => {
+                let mut s = shared.sink.lock().expect("wal sink poisoned");
+                // tblint: allow(TB008) the sink mutex serializes the sink itself; the final drain syncs under it by design
+                s.sink.sync()?;
+                s.durable = s.written;
+                Ok(s.durable)
             }
             Backend::Batched(b) => b.shutdown(),
         }
@@ -178,9 +227,15 @@ pub struct DurabilityWaiter(Waiter);
 
 #[derive(Clone)]
 enum Waiter {
-    /// Strict (durable on append) and async (no wait contract): return
-    /// immediately.
+    /// Async mode (no wait contract) — and strict `append`, whose records
+    /// are durable before the waiter ever runs: return immediately.
     Immediate,
+    /// Strict mode after [`TxnWal::submit`]: perform the deferred fsync if
+    /// the target record is not durable yet. One waiter's sync covers every
+    /// record written before it — concurrent strict committers get their
+    /// fsyncs amortized exactly like group commit, without the flusher
+    /// thread or its latency floor.
+    StrictSync { shared: Arc<DirectShared> },
     /// Group commit: park on the flusher's ack condvar until the durable
     /// watermark passes the target sequence number.
     Batched {
@@ -197,6 +252,15 @@ impl DurabilityWaiter {
     pub fn wait_for(&self, seq: u64) -> Result<()> {
         match &self.0 {
             Waiter::Immediate => Ok(()),
+            Waiter::StrictSync { shared } => {
+                let mut s = shared.sink.lock().expect("wal sink poisoned");
+                if s.durable < seq {
+                    // tblint: allow(TB008) the sink mutex serializes the sink itself; this is the deferred strict fsync, run outside caller locks
+                    s.sink.sync()?;
+                    s.durable = s.written;
+                }
+                Ok(())
+            }
             Waiter::Batched { shared, interval } => {
                 let mut st = shared.state.lock().expect("wal state poisoned");
                 while st.durable < seq {
@@ -318,7 +382,9 @@ impl Batched {
     }
 
     /// Non-blocking append: encodes the frame into the pending batch.
-    fn submit(&mut self, payload: &[u8]) -> Result<u64> {
+    /// (Named `enqueue` so the workspace-unique name `submit` belongs to
+    /// [`TxnWal::submit`] for tblint's one-hop call resolution.)
+    fn enqueue(&mut self, payload: &[u8]) -> Result<u64> {
         let (seq, frame) = self.appender.encode(payload);
         let mut st = self.shared.state.lock().expect("wal state poisoned");
         if let Some(e) = &st.error {
@@ -408,6 +474,84 @@ mod tests {
     use crate::sink::SharedBuf;
     use bitempo_core::fault::{FaultKind, FaultPlan, FaultyWriter};
     use bitempo_storage::wal;
+
+    /// A sink that counts `sync` calls, for asserting *when* fsyncs happen.
+    struct CountingSink {
+        inner: SharedBuf,
+        syncs: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl std::io::Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl WalSink for CountingSink {
+        fn sync(&mut self) -> std::io::Result<()> {
+            self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.sync()
+        }
+    }
+
+    #[test]
+    fn submit_defers_the_strict_fsync_to_the_waiter() {
+        let buf = SharedBuf::new();
+        let syncs = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = CountingSink {
+            inner: buf.clone(),
+            syncs: std::sync::Arc::clone(&syncs),
+        };
+        let mut w = TxnWal::create(Box::new(sink), DurabilityMode::Strict).unwrap();
+        assert_eq!(w.submit(b"t1").unwrap(), 1);
+        assert_eq!(w.submit(b"t2").unwrap(), 2);
+        assert_eq!(
+            syncs.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "submit writes without syncing"
+        );
+        assert_eq!(w.durable_seq(), 0, "nothing promised before the waiter");
+        let waiter = w.waiter();
+        waiter.wait_for(2).unwrap();
+        assert_eq!(
+            syncs.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "one fsync covers the whole submitted group"
+        );
+        assert_eq!(w.durable_seq(), 2);
+        waiter.wait_for(1).unwrap();
+        assert_eq!(
+            syncs.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "already-durable records do not re-sync"
+        );
+        assert_eq!(w.close().unwrap(), 2);
+        let s = wal::scan(&buf.snapshot());
+        assert!(s.is_clean());
+        assert_eq!(s.last_seq(), 2);
+    }
+
+    #[test]
+    fn strict_append_still_syncs_inline_so_the_waiter_is_free() {
+        let buf = SharedBuf::new();
+        let syncs = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = CountingSink {
+            inner: buf.clone(),
+            syncs: std::sync::Arc::clone(&syncs),
+        };
+        let mut w = TxnWal::create(Box::new(sink), DurabilityMode::Strict).unwrap();
+        assert_eq!(w.append(b"t1").unwrap(), 1);
+        assert_eq!(syncs.load(std::sync::atomic::Ordering::SeqCst), 1);
+        w.waiter().wait_for(1).unwrap();
+        assert_eq!(
+            syncs.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the waiter sees the record already durable and does nothing"
+        );
+    }
 
     #[test]
     fn strict_mode_is_durable_per_append() {

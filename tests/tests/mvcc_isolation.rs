@@ -62,7 +62,9 @@ fn observe(view: &dyn BitemporalEngine, t: bitempo_core::TableId) -> BTreeMap<i6
 }
 
 /// Runs the storm and checks both oracles. Returns (commits, conflicts).
-fn storm(kind: SystemKind, threads: usize) -> (usize, u64) {
+/// `seed` perturbs every worker's stream, so repeated rounds explore
+/// different interleavings (the race-hunting tier sweeps it).
+fn storm(kind: SystemKind, threads: usize, seed: u64) -> (usize, u64) {
     let (engine, t) = fresh_engine(kind);
     let mgr = TxnManager::new(engine, vec![t], None).unwrap();
     let commits: Mutex<Vec<CommitDesc>> = Mutex::new(Vec::new());
@@ -74,7 +76,7 @@ fn storm(kind: SystemKind, threads: usize) -> (usize, u64) {
             let commits = &commits;
             let reads = &reads;
             s.spawn(move || {
-                let mut rng = Pcg32::new(0xB17E_5EED ^ kind as u64, worker as u64);
+                let mut rng = Pcg32::new(0xB17E_5EED ^ kind as u64 ^ seed, worker as u64);
                 for i in 0..TXNS_PER_THREAD {
                     if rng.chance(0.4) {
                         // Reader: pin a snapshot, record what it shows.
@@ -174,7 +176,7 @@ fn storm(kind: SystemKind, threads: usize) -> (usize, u64) {
 #[test]
 fn single_threaded_history_is_its_own_oracle() {
     for kind in SystemKind::ALL {
-        let (commits, conflicts) = storm(kind, 1);
+        let (commits, conflicts) = storm(kind, 1, 0);
         assert!(commits > 0, "{kind}: the mix must commit something");
         assert_eq!(conflicts, 0, "{kind}: one thread can never conflict");
     }
@@ -183,7 +185,40 @@ fn single_threaded_history_is_its_own_oracle() {
 #[test]
 fn eight_threads_serialize_to_the_commit_order() {
     for kind in SystemKind::ALL {
-        let (commits, _) = storm(kind, 8);
+        let (commits, _) = storm(kind, 8, 0);
         assert!(commits > 0, "{kind}: the mix must commit something");
+    }
+}
+
+/// The race-hunting tier: the same oracles, run under an elevated thread
+/// count for several rounds of distinct seeds, so CI's dedicated job
+/// explores many more interleavings than the default suite. Locally this
+/// stays cheap (4 threads, 1 round); CI raises both via the environment:
+///
+/// ```text
+/// BITEMPO_STRESS_THREADS=16 BITEMPO_STRESS_ROUNDS=8 \
+///     cargo test --release -p bitempo-tests race_hunting_tier
+/// ```
+///
+/// Every round's seed is printed on entry, so a failure names the exact
+/// `(threads, seed)` pair to replay deterministically.
+#[test]
+fn race_hunting_tier_explores_seeded_interleavings() {
+    let threads: usize = std::env::var("BITEMPO_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let rounds: u64 = std::env::var("BITEMPO_STRESS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    for round in 0..rounds {
+        // Distinct, reproducible per-round seed (splitmix-style spread).
+        let seed = (round + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        println!("race-hunt round {round}: threads={threads} seed={seed:#x}");
+        for kind in SystemKind::ALL {
+            let (commits, _) = storm(kind, threads, seed);
+            assert!(commits > 0, "{kind}: round {round} must commit something");
+        }
     }
 }

@@ -117,7 +117,7 @@ proptest! {
                 Value::Date(AppDate(*c)),
                 Value::SysTime(SysTime(*d)),
             ]);
-            let id = table.append(&row).unwrap();
+            let id = table.append_row(&row).unwrap();
             prop_assert_eq!(id, i);
             model.push(row);
             if merge_points.contains(&i) {
