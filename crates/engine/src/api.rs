@@ -483,6 +483,13 @@ pub trait BitemporalEngine: Send + Sync {
     /// The system time of the last committed transaction.
     fn now(&self) -> SysTime;
 
+    /// Advances the commit clock so the *next* [`Self::commit`] lands at
+    /// `to.next()` or later. Never moves the clock backwards. A sharded
+    /// cluster uses this to stamp every shard's commits with the global
+    /// oracle timestamp, so cross-shard snapshots line up byte-for-byte
+    /// with a single-engine serial history. Read-only views ignore it.
+    fn advance_clock(&mut self, _to: SysTime) {}
+
     /// Scans `table` under the given temporal specification, applying (and
     /// possibly index-accelerating) the pushed `preds`.
     fn scan(

@@ -490,6 +490,12 @@ impl BitemporalEngine for SystemA {
         self.now
     }
 
+    fn advance_clock(&mut self, to: SysTime) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
     fn scan(
         &self,
         table: TableId,

@@ -456,6 +456,12 @@ impl BitemporalEngine for SystemB {
         self.now
     }
 
+    fn advance_clock(&mut self, to: SysTime) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
     fn scan(
         &self,
         table: TableId,

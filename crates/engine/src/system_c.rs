@@ -461,6 +461,12 @@ impl BitemporalEngine for SystemC {
         self.now
     }
 
+    fn advance_clock(&mut self, to: SysTime) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
     fn scan(
         &self,
         table: TableId,

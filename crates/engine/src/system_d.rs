@@ -317,6 +317,12 @@ impl BitemporalEngine for SystemD {
         self.now
     }
 
+    fn advance_clock(&mut self, to: SysTime) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
     fn scan(
         &self,
         table: TableId,

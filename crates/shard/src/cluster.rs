@@ -1,0 +1,1175 @@
+//! The sharded cluster: a hash-partitioned set of independent serving
+//! layers behind one router and one commit-timestamp oracle.
+//!
+//! Each shard is a full PR 8 stack — its own engine, [`TxnManager`], and
+//! WAL with its own durability mode. What makes the set a *cluster* rather
+//! than N databases is the time axis: every commit lands at a timestamp
+//! drawn from the shared [`CommitOracle`], and the engines' `advance_clock`
+//! seam forces the shard's commit to stamp its versions with exactly that
+//! timestamp. Shard-local system time and global time are therefore the
+//! same axis, and a cross-shard snapshot is simply every shard read
+//! `AS OF` one oracle watermark — byte-identical to the state a single
+//! engine would hold after the same serial history.
+//!
+//! **Write protocol.** A [`ClusterTxn`] buffers DML locally, routing each
+//! statement by the stable key hash ([`bitempo_workloads::sharding`]). At
+//! commit it takes the *commit gate* of every participating shard in
+//! ascending shard order (two committers with a key in common always share
+//! a shard, hence a gate), validates first-committer-wins against the
+//! cluster commit log, draws the global timestamp, and then:
+//!
+//! * **one participant** — plain [`Transaction::commit_at`]: apply, log a
+//!   stamped commit record, publish. No coordination needed; a
+//!   single-shard cluster degenerates to PR 8 plus one atomic increment.
+//! * **several participants** — two-phase commit over the existing WALs.
+//!   Phase one logs a *prepare* record per shard (full op payload, nothing
+//!   applied) and waits until every prepare is durable; phase two applies
+//!   and logs the *decision* on each shard. An undecided prepare is
+//!   presumed aborted by recovery, so a crash anywhere before the first
+//!   decision record loses the transaction cleanly, and a crash after it
+//!   lets [`crate::recover_cluster`] finish the remaining shards from the
+//!   decision evidence.
+//!
+//! **Lock hierarchy** (outermost first): shard gates (ascending index) →
+//! cluster state → oracle. The per-shard `TxnManager` locks nest strictly
+//! inside a gate. Durability waits run outside everything except the gates
+//! held across the prepare barrier, which is the point of 2PC — and the
+//! one deliberate blocking-under-lock site in the workspace.
+
+use crate::oracle::CommitOracle;
+use bitempo_core::{AppPeriod, Error, Key, Result, Row, SysTime, TableDef, TableId, Value};
+use bitempo_engine::api::{
+    AppSpec, BitemporalEngine, ColRange, ScanOutput, SysSpec, TableStats, TuningConfig,
+};
+use bitempo_engine::{build_engine, ScanMetrics, SystemKind};
+use bitempo_txn::{CommitWait, PreparedTxn, Snapshot, TxnCounters, TxnManager};
+use bitempo_wal::{Checkpoint, TxnWal};
+use bitempo_workloads::sharding::shard_of;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One shard: a serving layer plus its commit gate. The gate serializes
+/// commits *to this shard only* — it is held from validation through
+/// publish (and across the 2PC prepare barrier), so a shard's WAL never
+/// interleaves one transaction's prepare with another's records.
+struct Shard {
+    mgr: TxnManager,
+    gate: Mutex<()>,
+}
+
+/// A cluster-level write-set entry, the unit of cross-shard
+/// first-committer-wins validation (same shape as the per-shard entry:
+/// disjoint `FOR PORTION OF` writes to one key do not conflict).
+#[derive(Debug, Clone)]
+struct CWrite {
+    /// Table index in load order.
+    table: u8,
+    /// Primary key touched.
+    key: Key,
+    /// Application-period range touched.
+    app: AppPeriod,
+}
+
+/// What one committed cluster transaction wrote, kept for validating later
+/// committers whose read watermarks predate it.
+struct ClusterCommit {
+    gts: u64,
+    writes: Vec<CWrite>,
+}
+
+/// Cluster state under its own mutex: the global commit log for
+/// first-committer-wins plus the registry of active read pins (the floor
+/// below which log entries can be pruned).
+struct ClusterState {
+    /// Ascending by `gts`.
+    commit_log: Vec<ClusterCommit>,
+    /// `read watermark -> count` of open [`ClusterTxn`]s pinned there.
+    pins: BTreeMap<u64, usize>,
+}
+
+/// Monotonic counters for the `sharding` experiment's series.
+#[derive(Debug, Default)]
+pub struct ClusterCounters {
+    /// Cluster transactions begun.
+    pub begun: AtomicU64,
+    /// Cluster transactions committed (including read-only).
+    pub committed: AtomicU64,
+    /// Commits that routed to exactly one shard (the fast path).
+    pub single_shard: AtomicU64,
+    /// Commits that ran two-phase commit across several shards.
+    pub cross_shard: AtomicU64,
+    /// Read-only commits (no participants, no timestamp drawn).
+    pub read_only: AtomicU64,
+    /// Transactions aborted by cluster-level first-committer-wins.
+    pub conflicts: AtomicU64,
+}
+
+/// A hash-sharded cluster of serving layers. See the module docs for the
+/// protocol; see [`Cluster::from_checkpoint`] for the canonical way in.
+pub struct Cluster {
+    shards: Vec<Shard>,
+    oracle: CommitOracle,
+    cstate: Mutex<ClusterState>,
+    /// Table ids in load order — identical on every shard (asserted at
+    /// construction), which is what lets one `TableId` address all shards.
+    ids: Vec<TableId>,
+    /// Immutable table metadata, cached like the per-shard managers do so
+    /// routing never takes a shard lock.
+    defs: Vec<TableDef>,
+    counters: ClusterCounters,
+}
+
+impl Cluster {
+    /// Builds a cluster over pre-built serving layers (one per shard, all
+    /// over engines of the same kind holding *disjoint* key partitions of
+    /// the same tables). The oracle starts from the newest shard clock, so
+    /// the first issued timestamp is newer than anything any shard holds.
+    pub fn from_managers(shards: Vec<TxnManager>) -> Result<Cluster> {
+        let first = shards
+            .first()
+            .ok_or_else(|| Error::Invalid("a cluster needs at least one shard".into()))?;
+        let ids = first.table_ids().to_vec();
+        for (i, s) in shards.iter().enumerate() {
+            if s.table_ids() != ids {
+                return Err(Error::Invalid(format!(
+                    "shard {i} disagrees with shard 0 on table layout"
+                )));
+            }
+        }
+        let defs: Vec<TableDef> = {
+            let snap = first.snapshot_at(SysTime::ZERO)?;
+            let view = snap.view();
+            ids.iter().map(|&id| view.table_def(id).clone()).collect()
+        };
+        let start = shards
+            .iter()
+            .map(|s| s.now())
+            .max()
+            .unwrap_or(SysTime::ZERO);
+        Ok(Cluster {
+            shards: shards
+                .into_iter()
+                .map(|mgr| Shard {
+                    mgr,
+                    gate: Mutex::new(()),
+                })
+                .collect(),
+            oracle: CommitOracle::new(start),
+            cstate: Mutex::new(ClusterState {
+                commit_log: Vec::new(),
+                pins: BTreeMap::new(),
+            }),
+            ids,
+            defs,
+            counters: ClusterCounters::default(),
+        })
+    }
+
+    /// Builds a cluster of `wals.len()` shards from one base checkpoint:
+    /// the key space is partitioned by the stable hash, each shard's engine
+    /// is restored from its partition, and `wals[i]` becomes shard `i`'s
+    /// log (with its own durability mode; `None` runs the shard without
+    /// durability). Keep the per-shard partitions of the base — from
+    /// [`partition_checkpoint`] — if you intend to run recovery later.
+    pub fn from_checkpoint(
+        kind: SystemKind,
+        base: &Checkpoint,
+        wals: Vec<Option<TxnWal>>,
+    ) -> Result<Cluster> {
+        if wals.is_empty() {
+            return Err(Error::Invalid("a cluster needs at least one shard".into()));
+        }
+        let parts = partition_checkpoint(base, wals.len());
+        let mut mgrs = Vec::with_capacity(wals.len());
+        for (part, wal) in parts.iter().zip(wals) {
+            let mut engine = build_engine(kind);
+            let ids = part.restore_into(engine.as_mut())?;
+            mgrs.push(TxnManager::new(engine, ids, wal)?);
+        }
+        Cluster::from_managers(mgrs)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Table ids in load order (valid on every shard).
+    pub fn table_ids(&self) -> &[TableId] {
+        &self.ids
+    }
+
+    /// The cluster counters.
+    pub fn counters(&self) -> &ClusterCounters {
+        &self.counters
+    }
+
+    /// Shard `i`'s serving-layer counters (commits, conflicts, pins).
+    pub fn shard_counters(&self, i: usize) -> &TxnCounters {
+        self.shards[i].mgr.counters()
+    }
+
+    /// Shard `i`'s commit clock — at most the oracle watermark, exactly
+    /// the last global timestamp that landed on this shard.
+    pub fn shard_now(&self, i: usize) -> SysTime {
+        self.shards[i].mgr.now()
+    }
+
+    /// Snapshot pins currently registered across all shard managers plus
+    /// the cluster's own read pins. Zero once every transaction has
+    /// resolved — the balance the isolation suite asserts.
+    pub fn active_pins(&self) -> usize {
+        let shard_pins: usize = self.shards.iter().map(|s| s.mgr.active_pins()).sum();
+        let cs = self.cstate.lock().expect("cluster state poisoned");
+        shard_pins + cs.pins.values().sum::<usize>()
+    }
+
+    /// The oracle's read watermark: the newest globally consistent
+    /// timestamp.
+    pub fn read_ts(&self) -> SysTime {
+        self.oracle.read_ts()
+    }
+
+    /// Captures a durability checkpoint of shard `i` (labelled with the
+    /// shard WAL's covered sequence number, exactly as a standalone
+    /// manager's would be).
+    pub fn checkpoint_shard(&self, i: usize) -> Result<Checkpoint> {
+        self.shards[i].mgr.checkpoint()
+    }
+
+    /// Shuts the cluster down shard by shard: closes each WAL and returns
+    /// every shard's engine, table ids, and durable watermark.
+    #[allow(clippy::type_complexity)]
+    pub fn close(self) -> Result<Vec<(Box<dyn BitemporalEngine>, Vec<TableId>, u64)>> {
+        self.shards.into_iter().map(|s| s.mgr.close()).collect()
+    }
+
+    /// Begins a cluster transaction pinned at the current read watermark.
+    pub fn begin(&self) -> Result<ClusterTxn<'_>> {
+        let read_g = {
+            // Register the pin and read the watermark under the cluster
+            // lock, so no concurrent committer can prune commit-log
+            // entries newer than our watermark in between.
+            let mut cs = self.cstate.lock().expect("cluster state poisoned");
+            let g = self.oracle.read_ts().0;
+            *cs.pins.entry(g).or_insert(0) += 1;
+            g
+        };
+        self.counters.begun.fetch_add(1, Ordering::Relaxed);
+        Ok(ClusterTxn {
+            cluster: self,
+            read_g,
+            per_shard: (0..self.shards.len()).map(|_| Vec::new()).collect(),
+            writes: Vec::new(),
+            unpinned: false,
+        })
+    }
+
+    /// Opens a read-only snapshot at the current watermark, without a
+    /// transaction. The timestamp is captured once; [`ClusterSnapshot::read`]
+    /// may be called repeatedly and always sees the same consistent cut.
+    pub fn snapshot(&self) -> ClusterSnapshot<'_> {
+        ClusterSnapshot {
+            cluster: self,
+            at: self.oracle.read_ts(),
+        }
+    }
+
+    /// Opens per-shard read guards pinned at `at` (which must be at or
+    /// below the watermark for a consistent cut — [`Cluster::snapshot`]
+    /// and [`ClusterTxn::read`] both guarantee that).
+    fn read_at(&self, at: SysTime) -> Result<ClusterRead<'_>> {
+        let mut snaps = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            snaps.push(s.mgr.snapshot_at(at)?);
+        }
+        Ok(ClusterRead { snaps, at })
+    }
+
+    fn def_index(&self, table: TableId) -> Result<usize> {
+        self.ids
+            .iter()
+            .position(|&id| id == table)
+            .ok_or_else(|| Error::Invalid(format!("table {table:?} is not managed here")))
+    }
+
+    fn unpin(&self, g: u64) {
+        let mut cs = self.cstate.lock().expect("cluster state poisoned");
+        if let Some(n) = cs.pins.get_mut(&g) {
+            *n -= 1;
+            if *n == 0 {
+                cs.pins.remove(&g);
+            }
+        }
+    }
+
+    /// Appends the commit record and prunes entries no active pin can
+    /// still conflict with. Called with the participating gates held, so
+    /// any later committer sharing a shard observes the entry.
+    fn publish_commit(&self, gts: u64, writes: Vec<CWrite>) {
+        let mut cs = self.cstate.lock().expect("cluster state poisoned");
+        cs.commit_log.push(ClusterCommit { gts, writes });
+        let floor = cs.pins.keys().next().copied().unwrap_or(gts);
+        if cs.commit_log.first().is_some_and(|r| r.gts <= floor) {
+            cs.commit_log.retain(|r| r.gts > floor);
+        }
+        drop(cs);
+        self.oracle.publish(gts);
+    }
+}
+
+/// Partitions a base checkpoint's versions by the stable key hash into one
+/// checkpoint per shard (all carrying the base's clock, relabelled to WAL
+/// sequence 0 — they pair with *fresh* per-shard WALs). The partitions are
+/// disjoint and their union is the base, which is what makes the sharded
+/// cluster byte-equivalent to a single engine over the same history.
+pub fn partition_checkpoint(base: &Checkpoint, shards: usize) -> Vec<Checkpoint> {
+    let mut out: Vec<Checkpoint> = (0..shards)
+        .map(|_| Checkpoint {
+            seq: 0,
+            now: base.now,
+            tables: base
+                .tables
+                .iter()
+                .map(|(def, _)| (def.clone(), Vec::new()))
+                .collect(),
+        })
+        .collect();
+    for (ti, (def, versions)) in base.tables.iter().enumerate() {
+        for v in versions {
+            let key = Key::from_row(&v.row, &def.key);
+            out[shard_of(&key, shards)].tables[ti].1.push(v.clone());
+        }
+    }
+    out
+}
+
+/// A buffered cluster DML statement, replayed into the owning shard's
+/// transaction at commit time.
+enum BufOp {
+    Insert {
+        t: usize,
+        row: Row,
+        app: Option<AppPeriod>,
+    },
+    Update {
+        t: usize,
+        key: Key,
+        updates: Vec<(usize, Value)>,
+        portion: Option<AppPeriod>,
+    },
+    Delete {
+        t: usize,
+        key: Key,
+        portion: Option<AppPeriod>,
+    },
+    Overwrite {
+        t: usize,
+        key: Key,
+        period: AppPeriod,
+    },
+}
+
+/// An open cluster transaction: a read watermark plus DML buffered per
+/// owning shard. Dropping it without committing is a rollback.
+pub struct ClusterTxn<'a> {
+    cluster: &'a Cluster,
+    /// The read watermark this transaction's snapshot and validation pin.
+    read_g: u64,
+    /// Buffered ops, routed; index = shard.
+    per_shard: Vec<Vec<BufOp>>,
+    /// The cluster-level write set.
+    writes: Vec<CWrite>,
+    unpinned: bool,
+}
+
+impl<'a> ClusterTxn<'a> {
+    /// The pinned read watermark.
+    pub fn pin(&self) -> SysTime {
+        SysTime(self.read_g)
+    }
+
+    /// Opens the transaction's consistent snapshot: every shard `AS OF`
+    /// the pinned watermark. Holds every shard's shared lock for the
+    /// guard's lifetime — obtain per query burst and drop promptly.
+    pub fn read(&self) -> Result<ClusterRead<'a>> {
+        self.cluster.read_at(SysTime(self.read_g))
+    }
+
+    fn route(&mut self, table: TableId) -> Result<(usize, &TableDef)> {
+        let idx = self.cluster.def_index(table)?;
+        Ok((idx, &self.cluster.defs[idx]))
+    }
+
+    /// Buffers an insert of `row` valid for `app`, routed to the shard
+    /// owning the row's primary key.
+    pub fn insert(&mut self, table: TableId, row: Row, app: Option<AppPeriod>) -> Result<()> {
+        let (idx, def) = self.route(table)?;
+        if row.arity() != def.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "arity {} vs schema {} for {}",
+                row.arity(),
+                def.schema.arity(),
+                def.name
+            )));
+        }
+        let key = Key::from_row(&row, &def.key);
+        let shard = shard_of(&key, self.cluster.shards.len());
+        self.writes.push(CWrite {
+            table: idx as u8,
+            key,
+            app: app.unwrap_or(AppPeriod::ALL),
+        });
+        self.per_shard[shard].push(BufOp::Insert { t: idx, row, app });
+        Ok(())
+    }
+
+    /// Buffers a sequenced update of `key` for `portion` on its owning
+    /// shard.
+    pub fn update(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        updates: &[(usize, Value)],
+        portion: Option<AppPeriod>,
+    ) -> Result<()> {
+        let (idx, _) = self.route(table)?;
+        let shard = shard_of(key, self.cluster.shards.len());
+        self.writes.push(CWrite {
+            table: idx as u8,
+            key: key.clone(),
+            app: portion.unwrap_or(AppPeriod::ALL),
+        });
+        self.per_shard[shard].push(BufOp::Update {
+            t: idx,
+            key: key.clone(),
+            updates: updates.to_vec(),
+            portion,
+        });
+        Ok(())
+    }
+
+    /// Buffers a sequenced delete of `key` for `portion` on its owning
+    /// shard.
+    pub fn delete(&mut self, table: TableId, key: &Key, portion: Option<AppPeriod>) -> Result<()> {
+        let (idx, _) = self.route(table)?;
+        let shard = shard_of(key, self.cluster.shards.len());
+        self.writes.push(CWrite {
+            table: idx as u8,
+            key: key.clone(),
+            app: portion.unwrap_or(AppPeriod::ALL),
+        });
+        self.per_shard[shard].push(BufOp::Delete {
+            t: idx,
+            key: key.clone(),
+            portion,
+        });
+        Ok(())
+    }
+
+    /// Buffers an application-period overwrite of `key` on its owning
+    /// shard (conservatively conflicting with any write to the key, like
+    /// the per-shard buffering does).
+    pub fn overwrite_app_period(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        period: AppPeriod,
+    ) -> Result<()> {
+        let (idx, _) = self.route(table)?;
+        let shard = shard_of(key, self.cluster.shards.len());
+        self.writes.push(CWrite {
+            table: idx as u8,
+            key: key.clone(),
+            app: AppPeriod::ALL,
+        });
+        self.per_shard[shard].push(BufOp::Overwrite {
+            t: idx,
+            key: key.clone(),
+            period,
+        });
+        Ok(())
+    }
+
+    /// Discards the buffered writes and releases the read pin.
+    pub fn rollback(mut self) {
+        self.per_shard.clear();
+        self.writes.clear();
+        self.release_pin();
+    }
+
+    fn release_pin(&mut self) {
+        if !self.unpinned {
+            self.unpinned = true;
+            self.cluster.unpin(self.read_g);
+        }
+    }
+
+    /// Commits the buffered writes at one oracle timestamp, waiting for
+    /// every participating shard's durability contract before returning.
+    /// Returns the global commit timestamp (the read pin for a read-only
+    /// transaction, which draws no timestamp at all).
+    ///
+    /// On [`Error::Conflict`] nothing was logged or applied anywhere;
+    /// re-run against a fresh transaction. Other errors follow the
+    /// per-shard contracts: validation and preflight failures abort the
+    /// whole transaction cleanly (any prepares already logged are decided
+    /// *abort*), while a failure after the first commit decision poisons
+    /// the failing shard fail-stop and reports `Internal` — the
+    /// transaction is then globally committed, the poisoned shard catches
+    /// up at recovery.
+    pub fn commit(mut self) -> Result<SysTime> {
+        let ops = std::mem::take(&mut self.per_shard);
+        let writes = std::mem::take(&mut self.writes);
+        let cluster = self.cluster;
+        let participants: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if participants.is_empty() {
+            cluster.counters.read_only.fetch_add(1, Ordering::Relaxed);
+            cluster.counters.committed.fetch_add(1, Ordering::Relaxed);
+            let g = self.read_g;
+            self.release_pin();
+            return Ok(SysTime(g));
+        }
+
+        // Commit gates, ascending shard index (the workspace lock order).
+        // Conflicting committers share a key, hence a shard, hence a gate.
+        let gates: Vec<_> = participants
+            .iter()
+            .map(|&i| cluster.shards[i].gate.lock().expect("shard gate poisoned"))
+            .collect();
+
+        // Cluster-level first-committer-wins, then draw the timestamp.
+        // Validated under the gates: any conflicting commit either already
+        // pushed its record (we see it here) or is queued behind a gate we
+        // hold (it will see ours).
+        let gts = {
+            let cs = cluster.cstate.lock().expect("cluster state poisoned");
+            for rec in cs.commit_log.iter().rev() {
+                if rec.gts <= self.read_g {
+                    break;
+                }
+                for theirs in &rec.writes {
+                    for ours in &writes {
+                        if theirs.table == ours.table
+                            && theirs.key == ours.key
+                            && theirs.app.overlaps(&ours.app)
+                        {
+                            cluster.counters.conflicts.fetch_add(1, Ordering::Relaxed);
+                            return Err(Error::Conflict(format!(
+                                "table {} key {} app {:?}: written by the cluster \
+                                 transaction committed at {} after this pin {}",
+                                theirs.table, theirs.key, theirs.app, rec.gts, self.read_g
+                            )));
+                        }
+                    }
+                }
+            }
+            cluster.oracle.begin_commit()
+        };
+
+        match run_on_shards(cluster, &participants, ops, gts) {
+            Ok(waits) => {
+                cluster.publish_commit(gts, writes);
+                self.release_pin();
+                cluster.counters.committed.fetch_add(1, Ordering::Relaxed);
+                if participants.len() == 1 {
+                    cluster
+                        .counters
+                        .single_shard
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    cluster.counters.cross_shard.fetch_add(1, Ordering::Relaxed);
+                }
+                // Durability belongs outside every lock: one shard's fsync
+                // must never serialize another shard's committers.
+                drop(gates);
+                for w in waits {
+                    w.wait()?;
+                }
+                Ok(SysTime(gts))
+            }
+            Err((e, decided)) => {
+                if decided {
+                    // At least one shard holds a durable commit decision:
+                    // the transaction *is* committed globally (recovery
+                    // finishes the stragglers), so the record and the
+                    // watermark must reflect it even though we report the
+                    // shard failure to the caller.
+                    cluster.publish_commit(gts, writes);
+                } else {
+                    cluster.oracle.abort(gts);
+                }
+                self.release_pin();
+                drop(gates);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for ClusterTxn<'_> {
+    fn drop(&mut self) {
+        self.release_pin();
+    }
+}
+
+/// Replays the routed ops onto the participating shards and lands the
+/// commit at `gts`: directly for one participant, via two-phase commit for
+/// several. On error the flag says whether a commit decision was already
+/// durably logged somewhere (`true` = the transaction stands globally).
+fn run_on_shards<'a>(
+    cluster: &'a Cluster,
+    participants: &[usize],
+    mut ops: Vec<Vec<BufOp>>,
+    gts: u64,
+) -> std::result::Result<Vec<CommitWait<'a>>, (Error, bool)> {
+    // Buffer each shard's ops into a shard transaction. Failures here —
+    // poisoned shard, arity or period validation — leave nothing applied
+    // and nothing logged.
+    let mut txns = Vec::with_capacity(participants.len());
+    for &i in participants {
+        let mgr = &cluster.shards[i].mgr;
+        let ids = mgr.table_ids().to_vec();
+        let mut txn = match mgr.begin() {
+            Ok(t) => t,
+            Err(e) => return Err((e, false)),
+        };
+        for op in std::mem::take(&mut ops[i]) {
+            let buffered = match op {
+                BufOp::Insert { t, row, app } => txn.insert(ids[t], row, app),
+                BufOp::Update {
+                    t,
+                    key,
+                    updates,
+                    portion,
+                } => txn.update(ids[t], &key, &updates, portion),
+                BufOp::Delete { t, key, portion } => txn.delete(ids[t], &key, portion),
+                BufOp::Overwrite { t, key, period } => {
+                    txn.overwrite_app_period(ids[t], &key, period)
+                }
+            };
+            if let Err(e) = buffered {
+                return Err((e, false));
+            }
+        }
+        txns.push(txn);
+    }
+
+    // Fast path: one participant needs no coordination — a stamped commit
+    // record already recovers to exactly this state.
+    if txns.len() == 1 {
+        return match txns.remove(0).commit_at(gts) {
+            // `commit_at` publishes before handing back the wait, so an
+            // `Ok` here is a decided commit; an `Err` never published nor
+            // logged (apply/submit failures poison the shard *without* a
+            // WAL record).
+            Ok((_ts, wait)) => Ok(wait.into_iter().collect()),
+            Err(e) => Err((e, false)),
+        };
+    }
+
+    // Phase one: prepare everywhere. Any failure aborts every prepare
+    // already logged — explicitly, though recovery would presume it.
+    let mut prepared: Vec<PreparedTxn<'a>> = Vec::with_capacity(txns.len());
+    for txn in txns {
+        match txn.prepare(gts) {
+            Ok(p) => prepared.push(p),
+            Err(e) => {
+                abort_all(prepared);
+                return Err((e, false));
+            }
+        }
+    }
+
+    // The prepare barrier: every participant's prepare record must be
+    // durable before any shard logs a decision — this is what makes an
+    // observed decision sufficient evidence for recovery to commit every
+    // participant. Blocking on the flusher under the held commit gates is
+    // the price of that guarantee, and it is paid per *cluster* commit,
+    // not per shard.
+    for p in &prepared {
+        // Deliberately blocks under the commit gates held by the caller:
+        // releasing them before the barrier would let another commit
+        // interleave WAL records between our prepares and decisions.
+        if let Err(e) = p.wait_prepared() {
+            abort_all(prepared);
+            return Err((e, false));
+        }
+    }
+
+    // Phase two: decide commit on every shard. After the first durable
+    // decision the transaction stands; a later shard failing to apply is
+    // poisoned fail-stop and recovery converges it from the decision
+    // evidence, so we keep committing the healthy shards.
+    let mut waits = Vec::with_capacity(prepared.len());
+    let mut decided = false;
+    let mut failure: Option<Error> = None;
+    let mut rest = prepared.into_iter();
+    while let Some(p) = rest.next() {
+        match p.commit() {
+            Ok((_ts, wait)) => {
+                decided = true;
+                waits.extend(wait);
+            }
+            Err(e) => {
+                if !decided {
+                    // No decision logged anywhere yet: globally this is an
+                    // abort, and the remaining prepares say so explicitly.
+                    abort_all(rest.collect());
+                    return Err((e, false));
+                }
+                failure.get_or_insert(e);
+            }
+        }
+    }
+    match failure {
+        None => Ok(waits),
+        Some(e) => Err((
+            Error::Internal(format!(
+                "cross-shard commit {gts} decided but a shard failed to apply it: {e}"
+            )),
+            true,
+        )),
+    }
+}
+
+fn abort_all(prepared: Vec<PreparedTxn<'_>>) {
+    for p in prepared {
+        // An abort that fails to log poisons its shard; the cluster-level
+        // outcome (aborted) is already decided, so the error is not ours
+        // to propagate — recovery presumes the abort regardless.
+        let _ = p.abort();
+    }
+}
+
+/// A consistent read point captured from the oracle watermark. Cheap; holds
+/// no locks until [`Self::read`].
+pub struct ClusterSnapshot<'a> {
+    cluster: &'a Cluster,
+    at: SysTime,
+}
+
+impl ClusterSnapshot<'_> {
+    /// The captured global timestamp.
+    pub fn at(&self) -> SysTime {
+        self.at
+    }
+
+    /// Opens the per-shard read guards for this cut.
+    pub fn read(&self) -> Result<ClusterRead<'_>> {
+        self.cluster.read_at(self.at)
+    }
+}
+
+/// Open read guards on every shard, all pinned at one global timestamp.
+/// Obtain per query burst and drop promptly: the guards are what a
+/// committer on each shard waits for.
+pub struct ClusterRead<'a> {
+    snaps: Vec<Snapshot<'a>>,
+    at: SysTime,
+}
+
+impl ClusterRead<'_> {
+    /// The pinned global timestamp.
+    pub fn at(&self) -> SysTime {
+        self.at
+    }
+
+    /// The read-only engine view over the whole cluster: scans fan out to
+    /// every shard and concatenate, key lookups route to the owning shard,
+    /// and every system-time specification is capped at the pinned
+    /// timestamp by the per-shard snapshot translation. Implements the
+    /// full [`BitemporalEngine`] read surface, so the workload query
+    /// classes run on a cluster exactly as they run on one engine.
+    pub fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            views: self.snaps.iter().map(|s| s.view()).collect(),
+            at: self.at,
+        }
+    }
+}
+
+/// [`BitemporalEngine`] adapter over one consistent cluster-wide cut. DML
+/// and schema changes are rejected — writes go through [`ClusterTxn`].
+pub struct ClusterView<'a> {
+    views: Vec<bitempo_txn::SnapshotView<'a>>,
+    at: SysTime,
+}
+
+impl ClusterView<'_> {
+    fn read_only_err<T>(&self, what: &str) -> Result<T> {
+        Err(Error::Unsupported(format!(
+            "{what} on a cluster snapshot: buffer writes on the ClusterTxn instead"
+        )))
+    }
+}
+
+impl BitemporalEngine for ClusterView<'_> {
+    fn name(&self) -> &'static str {
+        self.views[0].name()
+    }
+
+    fn architecture(&self) -> &'static str {
+        self.views[0].architecture()
+    }
+
+    fn create_table(&mut self, _def: TableDef) -> Result<TableId> {
+        self.read_only_err("create_table")
+    }
+
+    fn resolve(&self, name: &str) -> Result<TableId> {
+        self.views[0].resolve(name)
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.views[0].table_names()
+    }
+
+    fn table_def(&self, table: TableId) -> &TableDef {
+        self.views[0].table_def(table)
+    }
+
+    fn apply_tuning(&mut self, _tuning: &TuningConfig) -> Result<()> {
+        self.read_only_err("apply_tuning")
+    }
+
+    fn insert(&mut self, _table: TableId, _row: Row, _app: Option<AppPeriod>) -> Result<()> {
+        self.read_only_err("insert")
+    }
+
+    fn update(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _updates: &[(usize, Value)],
+        _portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        self.read_only_err("update")
+    }
+
+    fn delete(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _portion: Option<AppPeriod>,
+    ) -> Result<usize> {
+        self.read_only_err("delete")
+    }
+
+    fn overwrite_app_period(
+        &mut self,
+        _table: TableId,
+        _key: &Key,
+        _period: AppPeriod,
+    ) -> Result<usize> {
+        self.read_only_err("overwrite_app_period")
+    }
+
+    /// A cluster snapshot has nothing to commit; its "commit time" is the
+    /// pinned global timestamp.
+    fn commit(&mut self) -> SysTime {
+        self.at
+    }
+
+    /// The frozen global timestamp, so queries deriving parameters from
+    /// the commit watermark stay inside the cut.
+    fn now(&self) -> SysTime {
+        self.at
+    }
+
+    fn scan(
+        &self,
+        table: TableId,
+        sys: &SysSpec,
+        app: &AppSpec,
+        preds: &[ColRange],
+    ) -> Result<ScanOutput> {
+        // Fan out and concatenate. Partitioning is by key, so the union of
+        // the per-shard row sets *is* the single-engine row set; callers
+        // needing a canonical order sort, exactly as they do across
+        // engines with different physical scan orders.
+        let mut out: Option<ScanOutput> = None;
+        for v in &self.views {
+            let part = v.scan(table, sys, app, preds)?;
+            match &mut out {
+                None => out = Some(part),
+                Some(acc) => {
+                    acc.rows.extend(part.rows);
+                    acc.partition_paths.extend(part.partition_paths);
+                    acc.metrics = merge_metrics(acc.metrics, part.metrics);
+                }
+            }
+        }
+        out.ok_or_else(|| Error::Internal("cluster has no shards".into()))
+    }
+
+    fn lookup_key(
+        &self,
+        table: TableId,
+        key: &Key,
+        sys: &SysSpec,
+        app: &AppSpec,
+    ) -> Result<ScanOutput> {
+        self.views[shard_of(key, self.views.len())].lookup_key(table, key, sys, app)
+    }
+
+    fn stats(&self, table: TableId) -> TableStats {
+        let mut acc = TableStats {
+            current_rows: 0,
+            history_rows: 0,
+        };
+        for v in &self.views {
+            let s = v.stats(table);
+            acc.current_rows += s.current_rows;
+            acc.history_rows += s.history_rows;
+        }
+        acc
+    }
+
+    fn snapshot_versions(&self, _table: TableId) -> Result<Vec<bitempo_engine::Version>> {
+        self.read_only_err("snapshot_versions")
+    }
+
+    fn restore(
+        &mut self,
+        _table: TableId,
+        _versions: Vec<bitempo_engine::Version>,
+        _now: SysTime,
+    ) -> Result<()> {
+        self.read_only_err("restore")
+    }
+}
+
+fn merge_metrics(a: ScanMetrics, b: ScanMetrics) -> ScanMetrics {
+    ScanMetrics {
+        morsels: a.morsels + b.morsels,
+        rows_visited: a.rows_visited + b.rows_visited,
+        versions_pruned: a.versions_pruned + b.versions_pruned,
+        index_probes: a.index_probes + b.index_probes,
+        index_hits: a.index_hits + b.index_hits,
+        index_node_visits: a.index_node_visits + b.index_node_visits,
+        planned_rows: a.planned_rows + b.planned_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitempo_engine::testutil::{bitemp_table, simple_row};
+    use bitempo_storage::DurabilityMode;
+    use bitempo_wal::SharedBuf;
+
+    /// A base checkpoint with keys 0..n committed at SysTime(1).
+    fn base_checkpoint(n: i64) -> Checkpoint {
+        let mut engine = build_engine(SystemKind::A);
+        let t = engine.create_table(bitemp_table("t")).expect("create");
+        for k in 0..n {
+            engine
+                .insert(t, simple_row(k, 10 * k), None)
+                .expect("insert");
+        }
+        engine.commit();
+        Checkpoint::capture(engine.as_mut(), &[t], 0).expect("capture")
+    }
+
+    fn cluster_with_bufs(shards: usize, n: i64) -> (Cluster, Vec<SharedBuf>) {
+        let base = base_checkpoint(n);
+        let bufs: Vec<SharedBuf> = (0..shards).map(|_| SharedBuf::new()).collect();
+        let wals = bufs
+            .iter()
+            .map(|b| {
+                Some(
+                    TxnWal::create(Box::new(b.clone()), DurabilityMode::Strict)
+                        .expect("wal create"),
+                )
+            })
+            .collect();
+        (
+            Cluster::from_checkpoint(SystemKind::A, &base, wals).expect("cluster"),
+            bufs,
+        )
+    }
+
+    /// Two keys in 0..n guaranteed to live on different shards.
+    fn split_keys(shards: usize, n: i64) -> (i64, i64) {
+        let first = 0;
+        let home = shard_of(&Key::int(first), shards);
+        for k in 1..n {
+            if shard_of(&Key::int(k), shards) != home {
+                return (first, k);
+            }
+        }
+        panic!("no key split across {shards} shards in 0..{n}");
+    }
+
+    fn current_vals(view: &ClusterView<'_>, t: TableId) -> Vec<(i64, i64)> {
+        let mut rows: Vec<(i64, i64)> = view
+            .scan(t, &SysSpec::Current, &AppSpec::All, &[])
+            .expect("scan")
+            .rows
+            .iter()
+            .map(|r| match (r.get(0), r.get(1)) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                other => panic!("unexpected row {other:?}"),
+            })
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let base = base_checkpoint(20);
+        let parts = partition_checkpoint(&base, 4);
+        let total: usize = parts.iter().map(|p| p.tables[0].1.len()).sum();
+        assert_eq!(total, base.tables[0].1.len());
+        for p in &parts {
+            assert_eq!(p.now, base.now);
+            assert_eq!(p.seq, 0);
+        }
+    }
+
+    #[test]
+    fn single_shard_commits_land_at_oracle_timestamps() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        let before = cluster.read_ts();
+
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(0), &[(1, Value::Int(111))], None)
+            .expect("update");
+        let ts = txn.commit().expect("commit");
+        assert_eq!(ts, before.next(), "first commit lands right after the base");
+        assert_eq!(cluster.read_ts(), ts, "watermark follows the publish");
+        assert_eq!(cluster.counters().single_shard.load(Ordering::Relaxed), 1);
+
+        let read = cluster.snapshot();
+        let guards = read.read().expect("read");
+        let view = guards.view();
+        let vals = current_vals(&view, t);
+        assert!(vals.contains(&(0, 111)));
+    }
+
+    #[test]
+    fn cross_shard_commit_is_atomic_under_the_snapshot() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        let (a, b) = split_keys(2, 8);
+
+        let before = cluster.snapshot();
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(a), &[(1, Value::Int(-1))], None)
+            .expect("update a");
+        txn.update(t, &Key::int(b), &[(1, Value::Int(-2))], None)
+            .expect("update b");
+        let ts = txn.commit().expect("commit");
+        assert_eq!(cluster.counters().cross_shard.load(Ordering::Relaxed), 1);
+
+        // The pre-commit snapshot sees neither write...
+        let guards = before.read().expect("read");
+        let vals = current_vals(&guards.view(), t);
+        assert!(vals.contains(&(a, 10 * a)) && vals.contains(&(b, 10 * b)));
+        drop(guards);
+        // ...and a post-commit snapshot sees both, at one timestamp.
+        let after = cluster.snapshot();
+        assert_eq!(after.at(), ts);
+        let guards = after.read().expect("read");
+        let vals = current_vals(&guards.view(), t);
+        assert!(vals.contains(&(a, -1)) && vals.contains(&(b, -2)));
+        // Both shards landed the same commit time.
+        assert_eq!(cluster.shard_now(0), ts);
+        assert_eq!(cluster.shard_now(1), ts);
+    }
+
+    #[test]
+    fn cluster_first_committer_wins_across_shards() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        let (a, b) = split_keys(2, 8);
+
+        let mut first = cluster.begin().expect("begin");
+        let mut second = cluster.begin().expect("begin");
+        // Both write key `a`; `first` also writes `b` so it runs 2PC.
+        first
+            .update(t, &Key::int(a), &[(1, Value::Int(1))], None)
+            .expect("update");
+        first
+            .update(t, &Key::int(b), &[(1, Value::Int(2))], None)
+            .expect("update");
+        second
+            .update(t, &Key::int(a), &[(1, Value::Int(3))], None)
+            .expect("update");
+        first.commit().expect("first commits");
+        match second.commit() {
+            Err(Error::Conflict(_)) => {}
+            other => panic!("expected a conflict, got {other:?}"),
+        }
+        assert_eq!(cluster.counters().conflicts.load(Ordering::Relaxed), 1);
+        assert_eq!(cluster.active_pins(), 0, "all pins released");
+    }
+
+    #[test]
+    fn failed_cross_shard_commit_applies_nowhere() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        let (a, b) = split_keys(2, 8);
+
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(a), &[(1, Value::Int(-5))], None)
+            .expect("update");
+        // A vanished key on the other shard: preflight fails its prepare.
+        let ghost = (b..1000)
+            .find(|k| *k >= 8 && shard_of(&Key::int(*k), 2) != shard_of(&Key::int(a), 2))
+            .expect("ghost key");
+        txn.update(t, &Key::int(ghost), &[(1, Value::Int(0))], None)
+            .expect("update");
+        match txn.commit() {
+            Err(Error::KeyNotFound(_)) => {}
+            other => panic!("expected KeyNotFound, got {other:?}"),
+        }
+        // Nothing applied on either shard, watermark unchanged by the
+        // aborted timestamp, and a fresh write still commits.
+        let snap = cluster.snapshot();
+        let guards = snap.read().expect("read");
+        assert!(current_vals(&guards.view(), t).contains(&(a, 10 * a)));
+        drop(guards);
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(a), &[(1, Value::Int(7))], None)
+            .expect("update");
+        txn.commit().expect("commit after abort");
+    }
+
+    #[test]
+    fn lookup_routes_to_the_owning_shard() {
+        let (cluster, _bufs) = cluster_with_bufs(4, 32);
+        let t = cluster.table_ids()[0];
+        let snap = cluster.snapshot();
+        let guards = snap.read().expect("read");
+        let view = guards.view();
+        for k in 0..32 {
+            let out = view
+                .lookup_key(t, &Key::int(k), &SysSpec::Current, &AppSpec::All)
+                .expect("lookup");
+            assert_eq!(out.rows.len(), 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn one_shard_cluster_degenerates_to_the_serving_layer() {
+        let (cluster, _bufs) = cluster_with_bufs(1, 4);
+        let t = cluster.table_ids()[0];
+        let mut txn = cluster.begin().expect("begin");
+        txn.insert(t, simple_row(100, 1), None).expect("insert");
+        txn.update(t, &Key::int(0), &[(1, Value::Int(5))], None)
+            .expect("update");
+        let ts = txn.commit().expect("commit");
+        assert_eq!(cluster.counters().single_shard.load(Ordering::Relaxed), 1);
+        assert_eq!(cluster.shard_now(0), ts);
+    }
+}

@@ -1,0 +1,20 @@
+// TB007 shard-scope clean fixture: shard writes route through the
+// cluster coordinator (router + FCW log + oracle), shard-local reads and
+// recovery-time manager construction stay legal.
+fn serve(cluster: &Cluster, id: TableId, k: &Key) -> Result<SysTime> {
+    let mut writer = cluster.begin()?;
+    writer.insert(id, simple_row(7, 70), None)?;
+    writer.update(id, k, &[(1, Value::Int(8))], None)?;
+    writer.commit()
+}
+
+fn rebuild(rec: Recovered, wal: Option<TxnWal>) -> Result<TxnManager> {
+    TxnManager::new(rec.engine, rec.ids, wal)
+}
+
+fn observe(cluster: &Cluster, id: TableId) -> Result<usize> {
+    let snap = cluster.snapshot();
+    let guards = snap.read()?;
+    let out = guards.view().scan(id, &SysSpec::Current, &AppSpec::All, &[])?;
+    Ok(out.rows.len())
+}

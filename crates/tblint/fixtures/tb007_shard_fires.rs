@@ -1,0 +1,12 @@
+// TB007 shard-scope firing fixture: cluster code reaching past the
+// coordinator into a per-shard serving layer — one `begin` on a manager
+// receiver, one DML call on the resulting transaction. Both skip the
+// key→shard router, the cluster first-committer-wins log and the
+// commit-timestamp oracle, so the write lands at a shard-local timestamp
+// no cross-shard snapshot can trust.
+fn patch_shard(shard_mgr: &TxnManager, id: TableId, k: &Key) -> Result<()> {
+    let mut txn = shard_mgr.begin()?;
+    txn.update(id, k, &[(1, Value::Int(9))], None)?;
+    txn.commit()?;
+    Ok(())
+}

@@ -133,6 +133,16 @@ fn tb007_exempt(path: &str) -> bool {
         || path.starts_with("tests/")
 }
 
+/// The shard crate's stricter TB007 scope: inside `crates/shard/`, only
+/// the cluster coordinator (`cluster.rs`) may open per-shard `TxnManager`
+/// transactions or drive `Transaction` DML. Anywhere else in the crate a
+/// direct shard write bypasses the router (key → owning shard), the
+/// cluster-level first-committer-wins log and the commit-timestamp
+/// oracle — the write lands but no cross-shard snapshot is safe again.
+fn tb007_shard_scope(path: &str) -> bool {
+    path.starts_with("crates/shard/") && path != "crates/shard/src/cluster.rs"
+}
+
 /// The four engine files compared by TB005.
 pub fn tb005_scope(path: &str) -> bool {
     matches!(
@@ -170,6 +180,9 @@ pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
     tb006(toks, &mut findings);
     if !tb007_exempt(path) {
         tb007(&stripped, &mut findings);
+    }
+    if tb007_shard_scope(path) {
+        tb007_shard(&stripped, &mut findings);
     }
     if tb010_scope(path) {
         tb010(&stripped, &mut findings);
@@ -392,6 +405,47 @@ fn tb007(toks: &[Tok], out: &mut Vec<Finding>) {
                      WAL-logged); loaders use histgen's replay. Waive only for \
                      pre-serving setup with a reason",
                     recv.text, w[2].text
+                ),
+            });
+        }
+    }
+}
+
+/// TB007 (shard scope): `<manager receiver> . begin (` and
+/// `<transaction receiver> . <dml method> (` token sequences inside
+/// `crates/shard/` outside the coordinator. The receiver heuristics are
+/// the workspace's naming conventions — `mgr` / `manager` / `*_mgr` /
+/// `*_manager` for serving-layer managers, `txn` / `*_txn` for their
+/// transactions.
+fn tb007_shard(toks: &[Tok], out: &mut Vec<Finding>) {
+    const DML: [&str; 4] = ["insert", "update", "delete", "overwrite_app_period"];
+    for w in toks.windows(4) {
+        let recv = &w[0];
+        if recv.kind != TokKind::Ident || w[1].text != "." || w[3].text != "(" {
+            continue;
+        }
+        let method = &w[2];
+        if method.kind != TokKind::Ident {
+            continue;
+        }
+        let mgr_recv = recv.text == "mgr"
+            || recv.text == "manager"
+            || recv.text.ends_with("_mgr")
+            || recv.text.ends_with("_manager");
+        let txn_recv = recv.text == "txn" || recv.text.ends_with("_txn");
+        let fires = (mgr_recv && method.text == "begin")
+            || (txn_recv && DML.contains(&method.text.as_str()));
+        if fires {
+            out.push(Finding {
+                line: method.line,
+                code: TB007,
+                message: format!(
+                    "direct `{}.{}` on a per-shard serving layer from cluster code — \
+                     shard writes route through the cluster coordinator \
+                     (`ClusterTxn`), which owns the key→shard map, the cluster \
+                     first-committer-wins log and the commit-timestamp oracle. \
+                     Waive only for shard-local setup with a reason",
+                    recv.text, method.text
                 ),
             });
         }

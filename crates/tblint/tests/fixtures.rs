@@ -187,6 +187,35 @@ fn tb007_clean_fixture_passes() {
 }
 
 #[test]
+fn tb007_shard_fixture_fires_outside_the_coordinator_only() {
+    let src = fixture("tb007_shard_fires.rs");
+    let diags = check_source("crates/shard/src/recover.rs", &src);
+    assert_eq!(
+        codes(&diags),
+        [rules::TB007, rules::TB007],
+        "manager begin and transaction DML: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.waived.is_none()));
+    assert!(
+        diags[0].message.contains("ClusterTxn"),
+        "{}",
+        diags[0].message
+    );
+    // The coordinator is the sanctioned caller of the per-shard layers,
+    // and the same tokens are legal outside the shard crate (the serving
+    // layer is the sanctioned interface everywhere else).
+    assert!(check_source("crates/shard/src/cluster.rs", &src).is_empty());
+    assert!(check_source("crates/bench/src/experiments.rs", &src).is_empty());
+}
+
+#[test]
+fn tb007_shard_clean_fixture_passes() {
+    let src = fixture("tb007_shard_clean.rs");
+    assert!(check_source("crates/shard/src/recover.rs", &src).is_empty());
+    assert!(check_source("crates/shard/src/oracle.rs", &src).is_empty());
+}
+
+#[test]
 fn tb007_waiver_fixture_suppresses_with_reason() {
     let src = fixture("tb007_waived.rs");
     let diags = check_source("crates/bench/src/experiments.rs", &src);

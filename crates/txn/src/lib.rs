@@ -111,6 +111,10 @@ pub struct TxnCounters {
     pub conflicts: AtomicU64,
     /// Snapshots pinned by [`TxnManager::begin`].
     pub snapshots: AtomicU64,
+    /// Snapshot pins released — by commit (at publish), rollback, or drop.
+    /// Balances [`Self::snapshots`] once every transaction has resolved;
+    /// the isolation suite asserts the two agree after each storm.
+    pub released: AtomicU64,
 }
 
 /// The MVCC front-end over one engine. See the crate docs for the model.
@@ -218,6 +222,25 @@ impl TxnManager {
         })
     }
 
+    /// Opens a read-only snapshot pinned at an explicit system time,
+    /// without registering a pin or creating a [`Transaction`]. This is
+    /// the cross-shard read seam: a cluster snapshot pins every shard at
+    /// one oracle timestamp and reads each through the same sys-spec
+    /// translation interactive snapshots use. Reading *committed history*
+    /// needs no pin bookkeeping — pins only guard the first-committer-wins
+    /// log, which read-only views never consult. `pin` may exceed the
+    /// shard's local watermark (the shard simply has nothing newer yet);
+    /// visibility is still exactly the commit-prefix at `pin`.
+    pub fn snapshot_at(&self, pin: SysTime) -> Result<Snapshot<'_>> {
+        let guard = self.state.read().expect("txn state poisoned");
+        Ok(Snapshot {
+            now: guard.engine.now(),
+            degraded: guard.poisoned.is_some(),
+            guard,
+            pin,
+        })
+    }
+
     /// Captures a durability checkpoint of the current committed state,
     /// labelled with the exact WAL sequence number it covers. Runs under
     /// the *write* lock: a checkpoint can never interleave with a commit,
@@ -248,6 +271,14 @@ impl TxnManager {
         Ok((st.engine, st.ids, durable))
     }
 
+    /// Number of currently registered snapshot pins (the pruning floor's
+    /// population). Zero once every transaction has committed, rolled
+    /// back, or dropped — the balance the isolation suite asserts.
+    pub fn active_pins(&self) -> usize {
+        let pins = self.pins.lock().expect("pin registry poisoned");
+        pins.values().sum()
+    }
+
     fn unpin(&self, pin: SysTime) {
         let mut pins = self.pins.lock().expect("pin registry poisoned");
         if let Some(n) = pins.get_mut(&pin) {
@@ -256,6 +287,8 @@ impl TxnManager {
                 pins.remove(&pin);
             }
         }
+        drop(pins);
+        self.counters.released.fetch_add(1, Ordering::Relaxed);
     }
 
     fn def_index(&self, table: TableId) -> Result<usize> {
@@ -278,7 +311,7 @@ pub struct Transaction<'a> {
     unpinned: bool,
 }
 
-impl Transaction<'_> {
+impl<'a> Transaction<'a> {
     /// The snapshot's pinned system time.
     pub fn pin(&self) -> SysTime {
         self.pin
@@ -401,11 +434,14 @@ impl Transaction<'_> {
         Ok(())
     }
 
-    /// Discards the buffered writes and releases the snapshot pin.
+    /// Discards the buffered writes and releases the snapshot pin —
+    /// explicitly, so the release is symmetric with [`Self::commit`]'s
+    /// release-at-publish rather than deferred to a later drop.
     pub fn rollback(mut self) {
         self.ops.clear();
         self.writes.clear();
-        // Drop does the unpin.
+        self.unpinned = true;
+        self.mgr.unpin(self.pin);
     }
 
     /// Validates, applies, logs and publishes the buffered writes, then
@@ -422,10 +458,36 @@ impl Transaction<'_> {
     /// reported failure); or, rarest, the record was published and written
     /// but the durability wait itself failed — the manager poisons
     /// fail-stop, because whether that tail survives a crash is unknown.
-    pub fn commit(mut self) -> Result<SysTime> {
+    pub fn commit(self) -> Result<SysTime> {
+        let (ts, wait) = self.commit_submit(None)?;
+        if let Some(wait) = wait {
+            wait.wait()?;
+        }
+        Ok(ts)
+    }
+
+    /// [`Self::commit`] stamped with a cluster-issued global commit
+    /// timestamp: the engine clock is advanced so the commit lands at
+    /// exactly `gts`, and the WAL record carries `gts` so recovery
+    /// re-stamps it identically. Returns the publish time plus the
+    /// durability wait still owed — the sharded cluster publishes, drops
+    /// its shard gate, and *then* waits, so one shard's fsync never
+    /// serializes the others. Callers without their own locks to escape
+    /// can simply `wait()` immediately.
+    pub fn commit_at(self, gts: u64) -> Result<(SysTime, Option<CommitWait<'a>>)> {
+        self.commit_submit(Some(gts))
+    }
+
+    /// The validate → preflight → apply → log → publish section shared by
+    /// [`Self::commit`] and [`Self::commit_at`]; returns without waiting
+    /// for durability.
+    fn commit_submit(mut self, gts: Option<u64>) -> Result<(SysTime, Option<CommitWait<'a>>)> {
         if self.ops.is_empty() {
             self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
-            return Ok(self.pin);
+            let pin = self.pin;
+            self.unpinned = true;
+            self.mgr.unpin(pin);
+            return Ok((pin, None));
         }
         let ops = std::mem::take(&mut self.ops);
         let writes = std::mem::take(&mut self.writes);
@@ -469,10 +531,19 @@ impl Transaction<'_> {
         let payload = {
             let wal = self.mgr.wal.lock().expect("wal lock poisoned");
             match wal.as_ref() {
-                Some(_) => Some(bitempo_histgen::encode_txn(&TxnOps {
-                    scenarios: Vec::new(),
-                    ops: ops.clone(),
-                })?),
+                Some(_) => {
+                    let body = TxnOps {
+                        scenarios: Vec::new(),
+                        ops: ops.clone(),
+                    };
+                    // A plain commit keeps the raw archive framing PR 7
+                    // recovery already replays; a cluster commit wraps it
+                    // so recovery re-stamps the commit at `gts`.
+                    Some(match gts {
+                        Some(g) => bitempo_wal::encode_committed_at(g, &body)?,
+                        None => bitempo_histgen::encode_txn(&body)?,
+                    })
+                }
                 None => None,
             }
         };
@@ -490,6 +561,17 @@ impl Transaction<'_> {
             applied_seq,
             ..
         } = &mut *st;
+        // Cluster commits land at the oracle's global timestamp: advance
+        // the shard clock first so the ops' version stamps (`now.next()`)
+        // and the commit itself all carry `gts`, byte-identical to a
+        // single-engine serial history at the same timestamps.
+        if let Some(g) = gts {
+            debug_assert!(
+                g > engine.now().0,
+                "oracle timestamps are unique and ascending"
+            );
+            engine.advance_clock(SysTime(g.saturating_sub(1)));
+        }
         for op in &ops {
             if let Err(e) = apply_op(engine.as_mut(), ids, op) {
                 *poisoned = Some(format!("apply failed mid-transaction: {e}"));
@@ -527,7 +609,14 @@ impl Transaction<'_> {
             }
         }
         let ts = engine.commit();
-        *applied_seq += 1;
+        debug_assert!(
+            gts.is_none_or(|g| ts.0 == g),
+            "a cluster commit must land exactly at its oracle timestamp"
+        );
+        *applied_seq = match &waiter {
+            Some((_, seq)) => *seq,
+            None => *applied_seq + 1,
+        };
         st.commit_log.push(CommitRecord { ts, writes });
 
         // Prune commit records no active snapshot can still conflict with.
@@ -540,33 +629,313 @@ impl Transaction<'_> {
         }
         drop(st);
 
+        // Release the snapshot pin at publish, not at drop: the pin is a
+        // pruning floor, and the durability wait ahead can be as long as
+        // an fsync. Rollback and drop release the same way, so pin
+        // accounting stays balanced on every path (the isolation suite
+        // asserts released == snapshots after each storm).
+        self.unpinned = true;
+        self.mgr.unpin(self.pin);
         self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
-        // The durability wait happens outside every lock. Under `Batched`,
-        // concurrent committers park here together and one flusher fsync
-        // acks them all; under `Strict`, the waiter performs the deferred
-        // fsync itself — still amortized, because one waiter's sync covers
-        // everything submitted before it ran. Either way readers are never
-        // stuck behind the disk.
-        if let Some((waiter, seq)) = waiter {
-            if let Err(e) = waiter.wait_for(seq) {
-                // The record is published and written but its durability is
-                // unknown (the fsync failed or the flusher died), so the
-                // in-memory state may be ahead of what the log preserves.
-                // Fail-stop: poison the manager rather than let later
-                // commits build on a possibly-lost prefix. This is the one
-                // honest ambiguity in the commit protocol — the caller
-                // learns the commit *may* not survive a crash, and nothing
-                // further is accepted.
-                let mut st = self.mgr.state.write().expect("txn state poisoned");
-                if st.poisoned.is_none() {
-                    st.poisoned = Some(format!("durability wait failed after publish: {e}"));
+        // The durability wait belongs outside every lock. Under `Batched`,
+        // concurrent committers park in `wait()` together and one flusher
+        // fsync acks them all; under `Strict`, the waiter performs the
+        // deferred fsync itself — still amortized, because one waiter's
+        // sync covers everything submitted before it ran. Either way
+        // readers are never stuck behind the disk.
+        let wait = waiter.map(|(waiter, seq)| CommitWait {
+            mgr: self.mgr,
+            waiter,
+            seq,
+        });
+        Ok((ts, wait))
+    }
+
+    /// First half of a cross-shard two-phase commit on this shard:
+    /// validates and preflights the buffered ops exactly as commit would,
+    /// then logs a *prepare* record — the full op payload tagged with the
+    /// global transaction id and its oracle commit timestamp — without
+    /// applying anything. The caller must hold this shard's commit gate
+    /// from before `prepare` until the decision, wait on
+    /// [`PreparedTxn::wait_prepared`] for every participant, and only then
+    /// decide. An undecided prepare is *presumed aborted* by recovery, so
+    /// crashing here loses nothing and resurrects nothing.
+    ///
+    /// `gts` doubles as the global transaction id: oracle timestamps are
+    /// unique, and carrying the same value in the prepare and decision
+    /// records is what lets recovery match them up.
+    pub fn prepare(mut self, gts: u64) -> Result<PreparedTxn<'a>> {
+        if self.ops.is_empty() {
+            return Err(Error::Invalid(
+                "nothing to prepare: this shard is not a participant".into(),
+            ));
+        }
+        let ops = std::mem::take(&mut self.ops);
+        let writes = std::mem::take(&mut self.writes);
+
+        {
+            let st = self.mgr.state.read().expect("txn state poisoned");
+            if let Some(why) = &st.poisoned {
+                return Err(Error::Internal(format!("txn manager poisoned: {why}")));
+            }
+            // First-committer-wins against this shard's own log — under a
+            // held gate this can't fire, but prepare keeps the same
+            // defensive contract as commit.
+            for rec in st.commit_log.iter().rev() {
+                if rec.ts <= self.pin {
+                    break;
                 }
+                for theirs in &rec.writes {
+                    for ours in &writes {
+                        if theirs.table == ours.table
+                            && theirs.key == ours.key
+                            && theirs.app.overlaps(&ours.app)
+                        {
+                            self.mgr.counters.conflicts.fetch_add(1, Ordering::Relaxed);
+                            return Err(Error::Conflict(format!(
+                                "table {} key {} app {:?}: written at {} after pin {}",
+                                theirs.table, theirs.key, theirs.app, rec.ts, self.pin
+                            )));
+                        }
+                    }
+                }
+            }
+            preflight(&st, &ops)?;
+        }
+
+        // Log the prepare record. Unlike a commit record this describes a
+        // transaction that has *not* applied — that is the point: it makes
+        // the ops durable before any shard applies, so a crash between
+        // shards can always finish (or presume-abort) the transaction.
+        let mut logged = None;
+        let payload = {
+            let wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            match wal.as_ref() {
+                Some(_) => Some(bitempo_wal::encode_prepare(
+                    gts,
+                    gts,
+                    &TxnOps {
+                        scenarios: Vec::new(),
+                        ops: ops.clone(),
+                    },
+                )?),
+                None => None,
+            }
+        };
+        if let Some(payload) = payload {
+            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            let w = wal.as_mut().expect("wal vanished mid-prepare");
+            match w.submit(&payload) {
+                Ok(seq) => logged = Some((w.waiter(), seq)),
+                Err(e) => {
+                    // Nothing applied, but the WAL stream's integrity is
+                    // now unknown (a torn frame mid-log would silently
+                    // truncate every later record at recovery). Fail-stop,
+                    // exactly like a commit-path submit failure.
+                    drop(wal);
+                    let mut st = self.mgr.state.write().expect("txn state poisoned");
+                    if st.poisoned.is_none() {
+                        st.poisoned = Some(format!("WAL submit failed during prepare: {e}"));
+                    }
+                    return Err(Error::Internal(format!(
+                        "prepare not logged, manager poisoned: {e}"
+                    )));
+                }
+            }
+        }
+        let pin = self.pin;
+        self.unpinned = true; // ownership of the pin moves to PreparedTxn
+        Ok(PreparedTxn {
+            mgr: self.mgr,
+            pin,
+            gts,
+            ops,
+            writes,
+            logged,
+            unpinned: false,
+        })
+    }
+}
+
+/// The durability wait a publish still owes. Dropping it without calling
+/// [`Self::wait`] skips the wait entirely — callers that need the
+/// durability contract must call it.
+#[must_use = "the commit is published but not yet durable: call wait()"]
+pub struct CommitWait<'a> {
+    mgr: &'a TxnManager,
+    waiter: DurabilityWaiter,
+    seq: u64,
+}
+
+impl CommitWait<'_> {
+    /// The WAL sequence number the wait covers.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the record is durable under the WAL's mode. On
+    /// failure the record is published and written but its durability is
+    /// unknown (the fsync failed or the flusher died), so the in-memory
+    /// state may be ahead of what the log preserves. Fail-stop: the
+    /// manager poisons rather than letting later commits build on a
+    /// possibly-lost prefix — the one honest ambiguity in the protocol.
+    pub fn wait(self) -> Result<()> {
+        if let Err(e) = self.waiter.wait_for(self.seq) {
+            let mut st = self.mgr.state.write().expect("txn state poisoned");
+            if st.poisoned.is_none() {
+                st.poisoned = Some(format!("durability wait failed after publish: {e}"));
+            }
+            return Err(Error::Internal(format!(
+                "commit published but durability is unknown, manager poisoned: {e}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A transaction prepared on this shard: ops validated and durably
+/// logged, nothing applied. Resolved by [`Self::commit`] or
+/// [`Self::abort`]; dropping it unresolved releases the pin but logs no
+/// decision — recovery then presumes abort, which is also what
+/// [`Self::abort`] makes explicit.
+pub struct PreparedTxn<'a> {
+    mgr: &'a TxnManager,
+    pin: SysTime,
+    gts: u64,
+    ops: Vec<Op>,
+    writes: Vec<WriteEntry>,
+    /// Prepare-record durability handle (`None` without a WAL).
+    logged: Option<(DurabilityWaiter, u64)>,
+    unpinned: bool,
+}
+
+impl<'a> PreparedTxn<'a> {
+    /// The global commit timestamp (and transaction id) this prepare
+    /// carries.
+    pub fn gts(&self) -> u64 {
+        self.gts
+    }
+
+    /// Blocks until the prepare record is durable under the shard's WAL
+    /// mode — the barrier every participant must pass before any shard
+    /// may decide commit. A failure here is clean: nothing applied, no
+    /// decision logged, the caller aborts all participants.
+    pub fn wait_prepared(&self) -> Result<()> {
+        if let Some((waiter, seq)) = &self.logged {
+            waiter
+                .wait_for(*seq)
+                .map_err(|e| Error::Internal(format!("prepare durability wait failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Applies the prepared ops, logs the commit decision, and publishes
+    /// at exactly the prepared `gts`. Mirrors the single-shard commit
+    /// tail: apply failures poison fail-stop (the decision stands on
+    /// shards that already committed — this shard is the casualty, not
+    /// the transaction).
+    pub fn commit(mut self) -> Result<(SysTime, Option<CommitWait<'a>>)> {
+        let ops = std::mem::take(&mut self.ops);
+        let writes = std::mem::take(&mut self.writes);
+        let gts = self.gts;
+
+        let mut st = self.mgr.state.write().expect("txn state poisoned");
+        if let Some(why) = &st.poisoned {
+            return Err(Error::Internal(format!("txn manager poisoned: {why}")));
+        }
+        let EngineState {
+            engine,
+            ids,
+            poisoned,
+            applied_seq,
+            ..
+        } = &mut *st;
+        engine.advance_clock(SysTime(gts.saturating_sub(1)));
+        for op in &ops {
+            if let Err(e) = apply_op(engine.as_mut(), ids, op) {
+                *poisoned = Some(format!("apply failed mid-decision: {e}"));
                 return Err(Error::Internal(format!(
-                    "commit published but durability is unknown, manager poisoned: {e}"
+                    "decision half-applied, manager poisoned: {e}"
                 )));
             }
         }
-        Ok(ts)
+        // The decision record follows apply, like a commit record: it only
+        // lands once this shard holds the transaction's full effects.
+        let mut waiter = None;
+        if self.logged.is_some() {
+            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            let w = wal.as_mut().expect("wal vanished mid-decision");
+            match w.submit(&bitempo_wal::encode_decision(gts, gts, true)) {
+                Ok(seq) => {
+                    *applied_seq = seq;
+                    waiter = Some((w.waiter(), seq));
+                }
+                Err(e) => {
+                    *poisoned = Some(format!("WAL submit failed for commit decision: {e}"));
+                    return Err(Error::Internal(format!(
+                        "decision applied but not logged, manager poisoned: {e}"
+                    )));
+                }
+            }
+        }
+        let ts = engine.commit();
+        debug_assert_eq!(ts.0, gts, "decisions land exactly at the oracle timestamp");
+        st.commit_log.push(CommitRecord { ts, writes });
+        let floor = {
+            let pins = self.mgr.pins.lock().expect("pin registry poisoned");
+            pins.keys().next().copied().unwrap_or(ts)
+        };
+        if st.commit_log.first().is_some_and(|r| r.ts <= floor) {
+            st.commit_log.retain(|r| r.ts > floor);
+        }
+        drop(st);
+
+        self.unpinned = true;
+        self.mgr.unpin(self.pin);
+        self.mgr.counters.committed.fetch_add(1, Ordering::Relaxed);
+        let wait = waiter.map(|(waiter, seq)| CommitWait {
+            mgr: self.mgr,
+            waiter,
+            seq,
+        });
+        Ok((ts, wait))
+    }
+
+    /// Logs an explicit abort decision (recovery would presume it anyway;
+    /// the record just spares the scan) and releases the pin. Applies
+    /// nothing.
+    pub fn abort(self) -> Result<()> {
+        if self.logged.is_some() {
+            let mut wal = self.mgr.wal.lock().expect("wal lock poisoned");
+            let w = wal.as_mut().expect("wal vanished mid-abort");
+            match w.submit(&bitempo_wal::encode_decision(self.gts, self.gts, false)) {
+                Ok(seq) => {
+                    drop(wal);
+                    let mut st = self.mgr.state.write().expect("txn state poisoned");
+                    st.applied_seq = seq;
+                }
+                Err(e) => {
+                    drop(wal);
+                    let mut st = self.mgr.state.write().expect("txn state poisoned");
+                    if st.poisoned.is_none() {
+                        st.poisoned = Some(format!("WAL submit failed for abort decision: {e}"));
+                    }
+                    return Err(Error::Internal(format!(
+                        "abort decision not logged, manager poisoned: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PreparedTxn<'_> {
+    fn drop(&mut self) {
+        if !self.unpinned {
+            self.unpinned = true;
+            self.mgr.unpin(self.pin);
+        }
     }
 }
 
@@ -664,8 +1033,9 @@ impl Snapshot<'_> {
             engine: self.guard.engine.as_ref(),
             pin: self.pin,
             // The current-partition fast path is sound only when the pin
-            // is the newest commit and no poisoned pending state lingers.
-            current_ok: self.pin == self.now && !self.degraded,
+            // is at (or past — a shard lagging the global oracle clock)
+            // the newest commit and no poisoned pending state lingers.
+            current_ok: self.pin >= self.now && !self.degraded,
         }
     }
 }

@@ -34,14 +34,18 @@
 
 pub mod checkpoint;
 pub mod log;
+pub mod record;
 pub mod recover;
 pub mod sink;
 
 pub use bitempo_storage::DurabilityMode;
 pub use checkpoint::Checkpoint;
 pub use log::{DurabilityWaiter, TxnWal};
+pub use record::{
+    decode_payload, encode_committed_at, encode_decision, encode_prepare, WalPayload,
+};
 pub use recover::{
-    canonical_state, durable_replay, oracle_replay, recover, DurableOptions, DurableRun, Recovered,
-    RecoveryReport,
+    canonical_state, durable_replay, oracle_replay, recover, DurableOptions, DurableRun,
+    PendingPrepare, Recovered, RecoveryReport,
 };
 pub use sink::{NullSink, SharedBuf, WalSink};

@@ -18,10 +18,11 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::log::TxnWal;
-use bitempo_core::{Error, Result, TableId};
+use crate::record::{decode_payload, WalPayload};
+use bitempo_core::{Error, Result, SysTime, TableId};
 use bitempo_dbgen::TpchData;
 use bitempo_engine::{build_engine, BitemporalEngine, SystemKind, TuningConfig};
-use bitempo_histgen::{apply_op, decode_txn, encode_txn, load_initial, Archive};
+use bitempo_histgen::{apply_op, encode_txn, load_initial, Archive};
 use bitempo_storage::wal;
 use bitempo_storage::DurabilityMode;
 
@@ -153,6 +154,23 @@ pub struct RecoveryReport {
     /// after (or while trusting that) its transaction applies, so this
     /// indicates corruption that slipped past the frame checksums.
     pub unreplayable: Option<String>,
+    /// Prepares left undecided at the end of the valid prefix and
+    /// therefore *presumed aborted* (not applied). A cluster recovery may
+    /// still commit them from [`Recovered::pending`] when a sibling
+    /// shard's WAL holds the commit decision.
+    pub presumed_aborted: u64,
+}
+
+/// A prepared-but-undecided transaction salvaged from the WAL tail: its
+/// full op payload, as durable as the prepare record that carried it.
+#[derive(Debug, Clone)]
+pub struct PendingPrepare {
+    /// Global transaction id.
+    pub gid: u64,
+    /// Oracle commit timestamp the transaction would land at.
+    pub gts: u64,
+    /// The prepared ops.
+    pub txn: bitempo_histgen::Transaction,
 }
 
 /// A recovered engine with its table ids and the recovery accounting.
@@ -163,6 +181,13 @@ pub struct Recovered {
     pub ids: Vec<TableId>,
     /// What was salvaged.
     pub report: RecoveryReport,
+    /// Undecided prepares, presumed aborted locally. The sharded cluster's
+    /// recovery resolves them against every shard's decisions: a commit
+    /// decision found anywhere commits the prepare here too.
+    pub pending: Vec<PendingPrepare>,
+    /// Gids of *commit* decisions present in this WAL's valid prefix —
+    /// the evidence cluster recovery unions across shards.
+    pub decided_commits: Vec<u64>,
 }
 
 /// Rebuilds an engine of `kind` from the newest valid checkpoint in
@@ -204,56 +229,53 @@ pub fn recover(
     // (reported, not propagated — the same philosophy as the torn-tail
     // scan), and decode failures caught here can never leave partial
     // pending state behind.
-    let mut txns = Vec::new();
+    let mut items: Vec<(u64, WalPayload)> = Vec::new();
     let mut unreplayable = None;
     for rec in &scan.records {
         if rec.seq <= ckpt.seq {
             continue;
         }
-        match decode_txn(&rec.payload) {
-            Ok(txn) => txns.push(txn),
+        match decode_payload(&rec.payload) {
+            Ok(p) => items.push((rec.seq, p)),
             Err(e) => {
                 unreplayable = Some(format!("record {} failed to decode: {e}", rec.seq));
                 break;
             }
         }
     }
+    // Commit decisions anywhere in the valid prefix: cluster recovery
+    // unions these across shards to resolve sibling prepares.
+    let decided_commits: Vec<u64> = items
+        .iter()
+        .filter_map(|(_, p)| match p {
+            WalPayload::Decision {
+                gid, commit: true, ..
+            } => Some(*gid),
+            _ => None,
+        })
+        .collect();
     let mut engine = build_engine(kind);
     let ids = ckpt.restore_into(engine.as_mut())?;
-    let mut replayed = 0u64;
-    for (i, txn) in txns.iter().enumerate() {
-        let failed = txn
-            .ops
-            .iter()
-            .find_map(|op| apply_op(engine.as_mut(), &ids, op).err());
-        if let Some(e) = failed {
+    let (replayed, pending) = match replay_items(engine.as_mut(), &ids, &items) {
+        Ok(done) => done,
+        Err((idx, e)) => {
             // The failing record left partial pending state; rebuild from
             // the checkpoint and replay only the known-good prefix (those
             // records are deterministic and already applied once).
-            unreplayable = Some(format!(
-                "record {} failed to apply: {e}",
-                ckpt.seq + i as u64 + 1
-            ));
+            unreplayable = Some(format!("record {} failed to apply: {e}", items[idx].0));
             engine = build_engine(kind);
             let restored = ckpt.restore_into(engine.as_mut())?;
             debug_assert_eq!(restored, ids, "checkpoint restore must be deterministic");
-            replayed = 0;
-            for good in &txns[..i] {
-                for op in &good.ops {
-                    apply_op(engine.as_mut(), &ids, op)?;
-                }
-                engine.commit();
-                replayed += 1;
-            }
-            break;
+            replay_items(engine.as_mut(), &ids, &items[..idx]).map_err(|(_, e)| e)?
         }
-        engine.commit();
-        replayed += 1;
-    }
+    };
     engine.apply_tuning(tuning)?;
     engine.checkpoint();
-    // Record seqs are dense and 1-based, so the recovered state covers
-    // exactly the checkpoint plus every replayed record.
+    // Record seqs are dense and 1-based, so for a pure commit-record log
+    // (every WAL PR 7 writes) the recovered state covers exactly the
+    // checkpoint plus every replayed record. Shard WALs interleave
+    // prepare/decision records, so their commit accounting lives with the
+    // cluster, not here.
     let commits = ckpt.seq + replayed;
     Ok(Recovered {
         engine,
@@ -267,8 +289,79 @@ pub fn recover(
             wal_valid_len: scan.valid_len,
             commits,
             unreplayable,
+            presumed_aborted: pending.len() as u64,
         },
+        pending,
+        decided_commits,
     })
+}
+
+/// Replays decoded records in order: commits apply and land (at their
+/// carried `gts` when stamped), prepares stash, decisions resolve their
+/// stash entry. Returns the number of commits applied plus the prepares
+/// still undecided at the end (presumed aborted). On an apply failure the
+/// engine holds partial state; the caller rebuilds and replays the prefix
+/// before the failing index.
+fn replay_items(
+    engine: &mut dyn BitemporalEngine,
+    ids: &[TableId],
+    items: &[(u64, WalPayload)],
+) -> std::result::Result<(u64, Vec<PendingPrepare>), (usize, Error)> {
+    let mut replayed = 0u64;
+    let mut stash: Vec<PendingPrepare> = Vec::new();
+    for (idx, (_, item)) in items.iter().enumerate() {
+        match item {
+            WalPayload::Commit { gts, txn } => {
+                if let Some(g) = gts {
+                    engine.advance_clock(SysTime(g.saturating_sub(1)));
+                }
+                for op in &txn.ops {
+                    apply_op(engine, ids, op).map_err(|e| (idx, e))?;
+                }
+                engine.commit();
+                replayed += 1;
+            }
+            WalPayload::Prepare { gid, gts, txn } => {
+                stash.push(PendingPrepare {
+                    gid: *gid,
+                    gts: *gts,
+                    txn: txn.clone(),
+                });
+            }
+            WalPayload::Decision { gid, gts, commit } => {
+                let pos = stash.iter().position(|p| p.gid == *gid);
+                match (pos, commit) {
+                    (Some(pos), true) => {
+                        let p = stash.remove(pos);
+                        engine.advance_clock(SysTime(gts.saturating_sub(1)));
+                        for op in &p.txn.ops {
+                            apply_op(engine, ids, op).map_err(|e| (idx, e))?;
+                        }
+                        engine.commit();
+                        replayed += 1;
+                    }
+                    (Some(pos), false) => {
+                        stash.remove(pos);
+                    }
+                    (None, true) => {
+                        // A decision always lands right after its prepare
+                        // on the same shard (the gate excludes anything in
+                        // between), so an orphaned commit decision means
+                        // the log lies — truncate here, like any other
+                        // unreplayable record.
+                        return Err((
+                            idx,
+                            Error::Archive(format!("commit decision for unknown prepare {gid}")),
+                        ));
+                    }
+                    // An abort for a prepare the checkpoint already covers
+                    // (label advanced past the prepare) decides nothing.
+                    (None, false) => {}
+                }
+            }
+        }
+    }
+    Ok((replayed, stash))
 }
 
 /// The uncrashed oracle: replays the first `commits` transactions of

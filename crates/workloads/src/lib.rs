@@ -12,6 +12,8 @@
 //!   aggregation and temporal joins;
 //! * [`bitemporal`] — the B3.1–B3.11 bitemporal-dimension matrix (Table 3);
 //! * [`params`] — benchmark parameter selection (time points, hot keys);
+//! * [`sharding`] — the stable key-space partitioning function the sharded
+//!   serving layer routes DML with;
 //! * [`plans`] — one statically-validated representative plan per workload
 //!   class, feeding the `lint-plans` experiment;
 //! * [`suite`] — one representative query per class, bundled as the
@@ -27,6 +29,7 @@ pub mod key;
 pub mod params;
 pub mod plans;
 pub mod range;
+pub mod sharding;
 pub mod suite;
 pub mod tpch;
 pub mod tt;

@@ -1,0 +1,128 @@
+//! Key-space partitioning for the sharded serving layer.
+//!
+//! A cluster routes every DML statement to the shard that owns its primary
+//! key, so the hash must be *stable*: the same key must land on the same
+//! shard across processes, runs, and recovery. `std`'s `DefaultHasher` is
+//! explicitly unstable across releases, so this module fixes the function
+//! to FNV-1a over a canonical byte encoding of the key — tiny, allocation
+//! free for integer keys, and identical everywhere.
+//!
+//! The encoding goes through [`Key::to_values`] so the specialized
+//! (`Int`/`Int2`) and general representations of the same key hash alike.
+
+use bitempo_core::{Key, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Stable 64-bit hash of a primary key.
+///
+/// Each component value is folded with a one-byte type tag so e.g.
+/// `Int(0)` and `Null` cannot collide structurally; strings contribute
+/// their UTF-8 bytes, doubles their IEEE-754 bit pattern.
+pub fn key_hash(key: &Key) -> u64 {
+    let mut hash = FNV_OFFSET;
+    match key {
+        Key::Int(a) => {
+            fnv1a(&mut hash, &[1]);
+            fnv1a(&mut hash, &a.to_le_bytes());
+        }
+        Key::Int2(a, b) => {
+            fnv1a(&mut hash, &[1]);
+            fnv1a(&mut hash, &a.to_le_bytes());
+            fnv1a(&mut hash, &[1]);
+            fnv1a(&mut hash, &b.to_le_bytes());
+        }
+        Key::General(values) => {
+            for v in values {
+                match v {
+                    Value::Null => fnv1a(&mut hash, &[0]),
+                    Value::Int(i) => {
+                        fnv1a(&mut hash, &[1]);
+                        fnv1a(&mut hash, &i.to_le_bytes());
+                    }
+                    Value::Double(d) => {
+                        fnv1a(&mut hash, &[2]);
+                        fnv1a(&mut hash, &d.to_bits().to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        fnv1a(&mut hash, &[3]);
+                        fnv1a(&mut hash, &(s.len() as u64).to_le_bytes());
+                        fnv1a(&mut hash, s.as_bytes());
+                    }
+                    Value::Date(d) => {
+                        fnv1a(&mut hash, &[4]);
+                        fnv1a(&mut hash, &d.0.to_le_bytes());
+                    }
+                    Value::SysTime(t) => {
+                        fnv1a(&mut hash, &[5]);
+                        fnv1a(&mut hash, &t.0.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    hash
+}
+
+/// The shard (in `0..shards`) that owns `key`.
+///
+/// With one shard everything routes to shard 0, so a single-shard cluster
+/// degenerates to the PR 8 serving layer exactly.
+pub fn shard_of(key: &Key, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a cluster has at least one shard");
+    (key_hash(key) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specialized_and_general_keys_hash_alike() {
+        assert_eq!(
+            key_hash(&Key::int(7)),
+            key_hash(&Key::General(vec![Value::Int(7)]))
+        );
+        assert_eq!(
+            key_hash(&Key::int2(7, 9)),
+            key_hash(&Key::General(vec![Value::Int(7), Value::Int(9)]))
+        );
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Pinned values: a change here silently re-partitions every
+        // cluster, so it must be deliberate.
+        assert_eq!(key_hash(&Key::int(1)), 0x7194_f3e5_9ae4_7dcd);
+        assert_eq!(shard_of(&Key::int(1), 4), 1);
+    }
+
+    #[test]
+    fn components_do_not_collide_by_concatenation() {
+        // ("ab","c") vs ("a","bc") differ because lengths are folded in.
+        let k1 = Key::General(vec![Value::str("ab"), Value::str("c")]);
+        let k2 = Key::General(vec![Value::str("a"), Value::str("bc")]);
+        assert_ne!(key_hash(&k1), key_hash(&k2));
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for i in 0..1000 {
+            counts[shard_of(&Key::int(i), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "shard {s} got only {c}/1000 keys");
+        }
+    }
+}

@@ -79,11 +79,19 @@ fn storm(kind: SystemKind, threads: usize, seed: u64) -> (usize, u64) {
                 let mut rng = Pcg32::new(0xB17E_5EED ^ kind as u64 ^ seed, worker as u64);
                 for i in 0..TXNS_PER_THREAD {
                     if rng.chance(0.4) {
-                        // Reader: pin a snapshot, record what it shows.
+                        // Reader: pin a snapshot, record what it shows,
+                        // then release the pin either way — half roll back
+                        // explicitly, half rely on the drop backstop, so
+                        // both unpin paths stay exercised.
                         let txn = mgr.begin().unwrap();
-                        let snap = txn.snapshot();
-                        let seen = observe(&snap.view(), t);
-                        reads.lock().unwrap().push((txn.pin().0, seen));
+                        {
+                            let snap = txn.snapshot();
+                            let seen = observe(&snap.view(), t);
+                            reads.lock().unwrap().push((txn.pin().0, seen));
+                        }
+                        if rng.chance(0.5) {
+                            txn.rollback();
+                        }
                         continue;
                     }
                     // Writer: two inserts + one hot-key update, atomically.
@@ -122,6 +130,24 @@ fn storm(kind: SystemKind, threads: usize, seed: u64) -> (usize, u64) {
         .counters()
         .conflicts
         .load(std::sync::atomic::Ordering::Relaxed);
+    // Pin accounting balances after every resolution path has run:
+    // commit releases at publish, conflict-abort and rollback release
+    // eagerly, drop is the backstop. A leak here would pin the commit-log
+    // pruning floor forever.
+    assert_eq!(
+        mgr.active_pins(),
+        0,
+        "{kind}/{threads}: leaked snapshot pins"
+    );
+    assert_eq!(
+        mgr.counters()
+            .released
+            .load(std::sync::atomic::Ordering::Relaxed),
+        mgr.counters()
+            .snapshots
+            .load(std::sync::atomic::Ordering::Relaxed),
+        "{kind}/{threads}: released pins must balance pinned snapshots"
+    );
     let (served, ids, _) = mgr.close().unwrap();
 
     let mut commits = commits.into_inner().unwrap();
