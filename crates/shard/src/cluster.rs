@@ -82,7 +82,9 @@ struct ClusterCommit {
 /// first-committer-wins plus the registry of active read pins (the floor
 /// below which log entries can be pruned).
 struct ClusterState {
-    /// Ascending by `gts`.
+    /// Ascending by `gts` — maintained by sorted insertion in
+    /// [`Cluster::publish_commit`], because *publish* order inverts when
+    /// disjoint-shard commits race (a later timestamp can publish first).
     commit_log: Vec<ClusterCommit>,
     /// `read watermark -> count` of open [`ClusterTxn`]s pinned there.
     pins: BTreeMap<u64, usize>,
@@ -281,8 +283,18 @@ impl Cluster {
     /// and [`ClusterTxn::read`] both guarantee that).
     fn read_at(&self, at: SysTime) -> Result<ClusterRead<'_>> {
         let mut snaps = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
-            snaps.push(s.mgr.snapshot_at(at)?);
+        for (i, s) in self.shards.iter().enumerate() {
+            let snap = s.mgr.snapshot_at(at)?;
+            // A poisoned shard may be missing a decided cross-shard
+            // commit its healthy siblings already serve, so any cut that
+            // includes it can be non-atomic at watermarks past the
+            // failure. Fail-stop until recovery rebuilds the shard.
+            if snap.degraded() {
+                return Err(Error::Internal(format!(
+                    "shard {i} is poisoned: cluster snapshots are unavailable until recovery"
+                )));
+            }
+            snaps.push(snap);
         }
         Ok(ClusterRead { snaps, at })
     }
@@ -304,18 +316,37 @@ impl Cluster {
         }
     }
 
-    /// Appends the commit record and prunes entries no active pin can
-    /// still conflict with. Called with the participating gates held, so
-    /// any later committer sharing a shard observes the entry.
+    /// Inserts the commit record in `gts` order, advances the oracle, and
+    /// prunes entries no active pin can still conflict with. Called with
+    /// the participating gates held, so any later committer sharing a
+    /// shard observes the entry.
     fn publish_commit(&self, gts: u64, writes: Vec<CWrite>) {
         let mut cs = self.cstate.lock().expect("cluster state poisoned");
-        cs.commit_log.push(ClusterCommit { gts, writes });
-        let floor = cs.pins.keys().next().copied().unwrap_or(gts);
+        // Sorted insertion, not a push: publishes of disjoint-shard
+        // commits can arrive out of timestamp order, and the validation
+        // scan's early exit relies on the log being ascending by `gts`.
+        let at = cs.commit_log.partition_point(|r| r.gts < gts);
+        cs.commit_log.insert(at, ClusterCommit { gts, writes });
+        // Advance the oracle *while still holding the cluster state* (the
+        // documented lock hierarchy runs cluster state → oracle): begin()
+        // reads the watermark under this same lock, so a concurrent
+        // transaction either pins before this publish — its pin is
+        // registered and floors the prune below — or after it, at a
+        // watermark past everything pruned here.
+        self.oracle.publish(gts);
+        // The pruning floor falls back to the *watermark*, never to `gts`
+        // itself: with older commits still in flight the watermark (and
+        // any future pin) can sit well below `gts`, and a transaction
+        // pinned there must still find this entry to validate against.
+        let floor = cs
+            .pins
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.oracle.read_ts().0);
         if cs.commit_log.first().is_some_and(|r| r.gts <= floor) {
             cs.commit_log.retain(|r| r.gts > floor);
         }
-        drop(cs);
-        self.oracle.publish(gts);
     }
 }
 
@@ -546,8 +577,10 @@ impl<'a> ClusterTxn<'a> {
 
         // Cluster-level first-committer-wins, then draw the timestamp.
         // Validated under the gates: any conflicting commit either already
-        // pushed its record (we see it here) or is queued behind a gate we
-        // hold (it will see ours).
+        // published its record (we see it here) or is queued behind a gate
+        // we hold (it will see ours). The log is kept ascending by `gts`
+        // (sorted insertion in publish_commit), so the reverse scan may
+        // stop at the first record at or below our pin.
         let gts = {
             let cs = cluster.cstate.lock().expect("cluster state poisoned");
             for rec in cs.commit_log.iter().rev() {
@@ -594,21 +627,36 @@ impl<'a> ClusterTxn<'a> {
                 }
                 Ok(SysTime(gts))
             }
-            Err((e, decided)) => {
-                if decided {
-                    // At least one shard holds a durable commit decision:
-                    // the transaction *is* committed globally (recovery
+            Err((e, decided_waits)) => match decided_waits {
+                Some(waits) => {
+                    // At least one shard logged a commit decision: the
+                    // transaction *is* committed globally (recovery
                     // finishes the stragglers), so the record and the
                     // watermark must reflect it even though we report the
                     // shard failure to the caller.
                     cluster.publish_commit(gts, writes);
-                } else {
-                    cluster.oracle.abort(gts);
+                    self.release_pin();
+                    drop(gates);
+                    // Honor the committed shards' durability waits exactly
+                    // as the success path does: "decided" must mean
+                    // *durably* decided before this returns, or a crash
+                    // right after could lose every decision record while
+                    // readers had already observed the commit. A wait
+                    // failure poisons its shard fail-stop on its own; the
+                    // error below already tells the caller recovery is
+                    // needed.
+                    for w in waits {
+                        let _ = w.wait();
+                    }
+                    Err(e)
                 }
-                self.release_pin();
-                drop(gates);
-                Err(e)
-            }
+                None => {
+                    cluster.oracle.abort(gts);
+                    self.release_pin();
+                    drop(gates);
+                    Err(e)
+                }
+            },
         }
     }
 }
@@ -621,14 +669,17 @@ impl Drop for ClusterTxn<'_> {
 
 /// Replays the routed ops onto the participating shards and lands the
 /// commit at `gts`: directly for one participant, via two-phase commit for
-/// several. On error the flag says whether a commit decision was already
-/// durably logged somewhere (`true` = the transaction stands globally).
+/// several. On error the second slot says whether a commit decision was
+/// already logged somewhere: `Some(waits)` means the transaction stands
+/// globally and carries the committed shards' durability waits, which the
+/// caller must still honor; `None` means nothing decided — globally an
+/// abort.
 fn run_on_shards<'a>(
     cluster: &'a Cluster,
     participants: &[usize],
     mut ops: Vec<Vec<BufOp>>,
     gts: u64,
-) -> std::result::Result<Vec<CommitWait<'a>>, (Error, bool)> {
+) -> std::result::Result<Vec<CommitWait<'a>>, (Error, Option<Vec<CommitWait<'a>>>)> {
     // Buffer each shard's ops into a shard transaction. Failures here —
     // poisoned shard, arity or period validation — leave nothing applied
     // and nothing logged.
@@ -638,7 +689,7 @@ fn run_on_shards<'a>(
         let ids = mgr.table_ids().to_vec();
         let mut txn = match mgr.begin() {
             Ok(t) => t,
-            Err(e) => return Err((e, false)),
+            Err(e) => return Err((e, None)),
         };
         for op in std::mem::take(&mut ops[i]) {
             let buffered = match op {
@@ -655,7 +706,7 @@ fn run_on_shards<'a>(
                 }
             };
             if let Err(e) = buffered {
-                return Err((e, false));
+                return Err((e, None));
             }
         }
         txns.push(txn);
@@ -670,7 +721,7 @@ fn run_on_shards<'a>(
             // logged (apply/submit failures poison the shard *without* a
             // WAL record).
             Ok((_ts, wait)) => Ok(wait.into_iter().collect()),
-            Err(e) => Err((e, false)),
+            Err(e) => Err((e, None)),
         };
     }
 
@@ -682,7 +733,7 @@ fn run_on_shards<'a>(
             Ok(p) => prepared.push(p),
             Err(e) => {
                 abort_all(prepared);
-                return Err((e, false));
+                return Err((e, None));
             }
         }
     }
@@ -699,7 +750,7 @@ fn run_on_shards<'a>(
         // interleave WAL records between our prepares and decisions.
         if let Err(e) = p.wait_prepared() {
             abort_all(prepared);
-            return Err((e, false));
+            return Err((e, None));
         }
     }
 
@@ -722,7 +773,7 @@ fn run_on_shards<'a>(
                     // No decision logged anywhere yet: globally this is an
                     // abort, and the remaining prepares say so explicitly.
                     abort_all(rest.collect());
-                    return Err((e, false));
+                    return Err((e, None));
                 }
                 failure.get_or_insert(e);
             }
@@ -734,7 +785,7 @@ fn run_on_shards<'a>(
             Error::Internal(format!(
                 "cross-shard commit {gts} decided but a shard failed to apply it: {e}"
             )),
-            true,
+            Some(waits),
         )),
     }
 }
@@ -961,7 +1012,10 @@ fn merge_metrics(a: ScanMetrics, b: ScanMetrics) -> ScanMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{recover_cluster, ShardInput};
+    use bitempo_core::fault::{FaultKind, FaultPlan, FaultyWriter};
     use bitempo_engine::testutil::{bitemp_table, simple_row};
+    use bitempo_storage::wal::{BODY_OVERHEAD, FRAME_OVERHEAD, WAL_HEADER_LEN};
     use bitempo_storage::DurabilityMode;
     use bitempo_wal::SharedBuf;
 
@@ -1158,6 +1212,220 @@ mod tests {
                 .expect("lookup");
             assert_eq!(out.rows.len(), 1, "key {k}");
         }
+    }
+
+    #[test]
+    fn publish_ahead_of_the_watermark_keeps_its_commit_record() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        // Two in-flight timestamps; the *newer* publishes first while the
+        // older still holds the watermark back. The record must survive
+        // pruning: readers can still pin below it and need it to validate.
+        let a = cluster.oracle.begin_commit();
+        let b = cluster.oracle.begin_commit();
+        cluster.publish_commit(
+            b,
+            vec![CWrite {
+                table: 0,
+                key: Key::int(0),
+                app: AppPeriod::ALL,
+            }],
+        );
+        assert!(cluster.read_ts().0 < b, "a still in flight");
+        {
+            let cs = cluster.cstate.lock().expect("cluster state");
+            assert!(
+                cs.commit_log.iter().any(|r| r.gts == b),
+                "pruning must floor at the watermark, not at the published gts"
+            );
+        }
+        let mut txn = cluster.begin().expect("begin");
+        assert!(txn.pin().0 < b);
+        txn.update(t, &Key::int(0), &[(1, Value::Int(9))], None)
+            .expect("update");
+        match txn.commit() {
+            Err(Error::Conflict(_)) => {}
+            other => panic!("expected a conflict with b's write, got {other:?}"),
+        }
+        cluster.oracle.abort(a);
+    }
+
+    #[test]
+    fn out_of_order_publishes_cannot_hide_commits_from_validation() {
+        let (cluster, _bufs) = cluster_with_bufs(2, 8);
+        let t = cluster.table_ids()[0];
+        // A long-lived pin keeps the log from pruning.
+        let reader = cluster.begin().expect("begin");
+        // Three in-flight commits; the newest publishes first, the oldest
+        // second, so *append* order would be [c, a] while gts order is
+        // [a, c].
+        let a = cluster.oracle.begin_commit();
+        let b = cluster.oracle.begin_commit();
+        let c = cluster.oracle.begin_commit();
+        cluster.publish_commit(
+            c,
+            vec![CWrite {
+                table: 0,
+                key: Key::int(0),
+                app: AppPeriod::ALL,
+            }],
+        );
+        cluster.publish_commit(a, Vec::new());
+        {
+            let cs = cluster.cstate.lock().expect("cluster state");
+            let order: Vec<u64> = cs.commit_log.iter().map(|r| r.gts).collect();
+            assert_eq!(order, vec![a, c], "log stays ascending by gts");
+        }
+        assert_eq!(cluster.read_ts().0, a, "b still holds the watermark at a");
+        // A transaction pinned at exactly a must still see c's conflicting
+        // write: the reverse scan's early exit stops at the first record
+        // at or below the pin, which must never be an out-of-order entry
+        // sitting in front of a newer one.
+        let mut txn = cluster.begin().expect("begin");
+        assert_eq!(txn.pin().0, a);
+        txn.update(t, &Key::int(0), &[(1, Value::Int(9))], None)
+            .expect("update");
+        match txn.commit() {
+            Err(Error::Conflict(_)) => {}
+            other => panic!("expected a conflict with c's write, got {other:?}"),
+        }
+        cluster.oracle.abort(b);
+        reader.rollback();
+    }
+
+    #[test]
+    fn poisoned_shard_fail_stops_cluster_reads() {
+        let base = base_checkpoint(8);
+        let buf0 = SharedBuf::new();
+        let buf1 = SharedBuf::new();
+        // Shard 1's log accepts the stream header and nothing else: its
+        // prepare submit fails, poisoning the shard before any decision.
+        let plan = FaultPlan::none().with(FaultKind::TruncateAt(WAL_HEADER_LEN as u64));
+        let wals = vec![
+            Some(TxnWal::create(Box::new(buf0.clone()), DurabilityMode::Strict).expect("wal")),
+            Some(
+                TxnWal::create(
+                    Box::new(FaultyWriter::new(buf1.clone(), plan)),
+                    DurabilityMode::Strict,
+                )
+                .expect("wal"),
+            ),
+        ];
+        let cluster = Cluster::from_checkpoint(SystemKind::A, &base, wals).expect("cluster");
+        let t = cluster.table_ids()[0];
+        let k0 = (0..8)
+            .find(|k| shard_of(&Key::int(*k), 2) == 0)
+            .expect("a key on shard 0");
+        let k1 = (0..8)
+            .find(|k| shard_of(&Key::int(*k), 2) == 1)
+            .expect("a key on shard 1");
+        let before = cluster.read_ts();
+
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(k0), &[(1, Value::Int(-1))], None)
+            .expect("update");
+        txn.update(t, &Key::int(k1), &[(1, Value::Int(-2))], None)
+            .expect("update");
+        match txn.commit() {
+            Err(Error::Internal(_)) => {}
+            other => panic!("expected the prepare submit failure, got {other:?}"),
+        }
+        // Nothing decided: the abort burns the slot (the watermark may step
+        // over it), but no shard applied anything and nothing was published.
+        assert_eq!(cluster.shard_now(0), before);
+        assert_eq!(cluster.shard_now(1), before);
+        assert!(cluster.cstate.lock().unwrap().commit_log.is_empty());
+        // The poisoned shard makes any cluster-wide cut potentially
+        // non-atomic; reads fail-stop instead of serving it.
+        match cluster.snapshot().read() {
+            Err(Error::Internal(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+            other => panic!("expected fail-stop, got {:?}", other.map(|r| r.at())),
+        };
+    }
+
+    #[test]
+    fn decided_commit_with_a_failed_shard_still_publishes_and_waits() {
+        let base = base_checkpoint(8);
+        let parts = partition_checkpoint(&base, 2);
+        let k0 = (0..8)
+            .find(|k| shard_of(&Key::int(*k), 2) == 0)
+            .expect("a key on shard 0");
+        let k1 = (0..8)
+            .find(|k| shard_of(&Key::int(*k), 2) == 1)
+            .expect("a key on shard 1");
+        // Predict shard 1's prepare record byte-for-byte so the fault cuts
+        // its log exactly at the record boundary: the prepare lands whole,
+        // the decision submit that follows fails. The base commits at 1,
+        // so the first oracle timestamp is 2.
+        let gts = 2u64;
+        let prepare = bitempo_wal::encode_prepare(
+            gts,
+            gts,
+            &bitempo_histgen::Transaction {
+                scenarios: Vec::new(),
+                ops: vec![bitempo_histgen::Op::Update {
+                    table: 0,
+                    key: Key::int(k1),
+                    updates: vec![(1, Value::Int(-2))],
+                    portion: None,
+                }],
+            },
+        )
+        .expect("encode");
+        let cut = (WAL_HEADER_LEN + FRAME_OVERHEAD + BODY_OVERHEAD + prepare.len()) as u64;
+        let buf0 = SharedBuf::new();
+        let buf1 = SharedBuf::new();
+        let wals = vec![
+            Some(TxnWal::create(Box::new(buf0.clone()), DurabilityMode::Strict).expect("wal")),
+            Some(
+                TxnWal::create(
+                    Box::new(FaultyWriter::new(
+                        buf1.clone(),
+                        FaultPlan::none().with(FaultKind::TruncateAt(cut)),
+                    )),
+                    DurabilityMode::Strict,
+                )
+                .expect("wal"),
+            ),
+        ];
+        let cluster = Cluster::from_checkpoint(SystemKind::A, &base, wals).expect("cluster");
+        let t = cluster.table_ids()[0];
+
+        let mut txn = cluster.begin().expect("begin");
+        txn.update(t, &Key::int(k0), &[(1, Value::Int(-1))], None)
+            .expect("update");
+        txn.update(t, &Key::int(k1), &[(1, Value::Int(-2))], None)
+            .expect("update");
+        let err = txn.commit().expect_err("shard 1's decision submit must fail");
+        assert!(matches!(err, Error::Internal(_)), "{err:?}");
+        // Shard 0 decided: the transaction stands globally — the watermark
+        // and commit log reflect it, shard 0 holds the effects, and its
+        // durability wait was honored before commit() returned.
+        assert_eq!(cluster.read_ts(), SysTime(gts));
+        assert_eq!(cluster.shard_now(0), SysTime(gts));
+        assert_eq!(cluster.active_pins(), 0, "all pins released");
+        // ...but reads fail-stop on the poisoned straggler until recovery.
+        assert!(cluster.snapshot().read().is_err());
+
+        // Recovery from the durable remains converges the straggler: shard
+        // 0's decision record finishes shard 1's prepared-but-undecided
+        // half at the original global timestamp.
+        drop(cluster);
+        let inputs = vec![
+            ShardInput {
+                wal: buf0.snapshot(),
+                checkpoints: vec![parts[0].encode()],
+            },
+            ShardInput {
+                wal: buf1.snapshot(),
+                checkpoints: vec![parts[1].encode()],
+            },
+        ];
+        let rec =
+            recover_cluster(SystemKind::A, &inputs, &TuningConfig::none()).expect("recover");
+        assert_eq!(rec.committed_pending, vec![(1, gts)]);
+        assert!(rec.degraded.is_empty());
+        assert_eq!(rec.consistent_prefix(), SysTime(gts));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! `recovery` experiment does.
 
 use crate::cluster::Cluster;
-use bitempo_core::{Result, SysTime};
+use bitempo_core::{Error, Result, SysTime};
 use bitempo_engine::api::TuningConfig;
 use bitempo_engine::SystemKind;
 use bitempo_histgen::apply_op;
@@ -62,6 +62,13 @@ pub struct ClusterRecovered {
     /// Pending prepares left aborted (no decision anywhere), as
     /// `(shard, gts)` pairs.
     pub presumed_aborted: Vec<(usize, u64)>,
+    /// Sibling-decided prepares that failed to replay, as
+    /// `(shard, gts, error)` triples. The shard's engine may hold partial
+    /// uncommitted state from the failed apply (there is no rollback), so
+    /// the shard cannot serve until it is restored from a checkpoint —
+    /// but its siblings recovered normally, which is the contract:
+    /// one shard's problems never block the rest of the cluster.
+    pub degraded: Vec<(usize, u64, String)>,
 }
 
 impl ClusterRecovered {
@@ -80,8 +87,15 @@ impl ClusterRecovered {
     /// Rebuilds a live [`Cluster`] over the recovered shards, pairing
     /// shard `i` with `wals[i]` (fresh logs — the old images were
     /// consumed by recovery; checkpoint each shard first if you want the
-    /// new logs to start from a compact base).
+    /// new logs to start from a compact base). Refuses a degraded shard:
+    /// its engine may hold half-applied state that must never serve.
     pub fn into_cluster(self, wals: Vec<Option<TxnWal>>) -> Result<Cluster> {
+        if let Some((si, gts, why)) = self.degraded.first() {
+            return Err(Error::Invalid(format!(
+                "shard {si} is degraded (decided prepare {gts} failed to replay: {why}); \
+                 restore it from a checkpoint before serving"
+            )));
+        }
         let mut mgrs = Vec::with_capacity(self.shards.len());
         for (rec, wal) in self.shards.into_iter().zip(wals) {
             mgrs.push(TxnManager::new(rec.engine, rec.ids, wal)?);
@@ -92,9 +106,10 @@ impl ClusterRecovered {
 
 /// Recovers every shard of a cluster from its durable remains and resolves
 /// cross-shard prepares by the presumed-abort rule described in the module
-/// docs. Shards are independent: one shard's torn tail or rejected
-/// checkpoint never blocks its siblings, and only a shard with *no*
-/// decodable checkpoint at all fails the recovery.
+/// docs. Shards are independent: one shard's torn tail, rejected
+/// checkpoint, or failed replay of a decided prepare (reported in
+/// [`ClusterRecovered::degraded`]) never blocks its siblings, and only a
+/// shard with *no* decodable checkpoint at all fails the recovery.
 pub fn recover_cluster(
     kind: SystemKind,
     inputs: &[ShardInput],
@@ -113,30 +128,59 @@ pub fn recover_cluster(
         .collect();
     let mut committed_pending = Vec::new();
     let mut presumed_aborted = Vec::new();
+    let mut degraded: Vec<(usize, u64, String)> = Vec::new();
     for (si, rec) in shards.iter_mut().enumerate() {
+        let mut broken = false;
         for p in std::mem::take(&mut rec.pending) {
-            if decided.contains(&p.gid) {
-                // Land it exactly where the live commit would have: clock
-                // to gts − 1 so the apply stamps at gts.
-                rec.engine.advance_clock(SysTime(p.gts.saturating_sub(1)));
-                for op in &p.txn.ops {
-                    apply_op(rec.engine.as_mut(), &rec.ids, op)?;
-                }
-                let ts = rec.engine.commit();
-                debug_assert_eq!(ts, SysTime(p.gts), "recovered commit missed its slot");
-                rec.report.replayed += 1;
-                rec.report.commits += 1;
-                rec.report.presumed_aborted -= 1;
-                committed_pending.push((si, p.gts));
-            } else {
+            if !decided.contains(&p.gid) {
                 presumed_aborted.push((si, p.gts));
+                continue;
             }
+            rec.report.presumed_aborted -= 1;
+            if broken {
+                // An earlier decided prepare half-applied on this shard:
+                // nothing later can safely land on the partial state.
+                degraded.push((
+                    si,
+                    p.gts,
+                    "skipped: an earlier decided prepare failed to replay on this shard".into(),
+                ));
+                continue;
+            }
+            // Land it exactly where the live commit would have: clock
+            // to gts − 1 so the apply stamps at gts.
+            rec.engine.advance_clock(SysTime(p.gts.saturating_sub(1)));
+            let mut failed = None;
+            for op in &p.txn.ops {
+                if let Err(e) = apply_op(rec.engine.as_mut(), &rec.ids, op) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failed {
+                // A decided prepare that cannot apply leaves this shard
+                // with partial pending state and no rollback path. Mark
+                // the shard degraded and keep going — one shard's
+                // problems never block its siblings' recovery.
+                rec.report
+                    .unreplayable
+                    .get_or_insert_with(|| format!("decided prepare {} failed to apply: {e}", p.gts));
+                degraded.push((si, p.gts, e.to_string()));
+                broken = true;
+                continue;
+            }
+            let ts = rec.engine.commit();
+            debug_assert_eq!(ts, SysTime(p.gts), "recovered commit missed its slot");
+            rec.report.replayed += 1;
+            rec.report.commits += 1;
+            committed_pending.push((si, p.gts));
         }
     }
     Ok(ClusterRecovered {
         shards,
         committed_pending,
         presumed_aborted,
+        degraded,
     })
 }
 
@@ -282,6 +326,79 @@ mod tests {
             assert_eq!(&got, want);
         }
         assert_eq!(rec.consistent_prefix(), rec.shards[0].engine.now());
+    }
+
+    #[test]
+    fn replay_failure_degrades_the_shard_without_blocking_siblings() {
+        let base = base_checkpoint(8);
+        let parts = partition_checkpoint(&base, 2);
+        let gid = 50u64;
+        let k0 = (0..8)
+            .find(|k| shard_of(&Key::int(*k), 2) == 0)
+            .expect("a key on shard 0");
+        let mk_wal = |payloads: &[Vec<u8>]| -> Vec<u8> {
+            let buf = SharedBuf::new();
+            let mut w =
+                TxnWal::create(Box::new(buf.clone()), DurabilityMode::Strict).expect("wal create");
+            for p in payloads {
+                w.submit(p).expect("submit");
+            }
+            w.close().expect("close");
+            buf.snapshot()
+        };
+        let good = bitempo_histgen::Transaction {
+            scenarios: Vec::new(),
+            ops: vec![bitempo_histgen::Op::Update {
+                table: 0,
+                key: Key::int(k0),
+                updates: vec![(1, Value::Int(7))],
+                portion: None,
+            }],
+        };
+        // Shard 1's prepared half overwrites the application period of a key
+        // that never existed in its partition. Unlike a plain update (a no-op
+        // on a missing key), the overwrite raises `KeyNotFound` at the engine,
+        // so the sibling-decided replay genuinely cannot apply it.
+        let bad = bitempo_histgen::Transaction {
+            scenarios: Vec::new(),
+            ops: vec![bitempo_histgen::Op::OverwriteApp {
+                table: 0,
+                key: Key::int(424_242),
+                period: bitempo_core::AppPeriod::ALL,
+            }],
+        };
+        let wal0 = mk_wal(&[
+            bitempo_wal::encode_prepare(gid, gid, &good).expect("encode"),
+            bitempo_wal::encode_decision(gid, gid, true),
+        ]);
+        let wal1 = mk_wal(&[bitempo_wal::encode_prepare(gid, gid, &bad).expect("encode")]);
+        let inputs = vec![
+            ShardInput {
+                wal: wal0,
+                checkpoints: vec![parts[0].encode()],
+            },
+            ShardInput {
+                wal: wal1,
+                checkpoints: vec![parts[1].encode()],
+            },
+        ];
+        let rec = recover_cluster(SystemKind::A, &inputs, &TuningConfig::none())
+            .expect("one shard's replay failure must not fail the whole cluster recovery");
+        // Shard 0 recovered normally from its own prepare + decision...
+        assert!(rec.shards[0].report.unreplayable.is_none());
+        assert_eq!(rec.shards[0].engine.now(), SysTime(gid));
+        // ...while shard 1 is marked degraded, not silently dropped.
+        assert_eq!(rec.committed_pending, Vec::new());
+        assert!(rec.presumed_aborted.is_empty());
+        assert_eq!(rec.degraded.len(), 1);
+        assert_eq!((rec.degraded[0].0, rec.degraded[0].1), (1, gid));
+        assert!(rec.shards[1].report.unreplayable.is_some());
+        // A degraded shard must never go back into service as-is.
+        let err = rec
+            .into_cluster(vec![None, None])
+            .map(|_| ())
+            .expect_err("degraded shard must not serve");
+        assert!(matches!(err, Error::Invalid(_)), "{err:?}");
     }
 
     #[test]

@@ -1025,6 +1025,16 @@ pub struct Snapshot<'a> {
 }
 
 impl Snapshot<'_> {
+    /// True when the owning manager is poisoned. The snapshot still
+    /// serves the committed prefix (with the current-partition fast path
+    /// disabled), but a poisoned *shard* may sit on the wrong side of a
+    /// decided cross-shard commit its healthy siblings already show —
+    /// cluster readers must treat a degraded member as fail-stop rather
+    /// than assemble a non-atomic cut from it.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// The read-only engine view at the pinned time. Implements the full
     /// [`BitemporalEngine`] read surface, so the workload query classes run
     /// on a snapshot exactly as they run on a raw engine.
